@@ -1,0 +1,63 @@
+//! §VIII benchmarks: the inference attacks and sanitizers integrated
+//! into the MapReduce framework — per-user POI extraction and MMC
+//! learning as user-keyed jobs, and per-trace sanitization as map-only
+//! jobs, against their sequential counterparts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gepeto::prelude::*;
+use gepeto::sanitize::{GaussianMask, PerTraceMechanism, Sanitizer};
+use gepeto_bench::{dfs_for, parapluie, scaled_chunk_bytes};
+use std::hint::black_box;
+
+fn bench_attacks(c: &mut Criterion) {
+    let ds = gepeto_bench::dataset(30, 0.01);
+    let cluster = parapluie();
+    let dfs = dfs_for(&cluster, &ds, scaled_chunk_bytes(16));
+    let cfg = djcluster::DjConfig::default();
+
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(10);
+    group.bench_function("poi-extraction/mapreduce", |b| {
+        b.iter(|| {
+            let (pois, _) =
+                attacks::mapreduce_extract_pois(&cluster, &dfs, "input", &cfg).unwrap();
+            black_box(pois.len())
+        })
+    });
+    group.bench_function("poi-extraction/sequential", |b| {
+        b.iter(|| black_box(attacks::extract_pois_dataset(&ds, &cfg).len()))
+    });
+    group.bench_function("mmc-learning/mapreduce", |b| {
+        b.iter(|| {
+            let (mmcs, _) = attacks::mapreduce_learn_mmcs(&cluster, &dfs, "input", &cfg).unwrap();
+            black_box(mmcs.len())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sanitize");
+    group.sample_size(20);
+    let mask = GaussianMask {
+        sigma_m: 100.0,
+        seed: 1,
+    };
+    group.bench_function("gaussian/mapreduce", |b| {
+        b.iter(|| {
+            let (out, _) = gepeto::sanitize::mapreduce_sanitize(
+                &cluster,
+                &dfs,
+                "input",
+                PerTraceMechanism::Gaussian(mask),
+            )
+            .unwrap();
+            black_box(out.num_traces())
+        })
+    });
+    group.bench_function("gaussian/sequential", |b| {
+        b.iter(|| black_box(mask.apply(&ds).num_traces()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

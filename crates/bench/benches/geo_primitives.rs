@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the geometric substrate: the §VI observation that
+//! "the Haversine distance increases the execution time … compared to
+//! the squared Euclidean distance", plus curve encoding and R-tree
+//! queries against brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gepeto_geo::sfc::{hilbert_xy_to_d, morton_encode};
+use gepeto_geo::{haversine_m, DistanceMetric, RTree};
+use gepeto_model::GeoPoint;
+use std::hint::black_box;
+
+fn points(n: usize) -> Vec<GeoPoint> {
+    (0..n)
+        .map(|i| {
+            GeoPoint::new(
+                39.5 + (i % 1000) as f64 * 1e-3,
+                116.0 + (i / 1000) as f64 * 1e-2,
+            )
+        })
+        .collect()
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let pts = points(100_000);
+    let center = GeoPoint::new(39.9, 116.4);
+
+    let mut group = c.benchmark_group("distances");
+    for metric in [
+        DistanceMetric::SquaredEuclidean,
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+        DistanceMetric::Haversine,
+    ] {
+        group.bench_function(BenchmarkId::new("100k", metric.name()), |b| {
+            b.iter(|| {
+                let s: f64 = pts.iter().map(|&p| metric.between(center, p)).sum();
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("space-filling-curves");
+    group.bench_function("morton-1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000_000u32 {
+                acc ^= morton_encode(i, i.wrapping_mul(2_654_435_761));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hilbert-1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000_000u32 {
+                acc ^= hilbert_xy_to_d(16, i & 0xFFFF, i.wrapping_mul(2_654_435_761) & 0xFFFF);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rtree");
+    group.sample_size(20);
+    let items: Vec<(GeoPoint, usize)> = pts.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    group.bench_function("bulk-load-100k", |b| {
+        b.iter(|| black_box(RTree::bulk_load(items.clone()).len()))
+    });
+    let tree = RTree::bulk_load(items);
+    group.bench_function("radius-query-60m", |b| {
+        b.iter(|| black_box(tree.within_radius_m(center, 60.0).len()))
+    });
+    group.bench_function("radius-bruteforce-60m", |b| {
+        b.iter(|| {
+            black_box(
+                pts.iter()
+                    .filter(|&&p| haversine_m(center, p) <= 60.0)
+                    .count(),
+            )
+        })
+    });
+    group.bench_function("knn-10", |b| {
+        b.iter(|| black_box(tree.nearest_k(center, 10).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geo);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+#![warn(missing_docs)]
+
+
+//! Shared workload setup for the benchmark harness: scaled synthetic
+//! GeoLife datasets (cached per configuration so Criterion benches and
+//! the `tables` binary don't regenerate them), cluster profiles, and
+//! table formatting.
+//!
+//! Scale is controlled by `GEPETO_SCALE` (default 0.05): all datasets
+//! *and* chunk sizes are multiplied by it, so chunk counts — and thus
+//! map-task counts — match the paper's proportions at any scale.
+
+use gepeto::prelude::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// The benchmark scale factor from `GEPETO_SCALE` (default 0.05; 1.0
+/// reproduces the paper's full 2-M-trace dataset).
+pub fn scale() -> f64 {
+    static SCALE: OnceLock<f64> = OnceLock::new();
+    *SCALE.get_or_init(|| {
+        std::env::var("GEPETO_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&s| s > 0.0)
+            .unwrap_or(0.05)
+    })
+}
+
+/// A generated dataset, cached per `(users, scale)`.
+pub fn dataset(users: usize, scale: f64) -> Arc<Dataset> {
+    type Cache = Mutex<HashMap<(usize, u64), Arc<Dataset>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let key = (users, (scale * 1e9) as u64);
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(ds) = cache.lock().get(&key) {
+        return Arc::clone(ds);
+    }
+    let ds = Arc::new(
+        SyntheticGeoLife::new(GeneratorConfig {
+            users,
+            scale,
+            ..GeneratorConfig::paper()
+        })
+        .generate(),
+    );
+    cache.lock().insert(key, Arc::clone(&ds));
+    ds
+}
+
+/// The full 178-user dataset at the bench scale — the paper's "128 MB"
+/// dataset (scaled).
+pub fn full_dataset() -> Arc<Dataset> {
+    dataset(178, scale())
+}
+
+/// The paper's smaller evaluation cut: 90 users, "66 MB" (scaled).
+/// 90/178 of the full trace budget keeps per-user density identical.
+pub fn small_dataset() -> Arc<Dataset> {
+    dataset(90, scale() * 90.0 / 178.0)
+}
+
+/// A chunk size in bytes equal to `mb` paper-megabytes times the bench
+/// scale, so the chunk **count** matches the paper's setup.
+pub fn scaled_chunk_bytes(mb: usize) -> usize {
+    ((mb as f64 * 1e6 * scale()) as usize).max(4 * 1024)
+}
+
+/// The Parapluie cluster profile of the paper's testbed.
+pub fn parapluie() -> Cluster {
+    Cluster::parapluie()
+}
+
+/// Loads a dataset into a fresh DFS with the given chunk size.
+pub fn dfs_for(cluster: &Cluster, ds: &Dataset, chunk_bytes: usize) -> Dfs<MobilityTrace> {
+    let mut dfs = gepeto::dfs_io::trace_dfs(cluster, chunk_bytes);
+    gepeto::dfs_io::put_dataset(&mut dfs, "input", ds).unwrap();
+    dfs
+}
+
+/// The "0.5 (Mahout units)" convergence delta translated into each
+/// metric's native unit at a 0.5-meter equivalent.
+pub fn convergence_delta_for(metric: gepeto_geo::DistanceMetric) -> f64 {
+    use gepeto_geo::DistanceMetric::*;
+    const HALF_M_IN_DEG: f64 = 0.5 / 111_194.93;
+    match metric {
+        Haversine => 0.5,
+        Euclidean | Manhattan => HALF_M_IN_DEG,
+        SquaredEuclidean => HALF_M_IN_DEG * HALF_M_IN_DEG,
+    }
+}
+
+/// Fixed-width table printer for the `tables` harness.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_cache_returns_same_arc() {
+        let a = dataset(5, 0.002);
+        let b = dataset(5, 0.002);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.num_users(), 5);
+    }
+
+    #[test]
+    fn scaled_chunk_has_floor() {
+        assert!(scaled_chunk_bytes(1) >= 4 * 1024);
+    }
+
+    #[test]
+    fn convergence_deltas_are_half_meter_equivalents() {
+        use gepeto_geo::DistanceMetric::*;
+        assert_eq!(convergence_delta_for(Haversine), 0.5);
+        let e = convergence_delta_for(Euclidean);
+        assert!((e * 111_194.93 - 0.5).abs() < 1e-9);
+        let se = convergence_delta_for(SquaredEuclidean);
+        assert!((se - e * e).abs() < 1e-20);
+    }
+}

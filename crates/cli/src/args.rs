@@ -1,0 +1,89 @@
+//! Minimal `--key value` flag parsing (no external dependency; see
+//! DESIGN.md §7).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs (also accepts `--key=value`).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = BTreeMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("expected a --flag, found '{arg}'"));
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{key} is missing its value"))?;
+                flags.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    /// Raw string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Typed value with a default; errors on malformed input.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse '{raw}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_space_and_equals_forms() {
+        let a = Args::parse(&argv("--users 10 --scale=0.5")).unwrap();
+        assert_eq!(a.get("users"), Some("10"));
+        assert_eq!(a.get_or("scale", 1.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = Args::parse(&argv("")).unwrap();
+        assert_eq!(a.get_or("k", 11usize).unwrap(), 11);
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(Args::parse(&argv("oops --k 3")).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Args::parse(&argv("--k")).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_typed_value() {
+        let a = Args::parse(&argv("--k abc")).unwrap();
+        assert!(a.get_or("k", 1usize).is_err());
+    }
+}

@@ -1,0 +1,528 @@
+//! The `gepeto` subcommands.
+
+use crate::args::Args;
+use gepeto::prelude::*;
+use gepeto::sanitize::Sanitizer;
+use gepeto_geo::DistanceMetric;
+use gepeto_model::plt;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+gepeto — GEoPrivacy-Enhancing TOolkit on MapReduce
+
+USAGE:
+    gepeto <command> [--flag value]...
+
+COMMANDS:
+    generate    Generate a synthetic GeoLife-calibrated dataset
+                  --users N (178) --scale S (0.01) --seed X --plt-dir DIR
+    report      Print dataset statistics
+                  --users N --scale S --seed X
+    sample      MapReduce down-sampling (paper §V)
+                  --window SECS (60) --technique upper|middle --chunk-kb N (1024)
+    kmeans      MapReduce k-means (paper §VI)
+                  --k N (11) --distance haversine|sqeuclidean|euclidean|manhattan
+                  --delta D (0.5) --max-iter N (150) --combiner true|false
+                  --chunk-kb N (1024) --parapluie true|false
+    djcluster   MapReduce DJ-Cluster + preprocessing (paper §VII)
+                  --radius M (60) --minpts N (4) --speed MPS (1.0)
+                  --window SECS (60) --mr-rtree true|false
+    attack      POI extraction + MMC de-anonymization demo (§VIII)
+                  --users N (20) --scale S (0.02)
+    sanitize    Apply a mechanism and measure the privacy/utility trade-off
+                  --mechanism gaussian|uniform|aggregate|cloak|mixzone|temporal
+                  --param M (100: sigma/radius/cell meters or window secs) --k N (2)
+    semantics   Label POIs home/work/leisure, print semantic trajectories (§II)\n                  --users N (10) --scale S (0.015)\n    predict     MMC next-place prediction evaluation (§VIII)
+                  --users N (15) --scale S (0.02) --train-fraction F (0.6)
+    viz         Render the dataset as SVG + GeoJSON (+ ASCII density)
+                  --out DIR (required) --width PX (900)
+    help        This text
+
+Shared dataset flags: --users, --scale, --seed.
+";
+
+fn dataset_from(args: &Args, default_users: usize, default_scale: f64) -> Result<Dataset, String> {
+    let users = args.get_or("users", default_users)?;
+    let scale = args.get_or("scale", default_scale)?;
+    let seed = args.get_or("seed", GeneratorConfig::paper().seed)?;
+    let cfg = GeneratorConfig {
+        users,
+        scale,
+        seed,
+        ..GeneratorConfig::paper()
+    };
+    Ok(SyntheticGeoLife::new(cfg).generate())
+}
+
+fn cluster_from(args: &Args) -> Result<Cluster, String> {
+    Ok(if args.get_or("parapluie", false)? {
+        Cluster::parapluie()
+    } else {
+        Cluster::local(4, 2)
+    })
+}
+
+fn dfs_with(args: &Args, cluster: &Cluster, ds: &Dataset) -> Result<Dfs<MobilityTrace>, String> {
+    let chunk_kb: usize = args.get_or("chunk-kb", 1024usize)?;
+    let mut dfs = gepeto::dfs_io::trace_dfs(cluster, chunk_kb * 1024);
+    gepeto::dfs_io::put_dataset(&mut dfs, "input", ds).map_err(|e| e.to_string())?;
+    Ok(dfs)
+}
+
+fn print_job(label: &str, stats: &gepeto_mapred::JobStats) {
+    println!(
+        "{label}: {} map tasks, {} reduce tasks | real {:.2?} | sim makespan {:.1} s \
+         (startup {:.0} s) | locality {}/{}/{} | shuffle {} B",
+        stats.map_tasks,
+        stats.reduce_tasks,
+        stats.real_elapsed,
+        stats.sim.makespan_s,
+        stats.sim.cluster_startup_s,
+        stats.sim.data_local,
+        stats.sim.rack_local,
+        stats.sim.remote,
+        stats.sim.shuffle_bytes,
+    );
+}
+
+/// `gepeto generate`
+pub fn generate(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 178, 0.01)?;
+    let stats = DatasetStats::compute(&ds);
+    println!("{stats}");
+    if let Some(dir) = args.get("plt-dir") {
+        let dir = std::path::Path::new(dir);
+        for trail in ds.trails() {
+            let user_dir = dir.join(format!("{:03}/Trajectory", trail.user));
+            std::fs::create_dir_all(&user_dir).map_err(|e| e.to_string())?;
+            let mut body = String::new();
+            for t in trail.traces() {
+                body.push_str(&plt::format_line(t));
+                body.push('\n');
+            }
+            std::fs::write(user_dir.join("trajectory.plt"), body).map_err(|e| e.to_string())?;
+        }
+        println!("\nwrote {} PLT user directories under {}", ds.num_users(), dir.display());
+    }
+    Ok(())
+}
+
+/// `gepeto report`
+pub fn report(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 178, 0.01)?;
+    println!("{}", DatasetStats::compute(&ds));
+    Ok(())
+}
+
+/// `gepeto sample`
+pub fn sample(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 178, 0.01)?;
+    let cluster = cluster_from(args)?;
+    let dfs = dfs_with(args, &cluster, &ds)?;
+    let t = args.get("technique").unwrap_or("upper");
+    let technique = sampling::Technique::parse(t).ok_or(format!("unknown technique '{t}'"))?;
+    let cfg = sampling::SamplingConfig::new(args.get_or("window", 60i64)?, technique);
+    let (sampled, stats) =
+        sampling::mapreduce_sample(&cluster, &dfs, "input", &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "sampling window {} s: {} -> {} traces ({:.2} %)",
+        cfg.window_secs,
+        ds.num_traces(),
+        sampled.num_traces(),
+        100.0 * sampled.num_traces() as f64 / ds.num_traces().max(1) as f64
+    );
+    print_job("job", &stats);
+    Ok(())
+}
+
+/// `gepeto kmeans`
+pub fn kmeans(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 178, 0.01)?;
+    let cluster = cluster_from(args)?;
+    let dfs = dfs_with(args, &cluster, &ds)?;
+    let distance = DistanceMetric::parse(args.get("distance").unwrap_or("sqeuclidean"))
+        .ok_or("unknown distance metric")?;
+    let cfg = kmeans::KMeansConfig {
+        k: args.get_or("k", 11usize)?,
+        distance,
+        convergence_delta: args.get_or("delta", 0.5f64)?,
+        max_iterations: args.get_or("max-iter", 150usize)?,
+        seed: args.get_or("seed", 1u64)?,
+        use_combiner: args.get_or("combiner", false)?,
+    };
+    let result =
+        kmeans::mapreduce_kmeans(&cluster, &dfs, "input", &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "k-means: k={} distance={} converged={} after {} iterations",
+        cfg.k,
+        cfg.distance.name(),
+        result.converged,
+        result.iterations
+    );
+    let mean_iter_sim: f64 = result
+        .per_iteration
+        .iter()
+        .map(|i| i.job.sim.makespan_s)
+        .sum::<f64>()
+        / result.iterations.max(1) as f64;
+    println!("mean simulated iteration time: {mean_iter_sim:.1} s");
+    if let Some(last) = result.per_iteration.last() {
+        print_job("last iteration", &last.job);
+    }
+    for (i, c) in result.centroids.iter().enumerate() {
+        println!("  centroid {i}: ({:.6}, {:.6})", c.lat, c.lon);
+    }
+    Ok(())
+}
+
+/// `gepeto djcluster`
+pub fn djcluster(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 178, 0.01)?;
+    let cluster = cluster_from(args)?;
+    let mut dfs = dfs_with(args, &cluster, &ds)?;
+    // The paper clusters the *sampled* dataset; do the same.
+    let window = args.get_or("window", 60i64)?;
+    let scfg = sampling::SamplingConfig::new(window, sampling::Technique::ClosestToUpperLimit);
+    sampling::mapreduce_sample_to_dfs(&cluster, &mut dfs, "input", "sampled", &scfg)
+        .map_err(|e| e.to_string())?;
+    let cfg = djcluster::DjConfig {
+        radius_m: args.get_or("radius", 60.0f64)?,
+        min_pts: args.get_or("minpts", 4usize)?,
+        speed_threshold_mps: args.get_or("speed", 1.0f64)?,
+        dup_threshold_m: args.get_or("dup", 0.5f64)?,
+    };
+    let rtree_cfg = args
+        .get_or("mr-rtree", true)?
+        .then(gepeto::rtree_build::RTreeBuildConfig::default);
+    let (clustering, pre, stats) = djcluster::mapreduce_djcluster_full(
+        &cluster,
+        &mut dfs,
+        "sampled",
+        &cfg,
+        rtree_cfg.as_ref(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "preprocessing: {} -> {} (speed filter) -> {} (dedup)",
+        pre.input, pre.after_speed_filter, pre.after_dedup
+    );
+    println!(
+        "DJ-Cluster: {} clusters, {} noise traces",
+        clustering.clusters.len(),
+        clustering.noise
+    );
+    print_job("cluster job", &stats.cluster_job);
+    Ok(())
+}
+
+/// `gepeto attack`
+pub fn attack(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 20, 0.02)?;
+    let cfg = djcluster::DjConfig::default();
+    let pois = attacks::extract_pois_dataset(&ds, &cfg);
+    let mut with_home = 0usize;
+    for (user, user_pois) in &pois {
+        if let Some(home) = attacks::infer_home(user_pois) {
+            with_home += 1;
+            println!(
+                "user {user}: {} POIs, home ≈ ({:.5}, {:.5}), {} visits",
+                user_pois.len(),
+                home.center.lat,
+                home.center.lon,
+                home.visits
+            );
+        }
+    }
+    println!("\nhome inferred for {with_home}/{} users", ds.num_users());
+
+    // MMC de-anonymization: train on the first half of each trail, attack
+    // with the second half.
+    let mut gallery = std::collections::BTreeMap::new();
+    let mut targets = Vec::new();
+    for trail in ds.trails() {
+        let traces = trail.traces().to_vec();
+        if traces.len() < 200 {
+            continue;
+        }
+        let mid = traces.len() / 2;
+        let train = gepeto_model::Trail::new(trail.user, traces[..mid].to_vec());
+        let test = gepeto_model::Trail::new(trail.user, traces[mid..].to_vec());
+        if let (Some(g), Some(t)) = (
+            attacks::learn_mmc(&train, &cfg),
+            attacks::learn_mmc(&test, &cfg),
+        ) {
+            gallery.insert(trail.user, g);
+            targets.push((trail.user, t));
+        }
+    }
+    let mut hits = 0usize;
+    for (truth, target) in &targets {
+        let ranked = attacks::mmc::deanonymize(&gallery, target);
+        if ranked.first().map(|r| r.0) == Some(*truth) {
+            hits += 1;
+        }
+    }
+    if !targets.is_empty() {
+        println!(
+            "MMC de-anonymization: {hits}/{} users re-identified ({:.0} %)",
+            targets.len(),
+            100.0 * hits as f64 / targets.len() as f64
+        );
+    }
+    Ok(())
+}
+
+/// `gepeto sanitize`
+pub fn sanitize(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 20, 0.02)?;
+    let param = args.get_or("param", 100.0f64)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let mechanism: Box<dyn Sanitizer> = match args.get("mechanism").unwrap_or("gaussian") {
+        "gaussian" => Box::new(sanitize::GaussianMask {
+            sigma_m: param,
+            seed,
+        }),
+        "uniform" => Box::new(sanitize::UniformMask {
+            radius_m: param,
+            seed,
+        }),
+        "aggregate" => Box::new(sanitize::SpatialAggregation { cell_m: param }),
+        "cloak" => Box::new(sanitize::SpatialCloaking {
+            cell_m: param,
+            k: args.get_or("k", 2usize)?,
+        }),
+        "temporal" => Box::new(sanitize::TemporalCloaking {
+            window_secs: param.max(1.0) as i64,
+        }),
+        "mixzone" => {
+            // Zones at the city center and two offsets.
+            let c = GeneratorConfig::paper().city_center;
+            Box::new(sanitize::MixZones {
+                zones: vec![
+                    sanitize::MixZone {
+                        center: c,
+                        radius_m: param,
+                    },
+                    sanitize::MixZone {
+                        center: GeoPoint::new(c.lat + 0.02, c.lon + 0.02),
+                        radius_m: param,
+                    },
+                ],
+            })
+        }
+        other => return Err(format!("unknown mechanism '{other}'")),
+    };
+    let sanitized = mechanism.apply(&ds);
+    let cfg = djcluster::DjConfig::default();
+    let reference = attacks::extract_pois_dataset(&ds, &cfg);
+    let attacked = attacks::extract_pois_dataset(&sanitized, &cfg);
+    let (mut recall_sum, mut n) = (0.0, 0usize);
+    for (user, ref_pois) in &reference {
+        if ref_pois.is_empty() {
+            continue;
+        }
+        let empty = Vec::new();
+        let att = attacked.get(user).unwrap_or(&empty);
+        recall_sum += metrics::poi_recall(ref_pois, att, 150.0);
+        n += 1;
+    }
+    println!("mechanism:          {}", mechanism.name());
+    println!(
+        "POI recall (attack): {:.1} % over {n} users",
+        100.0 * recall_sum / n.max(1) as f64
+    );
+    println!(
+        "mean displacement:   {:.1} m",
+        metrics::mean_displacement_m(&ds, &sanitized)
+    );
+    println!(
+        "trace retention:     {:.1} %",
+        100.0 * metrics::retention(&ds, &sanitized)
+    );
+    Ok(())
+}
+
+/// `gepeto predict`
+pub fn predict(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 15, 0.02)?;
+    let fraction = args.get_or("train-fraction", 0.6f64)?;
+    let cfg = djcluster::DjConfig::default();
+    let mut evaluated = 0usize;
+    let (mut acc_sum, mut base_sum) = (0.0f64, 0.0f64);
+    println!("user | states | transitions | MMC top-1 | baseline");
+    println!("-----+--------+-------------+-----------+---------");
+    for trail in ds.trails() {
+        if let Some((_, report)) = attacks::evaluate_next_place(trail, &cfg, fraction) {
+            evaluated += 1;
+            acc_sum += report.accuracy();
+            base_sum += report.baseline_accuracy();
+            println!(
+                "{:>4} | {:>6} | {:>11} | {:>8.0} % | {:>6.0} %",
+                trail.user,
+                report.states,
+                report.transitions,
+                100.0 * report.accuracy(),
+                100.0 * report.baseline_accuracy()
+            );
+        }
+    }
+    if evaluated == 0 {
+        return Err("no trail was predictable (try a larger --scale)".into());
+    }
+    println!(
+        "\nmean over {evaluated} users: MMC {:.0} % vs baseline {:.0} %",
+        100.0 * acc_sum / evaluated as f64,
+        100.0 * base_sum / evaluated as f64
+    );
+    Ok(())
+}
+
+/// `gepeto viz`
+pub fn viz(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 15, 0.01)?;
+    let dir = std::path::PathBuf::from(
+        args.get("out").ok_or("viz requires --out DIR")?,
+    );
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let width = args.get_or("width", 900u32)?;
+
+    // SVG: traces + trails + inferred homes.
+    let cfg = djcluster::DjConfig::default();
+    let pois = attacks::extract_pois_dataset(&ds, &cfg);
+    let mut markers = Vec::new();
+    let mut flat_pois = Vec::new();
+    for (user, user_pois) in &pois {
+        if let Some(home) = attacks::infer_home(user_pois) {
+            markers.push((home.center, format!("home {user}")));
+        }
+        for p in user_pois {
+            flat_pois.push((*user, p.clone()));
+        }
+    }
+    let mut map = gepeto::viz::SvgMap::for_dataset(&ds, width);
+    map.add_trails(&ds).add_dataset(&ds, 1.5).add_markers(&markers);
+    std::fs::write(dir.join("map.svg"), map.render()).map_err(|e| e.to_string())?;
+    std::fs::write(
+        dir.join("traces.geojson"),
+        gepeto::viz::geojson::dataset_points(&ds),
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(
+        dir.join("trails.geojson"),
+        gepeto::viz::geojson::dataset_trails(&ds),
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("pois.geojson"), gepeto::viz::geojson::pois(&flat_pois))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote map.svg, traces.geojson, trails.geojson, pois.geojson to {}",
+        dir.display()
+    );
+    println!("\ndensity ({} traces):\n{}", ds.num_traces(), gepeto::viz::ascii_density(&ds, 18, 60));
+    Ok(())
+}
+
+/// `gepeto semantics`
+pub fn semantics(args: &Args) -> Result<(), String> {
+    let ds = dataset_from(args, 10, 0.015)?;
+    let cfg = djcluster::DjConfig::default();
+    println!("user | label   | place (lat, lon)     | time share");
+    println!("-----+---------+----------------------+-----------");
+    for trail in ds.trails() {
+        let (labeled, traj) = attacks::semantic_trajectory(trail, &cfg);
+        let total: i64 = traj
+            .visits
+            .iter()
+            .map(|v| v.duration_secs)
+            .sum::<i64>()
+            .max(1);
+        for (poi, label) in &labeled {
+            let label_time = traj.time_at(*label);
+            // Only print each label once per user (home/work) plus the
+            // aggregated leisure line.
+            if *label == attacks::PoiLabel::Leisure
+                && labeled
+                    .iter()
+                    .position(|(p, l)| *l == attacks::PoiLabel::Leisure && p == poi)
+                    != labeled
+                        .iter()
+                        .position(|(_, l)| *l == attacks::PoiLabel::Leisure)
+            {
+                continue;
+            }
+            println!(
+                "{:>4} | {:<7} | ({:.5}, {:.5}) | {:>8.0} %",
+                trail.user,
+                label.to_string(),
+                poi.center.lat,
+                poi.center.lon,
+                100.0 * label_time as f64 / total as f64
+            );
+        }
+    }
+    println!(
+        "\nThe adversary reads a person's life pattern — where they sleep, \
+         work and spend free time — from coordinates alone (§II semantic \
+         trajectories)."
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn report_runs_on_tiny_dataset() {
+        assert!(report(&args("--users 2 --scale 0.002")).is_ok());
+    }
+
+    #[test]
+    fn sample_runs_and_validates_technique() {
+        assert!(sample(&args("--users 2 --scale 0.002 --window 60")).is_ok());
+        assert!(sample(&args("--users 2 --scale 0.002 --technique middle")).is_ok());
+        let err = sample(&args("--users 2 --scale 0.002 --technique bogus")).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn kmeans_runs_and_validates_distance() {
+        assert!(kmeans(&args("--users 2 --scale 0.002 --k 3 --max-iter 3")).is_ok());
+        assert!(kmeans(&args("--users 2 --scale 0.002 --distance nope")).is_err());
+    }
+
+    #[test]
+    fn djcluster_runs_small() {
+        assert!(djcluster(&args("--users 2 --scale 0.002 --mr-rtree false")).is_ok());
+    }
+
+    #[test]
+    fn sanitize_validates_mechanism() {
+        assert!(sanitize(&args("--users 2 --scale 0.003 --mechanism gaussian --param 50")).is_ok());
+        assert!(sanitize(&args("--users 2 --scale 0.003 --mechanism temporal --param 300")).is_ok());
+        let err = sanitize(&args("--users 2 --scale 0.003 --mechanism quantum")).unwrap_err();
+        assert!(err.contains("quantum"));
+    }
+
+    #[test]
+    fn viz_requires_out_dir() {
+        let err = viz(&args("--users 2 --scale 0.002")).unwrap_err();
+        assert!(err.contains("--out"));
+        let dir = std::env::temp_dir().join("gepeto-cli-viz-test");
+        let flags = format!("--users 2 --scale 0.002 --out {}", dir.display());
+        assert!(viz(&args(&flags)).is_ok());
+        assert!(dir.join("map.svg").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_flag_value_is_an_error() {
+        assert!(report(&args("--users abc")).is_err());
+        assert!(sample(&args("--users 2 --scale 0.002 --window abc")).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! `gepeto` — the GEPETO command-line interface.
+//!
+//! A thin driver over the `gepeto` library: generate a synthetic
+//! GeoLife-calibrated dataset, run the paper's MapReduced algorithms on
+//! a simulated cluster, run inference attacks, sanitize, and report the
+//! privacy/utility trade-off. Run `gepeto help` for usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gepeto: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        print!("{}", commands::USAGE);
+        return Ok(());
+    };
+    let args = args::Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => commands::generate(&args),
+        "sample" => commands::sample(&args),
+        "kmeans" => commands::kmeans(&args),
+        "djcluster" => commands::djcluster(&args),
+        "attack" => commands::attack(&args),
+        "sanitize" => commands::sanitize(&args),
+        "predict" => commands::predict(&args),
+        "semantics" => commands::semantics(&args),
+        "viz" => commands::viz(&args),
+        "report" => commands::report(&args),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try 'gepeto help'")),
+    }
+}

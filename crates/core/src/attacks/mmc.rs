@@ -1,0 +1,318 @@
+//! Mobility Markov Chains (§VIII): "a MMC represents in a compact way
+//! the mobility behavior of an individual and can be used to predict his
+//! future locations or even to perform de-anonymization attacks"
+//! (Gambs, Killijian & Núñez del Prado, *Show me how you move and I will
+//! tell you who you are*, Trans. Data Privacy 2011).
+//!
+//! States are the individual's POIs (from [`crate::attacks::poi`]);
+//! transitions are learned from the order in which the trail visits
+//! them. De-anonymization matches an anonymous chain against a gallery
+//! of known chains by a stationary-weighted spatial distance.
+
+use crate::attacks::poi::{extract_pois, Poi};
+use crate::djcluster::DjConfig;
+use gepeto_geo::haversine_m;
+use gepeto_model::{Trail, UserId};
+use std::collections::BTreeMap;
+
+/// A learned Mobility Markov Chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityMarkovChain {
+    /// The POIs acting as states.
+    pub states: Vec<Poi>,
+    /// Row-stochastic transition matrix (Laplace-smoothed).
+    pub transitions: Vec<Vec<f64>>,
+    /// Stationary distribution (power iteration).
+    pub stationary: Vec<f64>,
+}
+
+impl MobilityMarkovChain {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Most likely next state after `state`.
+    ///
+    /// # Panics
+    /// If `state` is out of range.
+    pub fn predict_next(&self, state: usize) -> usize {
+        let row = &self.transitions[state];
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty transition row")
+    }
+
+    /// Probability of moving `from → to`.
+    pub fn transition(&self, from: usize, to: usize) -> f64 {
+        self.transitions[from][to]
+    }
+
+    /// Stationary-weighted spatial distance to another chain, in meters:
+    /// for each state of `self`, the distance to the nearest state of
+    /// `other`, weighted by how much time `self` spends there —
+    /// symmetrized. Two chains of the same individual share POIs and
+    /// score near zero; strangers' POIs are kilometers apart.
+    pub fn distance(&self, other: &MobilityMarkovChain) -> f64 {
+        fn one_way(a: &MobilityMarkovChain, b: &MobilityMarkovChain) -> f64 {
+            a.states
+                .iter()
+                .zip(&a.stationary)
+                .map(|(s, &w)| {
+                    let nearest = b
+                        .states
+                        .iter()
+                        .map(|t| haversine_m(s.center, t.center))
+                        .fold(f64::INFINITY, f64::min);
+                    w * nearest
+                })
+                .sum()
+        }
+        if self.states.is_empty() || other.states.is_empty() {
+            return f64::INFINITY;
+        }
+        (one_way(self, other) + one_way(other, self)) / 2.0
+    }
+}
+
+/// Learns the MMC of one trail: extract POIs, map each trace to the
+/// nearest POI (within the clustering radius), collapse repeats into a
+/// state sequence, count transitions. Returns `None` when fewer than two
+/// POIs are found (no transition to learn).
+pub fn learn_mmc(trail: &Trail, cfg: &DjConfig) -> Option<MobilityMarkovChain> {
+    let pois = extract_pois(trail, cfg);
+    learn_mmc_with_pois(trail, cfg, pois)
+}
+
+/// [`learn_mmc`] with POIs the caller already extracted.
+pub fn learn_mmc_with_pois(
+    trail: &Trail,
+    cfg: &DjConfig,
+    pois: Vec<Poi>,
+) -> Option<MobilityMarkovChain> {
+    if pois.len() < 2 {
+        return None;
+    }
+    // State sequence: nearest POI within the radius, repeats collapsed.
+    let mut sequence: Vec<usize> = Vec::new();
+    for t in trail.traces() {
+        let (best, d) = pois
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, haversine_m(t.point, p.center)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        if d <= cfg.radius_m * 2.0 && sequence.last() != Some(&best) {
+            sequence.push(best);
+        }
+    }
+    let n = pois.len();
+    // Laplace-smoothed transition counts.
+    let mut counts = vec![vec![1.0f64; n]; n];
+    for w in sequence.windows(2) {
+        counts[w[0]][w[1]] += 1.0;
+    }
+    let transitions: Vec<Vec<f64>> = counts
+        .into_iter()
+        .map(|row| {
+            let total: f64 = row.iter().sum();
+            row.into_iter().map(|c| c / total).collect()
+        })
+        .collect();
+    let stationary = stationary_distribution(&transitions);
+    Some(MobilityMarkovChain {
+        states: pois,
+        transitions,
+        stationary,
+    })
+}
+
+/// Power iteration for the stationary distribution of a row-stochastic
+/// matrix.
+fn stationary_distribution(p: &[Vec<f64>]) -> Vec<f64> {
+    let n = p.len();
+    let mut pi = vec![1.0 / n as f64; n];
+    for _ in 0..200 {
+        let mut next = vec![0.0; n];
+        for (i, &w) in pi.iter().enumerate() {
+            for (j, &pij) in p[i].iter().enumerate() {
+                next[j] += w * pij;
+            }
+        }
+        let diff: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+        pi = next;
+        if diff < 1e-12 {
+            break;
+        }
+    }
+    pi
+}
+
+/// The de-anonymization attack: rank every known user's chain by
+/// distance to the anonymous `target` chain, closest first.
+pub fn deanonymize(
+    gallery: &BTreeMap<UserId, MobilityMarkovChain>,
+    target: &MobilityMarkovChain,
+) -> Vec<(UserId, f64)> {
+    let mut ranked: Vec<(UserId, f64)> = gallery
+        .iter()
+        .map(|(&u, mmc)| (u, mmc.distance(target)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gepeto_model::{Dataset, GeoPoint, MobilityTrace, Timestamp};
+
+    fn commuting_trail(user: UserId, home: GeoPoint, work: GeoPoint, days: i64) -> Trail {
+        let mut traces = Vec::new();
+        for day in 0..days {
+            let d0 = day * 86_400;
+            for (spot, hours) in [(home, [0i64, 5, 22]), (work, [9, 12, 16])] {
+                for h in hours {
+                    for m in 0..8 {
+                        traces.push(MobilityTrace::new(
+                            user,
+                            GeoPoint::new(
+                                spot.lat + (m % 3) as f64 * 3e-6,
+                                spot.lon + (m % 2) as f64 * 3e-6,
+                            ),
+                            Timestamp(d0 + h * 3_600 + m * 240),
+                        ));
+                    }
+                }
+            }
+        }
+        Trail::new(user, traces)
+    }
+
+    fn cfg() -> DjConfig {
+        DjConfig {
+            radius_m: 80.0,
+            min_pts: 4,
+            speed_threshold_mps: 1.0,
+            dup_threshold_m: 0.2,
+        }
+    }
+
+    #[test]
+    fn learns_a_two_state_chain() {
+        let trail = commuting_trail(1, GeoPoint::new(39.9, 116.4), GeoPoint::new(39.95, 116.45), 4);
+        let mmc = learn_mmc(&trail, &cfg()).expect("chain learned");
+        assert!(mmc.num_states() >= 2);
+        // Rows are stochastic.
+        for row in &mmc.transitions {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // Stationary sums to 1.
+        let s: f64 = mmc.stationary.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commuter_alternates_states() {
+        let trail = commuting_trail(1, GeoPoint::new(39.9, 116.4), GeoPoint::new(39.95, 116.45), 5);
+        let mmc = learn_mmc(&trail, &cfg()).unwrap();
+        // From any of the two main states, the predicted next state is the
+        // other one (the commute dominates the counts).
+        let a = 0;
+        let b = mmc.predict_next(a);
+        assert_ne!(a, b);
+        assert_eq!(mmc.predict_next(b), a);
+    }
+
+    #[test]
+    fn same_user_chains_are_close_different_users_far() {
+        let home1 = GeoPoint::new(39.90, 116.40);
+        let work1 = GeoPoint::new(39.95, 116.45);
+        let home2 = GeoPoint::new(39.80, 116.30);
+        let work2 = GeoPoint::new(39.75, 116.55);
+        let cfg = cfg();
+        let t1a = commuting_trail(1, home1, work1, 4);
+        let t1b = commuting_trail(1, home1, work1, 3); // same places, new data
+        let t2 = commuting_trail(2, home2, work2, 4);
+        let m1a = learn_mmc(&t1a, &cfg).unwrap();
+        let m1b = learn_mmc(&t1b, &cfg).unwrap();
+        let m2 = learn_mmc(&t2, &cfg).unwrap();
+        assert!(m1a.distance(&m1b) < 100.0, "{}", m1a.distance(&m1b));
+        assert!(m1a.distance(&m2) > 1_000.0, "{}", m1a.distance(&m2));
+    }
+
+    #[test]
+    fn deanonymization_ranks_the_true_user_first() {
+        let cfg = cfg();
+        let users = [
+            (1, GeoPoint::new(39.90, 116.40), GeoPoint::new(39.95, 116.45)),
+            (2, GeoPoint::new(39.80, 116.30), GeoPoint::new(39.75, 116.55)),
+            (3, GeoPoint::new(40.00, 116.20), GeoPoint::new(40.05, 116.25)),
+        ];
+        let gallery: BTreeMap<UserId, MobilityMarkovChain> = users
+            .iter()
+            .map(|&(u, h, w)| (u, learn_mmc(&commuting_trail(u, h, w, 4), &cfg).unwrap()))
+            .collect();
+        // An "anonymous" chain from fresh data of user 2.
+        let anon = learn_mmc(&commuting_trail(99, users[1].1, users[1].2, 3), &cfg).unwrap();
+        let ranked = deanonymize(&gallery, &anon);
+        assert_eq!(ranked[0].0, 2, "{ranked:?}");
+        assert!(ranked[0].1 < ranked[1].1);
+    }
+
+    #[test]
+    fn single_poi_trail_learns_nothing() {
+        // A trail that never leaves home: one POI → no chain.
+        let home = GeoPoint::new(39.9, 116.4);
+        let traces: Vec<MobilityTrace> = (0..200)
+            .map(|i| {
+                MobilityTrace::new(
+                    1,
+                    GeoPoint::new(home.lat + (i % 3) as f64 * 3e-6, home.lon),
+                    Timestamp(i * 300),
+                )
+            })
+            .collect();
+        let trail = Trail::new(1, traces);
+        assert!(learn_mmc(&trail, &cfg()).is_none());
+    }
+
+    #[test]
+    fn distance_to_empty_chain_is_infinite() {
+        let trail = commuting_trail(1, GeoPoint::new(39.9, 116.4), GeoPoint::new(39.95, 116.45), 4);
+        let mmc = learn_mmc(&trail, &cfg()).unwrap();
+        let empty = MobilityMarkovChain {
+            states: vec![],
+            transitions: vec![],
+            stationary: vec![],
+        };
+        assert_eq!(mmc.distance(&empty), f64::INFINITY);
+    }
+
+    #[test]
+    fn works_from_dataset_split() {
+        // End-to-end: split a dataset in two halves by time, learn on one,
+        // de-anonymize the other.
+        let cfg = cfg();
+        let mut gallery = BTreeMap::new();
+        let mut targets = Vec::new();
+        for (u, lat) in [(1u32, 39.9), (2, 39.7), (3, 40.1)] {
+            let home = GeoPoint::new(lat, 116.4);
+            let work = GeoPoint::new(lat + 0.05, 116.5);
+            let full = commuting_trail(u, home, work, 6);
+            let traces = full.into_traces();
+            let mid = traces.len() / 2;
+            let train = Trail::new(u, traces[..mid].to_vec());
+            let test = Trail::new(u, traces[mid..].to_vec());
+            gallery.insert(u, learn_mmc(&train, &cfg).unwrap());
+            targets.push((u, learn_mmc(&test, &cfg).unwrap()));
+        }
+        let _ = Dataset::new();
+        for (truth, target) in targets {
+            let ranked = deanonymize(&gallery, &target);
+            assert_eq!(ranked[0].0, truth);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Inference attacks (§II: "an inference attack is an algorithm that
+//! takes as input a geolocated dataset … and outputs some additional
+//! knowledge").
+//!
+//! - [`poi`] — extract the Points Of Interest characterizing an
+//!   individual from their trail of traces, the paper's canonical attack
+//!   ("the clustering algorithms that we have implemented can be used
+//!   primarily to extract the POIs of an individual").
+//! - [`mmc`] — Mobility Markov Chains (§VIII future work): a compact
+//!   mobility model usable for next-place prediction and
+//!   de-anonymization.
+//! - [`linking`] — link the records of the same individual across two
+//!   datasets using the home/work pair as a quasi-identifier (§II,
+//!   after Golle & Partridge).
+//! - [`prediction`] — next-place prediction from a learned MMC,
+//!   scored against a most-frequent-place baseline.
+//! - [`semantics`] — label POIs home/work/leisure and rewrite a trail
+//!   as a semantic trajectory (§II).
+//! - [`social`] — discover social links from co-location (§II:
+//!   "individuals that are in contact during a non-negligible amount of
+//!   time share some kind of social link").
+
+pub mod linking;
+pub mod mapreduce;
+pub mod mmc;
+pub mod poi;
+pub mod prediction;
+pub mod semantics;
+pub mod social;
+
+pub use linking::{link_datasets, LinkResult};
+pub use mapreduce::{mapreduce_extract_pois, mapreduce_learn_mmcs};
+pub use mmc::{learn_mmc, MobilityMarkovChain};
+pub use poi::{extract_pois, extract_pois_dataset, infer_home, infer_work, Poi};
+pub use prediction::{evaluate_next_place, PredictionReport};
+pub use semantics::{semantic_trajectory, PoiLabel, SemanticTrajectory};
+pub use social::{discover_social_links, SocialConfig, SocialEdge};

@@ -1,0 +1,231 @@
+//! POI extraction: DJ-Cluster over one individual's preprocessed trail;
+//! each resulting cluster is a place the individual demonstrably spends
+//! time at (§II: home, work, "a sport center, theater or the headquarters
+//! of a political party").
+
+use crate::djcluster::{sequential_djcluster, sequential_preprocess, DjConfig};
+use gepeto_model::{Dataset, GeoPoint, Trail, UserId};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// A point of interest inferred for one individual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poi {
+    /// Cluster centroid.
+    pub center: GeoPoint,
+    /// Number of distinct visits (in-cluster time runs split at > 30 min
+    /// gaps).
+    pub visits: usize,
+    /// Total dwell time across visits, seconds.
+    pub dwell_secs: i64,
+    /// Dwell seconds in the 22:00–06:00 band — the home-detection signal.
+    pub night_secs: i64,
+    /// Number of traces in the cluster.
+    pub traces: usize,
+}
+
+/// Extracts the POIs of one trail: preprocess, DJ-Cluster, summarize.
+/// Sorted by total dwell time, longest first.
+pub fn extract_pois(trail: &Trail, cfg: &DjConfig) -> Vec<Poi> {
+    let single = Dataset::from_trails(vec![trail.clone()]);
+    let pre = sequential_preprocess(&single, cfg);
+    let traces = pre.to_traces();
+    let clustering = sequential_djcluster(&traces, cfg);
+    let mut pois: Vec<Poi> = clustering
+        .clusters
+        .iter()
+        .map(|cluster| summarize_cluster(cluster))
+        .collect();
+    pois.sort_by_key(|p| std::cmp::Reverse(p.dwell_secs));
+    pois
+}
+
+/// POIs of every user in the dataset, computed in parallel.
+pub fn extract_pois_dataset(dataset: &Dataset, cfg: &DjConfig) -> BTreeMap<UserId, Vec<Poi>> {
+    let trails: Vec<&Trail> = dataset.trails().collect();
+    trails
+        .par_iter()
+        .map(|t| (t.user, extract_pois(t, cfg)))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
+}
+
+fn summarize_cluster(cluster: &[gepeto_model::MobilityTrace]) -> Poi {
+    let n = cluster.len().max(1);
+    let center = GeoPoint::new(
+        cluster.iter().map(|t| t.point.lat).sum::<f64>() / n as f64,
+        cluster.iter().map(|t| t.point.lon).sum::<f64>() / n as f64,
+    );
+    let mut times: Vec<i64> = cluster.iter().map(|t| t.timestamp.secs()).collect();
+    times.sort_unstable();
+    let mut visits = 0usize;
+    let mut dwell = 0i64;
+    let mut night = 0i64;
+    let mut run_start = None;
+    let mut prev = None;
+    for &t in &times {
+        match prev {
+            Some(p) if t - p <= 1_800 => {
+                dwell += t - p;
+                if is_night(p) || is_night(t) {
+                    night += t - p;
+                }
+            }
+            _ => {
+                visits += 1;
+                run_start = Some(t);
+            }
+        }
+        prev = Some(t);
+    }
+    let _ = run_start;
+    Poi {
+        center,
+        visits,
+        dwell_secs: dwell,
+        night_secs: night,
+        traces: cluster.len(),
+    }
+}
+
+fn is_night(unix_secs: i64) -> bool {
+    let hour = unix_secs.rem_euclid(86_400) / 3_600;
+    !(6..22).contains(&hour)
+}
+
+/// The home heuristic: the POI with the most night-time dwell (falls
+/// back to total dwell when no night data exists).
+pub fn infer_home(pois: &[Poi]) -> Option<&Poi> {
+    if pois.is_empty() {
+        return None;
+    }
+    let by_night = pois.iter().max_by_key(|p| p.night_secs)?;
+    if by_night.night_secs > 0 {
+        Some(by_night)
+    } else {
+        pois.iter().max_by_key(|p| p.dwell_secs)
+    }
+}
+
+/// The work heuristic: the heaviest-dwell day-time POI that is not home.
+pub fn infer_work<'a>(pois: &'a [Poi], home: &Poi) -> Option<&'a Poi> {
+    pois.iter()
+        .filter(|p| gepeto_geo::haversine_m(p.center, home.center) > 200.0)
+        .max_by_key(|p| p.dwell_secs - p.night_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gepeto_model::{MobilityTrace, Timestamp};
+
+    /// A trail dwelling at home every night and work every day.
+    fn commuter_trail() -> Trail {
+        let home = GeoPoint::new(39.90, 116.40);
+        let work = GeoPoint::new(39.95, 116.45);
+        let mut traces = Vec::new();
+        // 3 days: home 22:00–06:00, work 09:00–17:00 (sparse logging while
+        // dwelling + a fast commute that preprocessing throws away).
+        for day in 0..3i64 {
+            let d0 = day * 86_400;
+            for h in [22, 23, 0, 1, 5] {
+                let base = if h >= 22 { d0 } else { d0 + 86_400 };
+                for m in 0..6 {
+                    traces.push(MobilityTrace::new(
+                        7,
+                        jitter(home, m),
+                        Timestamp(base + h * 3_600 + m * 300),
+                    ));
+                }
+            }
+            for h in [9, 12, 16] {
+                for m in 0..6 {
+                    traces.push(MobilityTrace::new(
+                        7,
+                        jitter(work, m),
+                        Timestamp(d0 + h * 3_600 + m * 300),
+                    ));
+                }
+            }
+        }
+        Trail::new(7, traces)
+    }
+
+    fn jitter(p: GeoPoint, i: i64) -> GeoPoint {
+        GeoPoint::new(p.lat + (i % 3) as f64 * 3e-6, p.lon + (i % 2) as f64 * 3e-6)
+    }
+
+    fn cfg() -> DjConfig {
+        DjConfig {
+            radius_m: 80.0,
+            min_pts: 4,
+            speed_threshold_mps: 1.0,
+            dup_threshold_m: 0.2,
+        }
+    }
+
+    #[test]
+    fn finds_home_and_work() {
+        let trail = commuter_trail();
+        let pois = extract_pois(&trail, &cfg());
+        assert!(pois.len() >= 2, "found {} POIs", pois.len());
+        let home = infer_home(&pois).unwrap();
+        assert!(
+            gepeto_geo::haversine_m(home.center, GeoPoint::new(39.90, 116.40)) < 100.0,
+            "home at {:?}",
+            home.center
+        );
+        let work = infer_work(&pois, home).unwrap();
+        assert!(
+            gepeto_geo::haversine_m(work.center, GeoPoint::new(39.95, 116.45)) < 100.0,
+            "work at {:?}",
+            work.center
+        );
+    }
+
+    #[test]
+    fn night_dwell_dominates_home_detection() {
+        let pois = extract_pois(&commuter_trail(), &cfg());
+        let home = infer_home(&pois).unwrap();
+        assert!(home.night_secs > 0);
+        assert!(home.night_secs >= pois.iter().map(|p| p.night_secs).max().unwrap());
+    }
+
+    #[test]
+    fn visits_are_counted_per_day() {
+        let pois = extract_pois(&commuter_trail(), &cfg());
+        let home = infer_home(&pois).unwrap();
+        // 3 nights, each split at the 06:00→22:00 gap; visits ≥ 3.
+        assert!(home.visits >= 3, "{}", home.visits);
+    }
+
+    #[test]
+    fn empty_trail_has_no_pois() {
+        let pois = extract_pois(&Trail::empty(1), &cfg());
+        assert!(pois.is_empty());
+        assert!(infer_home(&pois).is_none());
+    }
+
+    #[test]
+    fn dataset_extraction_covers_all_users() {
+        let mut trail2 = commuter_trail();
+        trail2.user = 8;
+        let trail2 = Trail::new(
+            8,
+            trail2
+                .into_traces()
+                .into_iter()
+                .map(|mut t| {
+                    t.user = 8;
+                    t
+                })
+                .collect(),
+        );
+        let ds = Dataset::from_trails(vec![commuter_trail(), trail2]);
+        let per_user = extract_pois_dataset(&ds, &cfg());
+        assert_eq!(per_user.len(), 2);
+        assert!(per_user[&7].len() >= 2);
+        assert!(per_user[&8].len() >= 2);
+    }
+}

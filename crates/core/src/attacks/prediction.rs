@@ -1,0 +1,223 @@
+//! Next-place prediction with Mobility Markov Chains (§VIII: an MMC
+//! "can be used to predict his future locations"), evaluated the
+//! standard way: learn on the first part of a trail, predict the state
+//! transitions of the rest, score top-1 accuracy against a
+//! most-frequent-state baseline (cf. Song et al., *Limits of
+//! predictability in human mobility*, which the paper cites).
+
+use crate::attacks::mmc::{learn_mmc_with_pois, MobilityMarkovChain};
+use crate::attacks::poi::{extract_pois, Poi};
+use crate::djcluster::DjConfig;
+use gepeto_geo::haversine_m;
+use gepeto_model::Trail;
+
+/// Outcome of a next-place evaluation on one trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionReport {
+    /// Number of POI states in the learned chain.
+    pub states: usize,
+    /// Transitions in the held-out state sequence.
+    pub transitions: usize,
+    /// Transitions where the MMC's top prediction was correct.
+    pub hits: usize,
+    /// Transitions where always predicting the globally most frequent
+    /// state was correct (the baseline a useful model must beat).
+    pub baseline_hits: usize,
+}
+
+impl PredictionReport {
+    /// MMC top-1 accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.transitions as f64
+        }
+    }
+
+    /// Baseline (most-frequent-state) accuracy.
+    pub fn baseline_accuracy(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.baseline_hits as f64 / self.transitions as f64
+        }
+    }
+}
+
+/// Maps a trail onto a sequence of POI states (nearest POI within twice
+/// the clustering radius; consecutive repeats collapsed).
+pub fn state_sequence(trail: &Trail, pois: &[Poi], radius_m: f64) -> Vec<usize> {
+    let mut seq = Vec::new();
+    for t in trail.traces() {
+        let Some((best, d)) = pois
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, haversine_m(t.point, p.center)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        else {
+            continue;
+        };
+        if d <= radius_m * 2.0 && seq.last() != Some(&best) {
+            seq.push(best);
+        }
+    }
+    seq
+}
+
+/// Learns an MMC on the first `train_fraction` of `trail` (split by
+/// trace count) and scores next-place prediction on the remainder.
+/// Returns `None` when no chain can be learned or the test part yields
+/// no transitions.
+pub fn evaluate_next_place(
+    trail: &Trail,
+    cfg: &DjConfig,
+    train_fraction: f64,
+) -> Option<(MobilityMarkovChain, PredictionReport)> {
+    assert!(
+        (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+        "train_fraction must be in (0, 1)"
+    );
+    let traces = trail.traces();
+    let split = ((traces.len() as f64) * train_fraction) as usize;
+    if split < 2 || split >= traces.len() {
+        return None;
+    }
+    let train = Trail::new(trail.user, traces[..split].to_vec());
+    let test = Trail::new(trail.user, traces[split..].to_vec());
+
+    let pois = extract_pois(&train, cfg);
+    let mmc = learn_mmc_with_pois(&train, cfg, pois)?;
+    let seq = state_sequence(&test, &mmc.states, cfg.radius_m);
+    if seq.len() < 2 {
+        return None;
+    }
+    // Baseline: always predict the state with the highest stationary mass.
+    let baseline_state = mmc
+        .stationary
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)?;
+
+    let mut hits = 0;
+    let mut baseline_hits = 0;
+    for w in seq.windows(2) {
+        if mmc.predict_next(w[0]) == w[1] {
+            hits += 1;
+        }
+        if baseline_state == w[1] {
+            baseline_hits += 1;
+        }
+    }
+    let report = PredictionReport {
+        states: mmc.num_states(),
+        transitions: seq.len() - 1,
+        hits,
+        baseline_hits,
+    };
+    Some((mmc, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gepeto_model::{GeoPoint, MobilityTrace, Timestamp};
+
+    /// A strict commuter: home → work → home → work …
+    fn commuter(days: i64) -> Trail {
+        let home = GeoPoint::new(39.90, 116.40);
+        let work = GeoPoint::new(39.95, 116.45);
+        let mut traces = Vec::new();
+        for day in 0..days {
+            let d0 = day * 86_400;
+            for (spot, hours) in [(home, [0i64, 5, 22]), (work, [9, 12, 16])] {
+                for h in hours {
+                    for m in 0..8 {
+                        traces.push(MobilityTrace::new(
+                            1,
+                            GeoPoint::new(
+                                spot.lat + (m % 3) as f64 * 3e-6,
+                                spot.lon + (m % 2) as f64 * 3e-6,
+                            ),
+                            Timestamp(d0 + h * 3_600 + m * 240),
+                        ));
+                    }
+                }
+            }
+        }
+        Trail::new(1, traces)
+    }
+
+    fn cfg() -> DjConfig {
+        DjConfig {
+            radius_m: 80.0,
+            min_pts: 4,
+            speed_threshold_mps: 1.0,
+            dup_threshold_m: 0.2,
+        }
+    }
+
+    #[test]
+    fn commuter_is_highly_predictable() {
+        let trail = commuter(8);
+        let (mmc, report) = evaluate_next_place(&trail, &cfg(), 0.6).unwrap();
+        assert!(mmc.num_states() >= 2);
+        assert!(report.transitions >= 4);
+        assert!(
+            report.accuracy() > 0.8,
+            "commuting is near-deterministic: {report:?}"
+        );
+        // With two alternating states, the fixed baseline hits ~half.
+        assert!(report.accuracy() > report.baseline_accuracy());
+    }
+
+    #[test]
+    fn state_sequence_collapses_repeats() {
+        let trail = commuter(2);
+        let pois = extract_pois(&trail, &cfg());
+        let seq = state_sequence(&trail, &pois, cfg().radius_m);
+        for w in seq.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        assert!(seq.len() >= 4); // several alternations over 2 days
+    }
+
+    #[test]
+    fn too_short_trail_yields_none() {
+        let trail = Trail::new(
+            1,
+            vec![MobilityTrace::new(
+                1,
+                GeoPoint::new(39.9, 116.4),
+                Timestamp(0),
+            )],
+        );
+        assert!(evaluate_next_place(&trail, &cfg(), 0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn bad_fraction_rejected() {
+        let _ = evaluate_next_place(&commuter(3), &cfg(), 1.5);
+    }
+
+    #[test]
+    fn report_math() {
+        let r = PredictionReport {
+            states: 3,
+            transitions: 10,
+            hits: 7,
+            baseline_hits: 4,
+        };
+        assert!((r.accuracy() - 0.7).abs() < 1e-12);
+        assert!((r.baseline_accuracy() - 0.4).abs() < 1e-12);
+        let zero = PredictionReport {
+            states: 0,
+            transitions: 0,
+            hits: 0,
+            baseline_hits: 0,
+        };
+        assert_eq!(zero.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Semantic labeling of mobility (§II): "Learn the semantics of the
+//! mobility behavior of an individual … some mobility models such as
+//! [semantic trajectories] do not only represent the evolution of the
+//! movements of an individual over time but they also attach a semantic
+//! label to the visited places."
+//!
+//! POIs are labeled **Home / Work / Leisure** from their diurnal dwell
+//! profile, and a trail becomes a *semantic trajectory*: the sequence of
+//! labeled visits with their time intervals — precisely the "clearer
+//! understanding about the interests of an individual" the paper warns
+//! an adversary derives.
+
+use crate::attacks::poi::{extract_pois, Poi};
+use crate::djcluster::DjConfig;
+use gepeto_geo::haversine_m;
+use gepeto_model::{Timestamp, Trail};
+
+/// The semantic class of a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoiLabel {
+    /// Dominant night-time dwell.
+    Home,
+    /// Dominant working-hours dwell, away from home.
+    Work,
+    /// Everything else the individual visits repeatedly.
+    Leisure,
+}
+
+impl std::fmt::Display for PoiLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PoiLabel::Home => "home",
+            PoiLabel::Work => "work",
+            PoiLabel::Leisure => "leisure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Labels a POI list: the largest night dweller is Home, the largest
+/// day dweller ≥ 200 m from home is Work, the rest Leisure.
+pub fn label_pois(pois: &[Poi]) -> Vec<(Poi, PoiLabel)> {
+    if pois.is_empty() {
+        return Vec::new();
+    }
+    let home_idx = pois
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| (p.night_secs, p.dwell_secs))
+        .map(|(i, _)| i)
+        .unwrap();
+    let home_center = pois[home_idx].center;
+    let work_idx = pois
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| {
+            *i != home_idx && haversine_m(p.center, home_center) > 200.0
+        })
+        .max_by_key(|(_, p)| p.dwell_secs - p.night_secs)
+        .map(|(i, _)| i);
+    pois.iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let label = if i == home_idx {
+                PoiLabel::Home
+            } else if Some(i) == work_idx {
+                PoiLabel::Work
+            } else {
+                PoiLabel::Leisure
+            };
+            (p.clone(), label)
+        })
+        .collect()
+}
+
+/// One visit of a semantic trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticVisit {
+    /// Which labeled place.
+    pub label: PoiLabel,
+    /// Index into the labeled-POI list.
+    pub poi: usize,
+    /// Visit start.
+    pub start: Timestamp,
+    /// Visit duration in seconds.
+    pub duration_secs: i64,
+}
+
+/// A trail rewritten as labeled visits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SemanticTrajectory {
+    /// Visits in time order.
+    pub visits: Vec<SemanticVisit>,
+}
+
+impl SemanticTrajectory {
+    /// Total time attributed to `label`, seconds.
+    pub fn time_at(&self, label: PoiLabel) -> i64 {
+        self.visits
+            .iter()
+            .filter(|v| v.label == label)
+            .map(|v| v.duration_secs)
+            .sum()
+    }
+}
+
+/// Extracts the semantic trajectory of a trail: POIs via DJ-Cluster,
+/// labels via [`label_pois`], then a pass over the traces grouping
+/// consecutive same-POI presence (gaps > 30 min close a visit).
+pub fn semantic_trajectory(
+    trail: &Trail,
+    cfg: &DjConfig,
+) -> (Vec<(Poi, PoiLabel)>, SemanticTrajectory) {
+    let labeled = label_pois(&extract_pois(trail, cfg));
+    let mut trajectory = SemanticTrajectory::default();
+    if labeled.is_empty() {
+        return (labeled, trajectory);
+    }
+    let mut current: Option<(usize, Timestamp, Timestamp)> = None; // (poi, start, last)
+    for t in trail.traces() {
+        let nearest = labeled
+            .iter()
+            .enumerate()
+            .map(|(i, (p, _))| (i, haversine_m(t.point, p.center)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .filter(|(_, d)| *d <= cfg.radius_m * 2.0)
+            .map(|(i, _)| i);
+        match (nearest, &mut current) {
+            (Some(i), Some((poi, start, last)))
+                if *poi == i && t.timestamp.delta(*last) <= 1_800 =>
+            {
+                *last = t.timestamp;
+                let _ = start;
+            }
+            (Some(i), cur) => {
+                if let Some((poi, start, last)) = cur.take() {
+                    push_visit(&mut trajectory, &labeled, poi, start, last);
+                }
+                *cur = Some((i, t.timestamp, t.timestamp));
+            }
+            (None, cur) => {
+                if let Some((poi, start, last)) = cur.take() {
+                    push_visit(&mut trajectory, &labeled, poi, start, last);
+                }
+            }
+        }
+    }
+    if let Some((poi, start, last)) = current {
+        push_visit(&mut trajectory, &labeled, poi, start, last);
+    }
+    (labeled, trajectory)
+}
+
+fn push_visit(
+    trajectory: &mut SemanticTrajectory,
+    labeled: &[(Poi, PoiLabel)],
+    poi: usize,
+    start: Timestamp,
+    last: Timestamp,
+) {
+    trajectory.visits.push(SemanticVisit {
+        label: labeled[poi].1,
+        poi,
+        start,
+        duration_secs: last.delta(start),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gepeto_model::{GeoPoint, MobilityTrace};
+
+    fn commuter(days: i64) -> Trail {
+        let home = GeoPoint::new(39.90, 116.40);
+        let work = GeoPoint::new(39.95, 116.45);
+        let gym = GeoPoint::new(39.91, 116.38);
+        let mut traces = Vec::new();
+        for day in 0..days {
+            let d0 = day * 86_400;
+            for (spot, hours) in [
+                (home, vec![0i64, 5, 22, 23]),
+                (work, vec![9, 12, 16]),
+                (gym, vec![18]),
+            ] {
+                for h in hours {
+                    for m in 0..8 {
+                        traces.push(MobilityTrace::new(
+                            1,
+                            GeoPoint::new(
+                                spot.lat + (m % 3) as f64 * 3e-6,
+                                spot.lon + (m % 2) as f64 * 3e-6,
+                            ),
+                            Timestamp(d0 + h * 3_600 + m * 240),
+                        ));
+                    }
+                }
+            }
+        }
+        Trail::new(1, traces)
+    }
+
+    fn cfg() -> DjConfig {
+        DjConfig {
+            radius_m: 80.0,
+            min_pts: 4,
+            speed_threshold_mps: 1.0,
+            dup_threshold_m: 0.2,
+        }
+    }
+
+    #[test]
+    fn labels_home_work_leisure() {
+        let (labeled, _) = semantic_trajectory(&commuter(5), &cfg());
+        assert!(labeled.len() >= 3, "{}", labeled.len());
+        let homes: Vec<&(Poi, PoiLabel)> =
+            labeled.iter().filter(|(_, l)| *l == PoiLabel::Home).collect();
+        let works: Vec<&(Poi, PoiLabel)> =
+            labeled.iter().filter(|(_, l)| *l == PoiLabel::Work).collect();
+        assert_eq!(homes.len(), 1);
+        assert_eq!(works.len(), 1);
+        assert!(
+            haversine_m(homes[0].0.center, GeoPoint::new(39.90, 116.40)) < 100.0,
+            "home mislabeled at {:?}",
+            homes[0].0.center
+        );
+        assert!(
+            haversine_m(works[0].0.center, GeoPoint::new(39.95, 116.45)) < 100.0,
+            "work mislabeled at {:?}",
+            works[0].0.center
+        );
+        assert!(labeled.iter().any(|(_, l)| *l == PoiLabel::Leisure));
+    }
+
+    #[test]
+    fn trajectory_orders_visits_in_time() {
+        let (_, traj) = semantic_trajectory(&commuter(3), &cfg());
+        assert!(traj.visits.len() >= 6, "{}", traj.visits.len());
+        for w in traj.visits.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn home_time_dominates_for_a_commuter() {
+        let (_, traj) = semantic_trajectory(&commuter(5), &cfg());
+        let home = traj.time_at(PoiLabel::Home);
+        let work = traj.time_at(PoiLabel::Work);
+        let leisure = traj.time_at(PoiLabel::Leisure);
+        assert!(home > work, "home {home} vs work {work}");
+        assert!(work > leisure, "work {work} vs leisure {leisure}");
+    }
+
+    #[test]
+    fn empty_trail_yields_empty_semantics() {
+        let (labeled, traj) = semantic_trajectory(&Trail::empty(1), &cfg());
+        assert!(labeled.is_empty());
+        assert!(traj.visits.is_empty());
+        assert_eq!(traj.time_at(PoiLabel::Home), 0);
+    }
+
+    #[test]
+    fn label_display() {
+        assert_eq!(PoiLabel::Home.to_string(), "home");
+        assert_eq!(PoiLabel::Work.to_string(), "work");
+        assert_eq!(PoiLabel::Leisure.to_string(), "leisure");
+    }
+}

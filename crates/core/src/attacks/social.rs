@@ -1,0 +1,190 @@
+//! Discovering social relations (§II): "Discover social relations
+//! between individuals, by considering that two individuals that are in
+//! contact during a non-negligible amount of time share some kind of
+//! social link (false positive may happen)."
+//!
+//! Two users are *in contact* when they report positions within
+//! `radius_m` of each other within `time_slack_secs`. Contact seconds
+//! accumulate into an edge-weighted social graph; edges below
+//! `min_contact_secs` are dropped, which is the paper's own caveat about
+//! false positives (strangers crossing paths briefly).
+
+use gepeto_geo::{haversine_m, RTree};
+use gepeto_model::{Dataset, UserId};
+use std::collections::BTreeMap;
+
+/// Parameters of the co-location detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocialConfig {
+    /// Maximum distance between two traces to count as contact, meters.
+    pub radius_m: f64,
+    /// Maximum timestamp difference between the two traces, seconds.
+    pub time_slack_secs: i64,
+    /// Minimum accumulated contact time for an edge to be reported —
+    /// the "non-negligible amount of time" of §II.
+    pub min_contact_secs: i64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        Self {
+            radius_m: 25.0,
+            time_slack_secs: 60,
+            min_contact_secs: 600,
+        }
+    }
+}
+
+/// An undirected social edge with its accumulated contact time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocialEdge {
+    /// Lower user id of the pair.
+    pub a: UserId,
+    /// Higher user id of the pair.
+    pub b: UserId,
+    /// Accumulated co-location time, seconds.
+    pub contact_secs: i64,
+}
+
+/// The inferred social graph, edges sorted by contact time (strongest
+/// first).
+pub fn discover_social_links(dataset: &Dataset, cfg: &SocialConfig) -> Vec<SocialEdge> {
+    // Index every trace once; query each trace's spatial neighborhood and
+    // keep cross-user matches within the time slack.
+    let traces: Vec<_> = dataset.to_traces();
+    let items: Vec<(gepeto_model::GeoPoint, u64)> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.point, i as u64))
+        .collect();
+    let tree = RTree::bulk_load(items);
+
+    // Contact seconds are sampled per (pair, time bucket) so dense logging
+    // doesn't multi-count the same co-located minute.
+    let bucket = cfg.time_slack_secs.max(1);
+    let mut contact: BTreeMap<(UserId, UserId), BTreeMap<i64, ()>> = BTreeMap::new();
+    for (i, t) in traces.iter().enumerate() {
+        for e in tree.within_radius_m(t.point, cfg.radius_m) {
+            let j = e.payload as usize;
+            if j <= i {
+                continue; // each unordered pair once
+            }
+            let o = &traces[j];
+            if o.user == t.user {
+                continue;
+            }
+            if (o.timestamp.delta(t.timestamp)).abs() > cfg.time_slack_secs {
+                continue;
+            }
+            debug_assert!(haversine_m(t.point, o.point) <= cfg.radius_m);
+            let key = if t.user < o.user {
+                (t.user, o.user)
+            } else {
+                (o.user, t.user)
+            };
+            let slot = t.timestamp.secs().div_euclid(bucket);
+            contact.entry(key).or_default().insert(slot, ());
+        }
+    }
+    let mut edges: Vec<SocialEdge> = contact
+        .into_iter()
+        .map(|((a, b), slots)| SocialEdge {
+            a,
+            b,
+            contact_secs: slots.len() as i64 * bucket,
+        })
+        .filter(|e| e.contact_secs >= cfg.min_contact_secs)
+        .collect();
+    edges.sort_by_key(|e| std::cmp::Reverse(e.contact_secs));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gepeto_model::{GeoPoint, MobilityTrace, Timestamp, Trail};
+
+    /// Two users walking together for `secs` seconds, 10 m apart.
+    fn walking_together(u1: UserId, u2: UserId, secs: i64, t0: i64) -> Vec<Trail> {
+        let mk_trail = |user: UserId, off: f64| {
+            let traces: Vec<MobilityTrace> = (0..secs / 10)
+                .map(|i| {
+                    MobilityTrace::new(
+                        user,
+                        GeoPoint::new(
+                            39.9 + i as f64 * 1e-5,
+                            116.4 + off,
+                        ),
+                        Timestamp(t0 + i * 10),
+                    )
+                })
+                .collect();
+            Trail::new(user, traces)
+        };
+        vec![mk_trail(u1, 0.0), mk_trail(u2, 1e-4)] // ~8.5 m apart
+    }
+
+    /// A loner far away, same time window.
+    fn loner(user: UserId, t0: i64) -> Trail {
+        let traces: Vec<MobilityTrace> = (0..60)
+            .map(|i| {
+                MobilityTrace::new(user, GeoPoint::new(39.99, 116.49), Timestamp(t0 + i * 10))
+            })
+            .collect();
+        Trail::new(user, traces)
+    }
+
+    #[test]
+    fn detects_companions_and_ignores_loners() {
+        let mut trails = walking_together(1, 2, 1_800, 0);
+        trails.push(loner(3, 0));
+        let ds = Dataset::from_trails(trails);
+        let edges = discover_social_links(&ds, &SocialConfig::default());
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!((edges[0].a, edges[0].b), (1, 2));
+        assert!(edges[0].contact_secs >= 1_200, "{}", edges[0].contact_secs);
+    }
+
+    #[test]
+    fn brief_crossings_are_filtered_as_false_positives() {
+        // 2 minutes together < the 10-minute threshold.
+        let ds = Dataset::from_trails(walking_together(1, 2, 120, 0));
+        let edges = discover_social_links(&ds, &SocialConfig::default());
+        assert!(edges.is_empty(), "{edges:?}");
+        // …but show up if the curator lowers the threshold.
+        let loose = SocialConfig {
+            min_contact_secs: 60,
+            ..SocialConfig::default()
+        };
+        assert_eq!(discover_social_links(&ds, &loose).len(), 1);
+    }
+
+    #[test]
+    fn same_place_different_times_is_no_contact() {
+        // User 2 walks the same path 2 hours later.
+        let mut trails = walking_together(1, 99, 600, 0);
+        trails.truncate(1); // keep only user 1
+        let mut later = walking_together(2, 98, 600, 7_200);
+        later.truncate(1);
+        trails.extend(later);
+        let ds = Dataset::from_trails(trails);
+        let edges = discover_social_links(&ds, &SocialConfig::default());
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn edges_sorted_by_strength() {
+        let mut trails = walking_together(1, 2, 3_600, 0);
+        trails.extend(walking_together(3, 4, 1_200, 100_000));
+        let ds = Dataset::from_trails(trails);
+        let edges = discover_social_links(&ds, &SocialConfig::default());
+        assert_eq!(edges.len(), 2);
+        assert!(edges[0].contact_secs >= edges[1].contact_secs);
+        assert_eq!((edges[0].a, edges[0].b), (1, 2));
+    }
+
+    #[test]
+    fn empty_dataset_has_no_links() {
+        assert!(discover_social_links(&Dataset::new(), &SocialConfig::default()).is_empty());
+    }
+}

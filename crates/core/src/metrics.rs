@@ -1,0 +1,287 @@
+//! Privacy and utility metrics — the trade-off GEPETO exists to measure
+//! ("evaluate the resulting trade-off between privacy and utility",
+//! Abstract).
+//!
+//! Privacy is measured *operationally*: run an inference attack on the
+//! sanitized dataset and score how much it still recovers (POI
+//! recall/precision, home identification). Utility is measured as
+//! fidelity of the sanitized data to the original (spatial displacement,
+//! trace retention).
+
+use crate::attacks::poi::Poi;
+use gepeto_geo::haversine_m;
+use gepeto_model::{Dataset, GeoPoint};
+
+/// Fraction of reference POIs that the attack rediscovered within
+/// `tolerance_m` meters (privacy: lower after sanitization = better).
+pub fn poi_recall(reference: &[Poi], attacked: &[Poi], tolerance_m: f64) -> f64 {
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let found = reference
+        .iter()
+        .filter(|r| {
+            attacked
+                .iter()
+                .any(|a| haversine_m(r.center, a.center) <= tolerance_m)
+        })
+        .count();
+    found as f64 / reference.len() as f64
+}
+
+/// Fraction of attacked POIs that correspond to a real reference POI
+/// (an attack flooding the map with junk scores low).
+pub fn poi_precision(reference: &[Poi], attacked: &[Poi], tolerance_m: f64) -> f64 {
+    if attacked.is_empty() {
+        return 0.0;
+    }
+    let real = attacked
+        .iter()
+        .filter(|a| {
+            reference
+                .iter()
+                .any(|r| haversine_m(r.center, a.center) <= tolerance_m)
+        })
+        .count();
+    real as f64 / attacked.len() as f64
+}
+
+/// Harmonic mean of [`poi_recall`] and [`poi_precision`].
+pub fn poi_f1(reference: &[Poi], attacked: &[Poi], tolerance_m: f64) -> f64 {
+    let r = poi_recall(reference, attacked, tolerance_m);
+    let p = poi_precision(reference, attacked, tolerance_m);
+    if r + p == 0.0 {
+        0.0
+    } else {
+        2.0 * r * p / (r + p)
+    }
+}
+
+/// Whether an inferred home lands within `tolerance_m` of the true home.
+pub fn home_identified(true_home: GeoPoint, inferred: Option<GeoPoint>, tolerance_m: f64) -> bool {
+    inferred.is_some_and(|h| haversine_m(true_home, h) <= tolerance_m)
+}
+
+/// Utility: mean spatial displacement in meters between the original and
+/// sanitized datasets, matching traces by `(user, timestamp)`. Traces
+/// the sanitizer suppressed are skipped (see [`retention`]).
+pub fn mean_displacement_m(original: &Dataset, sanitized: &Dataset) -> f64 {
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for trail in original.trails() {
+        let Some(san) = sanitized.trail(trail.user) else {
+            continue;
+        };
+        let mut it = san.traces().iter().peekable();
+        for t in trail.traces() {
+            while let Some(s) = it.peek() {
+                if s.timestamp < t.timestamp {
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some(s) = it.peek() {
+                if s.timestamp == t.timestamp {
+                    total += haversine_m(t.point, s.point);
+                    n += 1;
+                }
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Utility: fraction of traces the sanitizer kept.
+pub fn retention(original: &Dataset, sanitized: &Dataset) -> f64 {
+    if original.num_traces() == 0 {
+        return 1.0;
+    }
+    sanitized.num_traces() as f64 / original.num_traces() as f64
+}
+
+/// Quasi-identifier analysis (§II: "A combination of locations can play
+/// the role of a quasi-identifier if they characterize almost uniquely
+/// an individual", after Golle & Partridge): the fraction of users whose
+/// (home, work) pair — coarsened to `cell_m` grid cells — is unique in
+/// the dataset. A uniqueness near 1.0 means pseudonymization offers no
+/// protection at that granularity.
+pub fn home_work_uniqueness(
+    dataset: &Dataset,
+    cfg: &crate::djcluster::DjConfig,
+    cell_m: f64,
+) -> f64 {
+    use crate::attacks::linking::fingerprints;
+    use std::collections::HashMap;
+    type Cell = (i64, i64);
+    let prints = fingerprints(dataset, cfg);
+    if prints.is_empty() {
+        return 0.0;
+    }
+    let cell = |p: GeoPoint| {
+        let s = cell_m / 111_194.93;
+        ((p.lat / s).floor() as i64, (p.lon / s).floor() as i64)
+    };
+    let mut counts: HashMap<(Cell, Cell), usize> = HashMap::new();
+    for fp in prints.values() {
+        *counts.entry((cell(fp.home), cell(fp.work))).or_insert(0) += 1;
+    }
+    let unique = prints
+        .values()
+        .filter(|fp| counts[&(cell(fp.home), cell(fp.work))] == 1)
+        .count();
+    unique as f64 / prints.len() as f64
+}
+
+/// One row of a privacy/utility trade-off report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Sanitizer description.
+    pub mechanism: String,
+    /// Attack POI recall after sanitization (privacy leakage).
+    pub poi_recall: f64,
+    /// Attack POI precision after sanitization.
+    pub poi_precision: f64,
+    /// Mean displacement in meters (utility loss).
+    pub mean_displacement_m: f64,
+    /// Trace retention (utility).
+    pub retention: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gepeto_model::{MobilityTrace, Timestamp};
+
+    fn poi(lat: f64, lon: f64) -> Poi {
+        Poi {
+            center: GeoPoint::new(lat, lon),
+            visits: 1,
+            dwell_secs: 100,
+            night_secs: 0,
+            traces: 10,
+        }
+    }
+
+    #[test]
+    fn recall_and_precision_basics() {
+        let reference = vec![poi(39.90, 116.40), poi(39.95, 116.45)];
+        let attacked = vec![poi(39.9001, 116.4001), poi(38.0, 115.0)];
+        let r = poi_recall(&reference, &attacked, 100.0);
+        let p = poi_precision(&reference, &attacked, 100.0);
+        assert!((r - 0.5).abs() < 1e-9); // one of two found
+        assert!((p - 0.5).abs() < 1e-9); // one of two is junk
+        let f1 = poi_f1(&reference, &attacked, 100.0);
+        assert!((f1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_attack_scores_one() {
+        let reference = vec![poi(39.90, 116.40)];
+        assert_eq!(poi_recall(&reference, &reference, 10.0), 1.0);
+        assert_eq!(poi_precision(&reference, &reference, 10.0), 1.0);
+        assert_eq!(poi_f1(&reference, &reference, 10.0), 1.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let some = vec![poi(39.9, 116.4)];
+        assert_eq!(poi_recall(&[], &some, 10.0), 0.0);
+        assert_eq!(poi_precision(&some, &[], 10.0), 0.0);
+        assert_eq!(poi_f1(&[], &[], 10.0), 0.0);
+    }
+
+    #[test]
+    fn home_identification_tolerance() {
+        let home = GeoPoint::new(39.9, 116.4);
+        assert!(home_identified(
+            home,
+            Some(GeoPoint::new(39.9002, 116.4)),
+            100.0
+        ));
+        assert!(!home_identified(
+            home,
+            Some(GeoPoint::new(39.93, 116.4)),
+            100.0
+        ));
+        assert!(!home_identified(home, None, 100.0));
+    }
+
+    #[test]
+    fn displacement_matches_known_shift() {
+        let mk = |lat: f64, s| MobilityTrace::new(1, GeoPoint::new(lat, 116.4), Timestamp(s));
+        let original = Dataset::from_traces(vec![mk(39.9, 0), mk(39.9, 60)]);
+        // Shift every point ~111 m north.
+        let shifted = Dataset::from_traces(vec![mk(39.901, 0), mk(39.901, 60)]);
+        let d = mean_displacement_m(&original, &shifted);
+        assert!((d - 111.2).abs() < 2.0, "{d}");
+    }
+
+    #[test]
+    fn displacement_skips_suppressed_traces() {
+        let mk = |lat: f64, s| MobilityTrace::new(1, GeoPoint::new(lat, 116.4), Timestamp(s));
+        let original = Dataset::from_traces(vec![mk(39.9, 0), mk(39.9, 60)]);
+        let pruned = Dataset::from_traces(vec![mk(39.9, 0)]);
+        assert_eq!(mean_displacement_m(&original, &pruned), 0.0);
+        assert!((retention(&original, &pruned) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retention_of_empty_original_is_one() {
+        assert_eq!(retention(&Dataset::new(), &Dataset::new()), 1.0);
+    }
+
+    #[test]
+    fn home_work_uniqueness_separated_vs_colocated() {
+        use gepeto_model::Trail;
+        let cfg = crate::djcluster::DjConfig {
+            radius_m: 80.0,
+            min_pts: 4,
+            speed_threshold_mps: 1.0,
+            dup_threshold_m: 0.2,
+        };
+        let commuter = |user: u32, home: GeoPoint, work: GeoPoint| {
+            let mut traces = Vec::new();
+            for day in 0..3i64 {
+                let d0 = day * 86_400;
+                for (spot, hours) in [(home, [0i64, 5, 22]), (work, [9, 12, 16])] {
+                    for h in hours {
+                        for m in 0..8 {
+                            traces.push(MobilityTrace::new(
+                                user,
+                                GeoPoint::new(
+                                    spot.lat + (m % 3) as f64 * 3e-6,
+                                    spot.lon + (m % 2) as f64 * 3e-6,
+                                ),
+                                Timestamp(d0 + h * 3_600 + m * 240),
+                            ));
+                        }
+                    }
+                }
+            }
+            Trail::new(user, traces)
+        };
+        // Distinct home/work pairs km apart: everyone unique.
+        let spread = Dataset::from_trails((1..=4).map(|u| {
+            let lat = 39.6 + f64::from(u) * 0.1;
+            commuter(
+                u,
+                GeoPoint::new(lat, 116.4),
+                GeoPoint::new(lat + 0.05, 116.5),
+            )
+        }));
+        assert_eq!(home_work_uniqueness(&spread, &cfg, 500.0), 1.0);
+        // Everyone sharing home+work building: nobody unique.
+        let home = GeoPoint::new(39.9, 116.4);
+        let work = GeoPoint::new(39.95, 116.45);
+        let colocated =
+            Dataset::from_trails((1..=4).map(|u| commuter(u, home, work)));
+        assert_eq!(home_work_uniqueness(&colocated, &cfg, 500.0), 0.0);
+        // Empty dataset.
+        assert_eq!(home_work_uniqueness(&Dataset::new(), &cfg, 500.0), 0.0);
+    }
+}

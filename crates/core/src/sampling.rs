@@ -1,0 +1,354 @@
+//! Down-sampling (§V, Figures 2–3, Table I): a temporal aggregation that
+//! merges all mobility traces inside a time window into a single
+//! *representative* trace.
+//!
+//! Two techniques, as in the paper: the representative is the trace
+//! closest to the **upper limit** of the window (Figure 2), or the trace
+//! closest to the **middle** of the window (Figure 3).
+//!
+//! The MapReduce version is a map-only job ("the reduce phase is not
+//! necessary as sampling represents a computationally cheap operation").
+//! Each mapper streams its chunk, tracking the best candidate of the
+//! current `(user, window)` and emitting it when the window closes. A
+//! chunk boundary that splits a window can therefore yield one extra
+//! representative for that window — the same artifact the paper's
+//! Hadoop implementation has; [`sequential_sample`] is the exact
+//! single-machine reference.
+//!
+//! ```
+//! use gepeto::sampling::{sequential_sample, SamplingConfig, Technique};
+//! use gepeto_model::{Dataset, GeoPoint, MobilityTrace, Timestamp};
+//!
+//! // Three traces in one 60 s window, one in the next.
+//! let ds = Dataset::from_traces([5i64, 29, 58, 61].map(|s| {
+//!     MobilityTrace::new(1, GeoPoint::new(39.9, 116.4), Timestamp(s))
+//! }));
+//! let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+//! let sampled = sequential_sample(&ds, &cfg);
+//! let secs: Vec<i64> = sampled.iter_traces().map(|t| t.timestamp.secs()).collect();
+//! assert_eq!(secs, vec![58, 61]); // Figure 2: latest trace per window
+//! ```
+
+use crate::dfs_io::read_dataset;
+use gepeto_mapred::{
+    Cluster, Dfs, Emitter, JobError, JobStats, MapOnlyJob, Mapper,
+};
+use gepeto_model::{Dataset, MobilityTrace, Trail, UserId};
+use serde::{Deserialize, Serialize};
+
+/// How the representative trace of a window is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// The trace closest to the upper limit of the time window (Fig. 2).
+    ClosestToUpperLimit,
+    /// The trace closest to the middle of the time window (Fig. 3).
+    ClosestToMiddle,
+}
+
+impl Technique {
+    /// Distance (in seconds, lower is better) from a trace at `ts` to the
+    /// reference instant of window `[w0, w0 + window)`.
+    fn badness(self, ts: i64, w0: i64, window: i64) -> i64 {
+        match self {
+            // The reference is the (exclusive) upper limit; every trace is
+            // below it, so the latest trace wins.
+            Technique::ClosestToUpperLimit => w0 + window - ts,
+            Technique::ClosestToMiddle => (ts - (w0 + window / 2)).abs(),
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "upper" | "upper-limit" | "end" => Some(Self::ClosestToUpperLimit),
+            "middle" | "center" => Some(Self::ClosestToMiddle),
+            _ => None,
+        }
+    }
+}
+
+/// Sampling parameters: the window size (the paper evaluates 60 s, 300 s
+/// and 600 s) and the representative-selection technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Window length in seconds (> 0).
+    pub window_secs: i64,
+    /// Representative selection.
+    pub technique: Technique,
+}
+
+impl SamplingConfig {
+    /// A config; panics if `window_secs` is not positive.
+    pub fn new(window_secs: i64, technique: Technique) -> Self {
+        assert!(window_secs > 0, "sampling window must be positive");
+        Self {
+            window_secs,
+            technique,
+        }
+    }
+}
+
+/// Exact sequential reference: samples each user's trail independently
+/// with global (absolute-time) windows.
+pub fn sequential_sample(dataset: &Dataset, cfg: &SamplingConfig) -> Dataset {
+    let trails = dataset.trails().map(|t| sample_trail(t, cfg));
+    Dataset::from_trails(trails.collect::<Vec<_>>())
+}
+
+/// Samples a single trail.
+pub fn sample_trail(trail: &Trail, cfg: &SamplingConfig) -> Trail {
+    let mut out = Vec::new();
+    let mut state: Option<WindowState> = None;
+    for t in trail.traces() {
+        push_trace(&mut state, t, cfg, &mut |tr| out.push(tr));
+    }
+    if let Some(s) = state {
+        out.push(s.best);
+    }
+    Trail::new(trail.user, out)
+}
+
+/// The streaming state: current `(user, window)` plus its best candidate.
+#[derive(Clone, Debug)]
+struct WindowState {
+    user: UserId,
+    window: i64,
+    best: MobilityTrace,
+    best_badness: i64,
+}
+
+/// Core streaming step shared by the sequential and MapReduce paths.
+fn push_trace(
+    state: &mut Option<WindowState>,
+    t: &MobilityTrace,
+    cfg: &SamplingConfig,
+    emit: &mut impl FnMut(MobilityTrace),
+) {
+    let window = t.timestamp.secs().div_euclid(cfg.window_secs);
+    let badness = cfg
+        .technique
+        .badness(t.timestamp.secs(), window * cfg.window_secs, cfg.window_secs);
+    match state {
+        Some(s) if s.user == t.user && s.window == window => {
+            if badness < s.best_badness {
+                s.best = *t;
+                s.best_badness = badness;
+            }
+        }
+        Some(s) => {
+            emit(s.best);
+            *state = Some(WindowState {
+                user: t.user,
+                window,
+                best: *t,
+                best_badness: badness,
+            });
+        }
+        None => {
+            *state = Some(WindowState {
+                user: t.user,
+                window,
+                best: *t,
+                best_badness: badness,
+            });
+        }
+    }
+}
+
+/// The paper's sampling mapper: a pure filter with per-window state.
+#[derive(Clone)]
+pub struct SamplingMapper {
+    cfg: SamplingConfig,
+    state: Option<WindowState>,
+}
+
+impl SamplingMapper {
+    /// A mapper applying `cfg`.
+    pub fn new(cfg: SamplingConfig) -> Self {
+        Self { cfg, state: None }
+    }
+}
+
+impl Mapper<MobilityTrace> for SamplingMapper {
+    type KOut = UserId;
+    type VOut = MobilityTrace;
+
+    fn map(&mut self, _offset: u64, value: &MobilityTrace, out: &mut Emitter<UserId, MobilityTrace>) {
+        let cfg = self.cfg;
+        push_trace(&mut self.state, value, &cfg, &mut |t| out.emit(t.user, t));
+    }
+
+    fn cleanup(&mut self, out: &mut Emitter<UserId, MobilityTrace>) {
+        if let Some(s) = self.state.take() {
+            out.emit(s.best.user, s.best);
+        }
+    }
+}
+
+/// Runs sampling as a map-only MapReduce job over `input` and returns the
+/// sampled dataset plus the job statistics.
+pub fn mapreduce_sample(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &SamplingConfig,
+) -> Result<(Dataset, JobStats), JobError> {
+    let result = MapOnlyJob::new("sampling", cluster, dfs, input, SamplingMapper::new(*cfg))
+        .pair_bytes(|_, t| t.approx_plt_bytes())
+        .run()?;
+    let dataset = Dataset::from_traces(result.output.into_iter().map(|(_, t)| t));
+    Ok((dataset, result.stats))
+}
+
+/// Convenience: MapReduce-samples `input` and writes the result back to
+/// the DFS under `output` (the paper's jobs read and write HDFS folders).
+pub fn mapreduce_sample_to_dfs(
+    cluster: &Cluster,
+    dfs: &mut Dfs<MobilityTrace>,
+    input: &str,
+    output: &str,
+    cfg: &SamplingConfig,
+) -> Result<JobStats, JobError> {
+    let (dataset, stats) = mapreduce_sample(cluster, dfs, input, cfg)?;
+    dfs.put_with_sizer(output, dataset.to_traces(), |t| t.approx_plt_bytes())?;
+    let _ = read_dataset(dfs, output); // sanity: output is readable
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs_io::{put_dataset, trace_dfs};
+    use gepeto_model::{GeoPoint, Timestamp};
+
+    fn tr(user: UserId, secs: i64) -> MobilityTrace {
+        MobilityTrace::new(
+            user,
+            GeoPoint::new(40.0 + secs as f64 * 1e-6, 116.0),
+            Timestamp(secs),
+        )
+    }
+
+    #[test]
+    fn upper_limit_takes_latest_trace_per_window() {
+        // Window 60: [0,60) holds 5, 20, 59 → 59; [60,120) holds 61 → 61.
+        let ds = Dataset::from_traces(vec![tr(1, 5), tr(1, 20), tr(1, 59), tr(1, 61)]);
+        let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+        let sampled = sequential_sample(&ds, &cfg);
+        let secs: Vec<i64> = sampled
+            .iter_traces()
+            .map(|t| t.timestamp.secs())
+            .collect();
+        assert_eq!(secs, vec![59, 61]);
+    }
+
+    #[test]
+    fn middle_takes_trace_closest_to_center() {
+        // Window 60, center 30: traces at 5, 29, 55 → 29 wins.
+        let ds = Dataset::from_traces(vec![tr(1, 5), tr(1, 29), tr(1, 55)]);
+        let cfg = SamplingConfig::new(60, Technique::ClosestToMiddle);
+        let sampled = sequential_sample(&ds, &cfg);
+        let secs: Vec<i64> = sampled
+            .iter_traces()
+            .map(|t| t.timestamp.secs())
+            .collect();
+        assert_eq!(secs, vec![29]);
+    }
+
+    #[test]
+    fn techniques_differ_on_the_same_input() {
+        let ds = Dataset::from_traces(vec![tr(1, 5), tr(1, 29), tr(1, 55)]);
+        let up = sequential_sample(&ds, &SamplingConfig::new(60, Technique::ClosestToUpperLimit));
+        let mid = sequential_sample(&ds, &SamplingConfig::new(60, Technique::ClosestToMiddle));
+        assert_eq!(up.iter_traces().next().unwrap().timestamp.secs(), 55);
+        assert_eq!(mid.iter_traces().next().unwrap().timestamp.secs(), 29);
+    }
+
+    #[test]
+    fn windows_are_per_user() {
+        let ds = Dataset::from_traces(vec![tr(1, 5), tr(1, 15), tr(2, 10), tr(2, 25)]);
+        let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+        let sampled = sequential_sample(&ds, &cfg);
+        assert_eq!(sampled.num_traces(), 2); // one window each
+        assert_eq!(sampled.num_users(), 2);
+    }
+
+    #[test]
+    fn negative_timestamps_window_correctly() {
+        // div_euclid keeps windows aligned across zero.
+        let ds = Dataset::from_traces(vec![tr(1, -61), tr(1, -59), tr(1, -1), tr(1, 1)]);
+        let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+        let sampled = sequential_sample(&ds, &cfg);
+        let secs: Vec<i64> = sampled
+            .iter_traces()
+            .map(|t| t.timestamp.secs())
+            .collect();
+        // Windows: [-120,-60) → -61; [-60,0) → -1; [0,60) → 1.
+        assert_eq!(secs, vec![-61, -1, 1]);
+    }
+
+    #[test]
+    fn empty_dataset_samples_to_empty() {
+        let cfg = SamplingConfig::new(60, Technique::ClosestToMiddle);
+        assert!(sequential_sample(&Dataset::new(), &cfg).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = SamplingConfig::new(0, Technique::ClosestToMiddle);
+    }
+
+    #[test]
+    fn mapreduce_equals_sequential_single_chunk() {
+        let traces: Vec<MobilityTrace> = (0..500).map(|i| tr(1 + (i % 3) as u32, i * 7)).collect();
+        let ds = Dataset::from_traces(traces);
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = trace_dfs(&cluster, 1 << 20); // everything in one chunk
+        put_dataset(&mut dfs, "d", &ds).unwrap();
+        let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+        let (mr, stats) = mapreduce_sample(&cluster, &dfs, "d", &cfg).unwrap();
+        assert_eq!(stats.map_tasks, 1);
+        assert_eq!(mr, sequential_sample(&ds, &cfg));
+    }
+
+    #[test]
+    fn mapreduce_boundary_artifact_is_bounded() {
+        let traces: Vec<MobilityTrace> = (0..2_000).map(|i| tr(1, i * 3)).collect();
+        let ds = Dataset::from_traces(traces);
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = trace_dfs(&cluster, 4_096); // ~64 traces per chunk
+        put_dataset(&mut dfs, "d", &ds).unwrap();
+        let chunks = dfs.num_blocks("d").unwrap();
+        assert!(chunks > 10);
+        let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+        let (mr, _) = mapreduce_sample(&cluster, &dfs, "d", &cfg).unwrap();
+        let seq = sequential_sample(&ds, &cfg);
+        // Each chunk boundary can split at most one window in two.
+        let diff = mr.num_traces() as i64 - seq.num_traces() as i64;
+        assert!(
+            (0..(chunks as i64)).contains(&diff),
+            "diff {diff}, chunks {chunks}"
+        );
+    }
+
+    #[test]
+    fn to_dfs_variant_writes_output_file() {
+        let ds = Dataset::from_traces((0..100).map(|i| tr(1, i * 10)).collect::<Vec<_>>());
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = trace_dfs(&cluster, 1 << 16);
+        put_dataset(&mut dfs, "in", &ds).unwrap();
+        let cfg = SamplingConfig::new(60, Technique::ClosestToMiddle);
+        let stats = mapreduce_sample_to_dfs(&cluster, &mut dfs, "in", "out", &cfg).unwrap();
+        assert!(dfs.exists("out"));
+        assert!(stats.map_tasks >= 1);
+        assert!(dfs.num_records("out").unwrap() < 100);
+    }
+
+    #[test]
+    fn technique_parse() {
+        assert_eq!(Technique::parse("upper"), Some(Technique::ClosestToUpperLimit));
+        assert_eq!(Technique::parse("MIDDLE"), Some(Technique::ClosestToMiddle));
+        assert_eq!(Technique::parse("mean"), None);
+    }
+}

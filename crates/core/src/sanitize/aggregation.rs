@@ -1,0 +1,99 @@
+//! Spatial aggregation: "aggregate several mobility traces into a single
+//! spatial coordinate" (§VIII) — every coordinate snaps to the center of
+//! its grid cell, so all traces inside a cell become spatially
+//! indistinguishable.
+
+use super::Sanitizer;
+use gepeto_model::{Dataset, GeoPoint, MobilityTrace};
+
+const M_PER_DEG: f64 = 111_194.93;
+
+/// Snap-to-grid aggregation with a configurable cell size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialAggregation {
+    /// Grid cell side, meters.
+    pub cell_m: f64,
+}
+
+impl SpatialAggregation {
+    /// The cell center the point snaps to.
+    ///
+    /// Longitude cells are sized at the *snapped* latitude (the cell
+    /// band), not the point's raw latitude — otherwise every distinct
+    /// latitude would define its own longitude grid and snapping would
+    /// not be idempotent.
+    pub fn snap(&self, p: GeoPoint) -> GeoPoint {
+        let cell_lat = self.cell_m / M_PER_DEG;
+        let lat = (p.lat / cell_lat).floor() * cell_lat + cell_lat / 2.0;
+        let cell_lon = self.cell_m / (M_PER_DEG * lat.to_radians().cos().max(1e-9));
+        let lon = (p.lon / cell_lon).floor() * cell_lon + cell_lon / 2.0;
+        GeoPoint::new(lat, lon)
+    }
+}
+
+impl Sanitizer for SpatialAggregation {
+    fn name(&self) -> String {
+        format!("spatial-aggregation(cell={} m)", self.cell_m)
+    }
+
+    fn apply(&self, dataset: &Dataset) -> Dataset {
+        Dataset::from_traces(dataset.iter_traces().map(|t| MobilityTrace {
+            point: self.snap(t.point),
+            ..*t
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::two_user_dataset;
+    use super::*;
+    use gepeto_geo::haversine_m;
+
+    #[test]
+    fn snapping_is_idempotent() {
+        let agg = SpatialAggregation { cell_m: 250.0 };
+        let p = GeoPoint::new(39.9042, 116.4074);
+        let s1 = agg.snap(p);
+        let s2 = agg.snap(s1);
+        assert!(haversine_m(s1, s2) < 1e-6);
+    }
+
+    #[test]
+    fn displacement_bounded_by_cell_diagonal() {
+        let agg = SpatialAggregation { cell_m: 250.0 };
+        let ds = two_user_dataset();
+        let out = agg.apply(&ds);
+        for (a, b) in ds.iter_traces().zip(out.iter_traces()) {
+            // Half-diagonal of a 250 m cell ≈ 177 m.
+            assert!(haversine_m(a.point, b.point) <= 180.0);
+        }
+    }
+
+    #[test]
+    fn nearby_points_collapse_to_one_coordinate() {
+        let agg = SpatialAggregation { cell_m: 500.0 };
+        let a = agg.snap(GeoPoint::new(39.9001, 116.4001));
+        let b = agg.snap(GeoPoint::new(39.9003, 116.4004)); // ~40 m away
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distant_points_stay_distinct() {
+        let agg = SpatialAggregation { cell_m: 100.0 };
+        let a = agg.snap(GeoPoint::new(39.90, 116.40));
+        let b = agg.snap(GeoPoint::new(39.95, 116.45));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counts_and_times_preserved() {
+        let ds = two_user_dataset();
+        let out = SpatialAggregation { cell_m: 300.0 }.apply(&ds);
+        assert_eq!(out.num_traces(), ds.num_traces());
+        for (a, b) in ds.iter_traces().zip(out.iter_traces()) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.user, b.user);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Spatial cloaking (§VIII; Gruteser & Grunwald): coordinates are
+//! coarsened to grid cells, and a trace is released only when its cell
+//! is shared by at least `k` distinct users over the dataset's lifetime —
+//! the k-anonymity condition.
+
+use super::aggregation::SpatialAggregation;
+use super::Sanitizer;
+use gepeto_model::{Dataset, MobilityTrace};
+use std::collections::{HashMap, HashSet};
+
+/// k-anonymous grid cloaking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialCloaking {
+    /// Cloaking cell side, meters.
+    pub cell_m: f64,
+    /// Minimum number of distinct users that must share a cell for its
+    /// traces to be released.
+    pub k: usize,
+}
+
+impl Sanitizer for SpatialCloaking {
+    fn name(&self) -> String {
+        format!("spatial-cloaking(cell={} m, k={})", self.cell_m, self.k)
+    }
+
+    fn apply(&self, dataset: &Dataset) -> Dataset {
+        let agg = SpatialAggregation { cell_m: self.cell_m };
+        // Pass 1: distinct users per cell.
+        let mut users_per_cell: HashMap<(i64, i64), HashSet<u32>> = HashMap::new();
+        for t in dataset.iter_traces() {
+            let c = agg.snap(t.point);
+            users_per_cell
+                .entry(cell_key(c))
+                .or_default()
+                .insert(t.user);
+        }
+        // Pass 2: release cloaked traces of popular cells only.
+        Dataset::from_traces(dataset.iter_traces().filter_map(|t| {
+            let snapped = agg.snap(t.point);
+            (users_per_cell[&cell_key(snapped)].len() >= self.k).then_some(MobilityTrace {
+                point: snapped,
+                ..*t
+            })
+        }))
+    }
+}
+
+fn cell_key(p: gepeto_model::GeoPoint) -> (i64, i64) {
+    // Snapped centers are exact; quantize to avoid float-key fragility.
+    ((p.lat * 1e7).round() as i64, (p.lon * 1e7).round() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::two_user_dataset;
+    use super::*;
+    use gepeto_model::{GeoPoint, Timestamp};
+
+    #[test]
+    fn k1_keeps_everything_cloaked() {
+        let ds = two_user_dataset();
+        let out = SpatialCloaking {
+            cell_m: 200.0,
+            k: 1,
+        }
+        .apply(&ds);
+        assert_eq!(out.num_traces(), ds.num_traces());
+        // …but coordinates are coarsened: few distinct positions remain.
+        let distinct: HashSet<(i64, i64)> = out
+            .iter_traces()
+            .map(|t| cell_key(t.point))
+            .collect();
+        assert!(distinct.len() <= 4, "{}", distinct.len());
+    }
+
+    #[test]
+    fn lone_users_cells_are_suppressed() {
+        // Users 1 and 2 dwell ~7 km apart: with k=2 nobody shares a cell,
+        // so everything is suppressed.
+        let ds = two_user_dataset();
+        let out = SpatialCloaking {
+            cell_m: 200.0,
+            k: 2,
+        }
+        .apply(&ds);
+        assert_eq!(out.num_traces(), 0);
+    }
+
+    #[test]
+    fn shared_cells_survive_k2() {
+        // Two users at the same spot + one loner elsewhere.
+        let mut traces = Vec::new();
+        for u in [1u32, 2] {
+            for i in 0..10i64 {
+                traces.push(MobilityTrace::new(
+                    u,
+                    GeoPoint::new(39.900, 116.400),
+                    Timestamp(i * 60),
+                ));
+            }
+        }
+        for i in 0..10i64 {
+            traces.push(MobilityTrace::new(
+                3,
+                GeoPoint::new(39.99, 116.49),
+                Timestamp(i * 60),
+            ));
+        }
+        let ds = Dataset::from_traces(traces);
+        let out = SpatialCloaking {
+            cell_m: 200.0,
+            k: 2,
+        }
+        .apply(&ds);
+        assert_eq!(out.num_traces(), 20); // the loner's 10 are gone
+        assert!(out.trail(3).is_none());
+    }
+
+    #[test]
+    fn timestamps_survive_cloaking() {
+        let ds = two_user_dataset();
+        let out = SpatialCloaking {
+            cell_m: 300.0,
+            k: 1,
+        }
+        .apply(&ds);
+        let a: Vec<i64> = ds.iter_traces().map(|t| t.timestamp.secs()).collect();
+        let b: Vec<i64> = out.iter_traces().map(|t| t.timestamp.secs()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Sanitization **as MapReduce jobs** — §VIII: "We also want to design
+//! MapReduced versions of geo-sanitization mechanisms such as
+//! geographical masks that modify the spatial coordinate of a mobility
+//! trace by adding some random noise, or aggregate several mobility
+//! traces into a single spatial coordinate."
+//!
+//! Per-trace mechanisms (noise masks, spatial aggregation, temporal
+//! cloaking) are pure functions of a single record, so they MapReduce as
+//! **map-only** jobs — the cheapest possible shape, like the paper's
+//! sampling. Dataset-global mechanisms (k-anonymous cloaking, mix zones)
+//! need cross-record state and stay on the [`super::Sanitizer`] path.
+
+use super::aggregation::SpatialAggregation;
+use super::noise::{GaussianMask, UniformMask};
+use super::temporal::TemporalCloaking;
+use gepeto_mapred::{Cluster, Dfs, Emitter, JobError, JobStats, MapOnlyJob, Mapper};
+use gepeto_model::{Dataset, MobilityTrace, UserId};
+
+/// The per-trace mechanisms that run as map-only jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerTraceMechanism {
+    /// Gaussian geographical mask.
+    Gaussian(GaussianMask),
+    /// Uniform-disc geographical mask.
+    Uniform(UniformMask),
+    /// Snap-to-grid spatial aggregation.
+    Aggregate(SpatialAggregation),
+    /// Timestamp coarsening.
+    Temporal(TemporalCloaking),
+}
+
+impl PerTraceMechanism {
+    /// Applies the mechanism to one trace. Deterministic: noise masks key
+    /// their RNG on the trace itself, so the result is independent of
+    /// chunking and task order.
+    pub fn apply_trace(&self, index: u64, t: &MobilityTrace) -> MobilityTrace {
+        match self {
+            // The mask sanitizers are documented deterministic per
+            // (seed, trace); reuse their dataset paths on a singleton to
+            // avoid duplicating the displacement math.
+            PerTraceMechanism::Gaussian(m) => single(&super::Sanitizer::apply(
+                m,
+                &Dataset::from_traces([*t]),
+            ), index),
+            PerTraceMechanism::Uniform(m) => single(&super::Sanitizer::apply(
+                m,
+                &Dataset::from_traces([*t]),
+            ), index),
+            PerTraceMechanism::Aggregate(a) => MobilityTrace {
+                point: a.snap(t.point),
+                ..*t
+            },
+            PerTraceMechanism::Temporal(c) => MobilityTrace {
+                timestamp: c.cloak(t.timestamp),
+                ..*t
+            },
+        }
+    }
+
+    /// Human-readable name (mirrors [`super::Sanitizer::name`]).
+    pub fn name(&self) -> String {
+        match self {
+            PerTraceMechanism::Gaussian(m) => super::Sanitizer::name(m),
+            PerTraceMechanism::Uniform(m) => super::Sanitizer::name(m),
+            PerTraceMechanism::Aggregate(a) => super::Sanitizer::name(a),
+            PerTraceMechanism::Temporal(c) => super::Sanitizer::name(c),
+        }
+    }
+}
+
+fn single(ds: &Dataset, _index: u64) -> MobilityTrace {
+    *ds.iter_traces().next().expect("singleton dataset")
+}
+
+/// The map-only sanitization mapper.
+#[derive(Clone)]
+pub struct SanitizeMapper {
+    mechanism: PerTraceMechanism,
+}
+
+impl Mapper<MobilityTrace> for SanitizeMapper {
+    type KOut = UserId;
+    type VOut = MobilityTrace;
+
+    fn map(&mut self, offset: u64, value: &MobilityTrace, out: &mut Emitter<UserId, MobilityTrace>) {
+        let sanitized = self.mechanism.apply_trace(offset, value);
+        out.emit(sanitized.user, sanitized);
+    }
+}
+
+/// Applies a per-trace mechanism to `input` as a map-only MapReduce job,
+/// returning the sanitized dataset and job statistics.
+pub fn mapreduce_sanitize(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    mechanism: PerTraceMechanism,
+) -> Result<(Dataset, JobStats), JobError> {
+    let result = MapOnlyJob::new(
+        "geo-sanitize",
+        cluster,
+        dfs,
+        input,
+        SanitizeMapper { mechanism },
+    )
+    .pair_bytes(|_, t| t.approx_plt_bytes())
+    .run()?;
+    Ok((
+        Dataset::from_traces(result.output.into_iter().map(|(_, t)| t)),
+        result.stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Sanitizer;
+    use super::*;
+    use crate::dfs_io::{put_dataset, trace_dfs};
+    use gepeto_model::{GeoPoint, Timestamp};
+
+    fn dataset() -> Dataset {
+        Dataset::from_traces((0..200i64).map(|i| {
+            MobilityTrace::new(
+                (i % 3) as u32,
+                GeoPoint::new(39.9 + (i as f64) * 1e-5, 116.4),
+                Timestamp(i * 30),
+            )
+        }))
+    }
+
+    fn run(mechanism: PerTraceMechanism, chunk: usize) -> (Dataset, Dataset) {
+        let ds = dataset();
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = trace_dfs(&cluster, chunk);
+        put_dataset(&mut dfs, "d", &ds).unwrap();
+        let (out, stats) = mapreduce_sanitize(&cluster, &dfs, "d", mechanism).unwrap();
+        assert_eq!(stats.reduce_tasks, 0, "map-only like the paper's sampling");
+        (ds, out)
+    }
+
+    #[test]
+    fn mapreduce_aggregation_equals_sequential() {
+        let agg = SpatialAggregation { cell_m: 300.0 };
+        let (ds, out) = run(PerTraceMechanism::Aggregate(agg), 2_048);
+        assert_eq!(out, agg.apply(&ds));
+    }
+
+    #[test]
+    fn mapreduce_temporal_equals_sequential() {
+        let c = TemporalCloaking { window_secs: 300 };
+        let (ds, out) = run(PerTraceMechanism::Temporal(c), 2_048);
+        assert_eq!(out, c.apply(&ds));
+    }
+
+    #[test]
+    fn mapreduce_gaussian_equals_sequential_and_is_chunk_invariant() {
+        let m = GaussianMask {
+            sigma_m: 80.0,
+            seed: 5,
+        };
+        let (ds, out_small) = run(PerTraceMechanism::Gaussian(m), 1_024);
+        let (_, out_big) = run(PerTraceMechanism::Gaussian(m), 1 << 20);
+        // Chunking must not change the noise (per-trace keyed RNG)…
+        assert_eq!(out_small, out_big);
+        // …and the map-only job is bit-identical to the sequential
+        // sanitizer.
+        assert_eq!(out_small, m.apply(&ds));
+    }
+
+    #[test]
+    fn mapreduce_uniform_respects_radius() {
+        let m = UniformMask {
+            radius_m: 120.0,
+            seed: 9,
+        };
+        let (ds, out) = run(PerTraceMechanism::Uniform(m), 2_048);
+        for (a, b) in ds.iter_traces().zip(out.iter_traces()) {
+            assert!(gepeto_geo::haversine_m(a.point, b.point) <= 121.0);
+            assert_eq!(a.timestamp, b.timestamp);
+        }
+    }
+
+    #[test]
+    fn mechanism_names_forward() {
+        assert!(PerTraceMechanism::Aggregate(SpatialAggregation { cell_m: 10.0 })
+            .name()
+            .contains("aggregation"));
+        assert!(
+            PerTraceMechanism::Temporal(TemporalCloaking { window_secs: 60 })
+                .name()
+                .contains("temporal")
+        );
+    }
+}

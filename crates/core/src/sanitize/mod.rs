@@ -1,0 +1,55 @@
+//! Geo-sanitization mechanisms (§VIII): "geographical masks that modify
+//! the spatial coordinate of a mobility trace by adding some random
+//! noise, or aggregate several mobility traces into a single spatial
+//! coordinate … more sophisticated geo-sanitization methods … such as
+//! spatial cloaking techniques and mix zones."
+//!
+//! All sanitizers implement [`Sanitizer`]: a pure, deterministic
+//! `Dataset → Dataset` transformation, so the privacy/utility loop of
+//! [`crate::metrics`] can treat them uniformly. Down-sampling
+//! ([`crate::sampling`]) doubles as a temporal sanitizer.
+
+pub mod aggregation;
+pub mod cloaking;
+pub mod mapreduce;
+pub mod mixzone;
+pub mod noise;
+pub mod temporal;
+
+pub use aggregation::SpatialAggregation;
+pub use cloaking::SpatialCloaking;
+pub use mapreduce::{mapreduce_sanitize, PerTraceMechanism};
+pub use mixzone::{MixZone, MixZones};
+pub use noise::{GaussianMask, UniformMask};
+pub use temporal::TemporalCloaking;
+
+use gepeto_model::Dataset;
+
+/// A sanitization mechanism: a deterministic dataset transformation.
+pub trait Sanitizer {
+    /// Human-readable mechanism name for reports.
+    fn name(&self) -> String;
+
+    /// Applies the mechanism.
+    fn apply(&self, dataset: &Dataset) -> Dataset;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use gepeto_model::{Dataset, GeoPoint, MobilityTrace, Timestamp};
+
+    /// A two-user dataset dwelling around fixed spots.
+    pub fn two_user_dataset() -> Dataset {
+        let mut traces = Vec::new();
+        for (u, lat, lon) in [(1u32, 39.90, 116.40), (2, 39.95, 116.50)] {
+            for i in 0..50i64 {
+                traces.push(MobilityTrace::new(
+                    u,
+                    GeoPoint::new(lat + (i % 5) as f64 * 1e-5, lon + (i % 3) as f64 * 1e-5),
+                    Timestamp(i * 60),
+                ));
+            }
+        }
+        Dataset::from_traces(traces)
+    }
+}

@@ -1,0 +1,183 @@
+//! Geographical masks: perturb each trace's coordinate with random noise
+//! while keeping identifiers and timestamps intact.
+
+use super::Sanitizer;
+use gepeto_mapred::hash::fnv_hash;
+use gepeto_model::{Dataset, GeoPoint, MobilityTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const M_PER_DEG: f64 = 111_194.93;
+
+fn displaced(p: GeoPoint, north_m: f64, east_m: f64) -> GeoPoint {
+    GeoPoint::new(
+        (p.lat + north_m / M_PER_DEG).clamp(-90.0, 90.0),
+        p.lon + east_m / (M_PER_DEG * p.lat.to_radians().cos().max(1e-9)),
+    )
+}
+
+/// Per-trace RNG keyed by (seed, user, timestamp): deterministic and
+/// independent of dataset iteration order *and* chunking, so the
+/// map-only MapReduce sanitizer ([`super::mapreduce`]) produces exactly
+/// the same noise as this sequential path. Two traces of one user at the
+/// same second would share their displacement — harmless, as they are
+/// duplicates the preprocessing phase removes anyway.
+fn trace_rng(seed: u64, t: &MobilityTrace) -> StdRng {
+    StdRng::seed_from_u64(fnv_hash(&(seed, t.user, t.timestamp.secs())))
+}
+
+/// Gaussian geographical mask: i.i.d. `N(0, σ²)` displacement per axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianMask {
+    /// Standard deviation of the displacement per axis, meters.
+    pub sigma_m: f64,
+    /// Seed of the deterministic noise stream.
+    pub seed: u64,
+}
+
+impl Sanitizer for GaussianMask {
+    fn name(&self) -> String {
+        format!("gaussian-mask(sigma={} m)", self.sigma_m)
+    }
+
+    fn apply(&self, dataset: &Dataset) -> Dataset {
+        Dataset::from_traces(dataset.iter_traces().map(|t| {
+            let mut rng = trace_rng(self.seed, t);
+            let n = gepeto_geolife::rng::normal(&mut rng, 0.0, self.sigma_m);
+            let e = gepeto_geolife::rng::normal(&mut rng, 0.0, self.sigma_m);
+            MobilityTrace {
+                point: displaced(t.point, n, e),
+                ..*t
+            }
+        }))
+    }
+}
+
+/// Uniform-disc geographical mask: displacement uniform on a disc of the
+/// given radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformMask {
+    /// Radius of the displacement disc, meters.
+    pub radius_m: f64,
+    /// Seed of the deterministic noise stream.
+    pub seed: u64,
+}
+
+impl Sanitizer for UniformMask {
+    fn name(&self) -> String {
+        format!("uniform-mask(r={} m)", self.radius_m)
+    }
+
+    fn apply(&self, dataset: &Dataset) -> Dataset {
+        Dataset::from_traces(dataset.iter_traces().map(|t| {
+            let mut rng = trace_rng(self.seed, t);
+            // Uniform on the disc: r = R√u, θ uniform.
+            let r = self.radius_m * rng.random::<f64>().sqrt();
+            let theta = rng.random::<f64>() * std::f64::consts::TAU;
+            MobilityTrace {
+                point: displaced(t.point, r * theta.sin(), r * theta.cos()),
+                ..*t
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::two_user_dataset;
+    use super::*;
+    use gepeto_geo::haversine_m;
+
+    #[test]
+    fn gaussian_mask_preserves_structure() {
+        let ds = two_user_dataset();
+        let masked = GaussianMask {
+            sigma_m: 50.0,
+            seed: 1,
+        }
+        .apply(&ds);
+        assert_eq!(masked.num_traces(), ds.num_traces());
+        assert_eq!(masked.num_users(), ds.num_users());
+        // Timestamps untouched.
+        for (a, b) in ds.iter_traces().zip(masked.iter_traces()) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.user, b.user);
+        }
+    }
+
+    #[test]
+    fn gaussian_mask_moves_points_by_about_sigma() {
+        let ds = two_user_dataset();
+        let masked = GaussianMask {
+            sigma_m: 100.0,
+            seed: 2,
+        }
+        .apply(&ds);
+        let displacements: Vec<f64> = ds
+            .iter_traces()
+            .zip(masked.iter_traces())
+            .map(|(a, b)| haversine_m(a.point, b.point))
+            .collect();
+        let mean = displacements.iter().sum::<f64>() / displacements.len() as f64;
+        // Mean of a 2-D Gaussian's norm is σ√(π/2) ≈ 1.25 σ.
+        assert!((80.0..180.0).contains(&mean), "mean displacement {mean}");
+        assert!(displacements.iter().any(|&d| d > 1.0));
+    }
+
+    #[test]
+    fn uniform_mask_bounded_by_radius() {
+        let ds = two_user_dataset();
+        let masked = UniformMask {
+            radius_m: 200.0,
+            seed: 3,
+        }
+        .apply(&ds);
+        for (a, b) in ds.iter_traces().zip(masked.iter_traces()) {
+            assert!(haversine_m(a.point, b.point) <= 201.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = two_user_dataset();
+        let m = GaussianMask {
+            sigma_m: 30.0,
+            seed: 9,
+        };
+        assert_eq!(m.apply(&ds), m.apply(&ds));
+        let other = GaussianMask {
+            sigma_m: 30.0,
+            seed: 10,
+        };
+        assert_ne!(m.apply(&ds), other.apply(&ds));
+    }
+
+    #[test]
+    fn zero_noise_is_identity_shaped() {
+        let ds = two_user_dataset();
+        let masked = GaussianMask {
+            sigma_m: 0.0,
+            seed: 1,
+        }
+        .apply(&ds);
+        for (a, b) in ds.iter_traces().zip(masked.iter_traces()) {
+            assert!(haversine_m(a.point, b.point) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert!(GaussianMask {
+            sigma_m: 50.0,
+            seed: 0
+        }
+        .name()
+        .contains("gaussian"));
+        assert!(UniformMask {
+            radius_m: 10.0,
+            seed: 0
+        }
+        .name()
+        .contains("uniform"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Temporal cloaking: the time-axis counterpart of spatial cloaking
+//! (Gruteser & Grunwald cloak both dimensions; §II notes a timestamp
+//! "can be the exact date and time or just an interval, e.g. between 2PM
+//! and 6PM"). Timestamps are coarsened to the center of their window, so
+//! an adversary can no longer order events within a window or correlate
+//! them with external fine-grained observations.
+
+use super::Sanitizer;
+use gepeto_model::{Dataset, MobilityTrace, Timestamp};
+
+/// Rounds every timestamp to the center of its `window_secs` window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalCloaking {
+    /// Cloaking window length in seconds (> 0).
+    pub window_secs: i64,
+}
+
+impl TemporalCloaking {
+    /// The cloaked form of `ts`.
+    pub fn cloak(&self, ts: Timestamp) -> Timestamp {
+        assert!(self.window_secs > 0, "window must be positive");
+        let w = ts.secs().div_euclid(self.window_secs);
+        Timestamp(w * self.window_secs + self.window_secs / 2)
+    }
+}
+
+impl Sanitizer for TemporalCloaking {
+    fn name(&self) -> String {
+        format!("temporal-cloaking(window={} s)", self.window_secs)
+    }
+
+    fn apply(&self, dataset: &Dataset) -> Dataset {
+        Dataset::from_traces(dataset.iter_traces().map(|t| MobilityTrace {
+            timestamp: self.cloak(t.timestamp),
+            ..*t
+        }))
+    }
+}
+
+/// Utility metric companion: mean absolute timestamp displacement in
+/// seconds between two datasets with identical trace counts per user.
+pub fn mean_time_displacement_s(original: &Dataset, cloaked: &Dataset) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for trail in original.trails() {
+        let Some(c) = cloaked.trail(trail.user) else {
+            continue;
+        };
+        for (a, b) in trail.traces().iter().zip(c.traces()) {
+            total += (a.timestamp.delta(b.timestamp)).abs() as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::two_user_dataset;
+    use super::*;
+    use gepeto_model::GeoPoint;
+
+    #[test]
+    fn cloaks_to_window_centers() {
+        let c = TemporalCloaking { window_secs: 600 };
+        assert_eq!(c.cloak(Timestamp(0)), Timestamp(300));
+        assert_eq!(c.cloak(Timestamp(599)), Timestamp(300));
+        assert_eq!(c.cloak(Timestamp(600)), Timestamp(900));
+        assert_eq!(c.cloak(Timestamp(-1)), Timestamp(-300)); // window [-600,0)
+    }
+
+    #[test]
+    fn cloaking_is_idempotent() {
+        let c = TemporalCloaking { window_secs: 300 };
+        for s in [-1000i64, -1, 0, 1, 149, 150, 299, 12_345] {
+            let once = c.cloak(Timestamp(s));
+            assert_eq!(c.cloak(once), once, "s={s}");
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_half_window() {
+        let ds = two_user_dataset();
+        let c = TemporalCloaking { window_secs: 240 };
+        let out = c.apply(&ds);
+        assert_eq!(out.num_traces(), ds.num_traces());
+        for (a, b) in ds.iter_traces().zip(out.iter_traces()) {
+            assert!((a.timestamp.delta(b.timestamp)).abs() <= 120);
+            assert_eq!(a.point, b.point); // space untouched
+        }
+        let mean = mean_time_displacement_s(&ds, &out);
+        assert!(mean <= 120.0);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn events_within_a_window_become_indistinguishable() {
+        use gepeto_model::MobilityTrace;
+        let mk = |s| MobilityTrace::new(1, GeoPoint::new(39.9, 116.4), Timestamp(s));
+        let ds = Dataset::from_traces(vec![mk(10), mk(20), mk(50)]);
+        let out = TemporalCloaking { window_secs: 60 }.apply(&ds);
+        let times: Vec<i64> = out.iter_traces().map(|t| t.timestamp.secs()).collect();
+        assert!(times.iter().all(|&t| t == 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = TemporalCloaking { window_secs: 0 }.cloak(Timestamp(5));
+    }
+}

@@ -1,0 +1,405 @@
+//! Visualization — the first verb in GEPETO's own description: a toolkit
+//! "that can be used to **visualize**, sanitize, perform inference
+//! attacks and measure the utility of a particular geolocated dataset".
+//!
+//! Three renderers, all dependency-free:
+//!
+//! - [`SvgMap`] — an SVG scatter map of traces, clusters and POIs, with
+//!   one color per user/cluster; open the file in any browser.
+//! - [`geojson`] — GeoJSON export (traces as points, trails as
+//!   LineStrings, POIs as annotated points) for GIS tools.
+//! - [`ascii_density`] — a terminal density map, handy when comparing a
+//!   dataset before and after sanitization at a glance.
+
+use gepeto_geo::Rect;
+use gepeto_model::{Dataset, GeoPoint, MobilityTrace};
+use std::fmt::Write as _;
+
+/// The qualitative palette used for per-user / per-cluster coloring.
+pub const PALETTE: [&str; 10] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+    "#9c6b4e", "#9498a0",
+];
+
+/// An SVG scatter-map builder over a fixed geographic viewport.
+#[derive(Debug, Clone)]
+pub struct SvgMap {
+    bounds: Rect,
+    width: u32,
+    height: u32,
+    layers: Vec<String>,
+}
+
+impl SvgMap {
+    /// A map over `bounds` (padded 5%), `width` pixels wide; the height
+    /// follows the aspect ratio of the bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or `width == 0`.
+    pub fn new(bounds: Rect, width: u32) -> Self {
+        assert!(!bounds.is_empty(), "cannot map an empty region");
+        assert!(width > 0);
+        let pad_lat = (bounds.max_lat - bounds.min_lat).max(1e-6) * 0.05;
+        let pad_lon = (bounds.max_lon - bounds.min_lon).max(1e-6) * 0.05;
+        let bounds = Rect::new(
+            bounds.min_lat - pad_lat,
+            bounds.min_lon - pad_lon,
+            bounds.max_lat + pad_lat,
+            bounds.max_lon + pad_lon,
+        );
+        let aspect = (bounds.max_lat - bounds.min_lat) / (bounds.max_lon - bounds.min_lon);
+        let height = ((width as f64) * aspect).ceil().max(1.0) as u32;
+        Self {
+            bounds,
+            width,
+            height,
+            layers: Vec::new(),
+        }
+    }
+
+    /// A map sized to a dataset's bounding box.
+    pub fn for_dataset(dataset: &Dataset, width: u32) -> Self {
+        Self::new(
+            Rect::of_points(dataset.iter_traces().map(|t| t.point)),
+            width,
+        )
+    }
+
+    fn xy(&self, p: GeoPoint) -> (f64, f64) {
+        let x = (p.lon - self.bounds.min_lon) / (self.bounds.max_lon - self.bounds.min_lon)
+            * f64::from(self.width);
+        let y = (self.bounds.max_lat - p.lat) / (self.bounds.max_lat - self.bounds.min_lat)
+            * f64::from(self.height);
+        (x, y)
+    }
+
+    /// Adds every trace of the dataset, colored per user.
+    pub fn add_dataset(&mut self, dataset: &Dataset, radius_px: f64) -> &mut Self {
+        let mut layer = String::new();
+        for (i, trail) in dataset.trails().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            for t in trail.traces() {
+                let (x, y) = self.xy(t.point);
+                let _ = write!(
+                    layer,
+                    r#"<circle cx="{x:.1}" cy="{y:.1}" r="{radius_px}" fill="{color}" fill-opacity="0.45"/>"#
+                );
+            }
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds trails as polylines (one color per user).
+    pub fn add_trails(&mut self, dataset: &Dataset) -> &mut Self {
+        let mut layer = String::new();
+        for (i, trail) in dataset.trails().enumerate() {
+            if trail.len() < 2 {
+                continue;
+            }
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = trail
+                .traces()
+                .iter()
+                .map(|t| {
+                    let (x, y) = self.xy(t.point);
+                    format!("{x:.1},{y:.1}")
+                })
+                .collect();
+            let _ = write!(
+                layer,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1" stroke-opacity="0.6"/>"#,
+                pts.join(" ")
+            );
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds clusters: each cluster's traces in its own color, plus a
+    /// centroid cross.
+    pub fn add_clusters(&mut self, clusters: &[Vec<MobilityTrace>]) -> &mut Self {
+        let mut layer = String::new();
+        for (i, cluster) in clusters.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut clat = 0.0;
+            let mut clon = 0.0;
+            for t in cluster {
+                let (x, y) = self.xy(t.point);
+                let _ = write!(
+                    layer,
+                    r#"<circle cx="{x:.1}" cy="{y:.1}" r="2" fill="{color}" fill-opacity="0.7"/>"#
+                );
+                clat += t.point.lat;
+                clon += t.point.lon;
+            }
+            if !cluster.is_empty() {
+                let n = cluster.len() as f64;
+                let (x, y) = self.xy(GeoPoint::new(clat / n, clon / n));
+                let _ = write!(
+                    layer,
+                    r#"<path d="M{:.1} {y:.1} H{:.1} M{x:.1} {:.1} V{:.1}" stroke="{color}" stroke-width="2" fill="none"/>"#,
+                    x - 6.0,
+                    x + 6.0,
+                    y - 6.0,
+                    y + 6.0,
+                    x = x,
+                    y = y
+                );
+            }
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds labeled markers (e.g. inferred POIs: home, work).
+    pub fn add_markers(&mut self, markers: &[(GeoPoint, String)]) -> &mut Self {
+        let mut layer = String::new();
+        for (p, label) in markers {
+            let (x, y) = self.xy(*p);
+            let _ = write!(
+                layer,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="none" stroke="#d62728" stroke-width="2"/><text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif" fill="#d62728">{label}</text>"##,
+                x + 8.0,
+                y + 4.0
+            );
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// Renders the final SVG document.
+    pub fn render(&self) -> String {
+        let mut svg = format!(
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}"><rect width="{w}" height="{h}" fill="#ffffff"/>"##,
+            w = self.width,
+            h = self.height
+        );
+        for layer in &self.layers {
+            svg.push_str(layer);
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// GeoJSON export.
+pub mod geojson {
+    use super::*;
+
+    fn feature_point(p: GeoPoint, props: &str) -> String {
+        format!(
+            r#"{{"type":"Feature","geometry":{{"type":"Point","coordinates":[{:.6},{:.6}]}},"properties":{{{props}}}}}"#,
+            p.lon, p.lat
+        )
+    }
+
+    /// Traces as a FeatureCollection of points with `user` and `time`
+    /// properties.
+    pub fn dataset_points(dataset: &Dataset) -> String {
+        let features: Vec<String> = dataset
+            .iter_traces()
+            .map(|t| {
+                feature_point(
+                    t.point,
+                    &format!(r#""user":{},"time":{}"#, t.user, t.timestamp.secs()),
+                )
+            })
+            .collect();
+        wrap(features)
+    }
+
+    /// Trails as LineString features.
+    pub fn dataset_trails(dataset: &Dataset) -> String {
+        let features: Vec<String> = dataset
+            .trails()
+            .filter(|t| t.len() >= 2)
+            .map(|trail| {
+                let coords: Vec<String> = trail
+                    .traces()
+                    .iter()
+                    .map(|t| format!("[{:.6},{:.6}]", t.point.lon, t.point.lat))
+                    .collect();
+                format!(
+                    r#"{{"type":"Feature","geometry":{{"type":"LineString","coordinates":[{}]}},"properties":{{"user":{}}}}}"#,
+                    coords.join(","),
+                    trail.user
+                )
+            })
+            .collect();
+        wrap(features)
+    }
+
+    /// POIs as annotated points.
+    pub fn pois(pois: &[(u32, crate::attacks::Poi)]) -> String {
+        let features: Vec<String> = pois
+            .iter()
+            .map(|(user, p)| {
+                feature_point(
+                    p.center,
+                    &format!(
+                        r#""user":{user},"visits":{},"dwell_secs":{}"#,
+                        p.visits, p.dwell_secs
+                    ),
+                )
+            })
+            .collect();
+        wrap(features)
+    }
+
+    fn wrap(features: Vec<String>) -> String {
+        format!(
+            r#"{{"type":"FeatureCollection","features":[{}]}}"#,
+            features.join(",")
+        )
+    }
+}
+
+/// A terminal density map: `rows × cols` cells shaded ` .:-=+*#%@` by
+/// trace count (log scale).
+pub fn ascii_density(dataset: &Dataset, rows: usize, cols: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    if dataset.is_empty() || rows == 0 || cols == 0 {
+        return String::new();
+    }
+    let bounds = Rect::of_points(dataset.iter_traces().map(|t| t.point));
+    let mut grid = vec![0usize; rows * cols];
+    let span_lat = (bounds.max_lat - bounds.min_lat).max(1e-12);
+    let span_lon = (bounds.max_lon - bounds.min_lon).max(1e-12);
+    for t in dataset.iter_traces() {
+        let r = ((bounds.max_lat - t.point.lat) / span_lat * rows as f64) as usize;
+        let c = ((t.point.lon - bounds.min_lon) / span_lon * cols as f64) as usize;
+        grid[r.min(rows - 1) * cols + c.min(cols - 1)] += 1;
+    }
+    let max = *grid.iter().max().unwrap() as f64;
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = grid[r * cols + c] as f64;
+            let shade = if v == 0.0 {
+                0
+            } else {
+                let level = (v.ln_1p() / max.ln_1p() * (SHADES.len() - 1) as f64).ceil();
+                (level as usize).clamp(1, SHADES.len() - 1)
+            };
+            out.push(SHADES[shade] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gepeto_model::Timestamp;
+
+    fn sample() -> Dataset {
+        let mut traces = Vec::new();
+        for u in 0..3u32 {
+            for i in 0..20i64 {
+                traces.push(MobilityTrace::new(
+                    u,
+                    GeoPoint::new(
+                        39.9 + f64::from(u) * 0.01 + i as f64 * 1e-4,
+                        116.4 + i as f64 * 1e-4,
+                    ),
+                    Timestamp(i * 60),
+                ));
+            }
+        }
+        Dataset::from_traces(traces)
+    }
+
+    #[test]
+    fn svg_renders_well_formed_document() {
+        let ds = sample();
+        let mut map = SvgMap::for_dataset(&ds, 400);
+        map.add_dataset(&ds, 2.0)
+            .add_trails(&ds)
+            .add_markers(&[(GeoPoint::new(39.9, 116.4), "home".into())]);
+        let svg = map.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 60 + 1); // traces + marker
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains("home"));
+    }
+
+    #[test]
+    fn svg_coordinates_inside_viewport() {
+        let ds = sample();
+        let map = SvgMap::for_dataset(&ds, 300);
+        for t in ds.iter_traces() {
+            let (x, y) = map.xy(t.point);
+            assert!((0.0..=300.0).contains(&x), "{x}");
+            assert!(y >= 0.0 && y <= f64::from(map.height), "{y}");
+        }
+    }
+
+    #[test]
+    fn svg_clusters_draw_centroid_crosses() {
+        let ds = sample();
+        let clusters: Vec<Vec<MobilityTrace>> = ds
+            .trails()
+            .map(|t| t.traces().to_vec())
+            .collect();
+        let mut map = SvgMap::for_dataset(&ds, 400);
+        map.add_clusters(&clusters);
+        let svg = map.render();
+        assert_eq!(svg.matches("<path").count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn svg_rejects_empty_bounds() {
+        let _ = SvgMap::new(Rect::empty(), 100);
+    }
+
+    #[test]
+    fn geojson_is_parseable_shape() {
+        let ds = sample();
+        let points = geojson::dataset_points(&ds);
+        assert!(points.starts_with(r#"{"type":"FeatureCollection""#));
+        assert_eq!(points.matches(r#""type":"Point""#).count(), 60);
+        let trails = geojson::dataset_trails(&ds);
+        assert_eq!(trails.matches("LineString").count(), 3);
+        // Balanced braces/brackets (cheap well-formedness check).
+        for doc in [&points, &trails] {
+            assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+            assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        }
+    }
+
+    #[test]
+    fn geojson_pois_carry_properties() {
+        let poi = crate::attacks::Poi {
+            center: GeoPoint::new(39.9, 116.4),
+            visits: 5,
+            dwell_secs: 3600,
+            night_secs: 1800,
+            traces: 42,
+        };
+        let doc = geojson::pois(&[(7, poi)]);
+        assert!(doc.contains(r#""user":7"#));
+        assert!(doc.contains(r#""visits":5"#));
+        assert!(doc.contains(r#""dwell_secs":3600"#));
+    }
+
+    #[test]
+    fn ascii_density_shape_and_shading() {
+        let ds = sample();
+        let art = ascii_density(&ds, 10, 30);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 30));
+        // At least one inked cell and at least one blank cell.
+        assert!(art.contains('@') || art.contains('#') || art.contains('*') || art.contains('.'));
+        assert!(art.contains(' '));
+    }
+
+    #[test]
+    fn ascii_density_empty_dataset() {
+        assert!(ascii_density(&Dataset::new(), 5, 5).is_empty());
+    }
+}

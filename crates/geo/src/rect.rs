@@ -1,0 +1,236 @@
+//! Axis-aligned bounding rectangles in (lat, lon) degree space — the
+//! *minimum bounding rectangles* (MBRs) of the paper's R-tree section.
+
+use gepeto_model::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A closed axis-aligned rectangle `[min_lat, max_lat] × [min_lon, max_lon]`.
+///
+/// An *empty* rectangle (as returned by [`Rect::empty`]) has inverted
+/// bounds and behaves as the identity for [`Rect::union`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Southern edge (inclusive), degrees latitude.
+    pub min_lat: f64,
+    /// Western edge (inclusive), degrees longitude.
+    pub min_lon: f64,
+    /// Northern edge (inclusive), degrees latitude.
+    pub max_lat: f64,
+    /// Eastern edge (inclusive), degrees longitude.
+    pub max_lon: f64,
+}
+
+impl Rect {
+    /// The empty rectangle: union identity, intersects nothing.
+    pub const fn empty() -> Self {
+        Self {
+            min_lat: f64::INFINITY,
+            min_lon: f64::INFINITY,
+            max_lat: f64::NEG_INFINITY,
+            max_lon: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Rectangle from explicit bounds. Callers must pass `min <= max`.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
+        debug_assert!(min_lat <= max_lat && min_lon <= max_lon);
+        Self {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        }
+    }
+
+    /// The degenerate rectangle covering a single point.
+    pub fn point(p: GeoPoint) -> Self {
+        Self {
+            min_lat: p.lat,
+            min_lon: p.lon,
+            max_lat: p.lat,
+            max_lon: p.lon,
+        }
+    }
+
+    /// The MBR of a set of points; empty for an empty iterator.
+    pub fn of_points(points: impl IntoIterator<Item = GeoPoint>) -> Self {
+        let mut r = Self::empty();
+        for p in points {
+            r = r.union(&Self::point(p));
+        }
+        r
+    }
+
+    /// Whether this rectangle is the empty rectangle.
+    pub fn is_empty(&self) -> bool {
+        self.min_lat > self.max_lat || self.min_lon > self.max_lon
+    }
+
+    /// Smallest rectangle containing both operands.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_lat: self.min_lat.min(other.min_lat),
+            min_lon: self.min_lon.min(other.min_lon),
+            max_lat: self.max_lat.max(other.max_lat),
+            max_lon: self.max_lon.max(other.max_lon),
+        }
+    }
+
+    /// Whether the two rectangles share at least one point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_lat <= other.max_lat
+            && other.min_lat <= self.max_lat
+            && self.min_lon <= other.max_lon
+            && other.min_lon <= self.max_lon
+    }
+
+    /// Whether `p` lies inside (or on the border of) this rectangle.
+    pub fn contains_point(&self, p: GeoPoint) -> bool {
+        (self.min_lat..=self.max_lat).contains(&p.lat)
+            && (self.min_lon..=self.max_lon).contains(&p.lon)
+    }
+
+    /// Whether `other` lies fully inside this rectangle.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !other.is_empty()
+            && self.min_lat <= other.min_lat
+            && self.min_lon <= other.min_lon
+            && self.max_lat >= other.max_lat
+            && self.max_lon >= other.max_lon
+    }
+
+    /// Area in squared degrees (0 for empty or degenerate rectangles).
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+    }
+
+    /// Half-perimeter (the R*-tree "margin"); 0 for empty rectangles.
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.max_lat - self.min_lat) + (self.max_lon - self.min_lon)
+    }
+
+    /// Increase in area needed to absorb `other` — the quadratic-split and
+    /// subtree-choice cost used by Guttman insertion.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Squared degree-space distance from `p` to the nearest point of the
+    /// rectangle (0 if inside). Used as the kNN best-first lower bound.
+    pub fn min_dist2(&self, p: GeoPoint) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        let dlat = (self.min_lat - p.lat).max(0.0).max(p.lat - self.max_lat);
+        let dlon = (self.min_lon - p.lon).max(0.0).max(p.lon - self.max_lon);
+        dlat * dlat + dlon * dlon
+    }
+
+    /// Center of the rectangle; `None` when empty.
+    pub fn center(&self) -> Option<GeoPoint> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(GeoPoint::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        ))
+    }
+}
+
+impl Default for Rect {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rect_properties() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.margin(), 0.0);
+        assert!(!e.intersects(&Rect::new(0.0, 0.0, 1.0, 1.0)));
+        assert!(!e.contains_point(GeoPoint::new(0.0, 0.0)));
+        assert!(e.center().is_none());
+        assert_eq!(e.min_dist2(GeoPoint::new(0.0, 0.0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.union(&Rect::empty()), r);
+        assert_eq!(Rect::empty().union(&r), r);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(a.intersects(&Rect::new(1.0, 1.0, 3.0, 3.0))); // overlap
+        assert!(a.intersects(&Rect::new(2.0, 2.0, 3.0, 3.0))); // corner touch
+        assert!(!a.intersects(&Rect::new(2.1, 0.0, 3.0, 2.0))); // disjoint
+        assert!(a.intersects(&a)); // self
+    }
+
+    #[test]
+    fn containment() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        assert!(a.contains_point(GeoPoint::new(0.0, 4.0))); // border
+        assert!(!a.contains_point(GeoPoint::new(4.1, 0.0)));
+        assert!(a.contains_rect(&Rect::new(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.contains_rect(&Rect::new(1.0, 1.0, 5.0, 2.0)));
+        assert!(!a.contains_rect(&Rect::empty()));
+    }
+
+    #[test]
+    fn area_margin_enlargement() {
+        let a = Rect::new(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        let p = Rect::point(GeoPoint::new(4.0, 0.0));
+        // union is [0,4]x[0,3], area 12, so enlargement 6.
+        assert_eq!(a.enlargement(&p), 6.0);
+        assert_eq!(a.enlargement(&Rect::point(GeoPoint::new(1.0, 1.0))), 0.0);
+    }
+
+    #[test]
+    fn min_dist2_inside_edge_and_corner() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.min_dist2(GeoPoint::new(1.0, 1.0)), 0.0); // inside
+        assert_eq!(a.min_dist2(GeoPoint::new(3.0, 1.0)), 1.0); // edge
+        assert_eq!(a.min_dist2(GeoPoint::new(3.0, 3.0)), 2.0); // corner
+    }
+
+    #[test]
+    fn of_points() {
+        let r = Rect::of_points(vec![
+            GeoPoint::new(1.0, 5.0),
+            GeoPoint::new(-1.0, 7.0),
+            GeoPoint::new(0.0, 6.0),
+        ]);
+        assert_eq!(r, Rect::new(-1.0, 5.0, 1.0, 7.0));
+        assert!(Rect::of_points(std::iter::empty()).is_empty());
+    }
+}

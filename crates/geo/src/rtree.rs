@@ -1,0 +1,870 @@
+//! An R-tree over geographic points (Guttman 1984), the index structure
+//! DJ-Cluster's neighborhood phase loads from the distributed cache
+//! (§VII-B of the paper): "computing the neighborhood of a point with such
+//! a structure can be done in O(log n)".
+//!
+//! Two construction paths are provided, matching the paper:
+//! incremental insertion with quadratic splits, and **STR bulk loading**
+//! (Sort-Tile-Recursive), which is what each phase-2 reducer of the
+//! MapReduce R-tree construction uses to index its partition.
+//!
+//! Queries: rectangle range, radius-in-meters range (bounding-box
+//! prefilter + exact Haversine test), and best-first k-nearest-neighbors
+//! in degree space.
+
+use crate::distance::haversine_m;
+use crate::Rect;
+use gepeto_model::GeoPoint;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Default maximum entries per node (Guttman's M).
+pub const DEFAULT_MAX_ENTRIES: usize = 16;
+
+/// A leaf entry: an indexed point plus its payload (typically the index of
+/// a mobility trace in the dataset).
+#[derive(Debug, Clone)]
+pub struct Entry<T> {
+    /// The indexed location.
+    pub point: GeoPoint,
+    /// The caller's payload (typically a record offset).
+    pub payload: T,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { mbr: Rect, entries: Vec<Entry<T>> },
+    Internal { mbr: Rect, children: Vec<Node<T>> },
+}
+
+impl<T> Node<T> {
+    fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => *mbr,
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => 1 + children[0].height(),
+        }
+    }
+}
+
+/// An R-tree mapping [`GeoPoint`]s to payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// An empty tree with the default node capacity.
+    pub fn new() -> Self {
+        Self::with_max_entries(DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty tree with node capacity `max_entries` (min fill = 40%).
+    ///
+    /// # Panics
+    /// If `max_entries < 2`.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "R-tree nodes need at least 2 entries");
+        let min_entries = (max_entries * 2 / 5).max(1);
+        Self {
+            root: Node::Leaf {
+                mbr: Rect::empty(),
+                entries: Vec::new(),
+            },
+            len: 0,
+            max_entries,
+            min_entries,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree indexes no point.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// MBR of all indexed points (empty rect when the tree is empty).
+    pub fn bounds(&self) -> Rect {
+        self.root.mbr()
+    }
+
+    /// Maximum entries per node.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Inserts a point with its payload (Guttman insertion with quadratic
+    /// node splitting).
+    pub fn insert(&mut self, point: GeoPoint, payload: T) {
+        let max = self.max_entries;
+        let min = self.min_entries;
+        if let Some(sibling) = insert_rec(&mut self.root, Entry { point, payload }, max, min) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Internal {
+                    mbr: Rect::empty(),
+                    children: Vec::new(),
+                },
+            );
+            let mut children = vec![old_root, sibling];
+            let mut mbr = Rect::empty();
+            for c in &children {
+                mbr = mbr.union(&c.mbr());
+            }
+            match &mut self.root {
+                Node::Internal {
+                    mbr: m,
+                    children: ch,
+                } => {
+                    *m = mbr;
+                    std::mem::swap(ch, &mut children);
+                }
+                Node::Leaf { .. } => unreachable!(),
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Builds a tree from a batch of points with STR (Sort-Tile-Recursive)
+    /// bulk loading — the O(n log n) packed construction used by the
+    /// phase-2 reducers of the MapReduce R-tree build.
+    pub fn bulk_load(items: Vec<(GeoPoint, T)>) -> Self {
+        Self::bulk_load_with_max_entries(items, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// [`Self::bulk_load`] with an explicit node capacity.
+    pub fn bulk_load_with_max_entries(items: Vec<(GeoPoint, T)>, max_entries: usize) -> Self {
+        assert!(max_entries >= 2);
+        let len = items.len();
+        let min_entries = (max_entries * 2 / 5).max(1);
+        if items.is_empty() {
+            return Self::with_max_entries(max_entries);
+        }
+        // Build leaves by sort-tile-recursive packing.
+        let mut entries: Vec<Entry<T>> = items
+            .into_iter()
+            .map(|(point, payload)| Entry { point, payload })
+            .collect();
+        let leaves = str_pack_leaves(&mut entries, max_entries);
+        let mut level: Vec<Node<T>> = leaves;
+        while level.len() > 1 {
+            level = str_pack_internal(level, max_entries);
+        }
+        Self {
+            root: level.into_iter().next().expect("non-empty level"),
+            len,
+            max_entries,
+            min_entries,
+        }
+    }
+
+    /// Merges several trees into one — phase 3 of the paper's MapReduce
+    /// R-tree construction ("executed sequentially by a single node due to
+    /// its low computational complexity"). The largest input tree is kept
+    /// and the others' entries are inserted into it.
+    pub fn merge(trees: Vec<RTree<T>>) -> RTree<T>
+    where
+        T: Clone,
+    {
+        let mut trees = trees;
+        if trees.is_empty() {
+            return RTree::new();
+        }
+        let largest = trees
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| t.len())
+            .map(|(i, _)| i)
+            .unwrap();
+        let mut base = trees.swap_remove(largest);
+        for t in trees {
+            for e in t.iter() {
+                base.insert(e.point, e.payload.clone());
+            }
+        }
+        base
+    }
+
+    /// All entries whose point falls inside `rect` (inclusive borders).
+    pub fn query_rect(&self, rect: &Rect) -> Vec<&Entry<T>> {
+        let mut out = Vec::new();
+        if !rect.is_empty() {
+            query_rect_rec(&self.root, rect, &mut out);
+        }
+        out
+    }
+
+    /// All entries within `radius_m` meters (Haversine) of `center`.
+    ///
+    /// A degree-space bounding box prefilters tree traversal; candidates
+    /// are then tested with the exact great-circle distance, so the result
+    /// is exact. This is the neighborhood query of DJ-Cluster's second
+    /// phase.
+    pub fn within_radius_m(&self, center: GeoPoint, radius_m: f64) -> Vec<&Entry<T>> {
+        if radius_m < 0.0 || self.is_empty() {
+            return Vec::new();
+        }
+        let rect = radius_bounding_rect(center, radius_m);
+        let mut out = Vec::new();
+        within_radius_rec(&self.root, &rect, center, radius_m, &mut out);
+        out
+    }
+
+    /// The `k` nearest entries to `center` in **degree space** (Euclidean
+    /// on lat/lon), ordered nearest-first. Best-first traversal using node
+    /// MBR lower bounds.
+    pub fn nearest_k(&self, center: GeoPoint, k: usize) -> Vec<&Entry<T>> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        enum Item<'a, T> {
+            Node(&'a Node<T>),
+            Entry(&'a Entry<T>),
+        }
+        struct HeapItem<'a, T> {
+            dist2: f64,
+            item: Item<'a, T>,
+        }
+        impl<T> PartialEq for HeapItem<'_, T> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist2 == other.dist2
+            }
+        }
+        impl<T> Eq for HeapItem<'_, T> {}
+        impl<T> PartialOrd for HeapItem<'_, T> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T> Ord for HeapItem<'_, T> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reverse for a min-heap; NaN-free because dist2 >= 0.
+                other
+                    .dist2
+                    .partial_cmp(&self.dist2)
+                    .unwrap_or(Ordering::Equal)
+            }
+        }
+        let mut heap: BinaryHeap<HeapItem<'_, T>> = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist2: self.root.mbr().min_dist2(center),
+            item: Item::Node(&self.root),
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(HeapItem { item, .. }) = heap.pop() {
+            match item {
+                Item::Entry(e) => {
+                    out.push(e);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(Node::Leaf { entries, .. }) => {
+                    for e in entries {
+                        let dlat = e.point.lat - center.lat;
+                        let dlon = e.point.lon - center.lon;
+                        heap.push(HeapItem {
+                            dist2: dlat * dlat + dlon * dlon,
+                            item: Item::Entry(e),
+                        });
+                    }
+                }
+                Item::Node(Node::Internal { children, .. }) => {
+                    for c in children {
+                        heap.push(HeapItem {
+                            dist2: c.mbr().min_dist2(center),
+                            item: Item::Node(c),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterator over every entry (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> {
+        let mut stack = vec![&self.root];
+        std::iter::from_fn(move || loop {
+            match stack.pop()? {
+                Node::Leaf { entries, .. } => {
+                    if !entries.is_empty() {
+                        // Flatten the leaf through a sub-stack trick:
+                        // push nothing, return a slice iterator instead.
+                        // Simpler: return entries one by one via index —
+                        // handled by the outer flatten below.
+                        return Some(entries.as_slice());
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    stack.extend(children.iter());
+                }
+            }
+        })
+        .flatten()
+    }
+
+    /// Structural invariant check (test/debug helper): returns a violation
+    /// description, or `None` when the tree is well-formed.
+    pub fn check_invariants(&self) -> Option<String> {
+        fn rec<T>(
+            node: &Node<T>,
+            is_root: bool,
+            min: usize,
+            max: usize,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            count: &mut usize,
+        ) -> Option<String> {
+            match node {
+                Node::Leaf { mbr, entries } => {
+                    *count += entries.len();
+                    if let Some(d) = *leaf_depth {
+                        if d != depth {
+                            return Some(format!("leaves at depths {d} and {depth}"));
+                        }
+                    } else {
+                        *leaf_depth = Some(depth);
+                    }
+                    // Min fill is only guaranteed on the insertion path;
+                    // STR bulk loading may leave the last page underfull,
+                    // so only the upper bound and non-emptiness are hard
+                    // invariants.
+                    let _ = min;
+                    if entries.len() > max {
+                        return Some(format!("leaf overfull: {}", entries.len()));
+                    }
+                    if !is_root && entries.is_empty() {
+                        return Some("empty non-root leaf".into());
+                    }
+                    for e in entries {
+                        if !mbr.contains_point(e.point) {
+                            return Some("leaf MBR does not contain an entry".into());
+                        }
+                    }
+                    None
+                }
+                Node::Internal { mbr, children } => {
+                    if children.is_empty() {
+                        return Some("internal node with no children".into());
+                    }
+                    if children.len() > max {
+                        return Some(format!("internal overfull: {}", children.len()));
+                    }
+                    for c in children {
+                        if !mbr.contains_rect(&c.mbr()) && !c.mbr().is_empty() {
+                            return Some("parent MBR does not contain child MBR".into());
+                        }
+                        if let Some(v) = rec(c, false, min, max, depth + 1, leaf_depth, count) {
+                            return Some(v);
+                        }
+                    }
+                    None
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        let mut count = 0;
+        let v = rec(
+            &self.root,
+            true,
+            self.min_entries,
+            self.max_entries,
+            0,
+            &mut leaf_depth,
+            &mut count,
+        );
+        if v.is_some() {
+            return v;
+        }
+        if count != self.len {
+            return Some(format!("len {} but {count} entries reachable", self.len));
+        }
+        None
+    }
+}
+
+/// Degree-space rectangle guaranteed to contain the `radius_m`-meter disc
+/// around `center` (latitude-aware longitude widening, clamped at poles).
+pub fn radius_bounding_rect(center: GeoPoint, radius_m: f64) -> Rect {
+    const M_PER_DEG_LAT: f64 = 111_194.93; // pi * R / 180 for R = 6371000.8
+    let dlat = radius_m / M_PER_DEG_LAT;
+    let cos_lat = center.lat.to_radians().cos().max(1e-9);
+    let dlon = (radius_m / (M_PER_DEG_LAT * cos_lat)).min(360.0);
+    Rect {
+        min_lat: (center.lat - dlat).max(-90.0),
+        min_lon: center.lon - dlon,
+        max_lat: (center.lat + dlat).min(90.0),
+        max_lon: center.lon + dlon,
+    }
+}
+
+fn insert_rec<T>(node: &mut Node<T>, entry: Entry<T>, max: usize, min: usize) -> Option<Node<T>> {
+    match node {
+        Node::Leaf { mbr, entries } => {
+            *mbr = mbr.union(&Rect::point(entry.point));
+            entries.push(entry);
+            if entries.len() > max {
+                let (a, b) = quadratic_split(std::mem::take(entries), min, |e| {
+                    Rect::point(e.point)
+                });
+                let (mbr_a, mbr_b) = (
+                    Rect::of_points(a.iter().map(|e| e.point)),
+                    Rect::of_points(b.iter().map(|e| e.point)),
+                );
+                *entries = a;
+                *mbr = mbr_a;
+                return Some(Node::Leaf {
+                    mbr: mbr_b,
+                    entries: b,
+                });
+            }
+            None
+        }
+        Node::Internal { mbr, children } => {
+            *mbr = mbr.union(&Rect::point(entry.point));
+            // Choose the child needing least enlargement (ties: least area).
+            let target_rect = Rect::point(entry.point);
+            let idx = children
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let ea = a.mbr().enlargement(&target_rect);
+                    let eb = b.mbr().enlargement(&target_rect);
+                    ea.partial_cmp(&eb)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| {
+                            a.mbr()
+                                .area()
+                                .partial_cmp(&b.mbr().area())
+                                .unwrap_or(Ordering::Equal)
+                        })
+                })
+                .map(|(i, _)| i)
+                .expect("internal node has children");
+            if let Some(sibling) = insert_rec(&mut children[idx], entry, max, min) {
+                children.push(sibling);
+                if children.len() > max {
+                    let (a, b) =
+                        quadratic_split(std::mem::take(children), min, |c| c.mbr());
+                    let mut mbr_a = Rect::empty();
+                    for c in &a {
+                        mbr_a = mbr_a.union(&c.mbr());
+                    }
+                    let mut mbr_b = Rect::empty();
+                    for c in &b {
+                        mbr_b = mbr_b.union(&c.mbr());
+                    }
+                    *children = a;
+                    *mbr = mbr_a;
+                    return Some(Node::Internal {
+                        mbr: mbr_b,
+                        children: b,
+                    });
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman's quadratic split: pick the two seeds wasting the most area if
+/// grouped, then greedily assign the remainder by enlargement preference,
+/// honoring the minimum fill on both groups.
+fn quadratic_split<I>(items: Vec<I>, min: usize, rect_of: impl Fn(&I) -> Rect) -> (Vec<I>, Vec<I>) {
+    debug_assert!(items.len() >= 2);
+    // Seed selection.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let ri = rect_of(&items[i]);
+            let rj = rect_of(&items[j]);
+            let dead = ri.union(&rj).area() - ri.area() - rj.area();
+            if dead > worst {
+                worst = dead;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut group_a: Vec<I> = Vec::new();
+    let mut group_b: Vec<I> = Vec::new();
+    let mut mbr_a = Rect::empty();
+    let mut mbr_b = Rect::empty();
+    let mut rest: Vec<I> = Vec::new();
+    for (idx, item) in items.into_iter().enumerate() {
+        if idx == seed_a {
+            mbr_a = rect_of(&item);
+            group_a.push(item);
+        } else if idx == seed_b {
+            mbr_b = rect_of(&item);
+            group_b.push(item);
+        } else {
+            rest.push(item);
+        }
+    }
+    let total = rest.len() + 2;
+    for item in rest.into_iter() {
+        let remaining_capacity_needed =
+            |group_len: usize| min.saturating_sub(group_len);
+        // Force-assign when a group must take all remaining to reach min.
+        let assigned_so_far = group_a.len() + group_b.len();
+        let remaining = total - assigned_so_far;
+        if remaining_capacity_needed(group_a.len()) >= remaining {
+            mbr_a = mbr_a.union(&rect_of(&item));
+            group_a.push(item);
+            continue;
+        }
+        if remaining_capacity_needed(group_b.len()) >= remaining {
+            mbr_b = mbr_b.union(&rect_of(&item));
+            group_b.push(item);
+            continue;
+        }
+        let r = rect_of(&item);
+        let ea = mbr_a.enlargement(&r);
+        let eb = mbr_b.enlargement(&r);
+        let to_a = match ea.partial_cmp(&eb).unwrap_or(Ordering::Equal) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => group_a.len() <= group_b.len(),
+        };
+        if to_a {
+            mbr_a = mbr_a.union(&r);
+            group_a.push(item);
+        } else {
+            mbr_b = mbr_b.union(&r);
+            group_b.push(item);
+        }
+    }
+    (group_a, group_b)
+}
+
+fn str_pack_leaves<T>(entries: &mut Vec<Entry<T>>, max: usize) -> Vec<Node<T>> {
+    let n = entries.len();
+    let pages = n.div_ceil(max);
+    let slices = (pages as f64).sqrt().ceil() as usize;
+    let slice_size = n.div_ceil(slices);
+    entries.sort_by(|a, b| {
+        a.point
+            .lon
+            .partial_cmp(&b.point.lon)
+            .unwrap_or(Ordering::Equal)
+    });
+    let mut leaves = Vec::with_capacity(pages);
+    let mut drained: Vec<Entry<T>> = std::mem::take(entries);
+    let mut slice_start = 0;
+    while slice_start < drained.len() {
+        let slice_end = (slice_start + slice_size).min(drained.len());
+        let slice = &mut drained[slice_start..slice_end];
+        slice.sort_by(|a, b| {
+            a.point
+                .lat
+                .partial_cmp(&b.point.lat)
+                .unwrap_or(Ordering::Equal)
+        });
+        slice_start = slice_end;
+    }
+    let mut iter = drained.into_iter().peekable();
+    while iter.peek().is_some() {
+        let chunk: Vec<Entry<T>> = iter.by_ref().take(max).collect();
+        let mbr = Rect::of_points(chunk.iter().map(|e| e.point));
+        leaves.push(Node::Leaf {
+            mbr,
+            entries: chunk,
+        });
+    }
+    leaves
+}
+
+fn str_pack_internal<T>(mut nodes: Vec<Node<T>>, max: usize) -> Vec<Node<T>> {
+    let n = nodes.len();
+    let pages = n.div_ceil(max);
+    let slices = (pages as f64).sqrt().ceil() as usize;
+    let slice_size = n.div_ceil(slices);
+    let center_lon = |n: &Node<T>| n.mbr().center().map(|c| c.lon).unwrap_or(0.0);
+    let center_lat = |n: &Node<T>| n.mbr().center().map(|c| c.lat).unwrap_or(0.0);
+    nodes.sort_by(|a, b| {
+        center_lon(a)
+            .partial_cmp(&center_lon(b))
+            .unwrap_or(Ordering::Equal)
+    });
+    let mut slice_start = 0;
+    while slice_start < nodes.len() {
+        let slice_end = (slice_start + slice_size).min(nodes.len());
+        nodes[slice_start..slice_end].sort_by(|a, b| {
+            center_lat(a)
+                .partial_cmp(&center_lat(b))
+                .unwrap_or(Ordering::Equal)
+        });
+        slice_start = slice_end;
+    }
+    let mut out = Vec::with_capacity(pages);
+    let mut iter = nodes.into_iter().peekable();
+    while iter.peek().is_some() {
+        let children: Vec<Node<T>> = iter.by_ref().take(max).collect();
+        let mut mbr = Rect::empty();
+        for c in &children {
+            mbr = mbr.union(&c.mbr());
+        }
+        out.push(Node::Internal { mbr, children });
+    }
+    out
+}
+
+fn query_rect_rec<'a, T>(node: &'a Node<T>, rect: &Rect, out: &mut Vec<&'a Entry<T>>) {
+    match node {
+        Node::Leaf { mbr, entries } => {
+            if rect.intersects(mbr) {
+                for e in entries {
+                    if rect.contains_point(e.point) {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        Node::Internal { mbr, children } => {
+            if rect.intersects(mbr) {
+                for c in children {
+                    query_rect_rec(c, rect, out);
+                }
+            }
+        }
+    }
+}
+
+fn within_radius_rec<'a, T>(
+    node: &'a Node<T>,
+    rect: &Rect,
+    center: GeoPoint,
+    radius_m: f64,
+    out: &mut Vec<&'a Entry<T>>,
+) {
+    match node {
+        Node::Leaf { mbr, entries } => {
+            if rect.intersects(mbr) {
+                for e in entries {
+                    if rect.contains_point(e.point) && haversine_m(center, e.point) <= radius_m {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        Node::Internal { mbr, children } => {
+            if rect.intersects(mbr) {
+                for c in children {
+                    within_radius_rec(c, rect, center, radius_m, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(side: usize) -> Vec<(GeoPoint, usize)> {
+        let mut v = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                v.push((
+                    GeoPoint::new(40.0 + i as f64 * 0.001, 116.0 + j as f64 * 0.001),
+                    i * side + j,
+                ));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<usize> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.query_rect(&Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.nearest_k(GeoPoint::new(0.0, 0.0), 3).is_empty());
+        assert!(t
+            .within_radius_m(GeoPoint::new(0.0, 0.0), 100.0)
+            .is_empty());
+        assert!(t.check_invariants().is_none());
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut t = RTree::with_max_entries(4);
+        for (p, i) in grid_points(10) {
+            t.insert(p, i);
+            assert!(t.check_invariants().is_none(), "after insert {i}");
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.height() > 1);
+        assert_eq!(t.iter().count(), 100);
+    }
+
+    #[test]
+    fn query_rect_matches_brute_force() {
+        let pts = grid_points(20);
+        let mut t = RTree::with_max_entries(8);
+        for (p, i) in pts.clone() {
+            t.insert(p, i);
+        }
+        let rect = Rect::new(40.003, 116.002, 40.0105, 116.011);
+        let mut got: Vec<usize> = t.query_rect(&rect).iter().map(|e| e.payload).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .filter(|(p, _)| rect.contains_point(*p))
+            .map(|&(_, i)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_matches_insert_queries() {
+        let pts = grid_points(17);
+        let bulk = RTree::bulk_load_with_max_entries(pts.clone(), 8);
+        assert_eq!(bulk.len(), pts.len());
+        assert!(bulk.check_invariants().is_none(), "{:?}", bulk.check_invariants());
+        let mut incr = RTree::with_max_entries(8);
+        for (p, i) in pts {
+            incr.insert(p, i);
+        }
+        let rect = Rect::new(40.002, 116.004, 40.009, 116.012);
+        let mut a: Vec<usize> = bulk.query_rect(&rect).iter().map(|e| e.payload).collect();
+        let mut b: Vec<usize> = incr.query_rect(&rect).iter().map(|e| e.payload).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn within_radius_exact() {
+        let pts = grid_points(15);
+        let t = RTree::bulk_load(pts.clone());
+        let center = GeoPoint::new(40.007, 116.007);
+        let r = 250.0;
+        let mut got: Vec<usize> = t
+            .within_radius_m(center, r)
+            .iter()
+            .map(|e| e.payload)
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .filter(|(p, _)| haversine_m(center, *p) <= r)
+            .map(|&(_, i)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn nearest_k_ordering_and_content() {
+        let pts = grid_points(12);
+        let t = RTree::bulk_load(pts.clone());
+        let center = GeoPoint::new(40.0051, 116.0052);
+        let k = 7;
+        let got = t.nearest_k(center, k);
+        assert_eq!(got.len(), k);
+        // Nearest-first ordering in degree space.
+        let d2 = |p: GeoPoint| {
+            let (a, b) = (p.lat - center.lat, p.lon - center.lon);
+            a * a + b * b
+        };
+        for w in got.windows(2) {
+            assert!(d2(w[0].point) <= d2(w[1].point) + 1e-15);
+        }
+        // Same set as brute force.
+        let mut brute: Vec<(f64, usize)> = pts.iter().map(|&(p, i)| (d2(p), i)).collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let want: std::collections::BTreeSet<usize> =
+            brute[..k].iter().map(|&(_, i)| i).collect();
+        let got_set: std::collections::BTreeSet<usize> =
+            got.iter().map(|e| e.payload).collect();
+        assert_eq!(got_set, want);
+    }
+
+    #[test]
+    fn nearest_k_with_k_larger_than_len() {
+        let t = RTree::bulk_load(grid_points(2));
+        assert_eq!(t.nearest_k(GeoPoint::new(40.0, 116.0), 100).len(), 4);
+    }
+
+    #[test]
+    fn merge_preserves_all_entries() {
+        let a = RTree::bulk_load(grid_points(6));
+        let mut b_pts = grid_points(4);
+        for (p, i) in &mut b_pts {
+            p.lat += 1.0; // disjoint region
+            *i += 1_000;
+        }
+        let b = RTree::bulk_load(b_pts);
+        let merged = RTree::merge(vec![a, b]);
+        assert_eq!(merged.len(), 36 + 16);
+        assert!(merged.check_invariants().is_none());
+        let far = merged.query_rect(&Rect::new(40.9, 115.9, 41.1, 116.1));
+        assert_eq!(far.len(), 16);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let t: RTree<usize> = RTree::merge(vec![]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let p = GeoPoint::new(40.0, 116.0);
+        let mut t = RTree::with_max_entries(4);
+        for i in 0..10 {
+            t.insert(p, i);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.within_radius_m(p, 1.0).len(), 10);
+        assert!(t.check_invariants().is_none());
+    }
+
+    #[test]
+    fn radius_bounding_rect_contains_disc() {
+        let c = GeoPoint::new(48.85, 2.35); // Paris: strong lon scaling
+        let r = 5_000.0;
+        let rect = radius_bounding_rect(c, r);
+        // Sample the disc border; every border point must be in the rect.
+        for i in 0..360 {
+            let theta = (i as f64).to_radians();
+            let dlat = r / 111_194.93 * theta.sin();
+            let dlon = r / (111_194.93 * c.lat.to_radians().cos()) * theta.cos();
+            let p = GeoPoint::new(c.lat + dlat, c.lon + dlon);
+            if haversine_m(c, p) <= r {
+                assert!(rect.contains_point(p), "angle {i}");
+            }
+        }
+    }
+}

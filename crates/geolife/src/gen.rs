@@ -1,0 +1,469 @@
+//! The synthetic mobility simulator.
+//!
+//! Each user gets a personal geography (home, work, a few leisure places
+//! around a Beijing-like city) and a trace budget. The generator then
+//! plays out *recording sessions* — GeoLife users switched their loggers
+//! on for individual trips — consisting of a dwell at the origin POI, a
+//! trip at walking/cycling/driving speed, and a dwell at the destination
+//! POI. Positions are logged every 1–5 seconds with GPS jitter, exactly
+//! the density the paper reports, and the dwell/trip time split is tuned
+//! so that the DJ-Cluster preprocessing filter ratios of Table IV hold.
+
+use crate::rng::{log_normal, normal, weighted_index};
+use gepeto_model::{Dataset, GeoPoint, MobilityTrace, Timestamp, Trail, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Meters per degree of latitude (and of longitude at the equator).
+const M_PER_DEG: f64 = 111_194.93;
+
+/// How a user covers a trip; decides the speed and hence the trip time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// ~1.35 m/s.
+    Walk,
+    /// ~4.2 m/s.
+    Bike,
+    /// ~9.5 m/s (urban driving).
+    Car,
+}
+
+impl TransportMode {
+    /// Mean speed of the mode in meters per second.
+    pub fn speed_mps(self) -> f64 {
+        match self {
+            TransportMode::Walk => 1.35,
+            TransportMode::Bike => 4.2,
+            TransportMode::Car => 9.5,
+        }
+    }
+
+    /// Mode choice by trip length, the usual urban pattern.
+    pub fn for_distance_m(d: f64) -> Self {
+        if d < 900.0 {
+            TransportMode::Walk
+        } else if d < 3_200.0 {
+            TransportMode::Bike
+        } else {
+            TransportMode::Car
+        }
+    }
+}
+
+/// Tunable parameters of the generator. [`GeneratorConfig::paper`] is the
+/// calibration used throughout the reproduction.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of users (GeoLife: 178).
+    pub users: usize,
+    /// Linear size factor: expected total traces =
+    /// `scale × target_traces_full_scale`.
+    pub scale: f64,
+    /// Master seed; every derived stream is deterministic in it.
+    pub seed: u64,
+    /// Trace count the paper reports for the full dataset.
+    pub target_traces_full_scale: usize,
+    /// Fraction of logged time spent moving (calibrates Table IV's
+    /// "filter moving traces" column; GeoLife is outdoor-trip heavy).
+    pub moving_time_fraction: f64,
+    /// GPS noise at dwell locations, meters (1 σ per axis).
+    pub stationary_jitter_m: f64,
+    /// GPS noise while moving, meters (1 σ per axis).
+    pub travel_jitter_m: f64,
+    /// City center all geography is anchored to.
+    pub city_center: GeoPoint,
+    /// Weights of logging periods 1..=5 seconds. GeoLife mixes 1 s and
+    /// 5 s loggers; the mix fixes the Table I sampling ratios.
+    pub period_weights: [f64; 5],
+}
+
+impl GeneratorConfig {
+    /// The calibration targeting the paper's aggregates (DESIGN.md §5).
+    pub fn paper() -> Self {
+        Self {
+            users: 178,
+            scale: 1.0,
+            seed: 20130520,
+            target_traces_full_scale: 2_033_686,
+            moving_time_fraction: 0.44,
+            stationary_jitter_m: 2.5,
+            travel_jitter_m: 4.0,
+            city_center: GeoPoint::new(39.9042, 116.4074), // Beijing
+            // mean 1/period ≈ 0.217 → one 60 s window holds ≈ 13 traces,
+            // matching Table I's 2,033,686 → 155,260 reduction.
+            period_weights: [0.01, 0.01, 0.02, 0.06, 0.90],
+        }
+    }
+
+    /// The paper calibration at a reduced scale (for tests and laptops).
+    pub fn paper_scaled(scale: f64) -> Self {
+        Self {
+            scale,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A user's personal geography.
+struct UserGeography {
+    home: GeoPoint,
+    work: GeoPoint,
+    leisure: Vec<GeoPoint>,
+}
+
+impl UserGeography {
+    fn poi(&self, idx: usize) -> GeoPoint {
+        match idx {
+            0 => self.home,
+            1 => self.work,
+            i => self.leisure[(i - 2) % self.leisure.len()],
+        }
+    }
+
+    fn num_pois(&self) -> usize {
+        2 + self.leisure.len()
+    }
+}
+
+/// The generator. Construct once, call [`SyntheticGeoLife::generate`].
+#[derive(Debug, Clone)]
+pub struct SyntheticGeoLife {
+    config: GeneratorConfig,
+}
+
+impl SyntheticGeoLife {
+    /// A generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!(config.users > 0, "need at least one user");
+        assert!(config.scale > 0.0, "scale must be positive");
+        assert!(
+            (0.05..=0.95).contains(&config.moving_time_fraction),
+            "moving_time_fraction must be in (0.05, 0.95)"
+        );
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the whole dataset, one trail per user, in parallel.
+    pub fn generate(&self) -> Dataset {
+        let trails: Vec<Trail> = (0..self.config.users as UserId)
+            .into_par_iter()
+            .map(|u| self.generate_user(u))
+            .collect();
+        Dataset::from_trails(trails)
+    }
+
+    /// Generates one user's trail deterministically (independent of every
+    /// other user).
+    pub fn generate_user(&self, user: UserId) -> Trail {
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(user) + 1),
+        );
+        let geo = self.user_geography(&mut rng);
+        let budget = self.user_trace_budget(user, &mut rng);
+
+        // Recording starts somewhere in the GeoLife span
+        // (April 2007 – August 2012).
+        let base = Timestamp::from_civil(2007, 4, 1, 0, 0, 0).unwrap();
+        let mut clock = base.plus(rng.random_range(0..1_500) * 86_400 + 6 * 3_600);
+
+        let mut traces = Vec::with_capacity(budget);
+        let mut at_poi = 0usize; // start at home
+        while traces.len() < budget {
+            let next_poi = self.pick_destination(&mut rng, &geo, at_poi);
+            let session_start = clock;
+            self.emit_session(
+                &mut rng,
+                user,
+                &geo,
+                at_poi,
+                next_poi,
+                session_start,
+                budget,
+                &mut traces,
+            );
+            at_poi = next_poi;
+            // Logger off between sessions: hours to a couple of days.
+            let gap = log_normal(&mut rng, (8.0f64 * 3_600.0).ln(), 1.0) as i64;
+            let session_span = traces
+                .last()
+                .map_or(0, |t: &MobilityTrace| t.timestamp.delta(session_start));
+            clock = session_start.plus(session_span + gap.clamp(900, 5 * 86_400));
+        }
+        Trail::new(user, traces)
+    }
+
+    /// Per-user trace budget: log-normal share of the scaled total, so a
+    /// few heavy loggers dominate like in real GeoLife.
+    fn user_trace_budget(&self, _user: UserId, rng: &mut StdRng) -> usize {
+        let mean_share =
+            self.config.target_traces_full_scale as f64 * self.config.scale
+                / self.config.users as f64;
+        // lognormal(µ=-σ²/2, σ) has mean 1.
+        let sigma = 0.75f64;
+        let w = log_normal(rng, -sigma * sigma / 2.0, sigma);
+        ((mean_share * w).round() as usize).max(50)
+    }
+
+    fn user_geography(&self, rng: &mut StdRng) -> UserGeography {
+        let c = self.config.city_center;
+        // Home: residential ring 3–12 km out.
+        let home = offset_m(
+            c,
+            normal(rng, 0.0, 5_000.0).clamp(-12_000.0, 12_000.0),
+            normal(rng, 0.0, 5_000.0).clamp(-12_000.0, 12_000.0),
+        );
+        // Work: central business district.
+        let work = offset_m(c, normal(rng, 0.0, 2_500.0), normal(rng, 0.0, 2_500.0));
+        // Leisure: scattered around home.
+        let n_leisure = rng.random_range(3..=6);
+        let leisure = (0..n_leisure)
+            .map(|_| {
+                offset_m(
+                    home,
+                    normal(rng, 0.0, 1_800.0),
+                    normal(rng, 0.0, 1_800.0),
+                )
+            })
+            .collect();
+        UserGeography {
+            home,
+            work,
+            leisure,
+        }
+    }
+
+    /// Habit model: strong pull towards home, then work, then leisure —
+    /// what makes the POI-extraction attack land.
+    fn pick_destination(&self, rng: &mut StdRng, geo: &UserGeography, from: usize) -> usize {
+        let n = geo.num_pois();
+        let mut weights = vec![0.0f64; n];
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w = match i {
+                0 => 0.40,                    // home
+                1 => 0.30,                    // work
+                _ => 0.30 / (n as f64 - 2.0), // leisure spread
+            };
+        }
+        weights[from] = 0.0; // always actually travel somewhere
+        weighted_index(rng, &weights)
+    }
+
+    /// Emits one dwell→trip→dwell session, stopping early once `out`
+    /// reaches the user's absolute trace `budget`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_session(
+        &self,
+        rng: &mut StdRng,
+        user: UserId,
+        geo: &UserGeography,
+        from: usize,
+        to: usize,
+        start: Timestamp,
+        budget: usize,
+        out: &mut Vec<MobilityTrace>,
+    ) {
+        let cfg = &self.config;
+        let a = geo.poi(from);
+        let b = geo.poi(to);
+        let dist = gepeto_geo::haversine_m(a, b).max(150.0);
+        let mode = TransportMode::for_distance_m(dist);
+        let travel_secs = dist / mode.speed_mps();
+        // Total dwell chosen so that moving/total = moving_time_fraction.
+        let f = cfg.moving_time_fraction;
+        let dwell_total = travel_secs * (1.0 - f) / f;
+        // Uneven split: arrival dwells run longer (you stay where you go).
+        let dwell_a = dwell_total * rng.random_range(0.25..0.45);
+        let dwell_b = dwell_total - dwell_a;
+
+        // Logging period for this session (GeoLife: per-device).
+        let period = 1 + weighted_index(rng, &cfg.period_weights) as i64;
+
+        // GPS noise is temporally correlated (receiver drift), not white:
+        // an AR(1) walk keeps the absolute error at σ while consecutive
+        // fixes move only σ·√(2(1-ρ)) ≈ 0.3 σ — otherwise stationary
+        // dwells would register apparent speeds above the preprocessing
+        // filter threshold.
+        let rho = 0.95f64;
+        let (mut drift_n, mut drift_e) = (0.0f64, 0.0f64);
+        let step = |rng: &mut StdRng, d: f64, sigma: f64| {
+            rho * d + normal(rng, 0.0, sigma * (1.0 - rho * rho).sqrt())
+        };
+
+        let total_secs = (dwell_a + travel_secs + dwell_b) as i64;
+        let mut t = 0i64;
+        while t <= total_secs && out.len() < budget {
+            let ts = t as f64;
+            let (pos, sigma) = if ts < dwell_a {
+                (a, cfg.stationary_jitter_m)
+            } else if ts < dwell_a + travel_secs {
+                let frac = (ts - dwell_a) / travel_secs;
+                (interpolate(a, b, frac), cfg.travel_jitter_m)
+            } else {
+                (b, cfg.stationary_jitter_m)
+            };
+            drift_n = step(rng, drift_n, sigma);
+            drift_e = step(rng, drift_e, sigma);
+            let noisy = offset_m(pos, drift_n, drift_e);
+            let altitude = normal(rng, 55.0, 6.0) as f32;
+            out.push(MobilityTrace::with_altitude(
+                user,
+                noisy,
+                start.plus(t),
+                altitude,
+            ));
+            t += period;
+        }
+    }
+}
+
+/// Shifts `p` by `(north_m, east_m)` meters.
+fn offset_m(p: GeoPoint, north_m: f64, east_m: f64) -> GeoPoint {
+    let lat = p.lat + north_m / M_PER_DEG;
+    let lon = p.lon + east_m / (M_PER_DEG * p.lat.to_radians().cos());
+    GeoPoint::new(lat, lon)
+}
+
+/// Linear interpolation between two nearby points.
+fn interpolate(a: GeoPoint, b: GeoPoint, frac: f64) -> GeoPoint {
+    GeoPoint::new(
+        a.lat + (b.lat - a.lat) * frac,
+        a.lon + (b.lon - a.lon) * frac,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        SyntheticGeoLife::new(GeneratorConfig {
+            users: 10,
+            scale: 0.01,
+            ..GeneratorConfig::paper()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn generates_requested_users() {
+        let ds = small();
+        assert_eq!(ds.num_users(), 10);
+        for trail in ds.trails() {
+            assert!(trail.len() >= 50, "user {} too sparse", trail.user);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = SyntheticGeoLife::new(GeneratorConfig {
+            users: 10,
+            scale: 0.01,
+            seed: 42,
+            ..GeneratorConfig::paper()
+        })
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn traces_are_time_ordered_with_dense_periods() {
+        let ds = small();
+        for trail in ds.trails() {
+            let ts = trail.traces();
+            for w in ts.windows(2) {
+                assert!(w[0].timestamp <= w[1].timestamp);
+            }
+            // In-session gaps are 1..=5 s; most consecutive deltas must be
+            // in that band.
+            let small_gaps = ts
+                .windows(2)
+                .filter(|w| (1..=5).contains(&w[1].timestamp.delta(w[0].timestamp)))
+                .count();
+            assert!(
+                small_gaps as f64 > ts.len() as f64 * 0.9,
+                "user {}: {}/{} dense gaps",
+                trail.user,
+                small_gaps,
+                ts.len()
+            );
+        }
+    }
+
+    #[test]
+    fn coordinates_stay_in_the_city() {
+        let ds = small();
+        let c = GeneratorConfig::paper().city_center;
+        for t in ds.iter_traces() {
+            assert!(t.point.is_valid());
+            assert!(
+                gepeto_geo::haversine_m(c, t.point) < 60_000.0,
+                "trace {} km from center",
+                gepeto_geo::haversine_m(c, t.point) / 1000.0
+            );
+        }
+    }
+
+    #[test]
+    fn total_trace_count_tracks_scale() {
+        // Scale semantics: expected total = scale × target, independent of
+        // the user count. 10 users × lognormal weights give a wide spread.
+        let ds = small();
+        let total = ds.num_traces() as f64;
+        let expected = 2_033_686.0 * 0.01;
+        assert!(
+            total > expected * 0.35 && total < expected * 2.5,
+            "total {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn timestamps_inside_geolife_span() {
+        let ds = small();
+        let lo = Timestamp::from_civil(2007, 4, 1, 0, 0, 0).unwrap();
+        let hi = Timestamp::from_civil(2013, 12, 31, 0, 0, 0).unwrap();
+        for t in ds.iter_traces() {
+            assert!(t.timestamp >= lo && t.timestamp <= hi);
+        }
+    }
+
+    #[test]
+    fn transport_mode_by_distance() {
+        assert_eq!(TransportMode::for_distance_m(300.0), TransportMode::Walk);
+        assert_eq!(TransportMode::for_distance_m(2_000.0), TransportMode::Bike);
+        assert_eq!(TransportMode::for_distance_m(8_000.0), TransportMode::Car);
+        assert!(TransportMode::Walk.speed_mps() < TransportMode::Bike.speed_mps());
+        assert!(TransportMode::Bike.speed_mps() < TransportMode::Car.speed_mps());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        let _ = SyntheticGeoLife::new(GeneratorConfig {
+            users: 0,
+            ..GeneratorConfig::paper()
+        });
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # gepeto-geolife
+//!
+//! A deterministic synthetic mobility-dataset generator calibrated to the
+//! GeoLife GPS trajectory dataset **as the paper uses it** (§IV):
+//! 178 users, ≈ 2,033,686 mobility traces (≈ 128 MB of PLT text), dense
+//! logging ("a mobility trace is recorded every 1 to 5 seconds"), mostly
+//! outdoor movements plus dwell periods at the users' points of interest.
+//!
+//! The real GeoLife dataset cannot be redistributed, so every experiment
+//! of the reproduction runs on this generator's output; the PLT format
+//! implemented in `gepeto-model` is drop-in compatible with genuine
+//! GeoLife files should they be available. The generator's aggregate
+//! statistics are what the paper's results depend on — see the
+//! calibration table in `DESIGN.md` §5 and the verification tests in
+//! [`stats`].
+
+pub mod gen;
+pub mod rng;
+pub mod stats;
+
+pub use gen::{GeneratorConfig, SyntheticGeoLife, TransportMode};
+pub use stats::DatasetStats;

@@ -1,0 +1,102 @@
+//! Small deterministic sampling helpers on top of `rand`.
+//!
+//! `rand_distr` is deliberately not a dependency (see DESIGN.md §7);
+//! the two non-uniform distributions the generator needs — Gaussian and
+//! log-normal — are implemented here via Box–Muller.
+
+use rand::Rng;
+
+/// A standard-normal sample (Box–Muller transform).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep the logarithm finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `N(mean, sd²)` sample.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// A log-normal sample with the given parameters of the underlying
+/// normal distribution.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws an index according to `weights` (need not be normalized).
+///
+/// # Panics
+/// If `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "{mean}");
+        assert!((var - 4.0).abs() < 0.25, "{var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.5..3.5).contains(&ratio), "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_index_rejects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = weighted_index(&mut rng, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Aggregate dataset statistics — the quantities the generator is
+//! calibrated against (DESIGN.md §5) and the first thing `gepeto report`
+//! prints for any dataset.
+
+use gepeto_geo::haversine_m;
+use gepeto_model::Dataset;
+
+/// Summary statistics of a geolocated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users (trails).
+    pub users: usize,
+    /// Total number of mobility traces.
+    pub traces: usize,
+    /// Approximate PLT text size in bytes.
+    pub plt_bytes: usize,
+    /// Mean time between consecutive *in-session* traces (gap ≤ 30 s).
+    pub mean_period_secs: f64,
+    /// Fraction of in-session consecutive pairs moving faster than
+    /// 1 m/s — an estimate of the moving-time share.
+    pub moving_fraction: f64,
+    /// Number of recording sessions (splits at gaps > 5 minutes),
+    /// GeoLife's "trajectories".
+    pub sessions: usize,
+    /// Total recorded duration across sessions, hours.
+    pub recorded_hours: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics in one pass over the dataset.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let mut period_sum = 0.0f64;
+        let mut period_n = 0usize;
+        let mut moving = 0usize;
+        let mut pairs = 0usize;
+        let mut sessions = 0usize;
+        let mut recorded_secs = 0.0f64;
+        for trail in dataset.trails() {
+            let ts = trail.traces();
+            if !ts.is_empty() {
+                sessions += 1; // first trace opens a session
+            }
+            for w in ts.windows(2) {
+                let dt = w[1].timestamp.delta(w[0].timestamp);
+                if dt > 300 {
+                    sessions += 1;
+                    continue;
+                }
+                recorded_secs += dt as f64;
+                if dt <= 30 && dt > 0 {
+                    period_sum += dt as f64;
+                    period_n += 1;
+                    pairs += 1;
+                    let speed = haversine_m(w[0].point, w[1].point) / dt as f64;
+                    if speed > 1.0 {
+                        moving += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            users: dataset.num_users(),
+            traces: dataset.num_traces(),
+            plt_bytes: dataset.approx_plt_bytes(),
+            mean_period_secs: if period_n > 0 {
+                period_sum / period_n as f64
+            } else {
+                0.0
+            },
+            moving_fraction: if pairs > 0 {
+                moving as f64 / pairs as f64
+            } else {
+                0.0
+            },
+            sessions,
+            recorded_hours: recorded_secs / 3_600.0,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "users:            {}", self.users)?;
+        writeln!(f, "traces:           {}", self.traces)?;
+        writeln!(
+            f,
+            "plt size:         {:.1} MB",
+            self.plt_bytes as f64 / 1e6
+        )?;
+        writeln!(f, "mean period:      {:.2} s", self.mean_period_secs)?;
+        writeln!(
+            f,
+            "moving fraction:  {:.1} %",
+            self.moving_fraction * 100.0
+        )?;
+        writeln!(f, "sessions:         {}", self.sessions)?;
+        write!(f, "recorded:         {:.1} h", self.recorded_hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, SyntheticGeoLife};
+    use gepeto_model::{GeoPoint, MobilityTrace, Timestamp};
+
+    #[test]
+    fn empty_dataset_stats() {
+        let s = DatasetStats::compute(&Dataset::new());
+        assert_eq!(s.users, 0);
+        assert_eq!(s.traces, 0);
+        assert_eq!(s.mean_period_secs, 0.0);
+        assert_eq!(s.moving_fraction, 0.0);
+        assert_eq!(s.sessions, 0);
+    }
+
+    #[test]
+    fn sessions_split_at_long_gaps() {
+        let mk = |secs: i64| {
+            MobilityTrace::new(1, GeoPoint::new(40.0, 116.0), Timestamp(secs))
+        };
+        // Two sessions: 0..10s then a 1h gap then 3610..3620.
+        let ds = Dataset::from_traces(vec![mk(0), mk(5), mk(10), mk(3_610), mk(3_620)]);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.traces, 5);
+    }
+
+    /// The generator calibration test: at a reduced scale the synthetic
+    /// dataset must reproduce the aggregates the paper's results depend
+    /// on (tolerances documented in DESIGN.md §5).
+    #[test]
+    fn generator_matches_paper_calibration() {
+        let ds = SyntheticGeoLife::new(GeneratorConfig {
+            users: 40,
+            scale: 0.05,
+            ..GeneratorConfig::paper()
+        })
+        .generate();
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.users, 40);
+        // Logging density: GeoLife logs every 1–5 s.
+        assert!(
+            (3.5..=5.0).contains(&s.mean_period_secs),
+            "mean period {}",
+            s.mean_period_secs
+        );
+        // Moving share calibrated to Table IV's filter ratio (44 %).
+        assert!(
+            (0.34..=0.54).contains(&s.moving_fraction),
+            "moving fraction {}",
+            s.moving_fraction
+        );
+        // PLT bytes per trace ≈ 64 (Figure 1 line shape).
+        let bytes_per_trace = s.plt_bytes as f64 / s.traces as f64;
+        assert!((55.0..=75.0).contains(&bytes_per_trace));
+    }
+
+    #[test]
+    fn full_user_count_scales_trace_total() {
+        // At scale 0.02 with all 178 users the total should be near
+        // 0.02 × 2,033,686 ≈ 40.7k (lognormal user weights add spread).
+        let ds = SyntheticGeoLife::new(GeneratorConfig::paper_scaled(0.02)).generate();
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.users, 178);
+        let expected = 2_033_686.0 * 0.02;
+        assert!(
+            (s.traces as f64) > expected * 0.7 && (s.traces as f64) < expected * 1.3,
+            "traces {} vs expected {expected}",
+            s.traces
+        );
+    }
+
+    #[test]
+    fn display_formats_all_fields() {
+        let ds = SyntheticGeoLife::new(GeneratorConfig {
+            users: 3,
+            scale: 0.002,
+            ..GeneratorConfig::paper()
+        })
+        .generate();
+        let text = DatasetStats::compute(&ds).to_string();
+        for needle in ["users:", "traces:", "plt size:", "moving fraction:"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

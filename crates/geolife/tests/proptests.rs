@@ -1,0 +1,80 @@
+//! Generator invariants under arbitrary configurations.
+
+use gepeto_geolife::{DatasetStats, GeneratorConfig, SyntheticGeoLife};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_config_yields_wellformed_traces(
+        users in 1usize..12,
+        scale in 0.001f64..0.02,
+        seed in any::<u64>(),
+        moving in 0.2f64..0.7,
+    ) {
+        let ds = SyntheticGeoLife::new(GeneratorConfig {
+            users,
+            scale,
+            seed,
+            moving_time_fraction: moving,
+            ..GeneratorConfig::paper()
+        })
+        .generate();
+        prop_assert_eq!(ds.num_users(), users);
+        for trail in ds.trails() {
+            prop_assert!(trail.len() >= 50);
+            let mut prev = None;
+            for t in trail.traces() {
+                prop_assert!(t.point.is_valid());
+                prop_assert_eq!(t.user, trail.user);
+                if let Some(p) = prev {
+                    prop_assert!(t.timestamp >= p);
+                }
+                prev = Some(t.timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn users_are_independent_streams(
+        users in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Generating user u alone equals user u inside the full dataset:
+        // budgets and geography depend only on (seed, user).
+        let cfg = GeneratorConfig {
+            users,
+            scale: 0.003,
+            seed,
+            ..GeneratorConfig::paper()
+        };
+        let gen = SyntheticGeoLife::new(cfg);
+        let full = gen.generate();
+        let pick = (seed % users as u64) as u32;
+        let solo = gen.generate_user(pick);
+        prop_assert_eq!(full.trail(pick).unwrap(), &solo);
+    }
+
+    #[test]
+    fn moving_fraction_tracks_config(
+        seed in any::<u64>(),
+        moving in 0.25f64..0.65,
+    ) {
+        let ds = SyntheticGeoLife::new(GeneratorConfig {
+            users: 15,
+            scale: 0.01,
+            seed,
+            moving_time_fraction: moving,
+            ..GeneratorConfig::paper()
+        })
+        .generate();
+        let s = DatasetStats::compute(&ds);
+        prop_assert!(
+            (s.moving_fraction - moving).abs() < 0.12,
+            "target {} measured {}",
+            moving,
+            s.moving_fraction
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The user-facing programming model: `Mapper`, `Reducer`, `Combiner`.
+//!
+//! "A developer designing a MapReduce-based application is left with the
+//! task of specifying two primary functions, map and reduce" (§III). As in
+//! Hadoop, tasks also get `setup`/`cleanup` lifecycle hooks, a
+//! configuration object, counters and the distributed cache — everything
+//! the paper's Algorithms 1–9 use.
+
+use crate::cache::DistributedCache;
+use crate::config::JobConfig;
+use crate::counters::Counters;
+use std::hash::Hash;
+
+/// Bound for intermediate keys: they are hashed to pick a reduce
+/// partition and sorted within each partition during the shuffle.
+pub trait MrKey: Clone + Send + Sync + Eq + Ord + Hash + 'static {}
+impl<T: Clone + Send + Sync + Eq + Ord + Hash + 'static> MrKey for T {}
+
+/// Bound for values (and final output keys), which only need to move
+/// between threads.
+pub trait MrValue: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> MrValue for T {}
+
+/// Per-task context handed to `setup`: the task's identity, the job
+/// configuration, the distributed cache and the job's counters.
+pub struct TaskContext<'a> {
+    /// 0-based task index within its phase.
+    pub task_id: usize,
+    /// 1-based attempt number (> 1 after injected failures).
+    pub attempt: u32,
+    /// Job configuration strings.
+    pub config: &'a JobConfig,
+    /// Read-only side data.
+    pub cache: &'a DistributedCache,
+    /// Shared job counters.
+    pub counters: &'a Counters,
+}
+
+/// Collects the key/value pairs a task emits, Hadoop's
+/// `context.write(k, v)`.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self { pairs: Vec::new() }
+    }
+}
+
+impl<K, V> Emitter<K, V> {
+    /// A fresh, empty emitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits one pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consumes the emitter, returning the pairs in emission order.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+}
+
+/// The map phase of a job. One instance is cloned per map task, `setup`
+/// runs once per task, then `map` runs for every input record of the
+/// task's chunk, then `cleanup`.
+pub trait Mapper<V1>: Clone + Send {
+    /// Intermediate key type.
+    type KOut: MrKey;
+    /// Intermediate value type.
+    type VOut: MrValue;
+
+    /// Once-per-task initialization (load centroids, R-trees, … from the
+    /// cache or configuration).
+    fn setup(&mut self, _ctx: &TaskContext<'_>) {}
+
+    /// Processes one input record. `offset` is the record's 0-based
+    /// position within the whole input file (Hadoop's byte-offset key).
+    fn map(&mut self, offset: u64, value: &V1, out: &mut Emitter<Self::KOut, Self::VOut>);
+
+    /// Once-per-task teardown; may emit trailing pairs (used by windowed
+    /// mappers to flush their last window).
+    fn cleanup(&mut self, _out: &mut Emitter<Self::KOut, Self::VOut>) {}
+}
+
+/// The reduce phase. One instance is cloned per reduce task; `reduce` is
+/// called once per distinct key with *all* values for that key.
+pub trait Reducer<K2: MrKey, V2: MrValue>: Clone + Send {
+    /// Final output key type.
+    type KOut: MrValue;
+    /// Final output value type.
+    type VOut: MrValue;
+
+    /// Once-per-task initialization.
+    fn setup(&mut self, _ctx: &TaskContext<'_>) {}
+
+    /// Reduces one key group.
+    fn reduce(&mut self, key: &K2, values: &[V2], out: &mut Emitter<Self::KOut, Self::VOut>);
+
+    /// Once-per-task teardown; may emit trailing pairs (used by the
+    /// single-reducer cluster-merging phase of DJ-Cluster to emit the
+    /// final clusters).
+    fn cleanup(&mut self, _out: &mut Emitter<Self::KOut, Self::VOut>) {}
+}
+
+/// A map-side pre-aggregator (the *combiner* of §VI's related work): runs
+/// on each map task's local output, per key, to shrink the data shuffled
+/// to reducers. Must be algebraically compatible with the reducer.
+pub trait Combiner<K2: MrKey, V2: MrValue>: Clone + Send {
+    /// Combines the values of one key emitted by a single map task into a
+    /// (usually shorter) list of values.
+    fn combine(&mut self, key: &K2, values: &[V2]) -> Vec<V2>;
+}
+
+/// Adapts a closure into a [`Mapper`] — handy for map-only filters where a
+/// full struct would be noise.
+#[derive(Clone)]
+pub struct FnMapper<F, K, V> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<F, K, V> FnMapper<F, K, V> {
+    /// Wraps `f(offset, value, out)`.
+    pub fn new(f: F) -> Self {
+        Self {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V1, F, K, V> Mapper<V1> for FnMapper<F, K, V>
+where
+    F: FnMut(u64, &V1, &mut Emitter<K, V>) + Clone + Send,
+    K: MrKey,
+    V: MrValue,
+{
+    type KOut = K;
+    type VOut = V;
+
+    fn map(&mut self, offset: u64, value: &V1, out: &mut Emitter<K, V>) {
+        (self.f)(offset, value, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects_in_order() {
+        let mut e: Emitter<u32, &str> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(2, "b");
+        e.emit(1, "a");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.into_pairs(), vec![(2, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn fn_mapper_adapts_closures() {
+        let mut m = FnMapper::new(|off: u64, v: &u32, out: &mut Emitter<u64, u32>| {
+            if v.is_multiple_of(2) {
+                out.emit(off, *v);
+            }
+        });
+        let mut out = Emitter::new();
+        m.map(0, &4, &mut out);
+        m.map(1, &5, &mut out);
+        m.map(2, &6, &mut out);
+        assert_eq!(out.into_pairs(), vec![(0, 4), (2, 6)]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The distributed cache: read-only side data shipped to every task.
+//!
+//! DJ-Cluster's neighborhood mapper "first loads the R-Tree from the
+//! distributed cache while executing its setup method" (§VII-B). Here the
+//! cache is a map of type-erased `Arc`s; tasks downcast to the concrete
+//! type. Sharing an `Arc` is the in-process analogue of Hadoop
+//! materializing a cached file on each tasktracker's local disk.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+type AnyArc = Arc<dyn Any + Send + Sync>;
+
+/// Named, typed, read-only artifacts available to every task of a job.
+#[derive(Clone, Default)]
+pub struct DistributedCache {
+    entries: BTreeMap<String, AnyArc>,
+}
+
+impl std::fmt::Debug for DistributedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedCache")
+            .field("keys", &self.entries.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl DistributedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value` under `name` (builder style). Replaces any previous
+    /// artifact with the same name.
+    pub fn with<T: Any + Send + Sync>(mut self, name: &str, value: T) -> Self {
+        self.insert(name, value);
+        self
+    }
+
+    /// Stores `value` under `name`.
+    pub fn insert<T: Any + Send + Sync>(&mut self, name: &str, value: T) {
+        self.entries.insert(name.to_string(), Arc::new(value));
+    }
+
+    /// Stores an already-shared artifact under `name` without cloning it.
+    pub fn insert_arc<T: Any + Send + Sync>(&mut self, name: &str, value: Arc<T>) {
+        self.entries.insert(name.to_string(), value);
+    }
+
+    /// Fetches the artifact stored under `name`, if present and of type
+    /// `T`.
+    pub fn get<T: Any + Send + Sync>(&self, name: &str) -> Option<Arc<T>> {
+        self.entries.get(name).cloned()?.downcast::<T>().ok()
+    }
+
+    /// Fetches like [`Self::get`] but panics with a descriptive message —
+    /// the idiom for mandatory artifacts in `setup`.
+    pub fn expect<T: Any + Send + Sync>(&self, name: &str) -> Arc<T> {
+        match self.get::<T>(name) {
+            Some(v) => v,
+            None => panic!(
+                "distributed cache has no artifact '{name}' of type {}",
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Names of all cached artifacts.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_typed_get() {
+        let cache = DistributedCache::new()
+            .with("centroids", vec![1.0f64, 2.0])
+            .with("k", 11usize);
+        assert_eq!(*cache.expect::<usize>("k"), 11);
+        assert_eq!(cache.expect::<Vec<f64>>("centroids").len(), 2);
+    }
+
+    #[test]
+    fn wrong_type_returns_none() {
+        let cache = DistributedCache::new().with("k", 11usize);
+        assert!(cache.get::<String>("k").is_none());
+        assert!(cache.get::<usize>("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no artifact 'rtree'")]
+    fn expect_panics_on_missing() {
+        let cache = DistributedCache::new();
+        let _ = cache.expect::<Vec<u8>>("rtree");
+    }
+
+    #[test]
+    fn shared_arc_is_not_cloned() {
+        let data = Arc::new(vec![0u8; 1024]);
+        let mut cache = DistributedCache::new();
+        cache.insert_arc("blob", Arc::clone(&data));
+        let got = cache.expect::<Vec<u8>>("blob");
+        assert!(Arc::ptr_eq(&data, &got));
+    }
+
+    #[test]
+    fn replace_and_names() {
+        let mut cache = DistributedCache::new();
+        cache.insert("x", 1u32);
+        cache.insert("x", 2u32);
+        assert_eq!(*cache.expect::<u32>("x"), 2);
+        assert_eq!(cache.names().collect::<Vec<_>>(), vec!["x"]);
+        assert!(!cache.is_empty());
+    }
+}

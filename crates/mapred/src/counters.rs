@@ -1,0 +1,120 @@
+//! Hadoop-style job counters: named `u64` accumulators that tasks bump
+//! concurrently and the driver reads after the job completes.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Built-in counter names used by the engine itself.
+pub mod builtin {
+    /// Records read by all map tasks.
+    pub const MAP_INPUT_RECORDS: &str = "mapred.map.input.records";
+    /// Pairs emitted by all map tasks (before combining).
+    pub const MAP_OUTPUT_RECORDS: &str = "mapred.map.output.records";
+    /// Pairs entering combiners.
+    pub const COMBINE_INPUT_RECORDS: &str = "mapred.combine.input.records";
+    /// Pairs leaving combiners (what actually shuffles).
+    pub const COMBINE_OUTPUT_RECORDS: &str = "mapred.combine.output.records";
+    /// Distinct keys presented to reduce calls.
+    pub const REDUCE_INPUT_GROUPS: &str = "mapred.reduce.input.groups";
+    /// Pairs consumed by all reduce tasks.
+    pub const REDUCE_INPUT_RECORDS: &str = "mapred.reduce.input.records";
+    /// Pairs emitted by all reduce tasks.
+    pub const REDUCE_OUTPUT_RECORDS: &str = "mapred.reduce.output.records";
+    /// Task attempts lost to (injected) failures and rescheduled.
+    pub const TASK_RETRIES: &str = "mapred.task.retries";
+}
+
+/// A concurrent set of named counters. Cloning shares the underlying
+/// storage (it is an `Arc` internally), matching how every task of a job
+/// reports into the same jobtracker-side counters.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    inner: Arc<Mutex<BTreeMap<String, u64>>>,
+}
+
+impl Counters {
+    /// A fresh, empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn inc(&self, name: &str, delta: u64) {
+        let mut map = self.inner.lock();
+        *map.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of `name` (0 when never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters in name order.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner.lock().clone()
+    }
+
+    /// Merges another counter set into this one by addition.
+    pub fn merge(&self, other: &Counters) {
+        let other_snapshot = other.snapshot();
+        let mut map = self.inner.lock();
+        for (k, v) in other_snapshot {
+            *map.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn inc_and_get() {
+        let c = Counters::new();
+        c.inc("records", 3);
+        c.inc("records", 4);
+        assert_eq!(c.get("records"), 7);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let c = Counters::new();
+        let c2 = c.clone();
+        c2.inc("x", 5);
+        assert_eq!(c.get("x"), 5);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = Counters::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("n"), 8000);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = Counters::new();
+        a.inc("x", 1);
+        a.inc("y", 2);
+        let b = Counters::new();
+        b.inc("y", 3);
+        b.inc("z", 4);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap["x"], 1);
+        assert_eq!(snap["y"], 5);
+        assert_eq!(snap["z"], 4);
+    }
+}

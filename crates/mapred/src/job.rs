@@ -1,0 +1,1047 @@
+//! Job submission and execution: the driver, the jobtracker's scheduling
+//! and retry logic, and the shuffle.
+//!
+//! A [`MapReduceJob`] mirrors the paper's `Driver` class (§IV): it names
+//! the input file, the mapper, the reducer, an optional combiner, and the
+//! runtime configuration, then `run()`s the whole thing. Tasks execute in
+//! parallel on host threads (rayon); every task's wall time is measured
+//! and fed to [`crate::sim::simulate`] so the result carries both the real
+//! elapsed time and the virtual-cluster makespan.
+//!
+//! Failure handling follows Hadoop: a task attempt may be killed (here:
+//! deterministically injected via [`FailurePlan`]), and the jobtracker
+//! reschedules it until `max_attempts` is exhausted, at which point the
+//! job fails.
+
+use crate::api::{Combiner, Emitter, Mapper, MrKey, MrValue, Reducer, TaskContext};
+use crate::cache::DistributedCache;
+use crate::config::JobConfig;
+use crate::counters::{builtin, Counters};
+use crate::dfs::{Dfs, DfsError};
+use crate::hash::{default_partition, unit_hash};
+use crate::sim::{simulate, MapTaskSim, ReduceTaskSim, SimReport};
+use crate::topology::Cluster;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic task-failure injection. A map attempt `(task, attempt)`
+/// fails iff a fixed hash of `(job, phase, task, attempt, seed)` falls
+/// below the configured probability — reproducible across runs, so tests
+/// can assert exact retry counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailurePlan {
+    /// Probability that any single map attempt fails.
+    pub map_fail_prob: f64,
+    /// Probability that any single reduce attempt fails.
+    pub reduce_fail_prob: f64,
+    /// Seed mixed into the per-attempt hash.
+    pub seed: u64,
+    /// Attempts per task before the whole job is failed (Hadoop: 4).
+    pub max_attempts: u32,
+}
+
+impl FailurePlan {
+    /// No injected failures.
+    pub fn none() -> Self {
+        Self {
+            map_fail_prob: 0.0,
+            reduce_fail_prob: 0.0,
+            seed: 0,
+            max_attempts: 4,
+        }
+    }
+
+    /// Fail both phases' attempts with probability `p`.
+    pub fn with_probability(p: f64, seed: u64) -> Self {
+        Self {
+            map_fail_prob: p,
+            reduce_fail_prob: p,
+            seed,
+            max_attempts: 4,
+        }
+    }
+}
+
+/// Why a job did not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The input file could not be read.
+    Dfs(DfsError),
+    /// A task exhausted its attempts.
+    TaskFailed {
+        /// `"map"` or `"reduce"`.
+        phase: &'static str,
+        /// 0-based task index within the phase.
+        task: usize,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+impl From<DfsError> for JobError {
+    fn from(e: DfsError) -> Self {
+        JobError::Dfs(e)
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Dfs(e) => write!(f, "{e}"),
+            JobError::TaskFailed {
+                phase,
+                task,
+                attempts,
+            } => write!(f, "{phase} task {task} failed after {attempts} attempts"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Everything the driver learns from a finished job besides its output.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// Job name (for reports).
+    pub name: String,
+    /// Number of map tasks (= number of input chunks).
+    pub map_tasks: usize,
+    /// Number of reduce tasks (0 for map-only jobs).
+    pub reduce_tasks: usize,
+    /// Real wall-clock time of the in-process parallel execution.
+    pub real_elapsed: Duration,
+    /// Virtual-cluster replay of the measured task times.
+    pub sim: SimReport,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// A finished job: its output pairs plus [`JobStats`].
+#[derive(Debug, Clone)]
+pub struct JobResult<K, V> {
+    /// Output pairs, deterministically ordered (see the job types' docs).
+    pub output: Vec<(K, V)>,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+/// Placeholder combiner type for jobs that do not use one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCombiner;
+
+impl<K2: MrKey, V2: MrValue> Combiner<K2, V2> for NoCombiner {
+    fn combine(&mut self, _key: &K2, values: &[V2]) -> Vec<V2> {
+        values.to_vec()
+    }
+}
+
+type PairBytes<K, V> = Arc<dyn Fn(&K, &V) -> usize + Send + Sync>;
+type Partitioner<K> = Arc<dyn Fn(&K, usize) -> usize + Send + Sync>;
+
+/// A full map+shuffle+reduce job.
+///
+/// Output ordering: reduce partitions in partition-index order; within a
+/// partition, key groups in ascending key order — fully deterministic.
+pub struct MapReduceJob<'a, V1, M, R, C = NoCombiner>
+where
+    M: Mapper<V1>,
+{
+    name: String,
+    cluster: &'a Cluster,
+    dfs: &'a Dfs<V1>,
+    input: String,
+    mapper: M,
+    reducer: R,
+    combiner: Option<C>,
+    num_reducers: usize,
+    config: JobConfig,
+    cache: DistributedCache,
+    pair_bytes: Option<PairBytes<M::KOut, M::VOut>>,
+    partitioner: Option<Partitioner<M::KOut>>,
+}
+
+impl<'a, V1, M, R> MapReduceJob<'a, V1, M, R, NoCombiner>
+where
+    V1: MrValue,
+    M: Mapper<V1>,
+    R: Reducer<M::KOut, M::VOut>,
+{
+    /// A job reading `input` from `dfs`, with one reduce task per worker
+    /// node by default.
+    pub fn new(
+        name: &str,
+        cluster: &'a Cluster,
+        dfs: &'a Dfs<V1>,
+        input: &str,
+        mapper: M,
+        reducer: R,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            cluster,
+            dfs,
+            input: input.to_string(),
+            mapper,
+            reducer,
+            combiner: None,
+            num_reducers: cluster.topology.num_nodes(),
+            config: JobConfig::new(),
+            cache: DistributedCache::new(),
+            pair_bytes: None,
+            partitioner: None,
+        }
+    }
+}
+
+impl<'a, V1, M, R, C> MapReduceJob<'a, V1, M, R, C>
+where
+    V1: MrValue,
+    M: Mapper<V1>,
+    R: Reducer<M::KOut, M::VOut>,
+    C: Combiner<M::KOut, M::VOut>,
+{
+    /// Adds a map-side combiner.
+    pub fn with_combiner<C2>(self, combiner: C2) -> MapReduceJob<'a, V1, M, R, C2>
+    where
+        C2: Combiner<M::KOut, M::VOut>,
+    {
+        MapReduceJob {
+            name: self.name,
+            cluster: self.cluster,
+            dfs: self.dfs,
+            input: self.input,
+            mapper: self.mapper,
+            reducer: self.reducer,
+            combiner: Some(combiner),
+            num_reducers: self.num_reducers,
+            config: self.config,
+            cache: self.cache,
+            pair_bytes: self.pair_bytes,
+            partitioner: self.partitioner,
+        }
+    }
+
+    /// Sets the number of reduce tasks (≥ 1; use [`MapOnlyJob`] for 0).
+    pub fn reducers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "MapReduceJob needs >= 1 reducer");
+        self.num_reducers = n;
+        self
+    }
+
+    /// Sets the job configuration.
+    pub fn config(mut self, config: JobConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the distributed cache.
+    pub fn cache(mut self, cache: DistributedCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Overrides the intermediate-pair size estimator used for shuffle
+    /// accounting (default: `size_of::<(K, V)>()`).
+    pub fn pair_bytes(
+        mut self,
+        f: impl Fn(&M::KOut, &M::VOut) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        self.pair_bytes = Some(Arc::new(f));
+        self
+    }
+
+    /// Overrides the partitioner (default: deterministic hash modulo the
+    /// reducer count — Hadoop's `HashPartitioner`). `f(key, num_reducers)`
+    /// must return a value `< num_reducers`.
+    pub fn partitioner(
+        mut self,
+        f: impl Fn(&M::KOut, usize) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        self.partitioner = Some(Arc::new(f));
+        self
+    }
+
+    /// Runs the job to completion.
+    pub fn run(self) -> Result<JobResult<R::KOut, R::VOut>, JobError> {
+        let started = Instant::now();
+        let counters = Counters::new();
+        let map_phase = run_map_phase(
+            &self.name,
+            self.cluster,
+            self.dfs,
+            &self.input,
+            &self.mapper,
+            self.combiner.as_ref(),
+            self.num_reducers,
+            &self.config,
+            &self.cache,
+            &counters,
+            self.pair_bytes.as_ref(),
+            self.partitioner.clone(),
+        )?;
+
+        // ---- shuffle: regroup per reduce partition, sort, group ----
+        let MapPhaseOutput {
+            partitions,
+            sim_tasks: map_sim,
+            partition_bytes,
+        } = map_phase;
+
+        // ---- reduce tasks, in parallel ----
+        let reducer_clones: Vec<R> = (0..partition_bytes.len())
+            .map(|_| self.reducer.clone())
+            .collect();
+        type ReduceResults<K, V> = Vec<Result<ReduceTaskOutput<K, V>, JobError>>;
+        let reduce_results: ReduceResults<R::KOut, R::VOut> =
+            partitions
+                .into_par_iter()
+                .zip(reducer_clones)
+                .enumerate()
+                .map(|(task_id, (mut pairs, mut reducer))| {
+                    let fail = &self.cluster.failures;
+                    let mut attempt = 1u32;
+                    while unit_hash(&(self.name.as_str(), "reduce", task_id, attempt, fail.seed))
+                        < fail.reduce_fail_prob
+                    {
+                        counters.inc(builtin::TASK_RETRIES, 1);
+                        attempt += 1;
+                        if attempt > fail.max_attempts {
+                            return Err(JobError::TaskFailed {
+                                phase: "reduce",
+                                task: task_id,
+                                attempts: fail.max_attempts,
+                            });
+                        }
+                    }
+                    let t0 = Instant::now();
+                    // Sort-based grouping; stable sort keeps the map-task
+                    // emission order within a key deterministic.
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let ctx = TaskContext {
+                        task_id,
+                        attempt,
+                        config: &self.config,
+                        cache: &self.cache,
+                        counters: &counters,
+                    };
+                    reducer.setup(&ctx);
+                    let mut out = Emitter::new();
+                    let mut start = 0;
+                    counters.inc(builtin::REDUCE_INPUT_RECORDS, pairs.len() as u64);
+                    while start < pairs.len() {
+                        let key = pairs[start].0.clone();
+                        let mut end = start + 1;
+                        while end < pairs.len() && pairs[end].0 == key {
+                            end += 1;
+                        }
+                        let values: Vec<M::VOut> =
+                            pairs[start..end].iter().map(|(_, v)| v.clone()).collect();
+                        counters.inc(builtin::REDUCE_INPUT_GROUPS, 1);
+                        reducer.reduce(&key, &values, &mut out);
+                        start = end;
+                    }
+                    reducer.cleanup(&mut out);
+                    let host_secs = t0.elapsed().as_secs_f64();
+                    let output = out.into_pairs();
+                    counters.inc(builtin::REDUCE_OUTPUT_RECORDS, output.len() as u64);
+                    Ok(ReduceTaskOutput {
+                        output,
+                        host_secs,
+                        input_records: pairs.len() as u64,
+                    })
+                })
+                .collect();
+
+        let mut output = Vec::new();
+        let mut reduce_sim = Vec::new();
+        for (task_id, r) in reduce_results.into_iter().enumerate() {
+            let r = r?;
+            reduce_sim.push(ReduceTaskSim {
+                host_secs: r.host_secs,
+                shuffle_bytes: partition_bytes[task_id],
+                records: r.input_records,
+            });
+            output.extend(r.output);
+        }
+
+        let sim = simulate(
+            &self.cluster.topology,
+            &self.cluster.sim,
+            &map_sim,
+            &reduce_sim,
+        );
+        let stats = JobStats {
+            name: self.name,
+            map_tasks: map_sim.len(),
+            reduce_tasks: reduce_sim.len(),
+            real_elapsed: started.elapsed(),
+            sim,
+            counters: counters.snapshot(),
+        };
+        Ok(JobResult { output, stats })
+    }
+}
+
+/// A map-only job (the paper's sampling and DJ-Cluster preprocessing:
+/// "the reduce phase is not necessary").
+///
+/// Output ordering: map tasks in chunk order, pairs in emission order —
+/// i.e. input order is preserved for record-to-record filters.
+pub struct MapOnlyJob<'a, V1, M>
+where
+    M: Mapper<V1>,
+{
+    name: String,
+    cluster: &'a Cluster,
+    dfs: &'a Dfs<V1>,
+    input: String,
+    mapper: M,
+    config: JobConfig,
+    cache: DistributedCache,
+    pair_bytes: Option<PairBytes<M::KOut, M::VOut>>,
+}
+
+impl<'a, V1, M> MapOnlyJob<'a, V1, M>
+where
+    V1: MrValue,
+    M: Mapper<V1>,
+{
+    /// A map-only job reading `input` from `dfs`.
+    pub fn new(name: &str, cluster: &'a Cluster, dfs: &'a Dfs<V1>, input: &str, mapper: M) -> Self {
+        Self {
+            name: name.to_string(),
+            cluster,
+            dfs,
+            input: input.to_string(),
+            mapper,
+            config: JobConfig::new(),
+            cache: DistributedCache::new(),
+            pair_bytes: None,
+        }
+    }
+
+    /// Sets the job configuration.
+    pub fn config(mut self, config: JobConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the distributed cache.
+    pub fn cache(mut self, cache: DistributedCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Overrides the output-pair size estimator.
+    pub fn pair_bytes(
+        mut self,
+        f: impl Fn(&M::KOut, &M::VOut) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        self.pair_bytes = Some(Arc::new(f));
+        self
+    }
+
+    /// Runs the job to completion.
+    pub fn run(self) -> Result<JobResult<M::KOut, M::VOut>, JobError> {
+        let started = Instant::now();
+        let counters = Counters::new();
+        let MapPhaseOutput {
+            partitions,
+            sim_tasks,
+            ..
+        } = run_map_phase(
+            &self.name,
+            self.cluster,
+            self.dfs,
+            &self.input,
+            &self.mapper,
+            None::<&NoCombiner>,
+            0,
+            &self.config,
+            &self.cache,
+            &counters,
+            self.pair_bytes.as_ref(),
+            None,
+        )?;
+        let output = partitions.into_iter().flatten().collect();
+        let sim = simulate(&self.cluster.topology, &self.cluster.sim, &sim_tasks, &[]);
+        let stats = JobStats {
+            name: self.name,
+            map_tasks: sim_tasks.len(),
+            reduce_tasks: 0,
+            real_elapsed: started.elapsed(),
+            sim,
+            counters: counters.snapshot(),
+        };
+        Ok(JobResult { output, stats })
+    }
+}
+
+struct ReduceTaskOutput<K, V> {
+    output: Vec<(K, V)>,
+    host_secs: f64,
+    input_records: u64,
+}
+
+struct MapPhaseOutput<K, V> {
+    /// One bucket per reduce partition (`num_reducers == 0` → a bucket
+    /// per map task, preserving chunk order).
+    partitions: Vec<Vec<(K, V)>>,
+    sim_tasks: Vec<MapTaskSim>,
+    partition_bytes: Vec<u64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_map_phase<V1, M, C>(
+    job_name: &str,
+    cluster: &Cluster,
+    dfs: &Dfs<V1>,
+    input: &str,
+    mapper: &M,
+    combiner: Option<&C>,
+    num_reducers: usize,
+    config: &JobConfig,
+    cache: &DistributedCache,
+    counters: &Counters,
+    pair_bytes: Option<&PairBytes<M::KOut, M::VOut>>,
+    partitioner: Option<Partitioner<M::KOut>>,
+) -> Result<MapPhaseOutput<M::KOut, M::VOut>, JobError>
+where
+    V1: MrValue,
+    M: Mapper<V1>,
+    C: Combiner<M::KOut, M::VOut>,
+{
+    let block_ids = dfs.blocks_of(input)?.to_vec();
+    // Global record offset of each chunk.
+    let mut offsets = Vec::with_capacity(block_ids.len());
+    let mut acc = 0u64;
+    for &id in &block_ids {
+        offsets.push(acc);
+        acc += dfs.block(id).data.len() as u64;
+    }
+
+    let default_pair_size = std::mem::size_of::<(M::KOut, M::VOut)>();
+    let mapper_clones: Vec<(M, Option<C>)> = (0..block_ids.len())
+        .map(|_| (mapper.clone(), combiner.cloned()))
+        .collect();
+    type MapResults<K, V> = Vec<Result<MapTaskResult<K, V>, JobError>>;
+    let results: MapResults<M::KOut, M::VOut> = block_ids
+        .par_iter()
+        .zip(mapper_clones)
+        .enumerate()
+        .map(|(task_id, (&block_id, (mut m, combiner)))| {
+            let fail = &cluster.failures;
+            let mut attempt = 1u32;
+            while unit_hash(&(job_name, "map", task_id, attempt, fail.seed)) < fail.map_fail_prob
+            {
+                counters.inc(builtin::TASK_RETRIES, 1);
+                attempt += 1;
+                if attempt > fail.max_attempts {
+                    return Err(JobError::TaskFailed {
+                        phase: "map",
+                        task: task_id,
+                        attempts: fail.max_attempts,
+                    });
+                }
+            }
+            let block = dfs.block(block_id);
+            let t0 = Instant::now();
+            let ctx = TaskContext {
+                task_id,
+                attempt,
+                config,
+                cache,
+                counters,
+            };
+            m.setup(&ctx);
+            let mut out = Emitter::new();
+            for (j, record) in block.data.iter().enumerate() {
+                m.map(offsets[task_id] + j as u64, record, &mut out);
+            }
+            m.cleanup(&mut out);
+            counters.inc(builtin::MAP_INPUT_RECORDS, block.data.len() as u64);
+            counters.inc(builtin::MAP_OUTPUT_RECORDS, out.len() as u64);
+
+            // Partition (and optionally combine) this task's output.
+            let pairs = out.into_pairs();
+            let (buckets, bytes) = if num_reducers == 0 {
+                let sz: u64 = pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        pair_bytes.map_or(default_pair_size, |f| f(k, v)) as u64
+                    })
+                    .sum();
+                (vec![pairs], vec![sz])
+            } else {
+                let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> =
+                    (0..num_reducers).map(|_| Vec::new()).collect();
+                for (k, v) in pairs {
+                    let p = match &partitioner {
+                        Some(f) => {
+                            let p = f(&k, num_reducers);
+                            assert!(
+                                p < num_reducers,
+                                "partitioner returned {p} for {num_reducers} reducers"
+                            );
+                            p
+                        }
+                        None => default_partition(&k, num_reducers),
+                    };
+                    buckets[p].push((k, v));
+                }
+                if let Some(c) = &combiner {
+                    for bucket in buckets.iter_mut() {
+                        *bucket = run_combiner(c, std::mem::take(bucket), counters);
+                    }
+                }
+                let bytes = buckets
+                    .iter()
+                    .map(|b| {
+                        b.iter()
+                            .map(|(k, v)| {
+                                pair_bytes.map_or(default_pair_size, |f| f(k, v)) as u64
+                            })
+                            .sum()
+                    })
+                    .collect();
+                (buckets, bytes)
+            };
+            let host_secs = t0.elapsed().as_secs_f64();
+            Ok(MapTaskResult {
+                buckets,
+                bucket_bytes: bytes,
+                sim: MapTaskSim {
+                    host_secs,
+                    input_bytes: block.bytes as u64,
+                    records: block.data.len() as u64,
+                    replicas: block.replicas.clone(),
+                },
+            })
+        })
+        .collect();
+
+    let num_partitions = if num_reducers == 0 {
+        block_ids.len()
+    } else {
+        num_reducers
+    };
+    let mut partitions: Vec<Vec<(M::KOut, M::VOut)>> =
+        (0..num_partitions).map(|_| Vec::new()).collect();
+    let mut partition_bytes = vec![0u64; num_partitions];
+    let mut sim_tasks = Vec::with_capacity(block_ids.len());
+    for (task_id, r) in results.into_iter().enumerate() {
+        let r = r?;
+        sim_tasks.push(r.sim);
+        if num_reducers == 0 {
+            partition_bytes[task_id] = r.bucket_bytes[0];
+            partitions[task_id] = r.buckets.into_iter().next().unwrap();
+        } else {
+            for (p, bucket) in r.buckets.into_iter().enumerate() {
+                partitions[p].extend(bucket);
+                partition_bytes[p] += r.bucket_bytes[p];
+            }
+        }
+    }
+    Ok(MapPhaseOutput {
+        partitions,
+        sim_tasks,
+        partition_bytes,
+    })
+}
+
+struct MapTaskResult<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    bucket_bytes: Vec<u64>,
+    sim: MapTaskSim,
+}
+
+/// Sorts one bucket by key, groups runs, and applies the combiner to each
+/// group.
+fn run_combiner<K: MrKey, V: MrValue, C: Combiner<K, V>>(
+    combiner: &C,
+    mut pairs: Vec<(K, V)>,
+    counters: &Counters,
+) -> Vec<(K, V)> {
+    if pairs.is_empty() {
+        return pairs;
+    }
+    counters.inc(builtin::COMBINE_INPUT_RECORDS, pairs.len() as u64);
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut c = combiner.clone();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < pairs.len() {
+        let key = pairs[start].0.clone();
+        let mut end = start + 1;
+        while end < pairs.len() && pairs[end].0 == key {
+            end += 1;
+        }
+        let values: Vec<V> = pairs[start..end].iter().map(|(_, v)| v.clone()).collect();
+        for v in c.combine(&key, &values) {
+            out.push((key.clone(), v));
+        }
+        start = end;
+    }
+    counters.inc(builtin::COMBINE_OUTPUT_RECORDS, out.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::FnMapper;
+
+    /// Word-count style: map emits (word, 1), reduce sums.
+    #[derive(Clone)]
+    struct SumReducer;
+    impl Reducer<String, u64> for SumReducer {
+        type KOut = String;
+        type VOut = u64;
+        fn reduce(&mut self, key: &String, values: &[u64], out: &mut Emitter<String, u64>) {
+            out.emit(key.clone(), values.iter().sum());
+        }
+    }
+
+    #[derive(Clone)]
+    struct SumCombiner;
+    impl Combiner<String, u64> for SumCombiner {
+        fn combine(&mut self, _key: &String, values: &[u64]) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+
+    fn word_dfs(cluster: &Cluster) -> Dfs<String> {
+        let mut dfs = Dfs::new(cluster.topology.clone(), 32, 3);
+        let words: Vec<String> = "a b c a b a d e a b c d"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        dfs.put_fixed("words", words, 8).unwrap();
+        dfs
+    }
+
+    fn tokenizer() -> impl Mapper<String, KOut = String, VOut = u64> {
+        FnMapper::new(|_off: u64, w: &String, out: &mut Emitter<String, u64>| {
+            out.emit(w.clone(), 1);
+        })
+    }
+
+    fn word_counts(result: &JobResult<String, u64>) -> BTreeMap<String, u64> {
+        result.output.iter().cloned().collect()
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let result = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .run()
+            .unwrap();
+        let counts = word_counts(&result);
+        assert_eq!(counts["a"], 4);
+        assert_eq!(counts["b"], 3);
+        assert_eq!(counts["c"], 2);
+        assert_eq!(counts["d"], 2);
+        assert_eq!(counts["e"], 1);
+        assert!(result.stats.map_tasks > 1, "want multiple chunks");
+        assert_eq!(result.stats.reduce_tasks, 2);
+        assert_eq!(result.stats.counters[builtin::MAP_INPUT_RECORDS], 12);
+        assert_eq!(result.stats.counters[builtin::MAP_OUTPUT_RECORDS], 12);
+        assert_eq!(result.stats.counters[builtin::REDUCE_OUTPUT_RECORDS], 5);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_runs() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let run = || {
+            MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+                .reducers(3)
+                .run()
+                .unwrap()
+                .output
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_without_changing_result() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let plain = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .run()
+            .unwrap();
+        let combined =
+            MapReduceJob::new("wc+c", &cluster, &dfs, "words", tokenizer(), SumReducer)
+                .with_combiner(SumCombiner)
+                .reducers(2)
+                .run()
+                .unwrap();
+        assert_eq!(word_counts(&plain), word_counts(&combined));
+        assert!(
+            combined.stats.sim.shuffle_bytes < plain.stats.sim.shuffle_bytes,
+            "combiner should cut shuffle volume: {} vs {}",
+            combined.stats.sim.shuffle_bytes,
+            plain.stats.sim.shuffle_bytes
+        );
+        assert!(combined.stats.counters[builtin::COMBINE_INPUT_RECORDS] > 0);
+    }
+
+    #[test]
+    fn map_only_preserves_input_order() {
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), 16, 2);
+        dfs.put_fixed("nums", (0..100u64).collect(), 4).unwrap();
+        let mapper = FnMapper::new(|off: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            if v.is_multiple_of(3) {
+                out.emit(off, *v);
+            }
+        });
+        let result = MapOnlyJob::new("filter", &cluster, &dfs, "nums", mapper)
+            .run()
+            .unwrap();
+        let values: Vec<u64> = result.output.iter().map(|&(_, v)| v).collect();
+        let expected: Vec<u64> = (0..100).filter(|v| v % 3 == 0).collect();
+        assert_eq!(values, expected);
+        assert_eq!(result.stats.reduce_tasks, 0);
+        assert!(result.stats.map_tasks >= 2);
+    }
+
+    #[test]
+    fn map_offsets_are_global_record_indices() {
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), 16, 2);
+        dfs.put_fixed("nums", (100..200u64).collect(), 4).unwrap();
+        assert!(dfs.num_blocks("nums").unwrap() > 1);
+        let mapper = FnMapper::new(|off: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            out.emit(off, *v);
+        });
+        let result = MapOnlyJob::new("ident", &cluster, &dfs, "nums", mapper)
+            .run()
+            .unwrap();
+        for (off, v) in result.output {
+            assert_eq!(v, off + 100);
+        }
+    }
+
+    #[test]
+    fn all_values_of_a_key_reach_one_reduce_call() {
+        let cluster = Cluster::local(4, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), 8, 2);
+        // 50 records of key k spread over many chunks.
+        let records: Vec<u64> = (0..200).collect();
+        dfs.put_fixed("r", records, 4).unwrap();
+        let mapper = FnMapper::new(|_off: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            out.emit(v % 4, *v);
+        });
+        #[derive(Clone)]
+        struct CountReducer;
+        impl Reducer<u64, u64> for CountReducer {
+            type KOut = u64;
+            type VOut = u64;
+            fn reduce(&mut self, key: &u64, values: &[u64], out: &mut Emitter<u64, u64>) {
+                // One call per key: emit the group size once.
+                out.emit(*key, values.len() as u64);
+            }
+        }
+        let result = MapReduceJob::new("group", &cluster, &dfs, "r", mapper, CountReducer)
+            .reducers(3)
+            .run()
+            .unwrap();
+        let counts: BTreeMap<u64, u64> = result.output.into_iter().collect();
+        assert_eq!(counts.len(), 4);
+        for k in 0..4 {
+            assert_eq!(counts[&k], 50, "key {k}");
+        }
+        assert_eq!(result.stats.counters[builtin::REDUCE_INPUT_GROUPS], 4);
+    }
+
+    #[test]
+    fn setup_reads_config_and_cache() {
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), 64, 2);
+        dfs.put_fixed("nums", vec![1u64, 2, 3], 8).unwrap();
+
+        #[derive(Clone)]
+        struct OffsetMapper {
+            offset: u64,
+        }
+        impl Mapper<u64> for OffsetMapper {
+            type KOut = u64;
+            type VOut = u64;
+            fn setup(&mut self, ctx: &TaskContext<'_>) {
+                let base = ctx.config.get_i64("base").unwrap() as u64;
+                let extra = *ctx.cache.expect::<u64>("extra");
+                self.offset = base + extra;
+            }
+            fn map(&mut self, _off: u64, v: &u64, out: &mut Emitter<u64, u64>) {
+                out.emit(*v, v + self.offset);
+            }
+        }
+
+        let result = MapOnlyJob::new(
+            "cfg",
+            &cluster,
+            &dfs,
+            "nums",
+            OffsetMapper { offset: 0 },
+        )
+        .config(JobConfig::new().set("base", 100))
+        .cache(DistributedCache::new().with("extra", 10u64))
+        .run()
+        .unwrap();
+        let vals: Vec<u64> = result.output.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![111, 112, 113]);
+    }
+
+    #[test]
+    fn injected_failures_are_retried_and_result_unchanged() {
+        let base = Cluster::local(3, 2);
+        let dfs = word_dfs(&base);
+        let clean = MapReduceJob::new("wc", &base, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .run()
+            .unwrap();
+
+        let flaky = base.clone().with_failures(FailurePlan {
+            map_fail_prob: 0.7,
+            reduce_fail_prob: 0.7,
+            seed: 13,
+            max_attempts: 50,
+        });
+        let retried = MapReduceJob::new("wc", &flaky, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .run()
+            .unwrap();
+        assert_eq!(word_counts(&clean), word_counts(&retried));
+        assert!(
+            retried.stats.counters.get(builtin::TASK_RETRIES).copied().unwrap_or(0) > 0,
+            "with p=0.7 over several tasks some retries must occur"
+        );
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job() {
+        let cluster = Cluster::local(2, 2).with_failures(FailurePlan {
+            map_fail_prob: 1.0, // every attempt fails
+            reduce_fail_prob: 0.0,
+            seed: 1,
+            max_attempts: 3,
+        });
+        let dfs = word_dfs(&cluster);
+        let err = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            JobError::TaskFailed {
+                phase: "map",
+                attempts: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn missing_input_is_a_dfs_error() {
+        let cluster = Cluster::local(2, 2);
+        let dfs: Dfs<String> = Dfs::new(cluster.topology.clone(), 64, 2);
+        let err = MapReduceJob::new("wc", &cluster, &dfs, "nope", tokenizer(), SumReducer)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, JobError::Dfs(DfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn sim_report_attached() {
+        let cluster = Cluster::parapluie();
+        let mut dfs = Dfs::new(cluster.topology.clone(), 64, 3);
+        dfs.put_fixed("nums", (0..1000u64).collect(), 8).unwrap();
+        let mapper = FnMapper::new(|_o: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            out.emit(*v % 10, *v);
+        });
+        let result = MapReduceJob::new("sim", &cluster, &dfs, "nums", mapper, {
+            #[derive(Clone)]
+            struct Max;
+            impl Reducer<u64, u64> for Max {
+                type KOut = u64;
+                type VOut = u64;
+                fn reduce(&mut self, k: &u64, vs: &[u64], out: &mut Emitter<u64, u64>) {
+                    out.emit(*k, vs.iter().copied().max().unwrap());
+                }
+            }
+            Max
+        })
+        .run()
+        .unwrap();
+        let sim = &result.stats.sim;
+        assert!(sim.makespan_s > 0.0);
+        assert_eq!(sim.cluster_startup_s, 25.0);
+        assert_eq!(
+            sim.data_local + sim.rack_local + sim.remote,
+            result.stats.map_tasks
+        );
+        assert!(sim.shuffle_bytes > 0);
+    }
+}
+
+#[cfg(test)]
+mod partitioner_tests {
+    use super::*;
+    use crate::api::FnMapper;
+
+    #[derive(Clone)]
+    struct KeyLister;
+    impl Reducer<u64, u64> for KeyLister {
+        type KOut = usize;
+        type VOut = u64;
+        fn setup(&mut self, _ctx: &TaskContext<'_>) {}
+        fn reduce(&mut self, key: &u64, _values: &[u64], out: &mut Emitter<usize, u64>) {
+            out.emit(0, *key); // keys flow through; partition recovered below
+        }
+    }
+
+    #[test]
+    fn custom_range_partitioner_routes_keys() {
+        // Verify routing via output ordering: partitions are concatenated
+        // in order, so with a range partitioner the keys come out sorted
+        // across partition boundaries.
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), 64, 2);
+        dfs.put_fixed("r", (0..100u64).rev().collect(), 8).unwrap();
+        let mapper = FnMapper::new(|_o: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            out.emit(*v, 1);
+        });
+        let result = MapReduceJob::new("range", &cluster, &dfs, "r", mapper, KeyLister)
+            .reducers(4)
+            .partitioner(|key: &u64, n: usize| (*key as usize * n / 100).min(n - 1))
+            .run()
+            .unwrap();
+        let keys: Vec<u64> = result.output.iter().map(|&(_, k)| k).collect();
+        // Globally sorted: within a partition keys are sorted by the
+        // shuffle, and the range partitioner makes partitions ordered.
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioner returned")]
+    fn out_of_range_partitioner_is_caught() {
+        let cluster = Cluster::local(2, 1);
+        let mut dfs = Dfs::new(cluster.topology.clone(), 64, 2);
+        dfs.put_fixed("r", vec![1u64], 8).unwrap();
+        let mapper = FnMapper::new(|_o: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            out.emit(*v, 1);
+        });
+        let _ = MapReduceJob::new("bad", &cluster, &dfs, "r", mapper, KeyLister)
+            .reducers(2)
+            .partitioner(|_: &u64, n: usize| n) // == n, out of range
+            .run();
+    }
+}

@@ -1,0 +1,522 @@
+//! The cluster-time simulator.
+//!
+//! Map/reduce tasks *really* execute in parallel on host threads (see
+//! [`crate::job`]); this module answers "how long would this job have
+//! taken on the paper's cluster?" by replaying each task's **measured**
+//! CPU time through a locality-aware slot scheduler over a virtual
+//! [`Topology`]. It models the effects the paper's evaluation turns on:
+//!
+//! - one map task per chunk, scheduled preferring data-local, then
+//!   rack-local, then remote nodes (§III: "priority is given to
+//!   neighboring nodes, i.e. belonging to the same network rack");
+//! - reducers start only after the map phase completes;
+//! - shuffle transfer time proportional to intermediate bytes;
+//! - a constant deployment overhead ("approximately 25 seconds", §VI).
+
+use crate::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Where a map task ran relative to its input chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// On a node holding a replica of the chunk.
+    DataLocal,
+    /// On a different node of a replica-holding rack.
+    RackLocal,
+    /// Anywhere else: the chunk crosses racks.
+    Remote,
+}
+
+/// Time-model parameters of the virtual cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Fixed per-task overhead (task launch, JVM reuse, heartbeat), secs.
+    pub task_startup_s: f64,
+    /// Multiplier from measured host-thread seconds to virtual-node
+    /// seconds (>1 emulates slower 2013-era cores). This carries the
+    /// *algorithmic* cost differences (e.g. Haversine vs squared
+    /// Euclidean) into the virtual timeline.
+    pub cpu_scale: f64,
+    /// Fixed per-record cost in microseconds, modeling Hadoop's
+    /// per-record overhead (text parsing, serialization, object churn) —
+    /// the dominant term of the paper's per-iteration times, invisible
+    /// to a Rust host measurement.
+    pub per_record_us: f64,
+    /// Intra-rack network bandwidth, MB/s.
+    pub net_mb_s: f64,
+    /// Cross-rack network bandwidth, MB/s.
+    pub cross_rack_mb_s: f64,
+    /// One-off HDFS deployment + daemon startup overhead, secs.
+    pub cluster_startup_s: f64,
+    /// Per-job fixed overhead (job setup, split computation, commit) —
+    /// what dominates small Hadoop jobs; added once to every makespan.
+    pub job_overhead_s: f64,
+    /// Probability that a task lands on a straggling executor
+    /// (deterministic per task index; 0 disables straggler modeling).
+    pub straggler_prob: f64,
+    /// Slowdown factor a straggling task suffers.
+    pub straggler_slowdown: f64,
+    /// Hadoop's speculative execution: when a straggler is detected a
+    /// backup task is launched on another node, capping the effective
+    /// slowdown at ~2× nominal (detection + fresh run).
+    pub speculative_execution: bool,
+}
+
+impl SimParams {
+    /// Profile calibrated to the paper's §VI observations: ~25 s
+    /// deployment overhead, gigabit-class network, sub-second task
+    /// startup, and a CPU scale that maps one 2026 host thread to one
+    /// 1.7 GHz Opteron core.
+    pub fn parapluie() -> Self {
+        Self {
+            task_startup_s: 0.8,
+            cpu_scale: 15.0,
+            per_record_us: 25.0,
+            net_mb_s: 112.0,
+            cross_rack_mb_s: 80.0,
+            cluster_startup_s: 25.0,
+            job_overhead_s: 20.0,
+            straggler_prob: 0.03,
+            straggler_slowdown: 6.0,
+            speculative_execution: true,
+        }
+    }
+
+    /// Overhead-free profile for unit tests: virtual time ≈ pure measured
+    /// CPU time.
+    pub fn instant() -> Self {
+        Self {
+            task_startup_s: 0.0,
+            cpu_scale: 1.0,
+            per_record_us: 0.0,
+            net_mb_s: f64::INFINITY,
+            cross_rack_mb_s: f64::INFINITY,
+            cluster_startup_s: 0.0,
+            job_overhead_s: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+            speculative_execution: false,
+        }
+    }
+}
+
+/// One map task's inputs to the simulator.
+#[derive(Debug, Clone)]
+pub struct MapTaskSim {
+    /// Measured host-thread seconds of the task body.
+    pub host_secs: f64,
+    /// Bytes of the input chunk (transferred when run non-locally).
+    pub input_bytes: u64,
+    /// Records in the input chunk (drives the per-record cost model).
+    pub records: u64,
+    /// Datanodes holding replicas of the input chunk.
+    pub replicas: Vec<NodeId>,
+}
+
+/// One reduce task's inputs to the simulator.
+#[derive(Debug, Clone)]
+pub struct ReduceTaskSim {
+    /// Measured host-thread seconds of the task body.
+    pub host_secs: f64,
+    /// Intermediate bytes this reducer pulls from mappers.
+    pub shuffle_bytes: u64,
+    /// Intermediate records this reducer consumes.
+    pub records: u64,
+}
+
+/// The simulator's verdict for one job.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Virtual job time excluding cluster startup, seconds.
+    pub makespan_s: f64,
+    /// Virtual map-phase span, seconds.
+    pub map_phase_s: f64,
+    /// Virtual shuffle+reduce span, seconds.
+    pub reduce_phase_s: f64,
+    /// The modeled one-off deployment overhead, seconds.
+    pub cluster_startup_s: f64,
+    /// Tasks that hit a straggling executor.
+    pub stragglers: usize,
+    /// Stragglers rescued by a speculative backup task.
+    pub speculated: usize,
+    /// Map tasks that ran data-local / rack-local / remote.
+    pub data_local: usize,
+    /// See [`SimReport::data_local`].
+    pub rack_local: usize,
+    /// See [`SimReport::data_local`].
+    pub remote: usize,
+    /// Total bytes shuffled from mappers to reducers.
+    pub shuffle_bytes: u64,
+}
+
+/// Per-node slot pool: each node owns `slots` identical slots whose next
+/// free times are tracked individually.
+struct SlotPool {
+    free_at: Vec<Vec<f64>>, // free_at[node][slot]
+    /// Rotates the tie-break start so simultaneous-idle nodes take turns
+    /// (a heartbeat-order stand-in; without it every task of an idle
+    /// cluster would land on node 0).
+    rotation: usize,
+}
+
+impl SlotPool {
+    fn new(topology: &Topology) -> Self {
+        Self {
+            free_at: vec![vec![0.0; topology.slots_per_node()]; topology.num_nodes()],
+            rotation: 0,
+        }
+    }
+
+    /// `(node, slot, time)` of the earliest free slot; ties broken
+    /// round-robin across nodes (deterministic).
+    fn earliest(&mut self) -> (NodeId, usize, f64) {
+        let n_nodes = self.free_at.len();
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for i in 0..n_nodes {
+            let n = (self.rotation + i) % n_nodes;
+            for (s, &t) in self.free_at[n].iter().enumerate() {
+                if t < best.2 {
+                    best = (n, s, t);
+                }
+            }
+        }
+        self.rotation = (best.0 + 1) % n_nodes;
+        best
+    }
+
+    fn occupy(&mut self, node: NodeId, slot: usize, until: f64) {
+        self.free_at[node][slot] = until;
+    }
+}
+
+/// Replays a job's measured task times on the virtual cluster.
+///
+/// Scheduling model: whenever a slot frees (pull-based, like tasktracker
+/// heartbeats), the jobtracker hands it the first still-pending map task
+/// that is data-local to that node, else rack-local, else any pending
+/// task — Hadoop's locality waterfall.
+pub fn simulate(
+    topology: &Topology,
+    params: &SimParams,
+    map_tasks: &[MapTaskSim],
+    reduce_tasks: &[ReduceTaskSim],
+) -> SimReport {
+    let mut report = SimReport {
+        cluster_startup_s: params.cluster_startup_s,
+        ..SimReport::default()
+    };
+
+    // ---- map wave ----
+    let mut pool = SlotPool::new(topology);
+    let mut pending: Vec<usize> = (0..map_tasks.len()).collect();
+    let mut map_end: f64 = 0.0;
+    let mut task_seq = 0usize;
+    while !pending.is_empty() {
+        let (node, slot, at) = pool.earliest();
+        let rack = topology.rack_of(node);
+        // Locality waterfall over the pending list.
+        let pick = pending
+            .iter()
+            .position(|&t| map_tasks[t].replicas.contains(&node))
+            .map(|i| (i, Locality::DataLocal))
+            .or_else(|| {
+                pending
+                    .iter()
+                    .position(|&t| {
+                        map_tasks[t]
+                            .replicas
+                            .iter()
+                            .any(|&r| topology.rack_of(r) == rack)
+                    })
+                    .map(|i| (i, Locality::RackLocal))
+            })
+            .unwrap_or((0, Locality::Remote));
+        let (idx, locality) = pick;
+        let task = &map_tasks[pending.swap_remove(idx)];
+        let transfer_s = match locality {
+            Locality::DataLocal => 0.0,
+            Locality::RackLocal => task.input_bytes as f64 / (params.net_mb_s * 1e6),
+            Locality::Remote => task.input_bytes as f64 / (params.cross_rack_mb_s * 1e6),
+        };
+        match locality {
+            Locality::DataLocal => report.data_local += 1,
+            Locality::RackLocal => report.rack_local += 1,
+            Locality::Remote => report.remote += 1,
+        }
+        let nominal = params.task_startup_s
+            + transfer_s
+            + task.records as f64 * params.per_record_us * 1e-6
+            + task.host_secs * params.cpu_scale;
+        task_seq += 1;
+        let dur = straggler_adjusted(params, task_seq, nominal, &mut report);
+        let end = at + dur;
+        pool.occupy(node, slot, end);
+        map_end = map_end.max(end);
+    }
+    report.map_phase_s = map_end;
+
+    // ---- shuffle + reduce wave (starts when the map phase completes) ----
+    let mut reduce_end = map_end;
+    if !reduce_tasks.is_empty() {
+        let mut pool = SlotPool::new(topology);
+        // Slots only become usable at map_end.
+        for node in pool.free_at.iter_mut() {
+            for t in node.iter_mut() {
+                *t = map_end;
+            }
+        }
+        // On average (N-1)/N of a reducer's input crosses the network.
+        let remote_fraction = if topology.num_nodes() > 1 {
+            (topology.num_nodes() - 1) as f64 / topology.num_nodes() as f64
+        } else {
+            0.0
+        };
+        for task in reduce_tasks {
+            let (node, slot, at) = pool.earliest();
+            let transfer_s =
+                task.shuffle_bytes as f64 * remote_fraction / (params.net_mb_s * 1e6);
+            let nominal = params.task_startup_s
+                + transfer_s
+                + task.records as f64 * params.per_record_us * 1e-6
+                + task.host_secs * params.cpu_scale;
+            task_seq += 1;
+            let dur = straggler_adjusted(params, task_seq, nominal, &mut report);
+            pool.occupy(node, slot, at + dur);
+            reduce_end = reduce_end.max(at + dur);
+            report.shuffle_bytes += task.shuffle_bytes;
+        }
+    }
+    report.reduce_phase_s = reduce_end - map_end;
+    report.makespan_s = reduce_end + params.job_overhead_s;
+    report
+}
+
+/// Applies the straggler model to one task's nominal duration.
+///
+/// With probability `straggler_prob` (deterministic in the task's
+/// sequence number) the executor is slow by `straggler_slowdown`. With
+/// speculative execution on, the jobtracker launches a backup once the
+/// task overruns its nominal time, so the effective duration caps at
+/// ~2× nominal (detection latency + a fresh full run).
+fn straggler_adjusted(
+    params: &SimParams,
+    task_seq: usize,
+    nominal: f64,
+    report: &mut SimReport,
+) -> f64 {
+    if params.straggler_prob <= 0.0 {
+        return nominal;
+    }
+    let roll = crate::hash::unit_hash(&("straggler", task_seq));
+    if roll >= params.straggler_prob {
+        return nominal;
+    }
+    report.stragglers += 1;
+    let slowed = nominal * params.straggler_slowdown.max(1.0);
+    if params.speculative_execution {
+        report.speculated += 1;
+        slowed.min(nominal * 2.0)
+    } else {
+        slowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_task(secs: f64, replicas: Vec<NodeId>) -> MapTaskSim {
+        MapTaskSim {
+            host_secs: secs,
+            input_bytes: 64 << 20,
+            records: 0,
+            replicas,
+        }
+    }
+
+    #[test]
+    fn single_task_takes_its_duration() {
+        let topo = Topology::new(2, 1, 1);
+        let r = simulate(
+            &topo,
+            &SimParams::instant(),
+            &[map_task(3.0, vec![0])],
+            &[],
+        );
+        assert!((r.makespan_s - 3.0).abs() < 1e-9);
+        assert_eq!(r.data_local, 1);
+        assert_eq!(r.reduce_phase_s, 0.0);
+    }
+
+    #[test]
+    fn parallel_tasks_overlap() {
+        let topo = Topology::new(4, 1, 1);
+        let tasks: Vec<MapTaskSim> = (0..4).map(|n| map_task(2.0, vec![n])).collect();
+        let r = simulate(&topo, &SimParams::instant(), &tasks, &[]);
+        assert!((r.makespan_s - 2.0).abs() < 1e-9, "{}", r.makespan_s);
+        assert_eq!(r.data_local, 4);
+    }
+
+    #[test]
+    fn limited_slots_serialize_work() {
+        let topo = Topology::new(1, 1, 2);
+        let tasks: Vec<MapTaskSim> = (0..4).map(|_| map_task(1.0, vec![0])).collect();
+        let r = simulate(&topo, &SimParams::instant(), &tasks, &[]);
+        // 4 tasks of 1 s on 2 slots = 2 s.
+        assert!((r.makespan_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_chunks_faster_with_free_slots() {
+        // The Table III effect: with slots to spare, halving the chunk
+        // size (twice the tasks, each half as long) shortens the job
+        // because the long tail shrinks.
+        let topo = Topology::new(5, 1, 4); // 20 slots
+        let coarse: Vec<MapTaskSim> = (0..24).map(|n| map_task(2.0, vec![n % 5])).collect();
+        let fine: Vec<MapTaskSim> = (0..48).map(|n| map_task(1.0, vec![n % 5])).collect();
+        let p = SimParams {
+            task_startup_s: 0.05,
+            ..SimParams::instant()
+        };
+        let rc = simulate(&topo, &p, &coarse, &[]);
+        let rf = simulate(&topo, &p, &fine, &[]);
+        assert!(
+            rf.makespan_s < rc.makespan_s,
+            "fine {} vs coarse {}",
+            rf.makespan_s,
+            rc.makespan_s
+        );
+    }
+
+    #[test]
+    fn locality_waterfall_prefers_local() {
+        let topo = Topology::new(2, 2, 1); // 2 nodes, 2 racks
+        // Both tasks' data on node 0; node 1's slot is equally free, so one
+        // task must run remote (different rack).
+        let tasks = vec![map_task(1.0, vec![0]), map_task(1.0, vec![0])];
+        let r = simulate(&topo, &SimParams::instant(), &tasks, &[]);
+        assert_eq!(r.data_local, 1);
+        assert_eq!(r.remote, 1);
+    }
+
+    #[test]
+    fn rack_local_counted() {
+        let topo = Topology::new(4, 2, 1); // racks 0,1,0,1
+        // Data on nodes 0 (rack 0) only; nodes 2 shares rack 0.
+        let tasks = vec![
+            map_task(1.0, vec![0]),
+            map_task(1.0, vec![0]),
+            map_task(1.0, vec![0]),
+            map_task(1.0, vec![0]),
+        ];
+        let r = simulate(&topo, &SimParams::instant(), &tasks, &[]);
+        assert_eq!(r.data_local + r.rack_local + r.remote, 4);
+        assert!(r.rack_local >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn reducers_wait_for_map_phase() {
+        let topo = Topology::new(2, 1, 2);
+        let maps = vec![map_task(2.0, vec![0]), map_task(1.0, vec![1])];
+        let reduces = vec![ReduceTaskSim {
+            host_secs: 1.0,
+            shuffle_bytes: 0,
+            records: 0,
+        }];
+        let r = simulate(&topo, &SimParams::instant(), &maps, &reduces);
+        // map phase = 2 s, reduce = 1 s, strictly sequential phases.
+        assert!((r.makespan_s - 3.0).abs() < 1e-9, "{}", r.makespan_s);
+        assert!((r.map_phase_s - 2.0).abs() < 1e-9);
+        assert!((r.reduce_phase_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_bytes_add_transfer_time() {
+        let topo = Topology::new(2, 1, 1);
+        let maps = vec![map_task(1.0, vec![0])];
+        let mk = |bytes| {
+            simulate(
+                &topo,
+                &SimParams {
+                    net_mb_s: 100.0,
+                    cross_rack_mb_s: 100.0,
+                    ..SimParams::instant()
+                },
+                &maps,
+                &[ReduceTaskSim {
+                    host_secs: 0.0,
+                    shuffle_bytes: bytes,
+                    records: 0,
+                }],
+            )
+        };
+        let small = mk(0);
+        let big = mk(1_000_000_000); // 1 GB over 100 MB/s, half remote
+        assert!(big.makespan_s > small.makespan_s + 4.0);
+        assert_eq!(big.shuffle_bytes, 1_000_000_000);
+    }
+
+    #[test]
+    fn startup_overhead_reported_not_included() {
+        let topo = Topology::parapluie();
+        let r = simulate(
+            &topo,
+            &SimParams::parapluie(),
+            &[map_task(0.1, vec![0])],
+            &[],
+        );
+        assert!((r.cluster_startup_s - 25.0).abs() < 1e-9);
+        // Cluster startup is reported separately, not in the makespan; the
+        // makespan still carries the per-job overhead.
+        let p = SimParams::parapluie();
+        assert!(r.makespan_s >= p.job_overhead_s);
+        assert!(r.makespan_s < p.job_overhead_s + p.cluster_startup_s);
+    }
+
+    #[test]
+    fn speculative_execution_caps_straggler_damage() {
+        let topo = Topology::new(4, 1, 2);
+        let tasks: Vec<MapTaskSim> = (0..32).map(|n| map_task(1.0, vec![n % 4])).collect();
+        let base = SimParams {
+            straggler_prob: 0.25,
+            straggler_slowdown: 10.0,
+            speculative_execution: false,
+            ..SimParams::instant()
+        };
+        let slow = simulate(&topo, &base, &tasks, &[]);
+        let spec = simulate(
+            &topo,
+            &SimParams {
+                speculative_execution: true,
+                ..base
+            },
+            &tasks,
+            &[],
+        );
+        assert!(slow.stragglers > 0, "{slow:?}");
+        assert_eq!(slow.stragglers, spec.stragglers, "same injected stragglers");
+        assert_eq!(spec.speculated, spec.stragglers);
+        assert_eq!(slow.speculated, 0);
+        assert!(
+            spec.makespan_s < slow.makespan_s,
+            "speculation should help: {} vs {}",
+            spec.makespan_s,
+            slow.makespan_s
+        );
+        // Without stragglers both match the clean schedule.
+        let clean = simulate(&topo, &SimParams::instant(), &tasks, &[]);
+        assert!(clean.makespan_s <= spec.makespan_s);
+        assert_eq!(clean.stragglers, 0);
+    }
+
+    #[test]
+    fn cpu_scale_stretches_time() {
+        let topo = Topology::new(1, 1, 1);
+        let p = SimParams {
+            cpu_scale: 10.0,
+            ..SimParams::instant()
+        };
+        let r = simulate(&topo, &p, &[map_task(1.0, vec![0])], &[]);
+        assert!((r.makespan_s - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Engine-level properties: the shuffle groups every value of a key into
+//! exactly one reduce call, map-only jobs are order-preserving filters,
+//! combiners never change results, and failure injection never changes
+//! results (only retry counts).
+
+use gepeto_mapred::{
+    Cluster, Combiner, Dfs, Emitter, FailurePlan, FnMapper, MapOnlyJob, MapReduceJob, Reducer,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone)]
+struct CollectReducer;
+impl Reducer<u64, u64> for CollectReducer {
+    type KOut = u64;
+    type VOut = Vec<u64>;
+    fn reduce(&mut self, key: &u64, values: &[u64], out: &mut Emitter<u64, Vec<u64>>) {
+        let mut vs = values.to_vec();
+        vs.sort_unstable();
+        out.emit(*key, vs);
+    }
+}
+
+#[derive(Clone)]
+struct SumReducer;
+impl Reducer<u64, u64> for SumReducer {
+    type KOut = u64;
+    type VOut = u64;
+    fn reduce(&mut self, key: &u64, values: &[u64], out: &mut Emitter<u64, u64>) {
+        out.emit(*key, values.iter().sum());
+    }
+}
+
+#[derive(Clone)]
+struct SumCombiner;
+impl Combiner<u64, u64> for SumCombiner {
+    fn combine(&mut self, _key: &u64, values: &[u64]) -> Vec<u64> {
+        vec![values.iter().sum()]
+    }
+}
+
+fn key_mapper() -> impl gepeto_mapred::Mapper<u64, KOut = u64, VOut = u64> {
+    FnMapper::new(|_off: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+        out.emit(v % 7, *v);
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shuffle_groups_every_value_exactly_once(
+        records in prop::collection::vec(0u64..1000, 0..300),
+        chunk in 8usize..64,
+        reducers in 1usize..6,
+    ) {
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), chunk, 2);
+        dfs.put_fixed("r", records.clone(), 4).unwrap();
+        let result = MapReduceJob::new("group", &cluster, &dfs, "r", key_mapper(), CollectReducer)
+            .reducers(reducers)
+            .run()
+            .unwrap();
+        // Each key appears exactly once in the output…
+        let mut got: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (k, vs) in result.output {
+            prop_assert!(got.insert(k, vs).is_none(), "key reduced twice");
+        }
+        // …and carries exactly the values the input holds for it.
+        let mut want: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for v in &records {
+            want.entry(v % 7).or_default().push(*v);
+        }
+        for vs in want.values_mut() {
+            vs.sort_unstable();
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_only_filter_preserves_order(
+        records in prop::collection::vec(0u64..1000, 0..300),
+        chunk in 8usize..64,
+        modulus in 2u64..6,
+    ) {
+        let cluster = Cluster::local(4, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), chunk, 2);
+        dfs.put_fixed("r", records.clone(), 4).unwrap();
+        let mapper = FnMapper::new(move |off: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            if v.is_multiple_of(modulus) {
+                out.emit(off, *v);
+            }
+        });
+        let result = MapOnlyJob::new("filter", &cluster, &dfs, "r", mapper).run().unwrap();
+        let got: Vec<u64> = result.output.iter().map(|&(_, v)| v).collect();
+        let want: Vec<u64> = records.iter().copied().filter(|v| v % modulus == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn combiner_is_transparent(
+        records in prop::collection::vec(0u64..1000, 1..300),
+        chunk in 8usize..64,
+    ) {
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), chunk, 2);
+        dfs.put_fixed("r", records, 4).unwrap();
+        let plain = MapReduceJob::new("s", &cluster, &dfs, "r", key_mapper(), SumReducer)
+            .reducers(3).run().unwrap();
+        let combined = MapReduceJob::new("s", &cluster, &dfs, "r", key_mapper(), SumReducer)
+            .with_combiner(SumCombiner)
+            .reducers(3).run().unwrap();
+        prop_assert_eq!(plain.output, combined.output);
+        prop_assert!(combined.stats.sim.shuffle_bytes <= plain.stats.sim.shuffle_bytes);
+    }
+
+    #[test]
+    fn failure_injection_never_changes_output(
+        records in prop::collection::vec(0u64..1000, 1..200),
+        p in 0.0f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let clean_cluster = Cluster::local(3, 2);
+        let mut dfs = Dfs::new(clean_cluster.topology.clone(), 16, 2);
+        dfs.put_fixed("r", records, 4).unwrap();
+        let clean = MapReduceJob::new("s", &clean_cluster, &dfs, "r", key_mapper(), SumReducer)
+            .reducers(2).run().unwrap();
+        let flaky_cluster = Cluster::local(3, 2).with_failures(FailurePlan {
+            map_fail_prob: p,
+            reduce_fail_prob: p,
+            seed,
+            max_attempts: 1000, // never exhaust
+        });
+        let flaky = MapReduceJob::new("s", &flaky_cluster, &dfs, "r", key_mapper(), SumReducer)
+            .reducers(2).run().unwrap();
+        prop_assert_eq!(clean.output, flaky.output);
+    }
+
+    #[test]
+    fn dfs_chunk_count_matches_byte_math(
+        n in 1usize..2000,
+        rec_bytes in 1usize..64,
+        chunk in 1usize..4096,
+    ) {
+        let cluster = Cluster::local(5, 1);
+        let mut dfs = Dfs::new(cluster.topology.clone(), chunk, 3);
+        dfs.put_fixed("f", (0..n as u64).collect(), rec_bytes).unwrap();
+        let per_chunk = chunk.div_ceil(rec_bytes);
+        let want = n.div_ceil(per_chunk);
+        prop_assert_eq!(dfs.num_blocks("f").unwrap(), want);
+        prop_assert_eq!(dfs.read("f").unwrap().len(), n);
+    }
+}

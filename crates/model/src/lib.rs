@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # gepeto-model
+//!
+//! The mobility-trace data model shared by every crate of the GEPETO
+//! workspace, mirroring Section II of *MapReducing GEPETO* (IPDPSW 2013).
+//!
+//! A [`MobilityTrace`] is the atom of location data: an identifier, a
+//! spatial coordinate and a timestamp (plus optional extras such as
+//! altitude). A [`Trail`] is the time-ordered collection of traces of one
+//! individual, and a [`Dataset`] is a set of trails from different
+//! individuals.
+//!
+//! The [`plt`] module implements the GeoLife *PLT* text format used by the
+//! paper's evaluation dataset (Figure 1 of the paper), so that real GeoLife
+//! files can be dropped in for the synthetic generator's output.
+
+pub mod plt;
+pub mod point;
+pub mod time;
+pub mod trace;
+pub mod trail;
+
+pub use point::GeoPoint;
+pub use time::Timestamp;
+pub use trace::{Identifier, MobilityTrace, UserId};
+pub use trail::{Dataset, Trail};

@@ -1,0 +1,230 @@
+//! The GeoLife *PLT* text format (Figure 1 of the paper).
+//!
+//! Each line of a GeoLife trajectory file describes one mobility trace:
+//!
+//! ```text
+//! 39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30
+//! ```
+//!
+//! Field 1/2: latitude/longitude in decimal degrees. Field 3: always `0`
+//! ("has no meaning for this particular dataset"). Field 4: altitude in
+//! feet in real GeoLife; we store meters and do not convert, as the paper
+//! never uses it. Field 5: fractional days since 1899-12-30. Fields 6/7:
+//! the date and time as strings — the timestamp actually used.
+//!
+//! Real GeoLife files also start with a 6-line header, which
+//! [`parse_file`] skips, so genuine `.plt` files parse unchanged.
+
+use crate::{GeoPoint, MobilityTrace, Timestamp, UserId};
+use std::fmt::Write as _;
+
+/// Error cases when decoding a PLT line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PltError {
+    /// The line does not have exactly 7 comma-separated fields.
+    FieldCount(usize),
+    /// A numeric field failed to parse; payload is the field index (0-based).
+    BadNumber(usize),
+    /// The date or time string is malformed or out of range.
+    BadTimestamp,
+    /// The coordinates are outside the WGS-84 envelope.
+    BadCoordinate,
+}
+
+impl std::fmt::Display for PltError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PltError::FieldCount(n) => write!(f, "expected 7 fields, found {n}"),
+            PltError::BadNumber(i) => write!(f, "field {i} is not a valid number"),
+            PltError::BadTimestamp => write!(f, "malformed date/time fields"),
+            PltError::BadCoordinate => write!(f, "coordinates outside WGS-84 range"),
+        }
+    }
+}
+
+impl std::error::Error for PltError {}
+
+/// Formats one trace as a PLT line (no trailing newline).
+pub fn format_line(trace: &MobilityTrace) -> String {
+    let mut s = String::with_capacity(72);
+    let (y, mo, d, hh, mm, ss) = trace.timestamp.to_civil();
+    // GeoLife prints 6 decimal places for coordinates and 10 for days.
+    let _ = write!(
+        s,
+        "{:.6},{:.6},0,{},{:.10},{:04}-{:02}-{:02},{:02}:{:02}:{:02}",
+        trace.point.lat,
+        trace.point.lon,
+        trace.altitude.round() as i64,
+        trace.timestamp.to_spreadsheet_days(),
+        y,
+        mo,
+        d,
+        hh,
+        mm,
+        ss
+    );
+    s
+}
+
+/// Parses one PLT line into a trace owned by `user`.
+pub fn parse_line(user: UserId, line: &str) -> Result<MobilityTrace, PltError> {
+    let fields: Vec<&str> = line.trim_end().split(',').collect();
+    if fields.len() != 7 {
+        return Err(PltError::FieldCount(fields.len()));
+    }
+    let lat: f64 = fields[0].parse().map_err(|_| PltError::BadNumber(0))?;
+    let lon: f64 = fields[1].parse().map_err(|_| PltError::BadNumber(1))?;
+    let altitude: f64 = fields[3].parse().map_err(|_| PltError::BadNumber(3))?;
+    let point = GeoPoint::new(lat, lon);
+    if !point.is_valid() {
+        return Err(PltError::BadCoordinate);
+    }
+    let timestamp = parse_date_time(fields[5], fields[6]).ok_or(PltError::BadTimestamp)?;
+    Ok(MobilityTrace::with_altitude(
+        user,
+        point,
+        timestamp,
+        altitude as f32,
+    ))
+}
+
+/// Parses a whole PLT file body for one user, skipping the 6-line GeoLife
+/// header if present and ignoring blank lines. Malformed data lines are
+/// returned as errors along with their line number (1-based).
+pub fn parse_file(user: UserId, content: &str) -> (Vec<MobilityTrace>, Vec<(usize, PltError)>) {
+    let mut traces = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(user, line) {
+            Ok(t) => traces.push(t),
+            Err(e) => {
+                // Real GeoLife files open with a 6-line preamble
+                // ("Geolife trajectory", "WGS 84", "Altitude is in Feet",
+                // ...). Silently skip header-looking lines at the top.
+                if idx < 6 && !line.contains(',') {
+                    continue;
+                }
+                errors.push((idx + 1, e));
+            }
+        }
+    }
+    (traces, errors)
+}
+
+fn parse_date_time(date: &str, time: &str) -> Option<Timestamp> {
+    let mut dp = date.split('-');
+    let y: i32 = dp.next()?.parse().ok()?;
+    let mo: u32 = dp.next()?.parse().ok()?;
+    let d: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() {
+        return None;
+    }
+    let mut tp = time.split(':');
+    let hh: u32 = tp.next()?.parse().ok()?;
+    let mm: u32 = tp.next()?.parse().ok()?;
+    let ss: u32 = tp.next()?.parse().ok()?;
+    if tp.next().is_some() {
+        return None;
+    }
+    Timestamp::from_civil(y, mo, d, hh, mm, ss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30";
+
+    #[test]
+    fn parses_the_paper_example() {
+        let t = parse_line(3, EXAMPLE).unwrap();
+        assert_eq!(t.user, 3);
+        assert!((t.point.lat - 39.906631).abs() < 1e-9);
+        assert!((t.point.lon - 116.385564).abs() < 1e-9);
+        assert_eq!(t.altitude, 492.0);
+        assert_eq!(t.timestamp.to_civil(), (2009, 10, 11, 14, 4, 30));
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        let t = parse_line(0, EXAMPLE).unwrap();
+        let line = format_line(&t);
+        let t2 = parse_line(0, &line).unwrap();
+        assert!((t.point.lat - t2.point.lat).abs() < 1e-6);
+        assert!((t.point.lon - t2.point.lon).abs() < 1e-6);
+        assert_eq!(t.timestamp, t2.timestamp);
+        assert_eq!(t.altitude, t2.altitude);
+    }
+
+    #[test]
+    fn formatted_line_matches_geolife_shape() {
+        let t = parse_line(0, EXAMPLE).unwrap();
+        let line = format_line(&t);
+        assert_eq!(line.split(',').count(), 7);
+        assert!(line.contains(",0,")); // the meaningless third field
+        assert!(line.ends_with("14:04:30"));
+        // the days field agrees with the paper's example to 1e-8
+        let days: f64 = line.split(',').nth(4).unwrap().parse().unwrap();
+        assert!((days - 40_097.586_458_333_3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        assert_eq!(
+            parse_line(0, "1.0,2.0,0,0"),
+            Err(PltError::FieldCount(4))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_coords() {
+        assert_eq!(
+            parse_line(0, "abc,116.0,0,0,0,2009-10-11,14:04:30"),
+            Err(PltError::BadNumber(0))
+        );
+        assert_eq!(
+            parse_line(0, "95.0,116.0,0,0,0,2009-10-11,14:04:30"),
+            Err(PltError::BadCoordinate)
+        );
+        assert_eq!(
+            parse_line(0, "39.0,116.0,0,0,0,2009-13-11,14:04:30"),
+            Err(PltError::BadTimestamp)
+        );
+        assert_eq!(
+            parse_line(0, "39.0,116.0,0,0,0,2009-10-11,25:04:30"),
+            Err(PltError::BadTimestamp)
+        );
+    }
+
+    #[test]
+    fn parse_file_skips_geolife_header() {
+        let content = "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n0,2,255,My Track,0,0,2,8421376\n0\n39.906631,116.385564,0,492,40097.5864583333,2009-10-11,14:04:30\n";
+        let (traces, errors) = parse_file(9, content);
+        // line 5 of the header contains commas and is reported as an error;
+        // everything comma-free in the preamble is skipped silently.
+        assert_eq!(traces.len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 5);
+    }
+
+    #[test]
+    fn parse_file_reports_bad_body_lines() {
+        let content = format!("{EXAMPLE}\nnot,a,valid,line\n{EXAMPLE}\n");
+        let (traces, errors) = parse_file(1, &content);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 2);
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let content = format!("\n{EXAMPLE}\n\n");
+        let (traces, errors) = parse_file(1, &content);
+        assert_eq!(traces.len(), 1);
+        assert!(errors.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Spatial coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// A WGS-84 position in decimal degrees, as stored in GeoLife logs.
+///
+/// Latitude is in `[-90, 90]`, longitude in `[-180, 180]`. The type is a
+/// plain value type: all geometry (distances, curves, indexes) lives in
+/// `gepeto-geo`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees.
+    pub lat: f64,
+    /// Longitude in decimal degrees.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude/longitude in decimal degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Whether the coordinates are finite and inside the WGS-84 envelope.
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+
+    /// Component-wise minimum (useful for bounding boxes).
+    pub fn min(self, other: Self) -> Self {
+        Self::new(self.lat.min(other.lat), self.lon.min(other.lon))
+    }
+
+    /// Component-wise maximum (useful for bounding boxes).
+    pub fn max(self, other: Self) -> Self {
+        Self::new(self.lat.max(other.lat), self.lon.max(other.lon))
+    }
+}
+
+impl From<(f64, f64)> for GeoPoint {
+    fn from((lat, lon): (f64, f64)) -> Self {
+        Self::new(lat, lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_points() {
+        assert!(GeoPoint::new(39.9, 116.3).is_valid());
+        assert!(GeoPoint::new(-90.0, -180.0).is_valid());
+        assert!(GeoPoint::new(90.0, 180.0).is_valid());
+        assert!(GeoPoint::new(0.0, 0.0).is_valid());
+    }
+
+    #[test]
+    fn invalid_points() {
+        assert!(!GeoPoint::new(90.1, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, -180.5).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn min_max() {
+        let a = GeoPoint::new(1.0, 4.0);
+        let b = GeoPoint::new(2.0, 3.0);
+        assert_eq!(a.min(b), GeoPoint::new(1.0, 3.0));
+        assert_eq!(a.max(b), GeoPoint::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: GeoPoint = (39.9, 116.3).into();
+        assert_eq!(p.lat, 39.9);
+        assert_eq!(p.lon, 116.3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Timestamps and the civil-date arithmetic needed by the GeoLife format.
+//!
+//! GeoLife PLT lines carry the date three times: as a fractional number of
+//! days elapsed since 1899-12-30 (the spreadsheet epoch), and as
+//! `YYYY-MM-DD` / `HH:MM:SS` strings. Internally GEPETO uses a single
+//! integer: seconds since the Unix epoch (GeoLife has one-second
+//! resolution). This module provides the conversions between the three
+//! representations, with proleptic-Gregorian day arithmetic implemented
+//! from scratch (Howard Hinnant's `days_from_civil` algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds between 1899-12-30T00:00:00 and 1970-01-01T00:00:00.
+/// (25 569 days; the spreadsheet epoch used by GeoLife's "days" field.)
+pub const SPREADSHEET_EPOCH_OFFSET_SECS: i64 = 25_569 * 86_400;
+
+/// A point in time with one-second resolution, stored as seconds since the
+/// Unix epoch. Negative values denote pre-1970 instants.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Builds a timestamp from a civil (proleptic Gregorian) date and time
+    /// of day. Returns `None` when any component is out of range.
+    pub fn from_civil(y: i32, m: u32, d: u32, hh: u32, mm: u32, ss: u32) -> Option<Self> {
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        if hh > 23 || mm > 59 || ss > 59 {
+            return None;
+        }
+        let days = days_from_civil(y, m, d);
+        Some(Self(
+            days * 86_400 + i64::from(hh) * 3600 + i64::from(mm) * 60 + i64::from(ss),
+        ))
+    }
+
+    /// Decomposes into `(year, month, day, hour, minute, second)`.
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        let hh = (secs / 3600) as u32;
+        let mm = (secs % 3600 / 60) as u32;
+        let ss = (secs % 60) as u32;
+        (y, m, d, hh, mm, ss)
+    }
+
+    /// The fractional "days since 1899-12-30" value stored in PLT field 5.
+    pub fn to_spreadsheet_days(self) -> f64 {
+        (self.0 + SPREADSHEET_EPOCH_OFFSET_SECS) as f64 / 86_400.0
+    }
+
+    /// Reconstructs a timestamp from a spreadsheet-days value, rounding to
+    /// the nearest second.
+    pub fn from_spreadsheet_days(days: f64) -> Self {
+        Self((days * 86_400.0).round() as i64 - SPREADSHEET_EPOCH_OFFSET_SECS)
+    }
+
+    /// Raw seconds since the Unix epoch.
+    pub const fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// `self + dt` seconds.
+    pub const fn plus(self, dt: i64) -> Self {
+        Self(self.0 + dt)
+    }
+
+    /// Signed difference `self - other` in seconds.
+    pub const fn delta(self, other: Self) -> i64 {
+        self.0 - other.0
+    }
+}
+
+/// Days from the Unix epoch for a civil date (proleptic Gregorian).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for a number of days from the Unix epoch.
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Whether `y` is a leap year in the proleptic Gregorian calendar.
+pub fn is_leap_year(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+/// Number of days in month `m` of year `y`.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(y) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn spreadsheet_epoch() {
+        // 1899-12-30 is exactly -25569 days from the Unix epoch.
+        assert_eq!(days_from_civil(1899, 12, 30), -25_569);
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        for &(y, m, d) in &[
+            (2009, 10, 11),
+            (2000, 2, 29),
+            (1900, 2, 28),
+            (2012, 8, 31),
+            (2007, 4, 1),
+            (1970, 1, 1),
+            (2100, 3, 1),
+        ] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d), "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn civil_timestamp_round_trip() {
+        let t = Timestamp::from_civil(2009, 10, 11, 14, 4, 30).unwrap();
+        assert_eq!(t.to_civil(), (2009, 10, 11, 14, 4, 30));
+    }
+
+    #[test]
+    fn rejects_invalid_components() {
+        assert!(Timestamp::from_civil(2009, 13, 1, 0, 0, 0).is_none());
+        assert!(Timestamp::from_civil(2009, 0, 1, 0, 0, 0).is_none());
+        assert!(Timestamp::from_civil(2009, 2, 29, 0, 0, 0).is_none()); // not leap
+        assert!(Timestamp::from_civil(2008, 2, 29, 0, 0, 0).is_some()); // leap
+        assert!(Timestamp::from_civil(2009, 4, 31, 0, 0, 0).is_none());
+        assert!(Timestamp::from_civil(2009, 1, 1, 24, 0, 0).is_none());
+        assert!(Timestamp::from_civil(2009, 1, 1, 0, 60, 0).is_none());
+        assert!(Timestamp::from_civil(2009, 1, 1, 0, 0, 60).is_none());
+    }
+
+    #[test]
+    fn spreadsheet_days_matches_geolife_example() {
+        // Figure 1 of the paper shows a GeoLife line for 2009-10-11 14:04:30
+        // whose days field is 40097.5864583333.
+        let t = Timestamp::from_civil(2009, 10, 11, 14, 4, 30).unwrap();
+        let days = t.to_spreadsheet_days();
+        assert!((days - 40_097.586_458_333_3).abs() < 1e-8, "{days}");
+        assert_eq!(Timestamp::from_spreadsheet_days(days), t);
+    }
+
+    #[test]
+    fn pre_epoch_timestamps() {
+        let t = Timestamp::from_civil(1960, 6, 15, 12, 30, 45).unwrap();
+        assert!(t.secs() < 0);
+        assert_eq!(t.to_civil(), (1960, 6, 15, 12, 30, 45));
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let t = Timestamp(100);
+        assert_eq!(t.plus(20), Timestamp(120));
+        assert_eq!(t.plus(-200), Timestamp(-100));
+        assert_eq!(Timestamp(120).delta(t), 20);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(2001));
+    }
+}

@@ -1,0 +1,59 @@
+//! POI extraction — the paper's canonical inference attack: "the
+//! clustering algorithms that we have implemented can be used primarily
+//! to extract the POIs of an individual from his trail of mobility
+//! traces" (§VIII).
+//!
+//! For each user: preprocess the trail (drop moving traces, dedup),
+//! DJ-Cluster the stationary remainder, then read off home and work.
+//!
+//! Run with: `cargo run --release --example poi_extraction`
+
+use gepeto::prelude::*;
+
+fn main() {
+    let dataset = SyntheticGeoLife::new(GeneratorConfig {
+        users: 12,
+        scale: 0.015,
+        ..GeneratorConfig::paper()
+    })
+    .generate();
+
+    let cfg = djcluster::DjConfig {
+        radius_m: 60.0,
+        min_pts: 4,
+        ..djcluster::DjConfig::default()
+    };
+
+    println!("user | POIs | home (lat, lon)      | night dwell | visits");
+    println!("-----+------+----------------------+-------------+-------");
+    let per_user = attacks::extract_pois_dataset(&dataset, &cfg);
+    let mut homes = 0;
+    for (user, pois) in &per_user {
+        match attacks::infer_home(pois) {
+            Some(home) => {
+                homes += 1;
+                println!(
+                    "{user:>4} | {:>4} | ({:.5}, {:.5}) | {:>9} s | {:>5}",
+                    pois.len(),
+                    home.center.lat,
+                    home.center.lon,
+                    home.night_secs,
+                    home.visits
+                );
+                if let Some(work) = attacks::infer_work(pois, home) {
+                    println!(
+                        "     |      |  work ≈ ({:.5}, {:.5}), {} visits",
+                        work.center.lat, work.center.lon, work.visits
+                    );
+                }
+            }
+            None => println!("{user:>4} |    0 | (no POI found)"),
+        }
+    }
+    println!(
+        "\nThe attack recovered a home location for {homes}/{} users from \
+         nothing but (pseudonymous) mobility traces — the privacy threat \
+         GEPETO exists to quantify.",
+        dataset.num_users()
+    );
+}

@@ -1,0 +1,86 @@
+//! The privacy/utility trade-off loop (the toolkit's raison d'être):
+//! sanitize → attack → measure, across mechanisms and strengths.
+//!
+//! Privacy is measured operationally as the POI recall of the attack on
+//! the sanitized dataset; utility as mean spatial displacement and trace
+//! retention.
+//!
+//! Run with: `cargo run --release --example privacy_tradeoff`
+
+use gepeto::metrics;
+use gepeto::prelude::*;
+use gepeto::sanitize::{
+    GaussianMask, MixZone, MixZones, Sanitizer, SpatialAggregation, SpatialCloaking,
+};
+
+fn main() {
+    let dataset = SyntheticGeoLife::new(GeneratorConfig {
+        users: 15,
+        scale: 0.015,
+        ..GeneratorConfig::paper()
+    })
+    .generate();
+    let cfg = djcluster::DjConfig::default();
+    let reference = attacks::extract_pois_dataset(&dataset, &cfg);
+
+    let center = GeneratorConfig::paper().city_center;
+    let mechanisms: Vec<Box<dyn Sanitizer>> = vec![
+        Box::new(GaussianMask {
+            sigma_m: 25.0,
+            seed: 1,
+        }),
+        Box::new(GaussianMask {
+            sigma_m: 100.0,
+            seed: 1,
+        }),
+        Box::new(GaussianMask {
+            sigma_m: 400.0,
+            seed: 1,
+        }),
+        Box::new(SpatialAggregation { cell_m: 250.0 }),
+        Box::new(SpatialAggregation { cell_m: 1_000.0 }),
+        Box::new(SpatialCloaking {
+            cell_m: 500.0,
+            k: 2,
+        }),
+        Box::new(MixZones {
+            zones: vec![MixZone {
+                center,
+                radius_m: 2_000.0,
+            }],
+        }),
+    ];
+
+    println!("{:<34} {:>10} {:>14} {:>10}", "mechanism", "POI recall", "displacement", "retention");
+    for m in &mechanisms {
+        let sanitized = m.apply(&dataset);
+        let attacked = attacks::extract_pois_dataset(&sanitized, &cfg);
+        let empty = Vec::new();
+        let (mut recall, mut n) = (0.0, 0usize);
+        for (user, ref_pois) in &reference {
+            if ref_pois.is_empty() {
+                continue;
+            }
+            recall += metrics::poi_recall(
+                ref_pois,
+                attacked.get(user).unwrap_or(&empty),
+                150.0,
+            );
+            n += 1;
+        }
+        println!(
+            "{:<34} {:>9.1}% {:>12.1} m {:>9.1}%",
+            m.name(),
+            100.0 * recall / n.max(1) as f64,
+            metrics::mean_displacement_m(&dataset, &sanitized),
+            100.0 * metrics::retention(&dataset, &sanitized),
+        );
+    }
+    println!(
+        "\nReading the table: a good mechanism pushes POI recall down \
+         (privacy) while keeping displacement low and retention high \
+         (utility). Noise must be strong before the attack starves; \
+         cloaking trades traces for anonymity; mix zones cut linkability \
+         around their zones at modest utility cost."
+    );
+}

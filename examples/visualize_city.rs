@@ -1,0 +1,76 @@
+//! Visualization — GEPETO's first-listed capability: "visualize,
+//! sanitize, perform inference attacks and measure the utility".
+//!
+//! Renders a synthetic city three ways and shows what sanitization does
+//! to the picture:
+//!
+//! 1. `city_raw.svg` — trails + traces + the POIs an attacker extracts;
+//! 2. `city_sanitized.svg` — the same city after a 200 m Gaussian mask;
+//! 3. ASCII density maps of both, printed side by side.
+//!
+//! Run with: `cargo run --release --example visualize_city`
+
+use gepeto::sanitize::{GaussianMask, Sanitizer};
+use gepeto::prelude::*;
+use gepeto::viz::{ascii_density, geojson, SvgMap};
+
+fn main() {
+    let dataset = SyntheticGeoLife::new(GeneratorConfig {
+        users: 10,
+        scale: 0.008,
+        ..GeneratorConfig::paper()
+    })
+    .generate();
+    let cfg = djcluster::DjConfig::default();
+
+    // Raw map with the attacker's view (inferred homes) drawn on top.
+    let pois = attacks::extract_pois_dataset(&dataset, &cfg);
+    let markers: Vec<(GeoPoint, String)> = pois
+        .iter()
+        .filter_map(|(u, ps)| {
+            attacks::infer_home(ps).map(|h| (h.center, format!("home {u}")))
+        })
+        .collect();
+    let mut raw = SvgMap::for_dataset(&dataset, 900);
+    raw.add_trails(&dataset)
+        .add_dataset(&dataset, 1.5)
+        .add_markers(&markers);
+    std::fs::write("city_raw.svg", raw.render()).unwrap();
+
+    // Sanitized map: the blur is visible, the markers (re-attacked) gone
+    // or displaced.
+    let sanitized = GaussianMask {
+        sigma_m: 200.0,
+        seed: 7,
+    }
+    .apply(&dataset);
+    let pois2 = attacks::extract_pois_dataset(&sanitized, &cfg);
+    let markers2: Vec<(GeoPoint, String)> = pois2
+        .iter()
+        .filter_map(|(u, ps)| {
+            attacks::infer_home(ps).map(|h| (h.center, format!("home? {u}")))
+        })
+        .collect();
+    let mut blurred = SvgMap::for_dataset(&sanitized, 900);
+    blurred
+        .add_dataset(&sanitized, 1.5)
+        .add_markers(&markers2);
+    std::fs::write("city_sanitized.svg", blurred.render()).unwrap();
+
+    // GeoJSON for GIS tools.
+    std::fs::write("city_trails.geojson", geojson::dataset_trails(&dataset)).unwrap();
+
+    println!(
+        "wrote city_raw.svg ({} home markers), city_sanitized.svg ({} after masking), \
+         city_trails.geojson\n",
+        markers.len(),
+        markers2.len()
+    );
+    println!("raw density:\n{}", ascii_density(&dataset, 16, 56));
+    println!("after 200 m gaussian mask:\n{}", ascii_density(&sanitized, 16, 56));
+    println!(
+        "The attack found {} homes before sanitization and {} after.",
+        markers.len(),
+        markers2.len()
+    );
+}

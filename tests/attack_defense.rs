@@ -1,0 +1,263 @@
+//! Attack vs. defense: inference attacks succeed on raw data and are
+//! degraded by sanitization — the privacy/utility trade-off measured
+//! end-to-end on generated data.
+
+use gepeto::attacks::{learn_mmc, mmc::deanonymize};
+use gepeto::metrics;
+use gepeto::prelude::*;
+use gepeto::sanitize::{GaussianMask, MixZone, MixZones, Sanitizer, SpatialCloaking};
+use std::collections::BTreeMap;
+
+fn dataset(users: usize, scale: f64) -> Dataset {
+    SyntheticGeoLife::new(GeneratorConfig {
+        users,
+        scale,
+        ..GeneratorConfig::paper()
+    })
+    .generate()
+}
+
+fn mean_poi_recall(reference: &Dataset, attacked_ds: &Dataset) -> f64 {
+    let cfg = djcluster::DjConfig::default();
+    let ref_pois = attacks::extract_pois_dataset(reference, &cfg);
+    let att_pois = attacks::extract_pois_dataset(attacked_ds, &cfg);
+    let empty = Vec::new();
+    let (mut sum, mut n) = (0.0, 0usize);
+    for (user, pois) in &ref_pois {
+        if pois.is_empty() {
+            continue;
+        }
+        sum += metrics::poi_recall(pois, att_pois.get(user).unwrap_or(&empty), 150.0);
+        n += 1;
+    }
+    sum / n.max(1) as f64
+}
+
+#[test]
+fn strong_noise_degrades_poi_recall_monotonically() {
+    let ds = dataset(10, 0.012);
+    let raw = mean_poi_recall(&ds, &ds);
+    assert!(raw > 0.9, "attack on raw data should work: {raw}");
+    let weak = mean_poi_recall(
+        &ds,
+        &GaussianMask {
+            sigma_m: 10.0,
+            seed: 2,
+        }
+        .apply(&ds),
+    );
+    let strong = mean_poi_recall(
+        &ds,
+        &GaussianMask {
+            sigma_m: 500.0,
+            seed: 2,
+        }
+        .apply(&ds),
+    );
+    assert!(weak >= strong, "weak {weak} strong {strong}");
+    assert!(strong < 0.2, "500 m noise should starve the attack: {strong}");
+    // Utility price is visible and ordered.
+    let d_weak = metrics::mean_displacement_m(
+        &ds,
+        &GaussianMask {
+            sigma_m: 10.0,
+            seed: 2,
+        }
+        .apply(&ds),
+    );
+    let d_strong = metrics::mean_displacement_m(
+        &ds,
+        &GaussianMask {
+            sigma_m: 500.0,
+            seed: 2,
+        }
+        .apply(&ds),
+    );
+    assert!(d_weak < d_strong);
+}
+
+#[test]
+fn mmc_deanonymization_beats_chance_and_noise_hurts_it() {
+    let ds = dataset(12, 0.03);
+    let cfg = djcluster::DjConfig::default();
+
+    let build = |data: &Dataset| {
+        let mut gallery = BTreeMap::new();
+        let mut targets = Vec::new();
+        for trail in data.trails() {
+            let traces = trail.traces().to_vec();
+            if traces.len() < 300 {
+                continue;
+            }
+            let mid = traces.len() / 2;
+            let train = Trail::new(trail.user, traces[..mid].to_vec());
+            let test = Trail::new(trail.user, traces[mid..].to_vec());
+            if let (Some(g), Some(t)) = (learn_mmc(&train, &cfg), learn_mmc(&test, &cfg)) {
+                gallery.insert(trail.user, g);
+                targets.push((trail.user, t));
+            }
+        }
+        (gallery, targets)
+    };
+    let accuracy = |gallery: &BTreeMap<_, _>, targets: &[(u32, _)]| {
+        if targets.is_empty() {
+            return 0.0;
+        }
+        targets
+            .iter()
+            .filter(|(truth, t)| deanonymize(gallery, t).first().map(|r| r.0) == Some(*truth))
+            .count() as f64
+            / targets.len() as f64
+    };
+
+    let (gallery, targets) = build(&ds);
+    assert!(targets.len() >= 6, "need enough learnable users");
+    let raw_acc = accuracy(&gallery, &targets);
+    let chance = 1.0 / gallery.len() as f64;
+    assert!(
+        raw_acc > chance * 4.0,
+        "raw accuracy {raw_acc} vs chance {chance}"
+    );
+
+    // Attack the *sanitized* second halves against the raw gallery.
+    let noisy = GaussianMask {
+        sigma_m: 800.0,
+        seed: 3,
+    }
+    .apply(&ds);
+    let (_, noisy_targets) = build(&noisy);
+    let noisy_acc = accuracy(&gallery, &noisy_targets);
+    assert!(
+        noisy_acc <= raw_acc,
+        "noise should not improve the attack: {noisy_acc} vs {raw_acc}"
+    );
+}
+
+#[test]
+fn linking_attack_and_mix_zone_defense() {
+    // Two observation campaigns of the same population.
+    let a = dataset(8, 0.015);
+    let b = SyntheticGeoLife::new(GeneratorConfig {
+        users: 8,
+        scale: 0.015,
+        seed: GeneratorConfig::paper().seed, // same people, same geography
+        ..GeneratorConfig::paper()
+    })
+    .generate();
+    let cfg = djcluster::DjConfig::default();
+    let links = gepeto::attacks::link_datasets(&a, &b, &cfg);
+    let raw_acc = gepeto::attacks::linking::linking_accuracy(&links);
+    assert!(raw_acc > 0.7, "linking should mostly succeed: {raw_acc}");
+
+    // Mix zones over the city fragment trails and strip zone traces;
+    // pseudonym stride moves ids out of the ground-truth range entirely,
+    // so accuracy under the same scorer collapses.
+    let center = GeneratorConfig::paper().city_center;
+    let zones = MixZones {
+        zones: vec![MixZone {
+            center,
+            radius_m: 3_000.0,
+        }],
+    };
+    let b_mixed = zones.apply(&b);
+    let links_mixed = gepeto::attacks::link_datasets(&a, &b_mixed, &cfg);
+    let mixed_acc = gepeto::attacks::linking::linking_accuracy(&links_mixed);
+    assert!(mixed_acc < raw_acc, "{mixed_acc} vs {raw_acc}");
+}
+
+#[test]
+fn cloaking_trades_retention_for_privacy() {
+    let ds = dataset(10, 0.012);
+    let cloaked = SpatialCloaking {
+        cell_m: 400.0,
+        k: 2,
+    }
+    .apply(&ds);
+    let recall = mean_poi_recall(&ds, &cloaked);
+    let retention = metrics::retention(&ds, &cloaked);
+    assert!(recall < 0.5, "cloaking should hide most POIs: {recall}");
+    assert!(retention < 1.0, "cloaking must suppress something");
+}
+
+#[test]
+fn sanitizers_never_invent_traces_or_users() {
+    let ds = dataset(6, 0.008);
+    let sanitizers: Vec<Box<dyn Sanitizer>> = vec![
+        Box::new(GaussianMask {
+            sigma_m: 50.0,
+            seed: 1,
+        }),
+        Box::new(SpatialCloaking {
+            cell_m: 300.0,
+            k: 2,
+        }),
+        Box::new(gepeto::sanitize::SpatialAggregation { cell_m: 200.0 }),
+    ];
+    for s in &sanitizers {
+        let out = s.apply(&ds);
+        assert!(out.num_traces() <= ds.num_traces(), "{}", s.name());
+        assert!(out.num_users() <= ds.num_users(), "{}", s.name());
+    }
+}
+
+#[test]
+fn home_work_pairs_are_unique_quasi_identifiers() {
+    // §II: the (home, work) pair characterizes individuals almost
+    // uniquely — on the synthetic city at 500 m granularity, most users
+    // are unique, i.e. pseudonyms alone do not anonymize.
+    let ds = dataset(12, 0.015);
+    let cfg = djcluster::DjConfig::default();
+    let uniqueness = metrics::home_work_uniqueness(&ds, &cfg, 500.0);
+    assert!(uniqueness > 0.7, "uniqueness {uniqueness}");
+    // Coarsening the grid to city scale destroys the identifier.
+    let coarse = metrics::home_work_uniqueness(&ds, &cfg, 50_000.0);
+    assert!(coarse <= uniqueness, "coarse {coarse} vs fine {uniqueness}");
+}
+
+#[test]
+fn social_links_emerge_only_from_co_location() {
+    use gepeto::attacks::social::{discover_social_links, SocialConfig};
+    use gepeto_model::{MobilityTrace, Timestamp};
+    // Synthetic users are independent; verify no spurious links at strict
+    // settings, then plant two companions and find exactly them.
+    let ds = dataset(6, 0.008);
+    let cfg = SocialConfig::default();
+    let baseline = discover_social_links(&ds, &cfg);
+    // Then: two planted companions walking together for 30 minutes.
+    let mut trails: Vec<Trail> = ds.trails().cloned().collect();
+    for (user, off) in [(100u32, 0.0f64), (101, 1e-4)] {
+        let traces: Vec<MobilityTrace> = (0..180)
+            .map(|i| {
+                MobilityTrace::new(
+                    user,
+                    GeoPoint::new(39.93 + i as f64 * 1e-5, 116.31 + off),
+                    Timestamp(i * 10),
+                )
+            })
+            .collect();
+        trails.push(Trail::new(user, traces));
+    }
+    let with_companions = Dataset::from_trails(trails);
+    let links = discover_social_links(&with_companions, &cfg);
+    assert_eq!(links.len(), baseline.len() + 1, "{links:?}");
+    assert!(links
+        .iter()
+        .any(|e| (e.a, e.b) == (100, 101) && e.contact_secs >= 1_200));
+}
+
+#[test]
+fn semantic_labels_on_generated_users() {
+    use gepeto::attacks::{semantic_trajectory, PoiLabel};
+    let ds = dataset(8, 0.015);
+    let cfg = djcluster::DjConfig::default();
+    let mut with_home = 0;
+    for trail in ds.trails() {
+        let (labeled, traj) = semantic_trajectory(trail, &cfg);
+        if labeled.iter().any(|(_, l)| *l == PoiLabel::Home) {
+            with_home += 1;
+            // The home label must carry actual dwell time.
+            assert!(traj.time_at(PoiLabel::Home) > 0, "user {}", trail.user);
+        }
+    }
+    assert!(with_home >= 6, "home labeled for only {with_home}/8 users");
+}
