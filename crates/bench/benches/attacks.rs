@@ -19,8 +19,7 @@ fn bench_attacks(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("poi-extraction/mapreduce", |b| {
         b.iter(|| {
-            let (pois, _) =
-                attacks::mapreduce_extract_pois(&cluster, &dfs, "input", &cfg).unwrap();
+            let (pois, _) = attacks::mapreduce_extract_pois(&cluster, &dfs, "input", &cfg).unwrap();
             black_box(pois.len())
         })
     });

@@ -18,20 +18,15 @@ fn bench_djcluster(c: &mut Criterion) {
     for window in [60i64, 300, 600] {
         let scfg = sampling::SamplingConfig::new(window, sampling::Technique::ClosestToUpperLimit);
         let sampled = sampling::sequential_sample(&ds, &scfg);
-        group.bench_with_input(
-            BenchmarkId::new("preprocess", window),
-            &window,
-            |b, _| {
-                b.iter(|| {
-                    let mut dfs = dfs_for(&cluster, &sampled, scaled_chunk_bytes(64));
-                    let pre = djcluster::mapreduce_preprocess(
-                        &cluster, &mut dfs, "input", "clean", &cfg,
-                    )
-                    .unwrap();
-                    black_box(pre.after_dedup)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("preprocess", window), &window, |b, _| {
+            b.iter(|| {
+                let mut dfs = dfs_for(&cluster, &sampled, scaled_chunk_bytes(64));
+                let pre =
+                    djcluster::mapreduce_preprocess(&cluster, &mut dfs, "input", "clean", &cfg)
+                        .unwrap();
+                black_box(pre.after_dedup)
+            })
+        });
     }
 
     // The clustering job on the 1-min preprocessed data: direct R-tree vs
@@ -50,8 +45,7 @@ fn bench_djcluster(c: &mut Criterion) {
     group.bench_function("cluster/mapreduce-rtree", |b| {
         b.iter(|| {
             let (clustering, _) =
-                djcluster::mapreduce_djcluster(&cluster, &dfs, "input", &cfg, Some(&rcfg))
-                    .unwrap();
+                djcluster::mapreduce_djcluster(&cluster, &dfs, "input", &cfg, Some(&rcfg)).unwrap();
             black_box(clustering.clusters.len())
         })
     });
@@ -59,7 +53,13 @@ fn bench_djcluster(c: &mut Criterion) {
     // Sequential baseline on the same preprocessed traces.
     let traces = pre.to_traces();
     group.bench_function("cluster/sequential", |b| {
-        b.iter(|| black_box(djcluster::sequential_djcluster(&traces, &cfg).clusters.len()))
+        b.iter(|| {
+            black_box(
+                djcluster::sequential_djcluster(&traces, &cfg)
+                    .clusters
+                    .len(),
+            )
+        })
     });
     group.finish();
 }

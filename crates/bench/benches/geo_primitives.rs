@@ -63,7 +63,12 @@ fn bench_geo(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("rtree");
     group.sample_size(20);
-    let items: Vec<(GeoPoint, usize)> = pts.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    let items: Vec<(GeoPoint, usize)> = pts
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .collect();
     group.bench_function("bulk-load-100k", |b| {
         b.iter(|| black_box(RTree::bulk_load(items.clone()).len()))
     });

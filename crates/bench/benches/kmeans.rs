@@ -37,10 +37,9 @@ fn bench_kmeans(c: &mut Criterion) {
                 let c = cfg(metric, false);
                 group.bench_function(BenchmarkId::new("table3", id), |b| {
                     b.iter(|| {
-                        let (next, _) = kmeans::mapreduce_iteration(
-                            &cluster, &dfs, "input", &centroids, &c,
-                        )
-                        .unwrap();
+                        let (next, _) =
+                            kmeans::mapreduce_iteration(&cluster, &dfs, "input", &centroids, &c)
+                                .unwrap();
                         black_box(next)
                     })
                 });

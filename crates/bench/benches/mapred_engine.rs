@@ -50,23 +50,19 @@ fn bench_engine(c: &mut Criterion) {
     for chunk_kb in [16usize, 64, 256] {
         let mut dfs = Dfs::new(cluster.topology.clone(), chunk_kb * 1024, 3);
         dfs.put_fixed("r", records(), 8).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("map-only", chunk_kb),
-            &chunk_kb,
-            |b, _| {
-                b.iter(|| {
-                    let m = FnMapper::new(|o: u64, v: &u64, out: &mut Emitter<u64, u64>| {
-                        if v.is_multiple_of(7) {
-                            out.emit(o, *v);
-                        }
-                    });
-                    let r = MapOnlyJob::new("filter", &cluster, &dfs, "r", m)
-                        .run()
-                        .unwrap();
-                    black_box(r.output.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("map-only", chunk_kb), &chunk_kb, |b, _| {
+            b.iter(|| {
+                let m = FnMapper::new(|o: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+                    if v.is_multiple_of(7) {
+                        out.emit(o, *v);
+                    }
+                });
+                let r = MapOnlyJob::new("filter", &cluster, &dfs, "r", m)
+                    .run()
+                    .unwrap();
+                black_box(r.output.len())
+            })
+        });
     }
 
     let mut dfs = Dfs::new(cluster.topology.clone(), 64 * 1024, 3);

@@ -15,24 +15,15 @@ fn bench_sampling(c: &mut Criterion) {
     group.sample_size(20);
     for window in [60i64, 300, 600] {
         let cfg = sampling::SamplingConfig::new(window, sampling::Technique::ClosestToUpperLimit);
-        group.bench_with_input(
-            BenchmarkId::new("mapreduce", window),
-            &window,
-            |b, _| {
-                b.iter(|| {
-                    let (out, _) =
-                        sampling::mapreduce_sample(&cluster, &dfs, "input", &cfg).unwrap();
-                    black_box(out.num_traces())
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sequential", window),
-            &window,
-            |b, _| {
-                b.iter(|| black_box(sampling::sequential_sample(&ds, &cfg).num_traces()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mapreduce", window), &window, |b, _| {
+            b.iter(|| {
+                let (out, _) = sampling::mapreduce_sample(&cluster, &dfs, "input", &cfg).unwrap();
+                black_box(out.num_traces())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", window), &window, |b, _| {
+            b.iter(|| black_box(sampling::sequential_sample(&ds, &cfg).num_traces()))
+        });
     }
     // Typed vs text input at the 60 s window (the §VI SequenceFile
     // discussion: parsing text in the mappers costs real time).

@@ -23,8 +23,19 @@ fn main() {
     let mut cmds: Vec<&str> = args.iter().map(String::as_str).collect();
     if cmds.is_empty() || cmds == ["all"] {
         cmds = vec![
-            "table1", "table2", "table3", "table4", "fig1", "fig23", "fig4", "fig5", "fig6",
-            "overhead", "djcluster", "ablation", "scalability",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig1",
+            "fig23",
+            "fig4",
+            "fig5",
+            "fig6",
+            "overhead",
+            "djcluster",
+            "ablation",
+            "scalability",
         ];
     }
     println!(
@@ -77,7 +88,13 @@ fn table1() {
     }
     print_table(
         "Table I — GeoLife trace counts under sampling (upper-limit technique)",
-        &["condition", "measured", "scaled to 1.0", "paper", "job time"],
+        &[
+            "condition",
+            "measured",
+            "scaled to 1.0",
+            "paper",
+            "job time",
+        ],
         &rows,
     );
     println!(
@@ -89,14 +106,46 @@ fn table1() {
 /// Table II: the runtime arguments of the MapReduced k-means.
 fn table2() {
     let rows = vec![
-        vec!["input path".into(), "DFS file of mobility traces".into(), "MapReduceJob input".into()],
-        vec!["output path".into(), "DFS directory per iteration".into(), "JobResult / Dfs::put".into()],
-        vec!["input file (centroids)".into(), "k random traces, single node".into(), "kmeans::initial_centroids".into()],
-        vec!["clusters path".into(), "current centroids per iteration".into(), "DistributedCache 'kmeans.centroids'".into()],
-        vec!["k".into(), "number of clusters (paper: 11)".into(), "KMeansConfig::k".into()],
-        vec!["distanceMeasure".into(), "squared Euclidean | Haversine".into(), "KMeansConfig::distance".into()],
-        vec!["convergencedelta".into(), "0.5 (metric units)".into(), "KMeansConfig::convergence_delta".into()],
-        vec!["maxIter".into(), "150".into(), "KMeansConfig::max_iterations".into()],
+        vec![
+            "input path".into(),
+            "DFS file of mobility traces".into(),
+            "MapReduceJob input".into(),
+        ],
+        vec![
+            "output path".into(),
+            "DFS directory per iteration".into(),
+            "JobResult / Dfs::put".into(),
+        ],
+        vec![
+            "input file (centroids)".into(),
+            "k random traces, single node".into(),
+            "kmeans::initial_centroids".into(),
+        ],
+        vec![
+            "clusters path".into(),
+            "current centroids per iteration".into(),
+            "DistributedCache 'kmeans.centroids'".into(),
+        ],
+        vec![
+            "k".into(),
+            "number of clusters (paper: 11)".into(),
+            "KMeansConfig::k".into(),
+        ],
+        vec![
+            "distanceMeasure".into(),
+            "squared Euclidean | Haversine".into(),
+            "KMeansConfig::distance".into(),
+        ],
+        vec![
+            "convergencedelta".into(),
+            "0.5 (metric units)".into(),
+            "KMeansConfig::convergence_delta".into(),
+        ],
+        vec![
+            "maxIter".into(),
+            "150".into(),
+            "KMeansConfig::max_iterations".into(),
+        ],
     ];
     print_table(
         "Table II — runtime arguments of MapReduced k-means",
@@ -202,10 +251,18 @@ fn table4() {
     }
     print_table(
         "Table IV — traces after DJ preprocessing (ours / paper·full-scale)",
-        &["sampling", "unfiltered", "filter moving", "remove dup", "stationary share"],
+        &[
+            "sampling",
+            "unfiltered",
+            "filter moving",
+            "remove dup",
+            "stationary share",
+        ],
         &rows,
     );
-    println!("paper numbers are full-scale; compare the ratios (our counts are at the bench scale).");
+    println!(
+        "paper numbers are full-scale; compare the ratios (our counts are at the bench scale)."
+    );
 }
 
 /// Figure 1: the GeoLife PLT line structure.
@@ -232,8 +289,14 @@ fn fig23() {
     println!("window [0, 60): traces at t = 5, 12, 29, 44, 58");
     let ds = Dataset::from_traces(traces);
     for (name, technique) in [
-        ("Fig 2 closest-to-upper-limit", sampling::Technique::ClosestToUpperLimit),
-        ("Fig 3 closest-to-middle", sampling::Technique::ClosestToMiddle),
+        (
+            "Fig 2 closest-to-upper-limit",
+            sampling::Technique::ClosestToUpperLimit,
+        ),
+        (
+            "Fig 3 closest-to-middle",
+            sampling::Technique::ClosestToMiddle,
+        ),
     ] {
         let cfg = sampling::SamplingConfig::new(60, technique);
         let out = sampling::sequential_sample(&ds, &cfg);
@@ -280,7 +343,8 @@ fn fig5() {
     let scfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToUpperLimit);
     sampling::mapreduce_sample_to_dfs(&cluster, &mut dfs, "input", "sampled", &scfg).unwrap();
     let cfg = djcluster::DjConfig::default();
-    let pre = djcluster::mapreduce_preprocess(&cluster, &mut dfs, "sampled", "clean", &cfg).unwrap();
+    let pre =
+        djcluster::mapreduce_preprocess(&cluster, &mut dfs, "sampled", "clean", &cfg).unwrap();
     for (i, stage) in pre.jobs.stages().iter().enumerate() {
         println!(
             "job {} '{}': {} map tasks, 0 reducers, sim {:.1} s",
@@ -329,9 +393,7 @@ fn fig6() {
 fn overhead() {
     println!("\n=== §VI — deployment overhead ===");
     let sim = gepeto_mapred::SimParams::parapluie();
-    println!(
-        "paper: 'the overhead brought by these initial steps [is] approximately 25 seconds'"
-    );
+    println!("paper: 'the overhead brought by these initial steps [is] approximately 25 seconds'");
     println!(
         "model: cluster startup = {:.0} s (HDFS deploy + daemons), per-job overhead = {:.0} s, \
          per-task startup = {:.1} s",
@@ -392,7 +454,12 @@ fn ablation() {
         let (_, stats) =
             kmeans::mapreduce_iteration(&cluster, &dfs, "input", &centroids, &cfg).unwrap();
         rows.push(vec![
-            if use_combiner { "with combiner" } else { "no combiner" }.into(),
+            if use_combiner {
+                "with combiner"
+            } else {
+                "no combiner"
+            }
+            .into(),
             format!("{}", stats.sim.shuffle_bytes),
             format!("{:.2}", stats.sim.makespan_s),
         ]);
@@ -447,8 +514,7 @@ fn ablation() {
     let (_, mean_stats) =
         kmeans::mapreduce_iteration(&cluster, &dfs, "input", &centroids, &mean_cfg).unwrap();
     let (_, median_stats) =
-        kmeans::mapreduce_median_iteration(&cluster, &dfs, "input", &centroids, &mean_cfg)
-            .unwrap();
+        kmeans::mapreduce_median_iteration(&cluster, &dfs, "input", &centroids, &mean_cfg).unwrap();
     print_table(
         "Ablation — mean (combinable) vs median (not combinable) update rule",
         &["update rule", "shuffle bytes", "sim iter s"],
@@ -599,7 +665,14 @@ fn scalability() {
     }
     print_table(
         "Scalability — one k-means iteration vs worker-node count (4 MB chunks, 4 slots/node)",
-        &["nodes", "map tasks", "map wave s", "sim iter s", "wave speedup", "locality d/r/r"],
+        &[
+            "nodes",
+            "map tasks",
+            "map wave s",
+            "sim iter s",
+            "wave speedup",
+            "locality d/r/r",
+        ],
         &rows,
     );
     println!(

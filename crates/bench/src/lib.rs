@@ -1,6 +1,5 @@
 #![warn(missing_docs)]
 
-
 //! Shared workload setup for the benchmark harness: scaled synthetic
 //! GeoLife datasets (cached per configuration so Criterion benches and
 //! the `tables` binary don't regenerate them), cluster profiles, and

@@ -5,6 +5,7 @@ use gepeto::prelude::*;
 use gepeto::sanitize::Sanitizer;
 use gepeto_geo::DistanceMetric;
 use gepeto_model::plt;
+use gepeto_telemetry::Recorder;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -39,6 +40,9 @@ COMMANDS:
     help        This text
 
 Shared dataset flags: --users, --scale, --seed.
+Observability: sample, kmeans and djcluster accept --metrics-out PATH.jsonl
+to dump the telemetry event stream (phase spans, per-task durations with
+locality tags, counters) as JSON Lines and print a run summary table.
 ";
 
 fn dataset_from(args: &Args, default_users: usize, default_scale: f64) -> Result<Dataset, String> {
@@ -67,6 +71,31 @@ fn dfs_with(args: &Args, cluster: &Cluster, ds: &Dataset) -> Result<Dfs<Mobility
     let mut dfs = gepeto::dfs_io::trace_dfs(cluster, chunk_kb * 1024);
     gepeto::dfs_io::put_dataset(&mut dfs, "input", ds).map_err(|e| e.to_string())?;
     Ok(dfs)
+}
+
+/// Builds the run's [`Recorder`]: recording when `--metrics-out` is
+/// given, a no-op handle otherwise.
+fn recorder_from(args: &Args) -> Recorder {
+    if args.get("metrics-out").is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Writes the JSONL event stream and prints the summary table when
+/// `--metrics-out` was given; does nothing otherwise.
+fn finish_metrics(args: &Args, rec: &Recorder) -> Result<(), String> {
+    let Some(path) = args.get("metrics-out") else {
+        return Ok(());
+    };
+    let file = std::fs::File::create(path).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    rec.write_jsonl(&mut writer)
+        .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    println!("\n{}", rec.summary().render());
+    println!("telemetry: {} events written to {path}", rec.events().len());
+    Ok(())
 }
 
 fn print_job(label: &str, stats: &gepeto_mapred::JobStats) {
@@ -102,7 +131,11 @@ pub fn generate(args: &Args) -> Result<(), String> {
             }
             std::fs::write(user_dir.join("trajectory.plt"), body).map_err(|e| e.to_string())?;
         }
-        println!("\nwrote {} PLT user directories under {}", ds.num_users(), dir.display());
+        println!(
+            "\nwrote {} PLT user directories under {}",
+            ds.num_users(),
+            dir.display()
+        );
     }
     Ok(())
 }
@@ -122,8 +155,9 @@ pub fn sample(args: &Args) -> Result<(), String> {
     let t = args.get("technique").unwrap_or("upper");
     let technique = sampling::Technique::parse(t).ok_or(format!("unknown technique '{t}'"))?;
     let cfg = sampling::SamplingConfig::new(args.get_or("window", 60i64)?, technique);
-    let (sampled, stats) =
-        sampling::mapreduce_sample(&cluster, &dfs, "input", &cfg).map_err(|e| e.to_string())?;
+    let rec = recorder_from(args);
+    let (sampled, stats) = sampling::mapreduce_sample_with(&cluster, &dfs, "input", &cfg, &rec)
+        .map_err(|e| e.to_string())?;
     println!(
         "sampling window {} s: {} -> {} traces ({:.2} %)",
         cfg.window_secs,
@@ -132,7 +166,7 @@ pub fn sample(args: &Args) -> Result<(), String> {
         100.0 * sampled.num_traces() as f64 / ds.num_traces().max(1) as f64
     );
     print_job("job", &stats);
-    Ok(())
+    finish_metrics(args, &rec)
 }
 
 /// `gepeto kmeans`
@@ -150,8 +184,9 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         seed: args.get_or("seed", 1u64)?,
         use_combiner: args.get_or("combiner", false)?,
     };
-    let result =
-        kmeans::mapreduce_kmeans(&cluster, &dfs, "input", &cfg).map_err(|e| e.to_string())?;
+    let rec = recorder_from(args);
+    let result = kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &cfg, &rec)
+        .map_err(|e| e.to_string())?;
     println!(
         "k-means: k={} distance={} converged={} after {} iterations",
         cfg.k,
@@ -172,7 +207,7 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
     for (i, c) in result.centroids.iter().enumerate() {
         println!("  centroid {i}: ({:.6}, {:.6})", c.lat, c.lon);
     }
-    Ok(())
+    finish_metrics(args, &rec)
 }
 
 /// `gepeto djcluster`
@@ -194,12 +229,14 @@ pub fn djcluster(args: &Args) -> Result<(), String> {
     let rtree_cfg = args
         .get_or("mr-rtree", true)?
         .then(gepeto::rtree_build::RTreeBuildConfig::default);
-    let (clustering, pre, stats) = djcluster::mapreduce_djcluster_full(
+    let rec = recorder_from(args);
+    let (clustering, pre, stats) = djcluster::mapreduce_djcluster_full_with(
         &cluster,
         &mut dfs,
         "sampled",
         &cfg,
         rtree_cfg.as_ref(),
+        &rec,
     )
     .map_err(|e| e.to_string())?;
     println!(
@@ -212,7 +249,7 @@ pub fn djcluster(args: &Args) -> Result<(), String> {
         clustering.noise
     );
     print_job("cluster job", &stats.cluster_job);
-    Ok(())
+    finish_metrics(args, &rec)
 }
 
 /// `gepeto attack`
@@ -380,9 +417,7 @@ pub fn predict(args: &Args) -> Result<(), String> {
 /// `gepeto viz`
 pub fn viz(args: &Args) -> Result<(), String> {
     let ds = dataset_from(args, 15, 0.01)?;
-    let dir = std::path::PathBuf::from(
-        args.get("out").ok_or("viz requires --out DIR")?,
-    );
+    let dir = std::path::PathBuf::from(args.get("out").ok_or("viz requires --out DIR")?);
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     let width = args.get_or("width", 900u32)?;
 
@@ -400,7 +435,9 @@ pub fn viz(args: &Args) -> Result<(), String> {
         }
     }
     let mut map = gepeto::viz::SvgMap::for_dataset(&ds, width);
-    map.add_trails(&ds).add_dataset(&ds, 1.5).add_markers(&markers);
+    map.add_trails(&ds)
+        .add_dataset(&ds, 1.5)
+        .add_markers(&markers);
     std::fs::write(dir.join("map.svg"), map.render()).map_err(|e| e.to_string())?;
     std::fs::write(
         dir.join("traces.geojson"),
@@ -412,13 +449,20 @@ pub fn viz(args: &Args) -> Result<(), String> {
         gepeto::viz::geojson::dataset_trails(&ds),
     )
     .map_err(|e| e.to_string())?;
-    std::fs::write(dir.join("pois.geojson"), gepeto::viz::geojson::pois(&flat_pois))
-        .map_err(|e| e.to_string())?;
+    std::fs::write(
+        dir.join("pois.geojson"),
+        gepeto::viz::geojson::pois(&flat_pois),
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "wrote map.svg, traces.geojson, trails.geojson, pois.geojson to {}",
         dir.display()
     );
-    println!("\ndensity ({} traces):\n{}", ds.num_traces(), gepeto::viz::ascii_density(&ds, 18, 60));
+    println!(
+        "\ndensity ({} traces):\n{}",
+        ds.num_traces(),
+        gepeto::viz::ascii_density(&ds, 18, 60)
+    );
     Ok(())
 }
 
@@ -503,8 +547,14 @@ mod tests {
 
     #[test]
     fn sanitize_validates_mechanism() {
-        assert!(sanitize(&args("--users 2 --scale 0.003 --mechanism gaussian --param 50")).is_ok());
-        assert!(sanitize(&args("--users 2 --scale 0.003 --mechanism temporal --param 300")).is_ok());
+        assert!(sanitize(&args(
+            "--users 2 --scale 0.003 --mechanism gaussian --param 50"
+        ))
+        .is_ok());
+        assert!(sanitize(&args(
+            "--users 2 --scale 0.003 --mechanism temporal --param 300"
+        ))
+        .is_ok());
         let err = sanitize(&args("--users 2 --scale 0.003 --mechanism quantum")).unwrap_err();
         assert!(err.contains("quantum"));
     }
@@ -518,6 +568,22 @@ mod tests {
         assert!(viz(&args(&flags)).is_ok());
         assert!(dir.join("map.svg").exists());
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn kmeans_metrics_out_writes_jsonl() {
+        let path = std::env::temp_dir().join("gepeto-cli-metrics-test.jsonl");
+        let flags = format!(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --metrics-out {}",
+            path.display()
+        );
+        assert!(kmeans(&args(&flags)).is_ok());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.lines().count() > 0);
+        assert!(body.contains("kmeans.iteration"));
+        assert!(body.contains("phase.map"));
+        assert!(body.contains("locality"));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -32,7 +32,12 @@ impl Mapper<MobilityTrace> for PerUserMapper {
     type KOut = UserId;
     type VOut = MobilityTrace;
 
-    fn map(&mut self, _offset: u64, value: &MobilityTrace, out: &mut Emitter<UserId, MobilityTrace>) {
+    fn map(
+        &mut self,
+        _offset: u64,
+        value: &MobilityTrace,
+        out: &mut Emitter<UserId, MobilityTrace>,
+    ) {
         out.emit(value.user, *value);
     }
 }
@@ -51,7 +56,12 @@ impl Reducer<UserId, MobilityTrace> for PoiReducer {
         self.cfg = ctx.cache.expect(DJ_CONFIG_CACHE_KEY);
     }
 
-    fn reduce(&mut self, key: &UserId, values: &[MobilityTrace], out: &mut Emitter<UserId, Vec<Poi>>) {
+    fn reduce(
+        &mut self,
+        key: &UserId,
+        values: &[MobilityTrace],
+        out: &mut Emitter<UserId, Vec<Poi>>,
+    ) {
         let trail = Trail::new(*key, values.to_vec());
         out.emit(*key, extract_pois(&trail, &self.cfg));
     }

@@ -201,7 +201,12 @@ mod tests {
 
     #[test]
     fn learns_a_two_state_chain() {
-        let trail = commuting_trail(1, GeoPoint::new(39.9, 116.4), GeoPoint::new(39.95, 116.45), 4);
+        let trail = commuting_trail(
+            1,
+            GeoPoint::new(39.9, 116.4),
+            GeoPoint::new(39.95, 116.45),
+            4,
+        );
         let mmc = learn_mmc(&trail, &cfg()).expect("chain learned");
         assert!(mmc.num_states() >= 2);
         // Rows are stochastic.
@@ -216,7 +221,12 @@ mod tests {
 
     #[test]
     fn commuter_alternates_states() {
-        let trail = commuting_trail(1, GeoPoint::new(39.9, 116.4), GeoPoint::new(39.95, 116.45), 5);
+        let trail = commuting_trail(
+            1,
+            GeoPoint::new(39.9, 116.4),
+            GeoPoint::new(39.95, 116.45),
+            5,
+        );
         let mmc = learn_mmc(&trail, &cfg()).unwrap();
         // From any of the two main states, the predicted next state is the
         // other one (the commute dominates the counts).
@@ -247,9 +257,21 @@ mod tests {
     fn deanonymization_ranks_the_true_user_first() {
         let cfg = cfg();
         let users = [
-            (1, GeoPoint::new(39.90, 116.40), GeoPoint::new(39.95, 116.45)),
-            (2, GeoPoint::new(39.80, 116.30), GeoPoint::new(39.75, 116.55)),
-            (3, GeoPoint::new(40.00, 116.20), GeoPoint::new(40.05, 116.25)),
+            (
+                1,
+                GeoPoint::new(39.90, 116.40),
+                GeoPoint::new(39.95, 116.45),
+            ),
+            (
+                2,
+                GeoPoint::new(39.80, 116.30),
+                GeoPoint::new(39.75, 116.55),
+            ),
+            (
+                3,
+                GeoPoint::new(40.00, 116.20),
+                GeoPoint::new(40.05, 116.25),
+            ),
         ];
         let gallery: BTreeMap<UserId, MobilityMarkovChain> = users
             .iter()
@@ -281,7 +303,12 @@ mod tests {
 
     #[test]
     fn distance_to_empty_chain_is_infinite() {
-        let trail = commuting_trail(1, GeoPoint::new(39.9, 116.4), GeoPoint::new(39.95, 116.45), 4);
+        let trail = commuting_trail(
+            1,
+            GeoPoint::new(39.9, 116.4),
+            GeoPoint::new(39.95, 116.45),
+            4,
+        );
         let mmc = learn_mmc(&trail, &cfg()).unwrap();
         let empty = MobilityMarkovChain {
             states: vec![],

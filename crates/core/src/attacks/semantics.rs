@@ -53,9 +53,7 @@ pub fn label_pois(pois: &[Poi]) -> Vec<(Poi, PoiLabel)> {
     let work_idx = pois
         .iter()
         .enumerate()
-        .filter(|(i, p)| {
-            *i != home_idx && haversine_m(p.center, home_center) > 200.0
-        })
+        .filter(|(i, p)| *i != home_idx && haversine_m(p.center, home_center) > 200.0)
         .max_by_key(|(_, p)| p.dwell_secs - p.night_secs)
         .map(|(i, _)| i);
     pois.iter()
@@ -213,10 +211,14 @@ mod tests {
     fn labels_home_work_leisure() {
         let (labeled, _) = semantic_trajectory(&commuter(5), &cfg());
         assert!(labeled.len() >= 3, "{}", labeled.len());
-        let homes: Vec<&(Poi, PoiLabel)> =
-            labeled.iter().filter(|(_, l)| *l == PoiLabel::Home).collect();
-        let works: Vec<&(Poi, PoiLabel)> =
-            labeled.iter().filter(|(_, l)| *l == PoiLabel::Work).collect();
+        let homes: Vec<&(Poi, PoiLabel)> = labeled
+            .iter()
+            .filter(|(_, l)| *l == PoiLabel::Home)
+            .collect();
+        let works: Vec<&(Poi, PoiLabel)> = labeled
+            .iter()
+            .filter(|(_, l)| *l == PoiLabel::Work)
+            .collect();
         assert_eq!(homes.len(), 1);
         assert_eq!(works.len(), 1);
         assert!(

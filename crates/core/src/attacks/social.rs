@@ -111,10 +111,7 @@ mod tests {
                 .map(|i| {
                     MobilityTrace::new(
                         user,
-                        GeoPoint::new(
-                            39.9 + i as f64 * 1e-5,
-                            116.4 + off,
-                        ),
+                        GeoPoint::new(39.9 + i as f64 * 1e-5, 116.4 + off),
                         Timestamp(t0 + i * 10),
                     )
                 })
@@ -127,9 +124,7 @@ mod tests {
     /// A loner far away, same time window.
     fn loner(user: UserId, t0: i64) -> Trail {
         let traces: Vec<MobilityTrace> = (0..60)
-            .map(|i| {
-                MobilityTrace::new(user, GeoPoint::new(39.99, 116.49), Timestamp(t0 + i * 10))
-            })
+            .map(|i| MobilityTrace::new(user, GeoPoint::new(39.99, 116.49), Timestamp(t0 + i * 10)))
             .collect();
         Trail::new(user, traces)
     }

@@ -45,6 +45,7 @@ use gepeto_mapred::{
     PipelineReport, Reducer, TaskContext,
 };
 use gepeto_model::{Dataset, MobilityTrace, UserId};
+use gepeto_telemetry::Recorder;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -153,12 +154,7 @@ struct SpeedFilterState {
 }
 
 impl SpeedFilterState {
-    fn push(
-        &mut self,
-        t: &MobilityTrace,
-        threshold: f64,
-        emit: &mut impl FnMut(MobilityTrace),
-    ) {
+    fn push(&mut self, t: &MobilityTrace, threshold: f64, emit: &mut impl FnMut(MobilityTrace)) {
         // A user switch closes the previous run.
         if self.cur.map(|c| c.user) != Some(t.user) && self.cur.is_some() {
             self.flush(threshold, emit);
@@ -199,7 +195,12 @@ impl Mapper<MobilityTrace> for SpeedFilterMapper {
         }
     }
 
-    fn map(&mut self, _offset: u64, value: &MobilityTrace, out: &mut Emitter<UserId, MobilityTrace>) {
+    fn map(
+        &mut self,
+        _offset: u64,
+        value: &MobilityTrace,
+        out: &mut Emitter<UserId, MobilityTrace>,
+    ) {
         let threshold = self.threshold;
         self.state
             .push(value, threshold, &mut |t| out.emit(t.user, t));
@@ -228,7 +229,12 @@ impl Mapper<MobilityTrace> for DedupMapper {
         }
     }
 
-    fn map(&mut self, _offset: u64, value: &MobilityTrace, out: &mut Emitter<UserId, MobilityTrace>) {
+    fn map(
+        &mut self,
+        _offset: u64,
+        value: &MobilityTrace,
+        out: &mut Emitter<UserId, MobilityTrace>,
+    ) {
         let keep = match &self.last_kept {
             Some(last) if last.user == value.user => {
                 equirectangular_m(last.point, value.point) > self.threshold_m
@@ -278,6 +284,20 @@ pub fn mapreduce_preprocess(
     output: &str,
     cfg: &DjConfig,
 ) -> Result<PreprocessStats, JobError> {
+    mapreduce_preprocess_with(cluster, dfs, input, output, cfg, &Recorder::disabled())
+}
+
+/// [`mapreduce_preprocess`] with the two pipelined jobs' telemetry
+/// captured under a `djcluster.preprocess` span.
+pub fn mapreduce_preprocess_with(
+    cluster: &Cluster,
+    dfs: &mut Dfs<MobilityTrace>,
+    input: &str,
+    output: &str,
+    cfg: &DjConfig,
+    telemetry: &Recorder,
+) -> Result<PreprocessStats, JobError> {
+    let span = telemetry.span("djcluster.preprocess", &[("input", input)]);
     let input_count = dfs.num_records(input)?;
     let mut jobs = PipelineReport::new();
 
@@ -293,6 +313,7 @@ pub fn mapreduce_preprocess(
         },
     )
     .pair_bytes(|_, t| t.approx_plt_bytes())
+    .telemetry(telemetry.clone())
     .run()?;
     let stationary: Vec<MobilityTrace> = job1.output.into_iter().map(|(_, t)| t).collect();
     let after_speed_filter = stationary.len();
@@ -317,6 +338,7 @@ pub fn mapreduce_preprocess(
         },
     )
     .pair_bytes(|_, t| t.approx_plt_bytes())
+    .telemetry(telemetry.clone())
     .run()?;
     let deduped: Vec<MobilityTrace> = job2.output.into_iter().map(|(_, t)| t).collect();
     let after_dedup = deduped.len();
@@ -326,6 +348,12 @@ pub fn mapreduce_preprocess(
         dfs.delete(output)?;
     }
     dfs.put_with_sizer(output, deduped, |t| t.approx_plt_bytes())?;
+    telemetry.point(
+        "djcluster.preprocessed",
+        after_dedup as f64,
+        &[("input", input)],
+    );
+    span.end();
     Ok(PreprocessStats {
         input: input_count,
         after_speed_filter,
@@ -465,15 +493,32 @@ pub fn mapreduce_djcluster(
     cfg: &DjConfig,
     rtree_cfg: Option<&RTreeBuildConfig>,
 ) -> Result<(Clustering, DjClusterStats), JobError> {
-    let (rtree, rtree_report) = match rtree_cfg {
-        Some(rc) => {
-            let (t, r) = mapreduce_build_rtree(cluster, dfs, input, rc)?;
-            (t, Some(r))
+    mapreduce_djcluster_with(cluster, dfs, input, cfg, rtree_cfg, &Recorder::disabled())
+}
+
+/// [`mapreduce_djcluster`] with R-tree build and merge-job telemetry
+/// captured under a `djcluster.cluster` span.
+pub fn mapreduce_djcluster_with(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &DjConfig,
+    rtree_cfg: Option<&RTreeBuildConfig>,
+    telemetry: &Recorder,
+) -> Result<(Clustering, DjClusterStats), JobError> {
+    let span = telemetry.span("djcluster.cluster", &[("input", input)]);
+    let (rtree, rtree_report) = {
+        let _rtree_span = span.child("djcluster.rtree", &[]);
+        match rtree_cfg {
+            Some(rc) => {
+                let (t, r) = mapreduce_build_rtree(cluster, dfs, input, rc)?;
+                (t, Some(r))
+            }
+            None => (
+                crate::rtree_build::direct_build_rtree(dfs, input, 16)?,
+                None,
+            ),
         }
-        None => (
-            crate::rtree_build::direct_build_rtree(dfs, input, 16)?,
-            None,
-        ),
     };
     let traces = dfs.read(input)?;
 
@@ -497,20 +542,22 @@ pub fn mapreduce_djcluster(
     .reducers(1) // the merge "must be done by a centralized entity"
     .cache(cache)
     .pair_bytes(|_, n| 8 * n.len())
+    .telemetry(telemetry.clone())
     .run()?;
 
     let clusters: Vec<Vec<MobilityTrace>> = result
         .output
         .iter()
-        .map(|(_, members)| {
-            members
-                .iter()
-                .map(|&id| traces[id as usize])
-                .collect()
-        })
+        .map(|(_, members)| members.iter().map(|&id| traces[id as usize]).collect())
         .collect();
     let clustered: usize = clusters.iter().map(Vec::len).sum();
     let noise = traces.len() - clustered;
+    telemetry.point(
+        "djcluster.clusters",
+        clusters.len() as f64,
+        &[("noise", &noise.to_string())],
+    );
+    span.end();
     Ok((
         Clustering { clusters, noise },
         DjClusterStats {
@@ -580,12 +627,28 @@ pub fn mapreduce_djcluster_full(
     cfg: &DjConfig,
     rtree_cfg: Option<&RTreeBuildConfig>,
 ) -> Result<(Clustering, PreprocessStats, DjClusterStats), JobError> {
+    mapreduce_djcluster_full_with(cluster, dfs, input, cfg, rtree_cfg, &Recorder::disabled())
+}
+
+/// [`mapreduce_djcluster_full`] with all phase timings captured under a
+/// root `djcluster` span.
+pub fn mapreduce_djcluster_full_with(
+    cluster: &Cluster,
+    dfs: &mut Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &DjConfig,
+    rtree_cfg: Option<&RTreeBuildConfig>,
+    telemetry: &Recorder,
+) -> Result<(Clustering, PreprocessStats, DjClusterStats), JobError> {
+    let span = telemetry.span("djcluster", &[("input", input)]);
     let pre_name = format!("{input}.preprocessed");
     if dfs.exists(&pre_name) {
         dfs.delete(&pre_name)?;
     }
-    let pre = mapreduce_preprocess(cluster, dfs, input, &pre_name, cfg)?;
-    let (clustering, stats) = mapreduce_djcluster(cluster, dfs, &pre_name, cfg, rtree_cfg)?;
+    let pre = mapreduce_preprocess_with(cluster, dfs, input, &pre_name, cfg, telemetry)?;
+    let (clustering, stats) =
+        mapreduce_djcluster_with(cluster, dfs, &pre_name, cfg, rtree_cfg, telemetry)?;
+    span.end();
     Ok((clustering, pre, stats))
 }
 

@@ -278,8 +278,7 @@ mod tests {
         // Everyone sharing home+work building: nobody unique.
         let home = GeoPoint::new(39.9, 116.4);
         let work = GeoPoint::new(39.95, 116.45);
-        let colocated =
-            Dataset::from_trails((1..=4).map(|u| commuter(u, home, work)));
+        let colocated = Dataset::from_trails((1..=4).map(|u| commuter(u, home, work)));
         assert_eq!(home_work_uniqueness(&colocated, &cfg, 500.0), 0.0);
         // Empty dataset.
         assert_eq!(home_work_uniqueness(&Dataset::new(), &cfg, 500.0), 0.0);

@@ -80,8 +80,8 @@ impl RTreeBuildReport {
             return 1.0;
         }
         let max = *self.partition_sizes.iter().max().unwrap() as f64;
-        let mean = self.partition_sizes.iter().sum::<usize>() as f64
-            / self.partition_sizes.len() as f64;
+        let mean =
+            self.partition_sizes.iter().sum::<usize>() as f64 / self.partition_sizes.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -224,8 +224,8 @@ pub fn mapreduce_build_rtree(
     assert!(cfg.samples_per_chunk >= 1);
 
     // Phase 0: dataset MBR (anchors the curve grid).
-    let bounds_result = MapOnlyJob::new("rtree-bounds", cluster, dfs, input, BoundsMapper::default())
-        .run()?;
+    let bounds_result =
+        MapOnlyJob::new("rtree-bounds", cluster, dfs, input, BoundsMapper::default()).run()?;
     let bounds = bounds_result
         .output
         .iter()
@@ -253,10 +253,7 @@ pub fn mapreduce_build_rtree(
         cluster,
         dfs,
         input,
-        SampleMapper {
-            grid: None,
-            stride,
-        },
+        SampleMapper { grid: None, stride },
         BoundaryReducer {
             partitions: cfg.partitions,
         },

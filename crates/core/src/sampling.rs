@@ -30,10 +30,9 @@
 //! ```
 
 use crate::dfs_io::read_dataset;
-use gepeto_mapred::{
-    Cluster, Dfs, Emitter, JobError, JobStats, MapOnlyJob, Mapper,
-};
+use gepeto_mapred::{Cluster, Dfs, Emitter, JobError, JobStats, MapOnlyJob, Mapper};
 use gepeto_model::{Dataset, MobilityTrace, Trail, UserId};
+use gepeto_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// How the representative trace of a window is chosen.
@@ -125,9 +124,11 @@ fn push_trace(
     emit: &mut impl FnMut(MobilityTrace),
 ) {
     let window = t.timestamp.secs().div_euclid(cfg.window_secs);
-    let badness = cfg
-        .technique
-        .badness(t.timestamp.secs(), window * cfg.window_secs, cfg.window_secs);
+    let badness = cfg.technique.badness(
+        t.timestamp.secs(),
+        window * cfg.window_secs,
+        cfg.window_secs,
+    );
     match state {
         Some(s) if s.user == t.user && s.window == window => {
             if badness < s.best_badness {
@@ -173,7 +174,12 @@ impl Mapper<MobilityTrace> for SamplingMapper {
     type KOut = UserId;
     type VOut = MobilityTrace;
 
-    fn map(&mut self, _offset: u64, value: &MobilityTrace, out: &mut Emitter<UserId, MobilityTrace>) {
+    fn map(
+        &mut self,
+        _offset: u64,
+        value: &MobilityTrace,
+        out: &mut Emitter<UserId, MobilityTrace>,
+    ) {
         let cfg = self.cfg;
         push_trace(&mut self.state, value, &cfg, &mut |t| out.emit(t.user, t));
     }
@@ -193,9 +199,37 @@ pub fn mapreduce_sample(
     input: &str,
     cfg: &SamplingConfig,
 ) -> Result<(Dataset, JobStats), JobError> {
+    mapreduce_sample_with(cluster, dfs, input, cfg, &Recorder::disabled())
+}
+
+/// [`mapreduce_sample`] with telemetry: the job's spans are captured, and
+/// a `sampling.throughput` point records the end-to-end records/second —
+/// the number Table I's per-window rows normalize against.
+pub fn mapreduce_sample_with(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &SamplingConfig,
+    telemetry: &Recorder,
+) -> Result<(Dataset, JobStats), JobError> {
+    let span = telemetry.span(
+        "sampling",
+        &[("input", input), ("window", &cfg.window_secs.to_string())],
+    );
     let result = MapOnlyJob::new("sampling", cluster, dfs, input, SamplingMapper::new(*cfg))
         .pair_bytes(|_, t| t.approx_plt_bytes())
+        .telemetry(telemetry.clone())
         .run()?;
+    span.end();
+    let input_records = dfs.num_records(input)? as f64;
+    let elapsed = result.stats.real_elapsed.as_secs_f64();
+    if elapsed > 0.0 {
+        telemetry.point(
+            "sampling.throughput",
+            input_records / elapsed,
+            &[("input", input)],
+        );
+    }
     let dataset = Dataset::from_traces(result.output.into_iter().map(|(_, t)| t));
     Ok((dataset, result.stats))
 }
@@ -235,10 +269,7 @@ mod tests {
         let ds = Dataset::from_traces(vec![tr(1, 5), tr(1, 20), tr(1, 59), tr(1, 61)]);
         let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
         let sampled = sequential_sample(&ds, &cfg);
-        let secs: Vec<i64> = sampled
-            .iter_traces()
-            .map(|t| t.timestamp.secs())
-            .collect();
+        let secs: Vec<i64> = sampled.iter_traces().map(|t| t.timestamp.secs()).collect();
         assert_eq!(secs, vec![59, 61]);
     }
 
@@ -248,17 +279,17 @@ mod tests {
         let ds = Dataset::from_traces(vec![tr(1, 5), tr(1, 29), tr(1, 55)]);
         let cfg = SamplingConfig::new(60, Technique::ClosestToMiddle);
         let sampled = sequential_sample(&ds, &cfg);
-        let secs: Vec<i64> = sampled
-            .iter_traces()
-            .map(|t| t.timestamp.secs())
-            .collect();
+        let secs: Vec<i64> = sampled.iter_traces().map(|t| t.timestamp.secs()).collect();
         assert_eq!(secs, vec![29]);
     }
 
     #[test]
     fn techniques_differ_on_the_same_input() {
         let ds = Dataset::from_traces(vec![tr(1, 5), tr(1, 29), tr(1, 55)]);
-        let up = sequential_sample(&ds, &SamplingConfig::new(60, Technique::ClosestToUpperLimit));
+        let up = sequential_sample(
+            &ds,
+            &SamplingConfig::new(60, Technique::ClosestToUpperLimit),
+        );
         let mid = sequential_sample(&ds, &SamplingConfig::new(60, Technique::ClosestToMiddle));
         assert_eq!(up.iter_traces().next().unwrap().timestamp.secs(), 55);
         assert_eq!(mid.iter_traces().next().unwrap().timestamp.secs(), 29);
@@ -279,10 +310,7 @@ mod tests {
         let ds = Dataset::from_traces(vec![tr(1, -61), tr(1, -59), tr(1, -1), tr(1, 1)]);
         let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
         let sampled = sequential_sample(&ds, &cfg);
-        let secs: Vec<i64> = sampled
-            .iter_traces()
-            .map(|t| t.timestamp.secs())
-            .collect();
+        let secs: Vec<i64> = sampled.iter_traces().map(|t| t.timestamp.secs()).collect();
         // Windows: [-120,-60) → -61; [-60,0) → -1; [0,60) → 1.
         assert_eq!(secs, vec![-61, -1, 1]);
     }
@@ -347,7 +375,10 @@ mod tests {
 
     #[test]
     fn technique_parse() {
-        assert_eq!(Technique::parse("upper"), Some(Technique::ClosestToUpperLimit));
+        assert_eq!(
+            Technique::parse("upper"),
+            Some(Technique::ClosestToUpperLimit)
+        );
         assert_eq!(Technique::parse("MIDDLE"), Some(Technique::ClosestToMiddle));
         assert_eq!(Technique::parse("mean"), None);
     }

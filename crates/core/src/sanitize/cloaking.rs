@@ -24,7 +24,9 @@ impl Sanitizer for SpatialCloaking {
     }
 
     fn apply(&self, dataset: &Dataset) -> Dataset {
-        let agg = SpatialAggregation { cell_m: self.cell_m };
+        let agg = SpatialAggregation {
+            cell_m: self.cell_m,
+        };
         // Pass 1: distinct users per cell.
         let mut users_per_cell: HashMap<(i64, i64), HashSet<u32>> = HashMap::new();
         for t in dataset.iter_traces() {
@@ -66,10 +68,7 @@ mod tests {
         .apply(&ds);
         assert_eq!(out.num_traces(), ds.num_traces());
         // …but coordinates are coarsened: few distinct positions remain.
-        let distinct: HashSet<(i64, i64)> = out
-            .iter_traces()
-            .map(|t| cell_key(t.point))
-            .collect();
+        let distinct: HashSet<(i64, i64)> = out.iter_traces().map(|t| cell_key(t.point)).collect();
         assert!(distinct.len() <= 4, "{}", distinct.len());
     }
 

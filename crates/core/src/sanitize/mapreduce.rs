@@ -38,14 +38,14 @@ impl PerTraceMechanism {
             // The mask sanitizers are documented deterministic per
             // (seed, trace); reuse their dataset paths on a singleton to
             // avoid duplicating the displacement math.
-            PerTraceMechanism::Gaussian(m) => single(&super::Sanitizer::apply(
-                m,
-                &Dataset::from_traces([*t]),
-            ), index),
-            PerTraceMechanism::Uniform(m) => single(&super::Sanitizer::apply(
-                m,
-                &Dataset::from_traces([*t]),
-            ), index),
+            PerTraceMechanism::Gaussian(m) => single(
+                &super::Sanitizer::apply(m, &Dataset::from_traces([*t])),
+                index,
+            ),
+            PerTraceMechanism::Uniform(m) => single(
+                &super::Sanitizer::apply(m, &Dataset::from_traces([*t])),
+                index,
+            ),
             PerTraceMechanism::Aggregate(a) => MobilityTrace {
                 point: a.snap(t.point),
                 ..*t
@@ -82,7 +82,12 @@ impl Mapper<MobilityTrace> for SanitizeMapper {
     type KOut = UserId;
     type VOut = MobilityTrace;
 
-    fn map(&mut self, offset: u64, value: &MobilityTrace, out: &mut Emitter<UserId, MobilityTrace>) {
+    fn map(
+        &mut self,
+        offset: u64,
+        value: &MobilityTrace,
+        out: &mut Emitter<UserId, MobilityTrace>,
+    ) {
         let sanitized = self.mechanism.apply_trace(offset, value);
         out.emit(sanitized.user, sanitized);
     }
@@ -182,9 +187,11 @@ mod tests {
 
     #[test]
     fn mechanism_names_forward() {
-        assert!(PerTraceMechanism::Aggregate(SpatialAggregation { cell_m: 10.0 })
-            .name()
-            .contains("aggregation"));
+        assert!(
+            PerTraceMechanism::Aggregate(SpatialAggregation { cell_m: 10.0 })
+                .name()
+                .contains("aggregation")
+        );
         assert!(
             PerTraceMechanism::Temporal(TemporalCloaking { window_secs: 60 })
                 .name()

@@ -145,8 +145,7 @@ mod tests {
         let first = out.trail(ids[0]).unwrap();
         let second = out.trail(ids[1]).unwrap();
         assert!(
-            first.traces().last().unwrap().timestamp
-                < second.traces().first().unwrap().timestamp
+            first.traces().last().unwrap().timestamp < second.traces().first().unwrap().timestamp
         );
     }
 
@@ -161,9 +160,7 @@ mod tests {
     #[test]
     fn trail_entirely_inside_a_zone_vanishes() {
         let traces: Vec<MobilityTrace> = (0..10)
-            .map(|i| {
-                MobilityTrace::new(1, GeoPoint::new(39.9, 116.42), Timestamp(i * 10))
-            })
+            .map(|i| MobilityTrace::new(1, GeoPoint::new(39.9, 116.42), Timestamp(i * 10)))
             .collect();
         let out = zone().apply(&Dataset::from_traces(traces));
         assert!(out.is_empty());
@@ -174,7 +171,11 @@ mod tests {
         // Walk east, back west, east again: two crossings → 3 segments.
         let mut traces = Vec::new();
         let mut t = 0i64;
-        for leg in [(0..40).collect::<Vec<i64>>(), (0..40).rev().collect(), (0..40).collect()] {
+        for leg in [
+            (0..40).collect::<Vec<i64>>(),
+            (0..40).rev().collect(),
+            (0..40).collect(),
+        ] {
             for i in leg {
                 traces.push(MobilityTrace::new(
                     5,

@@ -159,7 +159,10 @@ mod tests {
         assert_eq!(text_out.num_traces(), typed_out.num_traces());
         assert_eq!(text_out.num_users(), typed_out.num_users());
         // Timestamps survive the text round trip exactly.
-        let a: Vec<i64> = typed_out.iter_traces().map(|t| t.timestamp.secs()).collect();
+        let a: Vec<i64> = typed_out
+            .iter_traces()
+            .map(|t| t.timestamp.secs())
+            .collect();
         let b: Vec<i64> = text_out.iter_traces().map(|t| t.timestamp.secs()).collect();
         assert_eq!(a, b);
     }
@@ -196,6 +199,9 @@ mod tests {
         // the count sits just below the exact byte quotient.
         let blocks = dfs.num_blocks("d").unwrap();
         let upper = total.div_ceil(4_096).max(1);
-        assert!(blocks <= upper && blocks + 2 >= upper, "{blocks} vs {upper}");
+        assert!(
+            blocks <= upper && blocks + 2 >= upper,
+            "{blocks} vs {upper}"
+        );
     }
 }

@@ -340,10 +340,7 @@ mod tests {
     #[test]
     fn svg_clusters_draw_centroid_crosses() {
         let ds = sample();
-        let clusters: Vec<Vec<MobilityTrace>> = ds
-            .trails()
-            .map(|t| t.traces().to_vec())
-            .collect();
+        let clusters: Vec<Vec<MobilityTrace>> = ds.trails().map(|t| t.traces().to_vec()).collect();
         let mut map = SvgMap::for_dataset(&ds, 400);
         map.add_clusters(&clusters);
         let svg = map.render();

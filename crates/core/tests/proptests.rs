@@ -1,9 +1,7 @@
 //! Property-based tests on the toolkit's algorithmic invariants.
 
 use gepeto::djcluster::{sequential_djcluster, sequential_preprocess, DjConfig};
-use gepeto::kmeans::{
-    assign_points, initial_centroids, sequential_iteration, within_cluster_cost,
-};
+use gepeto::kmeans::{assign_points, initial_centroids, sequential_iteration, within_cluster_cost};
 use gepeto::sampling::{sample_trail, SamplingConfig, Technique};
 use gepeto::sanitize::{GaussianMask, Sanitizer, SpatialAggregation, UniformMask};
 use gepeto_geo::{haversine_m, DistanceMetric};
@@ -11,12 +9,7 @@ use gepeto_model::{Dataset, GeoPoint, MobilityTrace, Timestamp, Trail};
 use proptest::prelude::*;
 
 fn trace_strategy() -> impl Strategy<Value = MobilityTrace> {
-    (
-        0u32..4,
-        39.5f64..40.5,
-        115.5f64..117.0,
-        0i64..100_000,
-    )
+    (0u32..4, 39.5f64..40.5, 115.5f64..117.0, 0i64..100_000)
         .prop_map(|(u, lat, lon, ts)| MobilityTrace::new(u, GeoPoint::new(lat, lon), Timestamp(ts)))
 }
 

@@ -429,9 +429,8 @@ fn insert_rec<T>(node: &mut Node<T>, entry: Entry<T>, max: usize, min: usize) ->
             *mbr = mbr.union(&Rect::point(entry.point));
             entries.push(entry);
             if entries.len() > max {
-                let (a, b) = quadratic_split(std::mem::take(entries), min, |e| {
-                    Rect::point(e.point)
-                });
+                let (a, b) =
+                    quadratic_split(std::mem::take(entries), min, |e| Rect::point(e.point));
                 let (mbr_a, mbr_b) = (
                     Rect::of_points(a.iter().map(|e| e.point)),
                     Rect::of_points(b.iter().map(|e| e.point)),
@@ -469,8 +468,7 @@ fn insert_rec<T>(node: &mut Node<T>, entry: Entry<T>, max: usize, min: usize) ->
             if let Some(sibling) = insert_rec(&mut children[idx], entry, max, min) {
                 children.push(sibling);
                 if children.len() > max {
-                    let (a, b) =
-                        quadratic_split(std::mem::take(children), min, |c| c.mbr());
+                    let (a, b) = quadratic_split(std::mem::take(children), min, |c| c.mbr());
                     let mut mbr_a = Rect::empty();
                     for c in &a {
                         mbr_a = mbr_a.union(&c.mbr());
@@ -529,8 +527,7 @@ fn quadratic_split<I>(items: Vec<I>, min: usize, rect_of: impl Fn(&I) -> Rect) -
     }
     let total = rest.len() + 2;
     for item in rest.into_iter() {
-        let remaining_capacity_needed =
-            |group_len: usize| min.saturating_sub(group_len);
+        let remaining_capacity_needed = |group_len: usize| min.saturating_sub(group_len);
         // Force-assign when a group must take all remaining to reach min.
         let assigned_so_far = group_a.len() + group_b.len();
         let remaining = total - assigned_so_far;
@@ -707,9 +704,7 @@ mod tests {
         assert_eq!(t.height(), 1);
         assert!(t.query_rect(&Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
         assert!(t.nearest_k(GeoPoint::new(0.0, 0.0), 3).is_empty());
-        assert!(t
-            .within_radius_m(GeoPoint::new(0.0, 0.0), 100.0)
-            .is_empty());
+        assert!(t.within_radius_m(GeoPoint::new(0.0, 0.0), 100.0).is_empty());
         assert!(t.check_invariants().is_none());
     }
 
@@ -750,7 +745,11 @@ mod tests {
         let pts = grid_points(17);
         let bulk = RTree::bulk_load_with_max_entries(pts.clone(), 8);
         assert_eq!(bulk.len(), pts.len());
-        assert!(bulk.check_invariants().is_none(), "{:?}", bulk.check_invariants());
+        assert!(
+            bulk.check_invariants().is_none(),
+            "{:?}",
+            bulk.check_invariants()
+        );
         let mut incr = RTree::with_max_entries(8);
         for (p, i) in pts {
             incr.insert(p, i);
@@ -804,10 +803,8 @@ mod tests {
         // Same set as brute force.
         let mut brute: Vec<(f64, usize)> = pts.iter().map(|&(p, i)| (d2(p), i)).collect();
         brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let want: std::collections::BTreeSet<usize> =
-            brute[..k].iter().map(|&(_, i)| i).collect();
-        let got_set: std::collections::BTreeSet<usize> =
-            got.iter().map(|e| e.payload).collect();
+        let want: std::collections::BTreeSet<usize> = brute[..k].iter().map(|&(_, i)| i).collect();
+        let got_set: std::collections::BTreeSet<usize> = got.iter().map(|e| e.payload).collect();
         assert_eq!(got_set, want);
     }
 

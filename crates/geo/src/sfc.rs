@@ -189,10 +189,7 @@ impl GridMapper {
         let fx = ((p.lon - self.bounds.min_lon) / span_lon * side).floor();
         let fy = ((p.lat - self.bounds.min_lat) / span_lat * side).floor();
         let max = side - 1.0;
-        (
-            fx.clamp(0.0, max) as u32,
-            fy.clamp(0.0, max) as u32,
-        )
+        (fx.clamp(0.0, max) as u32, fy.clamp(0.0, max) as u32)
     }
 
     /// Scalar curve index of `p` under `curve`.
@@ -281,7 +278,7 @@ mod tests {
         assert_eq!(g.cell(GeoPoint::new(0.0, 0.0)), (0, 0));
         assert_eq!(g.cell(GeoPoint::new(10.0, 10.0)), (15, 15)); // clamped max edge
         assert_eq!(g.cell(GeoPoint::new(-5.0, 20.0)), (15, 0)); // outside -> clamp
-        // center lands mid-grid
+                                                                // center lands mid-grid
         let (x, y) = g.cell(GeoPoint::new(5.0, 5.0));
         assert_eq!((x, y), (8, 8));
     }

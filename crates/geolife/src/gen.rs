@@ -210,9 +210,8 @@ impl SyntheticGeoLife {
     /// Per-user trace budget: log-normal share of the scaled total, so a
     /// few heavy loggers dominate like in real GeoLife.
     fn user_trace_budget(&self, _user: UserId, rng: &mut StdRng) -> usize {
-        let mean_share =
-            self.config.target_traces_full_scale as f64 * self.config.scale
-                / self.config.users as f64;
+        let mean_share = self.config.target_traces_full_scale as f64 * self.config.scale
+            / self.config.users as f64;
         // lognormal(µ=-σ²/2, σ) has mean 1.
         let sigma = 0.75f64;
         let w = log_normal(rng, -sigma * sigma / 2.0, sigma);
@@ -232,13 +231,7 @@ impl SyntheticGeoLife {
         // Leisure: scattered around home.
         let n_leisure = rng.random_range(3..=6);
         let leisure = (0..n_leisure)
-            .map(|_| {
-                offset_m(
-                    home,
-                    normal(rng, 0.0, 1_800.0),
-                    normal(rng, 0.0, 1_800.0),
-                )
-            })
+            .map(|_| offset_m(home, normal(rng, 0.0, 1_800.0), normal(rng, 0.0, 1_800.0)))
             .collect();
         UserGeography {
             home,

@@ -82,17 +82,9 @@ impl std::fmt::Display for DatasetStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "users:            {}", self.users)?;
         writeln!(f, "traces:           {}", self.traces)?;
-        writeln!(
-            f,
-            "plt size:         {:.1} MB",
-            self.plt_bytes as f64 / 1e6
-        )?;
+        writeln!(f, "plt size:         {:.1} MB", self.plt_bytes as f64 / 1e6)?;
         writeln!(f, "mean period:      {:.2} s", self.mean_period_secs)?;
-        writeln!(
-            f,
-            "moving fraction:  {:.1} %",
-            self.moving_fraction * 100.0
-        )?;
+        writeln!(f, "moving fraction:  {:.1} %", self.moving_fraction * 100.0)?;
         writeln!(f, "sessions:         {}", self.sessions)?;
         write!(f, "recorded:         {:.1} h", self.recorded_hours)
     }
@@ -116,9 +108,7 @@ mod tests {
 
     #[test]
     fn sessions_split_at_long_gaps() {
-        let mk = |secs: i64| {
-            MobilityTrace::new(1, GeoPoint::new(40.0, 116.0), Timestamp(secs))
-        };
+        let mk = |secs: i64| MobilityTrace::new(1, GeoPoint::new(40.0, 116.0), Timestamp(secs));
         // Two sessions: 0..10s then a 1h gap then 3610..3620.
         let ds = Dataset::from_traces(vec![mk(0), mk(5), mk(10), mk(3_610), mk(3_620)]);
         let s = DatasetStats::compute(&ds);

@@ -5,8 +5,30 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Phase names used in failure hashing, error reporting and telemetry
+/// labels. Shared constants so the jobtracker, the simulator and the
+/// telemetry layer can never drift apart on a typo.
+pub mod phase {
+    /// The map phase.
+    pub const MAP: &str = "map";
+    /// The reduce phase.
+    pub const REDUCE: &str = "reduce";
+    /// The shuffle (map-output regrouping) phase.
+    pub const SHUFFLE: &str = "shuffle";
+    /// The map-side combine phase.
+    pub const COMBINE: &str = "combine";
+    /// The reduce-side sort/group phase.
+    pub const SORT: &str = "sort";
+}
+
 /// Built-in counter names used by the engine itself.
 pub mod builtin {
+    /// Total intermediate bytes shuffled from mappers to reducers (same
+    /// name the telemetry summary surfaces as its shuffle line).
+    pub const SHUFFLE_BYTES: &str = gepeto_telemetry::SHUFFLE_BYTES_COUNTER;
+    /// Intermediate pairs written out by map tasks after combining —
+    /// what Hadoop would spill to local disk for the shuffle.
+    pub const SPILLED_RECORDS: &str = "mapred.spilled.records";
     /// Records read by all map tasks.
     pub const MAP_INPUT_RECORDS: &str = "mapred.map.input.records";
     /// Pairs emitted by all map tasks (before combining).
@@ -22,7 +44,7 @@ pub mod builtin {
     /// Pairs emitted by all reduce tasks.
     pub const REDUCE_OUTPUT_RECORDS: &str = "mapred.reduce.output.records";
     /// Task attempts lost to (injected) failures and rescheduled.
-    pub const TASK_RETRIES: &str = "mapred.task.retries";
+    pub const TASK_RETRIES: &str = gepeto_telemetry::TASK_RETRIES_COUNTER;
 }
 
 /// A concurrent set of named counters. Cloning shares the underlying

@@ -8,6 +8,7 @@
 
 use crate::hash::fnv_hash;
 use crate::topology::{NodeId, Topology};
+use gepeto_telemetry::Recorder;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -69,6 +70,7 @@ pub struct Dfs<T> {
     files: BTreeMap<String, FileMeta>,
     blocks: BTreeMap<BlockId, Block<T>>,
     next_block: BlockId,
+    telemetry: Recorder,
 }
 
 impl<T: Clone> Dfs<T> {
@@ -87,7 +89,16 @@ impl<T: Clone> Dfs<T> {
             files: BTreeMap::new(),
             blocks: BTreeMap::new(),
             next_block: 0,
+            telemetry: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder: chunk placements become
+    /// `dfs.place` points, and chunk/file reads feed the
+    /// `dfs.block.reads` counter and `dfs.read.bytes` histogram.
+    pub fn telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
     }
 
     /// Chunk size in bytes.
@@ -156,16 +167,26 @@ impl<T: Clone> Dfs<T> {
         self.put_with_sizer(name, records, |_| bytes_per_record)
     }
 
-    fn store_block(
-        &mut self,
-        file: &str,
-        index: usize,
-        data: Vec<T>,
-        bytes: usize,
-    ) -> BlockId {
+    fn store_block(&mut self, file: &str, index: usize, data: Vec<T>, bytes: usize) -> BlockId {
         let id = self.next_block;
         self.next_block += 1;
         let replicas = self.place_replicas(file, index);
+        if self.telemetry.is_enabled() {
+            let nodes = replicas
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            self.telemetry.point(
+                "dfs.place",
+                bytes as f64,
+                &[
+                    ("file", file),
+                    ("block", &id.to_string()),
+                    ("replicas", &nodes),
+                ],
+            );
+        }
         self.blocks.insert(
             id,
             Block {
@@ -190,10 +211,10 @@ impl<T: Clone> Dfs<T> {
         let writer = (fnv_hash(&file) as usize + index) % n;
         let mut replicas = vec![writer];
         if r >= 2 {
-            let peers = self.topology.rack_peers(self.topology.rack_of(writer), writer);
-            if let Some(&peer) =
-                pick_deterministic(&peers, fnv_hash(&(file, index, "same-rack")))
-            {
+            let peers = self
+                .topology
+                .rack_peers(self.topology.rack_of(writer), writer);
+            if let Some(&peer) = pick_deterministic(&peers, fnv_hash(&(file, index, "same-rack"))) {
                 replicas.push(peer);
             }
         }
@@ -203,8 +224,7 @@ impl<T: Clone> Dfs<T> {
                 .into_iter()
                 .filter(|x| !replicas.contains(x))
                 .collect();
-            if let Some(&other) =
-                pick_deterministic(&others, fnv_hash(&(file, index, "off-rack")))
+            if let Some(&other) = pick_deterministic(&others, fnv_hash(&(file, index, "off-rack")))
             {
                 replicas.push(other);
             }
@@ -233,15 +253,18 @@ impl<T: Clone> Dfs<T> {
     /// # Panics
     /// If the id is unknown (engine-internal misuse).
     pub fn block(&self, id: BlockId) -> &Block<T> {
-        &self.blocks[&id]
+        let block = &self.blocks[&id];
+        self.telemetry.count("dfs.block.reads", 1);
+        self.telemetry.observe("dfs.read.bytes", block.bytes as u64);
+        block
     }
 
     /// Reads a whole file back as a flat record vector.
     pub fn read(&self, name: &str) -> Result<Vec<T>, DfsError> {
         let ids = self.blocks_of(name)?;
         let mut out = Vec::with_capacity(self.num_records(name)?);
-        for id in ids {
-            out.extend(self.blocks[id].data.iter().cloned());
+        for &id in ids {
+            out.extend(self.block(id).data.iter().cloned());
         }
         Ok(out)
     }
@@ -419,6 +442,30 @@ mod tests {
             // Round-robin writers: perfectly balanced within 1.
             assert!((99..=101).contains(&c), "unbalanced: {dist:?}");
         }
+    }
+
+    #[test]
+    fn telemetry_sees_placements_and_reads() {
+        let rec = Recorder::enabled();
+        let mut d = dfs(40).telemetry(rec.clone());
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let placements: Vec<_> = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "dfs.place")
+            .cloned()
+            .collect();
+        assert_eq!(placements.len(), 10);
+        assert_eq!(placements[0].label("file"), Some("f"));
+        assert_eq!(
+            placements[0].label("replicas").unwrap().split(',').count(),
+            3
+        );
+        d.read("f").unwrap();
+        assert_eq!(rec.counter("dfs.block.reads"), 10);
+        let h = rec.histogram("dfs.read.bytes").unwrap();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 400);
     }
 
     #[test]

@@ -16,11 +16,12 @@
 use crate::api::{Combiner, Emitter, Mapper, MrKey, MrValue, Reducer, TaskContext};
 use crate::cache::DistributedCache;
 use crate::config::JobConfig;
-use crate::counters::{builtin, Counters};
+use crate::counters::{builtin, phase, Counters};
 use crate::dfs::{Dfs, DfsError};
 use crate::hash::{default_partition, unit_hash};
-use crate::sim::{simulate, MapTaskSim, ReduceTaskSim, SimReport};
+use crate::sim::{simulate_with, MapTaskSim, ReduceTaskSim, SimReport};
 use crate::topology::Cluster;
+use gepeto_telemetry::{Recorder, Span};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -158,6 +159,7 @@ where
     num_reducers: usize,
     config: JobConfig,
     cache: DistributedCache,
+    telemetry: Recorder,
     pair_bytes: Option<PairBytes<M::KOut, M::VOut>>,
     partitioner: Option<Partitioner<M::KOut>>,
 }
@@ -189,6 +191,7 @@ where
             num_reducers: cluster.topology.num_nodes(),
             config: JobConfig::new(),
             cache: DistributedCache::new(),
+            telemetry: Recorder::disabled(),
             pair_bytes: None,
             partitioner: None,
         }
@@ -218,6 +221,7 @@ where
             num_reducers: self.num_reducers,
             config: self.config,
             cache: self.cache,
+            telemetry: self.telemetry,
             pair_bytes: self.pair_bytes,
             partitioner: self.partitioner,
         }
@@ -239,6 +243,14 @@ where
     /// Sets the distributed cache.
     pub fn cache(mut self, cache: DistributedCache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Attaches a telemetry recorder; phases, tasks, retries and
+    /// scheduling decisions are captured through it. The default
+    /// (disabled) recorder makes all instrumentation a no-op.
+    pub fn telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
         self
     }
 
@@ -267,6 +279,13 @@ where
     pub fn run(self) -> Result<JobResult<R::KOut, R::VOut>, JobError> {
         let started = Instant::now();
         let counters = Counters::new();
+        let job_span = self.telemetry.span(
+            "job",
+            &[
+                ("job", &self.name),
+                ("reducers", &self.num_reducers.to_string()),
+            ],
+        );
         let map_phase = run_map_phase(
             &self.name,
             self.cluster,
@@ -278,6 +297,8 @@ where
             &self.config,
             &self.cache,
             &counters,
+            &self.telemetry,
+            &job_span,
             self.pair_bytes.as_ref(),
             self.partitioner.clone(),
         )?;
@@ -290,70 +311,96 @@ where
         } = map_phase;
 
         // ---- reduce tasks, in parallel ----
+        counters.inc(
+            builtin::SHUFFLE_BYTES,
+            partition_bytes.iter().copied().sum(),
+        );
+        let reduce_span = job_span.child("phase.reduce", &[]);
         let reducer_clones: Vec<R> = (0..partition_bytes.len())
             .map(|_| self.reducer.clone())
             .collect();
         type ReduceResults<K, V> = Vec<Result<ReduceTaskOutput<K, V>, JobError>>;
-        let reduce_results: ReduceResults<R::KOut, R::VOut> =
-            partitions
-                .into_par_iter()
-                .zip(reducer_clones)
-                .enumerate()
-                .map(|(task_id, (mut pairs, mut reducer))| {
-                    let fail = &self.cluster.failures;
-                    let mut attempt = 1u32;
-                    while unit_hash(&(self.name.as_str(), "reduce", task_id, attempt, fail.seed))
-                        < fail.reduce_fail_prob
-                    {
-                        counters.inc(builtin::TASK_RETRIES, 1);
-                        attempt += 1;
-                        if attempt > fail.max_attempts {
-                            return Err(JobError::TaskFailed {
-                                phase: "reduce",
-                                task: task_id,
-                                attempts: fail.max_attempts,
-                            });
-                        }
+        let reduce_results: ReduceResults<R::KOut, R::VOut> = partitions
+            .into_par_iter()
+            .zip(reducer_clones)
+            .enumerate()
+            .map(|(task_id, (mut pairs, mut reducer))| {
+                let fail = &self.cluster.failures;
+                let mut attempt = 1u32;
+                while unit_hash(&(
+                    self.name.as_str(),
+                    phase::REDUCE,
+                    task_id,
+                    attempt,
+                    fail.seed,
+                )) < fail.reduce_fail_prob
+                {
+                    counters.inc(builtin::TASK_RETRIES, 1);
+                    self.telemetry.point(
+                        "task.retry",
+                        attempt as f64,
+                        &[("phase", phase::REDUCE), ("task", &task_id.to_string())],
+                    );
+                    attempt += 1;
+                    if attempt > fail.max_attempts {
+                        return Err(JobError::TaskFailed {
+                            phase: phase::REDUCE,
+                            task: task_id,
+                            attempts: fail.max_attempts,
+                        });
                     }
-                    let t0 = Instant::now();
+                }
+                let task_span = reduce_span.child(
+                    "task.reduce",
+                    &[
+                        ("task", &task_id.to_string()),
+                        ("attempt", &attempt.to_string()),
+                    ],
+                );
+                let t0 = Instant::now();
+                {
                     // Sort-based grouping; stable sort keeps the map-task
                     // emission order within a key deterministic.
+                    let _sort_span = task_span.child("phase.sort", &[]);
                     pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                    let ctx = TaskContext {
-                        task_id,
-                        attempt,
-                        config: &self.config,
-                        cache: &self.cache,
-                        counters: &counters,
-                    };
-                    reducer.setup(&ctx);
-                    let mut out = Emitter::new();
-                    let mut start = 0;
-                    counters.inc(builtin::REDUCE_INPUT_RECORDS, pairs.len() as u64);
-                    while start < pairs.len() {
-                        let key = pairs[start].0.clone();
-                        let mut end = start + 1;
-                        while end < pairs.len() && pairs[end].0 == key {
-                            end += 1;
-                        }
-                        let values: Vec<M::VOut> =
-                            pairs[start..end].iter().map(|(_, v)| v.clone()).collect();
-                        counters.inc(builtin::REDUCE_INPUT_GROUPS, 1);
-                        reducer.reduce(&key, &values, &mut out);
-                        start = end;
+                }
+                let ctx = TaskContext {
+                    task_id,
+                    attempt,
+                    config: &self.config,
+                    cache: &self.cache,
+                    counters: &counters,
+                };
+                reducer.setup(&ctx);
+                let mut out = Emitter::new();
+                let mut start = 0;
+                counters.inc(builtin::REDUCE_INPUT_RECORDS, pairs.len() as u64);
+                while start < pairs.len() {
+                    let key = pairs[start].0.clone();
+                    let mut end = start + 1;
+                    while end < pairs.len() && pairs[end].0 == key {
+                        end += 1;
                     }
-                    reducer.cleanup(&mut out);
-                    let host_secs = t0.elapsed().as_secs_f64();
-                    let output = out.into_pairs();
-                    counters.inc(builtin::REDUCE_OUTPUT_RECORDS, output.len() as u64);
-                    Ok(ReduceTaskOutput {
-                        output,
-                        host_secs,
-                        input_records: pairs.len() as u64,
-                    })
+                    let values: Vec<M::VOut> =
+                        pairs[start..end].iter().map(|(_, v)| v.clone()).collect();
+                    counters.inc(builtin::REDUCE_INPUT_GROUPS, 1);
+                    reducer.reduce(&key, &values, &mut out);
+                    start = end;
+                }
+                reducer.cleanup(&mut out);
+                let host_secs = t0.elapsed().as_secs_f64();
+                task_span.end();
+                let output = out.into_pairs();
+                counters.inc(builtin::REDUCE_OUTPUT_RECORDS, output.len() as u64);
+                Ok(ReduceTaskOutput {
+                    output,
+                    host_secs,
+                    input_records: pairs.len() as u64,
                 })
-                .collect();
+            })
+            .collect();
 
+        reduce_span.end();
         let mut output = Vec::new();
         let mut reduce_sim = Vec::new();
         for (task_id, r) in reduce_results.into_iter().enumerate() {
@@ -366,19 +413,27 @@ where
             output.extend(r.output);
         }
 
-        let sim = simulate(
+        let sim = simulate_with(
             &self.cluster.topology,
             &self.cluster.sim,
             &map_sim,
             &reduce_sim,
+            &self.telemetry,
         );
+        job_span.end();
+        let counters_snapshot = counters.snapshot();
+        if self.telemetry.is_enabled() {
+            for (k, &v) in &counters_snapshot {
+                self.telemetry.count(k, v);
+            }
+        }
         let stats = JobStats {
             name: self.name,
             map_tasks: map_sim.len(),
             reduce_tasks: reduce_sim.len(),
             real_elapsed: started.elapsed(),
             sim,
-            counters: counters.snapshot(),
+            counters: counters_snapshot,
         };
         Ok(JobResult { output, stats })
     }
@@ -400,6 +455,7 @@ where
     mapper: M,
     config: JobConfig,
     cache: DistributedCache,
+    telemetry: Recorder,
     pair_bytes: Option<PairBytes<M::KOut, M::VOut>>,
 }
 
@@ -418,6 +474,7 @@ where
             mapper,
             config: JobConfig::new(),
             cache: DistributedCache::new(),
+            telemetry: Recorder::disabled(),
             pair_bytes: None,
         }
     }
@@ -434,6 +491,12 @@ where
         self
     }
 
+    /// Attaches a telemetry recorder (see [`MapReduceJob::telemetry`]).
+    pub fn telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
     /// Overrides the output-pair size estimator.
     pub fn pair_bytes(
         mut self,
@@ -447,6 +510,9 @@ where
     pub fn run(self) -> Result<JobResult<M::KOut, M::VOut>, JobError> {
         let started = Instant::now();
         let counters = Counters::new();
+        let job_span = self
+            .telemetry
+            .span("job", &[("job", &self.name), ("reducers", "0")]);
         let MapPhaseOutput {
             partitions,
             sim_tasks,
@@ -462,18 +528,33 @@ where
             &self.config,
             &self.cache,
             &counters,
+            &self.telemetry,
+            &job_span,
             self.pair_bytes.as_ref(),
             None,
         )?;
         let output = partitions.into_iter().flatten().collect();
-        let sim = simulate(&self.cluster.topology, &self.cluster.sim, &sim_tasks, &[]);
+        let sim = simulate_with(
+            &self.cluster.topology,
+            &self.cluster.sim,
+            &sim_tasks,
+            &[],
+            &self.telemetry,
+        );
+        job_span.end();
+        let counters_snapshot = counters.snapshot();
+        if self.telemetry.is_enabled() {
+            for (k, &v) in &counters_snapshot {
+                self.telemetry.count(k, v);
+            }
+        }
         let stats = JobStats {
             name: self.name,
             map_tasks: sim_tasks.len(),
             reduce_tasks: 0,
             real_elapsed: started.elapsed(),
             sim,
-            counters: counters.snapshot(),
+            counters: counters_snapshot,
         };
         Ok(JobResult { output, stats })
     }
@@ -505,6 +586,8 @@ fn run_map_phase<V1, M, C>(
     config: &JobConfig,
     cache: &DistributedCache,
     counters: &Counters,
+    telemetry: &Recorder,
+    job_span: &Span,
     pair_bytes: Option<&PairBytes<M::KOut, M::VOut>>,
     partitioner: Option<Partitioner<M::KOut>>,
 ) -> Result<MapPhaseOutput<M::KOut, M::VOut>, JobError>
@@ -526,6 +609,7 @@ where
     let mapper_clones: Vec<(M, Option<C>)> = (0..block_ids.len())
         .map(|_| (mapper.clone(), combiner.cloned()))
         .collect();
+    let map_span = job_span.child("phase.map", &[("tasks", &block_ids.len().to_string())]);
     type MapResults<K, V> = Vec<Result<MapTaskResult<K, V>, JobError>>;
     let results: MapResults<M::KOut, M::VOut> = block_ids
         .par_iter()
@@ -534,19 +618,33 @@ where
         .map(|(task_id, (&block_id, (mut m, combiner)))| {
             let fail = &cluster.failures;
             let mut attempt = 1u32;
-            while unit_hash(&(job_name, "map", task_id, attempt, fail.seed)) < fail.map_fail_prob
+            while unit_hash(&(job_name, phase::MAP, task_id, attempt, fail.seed))
+                < fail.map_fail_prob
             {
                 counters.inc(builtin::TASK_RETRIES, 1);
+                telemetry.point(
+                    "task.retry",
+                    attempt as f64,
+                    &[("phase", phase::MAP), ("task", &task_id.to_string())],
+                );
                 attempt += 1;
                 if attempt > fail.max_attempts {
                     return Err(JobError::TaskFailed {
-                        phase: "map",
+                        phase: phase::MAP,
                         task: task_id,
                         attempts: fail.max_attempts,
                     });
                 }
             }
             let block = dfs.block(block_id);
+            let task_span = map_span.child(
+                "task.map",
+                &[
+                    ("task", &task_id.to_string()),
+                    ("block", &block_id.to_string()),
+                    ("attempt", &attempt.to_string()),
+                ],
+            );
             let t0 = Instant::now();
             let ctx = TaskContext {
                 task_id,
@@ -569,9 +667,7 @@ where
             let (buckets, bytes) = if num_reducers == 0 {
                 let sz: u64 = pairs
                     .iter()
-                    .map(|(k, v)| {
-                        pair_bytes.map_or(default_pair_size, |f| f(k, v)) as u64
-                    })
+                    .map(|(k, v)| pair_bytes.map_or(default_pair_size, |f| f(k, v)) as u64)
                     .sum();
                 (vec![pairs], vec![sz])
             } else {
@@ -592,23 +688,27 @@ where
                     buckets[p].push((k, v));
                 }
                 if let Some(c) = &combiner {
+                    let _combine_span = task_span.child("phase.combine", &[]);
                     for bucket in buckets.iter_mut() {
                         *bucket = run_combiner(c, std::mem::take(bucket), counters);
                     }
                 }
+                counters.inc(
+                    builtin::SPILLED_RECORDS,
+                    buckets.iter().map(|b| b.len() as u64).sum(),
+                );
                 let bytes = buckets
                     .iter()
                     .map(|b| {
                         b.iter()
-                            .map(|(k, v)| {
-                                pair_bytes.map_or(default_pair_size, |f| f(k, v)) as u64
-                            })
+                            .map(|(k, v)| pair_bytes.map_or(default_pair_size, |f| f(k, v)) as u64)
                             .sum()
                     })
                     .collect();
                 (buckets, bytes)
             };
             let host_secs = t0.elapsed().as_secs_f64();
+            task_span.end();
             Ok(MapTaskResult {
                 buckets,
                 bucket_bytes: bytes,
@@ -622,11 +722,15 @@ where
         })
         .collect();
 
+    map_span.end();
     let num_partitions = if num_reducers == 0 {
         block_ids.len()
     } else {
         num_reducers
     };
+    // Regrouping map outputs into reduce partitions is the in-process
+    // equivalent of the shuffle's copy step.
+    let _shuffle_span = (num_reducers > 0).then(|| job_span.child("phase.shuffle", &[]));
     let mut partitions: Vec<Vec<(M::KOut, M::VOut)>> =
         (0..num_partitions).map(|_| Vec::new()).collect();
     let mut partition_bytes = vec![0u64; num_partitions];
@@ -775,12 +879,11 @@ mod tests {
             .reducers(2)
             .run()
             .unwrap();
-        let combined =
-            MapReduceJob::new("wc+c", &cluster, &dfs, "words", tokenizer(), SumReducer)
-                .with_combiner(SumCombiner)
-                .reducers(2)
-                .run()
-                .unwrap();
+        let combined = MapReduceJob::new("wc+c", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .with_combiner(SumCombiner)
+            .reducers(2)
+            .run()
+            .unwrap();
         assert_eq!(word_counts(&plain), word_counts(&combined));
         assert!(
             combined.stats.sim.shuffle_bytes < plain.stats.sim.shuffle_bytes,
@@ -883,17 +986,11 @@ mod tests {
             }
         }
 
-        let result = MapOnlyJob::new(
-            "cfg",
-            &cluster,
-            &dfs,
-            "nums",
-            OffsetMapper { offset: 0 },
-        )
-        .config(JobConfig::new().set("base", 100))
-        .cache(DistributedCache::new().with("extra", 10u64))
-        .run()
-        .unwrap();
+        let result = MapOnlyJob::new("cfg", &cluster, &dfs, "nums", OffsetMapper { offset: 0 })
+            .config(JobConfig::new().set("base", 100))
+            .cache(DistributedCache::new().with("extra", 10u64))
+            .run()
+            .unwrap();
         let vals: Vec<u64> = result.output.iter().map(|&(_, v)| v).collect();
         assert_eq!(vals, vec![111, 112, 113]);
     }
@@ -919,7 +1016,13 @@ mod tests {
             .unwrap();
         assert_eq!(word_counts(&clean), word_counts(&retried));
         assert!(
-            retried.stats.counters.get(builtin::TASK_RETRIES).copied().unwrap_or(0) > 0,
+            retried
+                .stats
+                .counters
+                .get(builtin::TASK_RETRIES)
+                .copied()
+                .unwrap_or(0)
+                > 0,
             "with p=0.7 over several tasks some retries must occur"
         );
     }
@@ -954,6 +1057,83 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, JobError::Dfs(DfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn telemetry_captures_phases_tasks_and_shuffle() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let rec = Recorder::enabled();
+        let result = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .with_combiner(SumCombiner)
+            .reducers(2)
+            .telemetry(rec.clone())
+            .run()
+            .unwrap();
+        let events = rec.events();
+        use gepeto_telemetry::EventKind;
+        let ends = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::SpanEnd && e.name == name)
+                .count()
+        };
+        assert_eq!(ends("job"), 1);
+        assert_eq!(ends("phase.map"), 1);
+        assert_eq!(ends("phase.shuffle"), 1);
+        assert_eq!(ends("phase.reduce"), 1);
+        assert_eq!(ends("task.map"), result.stats.map_tasks);
+        assert_eq!(ends("task.reduce"), 2);
+        assert!(ends("phase.combine") >= 1, "combiner span missing");
+        assert_eq!(ends("phase.sort"), 2, "one sort span per reducer");
+        // Every task span carries its identity labels.
+        for e in events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart && e.name == "task.map")
+        {
+            assert!(e.label("task").is_some() && e.label("block").is_some());
+        }
+        // The virtual scheduler logged one decision per task, tagged.
+        let sched: Vec<_> = events.iter().filter(|e| e.name == "sched.map").collect();
+        assert_eq!(sched.len(), result.stats.map_tasks);
+        assert!(sched.iter().all(|e| e.label("locality").is_some()));
+        // Engine counters are mirrored into the recorder at job end.
+        assert_eq!(
+            rec.counter(builtin::SHUFFLE_BYTES),
+            result.stats.counters[builtin::SHUFFLE_BYTES]
+        );
+        let summary = rec.summary();
+        assert!(summary.phases.iter().any(|p| p.name == "map"));
+        assert_eq!(
+            summary.shuffle_bytes,
+            Some(result.stats.counters[builtin::SHUFFLE_BYTES])
+        );
+    }
+
+    #[test]
+    fn telemetry_records_retry_points() {
+        let cluster = Cluster::local(3, 2).with_failures(FailurePlan {
+            map_fail_prob: 0.7,
+            reduce_fail_prob: 0.7,
+            seed: 13,
+            max_attempts: 50,
+        });
+        let dfs = word_dfs(&cluster);
+        let rec = Recorder::enabled();
+        let result = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .telemetry(rec.clone())
+            .run()
+            .unwrap();
+        let retries = result.stats.counters[builtin::TASK_RETRIES];
+        assert!(retries > 0);
+        let points = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "task.retry")
+            .count() as u64;
+        assert_eq!(points, retries);
+        assert_eq!(rec.summary().retries, retries);
     }
 
     #[test]

@@ -50,10 +50,7 @@ impl PipelineReport {
     /// Virtual end-to-end time: one cluster startup plus every job's
     /// makespan (daemons stay up between chained jobs, §VI).
     pub fn sim_total_s(&self) -> f64 {
-        let startup = self
-            .stages
-            .first()
-            .map_or(0.0, |s| s.sim.cluster_startup_s);
+        let startup = self.stages.first().map_or(0.0, |s| s.sim.cluster_startup_s);
         startup + self.sim_makespan_s()
     }
 

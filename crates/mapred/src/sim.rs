@@ -14,6 +14,7 @@
 //! - a constant deployment overhead ("approximately 25 seconds", §VI).
 
 use crate::topology::{NodeId, Topology};
+use gepeto_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// Where a map task ran relative to its input chunk.
@@ -25,6 +26,17 @@ pub enum Locality {
     RackLocal,
     /// Anywhere else: the chunk crosses racks.
     Remote,
+}
+
+impl Locality {
+    /// Stable lowercase tag used in telemetry labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Locality::DataLocal => "data-local",
+            Locality::RackLocal => "rack-local",
+            Locality::Remote => "remote",
+        }
+    }
 }
 
 /// Time-model parameters of the virtual cluster.
@@ -201,6 +213,26 @@ pub fn simulate(
     map_tasks: &[MapTaskSim],
     reduce_tasks: &[ReduceTaskSim],
 ) -> SimReport {
+    simulate_with(
+        topology,
+        params,
+        map_tasks,
+        reduce_tasks,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`simulate`] with telemetry: every slot assignment is recorded as a
+/// `sched.map` / `sched.reduce` point event carrying the simulated task
+/// duration (seconds) and `task` / `node` / `locality` labels — the
+/// jobtracker-side scheduling log the paper's locality analysis reads.
+pub fn simulate_with(
+    topology: &Topology,
+    params: &SimParams,
+    map_tasks: &[MapTaskSim],
+    reduce_tasks: &[ReduceTaskSim],
+    telemetry: &Recorder,
+) -> SimReport {
     let mut report = SimReport {
         cluster_startup_s: params.cluster_startup_s,
         ..SimReport::default()
@@ -232,7 +264,8 @@ pub fn simulate(
             })
             .unwrap_or((0, Locality::Remote));
         let (idx, locality) = pick;
-        let task = &map_tasks[pending.swap_remove(idx)];
+        let tid = pending.swap_remove(idx);
+        let task = &map_tasks[tid];
         let transfer_s = match locality {
             Locality::DataLocal => 0.0,
             Locality::RackLocal => task.input_bytes as f64 / (params.net_mb_s * 1e6),
@@ -249,6 +282,17 @@ pub fn simulate(
             + task.host_secs * params.cpu_scale;
         task_seq += 1;
         let dur = straggler_adjusted(params, task_seq, nominal, &mut report);
+        if telemetry.is_enabled() {
+            telemetry.point(
+                "sched.map",
+                dur,
+                &[
+                    ("task", &tid.to_string()),
+                    ("node", &node.to_string()),
+                    ("locality", locality.as_str()),
+                ],
+            );
+        }
         let end = at + dur;
         pool.occupy(node, slot, end);
         map_end = map_end.max(end);
@@ -271,16 +315,22 @@ pub fn simulate(
         } else {
             0.0
         };
-        for task in reduce_tasks {
+        for (tid, task) in reduce_tasks.iter().enumerate() {
             let (node, slot, at) = pool.earliest();
-            let transfer_s =
-                task.shuffle_bytes as f64 * remote_fraction / (params.net_mb_s * 1e6);
+            let transfer_s = task.shuffle_bytes as f64 * remote_fraction / (params.net_mb_s * 1e6);
             let nominal = params.task_startup_s
                 + transfer_s
                 + task.records as f64 * params.per_record_us * 1e-6
                 + task.host_secs * params.cpu_scale;
             task_seq += 1;
             let dur = straggler_adjusted(params, task_seq, nominal, &mut report);
+            if telemetry.is_enabled() {
+                telemetry.point(
+                    "sched.reduce",
+                    dur,
+                    &[("task", &tid.to_string()), ("node", &node.to_string())],
+                );
+            }
             pool.occupy(node, slot, at + dur);
             reduce_end = reduce_end.max(at + dur);
             report.shuffle_bytes += task.shuffle_bytes;
@@ -337,12 +387,7 @@ mod tests {
     #[test]
     fn single_task_takes_its_duration() {
         let topo = Topology::new(2, 1, 1);
-        let r = simulate(
-            &topo,
-            &SimParams::instant(),
-            &[map_task(3.0, vec![0])],
-            &[],
-        );
+        let r = simulate(&topo, &SimParams::instant(), &[map_task(3.0, vec![0])], &[]);
         assert!((r.makespan_s - 3.0).abs() < 1e-9);
         assert_eq!(r.data_local, 1);
         assert_eq!(r.reduce_phase_s, 0.0);
@@ -391,8 +436,8 @@ mod tests {
     #[test]
     fn locality_waterfall_prefers_local() {
         let topo = Topology::new(2, 2, 1); // 2 nodes, 2 racks
-        // Both tasks' data on node 0; node 1's slot is equally free, so one
-        // task must run remote (different rack).
+                                           // Both tasks' data on node 0; node 1's slot is equally free, so one
+                                           // task must run remote (different rack).
         let tasks = vec![map_task(1.0, vec![0]), map_task(1.0, vec![0])];
         let r = simulate(&topo, &SimParams::instant(), &tasks, &[]);
         assert_eq!(r.data_local, 1);
@@ -402,7 +447,7 @@ mod tests {
     #[test]
     fn rack_local_counted() {
         let topo = Topology::new(4, 2, 1); // racks 0,1,0,1
-        // Data on nodes 0 (rack 0) only; nodes 2 shares rack 0.
+                                           // Data on nodes 0 (rack 0) only; nodes 2 shares rack 0.
         let tasks = vec![
             map_task(1.0, vec![0]),
             map_task(1.0, vec![0]),
@@ -507,6 +552,36 @@ mod tests {
         let clean = simulate(&topo, &SimParams::instant(), &tasks, &[]);
         assert!(clean.makespan_s <= spec.makespan_s);
         assert_eq!(clean.stragglers, 0);
+    }
+
+    #[test]
+    fn scheduling_decisions_recorded_with_locality_tags() {
+        let topo = Topology::new(2, 2, 1); // 2 nodes, 2 racks
+        let tasks = vec![map_task(1.0, vec![0]), map_task(1.0, vec![0])];
+        let reduces = vec![ReduceTaskSim {
+            host_secs: 1.0,
+            shuffle_bytes: 8,
+            records: 0,
+        }];
+        let rec = Recorder::enabled();
+        simulate_with(&topo, &SimParams::instant(), &tasks, &reduces, &rec);
+        let events = rec.events();
+        let map_points: Vec<_> = events.iter().filter(|e| e.name == "sched.map").collect();
+        assert_eq!(map_points.len(), 2);
+        let localities: Vec<_> = map_points
+            .iter()
+            .filter_map(|e| e.label("locality"))
+            .collect();
+        assert!(localities.contains(&"data-local"), "{localities:?}");
+        assert!(localities.contains(&"remote"), "{localities:?}");
+        for p in &map_points {
+            assert!(p.label("task").is_some() && p.label("node").is_some());
+            assert!(p.value.unwrap() > 0.0);
+        }
+        assert_eq!(
+            events.iter().filter(|e| e.name == "sched.reduce").count(),
+            1
+        );
     }
 
     #[test]

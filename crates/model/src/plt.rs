@@ -174,10 +174,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_field_count() {
-        assert_eq!(
-            parse_line(0, "1.0,2.0,0,0"),
-            Err(PltError::FieldCount(4))
-        );
+        assert_eq!(parse_line(0, "1.0,2.0,0,0"), Err(PltError::FieldCount(4)));
     }
 
     #[test]

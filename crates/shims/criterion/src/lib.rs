@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`: the macro/builder surface the
+//! bench targets use, with two modes.
+//!
+//! - **Smoke mode** (default, and what `cargo test` triggers): every
+//!   benchmark body runs exactly once, so bench targets double as
+//!   compile-and-run smoke tests without burning minutes of CI time.
+//! - **Measure mode** (`--bench` on the command line, as passed by
+//!   `cargo bench`): each benchmark is warmed up, then timed for
+//!   `sample_size` samples; median / min / max wall time is printed per
+//!   benchmark id.
+//!
+//! No statistical analysis, plots, or saved baselines — compare medians
+//! across runs by hand or in scripts.
+
+use std::time::{Duration, Instant};
+
+/// Identity function that defeats constant-folding (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark's display identity: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Harness entry point handed to each `criterion_group!` target.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Criterion {
+    /// Reads the command line: `--bench` (what `cargo bench` passes)
+    /// selects measure mode, anything else stays in smoke mode.
+    pub fn from_args() -> Self {
+        Self {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            measure: self.measure,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    measure: bool,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark (measure mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            measure: self.measure,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Like [`Self::bench_function`] with an explicit input handed to
+    /// the closure (criterion's parameterised-benchmark entry point).
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API fidelity; nothing is deferred).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once (smoke mode) or `sample_size` timed times after a
+    /// short warmup (measure mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            return;
+        }
+        for _ in 0..2 {
+            black_box(f());
+        }
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if !self.measure {
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let fmt = |d: Duration| {
+            let us = d.as_secs_f64() * 1e6;
+            if us >= 1e6 {
+                format!("{:.3} s", us / 1e6)
+            } else if us >= 1e3 {
+                format!("{:.3} ms", us / 1e3)
+            } else {
+                format!("{us:.3} µs")
+            }
+        };
+        match sorted.as_slice() {
+            [] => println!("{group}/{id}: no samples"),
+            s => println!(
+                "{group}/{id}: median {} (min {}, max {}, n={})",
+                fmt(s[s.len() / 2]),
+                fmt(s[0]),
+                fmt(s[s.len() - 1]),
+                s.len()
+            ),
+        }
+    }
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { measure: false };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion { measure: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("n", 5), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += x;
+            })
+        });
+        // 2 warmup + 5 samples, each adding 3.
+        assert_eq!(runs, 21);
+    }
+}

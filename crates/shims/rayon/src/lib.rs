@@ -1,0 +1,247 @@
+//! Offline stand-in for `rayon`: the subset of the parallel-iterator
+//! API this workspace uses, built on `std::thread::scope`.
+//!
+//! Unlike rayon this implementation is *eager*: `map`/`filter_map` run
+//! their closure immediately (chunked across
+//! `std::thread::available_parallelism()` threads, order-preserving),
+//! and the adapters after them (`zip`, `enumerate`, `collect`, `sum`,
+//! `reduce`) are cheap sequential folds over the materialised results.
+//! Every chain in this workspace is `source → map → sink`, so eagerness
+//! changes nothing observable. Worker panics are re-raised on the
+//! calling thread with their original payload (`resume_unwind`), so
+//! `#[should_panic(expected = ...)]` tests behave as with rayon.
+
+use std::panic::resume_unwind;
+
+/// Splits `items` into per-thread chunks, applies `f` in parallel, and
+/// reassembles results in input order.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eager "parallel iterator": the work happens in the adapter that
+/// takes a closure; everything downstream folds the materialised `Vec`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Parallel `map` + filter, preserving the order of kept items.
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync + Send,
+    {
+        ParIter {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pairs this iterator with another, truncating to the shorter.
+    pub fn zip<Z>(self, other: Z) -> ParIter<(T, Z::Item)>
+    where
+        Z: IntoParallelIterator,
+    {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
+    }
+
+    /// Attaches each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Folds items with `op`, starting from `identity()` (rayon's
+    /// parallel reduce contract: `identity` must be a neutral element).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Materialises the source as a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Borrowing parallel access to slices (`par_iter` / `par_chunks`).
+pub trait ParallelSlice<T> {
+    /// A [`ParIter`] over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// A [`ParIter`] over non-overlapping `&[T]` chunks of length
+    /// `chunk_size` (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// The usual `use rayon::prelude::*` import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_enumerate_matches_std() {
+        let a = [10, 20, 30];
+        let b = vec!["x", "y", "z"];
+        let got: Vec<(usize, (&i32, &str))> = a.par_iter().zip(b).enumerate().map(|p| p).collect();
+        assert_eq!(got, vec![(0, (&10, "x")), (1, (&20, "y")), (2, (&30, "z"))]);
+    }
+
+    #[test]
+    fn chunked_reduce() {
+        let data: Vec<u64> = (1..=100).collect();
+        let total: u64 = data
+            .par_chunks(7)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let v: Vec<u32> = (0u32..20)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(v, vec![0, 3, 6, 9, 12, 15, 18]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 3")]
+    fn worker_panics_propagate_payload() {
+        let _: Vec<u32> = (0u32..8)
+            .into_par_iter()
+            .map(|x| {
+                if x == 3 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+            .collect();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits and no-op derive macros.
+//!
+//! The workspace annotates its model types with
+//! `#[derive(Serialize, Deserialize)]` so a real serde can be swapped in
+//! when a wire format is needed, but nothing currently serializes
+//! through serde (the telemetry exporter writes JSON by hand). The
+//! derives (from the sibling `serde_derive` shim) therefore expand to
+//! nothing, and these traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`: the `Serialize` / `Deserialize`
+//! derives expand to nothing. The workspace derives these traits on its
+//! model types for forward compatibility with wire formats, but no code
+//! path serializes through serde yet (the telemetry JSONL exporter
+//! hand-writes its JSON), so empty expansions are sufficient. The
+//! `serde(...)` helper attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

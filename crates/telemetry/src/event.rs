@@ -1,0 +1,59 @@
+//! The structured event model: everything a [`crate::Recorder`] captures
+//! is one of these flat records, ordered by capture time.
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span (timed region) opened.
+    SpanStart,
+    /// A span closed; `dur_us` holds its wall time.
+    SpanEnd,
+    /// An instantaneous measurement; `value` holds it.
+    Point,
+    /// A monotonic counter increment; `value` holds the delta.
+    Count,
+}
+
+impl EventKind {
+    /// Stable lowercase identifier used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Point => "point",
+            EventKind::Count => "count",
+        }
+    }
+}
+
+/// One captured telemetry record.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// Record type.
+    pub kind: EventKind,
+    /// Event name, dot-namespaced (`phase.map`, `task.map`,
+    /// `kmeans.iteration`, ...).
+    pub name: &'static str,
+    /// Span identity (`SpanStart`/`SpanEnd` only; 0 otherwise).
+    pub span_id: u64,
+    /// Enclosing span's id, or 0 at the root.
+    pub parent_id: u64,
+    /// Wall time of the span in microseconds (`SpanEnd` only).
+    pub dur_us: Option<u64>,
+    /// Measurement or counter delta (`Point` / `Count` only).
+    pub value: Option<f64>,
+    /// Free-form identity tags (`task` number, `locality`, `node`, ...).
+    pub labels: Vec<(String, String)>,
+}
+
+impl Event {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}

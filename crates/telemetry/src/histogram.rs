@@ -1,0 +1,166 @@
+//! Log-bucketed histograms: power-of-two buckets give ~2x relative
+//! error on quantiles at a fixed 65-slot footprint, which is plenty for
+//! task-runtime and byte-size distributions.
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket 0 holds the value 0; bucket `i >= 1` holds the half-open
+/// value range `[2^(i-1), 2^i)`. Exact `count`/`sum`/`min`/`max` are
+/// tracked alongside, so means and extremes are not quantised.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive value range `[lo, hi]` covered by bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), resolved to the upper bound of
+    /// the bucket containing the rank, clamped to the observed max.
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based ceil: q=0.5 over 10
+        // samples lands on the 5th.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_bounds(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Histogram;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..=64 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn exact_stats_are_not_quantised() {
+        let mut h = Histogram::new();
+        for v in [3, 5, 900, 17] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 925);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(900));
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // p50 of 1..=1000 is 500, bucket [256,511] -> upper bound 511.
+        assert_eq!(h.quantile(0.5), Some(511));
+        // p95 is 950, bucket [512,1023] -> clamped to the observed max.
+        assert_eq!(h.quantile(0.95), Some(1000));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal JSON-Lines serialisation for [`Event`]s — hand-rolled so the
+//! exporter has zero dependencies (the workspace's serde is a no-op
+//! shim).
+
+use crate::event::Event;
+use std::io::{self, Write};
+
+/// Appends `s` to `out` as a JSON string literal (with escaping).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders one event as a single JSON object (no trailing newline).
+pub fn event_to_json(event: &Event) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"ts_us\":");
+    out.push_str(&event.ts_us.to_string());
+    out.push_str(",\"kind\":");
+    push_json_str(&mut out, event.kind.as_str());
+    out.push_str(",\"name\":");
+    push_json_str(&mut out, event.name);
+    if event.span_id != 0 {
+        out.push_str(",\"span\":");
+        out.push_str(&event.span_id.to_string());
+    }
+    if event.parent_id != 0 {
+        out.push_str(",\"parent\":");
+        out.push_str(&event.parent_id.to_string());
+    }
+    if let Some(dur) = event.dur_us {
+        out.push_str(",\"dur_us\":");
+        out.push_str(&dur.to_string());
+    }
+    if let Some(value) = event.value {
+        out.push_str(",\"value\":");
+        if value.is_finite() {
+            out.push_str(&format!("{value}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+    if !event.labels.is_empty() {
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in event.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_json_str(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Writes `events` as JSON-Lines: one object per line.
+pub fn write_jsonl<W: Write>(writer: &mut W, events: &[Event]) -> io::Result<()> {
+    for event in events {
+        writeln!(writer, "{}", event_to_json(event))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn escapes_and_omits_empty_fields() {
+        let e = Event {
+            ts_us: 7,
+            kind: EventKind::Point,
+            name: "x.y",
+            span_id: 0,
+            parent_id: 0,
+            dur_us: None,
+            value: Some(1.5),
+            labels: vec![("key \"q\"".into(), "line\nbreak".into())],
+        };
+        assert_eq!(
+            event_to_json(&e),
+            r#"{"ts_us":7,"kind":"point","name":"x.y","value":1.5,"labels":{"key \"q\"":"line\nbreak"}}"#
+        );
+    }
+
+    #[test]
+    fn span_end_carries_ids_and_duration() {
+        let e = Event {
+            ts_us: 10,
+            kind: EventKind::SpanEnd,
+            name: "phase.map",
+            span_id: 3,
+            parent_id: 1,
+            dur_us: Some(250),
+            value: None,
+            labels: vec![],
+        };
+        assert_eq!(
+            event_to_json(&e),
+            r#"{"ts_us":10,"kind":"span_end","name":"phase.map","span":3,"parent":1,"dur_us":250}"#
+        );
+    }
+}

@@ -26,7 +26,10 @@ fn main() {
         dataset.approx_plt_bytes() as f64 / 1e6
     );
 
-    println!("{:>6} {:>10} {:>12} {:>12} {:>20}", "nodes", "chunk", "map tasks", "sim iter", "locality d/r/r");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>20}",
+        "nodes", "chunk", "map tasks", "sim iter", "locality d/r/r"
+    );
     for &nodes in &[1usize, 2, 5, 10, 16] {
         for &chunk_kb in &[64usize, 256] {
             // 4 slots per node so the task count exceeds the cluster's

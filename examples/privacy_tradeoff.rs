@@ -51,7 +51,10 @@ fn main() {
         }),
     ];
 
-    println!("{:<34} {:>10} {:>14} {:>10}", "mechanism", "POI recall", "displacement", "retention");
+    println!(
+        "{:<34} {:>10} {:>14} {:>10}",
+        "mechanism", "POI recall", "displacement", "retention"
+    );
     for m in &mechanisms {
         let sanitized = m.apply(&dataset);
         let attacked = attacks::extract_pois_dataset(&sanitized, &cfg);
@@ -61,11 +64,7 @@ fn main() {
             if ref_pois.is_empty() {
                 continue;
             }
-            recall += metrics::poi_recall(
-                ref_pois,
-                attacked.get(user).unwrap_or(&empty),
-                150.0,
-            );
+            recall += metrics::poi_recall(ref_pois, attacked.get(user).unwrap_or(&empty), 150.0);
             n += 1;
         }
         println!(

@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example visualize_city`
 
-use gepeto::sanitize::{GaussianMask, Sanitizer};
 use gepeto::prelude::*;
+use gepeto::sanitize::{GaussianMask, Sanitizer};
 use gepeto::viz::{ascii_density, geojson, SvgMap};
 
 fn main() {
@@ -27,9 +27,7 @@ fn main() {
     let pois = attacks::extract_pois_dataset(&dataset, &cfg);
     let markers: Vec<(GeoPoint, String)> = pois
         .iter()
-        .filter_map(|(u, ps)| {
-            attacks::infer_home(ps).map(|h| (h.center, format!("home {u}")))
-        })
+        .filter_map(|(u, ps)| attacks::infer_home(ps).map(|h| (h.center, format!("home {u}"))))
         .collect();
     let mut raw = SvgMap::for_dataset(&dataset, 900);
     raw.add_trails(&dataset)
@@ -47,14 +45,10 @@ fn main() {
     let pois2 = attacks::extract_pois_dataset(&sanitized, &cfg);
     let markers2: Vec<(GeoPoint, String)> = pois2
         .iter()
-        .filter_map(|(u, ps)| {
-            attacks::infer_home(ps).map(|h| (h.center, format!("home? {u}")))
-        })
+        .filter_map(|(u, ps)| attacks::infer_home(ps).map(|h| (h.center, format!("home? {u}"))))
         .collect();
     let mut blurred = SvgMap::for_dataset(&sanitized, 900);
-    blurred
-        .add_dataset(&sanitized, 1.5)
-        .add_markers(&markers2);
+    blurred.add_dataset(&sanitized, 1.5).add_markers(&markers2);
     std::fs::write("city_sanitized.svg", blurred.render()).unwrap();
 
     // GeoJSON for GIS tools.
@@ -67,7 +61,10 @@ fn main() {
         markers2.len()
     );
     println!("raw density:\n{}", ascii_density(&dataset, 16, 56));
-    println!("after 200 m gaussian mask:\n{}", ascii_density(&sanitized, 16, 56));
+    println!(
+        "after 200 m gaussian mask:\n{}",
+        ascii_density(&sanitized, 16, 56)
+    );
     println!(
         "The attack found {} homes before sanitization and {} after.",
         markers.len(),

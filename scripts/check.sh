@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: formatting, lints, release build, all tests.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "All checks passed."

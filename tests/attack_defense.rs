@@ -55,7 +55,10 @@ fn strong_noise_degrades_poi_recall_monotonically() {
         .apply(&ds),
     );
     assert!(weak >= strong, "weak {weak} strong {strong}");
-    assert!(strong < 0.2, "500 m noise should starve the attack: {strong}");
+    assert!(
+        strong < 0.2,
+        "500 m noise should starve the attack: {strong}"
+    );
     // Utility price is visible and ordered.
     let d_weak = metrics::mean_displacement_m(
         &ds,

@@ -84,7 +84,11 @@ fn djcluster_survives_failures_unchanged() {
         gepeto::dfs_io::put_dataset(&mut dfs, "d", &ds).unwrap();
         let (clustering, pre, _) =
             djcluster::mapreduce_djcluster_full(cluster, &mut dfs, "d", &cfg, None).unwrap();
-        (clustering.canonical_ids(), clustering.noise, pre.after_dedup)
+        (
+            clustering.canonical_ids(),
+            clustering.noise,
+            pre.after_dedup,
+        )
     };
     assert_eq!(run(&clean), run(&flaky));
 }

@@ -160,7 +160,12 @@ fn rtree_build_equivalence_both_curves() {
             b.sort_unstable();
             assert_eq!(a, b, "{} radius {radius}", curve.name());
         }
-        assert!(report.imbalance() < 3.0, "{}: {:?}", curve.name(), report.partition_sizes);
+        assert!(
+            report.imbalance() < 3.0,
+            "{}: {:?}",
+            curve.name(),
+            report.partition_sizes
+        );
     }
 }
 

@@ -32,7 +32,10 @@ fn table1_shape_sampling_reduces_monotonically() {
     // The 1-minute rate already cuts the dense logs by roughly 10×
     // (paper: 2,033,686 → 155,260 ≈ 13×).
     let ratio = ds.num_traces() as f64 / counts[0] as f64;
-    assert!((6.0..25.0).contains(&ratio), "1-min reduction ratio {ratio}");
+    assert!(
+        (6.0..25.0).contains(&ratio),
+        "1-min reduction ratio {ratio}"
+    );
 }
 
 #[test]
@@ -47,7 +50,8 @@ fn table4_shape_preprocessing_reduces_in_both_steps() {
     sampling::mapreduce_sample_to_dfs(&cluster, &mut dfs, "geolife", "sampled", &scfg).unwrap();
 
     let cfg = djcluster::DjConfig::default();
-    let pre = djcluster::mapreduce_preprocess(&cluster, &mut dfs, "sampled", "clean", &cfg).unwrap();
+    let pre =
+        djcluster::mapreduce_preprocess(&cluster, &mut dfs, "sampled", "clean", &cfg).unwrap();
     assert!(pre.after_speed_filter < pre.input);
     assert!(pre.after_dedup <= pre.after_speed_filter);
     let kept = pre.after_speed_filter as f64 / pre.input as f64;
