@@ -4,6 +4,7 @@ use crate::args::Args;
 use gepeto::prelude::*;
 use gepeto::sanitize::Sanitizer;
 use gepeto_geo::DistanceMetric;
+use gepeto_mapred::{ChaosPlan, RetryPolicy};
 use gepeto_model::plt;
 use gepeto_telemetry::Recorder;
 
@@ -43,6 +44,11 @@ Shared dataset flags: --users, --scale, --seed.
 Observability: sample, kmeans and djcluster accept --metrics-out PATH.jsonl
 to dump the telemetry event stream (phase spans, per-task durations with
 locality tags, counters) as JSON Lines and print a run summary table.
+Fault injection (sample, kmeans, djcluster): --crash N@T[,N@T...] kills
+node N at virtual second T; --degrade N@T@FACTOR[,...] slows node N by
+FACTOR from virtual second T. --driver-retries N (0) with
+--retry-backoff SECS (5) makes the kmeans/djcluster drivers checkpoint
+and re-submit jobs that die, instead of propagating the error.
 ";
 
 fn dataset_from(args: &Args, default_users: usize, default_scale: f64) -> Result<Dataset, String> {
@@ -59,11 +65,57 @@ fn dataset_from(args: &Args, default_users: usize, default_scale: f64) -> Result
 }
 
 fn cluster_from(args: &Args) -> Result<Cluster, String> {
-    Ok(if args.get_or("parapluie", false)? {
+    let base = if args.get_or("parapluie", false)? {
         Cluster::parapluie()
     } else {
         Cluster::local(4, 2)
-    })
+    };
+    Ok(base.with_chaos(chaos_from(args)?))
+}
+
+/// Builds the run's [`ChaosPlan`] from `--crash N@T[,N@T...]` and
+/// `--degrade N@T@FACTOR[,...]` (times in virtual seconds).
+fn chaos_from(args: &Args) -> Result<ChaosPlan, String> {
+    let mut plan = ChaosPlan::none();
+    if let Some(spec) = args.get("crash") {
+        for item in spec.split(',') {
+            let (node, at) = item
+                .split_once('@')
+                .ok_or_else(|| format!("--crash '{item}': expected NODE@SECONDS"))?;
+            plan = plan.crash_node(
+                node.parse()
+                    .map_err(|_| format!("--crash '{item}': bad node '{node}'"))?,
+                at.parse()
+                    .map_err(|_| format!("--crash '{item}': bad time '{at}'"))?,
+            );
+        }
+    }
+    if let Some(spec) = args.get("degrade") {
+        for item in spec.split(',') {
+            let parts: Vec<&str> = item.split('@').collect();
+            let [node, at, factor] = parts.as_slice() else {
+                return Err(format!("--degrade '{item}': expected NODE@SECONDS@FACTOR"));
+            };
+            plan = plan.degrade_node(
+                node.parse()
+                    .map_err(|_| format!("--degrade '{item}': bad node '{node}'"))?,
+                at.parse()
+                    .map_err(|_| format!("--degrade '{item}': bad time '{at}'"))?,
+                factor
+                    .parse()
+                    .map_err(|_| format!("--degrade '{item}': bad factor '{factor}'"))?,
+            );
+        }
+    }
+    Ok(plan)
+}
+
+/// Builds the driver [`RetryPolicy`] from `--driver-retries` and
+/// `--retry-backoff`; zero retries by default.
+fn retry_policy_from(args: &Args) -> Result<RetryPolicy, String> {
+    Ok(RetryPolicy::none()
+        .retries(args.get_or("driver-retries", 0u32)?)
+        .backoff(args.get_or("retry-backoff", 5.0f64)?))
 }
 
 fn dfs_with(args: &Args, cluster: &Cluster, ds: &Dataset) -> Result<Dfs<MobilityTrace>, String> {
@@ -112,6 +164,18 @@ fn print_job(label: &str, stats: &gepeto_mapred::JobStats) {
         stats.sim.remote,
         stats.sim.shuffle_bytes,
     );
+    if stats.retries + stats.reexecuted_maps + stats.failed_over_reads + stats.blacklisted_nodes > 0
+    {
+        println!(
+            "  recovery: {} task retries | {} re-executed maps | {} failed-over reads \
+             | {} blacklisted nodes | {:.1} s burned by failed attempts",
+            stats.retries,
+            stats.reexecuted_maps,
+            stats.failed_over_reads,
+            stats.blacklisted_nodes,
+            stats.sim.failed_attempt_s,
+        );
+    }
 }
 
 /// `gepeto generate`
@@ -185,8 +249,14 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         use_combiner: args.get_or("combiner", false)?,
     };
     let rec = recorder_from(args);
-    let result = kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &cfg, &rec)
-        .map_err(|e| e.to_string())?;
+    let policy = retry_policy_from(args)?;
+    let result = if policy.max_job_retries > 0 {
+        let mut dfs = dfs;
+        kmeans::mapreduce_kmeans_checkpointed(&cluster, &mut dfs, "input", &cfg, &policy, &rec)
+    } else {
+        kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &cfg, &rec)
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "k-means: k={} distance={} converged={} after {} iterations",
         cfg.k,
@@ -194,6 +264,12 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         result.converged,
         result.iterations
     );
+    if result.job_retries > 0 {
+        println!(
+            "driver: {} whole-job re-submissions recovered from checkpoints",
+            result.job_retries
+        );
+    }
     let mean_iter_sim: f64 = result
         .per_iteration
         .iter()
@@ -230,15 +306,33 @@ pub fn djcluster(args: &Args) -> Result<(), String> {
         .get_or("mr-rtree", true)?
         .then(gepeto::rtree_build::RTreeBuildConfig::default);
     let rec = recorder_from(args);
-    let (clustering, pre, stats) = djcluster::mapreduce_djcluster_full_with(
-        &cluster,
-        &mut dfs,
-        "sampled",
-        &cfg,
-        rtree_cfg.as_ref(),
-        &rec,
-    )
-    .map_err(|e| e.to_string())?;
+    let policy = retry_policy_from(args)?;
+    let (clustering, pre, stats) = if policy.max_job_retries > 0 {
+        let (clustering, pre, stats, job_retries) = djcluster::mapreduce_djcluster_full_resilient(
+            &cluster,
+            &mut dfs,
+            "sampled",
+            &cfg,
+            rtree_cfg.as_ref(),
+            &policy,
+            &rec,
+        )
+        .map_err(|e| e.to_string())?;
+        if job_retries > 0 {
+            println!("driver: {job_retries} whole-job re-submissions recovered from checkpoints");
+        }
+        (clustering, pre, stats)
+    } else {
+        djcluster::mapreduce_djcluster_full_with(
+            &cluster,
+            &mut dfs,
+            "sampled",
+            &cfg,
+            rtree_cfg.as_ref(),
+            &rec,
+        )
+        .map_err(|e| e.to_string())?
+    };
     println!(
         "preprocessing: {} -> {} (speed filter) -> {} (dedup)",
         pre.input, pre.after_speed_filter, pre.after_dedup
@@ -590,5 +684,33 @@ mod tests {
     fn malformed_flag_value_is_an_error() {
         assert!(report(&args("--users abc")).is_err());
         assert!(sample(&args("--users 2 --scale 0.002 --window abc")).is_err());
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_run() {
+        // A crashed node mid-run must not change the command's success.
+        assert!(sample(&args("--users 2 --scale 0.002 --crash 0@30")).is_ok());
+        assert!(kmeans(&args(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --crash 1@40,2@80 --degrade 0@0@2.5"
+        ))
+        .is_ok());
+        let err = sample(&args("--users 2 --scale 0.002 --crash zero@30")).unwrap_err();
+        assert!(err.contains("bad node"));
+        let err = sample(&args("--users 2 --scale 0.002 --crash 0")).unwrap_err();
+        assert!(err.contains("NODE@SECONDS"));
+        let err = kmeans(&args("--users 2 --scale 0.002 --degrade 0@1")).unwrap_err();
+        assert!(err.contains("NODE@SECONDS@FACTOR"));
+    }
+
+    #[test]
+    fn driver_retries_use_the_checkpointed_drivers() {
+        assert!(kmeans(&args(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --driver-retries 2 --retry-backoff 1"
+        ))
+        .is_ok());
+        assert!(djcluster(&args(
+            "--users 2 --scale 0.002 --mr-rtree false --driver-retries 2"
+        ))
+        .is_ok());
     }
 }

@@ -41,8 +41,8 @@ use crate::rtree_build::{mapreduce_build_rtree, RTreeBuildConfig};
 use gepeto_geo::distance::equirectangular_m;
 use gepeto_geo::RTree;
 use gepeto_mapred::{
-    Cluster, Dfs, DistributedCache, Emitter, JobError, JobStats, MapOnlyJob, MapReduceJob, Mapper,
-    PipelineReport, Reducer, TaskContext,
+    run_with_recovery, Cluster, Dfs, DistributedCache, Emitter, JobError, JobStats, MapOnlyJob,
+    MapReduceJob, Mapper, PipelineReport, Reducer, RetryPolicy, TaskContext,
 };
 use gepeto_model::{Dataset, MobilityTrace, UserId};
 use gepeto_telemetry::Recorder;
@@ -362,6 +362,100 @@ pub fn mapreduce_preprocess_with(
     })
 }
 
+/// [`mapreduce_preprocess_with`] hardened for a faulty cluster: each of
+/// the two pipelined jobs runs under [`gepeto_mapred::run_with_recovery`]
+/// (DFS healing + virtual-time backoff between attempts). The pipeline
+/// hop itself is the checkpoint — a job death never re-runs the stage
+/// before it. Returns the stats plus the job re-submissions needed.
+pub fn mapreduce_preprocess_resilient(
+    cluster: &Cluster,
+    dfs: &mut Dfs<MobilityTrace>,
+    input: &str,
+    output: &str,
+    cfg: &DjConfig,
+    policy: &RetryPolicy,
+    telemetry: &Recorder,
+) -> Result<(PreprocessStats, u64), JobError> {
+    let span = telemetry.span("djcluster.preprocess", &[("input", input)]);
+    let input_count = dfs.num_records(input)?;
+    let mut jobs = PipelineReport::new();
+    let mut job_retries = 0u64;
+
+    let (job1, r1) = run_with_recovery(
+        "dj-filter-moving",
+        cluster,
+        dfs,
+        policy,
+        telemetry,
+        |name, dfs| {
+            MapOnlyJob::new(
+                name,
+                cluster,
+                dfs,
+                input,
+                SpeedFilterMapper {
+                    threshold: cfg.speed_threshold_mps,
+                    state: SpeedFilterState::default(),
+                },
+            )
+            .pair_bytes(|_, t| t.approx_plt_bytes())
+            .telemetry(telemetry.clone())
+            .run()
+        },
+    )?;
+    job_retries += r1 as u64;
+    let stationary: Vec<MobilityTrace> = job1.output.into_iter().map(|(_, t)| t).collect();
+    let after_speed_filter = stationary.len();
+    jobs.add(job1.stats);
+
+    let intermediate = format!("{output}.stationary");
+    if dfs.exists(&intermediate) {
+        dfs.delete(&intermediate)?;
+    }
+    dfs.put_with_sizer(&intermediate, stationary, |t| t.approx_plt_bytes())?;
+
+    let (job2, r2) =
+        run_with_recovery("dj-dedup", cluster, dfs, policy, telemetry, |name, dfs| {
+            MapOnlyJob::new(
+                name,
+                cluster,
+                dfs,
+                &intermediate,
+                DedupMapper {
+                    threshold_m: cfg.dup_threshold_m,
+                    last_kept: None,
+                },
+            )
+            .pair_bytes(|_, t| t.approx_plt_bytes())
+            .telemetry(telemetry.clone())
+            .run()
+        })?;
+    job_retries += r2 as u64;
+    let deduped: Vec<MobilityTrace> = job2.output.into_iter().map(|(_, t)| t).collect();
+    let after_dedup = deduped.len();
+    jobs.add(job2.stats);
+
+    if dfs.exists(output) {
+        dfs.delete(output)?;
+    }
+    dfs.put_with_sizer(output, deduped, |t| t.approx_plt_bytes())?;
+    telemetry.point(
+        "djcluster.preprocessed",
+        after_dedup as f64,
+        &[("input", input)],
+    );
+    span.end();
+    Ok((
+        PreprocessStats {
+            input: input_count,
+            after_speed_filter,
+            after_dedup,
+            jobs,
+        },
+        job_retries,
+    ))
+}
+
 // ---------------------------------------------------------------------
 // Phases 2–3: neighborhood identification + merging
 // ---------------------------------------------------------------------
@@ -567,6 +661,91 @@ pub fn mapreduce_djcluster_with(
     ))
 }
 
+/// [`mapreduce_djcluster_with`] hardened for a faulty cluster: the
+/// neighborhood+merge job runs under
+/// [`gepeto_mapred::run_with_recovery`]. The R-tree lives in the driver
+/// (distributed cache), so it survives job deaths and is not rebuilt on
+/// retry. Returns the clustering, the stats and the job re-submissions
+/// needed.
+pub fn mapreduce_djcluster_resilient(
+    cluster: &Cluster,
+    dfs: &mut Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &DjConfig,
+    rtree_cfg: Option<&RTreeBuildConfig>,
+    policy: &RetryPolicy,
+    telemetry: &Recorder,
+) -> Result<(Clustering, DjClusterStats, u64), JobError> {
+    let span = telemetry.span("djcluster.cluster", &[("input", input)]);
+    let (rtree, rtree_report) = {
+        let _rtree_span = span.child("djcluster.rtree", &[]);
+        match rtree_cfg {
+            Some(rc) => {
+                let (t, r) = mapreduce_build_rtree(cluster, dfs, input, rc)?;
+                (t, Some(r))
+            }
+            None => (
+                crate::rtree_build::direct_build_rtree(dfs, input, 16)?,
+                None,
+            ),
+        }
+    };
+    let traces = dfs.read(input)?;
+    let cache = {
+        let mut c = DistributedCache::new();
+        c.insert_arc(RTREE_CACHE_KEY, Arc::new(rtree));
+        c
+    };
+    let (result, job_retries) = run_with_recovery(
+        "dj-cluster",
+        cluster,
+        dfs,
+        policy,
+        telemetry,
+        |name, dfs| {
+            MapReduceJob::new(
+                name,
+                cluster,
+                dfs,
+                input,
+                NeighborhoodMapper {
+                    radius_m: cfg.radius_m,
+                    min_pts: cfg.min_pts,
+                    rtree: None,
+                },
+                MergeReducer,
+            )
+            .reducers(1)
+            .cache(cache.clone())
+            .pair_bytes(|_, n| 8 * n.len())
+            .telemetry(telemetry.clone())
+            .run()
+        },
+    )?;
+
+    let clusters: Vec<Vec<MobilityTrace>> = result
+        .output
+        .iter()
+        .map(|(_, members)| members.iter().map(|&id| traces[id as usize]).collect())
+        .collect();
+    let clustered: usize = clusters.iter().map(Vec::len).sum();
+    let noise = traces.len() - clustered;
+    telemetry.point(
+        "djcluster.clusters",
+        clusters.len() as f64,
+        &[("noise", &noise.to_string())],
+    );
+    span.end();
+    Ok((
+        Clustering { clusters, noise },
+        DjClusterStats {
+            cluster_job: result.stats,
+            rtree_report,
+        },
+        job_retries as u64,
+    ))
+}
+
 /// Exact sequential reference for phases 2–3.
 pub fn sequential_djcluster(traces: &[MobilityTrace], cfg: &DjConfig) -> Clustering {
     let items: Vec<(gepeto_model::GeoPoint, u64)> = traces
@@ -650,6 +829,33 @@ pub fn mapreduce_djcluster_full_with(
         mapreduce_djcluster_with(cluster, dfs, &pre_name, cfg, rtree_cfg, telemetry)?;
     span.end();
     Ok((clustering, pre, stats))
+}
+
+/// [`mapreduce_djcluster_full_with`] hardened for a faulty cluster:
+/// every stage job carries the given retry policy (see
+/// [`mapreduce_preprocess_resilient`] and
+/// [`mapreduce_djcluster_resilient`]). The final element of the result
+/// is the total number of whole-job re-submissions across all stages.
+pub fn mapreduce_djcluster_full_resilient(
+    cluster: &Cluster,
+    dfs: &mut Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &DjConfig,
+    rtree_cfg: Option<&RTreeBuildConfig>,
+    policy: &RetryPolicy,
+    telemetry: &Recorder,
+) -> Result<(Clustering, PreprocessStats, DjClusterStats, u64), JobError> {
+    let span = telemetry.span("djcluster", &[("input", input)]);
+    let pre_name = format!("{input}.preprocessed");
+    if dfs.exists(&pre_name) {
+        dfs.delete(&pre_name)?;
+    }
+    let (pre, pre_retries) =
+        mapreduce_preprocess_resilient(cluster, dfs, input, &pre_name, cfg, policy, telemetry)?;
+    let (clustering, stats, cluster_retries) =
+        mapreduce_djcluster_resilient(cluster, dfs, &pre_name, cfg, rtree_cfg, policy, telemetry)?;
+    span.end();
+    Ok((clustering, pre, stats, pre_retries + cluster_retries))
 }
 
 #[cfg(test)]

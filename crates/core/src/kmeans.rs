@@ -32,8 +32,8 @@
 
 use gepeto_geo::DistanceMetric;
 use gepeto_mapred::{
-    Cluster, Dfs, DistributedCache, Emitter, JobConfig, JobError, JobStats, MapReduceJob, Mapper,
-    Reducer, TaskContext,
+    run_with_recovery, Cluster, Dfs, DistributedCache, Emitter, JobConfig, JobError, JobStats,
+    MapReduceJob, Mapper, Reducer, RetryPolicy, TaskContext,
 };
 use gepeto_model::{GeoPoint, MobilityTrace};
 use gepeto_telemetry::Recorder;
@@ -101,6 +101,9 @@ pub struct KMeansResult {
     pub converged: bool,
     /// Per-iteration job statistics (empty for the sequential runner).
     pub per_iteration: Vec<IterationStats>,
+    /// Whole-job re-submissions the driver needed (always 0 outside
+    /// [`mapreduce_kmeans_checkpointed`]).
+    pub job_retries: u64,
 }
 
 /// Partial sum of points assigned to one cluster — the intermediate
@@ -251,6 +254,7 @@ pub fn sequential_kmeans(points: &[GeoPoint], cfg: &KMeansConfig) -> KMeansResul
         iterations,
         converged,
         per_iteration: Vec::new(),
+        job_retries: 0,
     }
 }
 
@@ -450,6 +454,94 @@ pub fn mapreduce_kmeans_with(
         iterations,
         converged,
         per_iteration,
+        job_retries: 0,
+    })
+}
+
+/// Last-good-iteration state of a checkpointed k-means run. The driver
+/// keeps this *outside* the job, so a job death costs one iteration
+/// attempt, never the progress already made.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansCheckpoint {
+    /// Iterations completed so far.
+    pub iteration: usize,
+    /// Centroids as of `iteration`.
+    pub centroids: Vec<GeoPoint>,
+}
+
+/// [`mapreduce_kmeans`] hardened for a faulty cluster: each iteration's
+/// job runs under [`gepeto_mapred::run_with_recovery`], so a whole-job
+/// death (every replica of a chunk unreadable, a task out of attempts,
+/// no live nodes) is retried from the last [`KMeansCheckpoint`] with
+/// DFS re-replication and virtual-time backoff between attempts, up to
+/// `policy.max_job_retries` per iteration. Needs `&mut` DFS because
+/// healing re-places replicas.
+///
+/// With [`RetryPolicy::none`] and a quiet chaos plan this is
+/// byte-identical to [`mapreduce_kmeans_with`]: attempt 0 keeps the
+/// plain job name and host outputs never depend on the schedule.
+pub fn mapreduce_kmeans_checkpointed(
+    cluster: &Cluster,
+    dfs: &mut Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &KMeansConfig,
+    policy: &RetryPolicy,
+    telemetry: &Recorder,
+) -> Result<KMeansResult, JobError> {
+    let run_span = telemetry.span("kmeans", &[("input", input), ("k", &cfg.k.to_string())]);
+    let mut state = KMeansCheckpoint {
+        iteration: 0,
+        centroids: sample_points(dfs, input, cfg.k, cfg.seed)?,
+    };
+    let mut per_iteration = Vec::new();
+    let mut converged = false;
+    let mut job_retries = 0u64;
+
+    while state.iteration < cfg.max_iterations {
+        let iter_span = run_span.child(
+            "kmeans.iteration",
+            &[("iter", &(state.iteration + 1).to_string())],
+        );
+        let centroids = state.centroids.clone();
+        let ((next, job), retries) = run_with_recovery(
+            "kmeans-iteration",
+            cluster,
+            dfs,
+            policy,
+            telemetry,
+            |job_name, dfs| {
+                mapreduce_iteration_named(job_name, cluster, dfs, input, &centroids, cfg, telemetry)
+            },
+        )?;
+        job_retries += retries as u64;
+        let shift = max_shift(&state.centroids, &next, cfg.distance);
+        state = KMeansCheckpoint {
+            iteration: state.iteration + 1,
+            centroids: next,
+        };
+        telemetry.point(
+            "kmeans.shift",
+            shift,
+            &[("iter", &state.iteration.to_string())],
+        );
+        iter_span.end();
+        per_iteration.push(IterationStats {
+            iteration: state.iteration,
+            max_shift: shift,
+            job,
+        });
+        if shift <= cfg.convergence_delta {
+            converged = true;
+            break;
+        }
+    }
+    run_span.end();
+    Ok(KMeansResult {
+        centroids: state.centroids,
+        iterations: state.iteration,
+        converged,
+        per_iteration,
+        job_retries,
     })
 }
 
@@ -474,6 +566,28 @@ pub fn mapreduce_iteration_with(
     cfg: &KMeansConfig,
     telemetry: &Recorder,
 ) -> Result<(Vec<GeoPoint>, JobStats), JobError> {
+    mapreduce_iteration_named(
+        "kmeans-iteration",
+        cluster,
+        dfs,
+        input,
+        centroids,
+        cfg,
+        telemetry,
+    )
+}
+
+/// [`mapreduce_iteration_with`] under an explicit job name — what the
+/// checkpointed driver uses to give re-submissions their `.r{n}` names.
+fn mapreduce_iteration_named(
+    job_name: &str,
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    centroids: &[GeoPoint],
+    cfg: &KMeansConfig,
+    telemetry: &Recorder,
+) -> Result<(Vec<GeoPoint>, JobStats), JobError> {
     let cache = DistributedCache::new().with(CENTROIDS_CACHE_KEY, centroids.to_vec());
     let config = JobConfig::new()
         .set("k", cfg.k)
@@ -484,19 +598,12 @@ pub fn mapreduce_iteration_with(
         .set("convergencedelta", cfg.convergence_delta)
         .set("maxIter", cfg.max_iterations);
     let mapper = KMeansMapper::new(cfg.distance);
-    let job = MapReduceJob::new(
-        "kmeans-iteration",
-        cluster,
-        dfs,
-        input,
-        mapper,
-        KMeansReducer,
-    )
-    .reducers(cluster.topology.num_nodes())
-    .config(config)
-    .cache(cache)
-    .telemetry(telemetry.clone())
-    .pair_bytes(|_, _| std::mem::size_of::<(u32, PointSum)>());
+    let job = MapReduceJob::new(job_name, cluster, dfs, input, mapper, KMeansReducer)
+        .reducers(cluster.topology.num_nodes())
+        .config(config)
+        .cache(cache)
+        .telemetry(telemetry.clone())
+        .pair_bytes(|_, _| std::mem::size_of::<(u32, PointSum)>());
     let result = if cfg.use_combiner {
         job.with_combiner(KMeansCombiner).run()?
     } else {

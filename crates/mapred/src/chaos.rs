@@ -1,0 +1,257 @@
+//! Deterministic fault injection for the virtual cluster.
+//!
+//! Hadoop's robustness story (§III of the paper: the jobtracker "monitors
+//! tasks and handles failures", HDFS keeps 3 replicas of every chunk) only
+//! matters when something actually fails. A [`ChaosPlan`] scripts those
+//! failures against *virtual* cluster time, so every recovery path — replica
+//! failover, map re-execution, node blacklisting, driver checkpoint/resume —
+//! is exercised by ordinary unit tests and replays bit-identically on every
+//! run. Three event kinds are modeled:
+//!
+//! - **node crash** at virtual time `t`: the node stops accepting tasks,
+//!   in-flight attempts are killed, its local map outputs and chunk
+//!   replicas become unreadable;
+//! - **replica corruption** of (block, node): the stored chunk no longer
+//!   matches its checksum on that one datanode, so reads fail over;
+//! - **node degradation** from time `t`: the node keeps running but its
+//!   compute slows by a factor (a failing disk / thermal-throttled CPU).
+//!
+//! The plan carries the cluster's shared **virtual clock**: each job run
+//! advances it by the job's simulated makespan, so "crash node 2 at t=40 s"
+//! lands mid-pipeline in exactly the same place every time.
+
+use crate::dfs::BlockId;
+use crate::topology::NodeId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One scripted failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosEvent {
+    /// `node` dies (permanently) at virtual time `at_s`.
+    CrashNode {
+        /// The worker that crashes.
+        node: NodeId,
+        /// Virtual time of the crash, seconds since cluster start.
+        at_s: f64,
+    },
+    /// The replica of `block` stored on `node` is silently corrupted
+    /// (effective immediately; checksum verification catches it on read).
+    CorruptReplica {
+        /// The damaged chunk.
+        block: BlockId,
+        /// The datanode whose copy is damaged.
+        node: NodeId,
+    },
+    /// `node`'s compute slows by `slowdown`× from virtual time `at_s`.
+    DegradeNode {
+        /// The degraded worker.
+        node: NodeId,
+        /// Virtual time the degradation starts, seconds.
+        at_s: f64,
+        /// Multiplier applied to the node's compute time (≥ 1).
+        slowdown: f64,
+    },
+}
+
+/// A scripted, reproducible failure schedule plus the cluster's virtual
+/// clock. Cloning shares the clock (all handles see the same timeline),
+/// exactly like [`gepeto_telemetry::Recorder`] shares its event sink.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+    /// Failed attempts on one node before the jobtracker blacklists it
+    /// (Hadoop's `mapred.max.tracker.failures`; default 3). The last
+    /// live node is never blacklisted.
+    blacklist_after: u32,
+    clock: Arc<Mutex<f64>>,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl ChaosPlan {
+    /// An empty plan: nothing ever fails (the clock still ticks).
+    pub fn none() -> Self {
+        Self {
+            events: Vec::new(),
+            blacklist_after: 3,
+            clock: Arc::new(Mutex::new(0.0)),
+        }
+    }
+
+    /// Adds a node crash at virtual time `at_s` (builder style).
+    pub fn crash_node(mut self, node: NodeId, at_s: f64) -> Self {
+        self.events.push(ChaosEvent::CrashNode { node, at_s });
+        self
+    }
+
+    /// Adds a corrupted replica of `block` on `node` (builder style).
+    pub fn corrupt_replica(mut self, block: BlockId, node: NodeId) -> Self {
+        self.events.push(ChaosEvent::CorruptReplica { block, node });
+        self
+    }
+
+    /// Degrades `node` by `slowdown`× from virtual time `at_s`
+    /// (builder style). Slowdowns below 1 are clamped to 1.
+    pub fn degrade_node(mut self, node: NodeId, at_s: f64, slowdown: f64) -> Self {
+        self.events.push(ChaosEvent::DegradeNode {
+            node,
+            at_s,
+            slowdown: slowdown.max(1.0),
+        });
+        self
+    }
+
+    /// Sets the blacklisting threshold (builder style; min 1).
+    pub fn blacklist_after(mut self, attempts: u32) -> Self {
+        self.blacklist_after = attempts.max(1);
+        self
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// Whether any failure is scripted at all (fast path check).
+    pub fn is_active(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The blacklisting threshold.
+    pub fn blacklist_threshold(&self) -> u32 {
+        self.blacklist_after
+    }
+
+    /// Current virtual time, seconds since cluster start.
+    pub fn now(&self) -> f64 {
+        *self.clock.lock()
+    }
+
+    /// Advances the virtual clock by `secs` (each job run adds its
+    /// simulated makespan; driver backoffs add their wait).
+    pub fn advance(&self, secs: f64) {
+        *self.clock.lock() += secs.max(0.0);
+    }
+
+    /// The virtual time at which `node` crashes, if it ever does (the
+    /// earliest crash wins if several are scripted).
+    pub fn crash_time(&self, node: NodeId) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::CrashNode { node: n, at_s } if *n == node => Some(*at_s),
+                _ => None,
+            })
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Whether `node` is dead at virtual time `at_s`.
+    pub fn is_dead(&self, node: NodeId, at_s: f64) -> bool {
+        self.crash_time(node).is_some_and(|t| t <= at_s)
+    }
+
+    /// Whether the replica of `block` on `node` is corrupted.
+    pub fn is_corrupted(&self, block: BlockId, node: NodeId) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, ChaosEvent::CorruptReplica { block: b, node: n }
+                     if *b == block && *n == node)
+        })
+    }
+
+    /// Compute slowdown factor of `node` at virtual time `at_s` (the
+    /// largest active degradation; 1.0 when healthy).
+    pub fn slowdown(&self, node: NodeId, at_s: f64) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::DegradeNode {
+                    node: n,
+                    at_s: t,
+                    slowdown,
+                } if *n == node && *t <= at_s => Some(*slowdown),
+                _ => None,
+            })
+            .fold(1.0f64, f64::max)
+    }
+
+    /// Nodes of a `num_nodes`-worker cluster still alive at `at_s`.
+    pub fn live_nodes(&self, num_nodes: usize, at_s: f64) -> Vec<NodeId> {
+        (0..num_nodes).filter(|&n| !self.is_dead(n, at_s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = ChaosPlan::none();
+        assert!(!p.is_active());
+        assert!(!p.is_dead(0, 1e9));
+        assert!(!p.is_corrupted(42, 0));
+        assert_eq!(p.slowdown(0, 1e9), 1.0);
+        assert_eq!(p.crash_time(3), None);
+        assert_eq!(p.live_nodes(4, 100.0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn crash_takes_effect_at_its_time() {
+        let p = ChaosPlan::none().crash_node(2, 40.0);
+        assert!(p.is_active());
+        assert!(!p.is_dead(2, 39.9));
+        assert!(p.is_dead(2, 40.0));
+        assert!(p.is_dead(2, 1e9));
+        assert!(!p.is_dead(1, 1e9));
+        assert_eq!(p.crash_time(2), Some(40.0));
+        assert_eq!(p.live_nodes(4, 50.0), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn earliest_crash_wins() {
+        let p = ChaosPlan::none().crash_node(1, 80.0).crash_node(1, 30.0);
+        assert_eq!(p.crash_time(1), Some(30.0));
+    }
+
+    #[test]
+    fn corruption_is_per_replica() {
+        let p = ChaosPlan::none().corrupt_replica(7, 1);
+        assert!(p.is_corrupted(7, 1));
+        assert!(!p.is_corrupted(7, 0));
+        assert!(!p.is_corrupted(8, 1));
+    }
+
+    #[test]
+    fn degradation_starts_at_its_time_and_clamps() {
+        let p = ChaosPlan::none()
+            .degrade_node(0, 10.0, 4.0)
+            .degrade_node(0, 20.0, 0.5); // clamped to 1.0
+        assert_eq!(p.slowdown(0, 5.0), 1.0);
+        assert_eq!(p.slowdown(0, 15.0), 4.0);
+        assert_eq!(p.slowdown(0, 25.0), 4.0); // max of active factors
+    }
+
+    #[test]
+    fn clock_is_shared_across_clones() {
+        let p = ChaosPlan::none().crash_node(0, 100.0);
+        let q = p.clone();
+        p.advance(60.0);
+        assert_eq!(q.now(), 60.0);
+        q.advance(-5.0); // negative advances ignored
+        assert_eq!(p.now(), 60.0);
+    }
+
+    #[test]
+    fn blacklist_threshold_floor() {
+        assert_eq!(
+            ChaosPlan::none().blacklist_after(0).blacklist_threshold(),
+            1
+        );
+        assert_eq!(ChaosPlan::none().blacklist_threshold(), 3);
+    }
+}

@@ -45,6 +45,14 @@ pub mod builtin {
     pub const REDUCE_OUTPUT_RECORDS: &str = "mapred.reduce.output.records";
     /// Task attempts lost to (injected) failures and rescheduled.
     pub const TASK_RETRIES: &str = gepeto_telemetry::TASK_RETRIES_COUNTER;
+    /// Completed map tasks re-executed because their node crashed and
+    /// took the locally-stored map outputs with it.
+    pub const REEXECUTED_MAPS: &str = gepeto_telemetry::REEXECUTED_MAPS_COUNTER;
+    /// Chunk reads served by a secondary replica after the preferred one
+    /// was dead or failed checksum verification.
+    pub const FAILED_OVER_READS: &str = gepeto_telemetry::FAILED_OVER_READS_COUNTER;
+    /// Nodes the jobtracker blacklisted after repeated task failures.
+    pub const BLACKLISTED_NODES: &str = gepeto_telemetry::BLACKLISTED_NODES_COUNTER;
 }
 
 /// A concurrent set of named counters. Cloning shares the underlying

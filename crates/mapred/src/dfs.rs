@@ -6,10 +6,12 @@
 //! datanodes hold each chunk. The jobtracker later reads that map to keep
 //! "the computation as close as possible to the data".
 
-use crate::hash::fnv_hash;
+use crate::chaos::ChaosPlan;
+use crate::hash::{fnv_hash, FnvHasher};
 use crate::topology::{NodeId, Topology};
 use gepeto_telemetry::Recorder;
 use std::collections::BTreeMap;
+use std::hash::Hasher;
 use std::sync::Arc;
 
 /// Identifier of a stored chunk.
@@ -22,6 +24,10 @@ pub enum DfsError {
     FileNotFound(String),
     /// A file with that name already exists.
     FileExists(String),
+    /// Every replica of a chunk is unreadable (its datanode is dead or
+    /// its copy fails checksum verification) — the HDFS "missing block"
+    /// condition a client cannot recover from.
+    AllReplicasLost(BlockId),
 }
 
 impl std::fmt::Display for DfsError {
@@ -29,14 +35,22 @@ impl std::fmt::Display for DfsError {
         match self {
             DfsError::FileNotFound(n) => write!(f, "dfs: file not found: {n}"),
             DfsError::FileExists(n) => write!(f, "dfs: file already exists: {n}"),
+            DfsError::AllReplicasLost(b) => {
+                write!(f, "dfs: all replicas of block {b} are lost or corrupt")
+            }
         }
     }
 }
 
 impl std::error::Error for DfsError {}
 
+/// XOR mask a corrupted replica's observed checksum is off by — any
+/// nonzero constant works; verification only needs the mismatch.
+const CORRUPTION_MASK: u64 = 0xdead_beef_dead_beef;
+
 /// A stored chunk: its records (shared, so map tasks read without
-/// copying), its byte size, and the datanodes holding replicas.
+/// copying), its byte size, its content checksum and the datanodes
+/// holding replicas.
 #[derive(Debug, Clone)]
 pub struct Block<T> {
     /// Chunk identifier.
@@ -45,8 +59,32 @@ pub struct Block<T> {
     pub data: Arc<Vec<T>>,
     /// Serialized size of the chunk in bytes.
     pub bytes: usize,
+    /// Content checksum computed at `put` (FNV-1a over the chunk's
+    /// per-record serialized sizes — the stand-in for HDFS's CRC32 over
+    /// the chunk bytes, since records are held in memory, not
+    /// serialized). Reads verify each replica's observed checksum
+    /// against this value and fail over on mismatch.
+    pub checksum: u64,
     /// Replica locations; `replicas[0]` is the writer-local copy.
     pub replicas: Vec<NodeId>,
+}
+
+impl<T> Block<T> {
+    /// The checksum a client observes when reading this chunk from
+    /// `node`: the stored checksum, unless the chaos plan corrupted that
+    /// replica, in which case it differs and verification fails.
+    pub fn observed_checksum(&self, node: NodeId, chaos: &ChaosPlan) -> u64 {
+        if chaos.is_corrupted(self.id, node) {
+            self.checksum ^ CORRUPTION_MASK
+        } else {
+            self.checksum
+        }
+    }
+
+    /// Whether the replica on `node` passes checksum verification.
+    pub fn replica_intact(&self, node: NodeId, chaos: &ChaosPlan) -> bool {
+        self.observed_checksum(node, chaos) == self.checksum
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -106,6 +144,11 @@ impl<T: Clone> Dfs<T> {
         self.block_bytes
     }
 
+    /// Configured replication factor (before clamping to node count).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
     /// The topology chunks are placed on.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -127,23 +170,33 @@ impl<T: Clone> Dfs<T> {
         let mut block_ids = Vec::new();
         let mut current: Vec<T> = Vec::new();
         let mut current_bytes = 0usize;
+        let mut current_sum = FnvHasher::default();
         for r in records {
             let b = sizer(&r).max(1);
             current.push(r);
             current_bytes += b;
             total_bytes += b;
+            current_sum.write(&(b as u64).to_le_bytes());
             if current_bytes >= self.block_bytes {
                 block_ids.push(self.store_block(
                     name,
                     block_ids.len(),
                     std::mem::take(&mut current),
                     current_bytes,
+                    std::mem::take(&mut current_sum).finish(),
                 ));
                 current_bytes = 0;
             }
         }
         if !current.is_empty() || block_ids.is_empty() {
-            block_ids.push(self.store_block(name, block_ids.len(), current, current_bytes));
+            let checksum = current_sum.finish();
+            block_ids.push(self.store_block(
+                name,
+                block_ids.len(),
+                current,
+                current_bytes,
+                checksum,
+            ));
         }
         self.files.insert(
             name.to_string(),
@@ -167,9 +220,20 @@ impl<T: Clone> Dfs<T> {
         self.put_with_sizer(name, records, |_| bytes_per_record)
     }
 
-    fn store_block(&mut self, file: &str, index: usize, data: Vec<T>, bytes: usize) -> BlockId {
+    fn store_block(
+        &mut self,
+        file: &str,
+        index: usize,
+        data: Vec<T>,
+        bytes: usize,
+        content_sum: u64,
+    ) -> BlockId {
         let id = self.next_block;
         self.next_block += 1;
+        // Mix in file and chunk index so identical payloads in different
+        // chunks still carry distinct checksums (HDFS checksums are
+        // per-block files too).
+        let checksum = fnv_hash(&(file, index, content_sum, data.len() as u64));
         let replicas = self.place_replicas(file, index);
         if self.telemetry.is_enabled() {
             let nodes = replicas
@@ -193,6 +257,7 @@ impl<T: Clone> Dfs<T> {
                 id,
                 data: Arc::new(data),
                 bytes,
+                checksum,
                 replicas,
             },
         );
@@ -205,7 +270,15 @@ impl<T: Clone> Dfs<T> {
     /// spread over the whole cluster (real HDFS rotates per *file*; per
     /// chunk gives the same steady-state balance for the single huge file
     /// the paper stores).
-    fn place_replicas(&self, file: &str, index: usize) -> Vec<NodeId> {
+    ///
+    /// The effective replication factor is **clamped to the node count**:
+    /// a 3× policy on a 2-node cluster yields exactly 2 replicas, one per
+    /// node — never duplicate copies on one datanode (matching HDFS,
+    /// which leaves such blocks under-replicated rather than doubling
+    /// up). The returned nodes are always pairwise distinct, and when the
+    /// factor is ≥ 3 and a second rack has at least one node, replicas
+    /// span at least two racks.
+    pub fn place_replicas(&self, file: &str, index: usize) -> Vec<NodeId> {
         let n = self.topology.num_nodes();
         let r = self.replication.min(n);
         let writer = (fnv_hash(&file) as usize + index) % n;
@@ -269,6 +342,161 @@ impl<T: Clone> Dfs<T> {
         Ok(out)
     }
 
+    /// Replicas of chunk `id` that are *readable* under `chaos` at
+    /// virtual time `at_s`: their datanode is alive and their copy passes
+    /// checksum verification. Order follows the stored replica list
+    /// (writer-local first), i.e. the client's failover order.
+    pub fn readable_replicas(&self, id: BlockId, chaos: &ChaosPlan, at_s: f64) -> Vec<NodeId> {
+        let block = &self.blocks[&id];
+        block
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&n| !chaos.is_dead(n, at_s) && block.replica_intact(n, chaos))
+            .collect()
+    }
+
+    /// The verifying, failing-over read path: reads chunk `id` from the
+    /// first replica whose datanode is alive and whose copy matches the
+    /// chunk checksum, skipping dead or corrupt replicas — HDFS's client
+    /// behavior. Returns the chunk, the replica served from, and how many
+    /// replicas were skipped (the *failed-over reads*).
+    ///
+    /// # Errors
+    /// [`DfsError::AllReplicasLost`] when no replica is readable.
+    ///
+    /// # Panics
+    /// If the id is unknown (engine-internal misuse).
+    pub fn read_block_verified(
+        &self,
+        id: BlockId,
+        chaos: &ChaosPlan,
+        at_s: f64,
+    ) -> Result<(&Block<T>, NodeId, usize), DfsError> {
+        let block = &self.blocks[&id];
+        let mut skipped = 0usize;
+        for &n in &block.replicas {
+            if chaos.is_dead(n, at_s) || !block.replica_intact(n, chaos) {
+                skipped += 1;
+                continue;
+            }
+            self.telemetry.count("dfs.block.reads", 1);
+            self.telemetry.observe("dfs.read.bytes", block.bytes as u64);
+            if skipped > 0 {
+                self.telemetry
+                    .count(gepeto_telemetry::FAILED_OVER_READS_COUNTER, skipped as u64);
+            }
+            return Ok((block, n, skipped));
+        }
+        Err(DfsError::AllReplicasLost(id))
+    }
+
+    /// Reads a whole file through the verifying, failing-over read path.
+    /// Returns the records and the total number of failed-over reads.
+    ///
+    /// # Errors
+    /// [`DfsError::FileNotFound`] for an unknown file, or
+    /// [`DfsError::AllReplicasLost`] if some chunk has no readable
+    /// replica left.
+    pub fn read_verified(
+        &self,
+        name: &str,
+        chaos: &ChaosPlan,
+    ) -> Result<(Vec<T>, usize), DfsError> {
+        let ids = self.blocks_of(name)?;
+        let at_s = chaos.now();
+        let mut out = Vec::with_capacity(self.num_records(name)?);
+        let mut failovers = 0usize;
+        for &id in ids {
+            let (block, _, skipped) = self.read_block_verified(id, chaos, at_s)?;
+            failovers += skipped;
+            out.extend(block.data.iter().cloned());
+        }
+        Ok((out, failovers))
+    }
+
+    /// Namenode-style re-replication sweep: for every chunk, drops
+    /// replicas on dead datanodes and replicas failing checksum
+    /// verification, then places fresh copies on surviving nodes until
+    /// the chunk is back to the replication factor (clamped to the live
+    /// node count). Placement is rack-aware — racks not yet holding a
+    /// healthy copy are preferred — and deterministic. Chunks with *no*
+    /// healthy replica left cannot be healed; they are reported as lost
+    /// and their metadata is left untouched so a later read yields
+    /// [`DfsError::AllReplicasLost`].
+    pub fn rereplicate(&mut self, chaos: &ChaosPlan) -> RereplicationReport {
+        let at_s = chaos.now();
+        let mut report = RereplicationReport::default();
+        let num_nodes = self.topology.num_nodes();
+        let live = chaos.live_nodes(num_nodes, at_s);
+        let ids: Vec<BlockId> = self.blocks.keys().copied().collect();
+        for id in ids {
+            let block = &self.blocks[&id];
+            let healthy: Vec<NodeId> = block
+                .replicas
+                .iter()
+                .copied()
+                .filter(|&n| !chaos.is_dead(n, at_s) && block.replica_intact(n, chaos))
+                .collect();
+            let dropped = block.replicas.len() - healthy.len();
+            if dropped == 0 {
+                continue;
+            }
+            if healthy.is_empty() {
+                report.lost_blocks.push(id);
+                continue;
+            }
+            report.dropped_replicas += dropped;
+            // Candidate targets: live nodes without a healthy copy, and
+            // never a node whose copy of this chunk is corrupt (its disk
+            // already damaged this block once).
+            let mut replicas = healthy;
+            let healthy_count = replicas.len();
+            let target = self.replication.min(
+                live.iter()
+                    .filter(|&&n| block.replica_intact(n, chaos))
+                    .count(),
+            );
+            while replicas.len() < target {
+                let candidates: Vec<NodeId> = live
+                    .iter()
+                    .copied()
+                    .filter(|&n| !replicas.contains(&n) && block.replica_intact(n, chaos))
+                    .collect();
+                let covered: Vec<crate::topology::RackId> =
+                    replicas.iter().map(|&n| self.topology.rack_of(n)).collect();
+                let preferred: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&n| !covered.contains(&self.topology.rack_of(n)))
+                    .collect();
+                let pool = if preferred.is_empty() {
+                    &candidates
+                } else {
+                    &preferred
+                };
+                match pick_deterministic(pool, fnv_hash(&(id, replicas.len(), "rereplicate"))) {
+                    Some(&n) => replicas.push(n),
+                    None => break,
+                }
+            }
+            report.new_replicas += replicas.len() - healthy_count;
+            report.healed_blocks += 1;
+            if self.telemetry.is_enabled() {
+                self.telemetry.point(
+                    "dfs.rereplicate",
+                    replicas.len() as f64,
+                    &[
+                        ("block", &id.to_string()),
+                        ("dropped", &dropped.to_string()),
+                    ],
+                );
+            }
+            self.blocks.get_mut(&id).expect("block exists").replicas = replicas;
+        }
+        report
+    }
+
     /// Deletes a file and its chunks.
     pub fn delete(&mut self, name: &str) -> Result<(), DfsError> {
         let meta = self
@@ -323,6 +551,20 @@ impl<T: Clone> Dfs<T> {
         }
         counts
     }
+}
+
+/// What a [`Dfs::rereplicate`] sweep did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RereplicationReport {
+    /// Chunks brought back to (clamped) full replication.
+    pub healed_blocks: usize,
+    /// Replicas discarded because their node died or their copy was
+    /// corrupt.
+    pub dropped_replicas: usize,
+    /// Fresh replicas placed on surviving nodes.
+    pub new_replicas: usize,
+    /// Chunks with no healthy replica left — unrecoverable.
+    pub lost_blocks: Vec<BlockId>,
 }
 
 fn pick_deterministic<T>(candidates: &[T], hash: u64) -> Option<&T> {
@@ -475,5 +717,155 @@ mod tests {
         d.put_fixed("f", records.clone(), 4).unwrap();
         assert!(d.num_blocks("f").unwrap() > 1);
         assert_eq!(d.read("f").unwrap(), records);
+    }
+
+    #[test]
+    fn chunks_get_distinct_content_checksums() {
+        let mut d = dfs(40);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let sums: Vec<u64> = d
+            .blocks_of("f")
+            .unwrap()
+            .iter()
+            .map(|&id| d.block(id).checksum)
+            .collect();
+        assert!(sums.iter().all(|&s| s != 0));
+        let mut unique = sums.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), sums.len(), "checksum collision: {sums:?}");
+    }
+
+    #[test]
+    fn verified_read_fails_over_past_a_dead_replica() {
+        let mut d = dfs(40);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let id = d.blocks_of("f").unwrap()[0];
+        let primary = d.block(id).replicas[0];
+        let chaos = ChaosPlan::none().crash_node(primary, 0.0);
+        let (block, served_from, skipped) = d.read_block_verified(id, &chaos, 0.0).unwrap();
+        assert_ne!(served_from, primary);
+        assert_eq!(skipped, 1);
+        assert_eq!(block.data, d.block(id).data);
+        // The clean path reads from the primary with zero failovers.
+        let (_, n, s) = d.read_block_verified(id, &ChaosPlan::none(), 0.0).unwrap();
+        assert_eq!((n, s), (primary, 0));
+    }
+
+    #[test]
+    fn verified_read_skips_corrupt_replicas() {
+        let mut d = dfs(40);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let id = d.blocks_of("f").unwrap()[0];
+        let replicas = d.block(id).replicas.clone();
+        let chaos = ChaosPlan::none().corrupt_replica(id, replicas[0]);
+        let (_, served_from, skipped) = d.read_block_verified(id, &chaos, 0.0).unwrap();
+        assert_eq!(served_from, replicas[1]);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn all_replicas_lost_is_a_typed_error_not_a_panic() {
+        let mut d = dfs(40);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let id = d.blocks_of("f").unwrap()[0];
+        let mut chaos = ChaosPlan::none();
+        for &n in &d.block(id).replicas {
+            chaos = chaos.crash_node(n, 0.0);
+        }
+        assert_eq!(
+            d.read_block_verified(id, &chaos, 0.0).unwrap_err(),
+            DfsError::AllReplicasLost(id)
+        );
+    }
+
+    #[test]
+    fn read_verified_counts_failovers_and_bumps_telemetry() {
+        let rec = Recorder::enabled();
+        let mut d = dfs(40).telemetry(rec.clone());
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        // Kill node 0: every chunk with a replica there fails over.
+        let chaos = ChaosPlan::none().crash_node(0, 0.0);
+        let with_replica_on_0 = d
+            .blocks_of("f")
+            .unwrap()
+            .iter()
+            .filter(|&&id| d.block(id).replicas.contains(&0))
+            .count();
+        assert!(with_replica_on_0 > 0, "degenerate placement");
+        let (records, failovers) = d.read_verified("f", &chaos).unwrap();
+        assert_eq!(records, (0..100).collect::<Vec<u32>>());
+        // Only chunks whose replica list *reaches* node 0 before a live
+        // one count; with node 0 primary on some chunks this is nonzero.
+        assert!(failovers > 0);
+        assert_eq!(
+            rec.counter(gepeto_telemetry::FAILED_OVER_READS_COUNTER),
+            failovers as u64
+        );
+    }
+
+    #[test]
+    fn rereplicate_heals_onto_live_nodes() {
+        let mut d = dfs(40);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let chaos = ChaosPlan::none().crash_node(1, 0.0);
+        let report = d.rereplicate(&chaos);
+        assert!(report.healed_blocks > 0);
+        assert_eq!(report.dropped_replicas, report.new_replicas);
+        assert!(report.lost_blocks.is_empty());
+        let topo = d.topology().clone();
+        for &id in d.blocks_of("f").unwrap() {
+            let b = d.block(id);
+            assert_eq!(b.replicas.len(), 3);
+            assert!(!b.replicas.contains(&1), "replica left on dead node");
+            let mut sorted = b.replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate replicas after healing");
+            let racks: std::collections::BTreeSet<_> =
+                b.replicas.iter().map(|&n| topo.rack_of(n)).collect();
+            assert!(racks.len() >= 2, "healing lost rack diversity");
+        }
+        // A healed DFS reads clean with zero failovers.
+        let (_, failovers) = d.read_verified("f", &chaos).unwrap();
+        assert_eq!(failovers, 0);
+    }
+
+    #[test]
+    fn rereplicate_avoids_nodes_with_a_corrupt_copy() {
+        let mut d: Dfs<u32> = Dfs::new(Topology::new(3, 1, 1), 400, 2);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let id = d.blocks_of("f").unwrap()[0];
+        let replicas = d.block(id).replicas.clone();
+        let spare: NodeId = (0..3).find(|n| !replicas.contains(n)).unwrap();
+        // One replica's node dies, and the only spare node's disk already
+        // corrupted its (future) copy — healing must not place there.
+        let chaos = ChaosPlan::none()
+            .crash_node(replicas[0], 0.0)
+            .corrupt_replica(id, spare);
+        let report = d.rereplicate(&chaos);
+        assert_eq!(report.healed_blocks, 1);
+        assert_eq!(report.new_replicas, 0); // nowhere safe to copy to
+        assert_eq!(d.block(id).replicas, vec![replicas[1]]);
+    }
+
+    #[test]
+    fn rereplicate_reports_unrecoverable_blocks() {
+        let mut d = dfs(40);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let id = d.blocks_of("f").unwrap()[0];
+        let replicas = d.block(id).replicas.clone();
+        let mut chaos = ChaosPlan::none();
+        for &n in &replicas {
+            chaos = chaos.crash_node(n, 0.0);
+        }
+        let report = d.rereplicate(&chaos);
+        assert!(report.lost_blocks.contains(&id));
+        // Metadata untouched: a later read still yields the typed error.
+        assert_eq!(d.block(id).replicas, replicas);
+        assert_eq!(
+            d.read_verified("f", &chaos).unwrap_err(),
+            DfsError::AllReplicasLost(id)
+        );
     }
 }

@@ -19,7 +19,7 @@ use crate::config::JobConfig;
 use crate::counters::{builtin, phase, Counters};
 use crate::dfs::{Dfs, DfsError};
 use crate::hash::{default_partition, unit_hash};
-use crate::sim::{simulate_with, MapTaskSim, ReduceTaskSim, SimReport};
+use crate::sim::{simulate_chaos, MapTaskSim, ReduceTaskSim, SimError, SimReport};
 use crate::topology::Cluster;
 use gepeto_telemetry::{Recorder, Span};
 use rayon::prelude::*;
@@ -68,7 +68,8 @@ impl FailurePlan {
 /// Why a job did not complete.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobError {
-    /// The input file could not be read.
+    /// The input file could not be read (including every replica of an
+    /// input chunk being lost to crashes or corruption).
     Dfs(DfsError),
     /// A task exhausted its attempts.
     TaskFailed {
@@ -79,11 +80,22 @@ pub enum JobError {
         /// Attempts consumed before giving up.
         attempts: u32,
     },
+    /// Tasks remained but every worker node was dead or blacklisted.
+    ClusterDead,
 }
 
 impl From<DfsError> for JobError {
     fn from(e: DfsError) -> Self {
         JobError::Dfs(e)
+    }
+}
+
+impl From<SimError> for JobError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::UnreadableBlock(b) => JobError::Dfs(DfsError::AllReplicasLost(b)),
+            SimError::NoLiveNodes => JobError::ClusterDead,
+        }
     }
 }
 
@@ -96,6 +108,7 @@ impl std::fmt::Display for JobError {
                 task,
                 attempts,
             } => write!(f, "{phase} task {task} failed after {attempts} attempts"),
+            JobError::ClusterDead => write!(f, "no live worker node left to run tasks"),
         }
     }
 }
@@ -115,6 +128,17 @@ pub struct JobStats {
     pub real_elapsed: Duration,
     /// Virtual-cluster replay of the measured task times.
     pub sim: SimReport,
+    /// Task attempts lost to injected failures and rescheduled
+    /// (mirror of [`builtin::TASK_RETRIES`]).
+    pub retries: u64,
+    /// Completed map tasks re-run because their node crashed before the
+    /// map phase finished, taking its locally-stored outputs with it.
+    pub reexecuted_maps: u64,
+    /// Successful map attempts that had to skip at least one dead or
+    /// checksum-failing replica of their input chunk.
+    pub failed_over_reads: u64,
+    /// Nodes the jobtracker blacklisted after repeated task failures.
+    pub blacklisted_nodes: u64,
     /// Final counter values.
     pub counters: BTreeMap<String, u64>,
 }
@@ -327,6 +351,7 @@ where
             .map(|(task_id, (mut pairs, mut reducer))| {
                 let fail = &self.cluster.failures;
                 let mut attempt = 1u32;
+                let mut failed_attempts = Vec::new();
                 while unit_hash(&(
                     self.name.as_str(),
                     phase::REDUCE,
@@ -341,6 +366,13 @@ where
                         attempt as f64,
                         &[("phase", phase::REDUCE), ("task", &task_id.to_string())],
                     );
+                    failed_attempts.push(failed_attempt_fraction(
+                        self.name.as_str(),
+                        phase::REDUCE,
+                        task_id,
+                        attempt,
+                        fail.seed,
+                    ));
                     attempt += 1;
                     if attempt > fail.max_attempts {
                         return Err(JobError::TaskFailed {
@@ -396,6 +428,7 @@ where
                     output,
                     host_secs,
                     input_records: pairs.len() as u64,
+                    failed_attempts,
                 })
             })
             .collect();
@@ -409,32 +442,31 @@ where
                 host_secs: r.host_secs,
                 shuffle_bytes: partition_bytes[task_id],
                 records: r.input_records,
+                failed_attempts: r.failed_attempts,
             });
             output.extend(r.output);
         }
 
-        let sim = simulate_with(
+        let sim = simulate_chaos(
             &self.cluster.topology,
             &self.cluster.sim,
+            &self.cluster.chaos,
+            self.cluster.chaos.now(),
             &map_sim,
             &reduce_sim,
             &self.telemetry,
-        );
+        )?;
+        self.cluster.chaos.advance(sim.makespan_s);
         job_span.end();
-        let counters_snapshot = counters.snapshot();
-        if self.telemetry.is_enabled() {
-            for (k, &v) in &counters_snapshot {
-                self.telemetry.count(k, v);
-            }
-        }
-        let stats = JobStats {
-            name: self.name,
-            map_tasks: map_sim.len(),
-            reduce_tasks: reduce_sim.len(),
-            real_elapsed: started.elapsed(),
+        let stats = finish_stats(
+            self.name,
+            map_sim.len(),
+            reduce_sim.len(),
+            started.elapsed(),
             sim,
-            counters: counters_snapshot,
-        };
+            &counters,
+            &self.telemetry,
+        );
         Ok(JobResult { output, stats })
     }
 }
@@ -534,29 +566,85 @@ where
             None,
         )?;
         let output = partitions.into_iter().flatten().collect();
-        let sim = simulate_with(
+        let sim = simulate_chaos(
             &self.cluster.topology,
             &self.cluster.sim,
+            &self.cluster.chaos,
+            self.cluster.chaos.now(),
             &sim_tasks,
             &[],
             &self.telemetry,
-        );
+        )?;
+        self.cluster.chaos.advance(sim.makespan_s);
         job_span.end();
-        let counters_snapshot = counters.snapshot();
-        if self.telemetry.is_enabled() {
-            for (k, &v) in &counters_snapshot {
-                self.telemetry.count(k, v);
-            }
-        }
-        let stats = JobStats {
-            name: self.name,
-            map_tasks: sim_tasks.len(),
-            reduce_tasks: 0,
-            real_elapsed: started.elapsed(),
+        let stats = finish_stats(
+            self.name,
+            sim_tasks.len(),
+            0,
+            started.elapsed(),
             sim,
-            counters: counters_snapshot,
-        };
+            &counters,
+            &self.telemetry,
+        );
         Ok(JobResult { output, stats })
+    }
+}
+
+/// Runtime fraction a failed attempt consumed before dying: a
+/// deterministic hash of the attempt identity mapped into `[0.2, 0.95)`,
+/// so every injected failure charges a visible but partial share of the
+/// task body to the virtual replay.
+fn failed_attempt_fraction(
+    job: &str,
+    phase_name: &'static str,
+    task: usize,
+    attempt: u32,
+    seed: u64,
+) -> f64 {
+    0.2 + 0.75 * unit_hash(&(job, phase_name, task, attempt, seed, "runtime"))
+}
+
+/// Folds the sim report's recovery tallies into the job counters,
+/// mirrors everything into telemetry, and assembles the final
+/// [`JobStats`].
+fn finish_stats(
+    name: String,
+    map_tasks: usize,
+    reduce_tasks: usize,
+    real_elapsed: Duration,
+    sim: SimReport,
+    counters: &Counters,
+    telemetry: &Recorder,
+) -> JobStats {
+    if sim.reexecuted_maps > 0 {
+        counters.inc(builtin::REEXECUTED_MAPS, sim.reexecuted_maps as u64);
+    }
+    if sim.failed_over_reads > 0 {
+        counters.inc(builtin::FAILED_OVER_READS, sim.failed_over_reads as u64);
+    }
+    if sim.blacklisted_nodes > 0 {
+        counters.inc(builtin::BLACKLISTED_NODES, sim.blacklisted_nodes as u64);
+    }
+    let counters_snapshot = counters.snapshot();
+    if telemetry.is_enabled() {
+        for (k, &v) in &counters_snapshot {
+            telemetry.count(k, v);
+        }
+    }
+    JobStats {
+        name,
+        map_tasks,
+        reduce_tasks,
+        real_elapsed,
+        retries: counters_snapshot
+            .get(builtin::TASK_RETRIES)
+            .copied()
+            .unwrap_or(0),
+        reexecuted_maps: sim.reexecuted_maps as u64,
+        failed_over_reads: sim.failed_over_reads as u64,
+        blacklisted_nodes: sim.blacklisted_nodes as u64,
+        sim,
+        counters: counters_snapshot,
     }
 }
 
@@ -564,6 +652,7 @@ struct ReduceTaskOutput<K, V> {
     output: Vec<(K, V)>,
     host_secs: f64,
     input_records: u64,
+    failed_attempts: Vec<f64>,
 }
 
 struct MapPhaseOutput<K, V> {
@@ -618,6 +707,7 @@ where
         .map(|(task_id, (&block_id, (mut m, combiner)))| {
             let fail = &cluster.failures;
             let mut attempt = 1u32;
+            let mut failed_attempts = Vec::new();
             while unit_hash(&(job_name, phase::MAP, task_id, attempt, fail.seed))
                 < fail.map_fail_prob
             {
@@ -627,6 +717,13 @@ where
                     attempt as f64,
                     &[("phase", phase::MAP), ("task", &task_id.to_string())],
                 );
+                failed_attempts.push(failed_attempt_fraction(
+                    job_name,
+                    phase::MAP,
+                    task_id,
+                    attempt,
+                    fail.seed,
+                ));
                 attempt += 1;
                 if attempt > fail.max_attempts {
                     return Err(JobError::TaskFailed {
@@ -716,7 +813,14 @@ where
                     host_secs,
                     input_bytes: block.bytes as u64,
                     records: block.data.len() as u64,
+                    block: block_id,
                     replicas: block.replicas.clone(),
+                    corrupted: block
+                        .replicas
+                        .iter()
+                        .map(|&n| cluster.chaos.is_corrupted(block_id, n))
+                        .collect(),
+                    failed_attempts,
                 },
             })
         })

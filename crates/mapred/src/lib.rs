@@ -24,9 +24,12 @@
 //!   scheduler onto a virtual cluster (default: the 7-node *Parapluie*
 //!   profile of the paper) to produce Hadoop-like makespans, startup
 //!   overhead and shuffle-volume accounting.
-//! - **Fault handling** ([`job::FailurePlan`]): deterministic task-failure
-//!   injection with bounded retries, mirroring the jobtracker's
-//!   "monitoring tasks and handling failures" role.
+//! - **Fault handling** ([`job::FailurePlan`], [`chaos::ChaosPlan`],
+//!   [`recover`]): deterministic task-failure injection with bounded
+//!   retries, scripted node crashes / replica corruption / node
+//!   degradation with replica failover, map re-execution and node
+//!   blacklisting, plus driver-level checkpoint-and-retry — mirroring the
+//!   jobtracker's "monitoring tasks and handling failures" role.
 //!
 //! The canonical example — word count:
 //!
@@ -63,21 +66,25 @@
 
 pub mod api;
 pub mod cache;
+pub mod chaos;
 pub mod config;
 pub mod counters;
 pub mod dfs;
 pub mod hash;
 pub mod job;
 pub mod pipeline;
+pub mod recover;
 pub mod sim;
 pub mod topology;
 
 pub use api::{Combiner, Emitter, FnMapper, Mapper, Reducer, TaskContext};
 pub use cache::DistributedCache;
+pub use chaos::{ChaosEvent, ChaosPlan};
 pub use config::JobConfig;
 pub use counters::Counters;
-pub use dfs::{BlockId, Dfs, DfsError};
+pub use dfs::{BlockId, Dfs, DfsError, RereplicationReport};
 pub use job::{FailurePlan, JobError, JobResult, JobStats, MapOnlyJob, MapReduceJob};
 pub use pipeline::PipelineReport;
+pub use recover::{run_with_recovery, RetryPolicy};
 pub use sim::{Locality, SimParams, SimReport};
 pub use topology::{Cluster, NodeId, Topology};

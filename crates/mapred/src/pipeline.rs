@@ -74,6 +74,21 @@ impl PipelineReport {
             )
         })
     }
+
+    /// Total task-attempt retries across all jobs.
+    pub fn retries(&self) -> u64 {
+        self.stages.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total map tasks re-executed after node crashes across all jobs.
+    pub fn reexecuted_maps(&self) -> u64 {
+        self.stages.iter().map(|s| s.reexecuted_maps).sum()
+    }
+
+    /// Total chunk reads that failed over past a dead or corrupt replica.
+    pub fn failed_over_reads(&self) -> u64 {
+        self.stages.iter().map(|s| s.failed_over_reads).sum()
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +112,10 @@ mod tests {
                 shuffle_bytes: 100,
                 ..SimReport::default()
             },
+            retries: 1,
+            reexecuted_maps: 2,
+            failed_over_reads: 1,
+            blacklisted_nodes: 0,
             counters: BTreeMap::new(),
         }
     }
@@ -122,5 +141,8 @@ mod tests {
         assert_eq!(r.locality(), (6, 2, 0));
         assert_eq!(r.real_elapsed(), Duration::from_millis(20));
         assert_eq!(r.stages()[1].name, "dedup");
+        assert_eq!(r.retries(), 2);
+        assert_eq!(r.reexecuted_maps(), 4);
+        assert_eq!(r.failed_over_reads(), 2);
     }
 }

@@ -1,0 +1,296 @@
+//! Driver-level job recovery: retry budgets, virtual-time backoff and
+//! DFS healing between attempts.
+//!
+//! The engine's jobtracker already retries individual *task* attempts;
+//! this module is the layer above it — what a driver does when an entire
+//! job dies (every replica of a chunk unreadable, a task out of
+//! attempts, the cluster out of live nodes). Iterative drivers
+//! (`mapreduce_kmeans`, DJ-Cluster) keep their loop state *outside* the
+//! job, so a failed job costs one attempt, not the whole computation:
+//! they wrap each iteration's job in [`run_with_recovery`] and resume
+//! from the last good checkpoint.
+//!
+//! Between attempts the helper:
+//!
+//! 1. re-replicates under-replicated DFS blocks onto surviving nodes
+//!    ([`crate::dfs::Dfs::rereplicate`]), the namenode's reaction to a
+//!    datanode death;
+//! 2. advances the shared virtual clock by an exponential backoff, so
+//!    recovery time shows up in the replayed makespan;
+//! 3. re-submits under the name `{base}.r{attempt}` — a distinct job
+//!    name, so deterministic failure injection re-rolls its per-attempt
+//!    coin flips exactly like a real resubmission would. Attempt 0 keeps
+//!    the bare name, keeping no-failure runs byte-identical to drivers
+//!    that never heard of recovery.
+
+use crate::dfs::Dfs;
+use crate::job::JobError;
+use crate::topology::Cluster;
+use gepeto_telemetry::Recorder;
+
+/// How hard a driver tries to keep a job alive across whole-job
+/// failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-submissions after the first attempt (0 = fail fast).
+    pub max_job_retries: u32,
+    /// Virtual seconds charged before the first re-submission.
+    pub backoff_s: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: the first [`JobError`] is final.
+    pub fn none() -> Self {
+        Self {
+            max_job_retries: 0,
+            backoff_s: 0.0,
+            backoff_factor: 1.0,
+        }
+    }
+
+    /// Sets the retry budget.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.max_job_retries = n;
+        self
+    }
+
+    /// Sets the initial virtual-time backoff in seconds.
+    pub fn backoff(mut self, secs: f64) -> Self {
+        self.backoff_s = secs.max(0.0);
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Two re-submissions, 5 virtual seconds of backoff doubling each
+    /// time — roughly Hadoop's `mapreduce.am.max-attempts` posture.
+    fn default() -> Self {
+        Self {
+            max_job_retries: 2,
+            backoff_s: 5.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+/// Runs `run` until it succeeds or the retry budget is spent.
+///
+/// `run` receives the attempt's job name (`base_name`, then
+/// `{base_name}.r1`, `.r2`, …) and a shared reference to the DFS; between
+/// attempts the DFS is healed via [`Dfs::rereplicate`] against the
+/// cluster's chaos plan and the virtual clock advances by the policy's
+/// backoff. Returns the successful value together with the number of
+/// retries that were needed (0 = first attempt succeeded). The last
+/// error is returned unchanged once the budget is exhausted.
+pub fn run_with_recovery<V, T, F>(
+    base_name: &str,
+    cluster: &Cluster,
+    dfs: &mut Dfs<V>,
+    policy: &RetryPolicy,
+    telemetry: &Recorder,
+    mut run: F,
+) -> Result<(T, u32), JobError>
+where
+    V: Clone,
+    F: FnMut(&str, &Dfs<V>) -> Result<T, JobError>,
+{
+    let mut backoff = policy.backoff_s;
+    for attempt in 0..=policy.max_job_retries {
+        let job_name = if attempt == 0 {
+            base_name.to_string()
+        } else {
+            format!("{base_name}.r{attempt}")
+        };
+        match run(&job_name, &*dfs) {
+            Ok(value) => return Ok((value, attempt)),
+            Err(err) if attempt < policy.max_job_retries => {
+                telemetry.point(
+                    "driver.retry",
+                    (attempt + 1) as f64,
+                    &[("job", base_name), ("error", &err.to_string())],
+                );
+                let report = dfs.rereplicate(&cluster.chaos);
+                if report.new_replicas > 0 || !report.lost_blocks.is_empty() {
+                    telemetry.point(
+                        "driver.rereplicated",
+                        report.new_replicas as f64,
+                        &[
+                            ("job", base_name),
+                            ("lost_blocks", &report.lost_blocks.len().to_string()),
+                        ],
+                    );
+                }
+                cluster.chaos.advance(backoff);
+                backoff *= policy.backoff_factor.max(0.0);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    unreachable!("loop returns on success or on the final error")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosPlan;
+    use crate::dfs::DfsError;
+
+    fn tiny_dfs(cluster: &Cluster) -> Dfs<u64> {
+        let mut dfs = Dfs::new(cluster.topology.clone(), 64, 2);
+        dfs.put_fixed("f", (0..32u64).collect(), 8).unwrap();
+        dfs
+    }
+
+    #[test]
+    fn first_attempt_success_keeps_the_bare_name() {
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = tiny_dfs(&cluster);
+        let mut names = Vec::new();
+        let (value, retries) = run_with_recovery(
+            "job",
+            &cluster,
+            &mut dfs,
+            &RetryPolicy::default(),
+            &Recorder::disabled(),
+            |name, _| {
+                names.push(name.to_string());
+                Ok(42)
+            },
+        )
+        .unwrap();
+        assert_eq!((value, retries), (42, 0));
+        assert_eq!(names, ["job"]);
+    }
+
+    #[test]
+    fn retries_get_suffixed_names_and_are_counted() {
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = tiny_dfs(&cluster);
+        let mut names = Vec::new();
+        let (value, retries) = run_with_recovery(
+            "job",
+            &cluster,
+            &mut dfs,
+            &RetryPolicy::default(),
+            &Recorder::disabled(),
+            |name, _| {
+                names.push(name.to_string());
+                if names.len() < 3 {
+                    Err(JobError::ClusterDead)
+                } else {
+                    Ok("ok")
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!((value, retries), ("ok", 2));
+        assert_eq!(names, ["job", "job.r1", "job.r2"]);
+    }
+
+    #[test]
+    fn budget_exhausted_returns_the_last_error() {
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = tiny_dfs(&cluster);
+        let err = run_with_recovery(
+            "job",
+            &cluster,
+            &mut dfs,
+            &RetryPolicy::default().retries(1),
+            &Recorder::disabled(),
+            |_, _| -> Result<(), _> { Err(JobError::Dfs(DfsError::AllReplicasLost(7))) },
+        )
+        .unwrap_err();
+        assert_eq!(err, JobError::Dfs(DfsError::AllReplicasLost(7)));
+    }
+
+    #[test]
+    fn none_policy_fails_fast() {
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = tiny_dfs(&cluster);
+        let mut calls = 0;
+        let err = run_with_recovery(
+            "job",
+            &cluster,
+            &mut dfs,
+            &RetryPolicy::none(),
+            &Recorder::disabled(),
+            |_, _| -> Result<(), _> {
+                calls += 1;
+                Err(JobError::ClusterDead)
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, JobError::ClusterDead);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_advances_the_virtual_clock_exponentially() {
+        let chaos = ChaosPlan::none();
+        let cluster = Cluster::local(2, 2).with_chaos(chaos.clone());
+        let mut dfs = tiny_dfs(&cluster);
+        let mut calls = 0;
+        let (_, retries) = run_with_recovery(
+            "job",
+            &cluster,
+            &mut dfs,
+            &RetryPolicy::default(), // 5s backoff, ×2
+            &Recorder::disabled(),
+            |_, _| {
+                calls += 1;
+                if calls < 3 {
+                    Err(JobError::ClusterDead)
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(retries, 2);
+        // Two failed attempts: 5s + 10s of backoff on the shared clock.
+        assert!((chaos.now() - 15.0).abs() < 1e-9, "clock: {}", chaos.now());
+    }
+
+    #[test]
+    fn failed_attempts_heal_the_dfs_between_tries() {
+        // Node 0 dies immediately; every block it held is under-replicated
+        // until rereplicate copies it onto a survivor.
+        let chaos = ChaosPlan::none().crash_node(0, 0.0);
+        let cluster = Cluster::local(3, 2).with_chaos(chaos.clone());
+        let mut dfs = Dfs::new(cluster.topology.clone(), 64, 2);
+        dfs.put_fixed("f", (0..32u64).collect(), 8).unwrap();
+        let telemetry = Recorder::enabled();
+        let mut calls = 0;
+        run_with_recovery(
+            "job",
+            &cluster,
+            &mut dfs,
+            &RetryPolicy::default().retries(1),
+            &telemetry,
+            |_, dfs| {
+                calls += 1;
+                if calls == 1 {
+                    Err(JobError::ClusterDead)
+                } else {
+                    // After healing, every block must be readable without
+                    // touching the dead node.
+                    for &id in dfs.blocks_of("f").unwrap() {
+                        let replicas = dfs.readable_replicas(id, &chaos, chaos.now());
+                        assert!(!replicas.contains(&0));
+                        assert!(!replicas.is_empty(), "block {id} unreadable after heal");
+                    }
+                    Ok(())
+                }
+            },
+        )
+        .unwrap();
+        let retried: Vec<_> = telemetry
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "driver.retry")
+            .collect();
+        assert_eq!(retried.len(), 1);
+    }
+}

@@ -11,8 +11,16 @@
 //!   neighboring nodes, i.e. belonging to the same network rack");
 //! - reducers start only after the map phase completes;
 //! - shuffle transfer time proportional to intermediate bytes;
-//! - a constant deployment overhead ("approximately 25 seconds", §VI).
+//! - a constant deployment overhead ("approximately 25 seconds", §VI);
+//! - the failure modes of [`crate::chaos::ChaosPlan`]: nodes crashing
+//!   mid-job (killing in-flight attempts, invalidating their completed
+//!   map outputs, making their chunk replicas unreadable), corrupt
+//!   replicas forcing read failover, degraded nodes running slow, and
+//!   the jobtracker blacklisting nodes after repeated task failures —
+//!   with every failed or re-executed attempt charged to the makespan.
 
+use crate::chaos::ChaosPlan;
+use crate::dfs::BlockId;
 use crate::topology::{NodeId, Topology};
 use gepeto_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
@@ -110,6 +118,18 @@ impl SimParams {
             speculative_execution: false,
         }
     }
+
+    /// Profile for chaos tests: the virtual schedule is fully determined
+    /// by task *counts* (every task costs exactly 1 s), independent of
+    /// measured host times — so crash times scripted against virtual
+    /// seconds land on the same task attempt in every run.
+    pub fn unit_time() -> Self {
+        Self {
+            task_startup_s: 1.0,
+            cpu_scale: 0.0,
+            ..Self::instant()
+        }
+    }
 }
 
 /// One map task's inputs to the simulator.
@@ -121,8 +141,18 @@ pub struct MapTaskSim {
     pub input_bytes: u64,
     /// Records in the input chunk (drives the per-record cost model).
     pub records: u64,
+    /// The chunk this task reads (for unreadable-block error reporting).
+    pub block: BlockId,
     /// Datanodes holding replicas of the input chunk.
     pub replicas: Vec<NodeId>,
+    /// Parallel to `replicas`: whether that copy fails checksum
+    /// verification (empty ⇒ all intact).
+    pub corrupted: Vec<bool>,
+    /// One entry per injected failed attempt (from
+    /// [`crate::job::FailurePlan`]): the fraction of the attempt's
+    /// nominal post-startup runtime it burned before dying. Each entry
+    /// is charged to the virtual schedule before the task can succeed.
+    pub failed_attempts: Vec<f64>,
 }
 
 /// One reduce task's inputs to the simulator.
@@ -134,6 +164,8 @@ pub struct ReduceTaskSim {
     pub shuffle_bytes: u64,
     /// Intermediate records this reducer consumes.
     pub records: u64,
+    /// Injected failed attempts; see [`MapTaskSim::failed_attempts`].
+    pub failed_attempts: Vec<f64>,
 }
 
 /// The simulator's verdict for one job.
@@ -159,7 +191,43 @@ pub struct SimReport {
     pub remote: usize,
     /// Total bytes shuffled from mappers to reducers.
     pub shuffle_bytes: u64,
+    /// Completed map tasks re-executed because their node crashed before
+    /// the map barrier and took their locally-stored outputs with it.
+    pub reexecuted_maps: usize,
+    /// Successful map-input reads that had to skip at least one dead or
+    /// corrupt replica (the DFS client's checksum-verified failover).
+    pub failed_over_reads: usize,
+    /// Nodes the jobtracker blacklisted after repeated task failures.
+    pub blacklisted_nodes: usize,
+    /// Attempts killed in flight by their node crashing.
+    pub crash_killed_attempts: usize,
+    /// Virtual seconds burned by failed, killed and invalidated attempts
+    /// — the recovery cost inside `makespan_s`.
+    pub failed_attempt_s: f64,
 }
+
+/// Why a chaos replay could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A map attempt found no readable replica of its chunk: every copy
+    /// sits on a crashed node or fails checksum verification.
+    UnreadableBlock(BlockId),
+    /// Work remains but every node is dead or blacklisted.
+    NoLiveNodes,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnreadableBlock(b) => {
+                write!(f, "sim: no readable replica of block {b}")
+            }
+            SimError::NoLiveNodes => write!(f, "sim: no live node left to run tasks"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Per-node slot pool: each node owns `slots` identical slots whose next
 /// free times are tracked individually.
@@ -179,20 +247,34 @@ impl SlotPool {
         }
     }
 
-    /// `(node, slot, time)` of the earliest free slot; ties broken
-    /// round-robin across nodes (deterministic).
-    fn earliest(&mut self) -> (NodeId, usize, f64) {
+    /// `(node, slot, time)` of the earliest slot that frees *before its
+    /// node dies*, skipping blacklisted nodes; ties broken round-robin
+    /// across nodes (deterministic). `None` when no node can accept
+    /// work any more.
+    fn earliest_usable(
+        &mut self,
+        death: &[f64],
+        blacklisted: &[bool],
+    ) -> Option<(NodeId, usize, f64)> {
         let n_nodes = self.free_at.len();
-        let mut best = (0usize, 0usize, f64::INFINITY);
+        let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..n_nodes {
             let n = (self.rotation + i) % n_nodes;
+            if blacklisted[n] {
+                continue;
+            }
             for (s, &t) in self.free_at[n].iter().enumerate() {
-                if t < best.2 {
-                    best = (n, s, t);
+                if t >= death[n] {
+                    continue; // the node is dead by the time this slot frees
+                }
+                if best.is_none_or(|b| t < b.2) {
+                    best = Some((n, s, t));
                 }
             }
         }
-        self.rotation = (best.0 + 1) % n_nodes;
+        if let Some(b) = best {
+            self.rotation = (b.0 + 1) % n_nodes;
+        }
         best
     }
 
@@ -226,6 +308,7 @@ pub fn simulate(
 /// `sched.map` / `sched.reduce` point event carrying the simulated task
 /// duration (seconds) and `task` / `node` / `locality` labels — the
 /// jobtracker-side scheduling log the paper's locality analysis reads.
+/// Injected failed attempts still charge their partial runtime.
 pub fn simulate_with(
     topology: &Topology,
     params: &SimParams,
@@ -233,69 +316,219 @@ pub fn simulate_with(
     reduce_tasks: &[ReduceTaskSim],
     telemetry: &Recorder,
 ) -> SimReport {
+    simulate_chaos(
+        topology,
+        params,
+        &ChaosPlan::none(),
+        0.0,
+        map_tasks,
+        reduce_tasks,
+        telemetry,
+    )
+    .expect("an empty chaos plan cannot kill nodes or lose replicas")
+}
+
+/// [`simulate_with`] under a [`ChaosPlan`]: nodes crash at scripted
+/// virtual times (`start_s` maps the plan's absolute clock onto this
+/// job's local timeline), killing in-flight attempts, invalidating
+/// completed map outputs held on the crashed node (which the jobtracker
+/// re-executes on survivors), and making the node's chunk replicas
+/// unreadable so map-input reads fail over to surviving replicas.
+/// Nodes accumulating [`ChaosPlan::blacklist_threshold`] failed attempts
+/// are blacklisted (never the last usable node). Every failed, killed or
+/// re-executed attempt occupies its slot for the time it burned, so the
+/// makespan carries the recovery cost.
+///
+/// # Errors
+/// [`SimError::UnreadableBlock`] when every replica of a map input is on
+/// crashed nodes or corrupt; [`SimError::NoLiveNodes`] when tasks remain
+/// but every node is dead or blacklisted.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_chaos(
+    topology: &Topology,
+    params: &SimParams,
+    chaos: &ChaosPlan,
+    start_s: f64,
+    map_tasks: &[MapTaskSim],
+    reduce_tasks: &[ReduceTaskSim],
+    telemetry: &Recorder,
+) -> Result<SimReport, SimError> {
     let mut report = SimReport {
         cluster_startup_s: params.cluster_startup_s,
         ..SimReport::default()
     };
+    let n_nodes = topology.num_nodes();
+    // Crash times on this job's local timeline (∞ = never dies).
+    let death: Vec<f64> = (0..n_nodes)
+        .map(|n| chaos.crash_time(n).map_or(f64::INFINITY, |t| t - start_s))
+        .collect();
+    let mut blacklisted = vec![false; n_nodes];
+    let mut node_failures = vec![0u32; n_nodes];
+    let mut task_seq = 0usize;
 
-    // ---- map wave ----
+    // ---- map wave(s): schedule until done, re-executing maps whose
+    // node died before the barrier (their outputs lived on local disk,
+    // as in Hadoop). ----
     let mut pool = SlotPool::new(topology);
     let mut pending: Vec<usize> = (0..map_tasks.len()).collect();
+    // Remaining injected-failure charges per task (consumed front-first).
+    let mut fail_cursor: Vec<usize> = vec![0; map_tasks.len()];
+    let mut completed: Vec<Option<(NodeId, f64)>> = vec![None; map_tasks.len()];
+    let mut invalidated = vec![false; n_nodes];
     let mut map_end: f64 = 0.0;
-    let mut task_seq = 0usize;
-    while !pending.is_empty() {
-        let (node, slot, at) = pool.earliest();
-        let rack = topology.rack_of(node);
-        // Locality waterfall over the pending list.
-        let pick = pending
-            .iter()
-            .position(|&t| map_tasks[t].replicas.contains(&node))
-            .map(|i| (i, Locality::DataLocal))
-            .or_else(|| {
-                pending
-                    .iter()
-                    .position(|&t| {
-                        map_tasks[t]
-                            .replicas
-                            .iter()
-                            .any(|&r| topology.rack_of(r) == rack)
+    loop {
+        while !pending.is_empty() {
+            let Some((node, slot, at)) = pool.earliest_usable(&death, &blacklisted) else {
+                return Err(SimError::NoLiveNodes);
+            };
+            let rack = topology.rack_of(node);
+            let abs_now = start_s + at;
+            let readable = |t: &MapTaskSim, r_idx: usize| {
+                let r = t.replicas[r_idx];
+                !chaos.is_dead(r, abs_now) && !t.corrupted.get(r_idx).copied().unwrap_or(false)
+            };
+            // Locality waterfall over the pending list, on *readable*
+            // replicas only.
+            let idx = pending
+                .iter()
+                .position(|&t| {
+                    let task = &map_tasks[t];
+                    (0..task.replicas.len()).any(|i| task.replicas[i] == node && readable(task, i))
+                })
+                .or_else(|| {
+                    pending.iter().position(|&t| {
+                        let task = &map_tasks[t];
+                        (0..task.replicas.len()).any(|i| {
+                            topology.rack_of(task.replicas[i]) == rack && readable(task, i)
+                        })
                     })
-                    .map(|i| (i, Locality::RackLocal))
-            })
-            .unwrap_or((0, Locality::Remote));
-        let (idx, locality) = pick;
-        let tid = pending.swap_remove(idx);
-        let task = &map_tasks[tid];
-        let transfer_s = match locality {
-            Locality::DataLocal => 0.0,
-            Locality::RackLocal => task.input_bytes as f64 / (params.net_mb_s * 1e6),
-            Locality::Remote => task.input_bytes as f64 / (params.cross_rack_mb_s * 1e6),
-        };
-        match locality {
-            Locality::DataLocal => report.data_local += 1,
-            Locality::RackLocal => report.rack_local += 1,
-            Locality::Remote => report.remote += 1,
+                })
+                .unwrap_or(0);
+            let tid = pending.swap_remove(idx);
+            let task = &map_tasks[tid];
+            // The DFS client's verified read: classify against the
+            // *readable* replicas; error out when nothing is readable.
+            let readable_count = (0..task.replicas.len())
+                .filter(|&i| readable(task, i))
+                .count();
+            if readable_count == 0 {
+                return Err(SimError::UnreadableBlock(task.block));
+            }
+            let local_ok =
+                (0..task.replicas.len()).any(|i| task.replicas[i] == node && readable(task, i));
+            let rack_ok = (0..task.replicas.len())
+                .any(|i| topology.rack_of(task.replicas[i]) == rack && readable(task, i));
+            let locality = if local_ok {
+                Locality::DataLocal
+            } else if rack_ok {
+                Locality::RackLocal
+            } else {
+                Locality::Remote
+            };
+            let failover = readable_count < task.replicas.len();
+            let transfer_s = match locality {
+                Locality::DataLocal => 0.0,
+                Locality::RackLocal => task.input_bytes as f64 / (params.net_mb_s * 1e6),
+                Locality::Remote => task.input_bytes as f64 / (params.cross_rack_mb_s * 1e6),
+            };
+            let body = transfer_s
+                + chaos.slowdown(node, abs_now)
+                    * (task.records as f64 * params.per_record_us * 1e-6
+                        + task.host_secs * params.cpu_scale);
+            let nominal = params.task_startup_s + body;
+            // Injected (FailurePlan) failure: the attempt burns part of
+            // its runtime, occupies the slot for it, and is requeued.
+            if let Some(&fraction) = task.failed_attempts.get(fail_cursor[tid]) {
+                fail_cursor[tid] += 1;
+                let end = (at + params.task_startup_s + fraction * body).min(death[node]);
+                pool.occupy(node, slot, end);
+                report.failed_attempt_s += end - at;
+                node_failures[node] += 1;
+                maybe_blacklist(
+                    node,
+                    &death,
+                    &mut blacklisted,
+                    &node_failures,
+                    chaos,
+                    &pool,
+                    &mut report,
+                );
+                if telemetry.is_enabled() {
+                    telemetry.point(
+                        "sched.map.failed",
+                        end - at,
+                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                    );
+                }
+                pending.push(tid);
+                continue;
+            }
+            task_seq += 1;
+            let dur = straggler_adjusted(params, task_seq, nominal, &mut report);
+            let end = at + dur;
+            if end > death[node] {
+                // The node crashes mid-attempt: the attempt is lost, the
+                // task goes back to the queue for a surviving node.
+                pool.occupy(node, slot, death[node]);
+                report.failed_attempt_s += death[node] - at;
+                report.crash_killed_attempts += 1;
+                if telemetry.is_enabled() {
+                    telemetry.point(
+                        "sched.map.killed",
+                        death[node] - at,
+                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                    );
+                }
+                pending.push(tid);
+                continue;
+            }
+            match locality {
+                Locality::DataLocal => report.data_local += 1,
+                Locality::RackLocal => report.rack_local += 1,
+                Locality::Remote => report.remote += 1,
+            }
+            if failover {
+                report.failed_over_reads += 1;
+            }
+            if telemetry.is_enabled() {
+                telemetry.point(
+                    "sched.map",
+                    dur,
+                    &[
+                        ("task", &tid.to_string()),
+                        ("node", &node.to_string()),
+                        ("locality", locality.as_str()),
+                    ],
+                );
+            }
+            pool.occupy(node, slot, end);
+            completed[tid] = Some((node, end));
+            map_end = map_end.max(end);
         }
-        let nominal = params.task_startup_s
-            + transfer_s
-            + task.records as f64 * params.per_record_us * 1e-6
-            + task.host_secs * params.cpu_scale;
-        task_seq += 1;
-        let dur = straggler_adjusted(params, task_seq, nominal, &mut report);
+        // Barrier check: any node that died strictly before the map
+        // barrier takes its completed map outputs with it — those maps
+        // re-execute on the survivors, Hadoop's jobtracker behavior.
+        let mut requeued = 0usize;
+        for node in 0..n_nodes {
+            if invalidated[node] || death[node] >= map_end {
+                continue;
+            }
+            invalidated[node] = true;
+            for (tid, c) in completed.iter_mut().enumerate() {
+                if matches!(c, Some((n, _)) if *n == node) {
+                    *c = None;
+                    pending.push(tid);
+                    requeued += 1;
+                }
+            }
+        }
+        if requeued == 0 {
+            break;
+        }
+        report.reexecuted_maps += requeued;
         if telemetry.is_enabled() {
-            telemetry.point(
-                "sched.map",
-                dur,
-                &[
-                    ("task", &tid.to_string()),
-                    ("node", &node.to_string()),
-                    ("locality", locality.as_str()),
-                ],
-            );
+            telemetry.point("sched.map.invalidated", requeued as f64, &[]);
         }
-        let end = at + dur;
-        pool.occupy(node, slot, end);
-        map_end = map_end.max(end);
     }
     report.map_phase_s = map_end;
 
@@ -315,15 +548,61 @@ pub fn simulate_with(
         } else {
             0.0
         };
-        for (tid, task) in reduce_tasks.iter().enumerate() {
-            let (node, slot, at) = pool.earliest();
+        let mut pending: std::collections::VecDeque<usize> = (0..reduce_tasks.len()).collect();
+        let mut fail_cursor: Vec<usize> = vec![0; reduce_tasks.len()];
+        while let Some(tid) = pending.pop_front() {
+            let task = &reduce_tasks[tid];
+            let Some((node, slot, at)) = pool.earliest_usable(&death, &blacklisted) else {
+                return Err(SimError::NoLiveNodes);
+            };
             let transfer_s = task.shuffle_bytes as f64 * remote_fraction / (params.net_mb_s * 1e6);
-            let nominal = params.task_startup_s
-                + transfer_s
-                + task.records as f64 * params.per_record_us * 1e-6
-                + task.host_secs * params.cpu_scale;
+            let body = transfer_s
+                + chaos.slowdown(node, start_s + at)
+                    * (task.records as f64 * params.per_record_us * 1e-6
+                        + task.host_secs * params.cpu_scale);
+            let nominal = params.task_startup_s + body;
+            if let Some(&fraction) = task.failed_attempts.get(fail_cursor[tid]) {
+                fail_cursor[tid] += 1;
+                let end = (at + params.task_startup_s + fraction * body).min(death[node]);
+                pool.occupy(node, slot, end);
+                report.failed_attempt_s += end - at;
+                node_failures[node] += 1;
+                maybe_blacklist(
+                    node,
+                    &death,
+                    &mut blacklisted,
+                    &node_failures,
+                    chaos,
+                    &pool,
+                    &mut report,
+                );
+                if telemetry.is_enabled() {
+                    telemetry.point(
+                        "sched.reduce.failed",
+                        end - at,
+                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                    );
+                }
+                pending.push_back(tid);
+                continue;
+            }
             task_seq += 1;
             let dur = straggler_adjusted(params, task_seq, nominal, &mut report);
+            let end = at + dur;
+            if end > death[node] {
+                pool.occupy(node, slot, death[node]);
+                report.failed_attempt_s += death[node] - at;
+                report.crash_killed_attempts += 1;
+                if telemetry.is_enabled() {
+                    telemetry.point(
+                        "sched.reduce.killed",
+                        death[node] - at,
+                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                    );
+                }
+                pending.push_back(tid);
+                continue;
+            }
             if telemetry.is_enabled() {
                 telemetry.point(
                     "sched.reduce",
@@ -331,14 +610,37 @@ pub fn simulate_with(
                     &[("task", &tid.to_string()), ("node", &node.to_string())],
                 );
             }
-            pool.occupy(node, slot, at + dur);
-            reduce_end = reduce_end.max(at + dur);
+            pool.occupy(node, slot, end);
+            reduce_end = reduce_end.max(end);
             report.shuffle_bytes += task.shuffle_bytes;
         }
     }
     report.reduce_phase_s = reduce_end - map_end;
     report.makespan_s = reduce_end + params.job_overhead_s;
-    report
+    Ok(report)
+}
+
+/// Blacklists `node` once it reaches the failure threshold — unless it is
+/// the last node still able to accept work (blacklisting it would wedge
+/// the job; Hadoop likewise keeps limping along on its last tracker).
+fn maybe_blacklist(
+    node: NodeId,
+    death: &[f64],
+    blacklisted: &mut [bool],
+    node_failures: &[u32],
+    chaos: &ChaosPlan,
+    pool: &SlotPool,
+    report: &mut SimReport,
+) {
+    if blacklisted[node] || node_failures[node] < chaos.blacklist_threshold() {
+        return;
+    }
+    let another_usable = (0..death.len())
+        .any(|m| m != node && !blacklisted[m] && pool.free_at[m].iter().any(|&t| t < death[m]));
+    if another_usable {
+        blacklisted[node] = true;
+        report.blacklisted_nodes += 1;
+    }
 }
 
 /// Applies the straggler model to one task's nominal duration.
@@ -380,7 +682,19 @@ mod tests {
             host_secs: secs,
             input_bytes: 64 << 20,
             records: 0,
+            block: 0,
             replicas,
+            corrupted: Vec::new(),
+            failed_attempts: Vec::new(),
+        }
+    }
+
+    fn reduce_task(secs: f64, shuffle_bytes: u64) -> ReduceTaskSim {
+        ReduceTaskSim {
+            host_secs: secs,
+            shuffle_bytes,
+            records: 0,
+            failed_attempts: Vec::new(),
         }
     }
 
@@ -463,11 +777,7 @@ mod tests {
     fn reducers_wait_for_map_phase() {
         let topo = Topology::new(2, 1, 2);
         let maps = vec![map_task(2.0, vec![0]), map_task(1.0, vec![1])];
-        let reduces = vec![ReduceTaskSim {
-            host_secs: 1.0,
-            shuffle_bytes: 0,
-            records: 0,
-        }];
+        let reduces = vec![reduce_task(1.0, 0)];
         let r = simulate(&topo, &SimParams::instant(), &maps, &reduces);
         // map phase = 2 s, reduce = 1 s, strictly sequential phases.
         assert!((r.makespan_s - 3.0).abs() < 1e-9, "{}", r.makespan_s);
@@ -488,11 +798,7 @@ mod tests {
                     ..SimParams::instant()
                 },
                 &maps,
-                &[ReduceTaskSim {
-                    host_secs: 0.0,
-                    shuffle_bytes: bytes,
-                    records: 0,
-                }],
+                &[reduce_task(0.0, bytes)],
             )
         };
         let small = mk(0);
@@ -558,11 +864,7 @@ mod tests {
     fn scheduling_decisions_recorded_with_locality_tags() {
         let topo = Topology::new(2, 2, 1); // 2 nodes, 2 racks
         let tasks = vec![map_task(1.0, vec![0]), map_task(1.0, vec![0])];
-        let reduces = vec![ReduceTaskSim {
-            host_secs: 1.0,
-            shuffle_bytes: 8,
-            records: 0,
-        }];
+        let reduces = vec![reduce_task(1.0, 8)];
         let rec = Recorder::enabled();
         simulate_with(&topo, &SimParams::instant(), &tasks, &reduces, &rec);
         let events = rec.events();
@@ -593,5 +895,258 @@ mod tests {
         };
         let r = simulate(&topo, &p, &[map_task(1.0, vec![0])], &[]);
         assert!((r.makespan_s - 10.0).abs() < 1e-9);
+    }
+
+    // ---- chaos-path tests ----
+
+    /// 1 s per task regardless of host time: see [`SimParams::unit_time`].
+    fn unit() -> SimParams {
+        SimParams::unit_time()
+    }
+
+    fn unit_tasks(n: usize, nodes: usize) -> Vec<MapTaskSim> {
+        (0..n)
+            .map(|i| MapTaskSim {
+                block: i as BlockId,
+                replicas: vec![i % nodes, (i + 1) % nodes],
+                ..map_task(5.0, vec![])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn failed_attempts_charge_virtual_time() {
+        let topo = Topology::new(1, 1, 1);
+        let mut task = map_task(0.0, vec![0]);
+        task.failed_attempts = vec![0.5, 0.5];
+        let clean = simulate(&topo, &unit(), &[map_task(0.0, vec![0])], &[]);
+        let flaky = simulate(&topo, &unit(), &[task], &[]);
+        // Each failed attempt burns the 1 s startup (body is 0 here).
+        assert!((clean.makespan_s - 1.0).abs() < 1e-9);
+        assert!(
+            (flaky.makespan_s - 3.0).abs() < 1e-9,
+            "{}",
+            flaky.makespan_s
+        );
+        assert!((flaky.failed_attempt_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_failed_attempts_charge_too() {
+        let topo = Topology::new(1, 1, 1);
+        let maps = vec![map_task(0.0, vec![0])];
+        let mut red = reduce_task(0.0, 0);
+        red.failed_attempts = vec![0.0];
+        let r = simulate(&topo, &unit(), &maps, &[red]);
+        // 1 s map + 1 s failed reduce startup + 1 s good reduce.
+        assert!((r.makespan_s - 3.0).abs() < 1e-9, "{}", r.makespan_s);
+        assert!(r.failed_attempt_s > 0.0);
+    }
+
+    #[test]
+    fn node_crash_invalidates_completed_maps_and_reexecutes() {
+        let topo = Topology::new(2, 1, 1);
+        // 4 unit tasks over 2 nodes ⇒ map barrier at 2 s without chaos.
+        // Node 0 dies at t=2.5 s... but with reducers pushing the barrier
+        // past it we instead crash it *during* the map phase tail: use 6
+        // tasks (barrier at 3 s) and kill node 0 at 2.5 s — its completed
+        // maps from t<2.5 are re-executed on node 1.
+        let tasks: Vec<MapTaskSim> = (0..6)
+            .map(|i| MapTaskSim {
+                block: i as BlockId,
+                replicas: vec![0, 1],
+                ..map_task(0.0, vec![])
+            })
+            .collect();
+        let chaos = ChaosPlan::none().crash_node(0, 2.5);
+        let r = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos,
+            0.0,
+            &tasks,
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(r.reexecuted_maps >= 2, "{r:?}");
+        // All 6 tasks eventually completed on the surviving node only.
+        let clean = simulate(&topo, &unit(), &tasks, &[]);
+        assert!(r.makespan_s > clean.makespan_s, "{r:?} vs {clean:?}");
+    }
+
+    #[test]
+    fn dead_replicas_fail_over_and_count() {
+        let topo = Topology::new(3, 1, 1);
+        // Task data on nodes 0 and 1; node 0 dead from the start.
+        let mut task = map_task(0.0, vec![0, 1]);
+        task.block = 7;
+        let chaos = ChaosPlan::none().crash_node(0, 0.0);
+        let r = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos,
+            0.0,
+            &[task],
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(r.failed_over_reads, 1, "{r:?}");
+    }
+
+    #[test]
+    fn corrupt_replicas_fail_over_and_count() {
+        let topo = Topology::new(2, 1, 1);
+        let mut task = map_task(0.0, vec![0, 1]);
+        task.block = 3;
+        task.corrupted = vec![true, false];
+        let r = simulate_chaos(
+            &topo,
+            &unit(),
+            &ChaosPlan::none(),
+            0.0,
+            &[task],
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(r.failed_over_reads, 1, "{r:?}");
+    }
+
+    #[test]
+    fn unreadable_block_is_a_typed_error() {
+        let topo = Topology::new(3, 1, 1);
+        let mut task = map_task(0.0, vec![0, 1]);
+        task.block = 9;
+        let chaos = ChaosPlan::none().crash_node(0, 0.0).crash_node(1, 0.0);
+        let err = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos,
+            0.0,
+            &[task],
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::UnreadableBlock(9));
+    }
+
+    #[test]
+    fn all_nodes_dead_is_a_typed_error() {
+        let topo = Topology::new(2, 1, 1);
+        let chaos = ChaosPlan::none().crash_node(0, 0.0).crash_node(1, 0.0);
+        let err = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos,
+            0.0,
+            &unit_tasks(2, 2),
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NoLiveNodes);
+    }
+
+    #[test]
+    fn repeated_failures_blacklist_a_node_but_never_the_last() {
+        let topo = Topology::new(2, 1, 1);
+        // Every task's injected failures would land rotation-fairly on
+        // both nodes; give tasks enough failures to cross the threshold.
+        let mut tasks = unit_tasks(4, 2);
+        for t in &mut tasks {
+            t.failed_attempts = vec![0.0, 0.0];
+        }
+        let chaos = ChaosPlan::none().blacklist_after(2);
+        let r = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos,
+            0.0,
+            &tasks,
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        // One node crosses the threshold and is blacklisted; the other
+        // is the last usable node and must survive to finish the job.
+        assert_eq!(r.blacklisted_nodes, 1, "{r:?}");
+    }
+
+    #[test]
+    fn degraded_node_slows_its_tasks() {
+        let topo = Topology::new(1, 1, 1);
+        let task = map_task(1.0, vec![0]);
+        let p = SimParams::instant();
+        let clean = simulate(&topo, &p, std::slice::from_ref(&task), &[]);
+        let slow = simulate_chaos(
+            &topo,
+            &p,
+            &ChaosPlan::none().degrade_node(0, 0.0, 3.0),
+            0.0,
+            &[task],
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert!((clean.makespan_s - 1.0).abs() < 1e-9);
+        assert!((slow.makespan_s - 3.0).abs() < 1e-9, "{}", slow.makespan_s);
+    }
+
+    #[test]
+    fn start_offset_shifts_crash_times() {
+        let topo = Topology::new(2, 1, 1);
+        let tasks = unit_tasks(4, 2);
+        // Crash at absolute t=1.0; a job starting at t=10 never sees it
+        // as "mid-job" — the node is simply dead from its start.
+        let chaos = ChaosPlan::none().crash_node(0, 1.0);
+        let late = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos,
+            10.0,
+            &tasks,
+            &[],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(late.crash_killed_attempts, 0);
+        assert_eq!(late.reexecuted_maps, 0);
+        // Everything ran on node 1 ⇒ 4 s of serialized unit tasks.
+        assert!((late.map_phase_s - 4.0).abs() < 1e-9, "{late:?}");
+    }
+
+    #[test]
+    fn chaos_replay_is_deterministic() {
+        let topo = Topology::new(3, 2, 2);
+        let tasks = unit_tasks(12, 3);
+        let chaos = || {
+            ChaosPlan::none()
+                .crash_node(1, 2.5)
+                .degrade_node(2, 0.0, 2.0)
+        };
+        let a = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos(),
+            0.0,
+            &tasks,
+            &[reduce_task(0.0, 100)],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        let b = simulate_chaos(
+            &topo,
+            &unit(),
+            &chaos(),
+            0.0,
+            &tasks,
+            &[reduce_task(0.0, 100)],
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -100,6 +100,9 @@ pub struct Cluster {
     pub sim: crate::sim::SimParams,
     /// Failure-injection plan applied to every job.
     pub failures: crate::job::FailurePlan,
+    /// Scripted node/replica chaos plan (crashes, corruption,
+    /// degradation) plus the cluster's shared virtual clock.
+    pub chaos: crate::chaos::ChaosPlan,
 }
 
 impl Cluster {
@@ -110,6 +113,7 @@ impl Cluster {
             topology: Topology::parapluie(),
             sim: crate::sim::SimParams::parapluie(),
             failures: crate::job::FailurePlan::none(),
+            chaos: crate::chaos::ChaosPlan::none(),
         }
     }
 
@@ -120,12 +124,19 @@ impl Cluster {
             topology: Topology::new(nodes.max(1), 1, slots.max(1)),
             sim: crate::sim::SimParams::instant(),
             failures: crate::job::FailurePlan::none(),
+            chaos: crate::chaos::ChaosPlan::none(),
         }
     }
 
     /// Replaces the failure plan (builder style).
     pub fn with_failures(mut self, failures: crate::job::FailurePlan) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Replaces the chaos plan (builder style).
+    pub fn with_chaos(mut self, chaos: crate::chaos::ChaosPlan) -> Self {
+        self.chaos = chaos;
         self
     }
 }

@@ -5,6 +5,7 @@
 
 use gepeto_mapred::{
     Cluster, Combiner, Dfs, Emitter, FailurePlan, FnMapper, MapOnlyJob, MapReduceJob, Reducer,
+    Topology,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -149,5 +150,38 @@ proptest! {
         let want = n.div_ceil(per_chunk);
         prop_assert_eq!(dfs.num_blocks("f").unwrap(), want);
         prop_assert_eq!(dfs.read("f").unwrap().len(), n);
+    }
+
+    // The documented contract of `Dfs::place_replicas`: the effective
+    // factor is clamped to the node count, the returned nodes are always
+    // pairwise distinct, and a factor ≥ 3 on a multi-rack topology spans
+    // at least two racks.
+    #[test]
+    fn replica_placement_is_clamped_distinct_and_rack_diverse(
+        nodes in 1usize..12,
+        racks in 1usize..5,
+        replication in 1usize..6,
+        chunk_index in 0usize..40,
+        file_tag in 0u64..1000,
+    ) {
+        let topo = Topology::new(nodes, racks.min(nodes), 2);
+        let dfs: Dfs<u64> = Dfs::new(topo.clone(), 64, replication);
+        let file = format!("f{file_tag}");
+        let replicas = dfs.place_replicas(&file, chunk_index);
+        prop_assert_eq!(replicas.len(), replication.min(nodes));
+        let mut uniq = replicas.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), replicas.len(), "duplicate datanode in {:?}", &replicas);
+        prop_assert!(replicas.iter().all(|&n| n < nodes));
+        if replication.min(nodes) >= 3 && topo.num_racks() >= 2 {
+            let rack_count = {
+                let mut rs: Vec<_> = replicas.iter().map(|&n| topo.rack_of(n)).collect();
+                rs.sort_unstable();
+                rs.dedup();
+                rs.len()
+            };
+            prop_assert!(rack_count >= 2, "replicas {:?} all on one rack", &replicas);
+        }
     }
 }

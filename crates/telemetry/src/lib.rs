@@ -49,7 +49,9 @@ pub use event::{Event, EventKind};
 pub use histogram::Histogram;
 pub use json::{event_to_json, write_jsonl};
 pub use summary::{
-    PhaseStat, Straggler, SummaryReport, TaskStats, SHUFFLE_BYTES_COUNTER, TASK_RETRIES_COUNTER,
+    PhaseStat, Straggler, SummaryReport, TaskStats, BLACKLISTED_NODES_COUNTER,
+    FAILED_OVER_READS_COUNTER, REEXECUTED_MAPS_COUNTER, SHUFFLE_BYTES_COUNTER,
+    TASK_RETRIES_COUNTER,
 };
 
 use parking_lot::Mutex;

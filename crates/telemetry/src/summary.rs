@@ -11,6 +11,15 @@ use std::fmt::Write as _;
 pub const SHUFFLE_BYTES_COUNTER: &str = "mapred.shuffle.bytes";
 /// Counter name the engine uses for task retries.
 pub const TASK_RETRIES_COUNTER: &str = "mapred.task.retries";
+/// Counter name the engine uses for map tasks re-executed because their
+/// node crashed after they completed (their local outputs were lost).
+pub const REEXECUTED_MAPS_COUNTER: &str = "mapred.maps.reexecuted";
+/// Counter name the engine uses for chunk reads that failed over past a
+/// dead or corrupt replica.
+pub const FAILED_OVER_READS_COUNTER: &str = "dfs.reads.failed_over";
+/// Counter name the engine uses for nodes blacklisted by the jobtracker
+/// after repeated task failures.
+pub const BLACKLISTED_NODES_COUNTER: &str = "mapred.nodes.blacklisted";
 
 /// Wall time attributed to one phase (summed across repeats, e.g.
 /// k-means iterations each contributing a map phase).
@@ -63,6 +72,12 @@ pub struct SummaryReport {
     pub stragglers: Vec<Straggler>,
     /// Total task retries.
     pub retries: u64,
+    /// Map tasks re-executed after losing their outputs to a node crash.
+    pub reexecuted_maps: u64,
+    /// Chunk reads that failed over past a dead or corrupt replica.
+    pub failed_over_reads: u64,
+    /// Nodes blacklisted by the jobtracker.
+    pub blacklisted_nodes: u64,
     /// Total shuffled bytes, when the engine reported them.
     pub shuffle_bytes: Option<u64>,
     /// Every counter, sorted by name.
@@ -162,6 +177,9 @@ impl SummaryReport {
             tasks,
             stragglers,
             retries: counter(TASK_RETRIES_COUNTER).unwrap_or(0).max(retry_points),
+            reexecuted_maps: counter(REEXECUTED_MAPS_COUNTER).unwrap_or(0),
+            failed_over_reads: counter(FAILED_OVER_READS_COUNTER).unwrap_or(0),
+            blacklisted_nodes: counter(BLACKLISTED_NODES_COUNTER).unwrap_or(0),
             shuffle_bytes: counter(SHUFFLE_BYTES_COUNTER),
             counters: counters.to_vec(),
         }
@@ -216,6 +234,13 @@ impl SummaryReport {
             }
         }
         let _ = writeln!(out, "retries: {}", self.retries);
+        if self.reexecuted_maps > 0 || self.failed_over_reads > 0 || self.blacklisted_nodes > 0 {
+            let _ = writeln!(
+                out,
+                "recovery: {} reexecuted maps, {} failed-over reads, {} blacklisted nodes",
+                self.reexecuted_maps, self.failed_over_reads, self.blacklisted_nodes
+            );
+        }
         if let Some(bytes) = self.shuffle_bytes {
             let _ = writeln!(out, "shuffle bytes: {bytes}");
         }

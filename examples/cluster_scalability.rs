@@ -38,6 +38,7 @@ fn main() {
                 topology: Topology::new(nodes, 2.min(nodes), 4),
                 sim: SimParams::parapluie(),
                 failures: gepeto_mapred::FailurePlan::none(),
+                chaos: gepeto_mapred::ChaosPlan::none(),
             };
             let mut dfs = gepeto::dfs_io::trace_dfs(&cluster, chunk_kb * 1024);
             gepeto::dfs_io::put_dataset(&mut dfs, "pts", &dataset).unwrap();

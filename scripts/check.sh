@@ -14,4 +14,7 @@ echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== chaos smoke: fault-injection suite =="
+cargo test -q --test chaos
+
 echo "All checks passed."

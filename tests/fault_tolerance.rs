@@ -4,7 +4,7 @@
 //! and handling failures" role, §III).
 
 use gepeto::prelude::*;
-use gepeto_mapred::FailurePlan;
+use gepeto_mapred::{FailurePlan, SimParams};
 
 fn dataset() -> Dataset {
     SyntheticGeoLife::new(GeneratorConfig {
@@ -91,6 +91,52 @@ fn djcluster_survives_failures_unchanged() {
         )
     };
     assert_eq!(run(&clean), run(&flaky));
+}
+
+#[test]
+fn injected_failures_charge_virtual_time_and_move_the_makespan() {
+    // Under unit-time sim parameters every attempt costs exactly 1
+    // virtual second, so the makespan comparison is deterministic: the
+    // flaky cluster must replay strictly slower because each failed
+    // attempt charges a partial task body before the re-run.
+    let ds = dataset();
+    let mut clean = Cluster::local(3, 2);
+    clean.sim = SimParams::unit_time();
+    let flaky = clean.clone().with_failures(FailurePlan {
+        map_fail_prob: 0.3,
+        reduce_fail_prob: 0.3,
+        seed: 99,
+        max_attempts: 200,
+    });
+    let cfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToMiddle);
+    let run = |cluster: &Cluster| {
+        let mut dfs = gepeto::dfs_io::trace_dfs(cluster, 32 * 1024);
+        gepeto::dfs_io::put_dataset(&mut dfs, "d", &ds).unwrap();
+        sampling::mapreduce_sample(cluster, &dfs, "d", &cfg).unwrap()
+    };
+    let (a, clean_stats) = run(&clean);
+    let (b, flaky_stats) = run(&flaky);
+    assert_eq!(a, b, "failures must never change the output");
+    assert!(flaky_stats.retries > 0);
+    assert_eq!(
+        flaky_stats.retries,
+        flaky_stats
+            .counters
+            .get("mapred.task.retries")
+            .copied()
+            .unwrap_or(0),
+        "JobStats.retries must mirror the builtin counter"
+    );
+    assert!(
+        flaky_stats.sim.failed_attempt_s > 0.0,
+        "failed attempts must charge virtual runtime"
+    );
+    assert!(
+        flaky_stats.sim.makespan_s > clean_stats.sim.makespan_s,
+        "failures must move the makespan: flaky {} vs clean {}",
+        flaky_stats.sim.makespan_s,
+        clean_stats.sim.makespan_s
+    );
 }
 
 #[test]
