@@ -1,0 +1,195 @@
+//! `gepeto-bench` — the machine-readable perf-regression harness.
+//!
+//! ```text
+//! # run the paper's three workloads, write BENCH_<workload>.json
+//! cargo run --release -p gepeto-bench --bin gepeto-bench -- run --out-dir bench-out
+//! GEPETO_SCALE=0.01 gepeto-bench run --workload kmeans --out-dir bench-out
+//!
+//! # diff two captures; exits 1 when a cost metric regressed > threshold
+//! gepeto-bench compare baseline/BENCH_kmeans.json bench-out/BENCH_kmeans.json
+//! gepeto-bench compare old.json new.json --threshold 10
+//!
+//! # schema-check files without running anything
+//! gepeto-bench validate bench-out/BENCH_sampling.json
+//! ```
+//!
+//! Cluster times in the reports are virtual Parapluie-profile replays
+//! (see DESIGN.md §6); `wall_ms` is the real host time and is the only
+//! machine-dependent metric — compare it across runs of the same box.
+
+use gepeto_bench::report::{compare, BenchReport};
+use gepeto_bench::workloads::{run_workload, BenchConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const WORKLOADS: [&str; 3] = ["sampling", "kmeans", "djcluster"];
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("run") => cmd_run(&argv[1..]),
+        Some("compare") => cmd_compare(&argv[1..]),
+        Some("validate") => cmd_validate(&argv[1..]),
+        Some("--help") | Some("help") | None => {
+            eprintln!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("gepeto-bench: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gepeto-bench run [--workload all|sampling|kmeans|djcluster]
+                   [--users N] [--k N] [--max-iter N] [--out-dir DIR]
+  gepeto-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
+  gepeto-bench validate FILE.json...
+
+run writes BENCH_<workload>.json per workload (scale from GEPETO_SCALE);
+compare exits 1 when any cost metric grew more than PCT percent (default 5);
+validate exits 1 when a file does not parse as the bench schema.";
+
+/// Parsed `--key value` flags, in order of appearance.
+type Flags = Vec<(String, String)>;
+
+/// Splits `argv` into positionals and `--key value` flags (a trailing
+/// or flag-followed `--key` stores `"true"`).
+fn split_args(argv: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut positionals = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if let Some(key) = argv[i].strip_prefix("--") {
+            match argv.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    flags.push((key.to_string(), value.clone()));
+                    i += 2;
+                }
+                _ => {
+                    flags.push((key.to_string(), "true".to_string()));
+                    i += 1;
+                }
+            }
+        } else {
+            positionals.push(argv[i].clone());
+            i += 1;
+        }
+    }
+    Ok((positionals, flags))
+}
+
+fn flag<'a>(flags: &'a Flags, key: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn flag_or<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flag(flags, key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("flag --{key}: cannot parse '{raw}'")),
+    }
+}
+
+fn cmd_run(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, flags) = split_args(argv)?;
+    if let Some(extra) = positionals.first() {
+        return Err(format!("run takes no positional argument '{extra}'"));
+    }
+    let mut cfg = BenchConfig::at_scale(gepeto_bench::scale());
+    cfg.users = flag_or(&flags, "users", cfg.users)?;
+    cfg.k = flag_or(&flags, "k", cfg.k)?;
+    cfg.max_iterations = flag_or(&flags, "max-iter", cfg.max_iterations)?;
+    let out_dir = PathBuf::from(flag(&flags, "out-dir").unwrap_or("."));
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+
+    let selected = flag(&flags, "workload").unwrap_or("all");
+    let workloads: Vec<&str> = if selected == "all" {
+        WORKLOADS.to_vec()
+    } else if WORKLOADS.contains(&selected) {
+        vec![selected]
+    } else {
+        return Err(format!("unknown workload '{selected}'"));
+    };
+
+    println!(
+        "gepeto-bench | scale = {} | users = {} | out = {}",
+        cfg.scale,
+        cfg.users,
+        out_dir.display()
+    );
+    for workload in workloads {
+        let report = run_workload(workload, &cfg)?;
+        let path = out_dir.join(format!("BENCH_{workload}.json"));
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "{workload:>10}: {} jobs, {} map + {} reduce tasks, \
+             virtual makespan {:.1}s, host {}ms -> {}",
+            report.jobs,
+            report.map_tasks,
+            report.reduce_tasks,
+            report.makespan_s,
+            report.wall_ms,
+            path.display()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, flags) = split_args(argv)?;
+    let [baseline_path, candidate_path] = positionals.as_slice() else {
+        return Err("compare needs exactly two files: BASELINE.json CANDIDATE.json".to_string());
+    };
+    let threshold_pct: f64 = flag_or(&flags, "threshold", 5.0)?;
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    let cmp = compare(&baseline, &candidate, threshold_pct);
+    println!(
+        "compare {} ({}) -> {} ({}), threshold {threshold_pct:.1}%",
+        baseline_path, baseline.workload, candidate_path, candidate.workload
+    );
+    print!("{}", cmp.render(threshold_pct));
+    if cmp.regressions.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("{} metric(s) regressed", cmp.regressions.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_validate(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, _flags) = split_args(argv)?;
+    if positionals.is_empty() {
+        return Err("validate needs at least one file".to_string());
+    }
+    let mut failures = 0usize;
+    for path in &positionals {
+        match load(path) {
+            Ok(report) => println!("{path}: ok ({}, schema {})", report.workload, report.schema),
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

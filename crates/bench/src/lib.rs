@@ -9,6 +9,10 @@
 //! *and* chunk sizes are multiplied by it, so chunk counts — and thus
 //! map-task counts — match the paper's proportions at any scale.
 
+pub mod json;
+pub mod report;
+pub mod workloads;
+
 use gepeto::prelude::*;
 use parking_lot::Mutex;
 use std::collections::HashMap;

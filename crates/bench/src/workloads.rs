@@ -1,0 +1,203 @@
+//! The paper's three workloads, instrumented for `gepeto-bench`.
+//!
+//! Each run builds the synthetic GeoLife-calibrated dataset, loads it
+//! into a fresh DFS on the virtual Parapluie cluster, executes the
+//! workload with an enabled telemetry [`Recorder`], and folds the job
+//! statistics plus the captured trace into a [`BenchReport`].
+
+use crate::report::BenchReport;
+use crate::{convergence_delta_for, dataset, parapluie};
+use gepeto::prelude::*;
+use gepeto_geo::DistanceMetric;
+use gepeto_mapred::JobStats;
+use gepeto_telemetry::Recorder;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Knobs of one bench invocation; env-independent so tests can pin the
+/// shape without mutating `GEPETO_SCALE`.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Users in the synthetic dataset (the paper's full cut is 178).
+    pub users: usize,
+    /// Dataset/chunk scale factor.
+    pub scale: f64,
+    /// k-means cluster count (the paper uses 11).
+    pub k: usize,
+    /// k-means iteration cap — kept small so a bench run is bounded
+    /// even when the convergence delta is not reached.
+    pub max_iterations: usize,
+    /// Unscaled DFS chunk size in MB (the paper's HDFS block is 64 MB).
+    pub chunk_mb: usize,
+}
+
+impl BenchConfig {
+    /// The defaults at a given scale: the paper's full 178-user cut.
+    pub fn at_scale(scale: f64) -> Self {
+        Self {
+            users: 178,
+            scale,
+            k: 11,
+            max_iterations: 8,
+            chunk_mb: 64,
+        }
+    }
+
+    fn chunk_bytes(&self) -> usize {
+        ((self.chunk_mb as f64 * 1e6 * self.scale) as usize).max(4 * 1024)
+    }
+
+    fn setup(&self) -> (Arc<Dataset>, Cluster, Dfs<MobilityTrace>) {
+        let ds = dataset(self.users, self.scale);
+        let cluster = parapluie();
+        let mut dfs = gepeto::dfs_io::trace_dfs(&cluster, self.chunk_bytes());
+        gepeto::dfs_io::put_dataset(&mut dfs, "input", &ds).unwrap();
+        (ds, cluster, dfs)
+    }
+}
+
+/// Runs one workload by name (`sampling`, `kmeans`, `djcluster`).
+pub fn run_workload(name: &str, cfg: &BenchConfig) -> Result<BenchReport, String> {
+    match name {
+        "sampling" => run_sampling(cfg),
+        "kmeans" => run_kmeans(cfg),
+        "djcluster" => run_djcluster(cfg),
+        other => Err(format!(
+            "unknown workload '{other}' (expected sampling, kmeans or djcluster)"
+        )),
+    }
+}
+
+/// Workload 1: distributed sampling, 1-minute window, closest-to-upper.
+pub fn run_sampling(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let (_ds, cluster, dfs) = cfg.setup();
+    let scfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToUpperLimit);
+    let telemetry = Recorder::enabled();
+    let started = Instant::now();
+    let (_sampled, stats) =
+        sampling::mapreduce_sample_with(&cluster, &dfs, "input", &scfg, &telemetry)
+            .map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_millis() as u64;
+    Ok(BenchReport::from_run(
+        "sampling",
+        cfg.scale,
+        cfg.users,
+        wall_ms,
+        &[&stats],
+        &telemetry,
+    ))
+}
+
+/// Workload 2: iterative k-means (k = 11, squared Euclidean).
+pub fn run_kmeans(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let (_ds, cluster, dfs) = cfg.setup();
+    let metric = DistanceMetric::SquaredEuclidean;
+    let kcfg = kmeans::KMeansConfig {
+        max_iterations: cfg.max_iterations,
+        convergence_delta: convergence_delta_for(metric),
+        k: cfg.k,
+        ..kmeans::KMeansConfig::paper(metric)
+    };
+    let telemetry = Recorder::enabled();
+    let started = Instant::now();
+    let result = kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &kcfg, &telemetry)
+        .map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let jobs: Vec<&JobStats> = result.per_iteration.iter().map(|it| &it.job).collect();
+    Ok(BenchReport::from_run(
+        "kmeans", cfg.scale, cfg.users, wall_ms, &jobs, &telemetry,
+    ))
+}
+
+/// Workload 3: the full DJ-Cluster pipeline — sampling, preprocessing
+/// (speed filter + dedup), MapReduce R-tree build, clustering — as the
+/// CLI runs it.
+pub fn run_djcluster(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let (_ds, cluster, mut dfs) = cfg.setup();
+    let scfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToUpperLimit);
+    let dj = djcluster::DjConfig::default();
+    let rtree_cfg = gepeto::rtree_build::RTreeBuildConfig::default();
+    let telemetry = Recorder::enabled();
+    let started = Instant::now();
+    let sample_stats =
+        sampling::mapreduce_sample_to_dfs(&cluster, &mut dfs, "input", "sampled", &scfg)
+            .map_err(|e| e.to_string())?;
+    let (_clustering, pre, stats) = djcluster::mapreduce_djcluster_full_with(
+        &cluster,
+        &mut dfs,
+        "sampled",
+        &dj,
+        Some(&rtree_cfg),
+        &telemetry,
+    )
+    .map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let mut jobs: Vec<&JobStats> = vec![&sample_stats];
+    jobs.extend(pre.jobs.stages());
+    jobs.push(&stats.cluster_job);
+    Ok(BenchReport::from_run(
+        "djcluster",
+        cfg.scale,
+        cfg.users,
+        wall_ms,
+        &jobs,
+        &telemetry,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{compare, BenchReport, SCHEMA};
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            users: 3,
+            scale: 0.002,
+            k: 3,
+            max_iterations: 2,
+            chunk_mb: 64,
+        }
+    }
+
+    #[test]
+    fn sampling_report_is_valid_and_self_compares_clean() {
+        let report = run_sampling(&tiny()).unwrap();
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.workload, "sampling");
+        assert_eq!(report.jobs, 1);
+        assert!(report.map_tasks >= 1);
+        assert!(report.makespan_s > 0.0, "Parapluie replay must take time");
+        assert!(!report.tasks.is_empty(), "task quantiles missing");
+        assert!(
+            !report.critical_path.is_empty(),
+            "virtual critical path missing"
+        );
+        let share: f64 = report.critical_path.iter().map(|p| p.share).sum();
+        assert!((share - 1.0).abs() < 1e-6, "phase shares sum to {share}");
+
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        let cmp = compare(&report, &back, 1.0);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.notes.is_empty());
+    }
+
+    #[test]
+    fn kmeans_report_counts_one_job_per_iteration() {
+        let report = run_kmeans(&tiny()).unwrap();
+        assert_eq!(report.workload, "kmeans");
+        assert!(report.jobs >= 1 && report.jobs <= 2);
+        assert!(report.reduce_tasks > 0, "k-means jobs have reducers");
+    }
+
+    #[test]
+    fn djcluster_report_spans_the_whole_pipeline() {
+        let report = run_djcluster(&tiny()).unwrap();
+        assert_eq!(report.workload, "djcluster");
+        assert!(
+            report.jobs >= 4,
+            "sampling + 2 preprocess + rtree + cluster jobs, got {}",
+            report.jobs
+        );
+    }
+}

@@ -10,7 +10,9 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `--key value` pairs (also accepts `--key=value`).
+    /// Parses `--key value` pairs (also accepts `--key=value`). A flag
+    /// followed by another flag or by nothing is a boolean switch and
+    /// stores `"true"` (`--summary`, `--explain`).
     pub fn parse(argv: &[String]) -> Result<Self, String> {
         let mut flags = BTreeMap::new();
         let mut i = 0;
@@ -23,11 +25,16 @@ impl Args {
                 flags.insert(k.to_string(), v.to_string());
                 i += 1;
             } else {
-                let value = argv
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{key} is missing its value"))?;
-                flags.insert(key.to_string(), value.clone());
-                i += 2;
+                match argv.get(i + 1) {
+                    Some(value) if !value.starts_with("--") => {
+                        flags.insert(key.to_string(), value.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        flags.insert(key.to_string(), "true".to_string());
+                        i += 1;
+                    }
+                }
             }
         }
         Ok(Self { flags })
@@ -36,6 +43,11 @@ impl Args {
     /// Raw string value.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean switch is set (`--flag` or `--flag=true`).
+    pub fn get_flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1"))
     }
 
     /// Typed value with a default; errors on malformed input.
@@ -77,8 +89,20 @@ mod tests {
     }
 
     #[test]
-    fn rejects_missing_value() {
-        assert!(Args::parse(&argv("--k")).is_err());
+    fn bare_flags_are_boolean_switches() {
+        let a = Args::parse(&argv("--summary --k 3 --explain")).unwrap();
+        assert!(a.get_flag("summary"));
+        assert!(a.get_flag("explain"));
+        assert!(!a.get_flag("metrics-out"));
+        assert_eq!(a.get_or("k", 0usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn equals_form_sets_boolean_switches_too() {
+        let a = Args::parse(&argv("--summary=true --verbose=1 --quiet=false")).unwrap();
+        assert!(a.get_flag("summary"));
+        assert!(a.get_flag("verbose"));
+        assert!(!a.get_flag("quiet"));
     }
 
     #[test]

@@ -41,9 +41,12 @@ COMMANDS:
     help        This text
 
 Shared dataset flags: --users, --scale, --seed.
-Observability: sample, kmeans and djcluster accept --metrics-out PATH.jsonl
-to dump the telemetry event stream (phase spans, per-task durations with
-locality tags, counters) as JSON Lines and print a run summary table.
+Observability (sample, kmeans, djcluster): --metrics-out PATH.jsonl dumps
+the telemetry event stream (phase spans, per-task durations with locality
+tags, counters) as JSON Lines and prints a run summary table; --summary
+prints the summary table to stderr; --explain prints the critical-path
+report (host span chain + virtual-cluster makespan attribution) and the
+per-node ASCII Gantt timeline to stderr.
 Fault injection (sample, kmeans, djcluster): --crash N@T[,N@T...] kills
 node N at virtual second T; --degrade N@T@FACTOR[,...] slows node N by
 FACTOR from virtual second T. --driver-retries N (0) with
@@ -125,28 +128,42 @@ fn dfs_with(args: &Args, cluster: &Cluster, ds: &Dataset) -> Result<Dfs<Mobility
     Ok(dfs)
 }
 
-/// Builds the run's [`Recorder`]: recording when `--metrics-out` is
-/// given, a no-op handle otherwise.
+/// Builds the run's [`Recorder`]: recording when any observability flag
+/// (`--metrics-out`, `--summary`, `--explain`) is given, a no-op handle
+/// otherwise.
 fn recorder_from(args: &Args) -> Recorder {
-    if args.get("metrics-out").is_some() {
+    if args.get("metrics-out").is_some() || args.get_flag("summary") || args.get_flag("explain") {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     }
 }
 
-/// Writes the JSONL event stream and prints the summary table when
-/// `--metrics-out` was given; does nothing otherwise.
+/// Emits the run's observability outputs: the JSONL event stream plus a
+/// summary table for `--metrics-out`, the summary table on stderr for
+/// `--summary`, and the critical-path + timeline reports on stderr for
+/// `--explain`.
 fn finish_metrics(args: &Args, rec: &Recorder) -> Result<(), String> {
-    let Some(path) = args.get("metrics-out") else {
-        return Ok(());
-    };
-    let file = std::fs::File::create(path).map_err(|e| format!("--metrics-out {path}: {e}"))?;
-    let mut writer = std::io::BufWriter::new(file);
-    rec.write_jsonl(&mut writer)
-        .map_err(|e| format!("--metrics-out {path}: {e}"))?;
-    println!("\n{}", rec.summary().render());
-    println!("telemetry: {} events written to {path}", rec.events().len());
+    if let Some(path) = args.get("metrics-out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        let mut writer = std::io::BufWriter::new(file);
+        rec.write_jsonl(&mut writer)
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!("\n{}", rec.summary().render());
+        println!("telemetry: {} events written to {path}", rec.events().len());
+    }
+    if args.get_flag("summary") {
+        eprintln!("{}", rec.summary().render());
+    }
+    if args.get_flag("explain") {
+        eprint!("{}", rec.critical_path().render());
+        if let Some(vcp) = rec.virtual_critical_path() {
+            eprint!("{}", vcp.render());
+        }
+        if let Some(timeline) = rec.timeline() {
+            eprint!("{}", timeline.render());
+        }
+    }
     Ok(())
 }
 
@@ -678,6 +695,19 @@ mod tests {
         assert!(body.contains("phase.map"));
         assert!(body.contains("locality"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn summary_and_explain_flags_run() {
+        assert!(sample(&args("--users 2 --scale 0.002 --summary")).is_ok());
+        assert!(kmeans(&args(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --explain --crash 1@3"
+        ))
+        .is_ok());
+        assert!(djcluster(&args(
+            "--users 2 --scale 0.002 --mr-rtree false --summary --explain"
+        ))
+        .is_ok());
     }
 
     #[test]

@@ -602,7 +602,7 @@ pub fn mapreduce_djcluster_with(
 ) -> Result<(Clustering, DjClusterStats), JobError> {
     let span = telemetry.span("djcluster.cluster", &[("input", input)]);
     let (rtree, rtree_report) = {
-        let _rtree_span = span.child("djcluster.rtree", &[]);
+        let _rtree_span = telemetry.span("djcluster.rtree", &[]);
         match rtree_cfg {
             Some(rc) => {
                 let (t, r) = mapreduce_build_rtree(cluster, dfs, input, rc)?;
@@ -678,7 +678,7 @@ pub fn mapreduce_djcluster_resilient(
 ) -> Result<(Clustering, DjClusterStats, u64), JobError> {
     let span = telemetry.span("djcluster.cluster", &[("input", input)]);
     let (rtree, rtree_report) = {
-        let _rtree_span = span.child("djcluster.rtree", &[]);
+        let _rtree_span = telemetry.span("djcluster.rtree", &[]);
         match rtree_cfg {
             Some(rc) => {
                 let (t, r) = mapreduce_build_rtree(cluster, dfs, input, rc)?;

@@ -427,7 +427,10 @@ pub fn mapreduce_kmeans_with(
     let mut iterations = 0;
 
     while iterations < cfg.max_iterations {
-        let iter_span = run_span.child(
+        // `span()` (not `run_span.child()`) so the iteration enters the
+        // recorder's context stack and the iteration's job span nests
+        // under it on the critical path.
+        let iter_span = telemetry.span(
             "kmeans.iteration",
             &[("iter", &(iterations + 1).to_string())],
         );

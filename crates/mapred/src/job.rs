@@ -607,6 +607,10 @@ fn failed_attempt_fraction(
 /// Folds the sim report's recovery tallies into the job counters,
 /// mirrors everything into telemetry, and assembles the final
 /// [`JobStats`].
+///
+/// The counters are the single source of truth: the sim's recovery
+/// tallies are folded in once, and every `JobStats` mirror field is then
+/// read back from the same snapshot — the two views cannot drift.
 fn finish_stats(
     name: String,
     map_tasks: usize,
@@ -616,14 +620,14 @@ fn finish_stats(
     counters: &Counters,
     telemetry: &Recorder,
 ) -> JobStats {
-    if sim.reexecuted_maps > 0 {
-        counters.inc(builtin::REEXECUTED_MAPS, sim.reexecuted_maps as u64);
-    }
-    if sim.failed_over_reads > 0 {
-        counters.inc(builtin::FAILED_OVER_READS, sim.failed_over_reads as u64);
-    }
-    if sim.blacklisted_nodes > 0 {
-        counters.inc(builtin::BLACKLISTED_NODES, sim.blacklisted_nodes as u64);
+    for (counter, tally) in [
+        (builtin::REEXECUTED_MAPS, sim.reexecuted_maps),
+        (builtin::FAILED_OVER_READS, sim.failed_over_reads),
+        (builtin::BLACKLISTED_NODES, sim.blacklisted_nodes),
+    ] {
+        if tally > 0 {
+            counters.inc(counter, tally as u64);
+        }
     }
     let counters_snapshot = counters.snapshot();
     if telemetry.is_enabled() {
@@ -631,18 +635,16 @@ fn finish_stats(
             telemetry.count(k, v);
         }
     }
+    let mirror = |name: &str| counters_snapshot.get(name).copied().unwrap_or(0);
     JobStats {
         name,
         map_tasks,
         reduce_tasks,
         real_elapsed,
-        retries: counters_snapshot
-            .get(builtin::TASK_RETRIES)
-            .copied()
-            .unwrap_or(0),
-        reexecuted_maps: sim.reexecuted_maps as u64,
-        failed_over_reads: sim.failed_over_reads as u64,
-        blacklisted_nodes: sim.blacklisted_nodes as u64,
+        retries: mirror(builtin::TASK_RETRIES),
+        reexecuted_maps: mirror(builtin::REEXECUTED_MAPS),
+        failed_over_reads: mirror(builtin::FAILED_OVER_READS),
+        blacklisted_nodes: mirror(builtin::BLACKLISTED_NODES),
         sim,
         counters: counters_snapshot,
     }

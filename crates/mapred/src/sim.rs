@@ -19,7 +19,7 @@
 //!   the jobtracker blacklisting nodes after repeated task failures —
 //!   with every failed or re-executed attempt charged to the makespan.
 
-use crate::chaos::ChaosPlan;
+use crate::chaos::{ChaosEvent, ChaosPlan};
 use crate::dfs::BlockId;
 use crate::topology::{NodeId, Topology};
 use gepeto_telemetry::Recorder;
@@ -366,6 +366,34 @@ pub fn simulate_chaos(
     let mut node_failures = vec![0u32; n_nodes];
     let mut task_seq = 0usize;
 
+    // Scripted chaos, projected onto this job's local timeline, is
+    // announced up front so the timeline/Gantt layer can overlay the
+    // annotations without re-deriving them from the plan.
+    if telemetry.is_enabled() {
+        for (node, &d) in death.iter().enumerate() {
+            if d.is_finite() {
+                telemetry.point("chaos.crash", d, &[("node", &node.to_string())]);
+            }
+        }
+        for ev in chaos.events() {
+            if let ChaosEvent::DegradeNode {
+                node,
+                at_s,
+                slowdown,
+            } = ev
+            {
+                telemetry.point(
+                    "chaos.degrade",
+                    at_s - start_s,
+                    &[
+                        ("node", &node.to_string()),
+                        ("factor", &slowdown.to_string()),
+                    ],
+                );
+            }
+        }
+    }
+
     // ---- map wave(s): schedule until done, re-executing maps whose
     // node died before the barrier (their outputs lived on local disk,
     // as in Hadoop). ----
@@ -374,6 +402,10 @@ pub fn simulate_chaos(
     // Remaining injected-failure charges per task (consumed front-first).
     let mut fail_cursor: Vec<usize> = vec![0; map_tasks.len()];
     let mut completed: Vec<Option<(NodeId, f64)>> = vec![None; map_tasks.len()];
+    // Tasks whose completed output was lost to a crash: their next
+    // successful run is tagged `reexec` so trace analysis can attribute
+    // the makespan delta to re-executed work.
+    let mut lost_output: Vec<bool> = vec![false; map_tasks.len()];
     let mut invalidated = vec![false; n_nodes];
     let mut map_end: f64 = 0.0;
     loop {
@@ -452,12 +484,18 @@ pub fn simulate_chaos(
                     chaos,
                     &pool,
                     &mut report,
+                    telemetry,
+                    end,
                 );
                 if telemetry.is_enabled() {
                     telemetry.point(
                         "sched.map.failed",
                         end - at,
-                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                        &[
+                            ("task", &tid.to_string()),
+                            ("node", &node.to_string()),
+                            ("start", &fmt_secs(at)),
+                        ],
                     );
                 }
                 pending.push(tid);
@@ -476,7 +514,11 @@ pub fn simulate_chaos(
                     telemetry.point(
                         "sched.map.killed",
                         death[node] - at,
-                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                        &[
+                            ("task", &tid.to_string()),
+                            ("node", &node.to_string()),
+                            ("start", &fmt_secs(at)),
+                        ],
                     );
                 }
                 pending.push(tid);
@@ -491,15 +533,22 @@ pub fn simulate_chaos(
                 report.failed_over_reads += 1;
             }
             if telemetry.is_enabled() {
-                telemetry.point(
-                    "sched.map",
-                    dur,
-                    &[
-                        ("task", &tid.to_string()),
-                        ("node", &node.to_string()),
-                        ("locality", locality.as_str()),
-                    ],
-                );
+                let task_label = tid.to_string();
+                let node_label = node.to_string();
+                let start_label = fmt_secs(at);
+                let mut labels: Vec<(&str, &str)> = vec![
+                    ("task", &task_label),
+                    ("node", &node_label),
+                    ("locality", locality.as_str()),
+                    ("start", &start_label),
+                ];
+                if lost_output[tid] {
+                    labels.push(("reexec", "1"));
+                }
+                if failover {
+                    labels.push(("failover", "1"));
+                }
+                telemetry.point("sched.map", dur, &labels);
             }
             pool.occupy(node, slot, end);
             completed[tid] = Some((node, end));
@@ -517,6 +566,7 @@ pub fn simulate_chaos(
             for (tid, c) in completed.iter_mut().enumerate() {
                 if matches!(c, Some((n, _)) if *n == node) {
                     *c = None;
+                    lost_output[tid] = true;
                     pending.push(tid);
                     requeued += 1;
                 }
@@ -575,12 +625,18 @@ pub fn simulate_chaos(
                     chaos,
                     &pool,
                     &mut report,
+                    telemetry,
+                    end,
                 );
                 if telemetry.is_enabled() {
                     telemetry.point(
                         "sched.reduce.failed",
                         end - at,
-                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                        &[
+                            ("task", &tid.to_string()),
+                            ("node", &node.to_string()),
+                            ("start", &fmt_secs(at)),
+                        ],
                     );
                 }
                 pending.push_back(tid);
@@ -597,7 +653,11 @@ pub fn simulate_chaos(
                     telemetry.point(
                         "sched.reduce.killed",
                         death[node] - at,
-                        &[("task", &tid.to_string()), ("node", &node.to_string())],
+                        &[
+                            ("task", &tid.to_string()),
+                            ("node", &node.to_string()),
+                            ("start", &fmt_secs(at)),
+                        ],
                     );
                 }
                 pending.push_back(tid);
@@ -607,7 +667,11 @@ pub fn simulate_chaos(
                 telemetry.point(
                     "sched.reduce",
                     dur,
-                    &[("task", &tid.to_string()), ("node", &node.to_string())],
+                    &[
+                        ("task", &tid.to_string()),
+                        ("node", &node.to_string()),
+                        ("start", &fmt_secs(at)),
+                    ],
                 );
             }
             pool.occupy(node, slot, end);
@@ -623,6 +687,7 @@ pub fn simulate_chaos(
 /// Blacklists `node` once it reaches the failure threshold — unless it is
 /// the last node still able to accept work (blacklisting it would wedge
 /// the job; Hadoop likewise keeps limping along on its last tracker).
+#[allow(clippy::too_many_arguments)]
 fn maybe_blacklist(
     node: NodeId,
     death: &[f64],
@@ -631,6 +696,8 @@ fn maybe_blacklist(
     chaos: &ChaosPlan,
     pool: &SlotPool,
     report: &mut SimReport,
+    telemetry: &Recorder,
+    at: f64,
 ) {
     if blacklisted[node] || node_failures[node] < chaos.blacklist_threshold() {
         return;
@@ -640,7 +707,16 @@ fn maybe_blacklist(
     if another_usable {
         blacklisted[node] = true;
         report.blacklisted_nodes += 1;
+        if telemetry.is_enabled() {
+            telemetry.point("chaos.blacklist", at, &[("node", &node.to_string())]);
+        }
     }
+}
+
+/// Virtual-seconds label value for `sched.*` points (fixed precision so
+/// the telemetry timeline layer can parse it back).
+fn fmt_secs(s: f64) -> String {
+    format!("{s:.6}")
 }
 
 /// Applies the straggler model to one task's nominal duration.

@@ -1,0 +1,762 @@
+//! Trace analysis: folds the flat event stream into causal explanations
+//! of where a run's time went.
+//!
+//! Two complementary views answer "why was this run slow?":
+//!
+//! - [`CriticalPath`] walks the *host-side* span tree (driver → job →
+//!   phase → task). At every level the child whose end timestamp is
+//!   latest is the one its parent was actually waiting on, so the
+//!   chain's self-times telescope to the root's wall time and each step
+//!   carries its share of the total.
+//! - [`VirtualCriticalPath`] reads the virtual scheduler's `sched.*`
+//!   points (emitted by `gepeto-mapred`'s cluster simulator) and answers
+//!   the same question for *cluster* time: which task's finish defined
+//!   each phase's end, what share of the makespan each phase owns, and
+//!   how much of it was recovery work — re-executed maps, attempts
+//!   killed by crashes, failed-over reads.
+//!
+//! Both are pure folds over a captured [`Event`] slice, so they work on
+//! live [`crate::Recorder`] snapshots and on replayed streams alike.
+
+use crate::event::{Event, EventKind};
+use crate::summary::fmt_us;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Host-side span-tree critical path
+// ---------------------------------------------------------------------------
+
+/// One reconstructed span (a `span_start`/`span_end` pair; unclosed
+/// spans are extended to the end of the stream).
+#[derive(Debug, Clone)]
+struct SpanNode {
+    name: &'static str,
+    span_id: u64,
+    parent_id: u64,
+    end_us: u64,
+    dur_us: u64,
+    labels: Vec<(String, String)>,
+}
+
+fn build_spans(events: &[Event]) -> Vec<SpanNode> {
+    let max_ts = events.iter().map(|e| e.ts_us).max().unwrap_or(0);
+    let mut spans: Vec<SpanNode> = Vec::new();
+    let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::SpanStart => {
+                index.insert(e.span_id, spans.len());
+                spans.push(SpanNode {
+                    name: e.name,
+                    span_id: e.span_id,
+                    parent_id: e.parent_id,
+                    end_us: max_ts,
+                    dur_us: max_ts.saturating_sub(e.ts_us),
+                    labels: e.labels.clone(),
+                });
+            }
+            EventKind::SpanEnd => {
+                if let Some(&i) = index.get(&e.span_id) {
+                    let start_us = e.ts_us.saturating_sub(e.dur_us.unwrap_or(0));
+                    spans[i].end_us = e.ts_us;
+                    spans[i].dur_us = e.dur_us.unwrap_or_else(|| e.ts_us - start_us);
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+/// One link of the dominant chain through the span tree.
+#[derive(Debug, Clone)]
+pub struct CriticalPathStep {
+    /// Span name (`job`, `phase.map`, `task.reduce`, ...).
+    pub name: &'static str,
+    /// The span's identity in the stream.
+    pub span_id: u64,
+    /// Depth below the chain's root (root = 0).
+    pub depth: usize,
+    /// Identity labels captured on the span's start event.
+    pub labels: Vec<(String, String)>,
+    /// The span's wall time, microseconds.
+    pub dur_us: u64,
+    /// Wall time *not* explained by the next chain link — the step's
+    /// own contribution. Self times telescope to [`CriticalPath::total_us`].
+    pub self_us: u64,
+    /// Median wall time of same-named spans (`task.*` steps only), for
+    /// straggler ratios.
+    pub cohort_p50_us: Option<u64>,
+}
+
+/// The dominant chain through the host-side span tree: at each level,
+/// the child the parent was last waiting on.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Wall time of the chain's root span, microseconds.
+    pub total_us: u64,
+    /// Chain links, root first. Empty when no spans were captured.
+    pub steps: Vec<CriticalPathStep>,
+}
+
+impl CriticalPath {
+    /// Extracts the critical path from a captured event stream.
+    ///
+    /// The root is the longest top-level span (parent 0 or a parent that
+    /// never appeared in the stream — e.g. when a truncated capture cut
+    /// the enclosing span's start). Spans still open at the end of the
+    /// stream are treated as ending with it.
+    pub fn from_events(events: &[Event]) -> Self {
+        let spans = build_spans(events);
+        if spans.is_empty() {
+            return Self::default();
+        }
+        let ids: BTreeMap<u64, usize> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.span_id, i))
+            .collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            if s.parent_id != 0 && ids.contains_key(&s.parent_id) {
+                children.entry(s.parent_id).or_default().push(i);
+            }
+        }
+        let mut cohorts: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        for s in &spans {
+            cohorts.entry(s.name).or_default().push(s.dur_us);
+        }
+        for durs in cohorts.values_mut() {
+            durs.sort_unstable();
+        }
+
+        let root = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent_id == 0 || !ids.contains_key(&s.parent_id))
+            .max_by(|a, b| a.1.dur_us.cmp(&b.1.dur_us).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("non-empty span set has a root");
+
+        let mut steps = Vec::new();
+        let mut cur = Some(root);
+        let mut depth = 0usize;
+        while let Some(i) = cur {
+            let s = &spans[i];
+            // The child the parent was waiting on when it closed: the
+            // one that ended last (longest duration breaks ties).
+            let next = children.get(&s.span_id).and_then(|c| {
+                c.iter().copied().max_by(|&a, &b| {
+                    spans[a]
+                        .end_us
+                        .cmp(&spans[b].end_us)
+                        .then(spans[a].dur_us.cmp(&spans[b].dur_us))
+                })
+            });
+            let child_dur = next.map_or(0, |j| spans[j].dur_us);
+            steps.push(CriticalPathStep {
+                name: s.name,
+                span_id: s.span_id,
+                depth,
+                labels: s.labels.clone(),
+                dur_us: s.dur_us,
+                self_us: s.dur_us.saturating_sub(child_dur),
+                cohort_p50_us: if s.name.starts_with("task.") {
+                    cohorts.get(s.name).map(|durs| durs[durs.len() / 2])
+                } else {
+                    None
+                },
+            });
+            cur = next;
+            depth += 1;
+        }
+        Self {
+            total_us: spans[root].dur_us,
+            steps,
+        }
+    }
+
+    /// Renders the chain as an indented plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== critical path (host spans) ==");
+        if self.steps.is_empty() {
+            let _ = writeln!(out, "(no spans captured)");
+            return out;
+        }
+        let _ = writeln!(out, "total {}", fmt_us(self.total_us));
+        for s in &self.steps {
+            let tags: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let pct = if self.total_us > 0 {
+                100.0 * s.self_us as f64 / self.total_us as f64
+            } else {
+                0.0
+            };
+            let mut line = format!(
+                "{:indent$}{}{}{}{} {} (self {} = {pct:.0}% of total)",
+                "",
+                s.name,
+                if tags.is_empty() { "" } else { " [" },
+                tags.join(" "),
+                if tags.is_empty() { "" } else { "]" },
+                fmt_us(s.dur_us),
+                fmt_us(s.self_us),
+                indent = s.depth * 2,
+            );
+            if let Some(p50) = s.cohort_p50_us {
+                if p50 > 0 {
+                    let _ = write!(line, "  x{:.1} cohort median", s.dur_us as f64 / p50 as f64);
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-cluster critical path (from the simulator's sched.* points)
+// ---------------------------------------------------------------------------
+
+/// `sched.*` / `chaos.*` points grouped by the `job` span active when
+/// they were emitted (the simulator runs inside the job span).
+#[derive(Debug, Clone)]
+pub(crate) struct JobSegment {
+    /// The job's name (its span's `job` label), `"run"` for points
+    /// emitted outside any job span.
+    pub name: String,
+    /// The scheduling and chaos points of this job, in emission order.
+    pub points: Vec<Event>,
+}
+
+/// Splits the stream into per-job scheduling segments. Multi-job
+/// workloads (k-means iterations, pipelines) produce one segment per
+/// job; points outside any job span share a synthetic `"run"` segment.
+pub(crate) fn job_segments(events: &[Event]) -> Vec<JobSegment> {
+    let mut segments: Vec<JobSegment> = Vec::new();
+    let mut open: Vec<(u64, usize)> = Vec::new();
+    let mut orphan: Option<usize> = None;
+    for e in events {
+        match e.kind {
+            EventKind::SpanStart if e.name == "job" => {
+                segments.push(JobSegment {
+                    name: e.label("job").unwrap_or("?").to_owned(),
+                    points: Vec::new(),
+                });
+                open.push((e.span_id, segments.len() - 1));
+            }
+            EventKind::SpanEnd if e.name == "job" => {
+                open.retain(|&(id, _)| id != e.span_id);
+            }
+            EventKind::Point if e.name.starts_with("sched.") || e.name.starts_with("chaos.") => {
+                let idx = match open.last() {
+                    Some(&(_, idx)) => idx,
+                    None => match orphan {
+                        Some(idx) => idx,
+                        None => {
+                            segments.push(JobSegment {
+                                name: "run".to_owned(),
+                                points: Vec::new(),
+                            });
+                            orphan = Some(segments.len() - 1);
+                            segments.len() - 1
+                        }
+                    },
+                };
+                segments[idx].points.push(e.clone());
+            }
+            _ => {}
+        }
+    }
+    segments
+}
+
+pub(crate) fn parse_label_f64(e: &Event, key: &str) -> Option<f64> {
+    e.label(key).and_then(|v| v.parse::<f64>().ok())
+}
+
+pub(crate) fn parse_label_usize(e: &Event, key: &str) -> Option<usize> {
+    e.label(key).and_then(|v| v.parse::<usize>().ok())
+}
+
+/// End of a sched point on the job-local virtual timeline.
+fn point_end(e: &Event) -> Option<f64> {
+    Some(parse_label_f64(e, "start")? + e.value?)
+}
+
+/// Virtual seconds of scheduled work in a segment: the latest task end.
+pub(crate) fn segment_makespan(seg: &JobSegment) -> f64 {
+    seg.points
+        .iter()
+        .filter(|p| matches!(p.name, "sched.map" | "sched.reduce"))
+        .filter_map(point_end)
+        .fold(0.0, f64::max)
+}
+
+/// Picks the segment with the largest scheduled makespan — the job that
+/// dominates a multi-job workload's virtual time.
+pub(crate) fn dominant_segment(events: &[Event]) -> Option<JobSegment> {
+    job_segments(events)
+        .into_iter()
+        .filter(|s| segment_makespan(s) > 0.0)
+        .max_by(|a, b| segment_makespan(a).total_cmp(&segment_makespan(b)))
+}
+
+/// The task attempt whose completion defined a phase's end.
+#[derive(Debug, Clone)]
+pub struct TaskRef {
+    /// 0-based task index within its phase.
+    pub task: usize,
+    /// Virtual node the attempt ran on.
+    pub node: usize,
+    /// Job-local virtual start time, seconds.
+    pub start_s: f64,
+    /// Virtual duration, seconds.
+    pub dur_s: f64,
+    /// Map locality tag (`data-local` / `rack-local` / `remote`).
+    pub locality: Option<String>,
+    /// The attempt re-ran a map whose output died with its node.
+    pub reexec: bool,
+    /// The attempt's input read skipped a dead or corrupt replica.
+    pub failover: bool,
+}
+
+/// One phase's share of the virtual makespan plus its critical task.
+#[derive(Debug, Clone)]
+pub struct PhaseCritical {
+    /// `"map"` or `"reduce"`.
+    pub phase: &'static str,
+    /// Virtual seconds between the phase's start and its last task end.
+    pub wall_s: f64,
+    /// `wall_s / makespan_s`.
+    pub share: f64,
+    /// The task whose finish defined the phase end.
+    pub critical: TaskRef,
+    /// Critical task duration over the phase's median task duration.
+    pub median_ratio: f64,
+}
+
+/// Where the virtual makespan went: per-phase shares, the critical task
+/// closing each phase, and the recovery work folded into the schedule.
+#[derive(Debug, Clone)]
+pub struct VirtualCriticalPath {
+    /// Name of the analyzed job (the dominant one when several ran).
+    pub job: String,
+    /// Virtual seconds of scheduled work (excludes the per-job overhead
+    /// and cluster startup constants, which no task can explain).
+    pub makespan_s: f64,
+    /// Phase breakdown in execution order (map, then reduce if any).
+    pub phases: Vec<PhaseCritical>,
+    /// Successful map attempts that were re-executions of lost outputs.
+    pub reexecuted_maps: usize,
+    /// Successful map attempts whose read failed over past a bad replica.
+    pub failed_over_reads: usize,
+    /// Attempts that burned slot time without completing (injected
+    /// failures + crash kills).
+    pub recovery_attempts: usize,
+    /// Virtual seconds those attempts burned.
+    pub recovery_s: f64,
+    /// `(node, job-local crash time)` for every scripted crash visible
+    /// to this job (negative time = dead before the job started).
+    pub crashes: Vec<(usize, f64)>,
+    /// `(node, job-local time)` of jobtracker blacklistings.
+    pub blacklisted: Vec<(usize, f64)>,
+}
+
+impl VirtualCriticalPath {
+    /// Analyzes the dominant job's scheduling points. `None` when the
+    /// stream holds no successful `sched.*` point (telemetry disabled,
+    /// or no simulated job ran).
+    pub fn from_events(events: &[Event]) -> Option<Self> {
+        let seg = dominant_segment(events)?;
+        let makespan_s = segment_makespan(&seg);
+
+        let task_ref = |p: &Event| -> Option<TaskRef> {
+            Some(TaskRef {
+                task: parse_label_usize(p, "task")?,
+                node: parse_label_usize(p, "node")?,
+                start_s: parse_label_f64(p, "start")?,
+                dur_s: p.value?,
+                locality: p.label("locality").map(str::to_owned),
+                reexec: p.label("reexec").is_some(),
+                failover: p.label("failover").is_some(),
+            })
+        };
+
+        let mut phases = Vec::new();
+        let mut phase_start = 0.0f64;
+        for (phase, point_name) in [("map", "sched.map"), ("reduce", "sched.reduce")] {
+            let tasks: Vec<TaskRef> = seg
+                .points
+                .iter()
+                .filter(|p| p.name == point_name)
+                .filter_map(task_ref)
+                .collect();
+            let Some(critical) = tasks
+                .iter()
+                .max_by(|a, b| (a.start_s + a.dur_s).total_cmp(&(b.start_s + b.dur_s)))
+                .cloned()
+            else {
+                continue;
+            };
+            let phase_end = critical.start_s + critical.dur_s;
+            let mut durs: Vec<f64> = tasks.iter().map(|t| t.dur_s).collect();
+            durs.sort_by(f64::total_cmp);
+            let median = durs[durs.len() / 2];
+            phases.push(PhaseCritical {
+                phase,
+                wall_s: phase_end - phase_start,
+                share: if makespan_s > 0.0 {
+                    (phase_end - phase_start) / makespan_s
+                } else {
+                    0.0
+                },
+                median_ratio: if median > 0.0 {
+                    critical.dur_s / median
+                } else {
+                    0.0
+                },
+                critical,
+            });
+            phase_start = phase_end;
+        }
+
+        let map_successes = |label: &str| {
+            seg.points
+                .iter()
+                .filter(|p| p.name == "sched.map" && p.label(label).is_some())
+                .count()
+        };
+        let reexecuted_maps = map_successes("reexec");
+        let failed_over_reads = map_successes("failover");
+        let burned: Vec<f64> = seg
+            .points
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.name,
+                    "sched.map.failed"
+                        | "sched.map.killed"
+                        | "sched.reduce.failed"
+                        | "sched.reduce.killed"
+                )
+            })
+            .filter_map(|p| p.value)
+            .collect();
+        let chaos_at = |name: &str| {
+            seg.points
+                .iter()
+                .filter(|p| p.name == name)
+                .filter_map(|p| Some((parse_label_usize(p, "node")?, p.value?)))
+                .collect::<Vec<_>>()
+        };
+
+        Some(Self {
+            job: seg.name,
+            makespan_s,
+            phases,
+            reexecuted_maps,
+            failed_over_reads,
+            recovery_attempts: burned.len(),
+            recovery_s: burned.iter().sum(),
+            crashes: chaos_at("chaos.crash"),
+            blacklisted: chaos_at("chaos.blacklist"),
+        })
+    }
+
+    /// Renders the makespan attribution as a plain-text report, e.g.
+    ///
+    /// ```text
+    /// == virtual critical path: job wc ==
+    /// makespan 12.000 s (scheduled work; overheads excluded)
+    ///   map    66.7% of makespan (8.000 s) — ends with task 3 on node 2 (data-local, re-executed), 4.000 s = x2.8 phase median
+    ///   reduce 33.3% of makespan (4.000 s) — ends with task 1 on node 0, 4.000 s = x1.0 phase median
+    /// recovery: 2 re-executed maps, 1 failed/killed attempts burning 3.000 s
+    /// chaos: node 2 crashed @ 5.000 s
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== virtual critical path: job {} ==", self.job);
+        let _ = writeln!(
+            out,
+            "makespan {} (scheduled work; overheads excluded)",
+            fmt_s(self.makespan_s)
+        );
+        for p in &self.phases {
+            let c = &p.critical;
+            let mut how = c.locality.clone().unwrap_or_default();
+            for (flag, tag) in [(c.reexec, "re-executed"), (c.failover, "failed-over read")] {
+                if flag {
+                    if !how.is_empty() {
+                        how.push_str(", ");
+                    }
+                    how.push_str(tag);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {:<6} {:.1}% of makespan ({}) — ends with task {} on node {}{}, {} = x{:.1} phase median",
+                p.phase,
+                100.0 * p.share,
+                fmt_s(p.wall_s),
+                c.task,
+                c.node,
+                if how.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({how})")
+                },
+                fmt_s(c.dur_s),
+                p.median_ratio,
+            );
+        }
+        if self.reexecuted_maps > 0 || self.recovery_attempts > 0 || self.failed_over_reads > 0 {
+            let mut parts = Vec::new();
+            if self.reexecuted_maps > 0 {
+                parts.push(format!("{} re-executed maps", self.reexecuted_maps));
+            }
+            if self.recovery_attempts > 0 {
+                parts.push(format!(
+                    "{} failed/killed attempts burning {}",
+                    self.recovery_attempts,
+                    fmt_s(self.recovery_s)
+                ));
+            }
+            if self.failed_over_reads > 0 {
+                parts.push(format!("{} failed-over reads", self.failed_over_reads));
+            }
+            let _ = writeln!(out, "recovery: {}", parts.join(", "));
+        }
+        if !self.crashes.is_empty() || !self.blacklisted.is_empty() {
+            let mut parts = Vec::new();
+            for &(node, at) in &self.crashes {
+                if at < 0.0 {
+                    parts.push(format!("node {node} dead before job start"));
+                } else {
+                    parts.push(format!("node {node} crashed @ {}", fmt_s(at)));
+                }
+            }
+            for &(node, at) in &self.blacklisted {
+                parts.push(format!("node {node} blacklisted @ {}", fmt_s(at)));
+            }
+            let _ = writeln!(out, "chaos: {}", parts.join("; "));
+        }
+        out
+    }
+}
+
+/// Human-readable virtual seconds.
+pub(crate) fn fmt_s(s: f64) -> String {
+    format!("{s:.3} s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect()
+    }
+
+    fn start(name: &'static str, id: u64, parent: u64, ts: u64, labels: &[(&str, &str)]) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::SpanStart,
+            name,
+            span_id: id,
+            parent_id: parent,
+            dur_us: None,
+            value: None,
+            labels: owned(labels),
+        }
+    }
+
+    fn end(name: &'static str, id: u64, parent: u64, ts: u64, dur: u64) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::SpanEnd,
+            name,
+            span_id: id,
+            parent_id: parent,
+            dur_us: Some(dur),
+            value: None,
+            labels: Vec::new(),
+        }
+    }
+
+    fn point(name: &'static str, value: f64, labels: &[(&str, &str)]) -> Event {
+        Event {
+            ts_us: 0,
+            kind: EventKind::Point,
+            name,
+            span_id: 0,
+            parent_id: 0,
+            dur_us: None,
+            value: Some(value),
+            labels: owned(labels),
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_path() {
+        let cp = CriticalPath::from_events(&[]);
+        assert_eq!(cp.total_us, 0);
+        assert!(cp.steps.is_empty());
+        assert!(cp.render().contains("no spans"));
+    }
+
+    #[test]
+    fn chain_follows_latest_ending_child_and_self_times_telescope() {
+        // job(0..100) -> phase.map(0..60), phase.reduce(60..100)
+        // phase.reduce -> task.reduce 0 (60..80), task.reduce 1 (61..100)
+        let events = vec![
+            start("job", 1, 0, 0, &[("job", "wc")]),
+            start("phase.map", 2, 1, 0, &[]),
+            end("phase.map", 2, 1, 60, 60),
+            start("phase.reduce", 3, 1, 60, &[]),
+            start("task.reduce", 4, 3, 60, &[("task", "0")]),
+            end("task.reduce", 4, 3, 80, 20),
+            start("task.reduce", 5, 3, 61, &[("task", "1")]),
+            end("task.reduce", 5, 3, 100, 39),
+            end("phase.reduce", 3, 1, 100, 40),
+            end("job", 1, 0, 100, 100),
+        ];
+        let cp = CriticalPath::from_events(&events);
+        assert_eq!(cp.total_us, 100);
+        let names: Vec<&str> = cp.steps.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["job", "phase.reduce", "task.reduce"]);
+        // The chain picked the reduce task ending at 100, not at 80.
+        assert_eq!(cp.steps[2].labels[0].1, "1");
+        let self_total: u64 = cp.steps.iter().map(|s| s.self_us).sum();
+        assert_eq!(self_total, cp.total_us);
+        // Cohort median over the two reduce tasks: sorted [20, 39] -> 39.
+        assert_eq!(cp.steps[2].cohort_p50_us, Some(39));
+        assert!(cp.render().contains("task.reduce"));
+    }
+
+    #[test]
+    fn unclosed_spans_extend_to_stream_end() {
+        let events = vec![
+            start("job", 1, 0, 0, &[]),
+            start("phase.map", 2, 1, 10, &[]),
+            point(
+                "sched.map",
+                1.0,
+                &[("task", "0"), ("node", "0"), ("start", "0")],
+            ),
+        ];
+        let cp = CriticalPath::from_events(&events);
+        assert_eq!(cp.total_us, 10); // max ts is the map phase's start
+        assert_eq!(cp.steps.len(), 2);
+        assert_eq!(cp.steps[1].dur_us, 0);
+    }
+
+    #[test]
+    fn single_span_is_its_own_path() {
+        let events = vec![start("job", 1, 0, 0, &[]), end("job", 1, 0, 42, 42)];
+        let cp = CriticalPath::from_events(&events);
+        assert_eq!(cp.total_us, 42);
+        assert_eq!(cp.steps.len(), 1);
+        assert_eq!(cp.steps[0].self_us, 42);
+    }
+
+    fn sched(
+        name: &'static str,
+        task: usize,
+        node: usize,
+        start_s: f64,
+        dur_s: f64,
+        extra: &[(&str, &str)],
+    ) -> Event {
+        let task = task.to_string();
+        let node = node.to_string();
+        let start_s = format!("{start_s:.6}");
+        let mut labels: Vec<(&str, &str)> =
+            vec![("task", &task), ("node", &node), ("start", &start_s)];
+        labels.extend_from_slice(extra);
+        point(name, dur_s, &labels)
+    }
+
+    fn job_wrapped(name: &'static str, points: Vec<Event>) -> Vec<Event> {
+        let mut events = vec![start("job", 1, 0, 0, &[("job", name)])];
+        events.extend(points);
+        events.push(end("job", 1, 0, 1000, 1000));
+        events
+    }
+
+    #[test]
+    fn virtual_path_attributes_phases_and_recovery() {
+        let events = job_wrapped(
+            "wc",
+            vec![
+                sched("sched.map", 0, 0, 0.0, 2.0, &[("locality", "data-local")]),
+                sched("sched.map.killed", 1, 2, 0.0, 5.0, &[]),
+                sched(
+                    "sched.map",
+                    1,
+                    1,
+                    5.0,
+                    3.0,
+                    &[("locality", "remote"), ("reexec", "1"), ("failover", "1")],
+                ),
+                point("chaos.crash", 5.0, &[("node", "2")]),
+                sched("sched.reduce", 0, 0, 8.0, 4.0, &[]),
+                sched("sched.reduce", 1, 1, 8.0, 2.0, &[]),
+            ],
+        );
+        let v = VirtualCriticalPath::from_events(&events).unwrap();
+        assert_eq!(v.job, "wc");
+        assert_eq!(v.makespan_s, 12.0);
+        assert_eq!(v.phases.len(), 2);
+        assert_eq!(v.phases[0].phase, "map");
+        assert_eq!(v.phases[0].wall_s, 8.0);
+        assert_eq!(v.phases[0].critical.task, 1);
+        assert!(v.phases[0].critical.reexec);
+        assert!(v.phases[0].critical.failover);
+        assert_eq!(v.phases[1].phase, "reduce");
+        assert_eq!(v.phases[1].wall_s, 4.0);
+        assert_eq!(v.phases[1].critical.task, 0);
+        assert!((v.phases[0].share - 8.0 / 12.0).abs() < 1e-9);
+        assert_eq!(v.reexecuted_maps, 1);
+        assert_eq!(v.failed_over_reads, 1);
+        assert_eq!(v.recovery_attempts, 1);
+        assert_eq!(v.recovery_s, 5.0);
+        assert_eq!(v.crashes, vec![(2, 5.0)]);
+        let text = v.render();
+        assert!(text.contains("66.7% of makespan"), "{text}");
+        assert!(text.contains("re-executed"), "{text}");
+        assert!(text.contains("node 2 crashed"), "{text}");
+    }
+
+    #[test]
+    fn dominant_job_wins_in_multi_job_streams() {
+        let mut events = vec![start("job", 1, 0, 0, &[("job", "small")])];
+        events.push(sched("sched.map", 0, 0, 0.0, 1.0, &[]));
+        events.push(end("job", 1, 0, 10, 10));
+        events.push(start("job", 2, 0, 20, &[("job", "big")]));
+        events.push(sched("sched.map", 0, 0, 0.0, 9.0, &[]));
+        events.push(end("job", 2, 0, 40, 20));
+        let v = VirtualCriticalPath::from_events(&events).unwrap();
+        assert_eq!(v.job, "big");
+        assert_eq!(v.makespan_s, 9.0);
+    }
+
+    #[test]
+    fn no_sched_points_is_none() {
+        let events = vec![start("job", 1, 0, 0, &[]), end("job", 1, 0, 10, 10)];
+        assert!(VirtualCriticalPath::from_events(&events).is_none());
+        assert!(VirtualCriticalPath::from_events(&[]).is_none());
+    }
+
+    #[test]
+    fn orphan_points_form_a_synthetic_run_segment() {
+        let events = vec![sched("sched.map", 0, 0, 0.0, 3.0, &[])];
+        let v = VirtualCriticalPath::from_events(&events).unwrap();
+        assert_eq!(v.job, "run");
+        assert_eq!(v.makespan_s, 3.0);
+    }
+}

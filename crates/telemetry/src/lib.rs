@@ -40,11 +40,14 @@
 //! assert_eq!(out.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(), 4);
 //! ```
 
+mod analysis;
 mod event;
 mod histogram;
 mod json;
 mod summary;
+mod timeline;
 
+pub use analysis::{CriticalPath, CriticalPathStep, PhaseCritical, TaskRef, VirtualCriticalPath};
 pub use event::{Event, EventKind};
 pub use histogram::Histogram;
 pub use json::{event_to_json, write_jsonl};
@@ -53,6 +56,7 @@ pub use summary::{
     FAILED_OVER_READS_COUNTER, REEXECUTED_MAPS_COUNTER, SHUFFLE_BYTES_COUNTER,
     TASK_RETRIES_COUNTER,
 };
+pub use timeline::{NodeLane, Timeline};
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -68,6 +72,13 @@ struct Inner {
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     next_span: AtomicU64,
+    /// Innermost-open stack of spans created via [`Recorder::span`]:
+    /// driver-level spans (`kmeans`, `job`, ...) opened sequentially on
+    /// the submitting thread nest under each other, so trace analysis
+    /// sees one causal tree (driver → job → phase → task) instead of a
+    /// forest of roots. Task-level spans use [`Span::child`] and never
+    /// touch this stack, keeping parallel tasks correctly attributed.
+    context: Mutex<Vec<u64>>,
 }
 
 /// The telemetry handle threaded through the engine.
@@ -90,6 +101,7 @@ impl Recorder {
                 counters: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 next_span: AtomicU64::new(1),
+                context: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -119,10 +131,23 @@ impl Recorder {
             .collect()
     }
 
-    /// Opens a root span. Ends (and emits `span_end`) when the returned
-    /// guard drops.
+    /// Opens a top-level span. It nests under the innermost span still
+    /// open from a previous `span()` call (so sequential driver/job
+    /// spans form one causal tree); use [`Span::child`] for explicit
+    /// nesting. Ends (and emits `span_end`) when the returned guard
+    /// drops.
     pub fn span(&self, name: &'static str, labels: &[(&str, &str)]) -> Span {
-        self.start_span(name, 0, labels)
+        let parent = self
+            .inner
+            .as_ref()
+            .and_then(|inner| inner.context.lock().last().copied())
+            .unwrap_or(0);
+        let mut span = self.start_span(name, parent, labels);
+        if let Some(inner) = &self.inner {
+            inner.context.lock().push(span.id);
+            span.in_context = true;
+        }
+        span
     }
 
     fn start_span(&self, name: &'static str, parent_id: u64, labels: &[(&str, &str)]) -> Span {
@@ -152,6 +177,7 @@ impl Recorder {
             parent_id,
             name,
             started: Instant::now(),
+            in_context: false,
         }
     }
 
@@ -249,6 +275,23 @@ impl Recorder {
     pub fn summary(&self) -> SummaryReport {
         SummaryReport::from_events(&self.events(), &self.counters())
     }
+
+    /// Extracts the dominant chain through the host-side span tree.
+    pub fn critical_path(&self) -> CriticalPath {
+        CriticalPath::from_events(&self.events())
+    }
+
+    /// Attributes the dominant job's virtual makespan to its phases and
+    /// critical tasks (`None` without simulator scheduling points).
+    pub fn virtual_critical_path(&self) -> Option<VirtualCriticalPath> {
+        VirtualCriticalPath::from_events(&self.events())
+    }
+
+    /// Charts the dominant job's per-node utilization as an ASCII Gantt
+    /// (`None` without simulator scheduling points).
+    pub fn timeline(&self) -> Option<Timeline> {
+        Timeline::from_events(&self.events())
+    }
 }
 
 /// RAII timed region opened by [`Recorder::span`] / [`Span::child`].
@@ -262,6 +305,9 @@ pub struct Span {
     parent_id: u64,
     name: &'static str,
     started: Instant,
+    /// Whether this span sits on the recorder's context stack (created
+    /// via [`Recorder::span`]) and must be popped off on drop.
+    in_context: bool,
 }
 
 impl Span {
@@ -282,6 +328,9 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = &self.rec.inner {
+            if self.in_context {
+                inner.context.lock().retain(|&id| id != self.id);
+            }
             let dur_us = self.started.elapsed().as_micros() as u64;
             Recorder::push(
                 inner,

@@ -249,7 +249,7 @@ impl SummaryReport {
 }
 
 /// Human-readable microseconds.
-fn fmt_us(us: u64) -> String {
+pub(crate) fn fmt_us(us: u64) -> String {
     if us >= 1_000_000 {
         format!("{:.3} s", us as f64 / 1e6)
     } else if us >= 1_000 {
@@ -350,5 +350,43 @@ mod tests {
         assert!(report.stragglers.is_empty());
         assert_eq!(report.retries, 0);
         assert!(report.render().contains("retries: 0"));
+    }
+
+    #[test]
+    fn single_span_yields_one_phase_row() {
+        let events = span_pair("phase.map", 1, 4_000, &[]);
+        let report = SummaryReport::from_events(&events, &[]);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "map");
+        assert_eq!(report.phases[0].wall_us, 4_000);
+        assert_eq!(report.phases[0].spans, 1);
+        assert!(report.tasks.is_empty());
+        assert!(report.render().contains("map"));
+    }
+
+    #[test]
+    fn unclosed_spans_are_ignored_without_panicking() {
+        // Only the starts — the run was cut short before any span_end.
+        let mut events: Vec<Event> = span_pair("phase.map", 1, 9_999, &[])[..1].to_vec();
+        events.push(span_pair("task.map", 2, 9_999, &[("task", "0")])[0].clone());
+        let report = SummaryReport::from_events(&events, &[]);
+        assert!(report.phases.is_empty(), "open phase span must not count");
+        assert!(report.tasks.is_empty(), "open task span must not count");
+        assert!(report.stragglers.is_empty());
+        report.render();
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_that_sample() {
+        let events = span_pair("task.reduce", 1, 5_000, &[("task", "0")]);
+        let report = SummaryReport::from_events(&events, &[]);
+        assert_eq!(report.tasks.len(), 1);
+        let t = &report.tasks[0];
+        assert_eq!(t.count, 1);
+        assert_eq!(t.p50_us, 5_000);
+        assert_eq!(t.p95_us, 5_000);
+        assert_eq!(t.max_us, 5_000);
+        // A lone task is never a straggler against its own cohort.
+        assert!(report.stragglers.is_empty());
     }
 }

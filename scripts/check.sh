@@ -17,4 +17,18 @@ cargo test -q
 echo "== chaos smoke: fault-injection suite =="
 cargo test -q --test chaos
 
+echo "== bench smoke: regression harness =="
+# Tiny-scale run of all three workloads; the emitted JSON must validate
+# against the bench schema and self-compare with zero regressions.
+GEPETO_SCALE=0.002 ./target/release/gepeto-bench run \
+    --users 4 --k 3 --max-iter 2 --out-dir target/bench-smoke
+./target/release/gepeto-bench validate \
+    target/bench-smoke/BENCH_sampling.json \
+    target/bench-smoke/BENCH_kmeans.json \
+    target/bench-smoke/BENCH_djcluster.json
+for w in sampling kmeans djcluster; do
+    ./target/release/gepeto-bench compare \
+        "target/bench-smoke/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json"
+done
+
 echo "All checks passed."
