@@ -17,7 +17,7 @@
 //! (see DESIGN.md §6); `wall_ms` is the real host time and is the only
 //! machine-dependent metric — compare it across runs of the same box.
 
-use gepeto_bench::report::{compare, BenchReport};
+use gepeto_bench::report::{compare_ignoring, BenchReport};
 use gepeto_bench::workloads::{run_workload, BenchConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&argv[1..]),
         Some("compare") => cmd_compare(&argv[1..]),
         Some("validate") => cmd_validate(&argv[1..]),
+        Some("validate-prom") => cmd_validate_prom(&argv[1..]),
         Some("--help") | Some("help") | None => {
             eprintln!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -49,11 +50,17 @@ const USAGE: &str = "usage:
   gepeto-bench run [--workload all|sampling|kmeans|djcluster]
                    [--users N] [--k N] [--max-iter N] [--out-dir DIR]
   gepeto-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
+                       [--ignore METRIC[,METRIC...]]
   gepeto-bench validate FILE.json...
+  gepeto-bench validate-prom FILE.prom...
 
 run writes BENCH_<workload>.json per workload (scale from GEPETO_SCALE);
 compare exits 1 when any cost metric grew more than PCT percent (default 5);
-validate exits 1 when a file does not parse as the bench schema.";
+--ignore skips cost metrics by name or dotted prefix (e.g. wall_ms,task —
+use it against committed baselines, where host speed is not a regression);
+validate exits 1 when a file does not parse as the bench schema;
+validate-prom exits 1 when a file is not a well-formed Prometheus text
+exposition (as written by `gepeto ... --prom-out`).";
 
 /// Parsed `--key value` flags, in order of appearance.
 type Flags = Vec<(String, String)>;
@@ -156,12 +163,22 @@ fn cmd_compare(argv: &[String]) -> Result<ExitCode, String> {
         return Err("compare needs exactly two files: BASELINE.json CANDIDATE.json".to_string());
     };
     let threshold_pct: f64 = flag_or(&flags, "threshold", 5.0)?;
+    let ignore_spec = flag(&flags, "ignore").unwrap_or("");
+    let ignore: Vec<&str> = ignore_spec.split(',').filter(|s| !s.is_empty()).collect();
     let baseline = load(baseline_path)?;
     let candidate = load(candidate_path)?;
-    let cmp = compare(&baseline, &candidate, threshold_pct);
+    let cmp = compare_ignoring(&baseline, &candidate, threshold_pct, &ignore);
     println!(
-        "compare {} ({}) -> {} ({}), threshold {threshold_pct:.1}%",
-        baseline_path, baseline.workload, candidate_path, candidate.workload
+        "compare {} ({}) -> {} ({}), threshold {threshold_pct:.1}%{}",
+        baseline_path,
+        baseline.workload,
+        candidate_path,
+        candidate.workload,
+        if ignore.is_empty() {
+            String::new()
+        } else {
+            format!(", ignoring {}", ignore.join(","))
+        }
     );
     print!("{}", cmp.render(threshold_pct));
     if cmp.regressions.is_empty() {
@@ -183,6 +200,40 @@ fn cmd_validate(argv: &[String]) -> Result<ExitCode, String> {
             Ok(report) => println!("{path}: ok ({}, schema {})", report.workload, report.schema),
             Err(e) => {
                 eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_validate_prom(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, _flags) = split_args(argv)?;
+    if positionals.is_empty() {
+        return Err("validate-prom needs at least one file".to_string());
+    }
+    let mut failures = 0usize;
+    for path in &positionals {
+        let text = match std::fs::read_to_string(Path::new(path)) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match gepeto_bench::prom::validate(&text) {
+            Ok(report) => println!(
+                "{path}: ok ({} families, {} samples)",
+                report.families.len(),
+                report.samples
+            ),
+            Err(e) => {
+                eprintln!("{path}: {e}");
                 failures += 1;
             }
         }

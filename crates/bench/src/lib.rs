@@ -9,9 +9,14 @@
 //! *and* chunk sizes are multiplied by it, so chunk counts — and thus
 //! map-task counts — match the paper's proportions at any scale.
 
-pub mod json;
+pub mod prom;
 pub mod report;
 pub mod workloads;
+
+/// The workspace-shared JSON toolkit (value type, parser, pretty
+/// writer), re-exported from `gepeto-telemetry` so bench code and
+/// downstream tools keep their `gepeto_bench::json` path.
+pub use gepeto_telemetry::json;
 
 use gepeto::prelude::*;
 use parking_lot::Mutex;

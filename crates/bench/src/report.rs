@@ -365,6 +365,20 @@ fn delta_pct(old: f64, new: f64) -> f64 {
 /// improvement. Structural drift (task counts, counters, recovery
 /// activity) lands in `notes`.
 pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comparison {
+    compare_ignoring(old, new, threshold_pct, &[])
+}
+
+/// Like [`compare`], but skips cost metrics matching an `ignore` entry:
+/// a metric is skipped when its name equals the entry or starts with
+/// `entry + "."` (so `task` covers every `task.<kind>.p95_us`). Used
+/// when diffing against committed baselines, where host-dependent
+/// metrics (`wall_ms`, task p95s) would flag machine speed, not code.
+pub fn compare_ignoring(
+    old: &BenchReport,
+    new: &BenchReport,
+    threshold_pct: f64,
+    ignore: &[&str],
+) -> Comparison {
     let mut cmp = Comparison::default();
     if old.workload != new.workload {
         cmp.notes.push(format!(
@@ -379,6 +393,12 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comp
         ));
     }
     let mut cost = |metric: &str, old_v: f64, new_v: f64| {
+        let skipped = ignore
+            .iter()
+            .any(|e| metric == *e || metric.starts_with(&format!("{e}.")));
+        if skipped {
+            return;
+        }
         let pct = delta_pct(old_v, new_v);
         let moved = MetricDelta {
             metric: metric.to_string(),
@@ -532,6 +552,20 @@ mod tests {
         assert_eq!(cmp.notes.len(), 3);
         assert!(cmp.notes.iter().any(|n| n.contains("map_tasks")));
         assert!(cmp.notes.iter().any(|n| n.contains("absent")));
+    }
+
+    #[test]
+    fn ignore_list_skips_exact_and_prefixed_cost_metrics() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.wall_ms = 100_000; // host noise: must be ignorable
+        b.tasks[0].p95_us = 40_000; // task.map.p95_us: covered by "task"
+        b.makespan_s *= 1.5; // virtual: must still be flagged
+        let cmp = compare_ignoring(&a, &b, 5.0, &["wall_ms", "task"]);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].metric, "makespan_s");
+        // Without the ignore list all three are regressions.
+        assert_eq!(compare(&a, &b, 5.0).regressions.len(), 3);
     }
 
     #[test]

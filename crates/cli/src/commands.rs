@@ -6,7 +6,9 @@ use gepeto::sanitize::Sanitizer;
 use gepeto_geo::DistanceMetric;
 use gepeto_mapred::{ChaosPlan, RetryPolicy};
 use gepeto_model::plt;
-use gepeto_telemetry::Recorder;
+use gepeto_telemetry::{Recorder, Reporter};
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -47,6 +49,14 @@ tags, counters) as JSON Lines and prints a run summary table; --summary
 prints the summary table to stderr; --explain prints the critical-path
 report (host span chain + virtual-cluster makespan attribution) and the
 per-node ASCII Gantt timeline to stderr.
+Live monitoring (sample, kmeans, djcluster): --watch[=SECS] prints a
+jobtracker-style heartbeat line (task progress, shuffle bytes, recovery
+counters, per-node busy time) to stderr every SECS seconds (default 2);
+--prom-out PATH rewrites PATH as a Prometheus text exposition on the
+same cadence (and once at exit); --folded-out PATH writes collapsed
+flamegraph stacks (host self-time; plus PATH.virtual with the simulated
+cluster's per-task makespan attribution) for inferno/flamegraph.pl.
+Artifacts are written even when the run aborts mid-flight.
 Fault injection (sample, kmeans, djcluster): --crash N@T[,N@T...] kills
 node N at virtual second T; --degrade N@T@FACTOR[,...] slows node N by
 FACTOR from virtual second T. --driver-retries N (0) with
@@ -128,22 +138,92 @@ fn dfs_with(args: &Args, cluster: &Cluster, ds: &Dataset) -> Result<Dfs<Mobility
     Ok(dfs)
 }
 
-/// Builds the run's [`Recorder`]: recording when any observability flag
-/// (`--metrics-out`, `--summary`, `--explain`) is given, a no-op handle
-/// otherwise.
+/// Builds the run's [`Recorder`]: a monitored recorder (event stream +
+/// live progress registry) when a live flag (`--watch`, `--prom-out`)
+/// is given, a plain recording one for the post-hoc flags
+/// (`--metrics-out`, `--summary`, `--explain`, `--folded-out`), and a
+/// no-op handle otherwise.
 fn recorder_from(args: &Args) -> Recorder {
-    if args.get("metrics-out").is_some() || args.get_flag("summary") || args.get_flag("explain") {
+    if args.get("watch").is_some() || args.get("prom-out").is_some() {
+        Recorder::monitored()
+    } else if args.get("metrics-out").is_some()
+        || args.get("folded-out").is_some()
+        || args.get_flag("summary")
+        || args.get_flag("explain")
+    {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     }
 }
 
+/// Parses `--watch[=SECS]`: `None` when absent, the default 2 s
+/// heartbeat for the bare flag, else the given interval.
+fn watch_interval(args: &Args) -> Result<Option<f64>, String> {
+    match args.get("watch") {
+        None => Ok(None),
+        Some("true") => Ok(Some(2.0)),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(secs) if secs > 0.0 => Ok(Some(secs)),
+            _ => Err(format!("--watch: bad interval '{raw}' (want seconds > 0)")),
+        },
+    }
+}
+
+/// Starts the background heartbeat/exposition reporter when `--watch`
+/// or `--prom-out` asks for one. Status lines go to stderr only under
+/// `--watch`; `--prom-out` alone refreshes the exposition file
+/// silently on the default cadence.
+fn reporter_from(args: &Args, rec: &Recorder) -> Result<Option<Reporter>, String> {
+    let watch = watch_interval(args)?;
+    let prom_out = args.get("prom-out").map(PathBuf::from);
+    if watch.is_none() && prom_out.is_none() {
+        return Ok(None);
+    }
+    let Some(monitor) = rec.monitor() else {
+        return Ok(None);
+    };
+    let every = Duration::from_secs_f64(watch.unwrap_or(2.0));
+    Ok(Some(Reporter::start(
+        monitor,
+        every,
+        prom_out,
+        watch.is_some(),
+    )))
+}
+
+/// Runs `body` under the run's observability harness: the live
+/// heartbeat/exposition reporter covers the whole run, and the
+/// post-hoc artifacts are emitted afterwards — even when the run
+/// itself aborts (chaos exhaustion, driver-retry failure), so a failed
+/// run still leaves its event stream and flamegraph behind.
+fn observed(args: &Args, body: impl FnOnce(&Recorder) -> Result<(), String>) -> Result<(), String> {
+    let rec = recorder_from(args);
+    let reporter = reporter_from(args, &rec)?;
+    let result = body(&rec);
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
+    let artifacts = finish_metrics(args, &rec);
+    result.and(artifacts)
+}
+
 /// Emits the run's observability outputs: the JSONL event stream plus a
 /// summary table for `--metrics-out`, the summary table on stderr for
-/// `--summary`, and the critical-path + timeline reports on stderr for
-/// `--explain`.
+/// `--summary`, the critical-path + timeline reports on stderr for
+/// `--explain`, and collapsed flamegraph stacks for `--folded-out`.
 fn finish_metrics(args: &Args, rec: &Recorder) -> Result<(), String> {
+    if let Some(path) = args.get("folded-out") {
+        std::fs::write(path, rec.host_folded()).map_err(|e| format!("--folded-out {path}: {e}"))?;
+        let mut written = format!("flamegraph: host stacks -> {path}");
+        if let Some(virtual_stacks) = rec.virtual_folded() {
+            let vpath = format!("{path}.virtual");
+            std::fs::write(&vpath, virtual_stacks)
+                .map_err(|e| format!("--folded-out {vpath}: {e}"))?;
+            written.push_str(&format!(", virtual stacks -> {vpath}"));
+        }
+        eprintln!("{written}");
+    }
     if let Some(path) = args.get("metrics-out") {
         let file = std::fs::File::create(path).map_err(|e| format!("--metrics-out {path}: {e}"))?;
         let mut writer = std::io::BufWriter::new(file);
@@ -236,18 +316,19 @@ pub fn sample(args: &Args) -> Result<(), String> {
     let t = args.get("technique").unwrap_or("upper");
     let technique = sampling::Technique::parse(t).ok_or(format!("unknown technique '{t}'"))?;
     let cfg = sampling::SamplingConfig::new(args.get_or("window", 60i64)?, technique);
-    let rec = recorder_from(args);
-    let (sampled, stats) = sampling::mapreduce_sample_with(&cluster, &dfs, "input", &cfg, &rec)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "sampling window {} s: {} -> {} traces ({:.2} %)",
-        cfg.window_secs,
-        ds.num_traces(),
-        sampled.num_traces(),
-        100.0 * sampled.num_traces() as f64 / ds.num_traces().max(1) as f64
-    );
-    print_job("job", &stats);
-    finish_metrics(args, &rec)
+    observed(args, |rec| {
+        let (sampled, stats) = sampling::mapreduce_sample_with(&cluster, &dfs, "input", &cfg, rec)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "sampling window {} s: {} -> {} traces ({:.2} %)",
+            cfg.window_secs,
+            ds.num_traces(),
+            sampled.num_traces(),
+            100.0 * sampled.num_traces() as f64 / ds.num_traces().max(1) as f64
+        );
+        print_job("job", &stats);
+        Ok(())
+    })
 }
 
 /// `gepeto kmeans`
@@ -265,42 +346,43 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         seed: args.get_or("seed", 1u64)?,
         use_combiner: args.get_or("combiner", false)?,
     };
-    let rec = recorder_from(args);
     let policy = retry_policy_from(args)?;
-    let result = if policy.max_job_retries > 0 {
-        let mut dfs = dfs;
-        kmeans::mapreduce_kmeans_checkpointed(&cluster, &mut dfs, "input", &cfg, &policy, &rec)
-    } else {
-        kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &cfg, &rec)
-    }
-    .map_err(|e| e.to_string())?;
-    println!(
-        "k-means: k={} distance={} converged={} after {} iterations",
-        cfg.k,
-        cfg.distance.name(),
-        result.converged,
-        result.iterations
-    );
-    if result.job_retries > 0 {
+    observed(args, |rec| {
+        let result = if policy.max_job_retries > 0 {
+            let mut dfs = dfs;
+            kmeans::mapreduce_kmeans_checkpointed(&cluster, &mut dfs, "input", &cfg, &policy, rec)
+        } else {
+            kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &cfg, rec)
+        }
+        .map_err(|e| e.to_string())?;
         println!(
-            "driver: {} whole-job re-submissions recovered from checkpoints",
-            result.job_retries
+            "k-means: k={} distance={} converged={} after {} iterations",
+            cfg.k,
+            cfg.distance.name(),
+            result.converged,
+            result.iterations
         );
-    }
-    let mean_iter_sim: f64 = result
-        .per_iteration
-        .iter()
-        .map(|i| i.job.sim.makespan_s)
-        .sum::<f64>()
-        / result.iterations.max(1) as f64;
-    println!("mean simulated iteration time: {mean_iter_sim:.1} s");
-    if let Some(last) = result.per_iteration.last() {
-        print_job("last iteration", &last.job);
-    }
-    for (i, c) in result.centroids.iter().enumerate() {
-        println!("  centroid {i}: ({:.6}, {:.6})", c.lat, c.lon);
-    }
-    finish_metrics(args, &rec)
+        if result.job_retries > 0 {
+            println!(
+                "driver: {} whole-job re-submissions recovered from checkpoints",
+                result.job_retries
+            );
+        }
+        let mean_iter_sim: f64 = result
+            .per_iteration
+            .iter()
+            .map(|i| i.job.sim.makespan_s)
+            .sum::<f64>()
+            / result.iterations.max(1) as f64;
+        println!("mean simulated iteration time: {mean_iter_sim:.1} s");
+        if let Some(last) = result.per_iteration.last() {
+            print_job("last iteration", &last.job);
+        }
+        for (i, c) in result.centroids.iter().enumerate() {
+            println!("  centroid {i}: ({:.6}, {:.6})", c.lat, c.lon);
+        }
+        Ok(())
+    })
 }
 
 /// `gepeto djcluster`
@@ -322,45 +404,49 @@ pub fn djcluster(args: &Args) -> Result<(), String> {
     let rtree_cfg = args
         .get_or("mr-rtree", true)?
         .then(gepeto::rtree_build::RTreeBuildConfig::default);
-    let rec = recorder_from(args);
     let policy = retry_policy_from(args)?;
-    let (clustering, pre, stats) = if policy.max_job_retries > 0 {
-        let (clustering, pre, stats, job_retries) = djcluster::mapreduce_djcluster_full_resilient(
-            &cluster,
-            &mut dfs,
-            "sampled",
-            &cfg,
-            rtree_cfg.as_ref(),
-            &policy,
-            &rec,
-        )
-        .map_err(|e| e.to_string())?;
-        if job_retries > 0 {
-            println!("driver: {job_retries} whole-job re-submissions recovered from checkpoints");
-        }
-        (clustering, pre, stats)
-    } else {
-        djcluster::mapreduce_djcluster_full_with(
-            &cluster,
-            &mut dfs,
-            "sampled",
-            &cfg,
-            rtree_cfg.as_ref(),
-            &rec,
-        )
-        .map_err(|e| e.to_string())?
-    };
-    println!(
-        "preprocessing: {} -> {} (speed filter) -> {} (dedup)",
-        pre.input, pre.after_speed_filter, pre.after_dedup
-    );
-    println!(
-        "DJ-Cluster: {} clusters, {} noise traces",
-        clustering.clusters.len(),
-        clustering.noise
-    );
-    print_job("cluster job", &stats.cluster_job);
-    finish_metrics(args, &rec)
+    observed(args, |rec| {
+        let (clustering, pre, stats) = if policy.max_job_retries > 0 {
+            let (clustering, pre, stats, job_retries) =
+                djcluster::mapreduce_djcluster_full_resilient(
+                    &cluster,
+                    &mut dfs,
+                    "sampled",
+                    &cfg,
+                    rtree_cfg.as_ref(),
+                    &policy,
+                    rec,
+                )
+                .map_err(|e| e.to_string())?;
+            if job_retries > 0 {
+                println!(
+                    "driver: {job_retries} whole-job re-submissions recovered from checkpoints"
+                );
+            }
+            (clustering, pre, stats)
+        } else {
+            djcluster::mapreduce_djcluster_full_with(
+                &cluster,
+                &mut dfs,
+                "sampled",
+                &cfg,
+                rtree_cfg.as_ref(),
+                rec,
+            )
+            .map_err(|e| e.to_string())?
+        };
+        println!(
+            "preprocessing: {} -> {} (speed filter) -> {} (dedup)",
+            pre.input, pre.after_speed_filter, pre.after_dedup
+        );
+        println!(
+            "DJ-Cluster: {} clusters, {} noise traces",
+            clustering.clusters.len(),
+            clustering.noise
+        );
+        print_job("cluster job", &stats.cluster_job);
+        Ok(())
+    })
 }
 
 /// `gepeto attack`
@@ -730,6 +816,70 @@ mod tests {
         assert!(err.contains("NODE@SECONDS"));
         let err = kmeans(&args("--users 2 --scale 0.002 --degrade 0@1")).unwrap_err();
         assert!(err.contains("NODE@SECONDS@FACTOR"));
+    }
+
+    #[test]
+    fn watch_and_prom_out_write_a_live_exposition_under_chaos() {
+        let path = std::env::temp_dir().join("gepeto-cli-prom-test.prom");
+        let flags = format!(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --crash 1@40 \
+             --watch=0.05 --prom-out {}",
+            path.display()
+        );
+        assert!(kmeans(&args(&flags)).is_ok());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            body.contains("# TYPE gepeto_map_tasks_done counter"),
+            "{body}"
+        );
+        assert!(body.contains("gepeto_jobs_finished_total"), "{body}");
+        assert!(body.contains("le=\"+Inf\""), "{body}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn watch_interval_parses_and_rejects_garbage() {
+        assert_eq!(watch_interval(&args("--watch")).unwrap(), Some(2.0));
+        assert_eq!(watch_interval(&args("--watch=0.5")).unwrap(), Some(0.5));
+        assert_eq!(watch_interval(&args("--k 3")).unwrap(), None);
+        assert!(watch_interval(&args("--watch=fast")).is_err());
+        assert!(watch_interval(&args("--watch=-1")).is_err());
+    }
+
+    #[test]
+    fn metrics_out_survives_an_aborted_run() {
+        // Crash every node at t=0: the job cannot finish and the
+        // command must fail — but the event stream still lands.
+        let path = std::env::temp_dir().join("gepeto-cli-abort-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let flags = format!(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 \
+             --crash 0@0,1@0,2@0,3@0 --metrics-out {}",
+            path.display()
+        );
+        assert!(kmeans(&args(&flags)).is_err());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.lines().count() > 0);
+        assert!(body.contains("chaos.crash"), "{body}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn folded_out_writes_host_and_virtual_stacks() {
+        let path = std::env::temp_dir().join("gepeto-cli-folded-test.folded");
+        let vpath = std::env::temp_dir().join("gepeto-cli-folded-test.folded.virtual");
+        let flags = format!(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --folded-out {}",
+            path.display()
+        );
+        assert!(kmeans(&args(&flags)).is_ok());
+        let host = std::fs::read_to_string(&path).unwrap();
+        assert!(host.lines().all(|l| l.rsplit_once(' ').is_some()));
+        assert!(host.contains("kmeans"), "{host}");
+        let virt = std::fs::read_to_string(&vpath).unwrap();
+        assert!(virt.contains(";map;"), "{virt}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(vpath);
     }
 
     #[test]

@@ -439,6 +439,9 @@ pub fn mapreduce_kmeans_with(
         iterations += 1;
         let shift = max_shift(&centroids, &next, cfg.distance);
         telemetry.point("kmeans.shift", shift, &[("iter", &iterations.to_string())]);
+        if let Some(m) = telemetry.monitor() {
+            m.set_driver_progress(iterations as u64, shift);
+        }
         iter_span.end();
         per_iteration.push(IterationStats {
             iteration: iterations,
@@ -527,6 +530,9 @@ pub fn mapreduce_kmeans_checkpointed(
             shift,
             &[("iter", &state.iteration.to_string())],
         );
+        if let Some(m) = telemetry.monitor() {
+            m.set_driver_progress(state.iteration as u64, shift);
+        }
         iter_span.end();
         per_iteration.push(IterationStats {
             iteration: state.iteration,

@@ -303,6 +303,10 @@ where
     pub fn run(self) -> Result<JobResult<R::KOut, R::VOut>, JobError> {
         let started = Instant::now();
         let counters = Counters::new();
+        let monitor = self.telemetry.monitor();
+        if let Some(m) = &monitor {
+            m.job_started();
+        }
         let job_span = self.telemetry.span(
             "job",
             &[
@@ -335,10 +339,12 @@ where
         } = map_phase;
 
         // ---- reduce tasks, in parallel ----
-        counters.inc(
-            builtin::SHUFFLE_BYTES,
-            partition_bytes.iter().copied().sum(),
-        );
+        let shuffled: u64 = partition_bytes.iter().copied().sum();
+        counters.inc(builtin::SHUFFLE_BYTES, shuffled);
+        if let Some(m) = &monitor {
+            m.add_shuffle_bytes(shuffled);
+            m.add_reduce_tasks(partition_bytes.len() as u64);
+        }
         let reduce_span = job_span.child("phase.reduce", &[]);
         let reducer_clones: Vec<R> = (0..partition_bytes.len())
             .map(|_| self.reducer.clone())
@@ -361,6 +367,9 @@ where
                 )) < fail.reduce_fail_prob
                 {
                     counters.inc(builtin::TASK_RETRIES, 1);
+                    if let Some(m) = &monitor {
+                        m.add_task_retry();
+                    }
                     self.telemetry.point(
                         "task.retry",
                         attempt as f64,
@@ -422,6 +431,10 @@ where
                 reducer.cleanup(&mut out);
                 let host_secs = t0.elapsed().as_secs_f64();
                 task_span.end();
+                if let Some(m) = &monitor {
+                    m.reduce_task_done();
+                    m.observe("task.reduce.us", (host_secs * 1e6) as u64);
+                }
                 let output = out.into_pairs();
                 counters.inc(builtin::REDUCE_OUTPUT_RECORDS, output.len() as u64);
                 Ok(ReduceTaskOutput {
@@ -542,6 +555,9 @@ where
     pub fn run(self) -> Result<JobResult<M::KOut, M::VOut>, JobError> {
         let started = Instant::now();
         let counters = Counters::new();
+        if let Some(m) = self.telemetry.monitor() {
+            m.job_started();
+        }
         let job_span = self
             .telemetry
             .span("job", &[("job", &self.name), ("reducers", "0")]);
@@ -635,6 +651,9 @@ fn finish_stats(
             telemetry.count(k, v);
         }
     }
+    if let Some(m) = telemetry.monitor() {
+        m.job_finished();
+    }
     let mirror = |name: &str| counters_snapshot.get(name).copied().unwrap_or(0);
     JobStats {
         name,
@@ -688,6 +707,10 @@ where
     C: Combiner<M::KOut, M::VOut>,
 {
     let block_ids = dfs.blocks_of(input)?.to_vec();
+    let monitor = telemetry.monitor();
+    if let Some(m) = &monitor {
+        m.add_map_tasks(block_ids.len() as u64);
+    }
     // Global record offset of each chunk.
     let mut offsets = Vec::with_capacity(block_ids.len());
     let mut acc = 0u64;
@@ -714,6 +737,9 @@ where
                 < fail.map_fail_prob
             {
                 counters.inc(builtin::TASK_RETRIES, 1);
+                if let Some(m) = &monitor {
+                    m.add_task_retry();
+                }
                 telemetry.point(
                     "task.retry",
                     attempt as f64,
@@ -808,6 +834,10 @@ where
             };
             let host_secs = t0.elapsed().as_secs_f64();
             task_span.end();
+            if let Some(m) = &monitor {
+                m.map_task_done();
+                m.observe("task.map.us", (host_secs * 1e6) as u64);
+            }
             Ok(MapTaskResult {
                 buckets,
                 bucket_bytes: bytes,

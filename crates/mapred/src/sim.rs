@@ -365,6 +365,7 @@ pub fn simulate_chaos(
     let mut blacklisted = vec![false; n_nodes];
     let mut node_failures = vec![0u32; n_nodes];
     let mut task_seq = 0usize;
+    let monitor = telemetry.monitor();
 
     // Scripted chaos, projected onto this job's local timeline, is
     // announced up front so the timeline/Gantt layer can overlay the
@@ -476,6 +477,9 @@ pub fn simulate_chaos(
                 pool.occupy(node, slot, end);
                 report.failed_attempt_s += end - at;
                 node_failures[node] += 1;
+                if let Some(m) = &monitor {
+                    m.node_busy(node, end - at);
+                }
                 maybe_blacklist(
                     node,
                     &death,
@@ -510,6 +514,10 @@ pub fn simulate_chaos(
                 pool.occupy(node, slot, death[node]);
                 report.failed_attempt_s += death[node] - at;
                 report.crash_killed_attempts += 1;
+                if let Some(m) = &monitor {
+                    m.add_crash_killed();
+                    m.node_busy(node, death[node] - at);
+                }
                 if telemetry.is_enabled() {
                     telemetry.point(
                         "sched.map.killed",
@@ -550,6 +558,12 @@ pub fn simulate_chaos(
                 }
                 telemetry.point("sched.map", dur, &labels);
             }
+            if let Some(m) = &monitor {
+                m.node_busy(node, dur);
+                if failover {
+                    m.add_failed_over_read();
+                }
+            }
             pool.occupy(node, slot, end);
             completed[tid] = Some((node, end));
             map_end = map_end.max(end);
@@ -576,6 +590,9 @@ pub fn simulate_chaos(
             break;
         }
         report.reexecuted_maps += requeued;
+        if let Some(m) = &monitor {
+            m.add_reexecuted_maps(requeued as u64);
+        }
         if telemetry.is_enabled() {
             telemetry.point("sched.map.invalidated", requeued as f64, &[]);
         }
@@ -617,6 +634,9 @@ pub fn simulate_chaos(
                 pool.occupy(node, slot, end);
                 report.failed_attempt_s += end - at;
                 node_failures[node] += 1;
+                if let Some(m) = &monitor {
+                    m.node_busy(node, end - at);
+                }
                 maybe_blacklist(
                     node,
                     &death,
@@ -649,6 +669,10 @@ pub fn simulate_chaos(
                 pool.occupy(node, slot, death[node]);
                 report.failed_attempt_s += death[node] - at;
                 report.crash_killed_attempts += 1;
+                if let Some(m) = &monitor {
+                    m.add_crash_killed();
+                    m.node_busy(node, death[node] - at);
+                }
                 if telemetry.is_enabled() {
                     telemetry.point(
                         "sched.reduce.killed",
@@ -673,6 +697,9 @@ pub fn simulate_chaos(
                         ("start", &fmt_secs(at)),
                     ],
                 );
+            }
+            if let Some(m) = &monitor {
+                m.node_busy(node, dur);
             }
             pool.occupy(node, slot, end);
             reduce_end = reduce_end.max(end);
@@ -707,6 +734,9 @@ fn maybe_blacklist(
     if another_usable {
         blacklisted[node] = true;
         report.blacklisted_nodes += 1;
+        if let Some(m) = telemetry.monitor() {
+            m.add_blacklisted();
+        }
         if telemetry.is_enabled() {
             telemetry.point("chaos.blacklist", at, &[("node", &node.to_string())]);
         }

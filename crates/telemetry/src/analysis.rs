@@ -30,16 +30,23 @@ use std::fmt::Write as _;
 /// One reconstructed span (a `span_start`/`span_end` pair; unclosed
 /// spans are extended to the end of the stream).
 #[derive(Debug, Clone)]
-struct SpanNode {
-    name: &'static str,
-    span_id: u64,
-    parent_id: u64,
-    end_us: u64,
-    dur_us: u64,
-    labels: Vec<(String, String)>,
+pub(crate) struct SpanNode {
+    pub(crate) name: &'static str,
+    pub(crate) span_id: u64,
+    pub(crate) parent_id: u64,
+    pub(crate) end_us: u64,
+    pub(crate) dur_us: u64,
+    pub(crate) labels: Vec<(String, String)>,
 }
 
-fn build_spans(events: &[Event]) -> Vec<SpanNode> {
+impl SpanNode {
+    /// Start timestamp, recovered from the recorded end and duration.
+    pub(crate) fn start_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.dur_us)
+    }
+}
+
+pub(crate) fn build_spans(events: &[Event]) -> Vec<SpanNode> {
     let max_ts = events.iter().map(|e| e.ts_us).max().unwrap_or(0);
     let mut spans: Vec<SpanNode> = Vec::new();
     let mut index: BTreeMap<u64, usize> = BTreeMap::new();

@@ -1,0 +1,300 @@
+//! Folded-stack ("flamegraph") export of a captured trace, in the
+//! format `inferno` / speedscope / Brendan Gregg's `flamegraph.pl`
+//! consume: one `frame;frame;frame value` line per stack, value in
+//! integer microseconds.
+//!
+//! Two complementary exports mirror the two critical-path views:
+//!
+//! - [`host_folded`] folds the *host-side* span tree. Because parallel
+//!   task spans overlap in wall time, a naive self-time fold would
+//!   double-count; instead the root span's wall clock is swept interval
+//!   by interval and each instant is attributed to the chain of spans
+//!   the run was actually waiting on (the same "latest-ending child"
+//!   rule as [`crate::CriticalPath`]), so the exported self-times sum
+//!   exactly to the root span's wall time.
+//! - [`virtual_folded`] folds the virtual scheduler's `sched.*` points
+//!   of the dominant job: every scheduled attempt (successes, failures,
+//!   crash kills) becomes a stack under its phase, weighted by its
+//!   virtual duration — makespan *attribution* rather than wall time.
+
+use crate::analysis::{build_spans, dominant_segment, parse_label_usize, SpanNode};
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A span's display frame: its name plus the first identity label.
+fn frame(span: &SpanNode) -> String {
+    for key in ["job", "iter", "task", "block"] {
+        if let Some((_, v)) = span.labels.iter().find(|(k, _)| k == key) {
+            return format!("{}({})", span.name, v);
+        }
+    }
+    span.name.to_string()
+}
+
+/// Folds the host-side span tree into stacks whose self-times sum to
+/// the root span's wall time (the [`crate::CriticalPath`] total).
+/// Empty string when the stream holds no spans.
+pub fn host_folded(events: &[Event]) -> String {
+    let spans = build_spans(events);
+    if spans.is_empty() {
+        return String::new();
+    }
+    let ids: BTreeMap<u64, usize> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.span_id, i))
+        .collect();
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent_id != 0 && ids.contains_key(&s.parent_id) {
+            children.entry(s.parent_id).or_default().push(i);
+        }
+    }
+    // Same root rule as CriticalPath: the longest top-level span,
+    // earliest on ties.
+    let root = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.parent_id == 0 || !ids.contains_key(&s.parent_id))
+        .max_by(|a, b| a.1.dur_us.cmp(&b.1.dur_us).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty span set has a root");
+    let (root_start, root_end) = (spans[root].start_us(), spans[root].end_us);
+    if root_end <= root_start {
+        return format!("{} {}\n", frame(&spans[root]), spans[root].dur_us);
+    }
+
+    // Members of the root's subtree, with endpoints clamped to the root
+    // interval so every span boundary is a sweep boundary.
+    let mut subtree = vec![false; spans.len()];
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        subtree[i] = true;
+        if let Some(kids) = children.get(&spans[i].span_id) {
+            stack.extend(kids.iter().copied());
+        }
+    }
+    let clamp = |t: u64| t.clamp(root_start, root_end);
+    let mut boundaries: Vec<u64> = Vec::with_capacity(spans.len() * 2);
+    for (i, s) in spans.iter().enumerate() {
+        if subtree[i] {
+            boundaries.push(clamp(s.start_us()));
+            boundaries.push(clamp(s.end_us));
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    // Sweep: attribute each elementary interval to the deepest chain of
+    // spans covering it, descending to the latest-ending covering child
+    // at each level (ties to the longest) — the child the parent waits
+    // on, matching CriticalPath's chain rule.
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for window in boundaries.windows(2) {
+        let (t0, t1) = (window[0], window[1]);
+        if t1 <= t0 {
+            continue;
+        }
+        let mut path = frame(&spans[root]);
+        let mut cur = root;
+        loop {
+            let next = children.get(&spans[cur].span_id).and_then(|kids| {
+                kids.iter()
+                    .copied()
+                    .filter(|&j| clamp(spans[j].start_us()) <= t0 && clamp(spans[j].end_us) >= t1)
+                    .max_by(|&a, &b| {
+                        spans[a]
+                            .end_us
+                            .cmp(&spans[b].end_us)
+                            .then(spans[a].dur_us.cmp(&spans[b].dur_us))
+                    })
+            });
+            match next {
+                Some(j) => {
+                    let _ = write!(path, ";{}", frame(&spans[j]));
+                    cur = j;
+                }
+                None => break,
+            }
+        }
+        *folded.entry(path).or_insert(0) += t1 - t0;
+    }
+
+    let mut out = String::with_capacity(folded.len() * 48);
+    for (path, us) in folded {
+        let _ = writeln!(out, "{path} {us}");
+    }
+    out
+}
+
+/// Folds the dominant job's virtual schedule into stacks weighted by
+/// each attempt's virtual duration (integer microseconds): makespan
+/// attribution of scheduled work, recovery attempts included. `None`
+/// when the stream holds no successful `sched.*` points.
+pub fn virtual_folded(events: &[Event]) -> Option<String> {
+    let seg = dominant_segment(events)?;
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for p in &seg.points {
+        let Some(kind) = p.name.strip_prefix("sched.") else {
+            continue;
+        };
+        let (Some(task), Some(node), Some(dur_s)) = (
+            parse_label_usize(p, "task"),
+            parse_label_usize(p, "node"),
+            p.value,
+        ) else {
+            continue;
+        };
+        let kind = if kind == "map" && p.label("reexec").is_some() {
+            "map.reexec".to_string()
+        } else {
+            kind.to_string()
+        };
+        let stack = format!("job({});{kind};task{task}@n{node}", seg.name);
+        *folded.entry(stack).or_insert(0) += (dur_s * 1e6).round() as u64;
+    }
+    let mut out = String::with_capacity(folded.len() * 48);
+    for (path, us) in folded {
+        let _ = writeln!(out, "{path} {us}");
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::CriticalPath;
+    use crate::event::EventKind;
+
+    fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect()
+    }
+
+    fn start(name: &'static str, id: u64, parent: u64, ts: u64, labels: &[(&str, &str)]) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::SpanStart,
+            name,
+            span_id: id,
+            parent_id: parent,
+            dur_us: None,
+            value: None,
+            labels: owned(labels),
+        }
+    }
+
+    fn end(name: &'static str, id: u64, parent: u64, ts: u64, dur: u64) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::SpanEnd,
+            name,
+            span_id: id,
+            parent_id: parent,
+            dur_us: Some(dur),
+            value: None,
+            labels: Vec::new(),
+        }
+    }
+
+    fn sched(
+        name: &'static str,
+        task: usize,
+        node: usize,
+        start_s: f64,
+        dur_s: f64,
+        extra: &[(&str, &str)],
+    ) -> Event {
+        let mut labels = vec![
+            ("task".to_string(), task.to_string()),
+            ("node".to_string(), node.to_string()),
+            ("start".to_string(), format!("{start_s:.6}")),
+        ];
+        labels.extend(extra.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())));
+        Event {
+            ts_us: 0,
+            kind: EventKind::Point,
+            name,
+            span_id: 0,
+            parent_id: 0,
+            dur_us: None,
+            value: Some(dur_s),
+            labels,
+        }
+    }
+
+    fn folded_total(text: &str) -> u64 {
+        text.lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum()
+    }
+
+    #[test]
+    fn empty_stream_folds_to_nothing() {
+        assert_eq!(host_folded(&[]), "");
+        assert!(virtual_folded(&[]).is_none());
+    }
+
+    #[test]
+    fn overlapping_tasks_do_not_double_count() {
+        // job(0..100) -> phase.map(0..60) -> two tasks overlapping in
+        // 10..50; a naive fold would sum 40 extra microseconds.
+        let events = vec![
+            start("job", 1, 0, 0, &[("job", "wc")]),
+            start("phase.map", 2, 1, 0, &[]),
+            start("task.map", 3, 2, 10, &[("task", "0")]),
+            start("task.map", 4, 2, 10, &[("task", "1")]),
+            end("task.map", 3, 2, 50, 40),
+            end("task.map", 4, 2, 55, 45),
+            end("phase.map", 2, 1, 60, 60),
+            end("job", 1, 0, 100, 100),
+        ];
+        let text = host_folded(&events);
+        let cp = CriticalPath::from_events(&events);
+        assert_eq!(folded_total(&text), cp.total_us);
+        // The overlap window belongs to the later-ending task 1.
+        assert!(text.contains("job(wc);phase.map;task.map(1) 45"), "{text}");
+        // Task 0 never owns an instant: task 1 covers its whole life.
+        assert!(!text.contains("task.map(0)"), "{text}");
+        // Time outside phase.map stays with the job frame.
+        assert!(text.contains("job(wc) 40"), "{text}");
+    }
+
+    #[test]
+    fn unclosed_spans_still_sum_to_the_critical_path_total() {
+        let events = vec![
+            start("job", 1, 0, 0, &[("job", "wc")]),
+            start("phase.map", 2, 1, 10, &[]),
+            start("task.map", 3, 2, 20, &[("task", "0")]),
+            end("task.map", 3, 2, 45, 25),
+        ];
+        let text = host_folded(&events);
+        let cp = CriticalPath::from_events(&events);
+        assert_eq!(folded_total(&text), cp.total_us);
+    }
+
+    #[test]
+    fn virtual_fold_weights_attempts_by_virtual_duration() {
+        let mut events = vec![start("job", 1, 0, 0, &[("job", "wc")])];
+        events.push(sched("sched.map", 0, 0, 0.0, 2.0, &[]));
+        events.push(sched("sched.map", 1, 1, 0.0, 3.0, &[("reexec", "1")]));
+        events.push(sched("sched.map.killed", 2, 2, 0.0, 1.5, &[]));
+        events.push(sched("sched.reduce", 0, 0, 3.0, 4.0, &[]));
+        events.push(end("job", 1, 0, 10, 10));
+        let text = virtual_folded(&events).unwrap();
+        assert!(text.contains("job(wc);map;task0@n0 2000000"), "{text}");
+        assert!(
+            text.contains("job(wc);map.reexec;task1@n1 3000000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("job(wc);map.killed;task2@n2 1500000"),
+            "{text}"
+        );
+        assert!(text.contains("job(wc);reduce;task0@n0 4000000"), "{text}");
+        assert_eq!(folded_total(&text), 10_500_000);
+    }
+}

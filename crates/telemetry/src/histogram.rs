@@ -48,6 +48,13 @@ impl Histogram {
         }
     }
 
+    /// The raw per-bucket counts (value ranges per
+    /// [`Histogram::bucket_bounds`]) — what a Prometheus-style
+    /// exposition folds into cumulative `le` buckets.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
     /// Records one sample.
     pub fn observe(&mut self, value: u64) {
         self.buckets[Self::bucket_index(value)] += 1;

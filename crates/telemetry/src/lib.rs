@@ -42,15 +42,19 @@
 
 mod analysis;
 mod event;
+mod flamegraph;
 mod histogram;
-mod json;
+pub mod json;
+mod monitor;
 mod summary;
 mod timeline;
 
 pub use analysis::{CriticalPath, CriticalPathStep, PhaseCritical, TaskRef, VirtualCriticalPath};
 pub use event::{Event, EventKind};
+pub use flamegraph::{host_folded, virtual_folded};
 pub use histogram::Histogram;
 pub use json::{event_to_json, write_jsonl};
+pub use monitor::{MetricsSnapshot, Monitor, Reporter};
 pub use summary::{
     PhaseStat, Straggler, SummaryReport, TaskStats, BLACKLISTED_NODES_COUNTER,
     FAILED_OVER_READS_COUNTER, REEXECUTED_MAPS_COUNTER, SHUFFLE_BYTES_COUNTER,
@@ -79,6 +83,10 @@ struct Inner {
     /// forest of roots. Task-level spans use [`Span::child`] and never
     /// touch this stack, keeping parallel tasks correctly attributed.
     context: Mutex<Vec<u64>>,
+    /// Live progress registry, present on [`Recorder::monitored`]
+    /// recorders only. Engine hooks update it in place; a background
+    /// [`Reporter`] snapshots it at its own cadence.
+    monitor: Option<Arc<Monitor>>,
 }
 
 /// The telemetry handle threaded through the engine.
@@ -94,6 +102,18 @@ pub struct Recorder {
 impl Recorder {
     /// A recorder that captures everything.
     pub fn enabled() -> Self {
+        Self::build(None)
+    }
+
+    /// A recorder that captures everything **and** carries a live
+    /// [`Monitor`] registry: engine hooks bump its atomics as tasks
+    /// finish, so a [`Reporter`] (or any caller of
+    /// [`Monitor::snapshot`]) can watch the run in flight.
+    pub fn monitored() -> Self {
+        Self::build(Some(Arc::new(Monitor::new())))
+    }
+
+    fn build(monitor: Option<Arc<Monitor>>) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
@@ -102,6 +122,7 @@ impl Recorder {
                 histograms: Mutex::new(BTreeMap::new()),
                 next_span: AtomicU64::new(1),
                 context: Mutex::new(Vec::new()),
+                monitor,
             })),
         }
     }
@@ -109,6 +130,11 @@ impl Recorder {
     /// The no-op recorder (also what `Default` gives you).
     pub fn disabled() -> Self {
         Self { inner: None }
+    }
+
+    /// The live progress registry, on [`Recorder::monitored`] recorders.
+    pub fn monitor(&self) -> Option<Arc<Monitor>> {
+        self.inner.as_ref().and_then(|inner| inner.monitor.clone())
     }
 
     /// Whether this recorder captures anything.
@@ -291,6 +317,18 @@ impl Recorder {
     /// (`None` without simulator scheduling points).
     pub fn timeline(&self) -> Option<Timeline> {
         Timeline::from_events(&self.events())
+    }
+
+    /// Folds the host-side span tree into flamegraph stacks (see
+    /// [`host_folded`]); empty string without spans.
+    pub fn host_folded(&self) -> String {
+        flamegraph::host_folded(&self.events())
+    }
+
+    /// Folds the dominant job's virtual schedule into flamegraph stacks
+    /// (see [`virtual_folded`]); `None` without scheduling points.
+    pub fn virtual_folded(&self) -> Option<String> {
+        flamegraph::virtual_folded(&self.events())
     }
 }
 

@@ -1,0 +1,617 @@
+//! Live run monitoring: a lock-light progress registry updated in place
+//! by the engine, plus a background [`Reporter`] that renders
+//! jobtracker-style heartbeat lines and Prometheus text exposition
+//! while the run is still in flight.
+//!
+//! The paper's cluster runs were watched through Hadoop's
+//! jobtracker/tasktracker heartbeats; everything else in this crate is
+//! post-hoc (computed from a finished [`crate::Recorder`]). The
+//! [`Monitor`] closes that gap: hot paths bump relaxed atomics (no
+//! event allocation, no lock on the counter path), and a snapshot at
+//! any instant is a consistent-enough [`MetricsSnapshot`] for an
+//! operator to spot stragglers, crashes and stalled iterations before
+//! the run completes.
+
+use crate::histogram::Histogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The live progress registry shared between the engine's hot paths and
+/// the reporter thread. All counter updates are relaxed atomic bumps;
+/// per-node occupancy and histograms take a short `parking_lot` lock on
+/// the (rare) task-completion path only.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    jobs_started: AtomicU64,
+    jobs_finished: AtomicU64,
+    map_tasks_total: AtomicU64,
+    map_tasks_done: AtomicU64,
+    reduce_tasks_total: AtomicU64,
+    reduce_tasks_done: AtomicU64,
+    shuffle_bytes: AtomicU64,
+    task_retries: AtomicU64,
+    reexecuted_maps: AtomicU64,
+    failed_over_reads: AtomicU64,
+    blacklisted_nodes: AtomicU64,
+    crash_killed_attempts: AtomicU64,
+    driver_iteration: AtomicU64,
+    /// The driver's latest convergence delta, stored as `f64` bits.
+    driver_delta_bits: AtomicU64,
+    /// Virtual busy microseconds per node, indexed by node id.
+    node_busy_us: Mutex<Vec<u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Monitor {
+    /// An empty registry (all zeros).
+    pub fn new() -> Self {
+        Self {
+            driver_delta_bits: AtomicU64::new(f64::NAN.to_bits()),
+            ..Self::default()
+        }
+    }
+
+    /// A job entered its run loop.
+    pub fn job_started(&self) {
+        self.jobs_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job finished (its stats were folded).
+    pub fn job_finished(&self) {
+        self.jobs_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` map tasks were scheduled for the current job.
+    pub fn add_map_tasks(&self, n: u64) {
+        self.map_tasks_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One map task completed.
+    pub fn map_task_done(&self) {
+        self.map_tasks_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` reduce tasks were scheduled for the current job.
+    pub fn add_reduce_tasks(&self, n: u64) {
+        self.reduce_tasks_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One reduce task completed.
+    pub fn reduce_task_done(&self) {
+        self.reduce_tasks_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` more bytes crossed the shuffle.
+    pub fn add_shuffle_bytes(&self, n: u64) {
+        self.shuffle_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A task attempt failed and was retried.
+    pub fn add_task_retry(&self) {
+        self.task_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` map tasks were re-executed after losing their output.
+    pub fn add_reexecuted_maps(&self, n: u64) {
+        self.reexecuted_maps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A block read failed over to a replica.
+    pub fn add_failed_over_read(&self) {
+        self.failed_over_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A node was blacklisted.
+    pub fn add_blacklisted(&self) {
+        self.blacklisted_nodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An in-flight attempt was killed by a node crash.
+    pub fn add_crash_killed(&self) {
+        self.crash_killed_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The iterative driver finished an iteration with this delta.
+    pub fn set_driver_progress(&self, iteration: u64, delta: f64) {
+        self.driver_iteration.store(iteration, Ordering::Relaxed);
+        self.driver_delta_bits
+            .store(delta.to_bits(), Ordering::Relaxed);
+    }
+
+    /// `node` spent `secs` more virtual seconds running attempts.
+    pub fn node_busy(&self, node: usize, secs: f64) {
+        if secs.is_nan() || secs <= 0.0 {
+            return;
+        }
+        let mut busy = self.node_busy_us.lock();
+        if busy.len() <= node {
+            busy.resize(node + 1, 0);
+        }
+        busy[node] += (secs * 1e6) as u64;
+    }
+
+    /// Records a sample into the named live histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut histograms = self.histograms.lock();
+        match histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every gauge, counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            jobs_started: load(&self.jobs_started),
+            jobs_finished: load(&self.jobs_finished),
+            map_tasks_total: load(&self.map_tasks_total),
+            map_tasks_done: load(&self.map_tasks_done),
+            reduce_tasks_total: load(&self.reduce_tasks_total),
+            reduce_tasks_done: load(&self.reduce_tasks_done),
+            shuffle_bytes: load(&self.shuffle_bytes),
+            task_retries: load(&self.task_retries),
+            reexecuted_maps: load(&self.reexecuted_maps),
+            failed_over_reads: load(&self.failed_over_reads),
+            blacklisted_nodes: load(&self.blacklisted_nodes),
+            crash_killed_attempts: load(&self.crash_killed_attempts),
+            driver_iteration: load(&self.driver_iteration),
+            driver_delta: f64::from_bits(load(&self.driver_delta_bits)),
+            node_busy_s: self
+                .node_busy_us
+                .lock()
+                .iter()
+                .map(|&us| us as f64 / 1e6)
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// One consistent-enough copy of the [`Monitor`]'s state.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Jobs that entered their run loop.
+    pub jobs_started: u64,
+    /// Jobs whose stats were folded.
+    pub jobs_finished: u64,
+    /// Map tasks scheduled so far.
+    pub map_tasks_total: u64,
+    /// Map tasks completed so far.
+    pub map_tasks_done: u64,
+    /// Reduce tasks scheduled so far.
+    pub reduce_tasks_total: u64,
+    /// Reduce tasks completed so far.
+    pub reduce_tasks_done: u64,
+    /// Bytes shuffled so far.
+    pub shuffle_bytes: u64,
+    /// Failure-injected task retries so far.
+    pub task_retries: u64,
+    /// Map tasks re-executed after output loss.
+    pub reexecuted_maps: u64,
+    /// Block reads failed over to a replica.
+    pub failed_over_reads: u64,
+    /// Nodes blacklisted so far.
+    pub blacklisted_nodes: u64,
+    /// Attempts killed mid-flight by node crashes.
+    pub crash_killed_attempts: u64,
+    /// The driver's current iteration (0 before the first completes).
+    pub driver_iteration: u64,
+    /// The driver's latest convergence delta (NaN before the first).
+    pub driver_delta: f64,
+    /// Virtual busy seconds per node, indexed by node id.
+    pub node_busy_s: Vec<f64>,
+    /// Live histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+/// Formats a byte count with a binary-ish human unit.
+fn fmt_bytes(n: u64) -> String {
+    match n {
+        0..=9_999 => format!("{n} B"),
+        10_000..=9_999_999 => format!("{:.1} KB", n as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1} MB", n as f64 / 1e6),
+        _ => format!("{:.1} GB", n as f64 / 1e9),
+    }
+}
+
+impl MetricsSnapshot {
+    /// One Hadoop-jobtracker-style heartbeat line, e.g.
+    ///
+    /// ```text
+    /// maps 12/16 75% | reduces 2/4 50% | shuffle 1.2 MB | retries 3 reexec 2 blacklist 1 killed 0 | iter 3 delta 0.00123
+    /// ```
+    pub fn status_line(&self) -> String {
+        let progress = |done: u64, total: u64| -> String {
+            if total == 0 {
+                format!("{done}/{total}")
+            } else {
+                format!("{done}/{total} {:.0}%", 100.0 * done as f64 / total as f64)
+            }
+        };
+        let mut line = format!(
+            "maps {} | reduces {} | shuffle {} | retries {} reexec {} blacklist {} killed {}",
+            progress(self.map_tasks_done, self.map_tasks_total),
+            progress(self.reduce_tasks_done, self.reduce_tasks_total),
+            fmt_bytes(self.shuffle_bytes),
+            self.task_retries,
+            self.reexecuted_maps,
+            self.blacklisted_nodes,
+            self.crash_killed_attempts,
+        );
+        if self.driver_iteration > 0 {
+            let _ = write!(line, " | iter {}", self.driver_iteration);
+            if self.driver_delta.is_finite() {
+                let _ = write!(line, " delta {:.5}", self.driver_delta);
+            }
+        }
+        if !self.node_busy_s.is_empty() {
+            line.push_str(" | busy");
+            for (node, s) in self.node_busy_s.iter().enumerate() {
+                let _ = write!(line, " n{node}:{s:.1}s");
+            }
+        }
+        line
+    }
+
+    /// Serializes the snapshot in the Prometheus text-exposition format
+    /// (one `# HELP`/`# TYPE` header per family; histogram families
+    /// reuse the log-bucket bounds of [`Histogram`] as `le` values).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut metric = |name: &str, kind: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        metric(
+            "gepeto_jobs_started_total",
+            "counter",
+            "Jobs that entered their run loop.",
+            self.jobs_started as f64,
+        );
+        metric(
+            "gepeto_jobs_finished_total",
+            "counter",
+            "Jobs whose stats were folded.",
+            self.jobs_finished as f64,
+        );
+        metric(
+            "gepeto_map_tasks_total",
+            "counter",
+            "Map tasks scheduled.",
+            self.map_tasks_total as f64,
+        );
+        metric(
+            "gepeto_map_tasks_done",
+            "counter",
+            "Map tasks completed.",
+            self.map_tasks_done as f64,
+        );
+        metric(
+            "gepeto_reduce_tasks_total",
+            "counter",
+            "Reduce tasks scheduled.",
+            self.reduce_tasks_total as f64,
+        );
+        metric(
+            "gepeto_reduce_tasks_done",
+            "counter",
+            "Reduce tasks completed.",
+            self.reduce_tasks_done as f64,
+        );
+        metric(
+            "gepeto_shuffle_bytes_total",
+            "counter",
+            "Bytes shuffled between map and reduce.",
+            self.shuffle_bytes as f64,
+        );
+        metric(
+            "gepeto_task_retries_total",
+            "counter",
+            "Failure-injected task retries.",
+            self.task_retries as f64,
+        );
+        metric(
+            "gepeto_reexecuted_maps_total",
+            "counter",
+            "Map tasks re-executed after output loss.",
+            self.reexecuted_maps as f64,
+        );
+        metric(
+            "gepeto_failed_over_reads_total",
+            "counter",
+            "Block reads failed over to a replica.",
+            self.failed_over_reads as f64,
+        );
+        metric(
+            "gepeto_blacklisted_nodes_total",
+            "counter",
+            "Nodes blacklisted by the failure policy.",
+            self.blacklisted_nodes as f64,
+        );
+        metric(
+            "gepeto_crash_killed_attempts_total",
+            "counter",
+            "Attempts killed mid-flight by node crashes.",
+            self.crash_killed_attempts as f64,
+        );
+        metric(
+            "gepeto_jobs_running",
+            "gauge",
+            "Jobs started but not yet finished.",
+            self.jobs_started.saturating_sub(self.jobs_finished) as f64,
+        );
+        metric(
+            "gepeto_driver_iteration",
+            "gauge",
+            "Current driver iteration (0 before the first completes).",
+            self.driver_iteration as f64,
+        );
+        if self.driver_delta.is_finite() {
+            metric(
+                "gepeto_driver_delta",
+                "gauge",
+                "Latest driver convergence delta.",
+                self.driver_delta,
+            );
+        }
+        if !self.node_busy_s.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP gepeto_node_busy_seconds Virtual seconds each node spent running attempts."
+            );
+            let _ = writeln!(out, "# TYPE gepeto_node_busy_seconds gauge");
+            for (node, s) in self.node_busy_s.iter().enumerate() {
+                let _ = writeln!(out, "gepeto_node_busy_seconds{{node=\"{node}\"}} {s}");
+            }
+        }
+        for (name, h) in &self.histograms {
+            let family = format!("gepeto_{}", sanitize_metric_name(name));
+            let _ = writeln!(out, "# HELP {family} Live histogram '{name}'.");
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            let mut cumulative = 0u64;
+            for (i, &count) in h.buckets().iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let (_, upper) = Histogram::bucket_bounds(i);
+                let _ = writeln!(out, "{family}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{family}_sum {}", h.sum());
+            let _ = writeln!(out, "{family}_count {}", h.count());
+        }
+        out
+    }
+}
+
+/// Maps a dotted internal metric name onto the Prometheus charset.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The background heartbeat thread behind `--watch` / `--prom-out`.
+///
+/// Ticks every `every` until stopped, rendering the monitor's
+/// [`MetricsSnapshot::status_line`] to stderr (when `echo`) and
+/// rewriting the Prometheus exposition file (when `prom_out` is set).
+/// A final tick runs at shutdown, so even runs shorter than one
+/// interval leave a complete exposition file behind.
+#[derive(Debug)]
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawns the reporter thread.
+    pub fn start(
+        monitor: Arc<Monitor>,
+        every: Duration,
+        prom_out: Option<PathBuf>,
+        echo: bool,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let tick = |final_tick: bool| {
+                let snapshot = monitor.snapshot();
+                if echo {
+                    let tag = if final_tick { "done" } else { "watch" };
+                    eprintln!(
+                        "[{tag} +{:.1}s] {}",
+                        started.elapsed().as_secs_f64(),
+                        snapshot.status_line()
+                    );
+                }
+                if let Some(path) = &prom_out {
+                    // Best-effort: a transiently unwritable path must not
+                    // kill the run being observed.
+                    let _ = std::fs::write(path, snapshot.to_prometheus());
+                }
+            };
+            while !stop_flag.load(Ordering::Relaxed) {
+                // Sleep in short slices so stop() returns promptly even
+                // with a multi-second interval.
+                let mut slept = Duration::ZERO;
+                while slept < every && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = (every - slept).min(Duration::from_millis(25));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                tick(false);
+            }
+            tick(true);
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread, waits for its final tick, and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_updates_and_progress_is_monotonic() {
+        let m = Monitor::new();
+        m.job_started();
+        m.add_map_tasks(4);
+        let mut last_done = 0;
+        for _ in 0..4 {
+            m.map_task_done();
+            let s = m.snapshot();
+            assert!(s.map_tasks_done > last_done);
+            last_done = s.map_tasks_done;
+        }
+        m.add_shuffle_bytes(1_000);
+        m.add_task_retry();
+        m.add_blacklisted();
+        m.set_driver_progress(3, 0.125);
+        m.node_busy(2, 1.5);
+        m.job_finished();
+        let s = m.snapshot();
+        assert_eq!(s.map_tasks_done, 4);
+        assert_eq!(s.map_tasks_total, 4);
+        assert_eq!(s.shuffle_bytes, 1_000);
+        assert_eq!(s.task_retries, 1);
+        assert_eq!(s.blacklisted_nodes, 1);
+        assert_eq!(s.driver_iteration, 3);
+        assert_eq!(s.driver_delta, 0.125);
+        assert_eq!(s.node_busy_s.len(), 3);
+        assert!((s.node_busy_s[2] - 1.5).abs() < 1e-9);
+        assert_eq!(s.jobs_started, 1);
+        assert_eq!(s.jobs_finished, 1);
+    }
+
+    #[test]
+    fn status_line_shows_progress_and_guards_empty_totals() {
+        let m = Monitor::new();
+        let empty = m.snapshot().status_line();
+        assert!(empty.contains("maps 0/0"), "{empty}");
+        assert!(!empty.contains('%'), "{empty}");
+        assert!(!empty.contains("iter"), "{empty}");
+        m.add_map_tasks(4);
+        m.map_task_done();
+        m.map_task_done();
+        m.set_driver_progress(2, 0.5);
+        let line = m.snapshot().status_line();
+        assert!(line.contains("maps 2/4 50%"), "{line}");
+        assert!(line.contains("iter 2 delta 0.50000"), "{line}");
+    }
+
+    #[test]
+    fn prometheus_exposition_has_families_and_cumulative_buckets() {
+        let m = Monitor::new();
+        m.add_map_tasks(2);
+        m.map_task_done();
+        m.add_shuffle_bytes(4096);
+        m.node_busy(0, 2.0);
+        m.observe("task.map.us", 10);
+        m.observe("task.map.us", 1000);
+        let text = m.snapshot().to_prometheus();
+        assert!(
+            text.contains("# TYPE gepeto_map_tasks_done counter"),
+            "{text}"
+        );
+        assert!(text.contains("gepeto_map_tasks_done 1"), "{text}");
+        assert!(text.contains("gepeto_shuffle_bytes_total 4096"), "{text}");
+        assert!(
+            text.contains("gepeto_node_busy_seconds{node=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE gepeto_task_map_us histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_task_map_us_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("gepeto_task_map_us_sum 1010"), "{text}");
+        assert!(text.contains("gepeto_task_map_us_count 2"), "{text}");
+        // Buckets are cumulative and non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("gepeto_task_map_us_bucket{le=\"") {
+                let count: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(count >= last, "{text}");
+                last = count;
+            }
+        }
+    }
+
+    #[test]
+    fn reporter_writes_exposition_file_on_final_tick() {
+        let dir = std::env::temp_dir().join(format!(
+            "gepeto-monitor-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.prom");
+        let monitor = Arc::new(Monitor::new());
+        monitor.add_map_tasks(1);
+        // An interval far longer than the run: only the final tick fires.
+        let reporter = Reporter::start(
+            Arc::clone(&monitor),
+            Duration::from_secs(3600),
+            Some(path.clone()),
+            false,
+        );
+        monitor.map_task_done();
+        reporter.stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("gepeto_map_tasks_done 1"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

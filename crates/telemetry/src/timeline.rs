@@ -297,4 +297,58 @@ mod tests {
     fn empty_stream_has_no_timeline() {
         assert!(Timeline::from_events(&[]).is_none());
     }
+
+    fn span(kind: EventKind, name: &'static str, span_id: u64, ts_us: u64) -> Event {
+        Event {
+            ts_us,
+            kind,
+            name,
+            span_id,
+            parent_id: 0,
+            dur_us: (kind == EventKind::SpanEnd).then_some(ts_us),
+            value: None,
+            labels: vec![("job".to_owned(), name.to_owned())],
+        }
+    }
+
+    #[test]
+    fn zero_task_run_has_no_timeline() {
+        // A job that opened and closed without scheduling a single
+        // attempt (e.g. an empty input split) must not chart: there is
+        // no scheduled makespan to scale the lanes against.
+        let events = vec![
+            span(EventKind::SpanStart, "job", 1, 0),
+            span(EventKind::SpanEnd, "job", 1, 5_000),
+        ];
+        assert!(Timeline::from_events(&events).is_none());
+    }
+
+    #[test]
+    fn single_node_cluster_charts_one_lane() {
+        let events = vec![
+            sched("sched.map", 0, 0, 0.0, 4.0, &[]),
+            sched("sched.map", 1, 0, 4.0, 4.0, &[]),
+            sched("sched.reduce", 0, 0, 8.0, 2.0, &[]),
+        ];
+        let t = Timeline::with_width(&events, 10).unwrap();
+        assert_eq!(t.lanes.len(), 1);
+        assert_eq!(t.makespan_s, 10.0);
+        assert!((t.lanes[0].busy_s - 10.0).abs() < 1e-9);
+        let lane: String = t.lanes[0].cells.iter().collect();
+        assert_eq!(lane, "MMMMMMMMRR");
+        assert!(t.render().contains("busy 100%"));
+    }
+
+    #[test]
+    fn chaos_points_without_attempts_have_no_timeline() {
+        // A run that died before any attempt finished leaves only
+        // chaos markers behind — nothing schedulable to chart.
+        let events = vec![
+            point("chaos.crash", 0.0, &[("node", "0")]),
+            point("chaos.crash", 0.0, &[("node", "1")]),
+            point("chaos.degrade", 2.0, &[("node", "2"), ("factor", "4")]),
+            point("chaos.blacklist", 1.0, &[("node", "0")]),
+        ];
+        assert!(Timeline::from_events(&events).is_none());
+    }
 }

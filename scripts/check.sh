@@ -31,4 +31,24 @@ for w in sampling kmeans djcluster; do
         "target/bench-smoke/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json"
 done
 
+echo "== bench baselines: compare against committed captures =="
+# Virtual-cluster metrics are deterministic; host-dependent ones
+# (wall_ms, task p95s) are ignored so machine speed is not a regression.
+for w in sampling kmeans djcluster; do
+    ./target/release/gepeto-bench compare \
+        "crates/bench/baselines/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json" \
+        --threshold 30 --ignore wall_ms,task
+done
+
+echo "== live monitoring smoke: watch + exposition + flamegraph =="
+# A chaos k-means under the heartbeat reporter must leave a well-formed
+# Prometheus exposition and folded flamegraph stacks behind.
+./target/release/gepeto kmeans --users 2 --scale 0.002 --k 2 --max-iter 2 \
+    --crash 1@40 --watch=0.2 \
+    --prom-out target/bench-smoke/kmeans.prom \
+    --folded-out target/bench-smoke/kmeans.folded
+./target/release/gepeto-bench validate-prom target/bench-smoke/kmeans.prom
+test -s target/bench-smoke/kmeans.folded
+test -s target/bench-smoke/kmeans.folded.virtual
+
 echo "All checks passed."
