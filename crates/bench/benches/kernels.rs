@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the hot kernels behind the columnar/shuffle fast
+//! paths: SoA fused assignment vs the scalar AoS loop, hash grouping vs
+//! sort-then-group, and varint-delta neighborhood payloads vs raw ids.
+//!
+//! These isolate the three optimizations gated end-to-end by
+//! `gepeto-bench compare`; run them with
+//! `cargo bench --bench kernels -- --measure`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gepeto::djcluster::EncodedNeighborhood;
+use gepeto::kmeans::nearest_centroid;
+use gepeto_geo::{CentroidsSoa, ClusterSum, DistanceMetric, PointsSoa};
+use gepeto_mapred::{group_sorted, group_unsorted};
+use gepeto_model::GeoPoint;
+use std::hint::black_box;
+
+fn points(n: usize) -> Vec<GeoPoint> {
+    (0..n)
+        .map(|i| {
+            GeoPoint::new(
+                39.5 + (i % 1000) as f64 * 1e-3,
+                116.0 + (i / 1000) as f64 * 1e-2,
+            )
+        })
+        .collect()
+}
+
+fn centroids(k: usize) -> Vec<GeoPoint> {
+    (0..k)
+        .map(|i| GeoPoint::new(39.5 + i as f64 * 0.1, 116.0 + i as f64 * 0.07))
+        .collect()
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let pts = points(100_000);
+    let cents = centroids(8);
+    let cols = PointsSoa::from_points(&pts);
+
+    let mut group = c.benchmark_group("kmeans-assign-100k-k8");
+    for metric in [DistanceMetric::SquaredEuclidean, DistanceMetric::Haversine] {
+        let soa = CentroidsSoa::new(&cents, metric);
+        group.bench_function(format!("scalar-two-pass/{}", metric.name()), |b| {
+            b.iter(|| {
+                // The pre-optimization shape: argmin pass, then sum pass.
+                let assign: Vec<u32> = pts
+                    .iter()
+                    .map(|&p| nearest_centroid(p, &cents, metric))
+                    .collect();
+                let mut sums = vec![ClusterSum::default(); cents.len()];
+                for (&p, &cid) in pts.iter().zip(&assign) {
+                    let s = &mut sums[cid as usize];
+                    s.lat_sum += p.lat;
+                    s.lon_sum += p.lon;
+                    s.count += 1;
+                }
+                black_box(sums)
+            })
+        });
+        group.bench_function(format!("soa-fused/{}", metric.name()), |b| {
+            b.iter(|| {
+                let mut sums = vec![ClusterSum::default(); cents.len()];
+                let evals = soa.assign_sum(&cols.lat, &cols.lon, &mut sums);
+                black_box((evals, sums))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    // 200k pairs over 1k keys, emitted in hash-scattered order — the
+    // shape of a concatenated reduce partition before grouping.
+    let pairs: Vec<(u64, u64)> = (0..200_000u64)
+        .map(|i| (i.wrapping_mul(2_654_435_761) % 1_000, i))
+        .collect();
+
+    let mut group = c.benchmark_group("reduce-grouping-200k");
+    group.sample_size(20);
+    group.bench_function("sort-then-group", |b| {
+        b.iter(|| {
+            let mut p = pairs.clone();
+            p.sort_by_key(|a| a.0);
+            black_box(group_sorted(p).len())
+        })
+    });
+    group.bench_function("hash-group", |b| {
+        b.iter(|| black_box(group_unsorted(pairs.clone()).len()))
+    });
+    group.finish();
+}
+
+fn bench_neighborhood_codec(c: &mut Criterion) {
+    // 100 dense neighborhoods of 500 sorted ids — DJ-Cluster's shuffle.
+    let hoods: Vec<Vec<u64>> = (0..100u64)
+        .map(|h| (h * 37..h * 37 + 500).collect())
+        .collect();
+    let encoded: Vec<EncodedNeighborhood> = hoods
+        .iter()
+        .map(|h| EncodedNeighborhood::encode_sorted(h))
+        .collect();
+
+    let mut group = c.benchmark_group("neighborhood-codec-100x500");
+    group.bench_function("raw-clone-and-sum", |b| {
+        b.iter(|| {
+            // The old shuffle moved raw id vectors; reading = slice scan.
+            let total: u64 = hoods.iter().map(|h| h.clone().iter().sum::<u64>()).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("varint-encode", |b| {
+        b.iter(|| {
+            let bytes: usize = hoods
+                .iter()
+                .map(|h| EncodedNeighborhood::encode_sorted(h).encoded_len())
+                .sum();
+            black_box(bytes)
+        })
+    });
+    group.bench_function("varint-stream-decode", |b| {
+        b.iter(|| {
+            let total: u64 = encoded.iter().map(|e| e.iter().sum::<u64>()).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_assignment,
+    bench_grouping,
+    bench_neighborhood_codec
+);
+criterion_main!(kernels);

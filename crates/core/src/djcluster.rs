@@ -40,9 +40,10 @@
 use crate::rtree_build::{mapreduce_build_rtree, RTreeBuildConfig};
 use gepeto_geo::distance::equirectangular_m;
 use gepeto_geo::RTree;
+use gepeto_mapred::counters::builtin;
 use gepeto_mapred::{
-    run_with_recovery, Cluster, Dfs, DistributedCache, Emitter, JobError, JobStats, MapOnlyJob,
-    MapReduceJob, Mapper, PipelineReport, Reducer, RetryPolicy, TaskContext,
+    run_with_recovery, Cluster, Counters, Dfs, DistributedCache, Emitter, JobError, JobStats,
+    MapOnlyJob, MapReduceJob, Mapper, PipelineReport, Reducer, RetryPolicy, TaskContext,
 };
 use gepeto_model::{Dataset, MobilityTrace, UserId};
 use gepeto_telemetry::Recorder;
@@ -460,20 +461,128 @@ pub fn mapreduce_preprocess_resilient(
 // Phases 2–3: neighborhood identification + merging
 // ---------------------------------------------------------------------
 
+/// Appends `v` as an LEB128 varint (7 payload bits per byte, high bit =
+/// continuation).
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// A neighborhood's sorted trace ids, delta-encoded as LEB128 varints:
+/// the first id raw, every later one as the gap to its predecessor.
+///
+/// Neighborhood ids are dense indexes into the preprocessed input and the
+/// R-tree returns spatially close traces, so the gaps are tiny — one or
+/// two bytes each instead of the eight a raw `u64` costs. The shuffle of
+/// the merge job is *nothing but* neighborhood payloads, so this encoding
+/// directly cuts the job's simulated `shuffle_bytes`; the saving is
+/// surfaced through [`builtin::SHUFFLE_BYTES_SAVED`]. Decoding streams
+/// via [`EncodedNeighborhood::iter`], so the merge reducer never
+/// materializes the raw `Vec<u64>` again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedNeighborhood {
+    bytes: Vec<u8>,
+}
+
+impl EncodedNeighborhood {
+    /// Encodes an ascending-sorted id list (the mapper sorts before
+    /// emitting, exactly as the uncompressed path did).
+    pub fn encode_sorted(ids: &[u64]) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] <= w[1]), "ids must be sorted");
+        let mut bytes = Vec::with_capacity(ids.len() * 2);
+        let mut prev = 0u64;
+        for &id in ids {
+            write_varint(&mut bytes, id - prev);
+            prev = id;
+        }
+        Self { bytes }
+    }
+
+    /// Encoded payload size in bytes — the job's `pair_bytes` sizer, and
+    /// what the raw `8 * ids.len()` is compared against for the
+    /// bytes-saved counter.
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the neighborhood holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Streaming decoder over the original ascending id sequence.
+    pub fn iter(&self) -> NeighborhoodIds<'_> {
+        NeighborhoodIds {
+            bytes: &self.bytes,
+            prev: 0,
+        }
+    }
+
+    /// Decodes back to the id vector (tests and diagnostics; the hot
+    /// path streams with [`Self::iter`]).
+    pub fn decode(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a EncodedNeighborhood {
+    type Item = u64;
+    type IntoIter = NeighborhoodIds<'a>;
+
+    fn into_iter(self) -> NeighborhoodIds<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator of [`EncodedNeighborhood::iter`]: reads one varint delta per
+/// step and adds it to the running previous id.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodIds<'a> {
+    bytes: &'a [u8],
+    prev: u64,
+}
+
+impl Iterator for NeighborhoodIds<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let mut delta = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let (&b, rest) = self.bytes.split_first()?;
+            self.bytes = rest;
+            delta |= u64::from(b & 0x7f) << shift;
+            if b < 0x80 {
+                break;
+            }
+            shift += 7;
+        }
+        self.prev += delta;
+        Some(self.prev)
+    }
+}
+
 /// Algorithm 4: the neighborhood mapper. Loads the R-tree in `setup`,
 /// queries each trace's radius-`r` neighborhood, marks sparse traces as
 /// noise (via a counter), and emits `(const, neighborhood)` so a single
-/// reducer sees every neighborhood.
+/// reducer sees every neighborhood. Payloads shuffle delta-encoded (see
+/// [`EncodedNeighborhood`]); the bytes saved versus raw ids accumulate
+/// into [`builtin::SHUFFLE_BYTES_SAVED`] on task cleanup.
 #[derive(Clone)]
 pub struct NeighborhoodMapper {
     radius_m: f64,
     min_pts: usize,
     rtree: Option<Arc<RTree<u64>>>,
+    bytes_saved: u64,
+    counters: Option<Counters>,
 }
 
 impl Mapper<MobilityTrace> for NeighborhoodMapper {
     type KOut = u8;
-    type VOut = Vec<u64>;
+    type VOut = EncodedNeighborhood;
 
     fn setup(&mut self, ctx: &TaskContext<'_>) {
         self.rtree = Some(ctx.cache.expect(RTREE_CACHE_KEY));
@@ -483,9 +592,15 @@ impl Mapper<MobilityTrace> for NeighborhoodMapper {
         if let Some(m) = ctx.config.get_usize("dj.minpts") {
             self.min_pts = m;
         }
+        self.counters = Some(ctx.counters.clone());
     }
 
-    fn map(&mut self, _offset: u64, value: &MobilityTrace, out: &mut Emitter<u8, Vec<u64>>) {
+    fn map(
+        &mut self,
+        _offset: u64,
+        value: &MobilityTrace,
+        out: &mut Emitter<u8, EncodedNeighborhood>,
+    ) {
         let tree = self.rtree.as_ref().expect("setup ran");
         let mut neighborhood: Vec<u64> = tree
             .within_radius_m(value.point, self.radius_m)
@@ -497,32 +612,54 @@ impl Mapper<MobilityTrace> for NeighborhoodMapper {
             return;
         }
         neighborhood.sort_unstable();
-        out.emit(0, neighborhood);
+        let encoded = EncodedNeighborhood::encode_sorted(&neighborhood);
+        self.bytes_saved += (8 * neighborhood.len()).saturating_sub(encoded.encoded_len()) as u64;
+        out.emit(0, encoded);
+    }
+
+    fn cleanup(&mut self, _out: &mut Emitter<u8, EncodedNeighborhood>) {
+        if let Some(c) = &self.counters {
+            c.inc(builtin::SHUFFLE_BYTES_SAVED, self.bytes_saved);
+        }
+        self.bytes_saved = 0;
     }
 }
 
 /// Algorithm 5: the single merging reducer — union-find over trace ids
-/// joins every pair of neighborhoods sharing a trace.
+/// joins every pair of neighborhoods sharing a trace. Neighborhoods are
+/// decoded in place off their varint payloads, and — there being a single
+/// key — the reducer opts out of the shuffle sort.
 #[derive(Clone)]
 pub struct MergeReducer;
 
-impl Reducer<u8, Vec<u64>> for MergeReducer {
+impl Reducer<u8, EncodedNeighborhood> for MergeReducer {
     type KOut = u32;
     type VOut = Vec<u64>;
 
-    fn reduce(&mut self, _key: &u8, values: &[Vec<u64>], out: &mut Emitter<u32, Vec<u64>>) {
+    /// Every pair lands in the one `key = 0` group and the output is
+    /// sorted internally, so sorted shuffle input buys nothing.
+    const SORTED_INPUT: bool = false;
+
+    fn reduce(
+        &mut self,
+        _key: &u8,
+        values: &[EncodedNeighborhood],
+        out: &mut Emitter<u32, Vec<u64>>,
+    ) {
         let mut uf = UnionFind::default();
         for neighborhood in values {
-            let Some(&first) = neighborhood.first() else {
+            let mut ids = neighborhood.iter();
+            let Some(first) = ids.next() else {
                 continue;
             };
-            for &id in neighborhood {
+            uf.union(first, first);
+            for id in ids {
                 uf.union(first, id);
             }
         }
         let mut clusters: HashMap<u64, Vec<u64>> = HashMap::new();
         for neighborhood in values {
-            for &id in neighborhood {
+            for id in neighborhood {
                 clusters.entry(uf.find(id)).or_default().push(id);
             }
         }
@@ -630,12 +767,14 @@ pub fn mapreduce_djcluster_with(
             radius_m: cfg.radius_m,
             min_pts: cfg.min_pts,
             rtree: None,
+            bytes_saved: 0,
+            counters: None,
         },
         MergeReducer,
     )
     .reducers(1) // the merge "must be done by a centralized entity"
     .cache(cache)
-    .pair_bytes(|_, n| 8 * n.len())
+    .pair_bytes(|_, n| n.encoded_len())
     .telemetry(telemetry.clone())
     .run()?;
 
@@ -712,12 +851,14 @@ pub fn mapreduce_djcluster_resilient(
                     radius_m: cfg.radius_m,
                     min_pts: cfg.min_pts,
                     rtree: None,
+                    bytes_saved: 0,
+                    counters: None,
                 },
                 MergeReducer,
             )
             .reducers(1)
             .cache(cache.clone())
-            .pair_bytes(|_, n| 8 * n.len())
+            .pair_bytes(|_, n| n.encoded_len())
             .telemetry(telemetry.clone())
             .run()
         },
@@ -998,6 +1139,74 @@ mod tests {
         assert_eq!(mr.canonical_ids(), seq.canonical_ids());
         assert_eq!(mr.noise, seq.noise);
         assert_eq!(stats.cluster_job.reduce_tasks, 1, "single merging reducer");
+    }
+
+    #[test]
+    fn varint_delta_roundtrips_sorted_id_lists() {
+        // Deterministic xorshift over assorted list shapes, plus edge
+        // values straddling every varint byte-length boundary.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rand = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 0, 0],
+            vec![127, 128, 16_383, 16_384, 2_097_151, 2_097_152],
+            vec![u64::MAX - 1, u64::MAX],
+            vec![0, u64::MAX],
+        ];
+        for len in [1usize, 2, 17, 300] {
+            let mut ids: Vec<u64> = (0..len).map(|_| rand() % 1_000_000).collect();
+            ids.sort_unstable();
+            cases.push(ids);
+        }
+        for ids in cases {
+            let enc = EncodedNeighborhood::encode_sorted(&ids);
+            assert_eq!(enc.decode(), ids, "roundtrip failed for {ids:?}");
+            assert_eq!(enc.is_empty(), ids.is_empty());
+            // Streaming twice gives the same sequence (iter borrows).
+            assert_eq!(enc.iter().count(), ids.len());
+        }
+    }
+
+    #[test]
+    fn delta_encoding_beats_raw_ids_on_dense_neighborhoods() {
+        // Dense index neighborhoods — the real shape after preprocessing.
+        let ids: Vec<u64> = (100..600).collect();
+        let enc = EncodedNeighborhood::encode_sorted(&ids);
+        let raw = 8 * ids.len();
+        assert!(
+            enc.encoded_len() * 3 < raw,
+            "encoded {} vs raw {raw}",
+            enc.encoded_len()
+        );
+    }
+
+    #[test]
+    fn clustering_shuffle_is_compressed_and_sort_skipped() {
+        let ds = dwell_trip_dwell();
+        let cfg = DjConfig::default();
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = trace_dfs(&cluster, 1_024);
+        let pre = sequential_preprocess(&ds, &cfg);
+        put_dataset(&mut dfs, "pre", &pre).unwrap();
+        let (_, stats) = mapreduce_djcluster(&cluster, &dfs, "pre", &cfg, None).unwrap();
+        let saved = stats.cluster_job.counters[builtin::SHUFFLE_BYTES_SAVED];
+        assert!(saved > 0, "compression saved nothing");
+        // The encoded shuffle plus the saving reconstructs the raw size,
+        // and the encoding wins by a wide margin on dense indexes.
+        let shuffled = stats.cluster_job.sim.shuffle_bytes;
+        assert!(
+            saved >= 2 * shuffled,
+            "saved {saved} vs shuffled {shuffled}"
+        );
+        // The single-key merge reducer skips the shuffle sort.
+        assert_eq!(stats.cluster_job.counters[builtin::SORT_SKIPPED], 1);
     }
 
     #[test]

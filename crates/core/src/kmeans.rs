@@ -30,10 +30,11 @@
 //! assert_eq!(result.centroids.len(), 2);
 //! ```
 
-use gepeto_geo::DistanceMetric;
+use gepeto_geo::{CentroidsSoa, ClusterSum, DistanceMetric, PointsSoa};
+use gepeto_mapred::counters::builtin;
 use gepeto_mapred::{
-    run_with_recovery, Cluster, Dfs, DistributedCache, Emitter, JobConfig, JobError, JobStats,
-    MapReduceJob, Mapper, Reducer, RetryPolicy, TaskContext,
+    run_with_recovery, Cluster, Counters, Dfs, DistributedCache, Emitter, JobConfig, JobError,
+    JobStats, MapReduceJob, Mapper, Reducer, RetryPolicy, TaskContext,
 };
 use gepeto_model::{GeoPoint, MobilityTrace};
 use gepeto_telemetry::Recorder;
@@ -160,15 +161,17 @@ pub fn nearest_centroid(p: GeoPoint, centroids: &[GeoPoint], metric: DistanceMet
 }
 
 /// Assigns every point to its nearest centroid (final labeling pass).
+///
+/// Runs on the columnar [`CentroidsSoa`] kernel — the centroid-side
+/// trigonometry is hoisted out of the per-point loop, while the argmin is
+/// bit-identical to [`nearest_centroid`].
 pub fn assign_points(
     points: &[GeoPoint],
     centroids: &[GeoPoint],
     metric: DistanceMetric,
 ) -> Vec<u32> {
-    points
-        .par_iter()
-        .map(|&p| nearest_centroid(p, centroids, metric))
-        .collect()
+    let soa = CentroidsSoa::new(centroids, metric);
+    points.par_iter().map(|&p| soa.nearest(p)).collect()
 }
 
 /// Single-node random initialization: k distinct traces from the input
@@ -186,61 +189,99 @@ pub fn initial_centroids(points: &[GeoPoint], k: usize, seed: u64) -> Vec<GeoPoi
     indices[..k].iter().map(|&i| points[i]).collect()
 }
 
+/// The chunk size of the sequential assign+sum reduction. Chunk results
+/// are folded in chunk order, so the accumulation order (and hence the
+/// floating-point result) is independent of the worker count.
+const SEQ_CHUNK: usize = 16_384;
+
+/// Turns per-cluster [`ClusterSum`]s into new centroids; clusters that
+/// received no point keep their previous centroid.
+fn sums_to_centroids(sums: &[ClusterSum], centroids: &[GeoPoint]) -> Vec<GeoPoint> {
+    sums.iter()
+        .zip(centroids)
+        .map(|(s, &old)| {
+            if s.count > 0 {
+                GeoPoint::new(s.lat_sum / s.count as f64, s.lon_sum / s.count as f64)
+            } else {
+                old
+            }
+        })
+        .collect()
+}
+
 /// One sequential assignment+update step; returns the new centroids.
 /// Empty clusters keep their previous centroid.
+///
+/// Runs the fused assign + partial-sum kernel of [`CentroidsSoa`]: one
+/// pass per chunk that both assigns and accumulates, with the same
+/// chunking and fold order (and therefore bit-identical centroids) as
+/// the original two-pass loop.
 pub fn sequential_iteration(
     points: &[GeoPoint],
     centroids: &[GeoPoint],
     metric: DistanceMetric,
 ) -> Vec<GeoPoint> {
     let k = centroids.len();
+    let soa = CentroidsSoa::new(centroids, metric);
     let sums = points
-        .par_chunks(16_384)
+        .par_chunks(SEQ_CHUNK)
         .map(|chunk| {
-            let mut local = vec![
-                PointSum {
-                    lat_sum: 0.0,
-                    lon_sum: 0.0,
-                    count: 0
-                };
-                k
-            ];
-            for &p in chunk {
-                local[nearest_centroid(p, centroids, metric) as usize].add(&PointSum::of(p));
-            }
+            let mut local = vec![ClusterSum::default(); k];
+            soa.assign_sum_points(chunk, &mut local);
             local
         })
         .reduce(
-            || {
-                vec![
-                    PointSum {
-                        lat_sum: 0.0,
-                        lon_sum: 0.0,
-                        count: 0
-                    };
-                    k
-                ]
-            },
+            || vec![ClusterSum::default(); k],
             |mut a, b| {
                 for (x, y) in a.iter_mut().zip(&b) {
-                    x.add(y);
+                    x.merge(y);
                 }
                 a
             },
         );
-    sums.iter()
-        .zip(centroids)
-        .map(|(s, &old)| s.mean().unwrap_or(old))
-        .collect()
+    sums_to_centroids(&sums, centroids)
+}
+
+/// [`sequential_iteration`] over pre-split coordinate columns — what
+/// [`sequential_kmeans`] runs so the lat/lon split is paid once for the
+/// whole run, not once per iteration. Same chunking, same fold order,
+/// bit-identical centroids.
+fn columnar_iteration(
+    cols: &PointsSoa,
+    centroids: &[GeoPoint],
+    metric: DistanceMetric,
+) -> Vec<GeoPoint> {
+    let k = centroids.len();
+    let soa = CentroidsSoa::new(centroids, metric);
+    let sums = cols
+        .lat
+        .par_chunks(SEQ_CHUNK)
+        .zip(cols.lon.par_chunks(SEQ_CHUNK))
+        .map(|(lat, lon)| {
+            let mut local = vec![ClusterSum::default(); k];
+            soa.assign_sum(lat, lon, &mut local);
+            local
+        })
+        .reduce(
+            || vec![ClusterSum::default(); k],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    x.merge(y);
+                }
+                a
+            },
+        );
+    sums_to_centroids(&sums, centroids)
 }
 
 /// The full sequential baseline.
 pub fn sequential_kmeans(points: &[GeoPoint], cfg: &KMeansConfig) -> KMeansResult {
     let mut centroids = initial_centroids(points, cfg.k, cfg.seed);
+    let cols = PointsSoa::from_points(points);
     let mut iterations = 0;
     let mut converged = false;
     while iterations < cfg.max_iterations {
-        let next = sequential_iteration(points, &centroids, cfg.distance);
+        let next = columnar_iteration(&cols, &centroids, cfg.distance);
         iterations += 1;
         let shift = max_shift(&centroids, &next, cfg.distance);
         centroids = next;
@@ -316,19 +357,27 @@ fn max_shift(old: &[GeoPoint], new: &[GeoPoint], metric: DistanceMetric) -> f64 
 }
 
 /// Algorithm 1: the assignment mapper. Loads the centroids in `setup`,
-/// assigns each trace, and (when the combiner is off) emits one
-/// `PointSum` per trace.
+/// assigns each trace through the columnar [`CentroidsSoa`] kernel, and
+/// (when the combiner is off) emits one `PointSum` per trace.
+///
+/// Distance evaluations are accumulated locally and flushed to the
+/// [`builtin::DISTANCE_EVALS`] counter in `cleanup`, so the hot loop
+/// never touches the shared counter lock.
 #[derive(Clone)]
 pub struct KMeansMapper {
     metric: DistanceMetric,
-    centroids: Arc<Vec<GeoPoint>>,
+    soa: Arc<CentroidsSoa>,
+    distance_evals: u64,
+    counters: Option<Counters>,
 }
 
 impl KMeansMapper {
     fn new(metric: DistanceMetric) -> Self {
         Self {
             metric,
-            centroids: Arc::new(Vec::new()),
+            soa: Arc::new(CentroidsSoa::new(&[], metric)),
+            distance_evals: 0,
+            counters: None,
         }
     }
 }
@@ -338,7 +387,7 @@ impl Mapper<MobilityTrace> for KMeansMapper {
     type VOut = PointSum;
 
     fn setup(&mut self, ctx: &TaskContext<'_>) {
-        self.centroids = ctx.cache.expect::<Vec<GeoPoint>>(CENTROIDS_CACHE_KEY);
+        let centroids = ctx.cache.expect::<Vec<GeoPoint>>(CENTROIDS_CACHE_KEY);
         let metric = ctx
             .config
             .get("distanceMeasure")
@@ -346,11 +395,21 @@ impl Mapper<MobilityTrace> for KMeansMapper {
         if let Some(m) = metric {
             self.metric = m;
         }
+        self.soa = Arc::new(CentroidsSoa::new(&centroids, self.metric));
+        self.counters = Some(ctx.counters.clone());
     }
 
     fn map(&mut self, _offset: u64, value: &MobilityTrace, out: &mut Emitter<u32, PointSum>) {
-        let cid = nearest_centroid(value.point, &self.centroids, self.metric);
+        let cid = self.soa.nearest(value.point);
+        self.distance_evals += self.soa.len() as u64;
         out.emit(cid, PointSum::of(value.point));
+    }
+
+    fn cleanup(&mut self, _out: &mut Emitter<u32, PointSum>) {
+        if let Some(c) = &self.counters {
+            c.inc(builtin::DISTANCE_EVALS, self.distance_evals);
+        }
+        self.distance_evals = 0;
     }
 }
 
@@ -375,12 +434,17 @@ impl gepeto_mapred::Combiner<u32, PointSum> for KMeansCombiner {
 
 /// Algorithm 2: the update reducer — averages a cluster's points into the
 /// new centroid.
+///
+/// Declares `SORTED_INPUT = false`: each cluster id is reduced
+/// independently and the driver writes the result by id, so key-ordered
+/// groups buy nothing — the engine skips the partition sort.
 #[derive(Clone)]
 pub struct KMeansReducer;
 
 impl Reducer<u32, PointSum> for KMeansReducer {
     type KOut = u32;
     type VOut = GeoPoint;
+    const SORTED_INPUT: bool = false;
 
     fn reduce(&mut self, key: &u32, values: &[PointSum], out: &mut Emitter<u32, GeoPoint>) {
         let mut acc = PointSum {
@@ -946,6 +1010,85 @@ mod tests {
             assert!((a.lat - b.lat).abs() < 1e-9, "{a:?} vs {b:?}");
             assert!((a.lon - b.lon).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn soa_assignment_is_bit_identical_to_scalar_for_all_metrics() {
+        let points = blobs();
+        let centroids = initial_centroids(&points, 5, 11);
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::SquaredEuclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Haversine,
+        ] {
+            let scalar: Vec<u32> = points
+                .iter()
+                .map(|&p| nearest_centroid(p, &centroids, metric))
+                .collect();
+            assert_eq!(
+                assign_points(&points, &centroids, metric),
+                scalar,
+                "{metric:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_iteration_is_bit_identical_to_two_pass_reference() {
+        let points = blobs();
+        let centroids = initial_centroids(&points, 3, 7);
+        for metric in [DistanceMetric::SquaredEuclidean, DistanceMetric::Haversine] {
+            // The pre-optimization reference: assign, then sum, in input
+            // order (one chunk — blobs() is far below the chunk size).
+            let mut sums = vec![
+                PointSum {
+                    lat_sum: 0.0,
+                    lon_sum: 0.0,
+                    count: 0
+                };
+                centroids.len()
+            ];
+            for &p in &points {
+                sums[nearest_centroid(p, &centroids, metric) as usize].add(&PointSum::of(p));
+            }
+            let want: Vec<GeoPoint> = sums
+                .iter()
+                .zip(&centroids)
+                .map(|(s, &old)| s.mean().unwrap_or(old))
+                .collect();
+            let got = sequential_iteration(&points, &centroids, metric);
+            let cols = PointsSoa::from_points(&points);
+            let col = columnar_iteration(&cols, &centroids, metric);
+            for ((g, c), w) in got.iter().zip(&col).zip(&want) {
+                assert_eq!(g.lat.to_bits(), w.lat.to_bits(), "{metric:?}");
+                assert_eq!(g.lon.to_bits(), w.lon.to_bits(), "{metric:?}");
+                assert_eq!(c.lat.to_bits(), w.lat.to_bits(), "{metric:?}");
+                assert_eq!(c.lon.to_bits(), w.lon.to_bits(), "{metric:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapreduce_iteration_counts_evals_and_skips_sorts() {
+        let ds = blob_dataset();
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = trace_dfs(&cluster, 2_048);
+        put_dataset(&mut dfs, "pts", &ds).unwrap();
+        let points = blobs();
+        let centroids = initial_centroids(&points, 3, 7);
+        let c = cfg(DistanceMetric::SquaredEuclidean);
+        let (_, stats) = mapreduce_iteration(&cluster, &dfs, "pts", &centroids, &c).unwrap();
+        // Every trace is compared against every centroid exactly once.
+        assert_eq!(
+            stats.counters[builtin::DISTANCE_EVALS],
+            (points.len() * centroids.len()) as u64
+        );
+        // KMeansReducer opts out of sorting: every reduce task skips.
+        assert_eq!(
+            stats.counters[builtin::SORT_SKIPPED],
+            stats.reduce_tasks as u64
+        );
     }
 
     #[test]

@@ -96,7 +96,18 @@ pub fn sequential_sample(dataset: &Dataset, cfg: &SamplingConfig) -> Dataset {
 
 /// Samples a single trail.
 pub fn sample_trail(trail: &Trail, cfg: &SamplingConfig) -> Trail {
-    let mut out = Vec::new();
+    // At most one representative per window, and the trail is
+    // time-ordered, so the span divided by the window length bounds the
+    // output — pre-size to that instead of growing through reallocation.
+    let traces = trail.traces();
+    let windows = match (traces.first(), traces.last()) {
+        (Some(a), Some(b)) => {
+            let span = b.timestamp.secs() - a.timestamp.secs();
+            (span / cfg.window_secs + 1).clamp(1, traces.len() as i64) as usize
+        }
+        _ => 0,
+    };
+    let mut out = Vec::with_capacity(windows);
     let mut state: Option<WindowState> = None;
     for t in trail.traces() {
         push_trace(&mut state, t, cfg, &mut |tr| out.push(tr));

@@ -14,6 +14,9 @@
 //!   STR bulk loading, rectangle/radius range queries and best-first kNN;
 //!   the index DJ-Cluster's neighborhood phase reads from the distributed
 //!   cache (§VII-B).
+//! - [`soa`] — columnar (structure-of-arrays) clustering kernels: fused
+//!   assign + partial-sum with precomputed Haversine trigonometry,
+//!   bit-identical to the scalar [`distance`] reference.
 //!
 //! ```
 //! use gepeto_geo::{haversine_m, RTree};
@@ -35,8 +38,10 @@ pub mod distance;
 pub mod rect;
 pub mod rtree;
 pub mod sfc;
+pub mod soa;
 
 pub use distance::{haversine_m, DistanceMetric, EARTH_RADIUS_M};
 pub use rect::Rect;
 pub use rtree::RTree;
 pub use sfc::SpaceFillingCurve;
+pub use soa::{CentroidsSoa, ClusterSum, PointsSoa};

@@ -1,0 +1,494 @@
+//! Columnar (structure-of-arrays) clustering kernels.
+//!
+//! The k-means hot loop evaluates `n × k` point-to-centroid distances per
+//! iteration. Doing that through [`DistanceMetric::between`] on an
+//! array-of-structs layout recomputes `sin`/`cos`/`to_radians` for every
+//! pair and defeats auto-vectorization because the compiler cannot prove
+//! the `GeoPoint` loads are independent lanes. This module keeps the same
+//! arithmetic — bit for bit — but lays the data out as separate `f64`
+//! columns and hoists the per-centroid (and per-point) trigonometry out of
+//! the inner loop:
+//!
+//! - [`CentroidsSoa`] — centroids split into `lat`/`lon` columns, with
+//!   `lat_rad`/`lon_rad`/`cos_lat` precomputed once for Haversine.
+//! - [`PointsSoa`] — an input block split into `lat`/`lon` columns.
+//! - [`CentroidsSoa::assign_sum`] — the fused *assign + partial-sum* loop:
+//!   one pass that finds each point's nearest centroid **and** accumulates
+//!   the per-cluster coordinate sums, so callers no longer need a second
+//!   combiner pass over the assignments.
+//!
+//! ## Bit-identical by construction
+//!
+//! Every kernel reproduces the exact floating-point expressions of
+//! [`DistanceMetric::between`] / [`crate::haversine_m`] with the same operand
+//! order (`a` = point, `b` = centroid, matching every clustering call
+//! site). Hoisting `to_radians`/`cos` is exact: the same input bits go
+//! through the same operations, just once instead of `k` (or `n`) times.
+//! The argmin scan is a strict `<` first-minimum-wins loop, identical to
+//! the scalar reference, and the partial sums add points in slice order —
+//! so centroids, assignments and sums match the scalar path bit for bit.
+//! Property tests in this module and in `gepeto` assert this.
+
+use crate::distance::{DistanceMetric, EARTH_RADIUS_M};
+use gepeto_model::GeoPoint;
+
+/// Running coordinate sum for one cluster — the fused combiner state.
+///
+/// Mirrors the k-means `PointSum` (sum of latitudes, sum of longitudes,
+/// member count) so partial results can be merged across chunks in order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClusterSum {
+    /// Sum of member latitudes, in the order the points were scanned.
+    pub lat_sum: f64,
+    /// Sum of member longitudes, in the order the points were scanned.
+    pub lon_sum: f64,
+    /// Number of points accumulated.
+    pub count: u64,
+}
+
+impl ClusterSum {
+    /// Folds another partial sum into this one (chunk merge).
+    ///
+    /// Addition order matters for bit-identity: fold chunk results in
+    /// chunk order, exactly like the scalar reduction does.
+    pub fn merge(&mut self, other: &ClusterSum) {
+        self.lat_sum += other.lat_sum;
+        self.lon_sum += other.lon_sum;
+        self.count += other.count;
+    }
+}
+
+/// An input block split into latitude and longitude columns.
+#[derive(Debug, Clone, Default)]
+pub struct PointsSoa {
+    /// Latitude column, decimal degrees.
+    pub lat: Vec<f64>,
+    /// Longitude column, decimal degrees.
+    pub lon: Vec<f64>,
+}
+
+impl PointsSoa {
+    /// Splits an array-of-structs slice into columns.
+    pub fn from_points(points: &[GeoPoint]) -> Self {
+        Self {
+            lat: points.iter().map(|p| p.lat).collect(),
+            lon: points.iter().map(|p| p.lon).collect(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.lat.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lat.is_empty()
+    }
+}
+
+/// Centroids in columnar layout with precomputed Haversine trigonometry.
+///
+/// Build once per iteration (k is small), then evaluate `nearest` /
+/// `assign_sum` over millions of points without touching `sin`/`cos` for
+/// the centroid side again.
+#[derive(Debug, Clone)]
+pub struct CentroidsSoa {
+    metric: DistanceMetric,
+    /// Centroid latitudes, decimal degrees.
+    lat: Vec<f64>,
+    /// Centroid longitudes, decimal degrees.
+    lon: Vec<f64>,
+    /// `lat.to_radians()` per centroid (Haversine only).
+    lat_rad: Vec<f64>,
+    /// `lon.to_radians()` per centroid (Haversine only).
+    lon_rad: Vec<f64>,
+    /// `lat.to_radians().cos()` per centroid (Haversine only).
+    cos_lat: Vec<f64>,
+}
+
+impl CentroidsSoa {
+    /// Splits `centroids` into columns and precomputes the trigonometry
+    /// the chosen metric needs.
+    pub fn new(centroids: &[GeoPoint], metric: DistanceMetric) -> Self {
+        let lat: Vec<f64> = centroids.iter().map(|c| c.lat).collect();
+        let lon: Vec<f64> = centroids.iter().map(|c| c.lon).collect();
+        let (lat_rad, lon_rad, cos_lat) = if metric == DistanceMetric::Haversine {
+            let lat_rad: Vec<f64> = lat.iter().map(|l| l.to_radians()).collect();
+            let lon_rad: Vec<f64> = lon.iter().map(|l| l.to_radians()).collect();
+            let cos_lat: Vec<f64> = lat_rad.iter().map(|l| l.cos()).collect();
+            (lat_rad, lon_rad, cos_lat)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        Self {
+            metric,
+            lat,
+            lon,
+            lat_rad,
+            lon_rad,
+            cos_lat,
+        }
+    }
+
+    /// Number of centroids.
+    pub fn len(&self) -> usize {
+        self.lat.len()
+    }
+
+    /// Whether there are no centroids.
+    pub fn is_empty(&self) -> bool {
+        self.lat.is_empty()
+    }
+
+    /// The metric these kernels evaluate.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Distance from `p` to centroid `i` — bit-identical to
+    /// `metric.between(p, centroids[i])`.
+    pub fn distance(&self, p: GeoPoint, i: usize) -> f64 {
+        match self.metric {
+            DistanceMetric::Haversine => {
+                let lat1 = p.lat.to_radians();
+                let lon1 = p.lon.to_radians();
+                self.haversine_to(lat1, lon1, lat1.cos(), i)
+            }
+            _ => self.planar(p.lat, p.lon, i),
+        }
+    }
+
+    /// Index of the nearest centroid under strict-`<` first-minimum-wins
+    /// semantics — bit-identical to the scalar argmin over
+    /// `metric.between(p, c)`.
+    pub fn nearest(&self, p: GeoPoint) -> u32 {
+        debug_assert!(!self.is_empty());
+        match self.metric {
+            DistanceMetric::Haversine => {
+                let lat1 = p.lat.to_radians();
+                let lon1 = p.lon.to_radians();
+                let cos1 = lat1.cos();
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for i in 0..self.len() {
+                    let d = self.haversine_to(lat1, lon1, cos1, i);
+                    if d < best_d {
+                        best_d = d;
+                        best = i as u32;
+                    }
+                }
+                best
+            }
+            _ => {
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for i in 0..self.len() {
+                    let d = self.planar(p.lat, p.lon, i);
+                    if d < best_d {
+                        best_d = d;
+                        best = i as u32;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// The fused assign + partial-sum kernel over columnar points.
+    ///
+    /// For each point, finds the nearest centroid and accumulates the
+    /// point into `sums[cid]` — one pass, no assignment buffer. `sums`
+    /// must hold exactly `self.len()` entries; points are accumulated in
+    /// slice order, so chunked callers that merge partials in chunk order
+    /// reproduce the scalar reduction bit for bit.
+    ///
+    /// Returns the number of distance evaluations performed
+    /// (`points × centroids`).
+    pub fn assign_sum(&self, lat: &[f64], lon: &[f64], sums: &mut [ClusterSum]) -> u64 {
+        assert_eq!(lat.len(), lon.len());
+        assert_eq!(sums.len(), self.len());
+        match self.metric {
+            DistanceMetric::Haversine => {
+                for (&plat, &plon) in lat.iter().zip(lon) {
+                    let lat1 = plat.to_radians();
+                    let lon1 = plon.to_radians();
+                    let cos1 = lat1.cos();
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for i in 0..self.len() {
+                        let d = self.haversine_to(lat1, lon1, cos1, i);
+                        if d < best_d {
+                            best_d = d;
+                            best = i;
+                        }
+                    }
+                    let s = &mut sums[best];
+                    s.lat_sum += plat;
+                    s.lon_sum += plon;
+                    s.count += 1;
+                }
+            }
+            _ => {
+                for (&plat, &plon) in lat.iter().zip(lon) {
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for i in 0..self.len() {
+                        let d = self.planar(plat, plon, i);
+                        if d < best_d {
+                            best_d = d;
+                            best = i;
+                        }
+                    }
+                    let s = &mut sums[best];
+                    s.lat_sum += plat;
+                    s.lon_sum += plon;
+                    s.count += 1;
+                }
+            }
+        }
+        lat.len() as u64 * self.len() as u64
+    }
+
+    /// [`assign_sum`](Self::assign_sum) over an array-of-structs slice —
+    /// same kernel, reading `GeoPoint`s directly.
+    pub fn assign_sum_points(&self, points: &[GeoPoint], sums: &mut [ClusterSum]) -> u64 {
+        assert_eq!(sums.len(), self.len());
+        match self.metric {
+            DistanceMetric::Haversine => {
+                for p in points {
+                    let lat1 = p.lat.to_radians();
+                    let lon1 = p.lon.to_radians();
+                    let cos1 = lat1.cos();
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for i in 0..self.len() {
+                        let d = self.haversine_to(lat1, lon1, cos1, i);
+                        if d < best_d {
+                            best_d = d;
+                            best = i;
+                        }
+                    }
+                    let s = &mut sums[best];
+                    s.lat_sum += p.lat;
+                    s.lon_sum += p.lon;
+                    s.count += 1;
+                }
+            }
+            _ => {
+                for p in points {
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for i in 0..self.len() {
+                        let d = self.planar(p.lat, p.lon, i);
+                        if d < best_d {
+                            best_d = d;
+                            best = i;
+                        }
+                    }
+                    let s = &mut sums[best];
+                    s.lat_sum += p.lat;
+                    s.lon_sum += p.lon;
+                    s.count += 1;
+                }
+            }
+        }
+        points.len() as u64 * self.len() as u64
+    }
+
+    /// Planar metrics — the exact expressions of `DistanceMetric::between`
+    /// with `a` = point, `b` = centroid.
+    #[inline]
+    fn planar(&self, plat: f64, plon: f64, i: usize) -> f64 {
+        let dlat = plat - self.lat[i];
+        let dlon = plon - self.lon[i];
+        match self.metric {
+            DistanceMetric::Euclidean => (dlat * dlat + dlon * dlon).sqrt(),
+            DistanceMetric::SquaredEuclidean => dlat * dlat + dlon * dlon,
+            DistanceMetric::Manhattan => dlat.abs() + dlon.abs(),
+            DistanceMetric::Haversine => unreachable!("haversine uses the precomputed path"),
+        }
+    }
+
+    /// Haversine core with the point-side trig (`lat1`/`lon1` in radians,
+    /// `cos1 = lat1.cos()`) hoisted by the caller — the exact per-pair
+    /// expression of [`crate::haversine_m`], operand order preserved.
+    #[inline]
+    fn haversine_to(&self, lat1: f64, lon1: f64, cos1: f64, i: usize) -> f64 {
+        let dlat = self.lat_rad[i] - lat1;
+        let dlon = self.lon_rad[i] - lon1;
+        let h = (dlat / 2.0).sin().powi(2) + cos1 * self.cos_lat[i] * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::haversine_m;
+
+    /// Deterministic pseudo-random point cloud (no `rand` dependency).
+    fn cloud(n: usize, seed: u64) -> Vec<GeoPoint> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| GeoPoint::new(39.0 + 2.0 * next(), 115.0 + 3.0 * next()))
+            .collect()
+    }
+
+    fn scalar_nearest(p: GeoPoint, centroids: &[GeoPoint], metric: DistanceMetric) -> u32 {
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let d = metric.between(p, *c);
+            if d < best_d {
+                best_d = d;
+                best = i as u32;
+            }
+        }
+        best
+    }
+
+    const ALL_METRICS: [DistanceMetric; 4] = [
+        DistanceMetric::Euclidean,
+        DistanceMetric::SquaredEuclidean,
+        DistanceMetric::Manhattan,
+        DistanceMetric::Haversine,
+    ];
+
+    #[test]
+    fn squared_euclidean_distance_is_bit_identical_to_scalar() {
+        let points = cloud(500, 7);
+        let centroids = cloud(9, 42);
+        let soa = CentroidsSoa::new(&centroids, DistanceMetric::SquaredEuclidean);
+        for p in &points {
+            for (i, c) in centroids.iter().enumerate() {
+                let reference = DistanceMetric::SquaredEuclidean.between(*p, *c);
+                assert_eq!(soa.distance(*p, i).to_bits(), reference.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn haversine_distance_matches_scalar_within_1e9_relative() {
+        let points = cloud(500, 11);
+        let centroids = cloud(9, 43);
+        let soa = CentroidsSoa::new(&centroids, DistanceMetric::Haversine);
+        for p in &points {
+            for (i, c) in centroids.iter().enumerate() {
+                let reference = haversine_m(*p, *c);
+                let got = soa.distance(*p, i);
+                if reference == 0.0 {
+                    assert_eq!(got, 0.0);
+                } else {
+                    assert!(
+                        ((got - reference) / reference).abs() < 1e-9,
+                        "got={got} want={reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn haversine_distance_is_in_fact_bit_identical() {
+        // Hoisting to_radians/cos is exact, so the guarantee is stronger
+        // than the 1e-9 contract: the bits match.
+        let points = cloud(300, 23);
+        let centroids = cloud(7, 29);
+        let soa = CentroidsSoa::new(&centroids, DistanceMetric::Haversine);
+        for p in &points {
+            for (i, c) in centroids.iter().enumerate() {
+                assert_eq!(soa.distance(*p, i).to_bits(), haversine_m(*p, *c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_scalar_argmin_for_all_metrics() {
+        let points = cloud(1000, 3);
+        let centroids = cloud(11, 77);
+        for metric in ALL_METRICS {
+            let soa = CentroidsSoa::new(&centroids, metric);
+            for p in &points {
+                assert_eq!(
+                    soa.nearest(*p),
+                    scalar_nearest(*p, &centroids, metric),
+                    "{metric:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_assign_sum_matches_scalar_two_pass() {
+        let points = cloud(2000, 5);
+        let centroids = cloud(8, 13);
+        for metric in ALL_METRICS {
+            let soa = CentroidsSoa::new(&centroids, metric);
+            // Scalar reference: assign, then sum in slice order.
+            let mut want = vec![ClusterSum::default(); centroids.len()];
+            for p in &points {
+                let cid = scalar_nearest(*p, &centroids, metric) as usize;
+                want[cid].lat_sum += p.lat;
+                want[cid].lon_sum += p.lon;
+                want[cid].count += 1;
+            }
+            let cols = PointsSoa::from_points(&points);
+            let mut got = vec![ClusterSum::default(); centroids.len()];
+            let evals = soa.assign_sum(&cols.lat, &cols.lon, &mut got);
+            assert_eq!(evals, (points.len() * centroids.len()) as u64);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.count, w.count, "{metric:?}");
+                assert_eq!(g.lat_sum.to_bits(), w.lat_sum.to_bits(), "{metric:?}");
+                assert_eq!(g.lon_sum.to_bits(), w.lon_sum.to_bits(), "{metric:?}");
+            }
+            // The AoS variant runs the same kernel.
+            let mut aos = vec![ClusterSum::default(); centroids.len()];
+            soa.assign_sum_points(&points, &mut aos);
+            assert_eq!(aos, got);
+        }
+    }
+
+    #[test]
+    fn chunked_merge_reproduces_whole_slice_sums() {
+        let points = cloud(1000, 17);
+        let centroids = cloud(5, 19);
+        let soa = CentroidsSoa::new(&centroids, DistanceMetric::SquaredEuclidean);
+        let cols = PointsSoa::from_points(&points);
+        let mut whole = vec![ClusterSum::default(); centroids.len()];
+        soa.assign_sum(&cols.lat, &cols.lon, &mut whole);
+
+        let mut merged = vec![ClusterSum::default(); centroids.len()];
+        for (lat_chunk, lon_chunk) in cols.lat.chunks(97).zip(cols.lon.chunks(97)) {
+            let mut partial = vec![ClusterSum::default(); centroids.len()];
+            soa.assign_sum(lat_chunk, lon_chunk, &mut partial);
+            for (m, p) in merged.iter_mut().zip(&partial) {
+                m.merge(p);
+            }
+        }
+        // Same chunking as a scalar chunked fold ⇒ same bits.
+        for (m, w) in merged.iter().zip(&whole) {
+            assert_eq!(m.count, w.count);
+            // Chunked addition reassociates ⇒ compare within fp tolerance.
+            assert!((m.lat_sum - w.lat_sum).abs() < 1e-9);
+            assert!((m.lon_sum - w.lon_sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_edge_cases() {
+        let centroids = cloud(3, 1);
+        let soa = CentroidsSoa::new(&centroids, DistanceMetric::Haversine);
+        let mut sums = vec![ClusterSum::default(); 3];
+        assert_eq!(soa.assign_sum(&[], &[], &mut sums), 0);
+        assert!(sums.iter().all(|s| s.count == 0));
+        let p = centroids[1];
+        assert_eq!(soa.nearest(p), 1);
+    }
+}

@@ -55,6 +55,15 @@ impl<K, V> Emitter<K, V> {
         Self::default()
     }
 
+    /// An empty emitter with room for `cap` pairs — used by the engine to
+    /// pre-size map outputs to the input chunk length and avoid growth
+    /// reallocations on the hot path.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            pairs: Vec::with_capacity(cap),
+        }
+    }
+
     /// Emits one pair.
     pub fn emit(&mut self, key: K, value: V) {
         self.pairs.push((key, value));
@@ -105,6 +114,17 @@ pub trait Reducer<K2: MrKey, V2: MrValue>: Clone + Send {
     type KOut: MrValue;
     /// Final output value type.
     type VOut: MrValue;
+
+    /// Whether this reducer requires its key groups in ascending key
+    /// order (Hadoop's sorted-shuffle contract). Defaults to `true` for
+    /// fidelity. Reducers whose final result does not depend on group
+    /// order (e.g. k-means centroid updates written by cluster id, or a
+    /// single-key merge) may set this to `false`; the engine then groups
+    /// by hash in first-encounter order and skips the partition sort
+    /// entirely, which removes the dominant `O(n log n)` shuffle cost.
+    /// Within each group, value order is unchanged: it is the same
+    /// deterministic map-task-order concatenation either way.
+    const SORTED_INPUT: bool = true;
 
     /// Once-per-task initialization.
     fn setup(&mut self, _ctx: &TaskContext<'_>) {}

@@ -53,6 +53,16 @@ pub mod builtin {
     pub const FAILED_OVER_READS: &str = gepeto_telemetry::FAILED_OVER_READS_COUNTER;
     /// Nodes the jobtracker blacklisted after repeated task failures.
     pub const BLACKLISTED_NODES: &str = gepeto_telemetry::BLACKLISTED_NODES_COUNTER;
+    /// Point-to-centroid distance evaluations performed by the clustering
+    /// kernels (the k-means inner-loop cost driver).
+    pub const DISTANCE_EVALS: &str = gepeto_telemetry::DISTANCE_EVALS_COUNTER;
+    /// Reduce partitions whose stable sort was skipped because the
+    /// reducer declared order-insensitive input (`Reducer::SORTED_INPUT
+    /// = false`).
+    pub const SORT_SKIPPED: &str = gepeto_telemetry::SORT_SKIPPED_COUNTER;
+    /// Shuffle bytes avoided by compressed payload encodings, relative to
+    /// the raw representation the job would otherwise ship.
+    pub const SHUFFLE_BYTES_SAVED: &str = gepeto_telemetry::SHUFFLE_BYTES_SAVED_COUNTER;
 }
 
 /// A concurrent set of named counters. Cloning shares the underlying

@@ -34,6 +34,11 @@ impl Hasher for FnvHasher {
     }
 }
 
+/// A [`std::hash::BuildHasher`] producing [`FnvHasher`]s — plug this into
+/// `HashMap` when iteration-independent, process-stable hashing matters
+/// (the sort-skipping reduce path groups keys with it).
+pub type FnvBuildHasher = std::hash::BuildHasherDefault<FnvHasher>;
+
 /// Deterministic 64-bit hash of any `Hash` value.
 pub fn fnv_hash<T: Hash + ?Sized>(value: &T) -> u64 {
     let mut h = FnvHasher::default();

@@ -18,12 +18,12 @@ use crate::cache::DistributedCache;
 use crate::config::JobConfig;
 use crate::counters::{builtin, phase, Counters};
 use crate::dfs::{Dfs, DfsError};
-use crate::hash::{default_partition, unit_hash};
+use crate::hash::{default_partition, unit_hash, FnvBuildHasher};
 use crate::sim::{simulate_chaos, MapTaskSim, ReduceTaskSim, SimError, SimReport};
 use crate::topology::Cluster;
 use gepeto_telemetry::{Recorder, Span};
 use rayon::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -169,6 +169,11 @@ type Partitioner<K> = Arc<dyn Fn(&K, usize) -> usize + Send + Sync>;
 ///
 /// Output ordering: reduce partitions in partition-index order; within a
 /// partition, key groups in ascending key order — fully deterministic.
+/// When the reducer opts out of the sorted-shuffle contract
+/// ([`Reducer::SORTED_INPUT`]` = false`), key groups appear in
+/// first-encounter order over the concatenated map outputs instead —
+/// still deterministic, just not key-ascending; value order within each
+/// group is identical on both paths.
 pub struct MapReduceJob<'a, V1, M, R, C = NoCombiner>
 where
     M: Mapper<V1>,
@@ -399,12 +404,27 @@ where
                     ],
                 );
                 let t0 = Instant::now();
-                {
-                    // Sort-based grouping; stable sort keeps the map-task
-                    // emission order within a key deterministic.
-                    let _sort_span = task_span.child("phase.sort", &[]);
-                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                }
+                let input_records = pairs.len() as u64;
+                counters.inc(builtin::REDUCE_INPUT_RECORDS, input_records);
+                let groups = if R::SORTED_INPUT {
+                    {
+                        // Sort-based grouping; stable sort keeps the
+                        // map-task emission order within a key
+                        // deterministic.
+                        let _sort_span = task_span.child("phase.sort", &[]);
+                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    }
+                    group_sorted(pairs)
+                } else {
+                    // The reducer declared order-insensitive input: group
+                    // by hash in first-encounter order and skip the
+                    // partition sort. Value order within a group is the
+                    // same as on the sorted path (both scan the same
+                    // concatenation, and the stable sort preserves the
+                    // relative order of equal keys).
+                    counters.inc(builtin::SORT_SKIPPED, 1);
+                    group_unsorted(pairs)
+                };
                 let ctx = TaskContext {
                     task_id,
                     attempt,
@@ -414,19 +434,9 @@ where
                 };
                 reducer.setup(&ctx);
                 let mut out = Emitter::new();
-                let mut start = 0;
-                counters.inc(builtin::REDUCE_INPUT_RECORDS, pairs.len() as u64);
-                while start < pairs.len() {
-                    let key = pairs[start].0.clone();
-                    let mut end = start + 1;
-                    while end < pairs.len() && pairs[end].0 == key {
-                        end += 1;
-                    }
-                    let values: Vec<M::VOut> =
-                        pairs[start..end].iter().map(|(_, v)| v.clone()).collect();
-                    counters.inc(builtin::REDUCE_INPUT_GROUPS, 1);
-                    reducer.reduce(&key, &values, &mut out);
-                    start = end;
+                counters.inc(builtin::REDUCE_INPUT_GROUPS, groups.len() as u64);
+                for (key, values) in &groups {
+                    reducer.reduce(key, values, &mut out);
                 }
                 reducer.cleanup(&mut out);
                 let host_secs = t0.elapsed().as_secs_f64();
@@ -440,7 +450,7 @@ where
                 Ok(ReduceTaskOutput {
                     output,
                     host_secs,
-                    input_records: pairs.len() as u64,
+                    input_records,
                     failed_attempts,
                 })
             })
@@ -651,10 +661,16 @@ fn finish_stats(
             telemetry.count(k, v);
         }
     }
+    let mirror = |name: &str| counters_snapshot.get(name).copied().unwrap_or(0);
     if let Some(m) = telemetry.monitor() {
+        // Fast-path counters accumulate per job; fold this job's totals
+        // into the cumulative live gauges (shuffle bytes and retries are
+        // already bumped in place on their hot paths).
+        m.add_distance_evals(mirror(builtin::DISTANCE_EVALS));
+        m.add_sorts_skipped(mirror(builtin::SORT_SKIPPED));
+        m.add_shuffle_bytes_saved(mirror(builtin::SHUFFLE_BYTES_SAVED));
         m.job_finished();
     }
-    let mirror = |name: &str| counters_snapshot.get(name).copied().unwrap_or(0);
     JobStats {
         name,
         map_tasks,
@@ -779,7 +795,9 @@ where
                 counters,
             };
             m.setup(&ctx);
-            let mut out = Emitter::new();
+            // Most mappers emit at most one pair per record; pre-sizing to
+            // the chunk length avoids growth reallocations in the hot loop.
+            let mut out = Emitter::with_capacity(block.data.len());
             for (j, record) in block.data.iter().enumerate() {
                 m.map(offsets[task_id] + j as u64, record, &mut out);
             }
@@ -796,8 +814,10 @@ where
                     .sum();
                 (vec![pairs], vec![sz])
             } else {
-                let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> =
-                    (0..num_reducers).map(|_| Vec::new()).collect();
+                let per_bucket = pairs.len().div_ceil(num_reducers);
+                let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> = (0..num_reducers)
+                    .map(|_| Vec::with_capacity(per_bucket))
+                    .collect();
                 for (k, v) in pairs {
                     let p = match &partitioner {
                         Some(f) => {
@@ -867,23 +887,35 @@ where
     // Regrouping map outputs into reduce partitions is the in-process
     // equivalent of the shuffle's copy step.
     let _shuffle_span = (num_reducers > 0).then(|| job_span.child("phase.shuffle", &[]));
-    let mut partitions: Vec<Vec<(M::KOut, M::VOut)>> =
-        (0..num_partitions).map(|_| Vec::new()).collect();
+    let mut ok_results = Vec::with_capacity(block_ids.len());
+    for r in results {
+        ok_results.push(r?);
+    }
     let mut partition_bytes = vec![0u64; num_partitions];
     let mut sim_tasks = Vec::with_capacity(block_ids.len());
-    for (task_id, r) in results.into_iter().enumerate() {
-        let r = r?;
-        sim_tasks.push(r.sim);
-        if num_reducers == 0 {
+    let partitions: Vec<Vec<(M::KOut, M::VOut)>> = if num_reducers == 0 {
+        let mut partitions = Vec::with_capacity(num_partitions);
+        for (task_id, r) in ok_results.into_iter().enumerate() {
+            sim_tasks.push(r.sim);
             partition_bytes[task_id] = r.bucket_bytes[0];
-            partitions[task_id] = r.buckets.into_iter().next().unwrap();
-        } else {
+            partitions.push(r.buckets.into_iter().next().unwrap());
+        }
+        partitions
+    } else {
+        // Pre-size every partition to its exact concatenated length so
+        // the copy step never reallocates mid-extend.
+        let mut partitions: Vec<Vec<(M::KOut, M::VOut)>> = (0..num_partitions)
+            .map(|p| Vec::with_capacity(ok_results.iter().map(|r| r.buckets[p].len()).sum()))
+            .collect();
+        for r in ok_results {
+            sim_tasks.push(r.sim);
             for (p, bucket) in r.buckets.into_iter().enumerate() {
                 partitions[p].extend(bucket);
                 partition_bytes[p] += r.bucket_bytes[p];
             }
         }
-    }
+        partitions
+    };
     Ok(MapPhaseOutput {
         partitions,
         sim_tasks,
@@ -895,6 +927,42 @@ struct MapTaskResult<K, V> {
     buckets: Vec<Vec<(K, V)>>,
     bucket_bytes: Vec<u64>,
     sim: MapTaskSim,
+}
+
+/// Groups a key-sorted pair vector into `(key, values)` runs, *moving*
+/// the values out of the input — no per-value clone. Equal keys must be
+/// adjacent (guaranteed after the stable sort), and the stable sort means
+/// each run's values keep their map-task emission order.
+pub fn group_sorted<K: MrKey, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match groups.last_mut() {
+            Some((gk, vs)) if *gk == k => vs.push(v),
+            _ => groups.push((k, vec![v])),
+        }
+    }
+    groups
+}
+
+/// Groups an *unsorted* pair vector by key in first-encounter order,
+/// moving the values. The input is the deterministic concatenation of map
+/// outputs in task order, so both the group order and each group's value
+/// order are reproducible across runs — and the value order is identical
+/// to what the stable-sort path produces.
+pub fn group_unsorted<K: MrKey, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    let mut index: HashMap<K, usize, FnvBuildHasher> =
+        HashMap::with_capacity_and_hasher(16, FnvBuildHasher::default());
+    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match index.get(&k) {
+            Some(&i) => groups[i].1.push(v),
+            None => {
+                index.insert(k.clone(), groups.len());
+                groups.push((k, vec![v]));
+            }
+        }
+    }
+    groups
 }
 
 /// Sorts one bucket by key, groups runs, and applies the combiner to each
@@ -910,19 +978,11 @@ fn run_combiner<K: MrKey, V: MrValue, C: Combiner<K, V>>(
     counters.inc(builtin::COMBINE_INPUT_RECORDS, pairs.len() as u64);
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     let mut c = combiner.clone();
-    let mut out = Vec::new();
-    let mut start = 0;
-    while start < pairs.len() {
-        let key = pairs[start].0.clone();
-        let mut end = start + 1;
-        while end < pairs.len() && pairs[end].0 == key {
-            end += 1;
-        }
-        let values: Vec<V> = pairs[start..end].iter().map(|(_, v)| v.clone()).collect();
+    let mut out = Vec::with_capacity(pairs.len());
+    for (key, values) in group_sorted(pairs) {
         for v in c.combine(&key, &values) {
             out.push((key.clone(), v));
         }
-        start = end;
     }
     counters.inc(builtin::COMBINE_OUTPUT_RECORDS, out.len() as u64);
     out
@@ -1005,6 +1065,124 @@ mod tests {
                 .output
         };
         assert_eq!(run(), run());
+    }
+
+    /// Same arithmetic as [`SumReducer`], but declares it does not need
+    /// key-ordered groups — the engine takes the sort-skipping path.
+    #[derive(Clone)]
+    struct UnsortedSumReducer;
+    impl Reducer<String, u64> for UnsortedSumReducer {
+        type KOut = String;
+        type VOut = u64;
+        const SORTED_INPUT: bool = false;
+        fn reduce(&mut self, key: &String, values: &[u64], out: &mut Emitter<String, u64>) {
+            out.emit(key.clone(), values.iter().sum());
+        }
+    }
+
+    #[test]
+    fn grouping_helpers_agree_and_preserve_value_order() {
+        let pairs = vec![(2, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (1, 'e')];
+        let mut key_sorted = pairs.clone();
+        key_sorted.sort_by_key(|a| a.0);
+        let s = group_sorted(key_sorted);
+        assert_eq!(
+            s,
+            vec![(1, vec!['b', 'e']), (2, vec!['a', 'c']), (3, vec!['d'])]
+        );
+        // First-encounter group order, identical within-group value order.
+        let u = group_unsorted(pairs);
+        assert_eq!(
+            u,
+            vec![(2, vec!['a', 'c']), (1, vec!['b', 'e']), (3, vec!['d'])]
+        );
+    }
+
+    #[test]
+    fn sort_skipping_reducer_matches_sorted_results() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let sorted = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .run()
+            .unwrap();
+        let hashed = MapReduceJob::new(
+            "wc-fast",
+            &cluster,
+            &dfs,
+            "words",
+            tokenizer(),
+            UnsortedSumReducer,
+        )
+        .reducers(2)
+        .run()
+        .unwrap();
+        assert_eq!(word_counts(&sorted), word_counts(&hashed));
+        assert_eq!(
+            sorted.stats.counters[builtin::REDUCE_INPUT_GROUPS],
+            hashed.stats.counters[builtin::REDUCE_INPUT_GROUPS]
+        );
+        assert_eq!(hashed.stats.counters[builtin::SORT_SKIPPED], 2);
+        assert!(
+            !sorted.stats.counters.contains_key(builtin::SORT_SKIPPED),
+            "sorted path must not report skipped sorts"
+        );
+        // Deterministic across repeats, like the sorted path.
+        let rerun = MapReduceJob::new(
+            "wc-fast",
+            &cluster,
+            &dfs,
+            "words",
+            tokenizer(),
+            UnsortedSumReducer,
+        )
+        .reducers(2)
+        .run()
+        .unwrap();
+        assert_eq!(hashed.output, rerun.output);
+    }
+
+    #[test]
+    fn sort_skipping_preserves_within_group_value_order() {
+        #[derive(Clone)]
+        struct CollectSorted;
+        impl Reducer<u64, u64> for CollectSorted {
+            type KOut = u64;
+            type VOut = Vec<u64>;
+            fn reduce(&mut self, key: &u64, values: &[u64], out: &mut Emitter<u64, Vec<u64>>) {
+                out.emit(*key, values.to_vec());
+            }
+        }
+        #[derive(Clone)]
+        struct CollectHashed;
+        impl Reducer<u64, u64> for CollectHashed {
+            type KOut = u64;
+            type VOut = Vec<u64>;
+            const SORTED_INPUT: bool = false;
+            fn reduce(&mut self, key: &u64, values: &[u64], out: &mut Emitter<u64, Vec<u64>>) {
+                out.emit(*key, values.to_vec());
+            }
+        }
+        let cluster = Cluster::local(4, 2);
+        let mut dfs = Dfs::new(cluster.topology.clone(), 8, 2);
+        dfs.put_fixed("r", (0..200u64).collect(), 4).unwrap();
+        let mapper = FnMapper::new(|_off: u64, v: &u64, out: &mut Emitter<u64, u64>| {
+            out.emit(v % 5, *v);
+        });
+        let sorted = MapReduceJob::new("col", &cluster, &dfs, "r", mapper.clone(), CollectSorted)
+            .reducers(3)
+            .run()
+            .unwrap();
+        let hashed = MapReduceJob::new("col-fast", &cluster, &dfs, "r", mapper, CollectHashed)
+            .reducers(3)
+            .run()
+            .unwrap();
+        let by_key = |r: &JobResult<u64, Vec<u64>>| -> BTreeMap<u64, Vec<u64>> {
+            r.output.iter().cloned().collect()
+        };
+        // The stable sort and the first-encounter scan walk the same
+        // concatenation, so each group's values match element for element.
+        assert_eq!(by_key(&sorted), by_key(&hashed));
     }
 
     #[test]

@@ -83,7 +83,10 @@ pub use chaos::{ChaosEvent, ChaosPlan};
 pub use config::JobConfig;
 pub use counters::Counters;
 pub use dfs::{BlockId, Dfs, DfsError, RereplicationReport};
-pub use job::{FailurePlan, JobError, JobResult, JobStats, MapOnlyJob, MapReduceJob};
+pub use job::{
+    group_sorted, group_unsorted, FailurePlan, JobError, JobResult, JobStats, MapOnlyJob,
+    MapReduceJob,
+};
 pub use pipeline::PipelineReport;
 pub use recover::{run_with_recovery, RetryPolicy};
 pub use sim::{Locality, SimParams, SimReport};

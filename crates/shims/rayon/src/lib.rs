@@ -124,6 +124,43 @@ impl<T: Send> ParIter<T> {
         self.items.into_iter().fold(identity(), op)
     }
 
+    /// Rayon's `fold`: folds each parallel split into an accumulator
+    /// seeded from `identity()`, yielding one accumulator per split (in
+    /// input order — one split per worker thread here). As with rayon,
+    /// the number of splits is an implementation detail, so downstream
+    /// consumers must combine accumulators with an operation for which
+    /// `identity` is neutral.
+    pub fn fold<Acc, ID, F>(self, identity: ID, fold_op: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync + Send,
+        F: Fn(Acc, T) -> Acc + Sync + Send,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let chunk_len = self.items.len().div_ceil(threads).max(1);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        ParIter {
+            items: parallel_map(chunks, |chunk| chunk.into_iter().fold(identity(), &fold_op)),
+        }
+    }
+
+    /// Rayon's `with_min_len` splitting hint. This shim's eager
+    /// per-thread chunking already bounds split counts, so the hint is
+    /// accepted for source compatibility and otherwise ignored.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
     /// Number of items.
     pub fn count(self) -> usize {
         self.items.len()
@@ -229,6 +266,27 @@ mod tests {
             .filter_map(|x| (x % 3 == 0).then_some(x))
             .collect();
         assert_eq!(v, vec![0, 3, 6, 9, 12, 15, 18]);
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_sequential_sum() {
+        let data: Vec<u64> = (1..=1000).collect();
+        let total: u64 = data
+            .par_chunks(64)
+            .with_min_len(4)
+            .fold(|| 0u64, |acc, c| acc + c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn fold_of_empty_input_reduces_to_identity() {
+        let data: Vec<u64> = Vec::new();
+        let total: u64 = data
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 0);
     }
 
     #[test]

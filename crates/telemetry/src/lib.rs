@@ -57,8 +57,8 @@ pub use json::{event_to_json, write_jsonl};
 pub use monitor::{MetricsSnapshot, Monitor, Reporter};
 pub use summary::{
     PhaseStat, Straggler, SummaryReport, TaskStats, BLACKLISTED_NODES_COUNTER,
-    FAILED_OVER_READS_COUNTER, REEXECUTED_MAPS_COUNTER, SHUFFLE_BYTES_COUNTER,
-    TASK_RETRIES_COUNTER,
+    DISTANCE_EVALS_COUNTER, FAILED_OVER_READS_COUNTER, REEXECUTED_MAPS_COUNTER,
+    SHUFFLE_BYTES_COUNTER, SHUFFLE_BYTES_SAVED_COUNTER, SORT_SKIPPED_COUNTER, TASK_RETRIES_COUNTER,
 };
 pub use timeline::{NodeLane, Timeline};
 

@@ -40,6 +40,9 @@ pub struct Monitor {
     failed_over_reads: AtomicU64,
     blacklisted_nodes: AtomicU64,
     crash_killed_attempts: AtomicU64,
+    distance_evals: AtomicU64,
+    sorts_skipped: AtomicU64,
+    shuffle_bytes_saved: AtomicU64,
     driver_iteration: AtomicU64,
     /// The driver's latest convergence delta, stored as `f64` bits.
     driver_delta_bits: AtomicU64,
@@ -117,6 +120,22 @@ impl Monitor {
         self.crash_killed_attempts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `n` more point-to-centroid distances were evaluated by the
+    /// clustering kernels.
+    pub fn add_distance_evals(&self, n: u64) {
+        self.distance_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` reduce partitions took the sort-skipping fast path.
+    pub fn add_sorts_skipped(&self, n: u64) {
+        self.sorts_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` shuffle bytes were avoided by a compressed payload encoding.
+    pub fn add_shuffle_bytes_saved(&self, n: u64) {
+        self.shuffle_bytes_saved.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The iterative driver finished an iteration with this delta.
     pub fn set_driver_progress(&self, iteration: u64, delta: f64) {
         self.driver_iteration.store(iteration, Ordering::Relaxed);
@@ -165,6 +184,9 @@ impl Monitor {
             failed_over_reads: load(&self.failed_over_reads),
             blacklisted_nodes: load(&self.blacklisted_nodes),
             crash_killed_attempts: load(&self.crash_killed_attempts),
+            distance_evals: load(&self.distance_evals),
+            sorts_skipped: load(&self.sorts_skipped),
+            shuffle_bytes_saved: load(&self.shuffle_bytes_saved),
             driver_iteration: load(&self.driver_iteration),
             driver_delta: f64::from_bits(load(&self.driver_delta_bits)),
             node_busy_s: self
@@ -210,6 +232,12 @@ pub struct MetricsSnapshot {
     pub blacklisted_nodes: u64,
     /// Attempts killed mid-flight by node crashes.
     pub crash_killed_attempts: u64,
+    /// Point-to-centroid distance evaluations in the clustering kernels.
+    pub distance_evals: u64,
+    /// Reduce partitions that took the sort-skipping fast path.
+    pub sorts_skipped: u64,
+    /// Shuffle bytes avoided by compressed payload encodings.
+    pub shuffle_bytes_saved: u64,
     /// The driver's current iteration (0 before the first completes).
     pub driver_iteration: u64,
     /// The driver's latest convergence delta (NaN before the first).
@@ -350,6 +378,24 @@ impl MetricsSnapshot {
             "counter",
             "Attempts killed mid-flight by node crashes.",
             self.crash_killed_attempts as f64,
+        );
+        metric(
+            "gepeto_kernel_distance_evals_total",
+            "counter",
+            "Point-to-centroid distance evaluations in the clustering kernels.",
+            self.distance_evals as f64,
+        );
+        metric(
+            "gepeto_shuffle_sort_skipped_total",
+            "counter",
+            "Reduce partitions that took the sort-skipping fast path.",
+            self.sorts_skipped as f64,
+        );
+        metric(
+            "gepeto_shuffle_bytes_saved_total",
+            "counter",
+            "Shuffle bytes avoided by compressed payload encodings.",
+            self.shuffle_bytes_saved as f64,
         );
         metric(
             "gepeto_jobs_running",
@@ -555,10 +601,25 @@ mod tests {
         m.add_map_tasks(2);
         m.map_task_done();
         m.add_shuffle_bytes(4096);
+        m.add_distance_evals(7);
+        m.add_sorts_skipped(2);
+        m.add_shuffle_bytes_saved(100);
         m.node_busy(0, 2.0);
         m.observe("task.map.us", 10);
         m.observe("task.map.us", 1000);
         let text = m.snapshot().to_prometheus();
+        assert!(
+            text.contains("gepeto_kernel_distance_evals_total 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_shuffle_sort_skipped_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_shuffle_bytes_saved_total 100"),
+            "{text}"
+        );
         assert!(
             text.contains("# TYPE gepeto_map_tasks_done counter"),
             "{text}"

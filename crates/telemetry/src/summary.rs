@@ -20,6 +20,16 @@ pub const FAILED_OVER_READS_COUNTER: &str = "dfs.reads.failed_over";
 /// Counter name the engine uses for nodes blacklisted by the jobtracker
 /// after repeated task failures.
 pub const BLACKLISTED_NODES_COUNTER: &str = "mapred.nodes.blacklisted";
+/// Counter name the clustering kernels use for point-to-centroid distance
+/// evaluations (the k-means inner-loop cost driver).
+pub const DISTANCE_EVALS_COUNTER: &str = "kernel.distance_evals";
+/// Counter name the engine uses for reduce partitions whose stable sort
+/// was skipped because the reducer declared order-insensitive input.
+pub const SORT_SKIPPED_COUNTER: &str = "shuffle.sort_skipped";
+/// Counter name the engine uses for shuffle bytes avoided by compressed
+/// payload encodings (e.g. delta-varint neighborhoods), versus the raw
+/// representation.
+pub const SHUFFLE_BYTES_SAVED_COUNTER: &str = "shuffle.bytes_saved";
 
 /// Wall time attributed to one phase (summed across repeats, e.g.
 /// k-means iterations each contributing a map phase).
@@ -80,6 +90,12 @@ pub struct SummaryReport {
     pub blacklisted_nodes: u64,
     /// Total shuffled bytes, when the engine reported them.
     pub shuffle_bytes: Option<u64>,
+    /// Point-to-centroid distance evaluations in the clustering kernels.
+    pub distance_evals: u64,
+    /// Reduce partitions that took the sort-skipping fast path.
+    pub sort_skipped: u64,
+    /// Shuffle bytes avoided by compressed payload encodings.
+    pub shuffle_bytes_saved: u64,
     /// Every counter, sorted by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -181,6 +197,9 @@ impl SummaryReport {
             failed_over_reads: counter(FAILED_OVER_READS_COUNTER).unwrap_or(0),
             blacklisted_nodes: counter(BLACKLISTED_NODES_COUNTER).unwrap_or(0),
             shuffle_bytes: counter(SHUFFLE_BYTES_COUNTER),
+            distance_evals: counter(DISTANCE_EVALS_COUNTER).unwrap_or(0),
+            sort_skipped: counter(SORT_SKIPPED_COUNTER).unwrap_or(0),
+            shuffle_bytes_saved: counter(SHUFFLE_BYTES_SAVED_COUNTER).unwrap_or(0),
             counters: counters.to_vec(),
         }
     }
@@ -243,6 +262,15 @@ impl SummaryReport {
         }
         if let Some(bytes) = self.shuffle_bytes {
             let _ = writeln!(out, "shuffle bytes: {bytes}");
+        }
+        if self.shuffle_bytes_saved > 0 {
+            let _ = writeln!(out, "shuffle bytes saved: {}", self.shuffle_bytes_saved);
+        }
+        if self.sort_skipped > 0 {
+            let _ = writeln!(out, "sorts skipped: {}", self.sort_skipped);
+        }
+        if self.distance_evals > 0 {
+            let _ = writeln!(out, "distance evals: {}", self.distance_evals);
         }
         out
     }
@@ -340,6 +368,29 @@ mod tests {
         assert!(text.contains("map"));
         assert!(text.contains("stragglers (1)"));
         assert!(text.contains("shuffle bytes: 4096"));
+    }
+
+    #[test]
+    fn fast_path_counters_surface_in_report() {
+        let counters = vec![
+            (DISTANCE_EVALS_COUNTER.to_owned(), 123_456),
+            (SORT_SKIPPED_COUNTER.to_owned(), 4),
+            (SHUFFLE_BYTES_SAVED_COUNTER.to_owned(), 999),
+        ];
+        let report = SummaryReport::from_events(&[], &counters);
+        assert_eq!(report.distance_evals, 123_456);
+        assert_eq!(report.sort_skipped, 4);
+        assert_eq!(report.shuffle_bytes_saved, 999);
+        let text = report.render();
+        assert!(text.contains("distance evals: 123456"));
+        assert!(text.contains("sorts skipped: 4"));
+        assert!(text.contains("shuffle bytes saved: 999"));
+
+        // Absent counters stay silent.
+        let empty = SummaryReport::from_events(&[], &[]).render();
+        assert!(!empty.contains("distance evals"));
+        assert!(!empty.contains("sorts skipped"));
+        assert!(!empty.contains("shuffle bytes saved"));
     }
 
     #[test]

@@ -31,9 +31,12 @@ for w in sampling kmeans djcluster; do
         "target/bench-smoke/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json"
 done
 
-echo "== bench baselines: compare against committed captures =="
-# Virtual-cluster metrics are deterministic; host-dependent ones
-# (wall_ms, task p95s) are ignored so machine speed is not a regression.
+echo "== bench perf-gate: compare against committed baselines =="
+# Virtual-cluster metrics (shuffle_bytes, counters, makespan) are
+# deterministic, so any drift beyond the threshold is a real perf or
+# output regression — this is what gates the columnar/shuffle fast
+# paths. Host-dependent metrics (wall_ms, task p95s) are ignored so
+# machine speed is not a regression.
 for w in sampling kmeans djcluster; do
     ./target/release/gepeto-bench compare \
         "crates/bench/baselines/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json" \
