@@ -16,6 +16,7 @@ fn cfg(metric: DistanceMetric, use_combiner: bool) -> kmeans::KMeansConfig {
         max_iterations: 150,
         seed: 1,
         use_combiner,
+        memory_budget: None,
     }
 }
 

@@ -22,7 +22,7 @@ use gepeto_bench::workloads::{run_workload, BenchConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const WORKLOADS: [&str; 3] = ["sampling", "kmeans", "djcluster"];
+const WORKLOADS: [&str; 4] = ["sampling", "kmeans", "djcluster", "synth"];
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -47,7 +47,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  gepeto-bench run [--workload all|sampling|kmeans|djcluster]
+  gepeto-bench run [--workload all|sampling|kmeans|djcluster|synth]
                    [--users N] [--k N] [--max-iter N] [--out-dir DIR]
   gepeto-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
                        [--ignore METRIC[,METRIC...]]

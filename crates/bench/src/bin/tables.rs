@@ -184,6 +184,7 @@ fn table3() {
             max_iterations: 150,
             seed: 1,
             use_combiner: false,
+            memory_budget: None,
         };
         let result = kmeans::mapreduce_kmeans(&cluster, &dfs, "input", &cfg).unwrap();
         let mean_iter = result
@@ -319,6 +320,7 @@ fn fig4() {
         max_iterations: 25,
         seed: 1,
         use_combiner: false,
+        memory_budget: None,
     };
     let result = kmeans::mapreduce_kmeans(&cluster, &dfs, "input", &cfg).unwrap();
     println!("iteration | max centroid shift (m) | sim job time (s)");
@@ -450,6 +452,7 @@ fn ablation() {
             max_iterations: 150,
             seed: 1,
             use_combiner,
+            memory_budget: None,
         };
         let (_, stats) =
             kmeans::mapreduce_iteration(&cluster, &dfs, "input", &centroids, &cfg).unwrap();
@@ -481,6 +484,7 @@ fn ablation() {
             max_iterations: 150,
             seed: 1,
             use_combiner: false,
+            memory_budget: None,
         };
         let (_, stats) =
             kmeans::mapreduce_iteration(&cluster, &dfs, "input", &centroids, &cfg).unwrap();
@@ -510,6 +514,7 @@ fn ablation() {
         max_iterations: 150,
         seed: 1,
         use_combiner: true,
+        memory_budget: None,
     };
     let (_, mean_stats) =
         kmeans::mapreduce_iteration(&cluster, &dfs, "input", &centroids, &mean_cfg).unwrap();
@@ -639,6 +644,7 @@ fn scalability() {
         max_iterations: 150,
         seed: 1,
         use_combiner: true,
+        memory_budget: None,
     };
     let mut rows = Vec::new();
     let mut base = None;

@@ -56,14 +56,16 @@ impl BenchConfig {
     }
 }
 
-/// Runs one workload by name (`sampling`, `kmeans`, `djcluster`).
+/// Runs one workload by name (`sampling`, `kmeans`, `djcluster`,
+/// `synth`).
 pub fn run_workload(name: &str, cfg: &BenchConfig) -> Result<BenchReport, String> {
     match name {
         "sampling" => run_sampling(cfg),
         "kmeans" => run_kmeans(cfg),
         "djcluster" => run_djcluster(cfg),
+        "synth" => run_synth(cfg),
         other => Err(format!(
-            "unknown workload '{other}' (expected sampling, kmeans or djcluster)"
+            "unknown workload '{other}' (expected sampling, kmeans, djcluster or synth)"
         )),
     }
 }
@@ -106,6 +108,45 @@ pub fn run_kmeans(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let jobs: Vec<&JobStats> = result.per_iteration.iter().map(|it| &it.job).collect();
     Ok(BenchReport::from_run(
         "kmeans", cfg.scale, cfg.users, wall_ms, &jobs, &telemetry,
+    ))
+}
+
+/// Workload 4: the out-of-core tier. A `GEPETO_SCALE`-sized slice of a
+/// million-user synthetic day is streamed into the DFS (never holding
+/// more than one user's trail in memory) and regrouped through the
+/// by-user shuffle under a memory budget small enough to force the
+/// external spill/merge path at every scale — `GEPETO_SCALE=1.0` runs
+/// the full million users.
+pub fn run_synth(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let users = ((1_000_000.0 * cfg.scale) as u64).clamp(16, u64::from(u32::MAX));
+    let synth = gepeto_synth::SynthConfig::new(users);
+    let cluster = parapluie();
+    let mut dfs = gepeto::dfs_io::trace_dfs(&cluster, cfg.chunk_bytes());
+    let telemetry = Recorder::enabled();
+    let started = Instant::now();
+    synth.to_dfs(&mut dfs, "input").map_err(|e| e.to_string())?;
+    // ~1/64 of the whole shuffle per partition: a handful of sorted
+    // runs per reducer regardless of scale, floored so tiny smoke runs
+    // still exercise the spill path.
+    let budget = (synth.estimated_plt_bytes() / 64).max(4 * 1024) as usize;
+    let scfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToUpperLimit);
+    let (_grouped, stats) = sampling::mapreduce_sample_by_user(
+        &cluster,
+        &dfs,
+        "input",
+        &scfg,
+        Some(budget),
+        &telemetry,
+    )
+    .map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_millis() as u64;
+    Ok(BenchReport::from_run(
+        "synth",
+        cfg.scale,
+        users as usize,
+        wall_ms,
+        &[&stats],
+        &telemetry,
     ))
 }
 
@@ -188,6 +229,32 @@ mod tests {
         assert_eq!(report.workload, "kmeans");
         assert!(report.jobs >= 1 && report.jobs <= 2);
         assert!(report.reduce_tasks > 0, "k-means jobs have reducers");
+    }
+
+    #[test]
+    fn synth_report_records_spill_counters() {
+        let report = run_synth(&tiny()).unwrap();
+        assert_eq!(report.workload, "synth");
+        assert_eq!(report.jobs, 1);
+        assert!(report.reduce_tasks > 0, "by-user regrouping has reducers");
+        let counter = |key: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(0, |(_, v)| *v)
+        };
+        let spilled = counter("shuffle.spilled_bytes");
+        let files = counter("shuffle.spill_files");
+        assert!(
+            spilled > 0 && files > 0,
+            "the synth tier must exercise the out-of-core shuffle, got {:?}",
+            report.counters
+        );
+
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        let cmp = compare(&report, &back, 1.0);
+        assert!(cmp.regressions.is_empty());
     }
 
     #[test]

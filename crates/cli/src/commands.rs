@@ -24,10 +24,17 @@ COMMANDS:
                   --users N --scale S --seed X
     sample      MapReduce down-sampling (paper §V)
                   --window SECS (60) --technique upper|middle --chunk-kb N (1024)
+                  --memory-budget SIZE routes through a by-user shuffle that
+                  spills to disk past SIZE bytes per partition (64k/16m/2g)
     kmeans      MapReduce k-means (paper §VI)
                   --k N (11) --distance haversine|sqeuclidean|euclidean|manhattan
                   --delta D (0.5) --max-iter N (150) --combiner true|false
                   --chunk-kb N (1024) --parapluie true|false
+                  --memory-budget SIZE caps in-memory shuffle per partition
+    synth       Stream a deterministic synthetic workload through a job
+                  --users N (100000) --days N (1) --seed X --chunk-mb N (64)
+                  --workload sampling|kmeans --memory-budget SIZE
+                  --window SECS (60) --k N (11) --max-iter N (5)
     djcluster   MapReduce DJ-Cluster + preprocessing (paper §VII)
                   --radius M (60) --minpts N (4) --speed MPS (1.0)
                   --window SECS (60) --mr-rtree true|false
@@ -121,6 +128,30 @@ fn chaos_from(args: &Args) -> Result<ChaosPlan, String> {
         }
     }
     Ok(plan)
+}
+
+/// Parses `--memory-budget SIZE` into bytes. Accepts plain bytes or a
+/// `k`/`m`/`g` suffix (`64m`, `512K`, `2g`); `None` when absent.
+fn memory_budget_from(args: &Args) -> Result<Option<usize>, String> {
+    let Some(raw) = args.get("memory-budget") else {
+        return Ok(None);
+    };
+    parse_bytes(raw)
+        .map(Some)
+        .ok_or_else(|| format!("--memory-budget: cannot parse '{raw}' (want bytes or 64k/16m/2g)"))
+}
+
+/// Parses a byte size with an optional `k`/`m`/`g` suffix.
+fn parse_bytes(raw: &str) -> Option<usize> {
+    let raw = raw.trim();
+    let (digits, shift) = match raw.chars().last()? {
+        'k' | 'K' => (&raw[..raw.len() - 1], 10u32),
+        'm' | 'M' => (&raw[..raw.len() - 1], 20),
+        'g' | 'G' => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let n: usize = digits.parse().ok()?;
+    n.checked_shl(shift)
 }
 
 /// Builds the driver [`RetryPolicy`] from `--driver-retries` and
@@ -316,9 +347,14 @@ pub fn sample(args: &Args) -> Result<(), String> {
     let t = args.get("technique").unwrap_or("upper");
     let technique = sampling::Technique::parse(t).ok_or(format!("unknown technique '{t}'"))?;
     let cfg = sampling::SamplingConfig::new(args.get_or("window", 60i64)?, technique);
+    let budget = memory_budget_from(args)?;
     observed(args, |rec| {
-        let (sampled, stats) = sampling::mapreduce_sample_with(&cluster, &dfs, "input", &cfg, rec)
-            .map_err(|e| e.to_string())?;
+        let (sampled, stats) = if budget.is_some() {
+            sampling::mapreduce_sample_by_user(&cluster, &dfs, "input", &cfg, budget, rec)
+        } else {
+            sampling::mapreduce_sample_with(&cluster, &dfs, "input", &cfg, rec)
+        }
+        .map_err(|e| e.to_string())?;
         println!(
             "sampling window {} s: {} -> {} traces ({:.2} %)",
             cfg.window_secs,
@@ -327,7 +363,99 @@ pub fn sample(args: &Args) -> Result<(), String> {
             100.0 * sampled.num_traces() as f64 / ds.num_traces().max(1) as f64
         );
         print_job("job", &stats);
+        print_spill(&stats);
         Ok(())
+    })
+}
+
+/// Prints the out-of-core shuffle/reduce counters when the job spilled.
+fn print_spill(stats: &gepeto_mapred::JobStats) {
+    use gepeto_mapred::counters::builtin;
+    let get = |key: &str| stats.counters.get(key).copied().unwrap_or(0);
+    let (bytes, files, groups) = (
+        get(builtin::SPILLED_BYTES),
+        get(builtin::SPILL_FILES),
+        get(builtin::SPILLED_GROUPS),
+    );
+    if bytes + files + groups > 0 {
+        println!("  out-of-core: {bytes} B spilled across {files} run files | {groups} reduce groups overflowed");
+    }
+}
+
+/// `gepeto synth`: generate a deterministic synthetic mobility workload
+/// (streamed user-by-user, never materializing the dataset) into the
+/// DFS, then push it through a MapReduce workload — optionally under a
+/// `--memory-budget` small enough to force the shuffle out of core.
+pub fn synth(args: &Args) -> Result<(), String> {
+    let users = args.get_or("users", 100_000u64)?;
+    if users == 0 || users > u64::from(u32::MAX) {
+        return Err(format!("--users {users}: want 1..=u32::MAX"));
+    }
+    let cfg = gepeto_synth::SynthConfig::new(users)
+        .seed(args.get_or("seed", 20130520u64)?)
+        .days(args.get_or("days", 1u32)?);
+    let cluster = cluster_from(args)?;
+    let chunk_mb: usize = args.get_or("chunk-mb", 64usize)?;
+    let mut dfs = gepeto::dfs_io::trace_dfs(&cluster, chunk_mb << 20);
+    println!(
+        "synth: {} users x {} day(s), seed {} -> ~{} traces (~{:.1} MB as PLT)",
+        cfg.users,
+        cfg.days,
+        cfg.seed,
+        cfg.estimated_traces(),
+        cfg.estimated_plt_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    let t0 = std::time::Instant::now();
+    cfg.to_dfs(&mut dfs, "synth").map_err(|e| e.to_string())?;
+    println!(
+        "synth: streamed into DFS in {:.2?} ({} blocks, {} B)",
+        t0.elapsed(),
+        dfs.num_blocks("synth").unwrap_or(0),
+        dfs.file_bytes("synth").unwrap_or(0),
+    );
+    let budget = memory_budget_from(args)?;
+    let workload = args.get("workload").unwrap_or("sampling").to_string();
+    observed(args, |rec| match workload.as_str() {
+        "sampling" => {
+            let scfg = sampling::SamplingConfig::new(
+                args.get_or("window", 60i64)?,
+                sampling::Technique::ClosestToUpperLimit,
+            );
+            let (sampled, stats) =
+                sampling::mapreduce_sample_by_user(&cluster, &dfs, "synth", &scfg, budget, rec)
+                    .map_err(|e| e.to_string())?;
+            println!(
+                "sampling window {} s: kept {} traces across {} users",
+                scfg.window_secs,
+                sampled.num_traces(),
+                sampled.num_users(),
+            );
+            print_job("job", &stats);
+            print_spill(&stats);
+            Ok(())
+        }
+        "kmeans" => {
+            let kcfg = kmeans::KMeansConfig {
+                k: args.get_or("k", 11usize)?,
+                max_iterations: args.get_or("max-iter", 5usize)?,
+                seed: args.get_or("seed", 1u64)?,
+                use_combiner: args.get_or("combiner", false)?,
+                memory_budget: budget,
+                ..kmeans::KMeansConfig::paper(DistanceMetric::SquaredEuclidean)
+            };
+            let result = kmeans::mapreduce_kmeans_with(&cluster, &dfs, "synth", &kcfg, rec)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "k-means: k={} converged={} after {} iterations",
+                kcfg.k, result.converged, result.iterations
+            );
+            if let Some(last) = result.per_iteration.last() {
+                print_job("last iteration", &last.job);
+                print_spill(&last.job);
+            }
+            Ok(())
+        }
+        other => Err(format!("--workload '{other}': want sampling|kmeans")),
     })
 }
 
@@ -345,6 +473,7 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         max_iterations: args.get_or("max-iter", 150usize)?,
         seed: args.get_or("seed", 1u64)?,
         use_combiner: args.get_or("combiner", false)?,
+        memory_budget: memory_budget_from(args)?,
     };
     let policy = retry_policy_from(args)?;
     observed(args, |rec| {
@@ -377,6 +506,7 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         println!("mean simulated iteration time: {mean_iter_sim:.1} s");
         if let Some(last) = result.per_iteration.last() {
             print_job("last iteration", &last.job);
+            print_spill(&last.job);
         }
         for (i, c) in result.centroids.iter().enumerate() {
             println!("  centroid {i}: ({:.6}, {:.6})", c.lat, c.lon);
@@ -740,6 +870,45 @@ mod tests {
     #[test]
     fn djcluster_runs_small() {
         assert!(djcluster(&args("--users 2 --scale 0.002 --mr-rtree false")).is_ok());
+    }
+
+    #[test]
+    fn parse_bytes_handles_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes("16M"), Some(16 << 20));
+        assert_eq!(parse_bytes("2g"), Some(2 << 30));
+        assert_eq!(parse_bytes(" 1k "), Some(1024));
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("-1"), None);
+    }
+
+    #[test]
+    fn sample_accepts_memory_budget() {
+        assert!(sample(&args("--users 2 --scale 0.002 --memory-budget 1")).is_ok());
+        let err = sample(&args("--users 2 --scale 0.002 --memory-budget huge")).unwrap_err();
+        assert!(err.contains("memory-budget"));
+    }
+
+    #[test]
+    fn synth_runs_sampling_under_tiny_budget() {
+        assert!(synth(&args("--users 50 --chunk-mb 1 --memory-budget 1 --summary")).is_ok());
+    }
+
+    #[test]
+    fn synth_runs_kmeans_workload() {
+        assert!(synth(&args(
+            "--users 30 --chunk-mb 1 --workload kmeans --k 3 --max-iter 2 --memory-budget 64"
+        ))
+        .is_ok());
+        let err = synth(&args("--users 10 --workload bogus")).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn synth_rejects_zero_users() {
+        assert!(synth(&args("--users 0")).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "generate" => commands::generate(&args),
         "sample" => commands::sample(&args),
         "kmeans" => commands::kmeans(&args),
+        "synth" => commands::synth(&args),
         "djcluster" => commands::djcluster(&args),
         "attack" => commands::attack(&args),
         "sanitize" => commands::sanitize(&args),

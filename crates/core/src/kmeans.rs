@@ -64,6 +64,10 @@ pub struct KMeansConfig {
     pub seed: u64,
     /// Enables the map-side combiner (§VI related work).
     pub use_combiner: bool,
+    /// Shuffle memory budget in bytes: iteration jobs whose map output
+    /// exceeds it spill sorted runs to local disk instead of holding the
+    /// whole partition in memory. `None` keeps the all-in-memory path.
+    pub memory_budget: Option<usize>,
 }
 
 impl KMeansConfig {
@@ -76,6 +80,7 @@ impl KMeansConfig {
             max_iterations: 150,
             seed: 2,
             use_combiner: false,
+            memory_budget: None,
         }
     }
 }
@@ -677,6 +682,10 @@ fn mapreduce_iteration_named(
         .cache(cache)
         .telemetry(telemetry.clone())
         .pair_bytes(|_, _| std::mem::size_of::<(u32, PointSum)>());
+    let job = match cfg.memory_budget {
+        Some(bytes) => job.memory_budget_with(bytes, crate::spill_codecs::point_sum_codec()),
+        None => job.spill_codec(crate::spill_codecs::point_sum_codec()),
+    };
     let result = if cfg.use_combiner {
         job.with_combiner(KMeansCombiner).run()?
     } else {
@@ -926,6 +935,7 @@ mod tests {
             // `sequential_kmeans_restarts`).
             seed: 2,
             use_combiner: false,
+            memory_budget: None,
         }
     }
 

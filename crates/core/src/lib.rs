@@ -67,6 +67,7 @@ pub mod metrics;
 pub mod rtree_build;
 pub mod sampling;
 pub mod sanitize;
+pub mod spill_codecs;
 pub mod textio;
 pub mod viz;
 

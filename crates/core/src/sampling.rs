@@ -30,7 +30,9 @@
 //! ```
 
 use crate::dfs_io::read_dataset;
-use gepeto_mapred::{Cluster, Dfs, Emitter, JobError, JobStats, MapOnlyJob, Mapper};
+use gepeto_mapred::{
+    Cluster, Dfs, Emitter, JobError, JobStats, MapOnlyJob, MapReduceJob, Mapper, Reducer,
+};
 use gepeto_model::{Dataset, MobilityTrace, Trail, UserId};
 use gepeto_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
@@ -99,11 +101,16 @@ pub fn sample_trail(trail: &Trail, cfg: &SamplingConfig) -> Trail {
     // At most one representative per window, and the trail is
     // time-ordered, so the span divided by the window length bounds the
     // output — pre-size to that instead of growing through reallocation.
+    // Saturating arithmetic throughout: a trail spanning the whole i64
+    // timestamp range must degrade to "pre-size to the trace count",
+    // not overflow.
     let traces = trail.traces();
     let windows = match (traces.first(), traces.last()) {
         (Some(a), Some(b)) => {
-            let span = b.timestamp.secs() - a.timestamp.secs();
-            (span / cfg.window_secs + 1).clamp(1, traces.len() as i64) as usize
+            let span = b.timestamp.secs().saturating_sub(a.timestamp.secs());
+            (span / cfg.window_secs)
+                .saturating_add(1)
+                .clamp(1, i64::try_from(traces.len()).unwrap_or(i64::MAX)) as usize
         }
         _ => 0,
     };
@@ -245,6 +252,69 @@ pub fn mapreduce_sample_with(
     Ok((dataset, result.stats))
 }
 
+/// Identity reducer that regroups sampled traces per user — the
+/// reduce-side variant of sampling used when the output should arrive
+/// user-grouped (and the shuffle it adds is what the out-of-core spill
+/// path exercises at scale).
+#[derive(Clone)]
+pub struct RegroupReducer;
+
+impl Reducer<UserId, MobilityTrace> for RegroupReducer {
+    type KOut = UserId;
+    type VOut = MobilityTrace;
+
+    fn reduce(
+        &mut self,
+        key: &UserId,
+        values: &[MobilityTrace],
+        out: &mut Emitter<UserId, MobilityTrace>,
+    ) {
+        for v in values {
+            out.emit(*key, *v);
+        }
+    }
+}
+
+/// Sampling with a full shuffle: maps with [`SamplingMapper`], then
+/// regroups the representatives per user through a real reduce phase.
+/// Always registers the trace spill codec, so a memory budget — either
+/// the explicit `memory_budget` argument or the `mapred.memory.budget`
+/// config key — makes the shuffle spill to disk instead of holding every
+/// intermediate pair in memory.
+pub fn mapreduce_sample_by_user(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &SamplingConfig,
+    memory_budget: Option<usize>,
+    telemetry: &Recorder,
+) -> Result<(Dataset, JobStats), JobError> {
+    let span = telemetry.span(
+        "sampling-by-user",
+        &[("input", input), ("window", &cfg.window_secs.to_string())],
+    );
+    let codec = crate::spill_codecs::trace_codec();
+    let job = MapReduceJob::new(
+        "sampling-by-user",
+        cluster,
+        dfs,
+        input,
+        SamplingMapper::new(*cfg),
+        RegroupReducer,
+    )
+    .reducers(cluster.topology.num_nodes())
+    .pair_bytes(|_, t| t.approx_plt_bytes())
+    .telemetry(telemetry.clone());
+    let job = match memory_budget {
+        Some(bytes) => job.memory_budget_with(bytes, codec),
+        None => job.spill_codec(codec),
+    };
+    let result = job.run()?;
+    span.end();
+    let dataset = Dataset::from_traces(result.output.into_iter().map(|(_, t)| t));
+    Ok((dataset, result.stats))
+}
+
 /// Convenience: MapReduce-samples `input` and writes the result back to
 /// the DFS under `output` (the paper's jobs read and write HDFS folders).
 pub fn mapreduce_sample_to_dfs(
@@ -272,6 +342,17 @@ mod tests {
             GeoPoint::new(40.0 + secs as f64 * 1e-6, 116.0),
             Timestamp(secs),
         )
+    }
+
+    #[test]
+    fn sample_trail_presizing_survives_extreme_timestamps() {
+        // A trail spanning the whole representable time range: the
+        // span subtraction and the `span / window + 1` estimate would
+        // both overflow without saturating arithmetic.
+        let trail = Trail::new(1, vec![tr(1, i64::MIN + 1), tr(1, 0), tr(1, i64::MAX - 1)]);
+        let cfg = SamplingConfig::new(1, Technique::ClosestToUpperLimit);
+        let sampled = sample_trail(&trail, &cfg);
+        assert_eq!(sampled.len(), 3, "three windows, three representatives");
     }
 
     #[test]
@@ -382,6 +463,44 @@ mod tests {
         assert!(dfs.exists("out"));
         assert!(stats.map_tasks >= 1);
         assert!(dfs.num_records("out").unwrap() < 100);
+    }
+
+    #[test]
+    fn sample_by_user_matches_map_only_output() {
+        let traces: Vec<MobilityTrace> = (0..800).map(|i| tr(1 + (i % 4) as u32, i * 9)).collect();
+        let ds = Dataset::from_traces(traces);
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = trace_dfs(&cluster, 4_096);
+        put_dataset(&mut dfs, "d", &ds).unwrap();
+        let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+        let (map_only, _) = mapreduce_sample(&cluster, &dfs, "d", &cfg).unwrap();
+        let rec = gepeto_telemetry::Recorder::disabled();
+        let (grouped, _) = mapreduce_sample_by_user(&cluster, &dfs, "d", &cfg, None, &rec).unwrap();
+        assert_eq!(grouped, map_only);
+    }
+
+    #[test]
+    fn sample_by_user_spills_under_a_tiny_budget_without_changing_output() {
+        let traces: Vec<MobilityTrace> = (0..800).map(|i| tr(1 + (i % 4) as u32, i * 9)).collect();
+        let ds = Dataset::from_traces(traces);
+        let cluster = Cluster::local(3, 2);
+        let mut dfs = trace_dfs(&cluster, 4_096);
+        put_dataset(&mut dfs, "d", &ds).unwrap();
+        let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+        let rec = gepeto_telemetry::Recorder::disabled();
+        let (unbounded, base) =
+            mapreduce_sample_by_user(&cluster, &dfs, "d", &cfg, None, &rec).unwrap();
+        let (spilled, stats) =
+            mapreduce_sample_by_user(&cluster, &dfs, "d", &cfg, Some(1), &rec).unwrap();
+        assert_eq!(spilled, unbounded);
+        use gepeto_mapred::counters::builtin;
+        assert!(
+            stats.counters[builtin::SPILL_FILES] > 0,
+            "{:?}",
+            stats.counters
+        );
+        assert!(stats.counters[builtin::SPILLED_BYTES] > 0);
+        assert!(!base.counters.contains_key(builtin::SPILL_FILES));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! [`SpillCodec`] constructors for the toolkit's shuffle pair types.
+//!
+//! The out-of-core shuffle needs to serialize intermediate `(key,
+//! value)` pairs to spill runs and read them back bit-identically. The
+//! engine's [`SpillCodec`] is closure-based precisely so that this crate
+//! can provide codecs for its own types without an orphan-rule fight;
+//! the encodings below are fixed-width little-endian (floats via their
+//! IEEE-754 bit patterns), so a decoded trace is the *same bits* as the
+//! encoded one and spilled job output cannot drift from the in-memory
+//! path.
+
+use crate::kmeans::PointSum;
+use gepeto_mapred::{SpillCodec, SpillEncode};
+use gepeto_model::{GeoPoint, MobilityTrace, Timestamp, UserId};
+
+/// Codec for `(UserId, MobilityTrace)` — the shuffle pair of the
+/// sampling and regrouping jobs. 36 bytes per pair.
+pub fn trace_codec() -> SpillCodec<UserId, MobilityTrace> {
+    SpillCodec::new(
+        |k: &UserId, v: &MobilityTrace, out: &mut Vec<u8>| {
+            k.encode(out);
+            v.user.encode(out);
+            v.point.lat.encode(out);
+            v.point.lon.encode(out);
+            v.timestamp.0.encode(out);
+            v.altitude.encode(out);
+        },
+        |input: &mut &[u8]| {
+            let k = u32::decode(input)?;
+            let user = u32::decode(input)?;
+            let lat = f64::decode(input)?;
+            let lon = f64::decode(input)?;
+            let secs = i64::decode(input)?;
+            let altitude = f32::decode(input)?;
+            Some((
+                k,
+                MobilityTrace::with_altitude(
+                    user,
+                    GeoPoint::new(lat, lon),
+                    Timestamp(secs),
+                    altitude,
+                ),
+            ))
+        },
+    )
+}
+
+/// Codec for `(u32, PointSum)` — the k-means iteration shuffle pair.
+pub fn point_sum_codec() -> SpillCodec<u32, PointSum> {
+    SpillCodec::new(
+        |k: &u32, v: &PointSum, out: &mut Vec<u8>| {
+            k.encode(out);
+            v.lat_sum.encode(out);
+            v.lon_sum.encode(out);
+            v.count.encode(out);
+        },
+        |input: &mut &[u8]| {
+            let k = u32::decode(input)?;
+            let lat_sum = f64::decode(input)?;
+            let lon_sum = f64::decode(input)?;
+            let count = u64::decode(input)?;
+            Some((
+                k,
+                PointSum {
+                    lat_sum,
+                    lon_sum,
+                    count,
+                },
+            ))
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_codec_round_trips_bit_exactly() {
+        let codec = trace_codec();
+        let t = MobilityTrace::with_altitude(
+            42,
+            GeoPoint::new(39.906631, 116.385564),
+            Timestamp(1_234_567_890),
+            492.25,
+        );
+        let mut buf = Vec::new();
+        codec.encode(&7u32, &t, &mut buf);
+        let mut input = buf.as_slice();
+        let (k, back) = codec.decode(&mut input).unwrap();
+        assert_eq!(k, 7);
+        assert_eq!(back.user, t.user);
+        assert_eq!(back.point.lat.to_bits(), t.point.lat.to_bits());
+        assert_eq!(back.point.lon.to_bits(), t.point.lon.to_bits());
+        assert_eq!(back.timestamp, t.timestamp);
+        assert_eq!(back.altitude.to_bits(), t.altitude.to_bits());
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn point_sum_codec_round_trips() {
+        let codec = point_sum_codec();
+        let v = PointSum {
+            lat_sum: 123.456,
+            lon_sum: -78.9,
+            count: 1_000_000,
+        };
+        let mut buf = Vec::new();
+        codec.encode(&3u32, &v, &mut buf);
+        let mut input = buf.as_slice();
+        let (k, back) = codec.decode(&mut input).unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(back.lat_sum.to_bits(), v.lat_sum.to_bits());
+        assert_eq!(back.lon_sum.to_bits(), v.lon_sum.to_bits());
+        assert_eq!(back.count, v.count);
+    }
+
+    #[test]
+    fn truncated_input_decodes_to_none() {
+        let codec = trace_codec();
+        let t = MobilityTrace::new(1, GeoPoint::new(1.0, 2.0), Timestamp(3));
+        let mut buf = Vec::new();
+        codec.encode(&1u32, &t, &mut buf);
+        let mut short = &buf[..buf.len() - 1];
+        assert!(codec.decode(&mut short).is_none());
+    }
+}

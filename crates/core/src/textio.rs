@@ -12,7 +12,7 @@
 //! Line format: `user<TAB>plt-line` — the flattened form of GeoLife's
 //! per-user directory layout (the user id lives in the path there).
 
-use gepeto_mapred::{Cluster, Dfs, Emitter, Mapper, TaskContext};
+use gepeto_mapred::{Cluster, Dfs, DfsError, Emitter, Mapper, RecordStream, TaskContext};
 use gepeto_model::{plt, Dataset, MobilityTrace};
 
 /// Counter bumped for every unparseable input line.
@@ -44,6 +44,31 @@ pub fn put_dataset_as_text(
 ) -> Result<(), gepeto_mapred::DfsError> {
     let lines: Vec<String> = dataset.iter_traces().map(format_record).collect();
     dfs.put_with_sizer(name, lines, |l| l.len() + 1)
+}
+
+/// Streams the lines of a text file one at a time, holding at most one
+/// DFS chunk in memory — the iterator-based counterpart of reading the
+/// whole file into a `Vec<String>`.
+pub fn read_lines<'d>(
+    dfs: &'d Dfs<String>,
+    name: &str,
+) -> Result<RecordStream<'d, String>, DfsError> {
+    dfs.iter_records(name)
+}
+
+/// Streams a text file back into a [`Dataset`], parsing line by line and
+/// skipping corrupt lines the Hadoop way. Returns the dataset and the
+/// number of lines dropped.
+pub fn read_dataset_from_text(dfs: &Dfs<String>, name: &str) -> Result<(Dataset, u64), DfsError> {
+    let mut dataset = Dataset::new();
+    let mut corrupt = 0u64;
+    for line in read_lines(dfs, name)? {
+        match parse_record(&line?) {
+            Some(trace) => dataset.push_trace(trace),
+            None => corrupt += 1,
+        }
+    }
+    Ok((dataset, corrupt))
 }
 
 /// Adapts any trace-level [`Mapper`] to text input: each line is parsed,
@@ -184,6 +209,40 @@ mod tests {
             .unwrap();
         assert_eq!(result.stats.counters[CORRUPT_RECORDS], 2);
         assert!(!result.output.is_empty());
+    }
+
+    #[test]
+    fn streamed_text_read_matches_dataset() {
+        let ds = dataset();
+        let cluster = Cluster::local(2, 2);
+        let mut dfs = text_dfs(&cluster, 4_096);
+        put_dataset_as_text(&mut dfs, "d", &ds).unwrap();
+        let (back, corrupt) = read_dataset_from_text(&dfs, "d").unwrap();
+        assert_eq!(corrupt, 0);
+        assert_eq!(back.num_users(), ds.num_users());
+        assert_eq!(back.num_traces(), ds.num_traces());
+        for (a, b) in back.iter_traces().zip(ds.iter_traces()) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.timestamp, b.timestamp);
+            // PLT text keeps 6 decimal places.
+            assert!((a.point.lat - b.point.lat).abs() < 1e-6);
+            assert!((a.point.lon - b.point.lon).abs() < 1e-6);
+        }
+        // Line iterator sees every record without whole-file materialization.
+        assert_eq!(read_lines(&dfs, "d").unwrap().count(), ds.num_traces());
+        assert!(read_lines(&dfs, "missing").is_err());
+    }
+
+    #[test]
+    fn streamed_text_read_counts_corrupt_lines() {
+        let cluster = Cluster::local(2, 2);
+        let mut lines: Vec<String> = dataset().iter_traces().map(format_record).collect();
+        lines.insert(3, "CORRUPT".into());
+        let mut dfs = text_dfs(&cluster, 4_096);
+        dfs.put_with_sizer("d", lines, |l| l.len() + 1).unwrap();
+        let (back, corrupt) = read_dataset_from_text(&dfs, "d").unwrap();
+        assert_eq!(corrupt, 1);
+        assert_eq!(back.num_traces(), dataset().num_traces());
     }
 
     #[test]

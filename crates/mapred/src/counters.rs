@@ -63,6 +63,15 @@ pub mod builtin {
     /// Shuffle bytes avoided by compressed payload encodings, relative to
     /// the raw representation the job would otherwise ship.
     pub const SHUFFLE_BYTES_SAVED: &str = gepeto_telemetry::SHUFFLE_BYTES_SAVED_COUNTER;
+    /// Intermediate bytes actually written to spill runs by
+    /// memory-bounded shuffles (encoded size, unlike the estimated
+    /// [`SPILLED_RECORDS`] Hadoop mirror above).
+    pub const SPILLED_BYTES: &str = gepeto_telemetry::SPILLED_BYTES_COUNTER;
+    /// Sorted spill runs written to local disk.
+    pub const SPILL_FILES: &str = gepeto_telemetry::SPILL_FILES_COUNTER;
+    /// Reduce groups whose value lists overflowed the memory budget and
+    /// were staged on disk until their reduce call.
+    pub const SPILLED_GROUPS: &str = gepeto_telemetry::SPILLED_GROUPS_COUNTER;
 }
 
 /// A concurrent set of named counters. Cloning shares the underlying

@@ -162,10 +162,23 @@ impl<T: Clone> Dfs<T> {
         records: Vec<T>,
         sizer: impl Fn(&T) -> usize,
     ) -> Result<(), DfsError> {
+        self.put_from_iter(name, records, sizer)
+    }
+
+    /// Writes a file from a streaming record source, sealing each chunk as
+    /// it fills — the write-side counterpart of [`Dfs::stream`]: peak
+    /// extra memory is one chunk, never the whole file, so generators can
+    /// pour millions of records straight into chunk placement.
+    pub fn put_from_iter(
+        &mut self,
+        name: &str,
+        records: impl IntoIterator<Item = T>,
+        sizer: impl Fn(&T) -> usize,
+    ) -> Result<(), DfsError> {
         if self.files.contains_key(name) {
             return Err(DfsError::FileExists(name.to_string()));
         }
-        let total_records = records.len();
+        let mut total_records = 0usize;
         let mut total_bytes = 0usize;
         let mut block_ids = Vec::new();
         let mut current: Vec<T> = Vec::new();
@@ -174,6 +187,7 @@ impl<T: Clone> Dfs<T> {
         for r in records {
             let b = sizer(&r).max(1);
             current.push(r);
+            total_records += 1;
             current_bytes += b;
             total_bytes += b;
             current_sum.write(&(b as u64).to_le_bytes());
@@ -340,6 +354,45 @@ impl<T: Clone> Dfs<T> {
             out.extend(self.block(id).data.iter().cloned());
         }
         Ok(out)
+    }
+
+    /// Streaming, chunk-at-a-time read path: yields each chunk's shared
+    /// payload (`Arc` clone, no record copies) in file order without
+    /// ever concatenating the file into one allocation — the out-of-core
+    /// counterpart of [`Dfs::read`].
+    pub fn stream(&self, name: &str) -> Result<ChunkStream<'_, T>, DfsError> {
+        Ok(ChunkStream {
+            dfs: self,
+            ids: self.blocks_of(name)?.iter(),
+            chaos: None,
+            failovers: 0,
+        })
+    }
+
+    /// Like [`Dfs::stream`], but every chunk goes through the verifying,
+    /// failing-over read path ([`Dfs::read_block_verified`]); skipped
+    /// replicas accumulate in [`ChunkStream::failovers`].
+    pub fn stream_verified<'d>(
+        &'d self,
+        name: &str,
+        chaos: &'d ChaosPlan,
+    ) -> Result<ChunkStream<'d, T>, DfsError> {
+        Ok(ChunkStream {
+            dfs: self,
+            ids: self.blocks_of(name)?.iter(),
+            chaos: Some((chaos, chaos.now())),
+            failovers: 0,
+        })
+    }
+
+    /// Streams a file record-by-record, cloning one record at a time out
+    /// of the current chunk — bounded memory regardless of file size.
+    pub fn iter_records(&self, name: &str) -> Result<RecordStream<'_, T>, DfsError> {
+        Ok(RecordStream {
+            chunks: self.stream(name)?,
+            current: None,
+            index: 0,
+        })
     }
 
     /// Replicas of chunk `id` that are *readable* under `chaos` at
@@ -553,6 +606,79 @@ impl<T: Clone> Dfs<T> {
     }
 }
 
+/// Chunk-at-a-time iterator over a file (see [`Dfs::stream`]). Each
+/// `next()` yields one chunk's shared payload; dropping the stream
+/// early releases nothing beyond the iterator itself, so consumers can
+/// bound memory to a single chunk.
+pub struct ChunkStream<'d, T> {
+    dfs: &'d Dfs<T>,
+    ids: std::slice::Iter<'d, BlockId>,
+    /// Chaos plan and the frozen virtual read time, when verifying.
+    chaos: Option<(&'d ChaosPlan, f64)>,
+    failovers: usize,
+}
+
+impl<'d, T: Clone> Iterator for ChunkStream<'d, T> {
+    type Item = Result<Arc<Vec<T>>, DfsError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &id = self.ids.next()?;
+        match self.chaos {
+            None => Some(Ok(Arc::clone(&self.dfs.block(id).data))),
+            Some((chaos, at_s)) => match self.dfs.read_block_verified(id, chaos, at_s) {
+                Ok((block, _, skipped)) => {
+                    self.failovers += skipped;
+                    Some(Ok(Arc::clone(&block.data)))
+                }
+                Err(e) => Some(Err(e)),
+            },
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+impl<'d, T> ChunkStream<'d, T> {
+    /// Replica skips accumulated so far on the verified path (always 0
+    /// on the unverified one).
+    pub fn failovers(&self) -> usize {
+        self.failovers
+    }
+}
+
+/// Record-at-a-time iterator over a file (see [`Dfs::iter_records`]):
+/// holds one chunk at a time and clones records out of it on demand.
+pub struct RecordStream<'d, T> {
+    chunks: ChunkStream<'d, T>,
+    current: Option<Arc<Vec<T>>>,
+    index: usize,
+}
+
+impl<'d, T: Clone> Iterator for RecordStream<'d, T> {
+    type Item = Result<T, DfsError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(chunk) = &self.current {
+                if let Some(record) = chunk.get(self.index) {
+                    self.index += 1;
+                    return Some(Ok(record.clone()));
+                }
+                self.current = None;
+            }
+            match self.chunks.next()? {
+                Ok(chunk) => {
+                    self.current = Some(chunk);
+                    self.index = 0;
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
 /// What a [`Dfs::rereplicate`] sweep did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RereplicationReport {
@@ -603,6 +729,62 @@ mod tests {
         let mut d2 = dfs(20);
         d2.put_fixed("f", (0..100).collect(), 4).unwrap();
         assert_eq!(d2.num_blocks("f").unwrap(), 20);
+    }
+
+    #[test]
+    fn stream_yields_chunks_in_file_order_without_copying() {
+        let mut d = dfs(40); // 10 records per chunk
+        let records: Vec<u32> = (0..100).collect();
+        d.put_fixed("f", records.clone(), 4).unwrap();
+        let chunks: Vec<Arc<Vec<u32>>> = d.stream("f").unwrap().map(|c| c.unwrap()).collect();
+        assert_eq!(chunks.len(), 10);
+        // Payloads are shared with the DFS, not copied.
+        for (chunk, &id) in chunks.iter().zip(d.blocks_of("f").unwrap()) {
+            assert!(Arc::ptr_eq(chunk, &d.block(id).data));
+        }
+        let flat: Vec<u32> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(flat, records);
+        assert!(d.stream("missing").is_err());
+    }
+
+    #[test]
+    fn record_stream_matches_whole_file_read() {
+        let mut d = dfs(40);
+        let records: Vec<u32> = (0..100).collect();
+        d.put_fixed("f", records.clone(), 4).unwrap();
+        let streamed: Vec<u32> = d.iter_records("f").unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, d.read("f").unwrap());
+        // Empty files stream zero records.
+        d.put_fixed("empty", vec![], 4).unwrap();
+        assert_eq!(d.iter_records("empty").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn verified_stream_counts_failovers() {
+        let mut d = dfs(40);
+        d.put_fixed("f", (0..100).collect(), 4).unwrap();
+        let first_block = d.blocks_of("f").unwrap()[0];
+        let victim = d.block(first_block).replicas[0];
+        let chaos = ChaosPlan::none().crash_node(victim, 0.0);
+        let mut stream = d.stream_verified("f", &chaos).unwrap();
+        let total: usize = stream.by_ref().map(|c| c.unwrap().len()).sum();
+        assert_eq!(total, 100);
+        assert!(
+            stream.failovers() > 0,
+            "reads must fail over past the dead replica"
+        );
+    }
+
+    #[test]
+    fn put_from_iter_matches_vec_put() {
+        let records: Vec<u32> = (0..1000).collect();
+        let mut a = dfs(40);
+        a.put_fixed("f", records.clone(), 4).unwrap();
+        let mut b = dfs(40);
+        b.put_from_iter("f", records.clone(), |_| 4).unwrap();
+        assert_eq!(a.num_blocks("f").unwrap(), b.num_blocks("f").unwrap());
+        assert_eq!(b.read("f").unwrap(), records);
+        assert_eq!(b.file_bytes("f").unwrap(), 4_000);
     }
 
     #[test]

@@ -20,6 +20,10 @@ use crate::counters::{builtin, phase, Counters};
 use crate::dfs::{Dfs, DfsError};
 use crate::hash::{default_partition, unit_hash, FnvBuildHasher};
 use crate::sim::{simulate_chaos, MapTaskSim, ReduceTaskSim, SimError, SimReport};
+use crate::spill::{
+    write_run, PartitionInput, SpillCodec, SpillDir, SpillEncode, SpillRun, SpillSpec,
+    SpilledPartition,
+};
 use crate::topology::Cluster;
 use gepeto_telemetry::{Recorder, Span};
 use rayon::prelude::*;
@@ -82,6 +86,8 @@ pub enum JobError {
     },
     /// Tasks remained but every worker node was dead or blacklisted.
     ClusterDead,
+    /// A spill file could not be written, read back, or decoded.
+    Spill(String),
 }
 
 impl From<DfsError> for JobError {
@@ -109,6 +115,7 @@ impl std::fmt::Display for JobError {
                 attempts,
             } => write!(f, "{phase} task {task} failed after {attempts} attempts"),
             JobError::ClusterDead => write!(f, "no live worker node left to run tasks"),
+            JobError::Spill(e) => write!(f, "shuffle spill failed: {e}"),
         }
     }
 }
@@ -191,6 +198,7 @@ where
     telemetry: Recorder,
     pair_bytes: Option<PairBytes<M::KOut, M::VOut>>,
     partitioner: Option<Partitioner<M::KOut>>,
+    spill: Option<SpillSpec<M::KOut, M::VOut>>,
 }
 
 impl<'a, V1, M, R> MapReduceJob<'a, V1, M, R, NoCombiner>
@@ -223,6 +231,7 @@ where
             telemetry: Recorder::disabled(),
             pair_bytes: None,
             partitioner: None,
+            spill: None,
         }
     }
 }
@@ -253,6 +262,7 @@ where
             telemetry: self.telemetry,
             pair_bytes: self.pair_bytes,
             partitioner: self.partitioner,
+            spill: self.spill,
         }
     }
 
@@ -293,6 +303,46 @@ where
         self
     }
 
+    /// Bounds the shuffle's per-partition memory to `bytes`: when a
+    /// reduce partition's buffered pairs exceed the budget during the
+    /// regroup step, they are stably sorted and spilled to a local run
+    /// file, and the reduce task replays the partition as an external
+    /// k-way merge — with output bit-identical to the in-memory sorted
+    /// path. Requires the pair types to carry a derived codec; domain
+    /// types without one use [`Self::memory_budget_with`]. A budget of
+    /// `0` spills after every map task's contribution.
+    ///
+    /// Spilled partitions always take the sorted path: a reducer's
+    /// [`Reducer::SORTED_INPUT`]` = false` opt-out applies only to
+    /// partitions that stayed in memory.
+    pub fn memory_budget(self, bytes: usize) -> Self
+    where
+        M::KOut: SpillEncode,
+        M::VOut: SpillEncode,
+    {
+        self.memory_budget_with(bytes, SpillCodec::of())
+    }
+
+    /// Like [`Self::memory_budget`], with an explicit pair codec for
+    /// types that do not implement [`SpillEncode`].
+    pub fn memory_budget_with(mut self, bytes: usize, codec: SpillCodec<M::KOut, M::VOut>) -> Self {
+        self.spill = Some(SpillSpec {
+            codec,
+            budget: Some(bytes),
+        });
+        self
+    }
+
+    /// Attaches only the spill codec; the budget then comes from the job
+    /// config key `mapred.memory.budget` (no key → no spilling).
+    pub fn spill_codec(mut self, codec: SpillCodec<M::KOut, M::VOut>) -> Self {
+        self.spill = Some(SpillSpec {
+            codec,
+            budget: None,
+        });
+        self
+    }
+
     /// Overrides the partitioner (default: deterministic hash modulo the
     /// reducer count — Hadoop's `HashPartitioner`). `f(key, num_reducers)`
     /// must return a value `< num_reducers`.
@@ -312,6 +362,17 @@ where
         if let Some(m) = &monitor {
             m.job_started();
         }
+        // The budget can come from the builder or the job config; either
+        // way a codec must have been attached for spilling to engage.
+        let active_spill = self.spill.as_ref().and_then(|s| {
+            s.budget
+                .or_else(|| self.config.get_usize("mapred.memory.budget"))
+                .map(|budget| ActiveSpill {
+                    codec: s.codec.clone(),
+                    budget,
+                })
+        });
+        let group_budget = active_spill.as_ref().map_or(usize::MAX, |s| s.budget);
         let job_span = self.telemetry.span(
             "job",
             &[
@@ -334,6 +395,7 @@ where
             &job_span,
             self.pair_bytes.as_ref(),
             self.partitioner.clone(),
+            active_spill.as_ref(),
         )?;
 
         // ---- shuffle: regroup per reduce partition, sort, group ----
@@ -359,7 +421,7 @@ where
             .into_par_iter()
             .zip(reducer_clones)
             .enumerate()
-            .map(|(task_id, (mut pairs, mut reducer))| {
+            .map(|(task_id, (payload, mut reducer))| {
                 let fail = &self.cluster.failures;
                 let mut attempt = 1u32;
                 let mut failed_attempts = Vec::new();
@@ -404,27 +466,8 @@ where
                     ],
                 );
                 let t0 = Instant::now();
-                let input_records = pairs.len() as u64;
+                let input_records = payload.records();
                 counters.inc(builtin::REDUCE_INPUT_RECORDS, input_records);
-                let groups = if R::SORTED_INPUT {
-                    {
-                        // Sort-based grouping; stable sort keeps the
-                        // map-task emission order within a key
-                        // deterministic.
-                        let _sort_span = task_span.child("phase.sort", &[]);
-                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                    }
-                    group_sorted(pairs)
-                } else {
-                    // The reducer declared order-insensitive input: group
-                    // by hash in first-encounter order and skip the
-                    // partition sort. Value order within a group is the
-                    // same as on the sorted path (both scan the same
-                    // concatenation, and the stable sort preserves the
-                    // relative order of equal keys).
-                    counters.inc(builtin::SORT_SKIPPED, 1);
-                    group_unsorted(pairs)
-                };
                 let ctx = TaskContext {
                     task_id,
                     attempt,
@@ -434,9 +477,61 @@ where
                 };
                 reducer.setup(&ctx);
                 let mut out = Emitter::new();
-                counters.inc(builtin::REDUCE_INPUT_GROUPS, groups.len() as u64);
-                for (key, values) in &groups {
-                    reducer.reduce(key, values, &mut out);
+                match payload {
+                    PartitionInput::Memory(mut pairs) => {
+                        let groups = if R::SORTED_INPUT {
+                            {
+                                // Sort-based grouping; stable sort keeps
+                                // the map-task emission order within a
+                                // key deterministic.
+                                let _sort_span = task_span.child("phase.sort", &[]);
+                                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                            }
+                            group_sorted(pairs)
+                        } else {
+                            // The reducer declared order-insensitive
+                            // input: group by hash in first-encounter
+                            // order and skip the partition sort. Value
+                            // order within a group is the same as on the
+                            // sorted path (both scan the same
+                            // concatenation, and the stable sort
+                            // preserves the relative order of equal
+                            // keys).
+                            counters.inc(builtin::SORT_SKIPPED, 1);
+                            group_unsorted(pairs)
+                        };
+                        counters.inc(builtin::REDUCE_INPUT_GROUPS, groups.len() as u64);
+                        for (key, values) in &groups {
+                            reducer.reduce(key, values, &mut out);
+                        }
+                    }
+                    PartitionInput::Spilled(sp) => {
+                        // External k-way merge over the sorted runs:
+                        // equal keys break toward the earlier run, which
+                        // reproduces the stable sort of the in-memory
+                        // concatenation — spilled output is bit-identical
+                        // to the sorted path. (A `SORTED_INPUT = false`
+                        // opt-out does not apply once a partition is on
+                        // disk.)
+                        let _merge_span =
+                            task_span.child("phase.merge", &[("runs", &sp.runs.len().to_string())]);
+                        let mut groups_count = 0u64;
+                        let mut spilled_groups = 0u64;
+                        crate::spill::merge_groups(&sp, group_budget, |key, values, spilled| {
+                            groups_count += 1;
+                            spilled_groups += u64::from(spilled);
+                            reducer.reduce(&key, &values, &mut out);
+                            Ok(())
+                        })
+                        .map_err(JobError::Spill)?;
+                        counters.inc(builtin::REDUCE_INPUT_GROUPS, groups_count);
+                        if spilled_groups > 0 {
+                            counters.inc(builtin::SPILLED_GROUPS, spilled_groups);
+                            if let Some(m) = &monitor {
+                                m.add_spilled_groups(spilled_groups);
+                            }
+                        }
+                    }
                 }
                 reducer.cleanup(&mut out);
                 let host_secs = t0.elapsed().as_secs_f64();
@@ -590,8 +685,12 @@ where
             &job_span,
             self.pair_bytes.as_ref(),
             None,
+            None,
         )?;
-        let output = partitions.into_iter().flatten().collect();
+        let output = partitions
+            .into_iter()
+            .flat_map(PartitionInput::into_memory)
+            .collect();
         let sim = simulate_chaos(
             &self.cluster.topology,
             &self.cluster.sim,
@@ -692,10 +791,18 @@ struct ReduceTaskOutput<K, V> {
     failed_attempts: Vec<f64>,
 }
 
+/// A spill spec whose budget has been resolved (builder value or the
+/// `mapred.memory.budget` config key).
+struct ActiveSpill<K, V> {
+    codec: SpillCodec<K, V>,
+    budget: usize,
+}
+
 struct MapPhaseOutput<K, V> {
     /// One bucket per reduce partition (`num_reducers == 0` → a bucket
-    /// per map task, preserving chunk order).
-    partitions: Vec<Vec<(K, V)>>,
+    /// per map task, preserving chunk order). Partitions that overflowed
+    /// the memory budget live on disk as sorted spill runs.
+    partitions: Vec<PartitionInput<K, V>>,
     sim_tasks: Vec<MapTaskSim>,
     partition_bytes: Vec<u64>,
 }
@@ -716,6 +823,7 @@ fn run_map_phase<V1, M, C>(
     job_span: &Span,
     pair_bytes: Option<&PairBytes<M::KOut, M::VOut>>,
     partitioner: Option<Partitioner<M::KOut>>,
+    spill: Option<&ActiveSpill<M::KOut, M::VOut>>,
 ) -> Result<MapPhaseOutput<M::KOut, M::VOut>, JobError>
 where
     V1: MrValue,
@@ -893,12 +1001,57 @@ where
     }
     let mut partition_bytes = vec![0u64; num_partitions];
     let mut sim_tasks = Vec::with_capacity(block_ids.len());
-    let partitions: Vec<Vec<(M::KOut, M::VOut)>> = if num_reducers == 0 {
+    let partitions: Vec<PartitionInput<M::KOut, M::VOut>> = if num_reducers == 0 {
         let mut partitions = Vec::with_capacity(num_partitions);
         for (task_id, r) in ok_results.into_iter().enumerate() {
             sim_tasks.push(r.sim);
             partition_bytes[task_id] = r.bucket_bytes[0];
-            partitions.push(r.buckets.into_iter().next().unwrap());
+            partitions.push(PartitionInput::Memory(
+                r.buckets.into_iter().next().unwrap(),
+            ));
+        }
+        partitions
+    } else if let Some(sp) = spill {
+        // Memory-bounded copy step: partitions grow only until the
+        // budget; past it the buffer is stably sorted and spilled as one
+        // run. Runs are consecutive chunks of the map-order
+        // concatenation, which is what lets the reduce-side merge
+        // reproduce the stable sort exactly.
+        let mut bufs: Vec<Vec<(M::KOut, M::VOut)>> =
+            (0..num_partitions).map(|_| Vec::new()).collect();
+        let mut mem_bytes = vec![0u64; num_partitions];
+        let mut runs: Vec<Vec<SpillRun>> = vec![Vec::new(); num_partitions];
+        let mut spill_dir: Option<Arc<SpillDir>> = None;
+        for r in ok_results {
+            sim_tasks.push(r.sim);
+            for (p, bucket) in r.buckets.into_iter().enumerate() {
+                partition_bytes[p] += r.bucket_bytes[p];
+                mem_bytes[p] += r.bucket_bytes[p];
+                bufs[p].extend(bucket);
+                if mem_bytes[p] > sp.budget as u64 && !bufs[p].is_empty() {
+                    let dir = lazy_spill_dir(&mut spill_dir, job_name)?;
+                    runs[p].push(spill_buffer(&mut bufs[p], sp, &dir, counters, &monitor)?);
+                    mem_bytes[p] = 0;
+                }
+            }
+        }
+        let mut partitions = Vec::with_capacity(num_partitions);
+        for (mut buf, mut partition_runs) in bufs.into_iter().zip(runs) {
+            if partition_runs.is_empty() {
+                partitions.push(PartitionInput::Memory(buf));
+            } else {
+                // Once any run exists the whole partition merges from
+                // disk, so the in-memory tail becomes the final run.
+                if !buf.is_empty() {
+                    let dir = lazy_spill_dir(&mut spill_dir, job_name)?;
+                    partition_runs.push(spill_buffer(&mut buf, sp, &dir, counters, &monitor)?);
+                }
+                partitions.push(PartitionInput::Spilled(SpilledPartition {
+                    runs: partition_runs,
+                    codec: sp.codec.clone(),
+                    dir: Arc::clone(spill_dir.as_ref().expect("spill dir exists once runs do")),
+                }));
+            }
         }
         partitions
     } else {
@@ -914,13 +1067,48 @@ where
                 partition_bytes[p] += r.bucket_bytes[p];
             }
         }
-        partitions
+        partitions.into_iter().map(PartitionInput::Memory).collect()
     };
     Ok(MapPhaseOutput {
         partitions,
         sim_tasks,
         partition_bytes,
     })
+}
+
+/// Creates the job's spill directory on first use.
+fn lazy_spill_dir(
+    slot: &mut Option<Arc<SpillDir>>,
+    job_name: &str,
+) -> Result<Arc<SpillDir>, JobError> {
+    if slot.is_none() {
+        *slot = Some(Arc::new(
+            SpillDir::create(job_name).map_err(JobError::Spill)?,
+        ));
+    }
+    Ok(Arc::clone(slot.as_ref().unwrap()))
+}
+
+/// Stably sorts one partition buffer, writes it out as a spill run, and
+/// accounts the spill in counters and the live monitor.
+fn spill_buffer<K: MrKey, V: MrValue>(
+    buf: &mut Vec<(K, V)>,
+    spill: &ActiveSpill<K, V>,
+    dir: &SpillDir,
+    counters: &Counters,
+    monitor: &Option<Arc<gepeto_telemetry::Monitor>>,
+) -> Result<SpillRun, JobError> {
+    buf.sort_by(|a, b| a.0.cmp(&b.0));
+    let run = write_run(&spill.codec, dir.next_file("run"), buf).map_err(JobError::Spill)?;
+    buf.clear();
+    buf.shrink_to_fit();
+    counters.inc(builtin::SPILLED_BYTES, run.bytes);
+    counters.inc(builtin::SPILL_FILES, 1);
+    if let Some(m) = monitor {
+        m.add_spilled_bytes(run.bytes);
+        m.add_spill_files(1);
+    }
+    Ok(run)
 }
 
 struct MapTaskResult<K, V> {
@@ -1065,6 +1253,93 @@ mod tests {
                 .output
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spilled_shuffle_output_is_bit_identical_to_in_memory() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let in_memory = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .run()
+            .unwrap();
+        // A 1-byte budget forces a spill after every map contribution.
+        let spilled = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .memory_budget(1)
+            .run()
+            .unwrap();
+        assert_eq!(in_memory.output, spilled.output);
+        assert!(spilled.stats.counters[builtin::SPILL_FILES] > 0);
+        assert!(spilled.stats.counters[builtin::SPILLED_BYTES] > 0);
+        assert!(!in_memory.stats.counters.contains_key(builtin::SPILL_FILES));
+    }
+
+    #[test]
+    fn memory_budget_from_config_key_engages_spilling() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let config = JobConfig::new().set("mapred.memory.budget", "1");
+        let result = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .config(config)
+            .spill_codec(SpillCodec::of())
+            .run()
+            .unwrap();
+        assert!(result.stats.counters[builtin::SPILL_FILES] > 0);
+        let counts = word_counts(&result);
+        assert_eq!(counts["a"], 4);
+        assert_eq!(counts["e"], 1);
+    }
+
+    #[test]
+    fn oversized_groups_spill_and_reduce_correctly() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        // Budget 1 byte: every partition spills AND every multi-value
+        // group overflows to its own file before the reduce call (a
+        // group's first value always stays in memory, so the lone "e"
+        // never overflows).
+        let spilled = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(1)
+            .memory_budget(1)
+            .run()
+            .unwrap();
+        assert_eq!(spilled.stats.counters[builtin::SPILLED_GROUPS], 4);
+        let counts = word_counts(&spilled);
+        assert_eq!(counts["a"], 4);
+        assert_eq!(counts["b"], 3);
+    }
+
+    #[test]
+    fn spill_with_combiner_still_matches_in_memory() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let in_memory = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .with_combiner(SumCombiner)
+            .reducers(2)
+            .run()
+            .unwrap();
+        let spilled = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .with_combiner(SumCombiner)
+            .reducers(2)
+            .memory_budget(1)
+            .run()
+            .unwrap();
+        assert_eq!(in_memory.output, spilled.output);
+    }
+
+    #[test]
+    fn generous_budget_never_spills() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let result = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .memory_budget(1 << 30)
+            .run()
+            .unwrap();
+        assert!(!result.stats.counters.contains_key(builtin::SPILL_FILES));
+        assert_eq!(word_counts(&result)["a"], 4);
     }
 
     /// Same arithmetic as [`SumReducer`], but declares it does not need

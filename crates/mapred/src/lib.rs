@@ -75,6 +75,7 @@ pub mod job;
 pub mod pipeline;
 pub mod recover;
 pub mod sim;
+pub mod spill;
 pub mod topology;
 
 pub use api::{Combiner, Emitter, FnMapper, Mapper, Reducer, TaskContext};
@@ -82,7 +83,7 @@ pub use cache::DistributedCache;
 pub use chaos::{ChaosEvent, ChaosPlan};
 pub use config::JobConfig;
 pub use counters::Counters;
-pub use dfs::{BlockId, Dfs, DfsError, RereplicationReport};
+pub use dfs::{BlockId, ChunkStream, Dfs, DfsError, RecordStream, RereplicationReport};
 pub use job::{
     group_sorted, group_unsorted, FailurePlan, JobError, JobResult, JobStats, MapOnlyJob,
     MapReduceJob,
@@ -90,4 +91,5 @@ pub use job::{
 pub use pipeline::PipelineReport;
 pub use recover::{run_with_recovery, RetryPolicy};
 pub use sim::{Locality, SimParams, SimReport};
+pub use spill::{SpillCodec, SpillEncode};
 pub use topology::{Cluster, NodeId, Topology};

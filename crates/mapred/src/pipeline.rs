@@ -89,6 +89,28 @@ impl PipelineReport {
     pub fn failed_over_reads(&self) -> u64 {
         self.stages.iter().map(|s| s.failed_over_reads).sum()
     }
+
+    /// Total intermediate bytes spilled to disk across all jobs.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.counter_total(crate::counters::builtin::SPILLED_BYTES)
+    }
+
+    /// Total spill runs written across all jobs.
+    pub fn spill_files(&self) -> u64 {
+        self.counter_total(crate::counters::builtin::SPILL_FILES)
+    }
+
+    /// Total reduce groups spilled past the memory budget across all jobs.
+    pub fn spilled_groups(&self) -> u64 {
+        self.counter_total(crate::counters::builtin::SPILLED_GROUPS)
+    }
+
+    fn counter_total(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.counters.get(name).copied().unwrap_or(0))
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,705 @@
+//! Out-of-core shuffle support: spill files, pair codecs, and the
+//! external k-way merge.
+//!
+//! When a job carries a memory budget (see
+//! [`crate::MapReduceJob::memory_budget`]), the shuffle's regroup step
+//! stops concatenating map outputs into one giant in-memory partition.
+//! Instead, whenever a partition's buffered pairs exceed the budget, the
+//! buffer is stably sorted by key and written to a local *spill run* — a
+//! length-prefixed record file under a per-job temp directory. The reduce
+//! task then replays the partition as an external k-way merge over its
+//! runs, which reproduces **bit-identical** output to the in-memory
+//! sorted path: runs are consecutive chunks of the map-order
+//! concatenation, each stably sorted, and the merge breaks key ties by
+//! run index — exactly the stable sort of the whole concatenation.
+//!
+//! Because spill files hold raw bytes, the job needs a [`SpillCodec`]
+//! telling it how to encode and decode one `(K, V)` pair. Primitive and
+//! common composite types get one for free through [`SpillEncode`];
+//! domain types plug in an explicit codec via
+//! [`crate::MapReduceJob::memory_budget_with`] without `mapred` needing
+//! to know their layout.
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Types that know how to serialize themselves into a spill file.
+///
+/// The format is private to the engine (little-endian, length-prefixed
+/// where needed) and only has to round-trip within one process — it is
+/// not an interchange format.
+pub trait SpillEncode: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `input`, advancing it.
+    /// Returns `None` on truncated or malformed input.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+macro_rules! spill_encode_int {
+    ($($t:ty),*) => {$(
+        impl SpillEncode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let (head, rest) = input.split_at_checked(std::mem::size_of::<$t>())?;
+                *input = rest;
+                Some(<$t>::from_le_bytes(head.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+spill_encode_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SpillEncode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        u64::decode(input).map(|n| n as usize)
+    }
+}
+
+impl SpillEncode for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        u32::decode(input).map(f32::from_bits)
+    }
+}
+
+impl SpillEncode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        u64::decode(input).map(f64::from_bits)
+    }
+}
+
+impl SpillEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let (head, rest) = input.split_at_checked(len)?;
+        *input = rest;
+        String::from_utf8(head.to_vec()).ok()
+    }
+}
+
+impl<T: SpillEncode> SpillEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let mut items = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Some(items)
+    }
+}
+
+impl<A: SpillEncode, B: SpillEncode> SpillEncode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+type EncodeFn<K, V> = Arc<dyn Fn(&K, &V, &mut Vec<u8>) + Send + Sync>;
+type DecodeFn<K, V> = Arc<dyn Fn(&mut &[u8]) -> Option<(K, V)> + Send + Sync>;
+
+/// How to serialize one intermediate `(K, V)` pair into a spill file and
+/// back. Closure-based so drivers can spill domain types the engine has
+/// never heard of (no trait impl on foreign types required).
+pub struct SpillCodec<K, V> {
+    encode: EncodeFn<K, V>,
+    decode: DecodeFn<K, V>,
+}
+
+impl<K, V> Clone for SpillCodec<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            encode: Arc::clone(&self.encode),
+            decode: Arc::clone(&self.decode),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for SpillCodec<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SpillCodec")
+    }
+}
+
+impl<K, V> SpillCodec<K, V> {
+    /// A codec from explicit encode/decode closures.
+    pub fn new(
+        encode: impl Fn(&K, &V, &mut Vec<u8>) + Send + Sync + 'static,
+        decode: impl Fn(&mut &[u8]) -> Option<(K, V)> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            encode: Arc::new(encode),
+            decode: Arc::new(decode),
+        }
+    }
+
+    /// Encodes one pair, appending to `out`.
+    pub fn encode(&self, key: &K, value: &V, out: &mut Vec<u8>) {
+        (self.encode)(key, value, out);
+    }
+
+    /// Decodes one pair from the front of `input`, advancing it.
+    pub fn decode(&self, input: &mut &[u8]) -> Option<(K, V)> {
+        (self.decode)(input)
+    }
+}
+
+impl<K: SpillEncode, V: SpillEncode> SpillCodec<K, V> {
+    /// The derived codec for pair types that implement [`SpillEncode`].
+    pub fn of() -> Self {
+        Self::new(
+            |k: &K, v: &V, out: &mut Vec<u8>| {
+                k.encode(out);
+                v.encode(out);
+            },
+            |input: &mut &[u8]| Some((K::decode(input)?, V::decode(input)?)),
+        )
+    }
+}
+
+static NEXT_SPILL_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A per-job temporary directory holding spill runs, removed (with its
+/// contents) when the last handle drops — usually at the end of
+/// `run()`, or earlier if the job aborts, so failed attempts never leak
+/// disk.
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+    next_file: AtomicU64,
+}
+
+impl SpillDir {
+    /// Creates a fresh unique directory under the OS temp dir.
+    pub fn create(job: &str) -> Result<Self, String> {
+        let tag: String = job
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(32)
+            .collect();
+        let path = std::env::temp_dir().join(format!(
+            "gepeto-spill-{tag}-{}-{}",
+            std::process::id(),
+            NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::create_dir_all(&path).map_err(|e| format!("create spill dir {path:?}: {e}"))?;
+        Ok(Self {
+            path,
+            next_file: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A fresh unique file path inside the directory.
+    pub fn next_file(&self, prefix: &str) -> PathBuf {
+        let n = self.next_file.fetch_add(1, Ordering::Relaxed);
+        self.path.join(format!("{prefix}-{n}.spill"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// One sorted run on disk: a sequence of `u32`-length-prefixed encoded
+/// `(K, V)` records in ascending key order.
+#[derive(Debug, Clone)]
+pub struct SpillRun {
+    /// File holding the run (inside its job's [`SpillDir`]).
+    pub path: PathBuf,
+    /// Number of pairs in the run.
+    pub records: u64,
+    /// Encoded size of the run in bytes (record payloads + prefixes).
+    pub bytes: u64,
+}
+
+/// Writes an already-sorted pair slice as one spill run.
+pub fn write_run<K, V>(
+    codec: &SpillCodec<K, V>,
+    path: PathBuf,
+    pairs: &[(K, V)],
+) -> Result<SpillRun, String> {
+    let file = File::create(&path).map_err(|e| format!("create spill run {path:?}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    let mut buf = Vec::with_capacity(256);
+    let mut bytes = 0u64;
+    for (k, v) in pairs {
+        buf.clear();
+        codec.encode(k, v, &mut buf);
+        let len = u32::try_from(buf.len()).map_err(|_| "spill record over 4 GiB".to_string())?;
+        writer
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| writer.write_all(&buf))
+            .map_err(|e| format!("write spill run {path:?}: {e}"))?;
+        bytes += 4 + buf.len() as u64;
+    }
+    writer
+        .flush()
+        .map_err(|e| format!("flush spill run {path:?}: {e}"))?;
+    Ok(SpillRun {
+        path,
+        records: pairs.len() as u64,
+        bytes,
+    })
+}
+
+/// Streaming reader over one spill run, yielding pairs in file order
+/// with their encoded length (for downstream memory accounting).
+pub struct SpillRunReader<K, V> {
+    reader: BufReader<File>,
+    remaining: u64,
+    codec: SpillCodec<K, V>,
+    path: PathBuf,
+    buf: Vec<u8>,
+}
+
+impl<K, V> SpillRunReader<K, V> {
+    /// Opens `run` for streaming decode.
+    pub fn open(run: &SpillRun, codec: SpillCodec<K, V>) -> Result<Self, String> {
+        let file =
+            File::open(&run.path).map_err(|e| format!("open spill run {:?}: {e}", run.path))?;
+        Ok(Self {
+            reader: BufReader::new(file),
+            remaining: run.records,
+            codec,
+            path: run.path.clone(),
+            buf: Vec::with_capacity(256),
+        })
+    }
+
+    /// Decodes the next pair, or `Ok(None)` at end of run.
+    #[allow(clippy::type_complexity)]
+    pub fn next_pair(&mut self) -> Result<Option<(K, V, usize)>, String> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        self.reader
+            .read_exact(&mut len_bytes)
+            .map_err(|e| format!("read spill run {:?}: {e}", self.path))?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        self.buf.resize(len, 0);
+        self.reader
+            .read_exact(&mut self.buf)
+            .map_err(|e| format!("read spill run {:?}: {e}", self.path))?;
+        let mut slice = &self.buf[..];
+        let (k, v) = self
+            .codec
+            .decode(&mut slice)
+            .filter(|_| slice.is_empty())
+            .ok_or_else(|| format!("corrupt spill record in {:?}", self.path))?;
+        self.remaining -= 1;
+        Ok(Some((k, v, 4 + len)))
+    }
+}
+
+/// External k-way merge over sorted spill runs.
+///
+/// Pops the globally smallest key next; ties between runs break toward
+/// the lower run index. Since run `i` holds an earlier contiguous chunk
+/// of the map-order concatenation than run `i + 1`, and each run is
+/// stably sorted, the merged stream is exactly the stable sort of the
+/// whole concatenation — bit-identical to the in-memory path.
+pub struct SpillMerge<K, V> {
+    readers: Vec<SpillRunReader<K, V>>,
+    /// Head pair of each run, ordered by (key, run index). With a
+    /// handful of runs a linear scan beats a heap and keeps the
+    /// tie-break rule explicit.
+    heads: Vec<Option<(K, V, usize)>>,
+}
+
+impl<K: Ord, V> SpillMerge<K, V> {
+    /// Opens every run and primes the merge.
+    pub fn open(runs: &[SpillRun], codec: &SpillCodec<K, V>) -> Result<Self, String> {
+        let mut readers = Vec::with_capacity(runs.len());
+        let mut heads = Vec::with_capacity(runs.len());
+        for run in runs {
+            let mut reader = SpillRunReader::open(run, codec.clone())?;
+            heads.push(reader.next_pair()?);
+            readers.push(reader);
+        }
+        Ok(Self { readers, heads })
+    }
+
+    /// The next pair in merged order, with its encoded length.
+    #[allow(clippy::type_complexity)]
+    pub fn next_pair(&mut self) -> Result<Option<(K, V, usize)>, String> {
+        let mut best: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some((k, _, _)) = head {
+                match best {
+                    // Strict `<`: an equal key in a later run never
+                    // displaces the earlier run's head (stability).
+                    Some(b) if k < &self.heads[b].as_ref().unwrap().0 => best = Some(i),
+                    None => best = Some(i),
+                    _ => {}
+                }
+            }
+        }
+        let Some(i) = best else { return Ok(None) };
+        let next = self.readers[i].next_pair()?;
+        Ok(std::mem::replace(&mut self.heads[i], next))
+    }
+}
+
+/// A reduce group whose value list outgrew the memory budget: the
+/// overflow goes to its own spill file and is read back only for the
+/// duration of the group's `reduce` call.
+pub struct GroupSpill<K, V> {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    codec: SpillCodec<K, V>,
+    records: u64,
+    buf: Vec<u8>,
+}
+
+impl<K, V> GroupSpill<K, V> {
+    /// Creates the overflow file for one group.
+    pub fn create(path: PathBuf, codec: SpillCodec<K, V>) -> Result<Self, String> {
+        let file = File::create(&path).map_err(|e| format!("create group spill {path:?}: {e}"))?;
+        Ok(Self {
+            writer: BufWriter::new(file),
+            path,
+            codec,
+            records: 0,
+            buf: Vec::with_capacity(256),
+        })
+    }
+
+    /// Appends one overflow value (keyed for the shared codec).
+    pub fn push(&mut self, key: &K, value: &V) -> Result<(), String> {
+        self.buf.clear();
+        self.codec.encode(key, value, &mut self.buf);
+        let len =
+            u32::try_from(self.buf.len()).map_err(|_| "spill record over 4 GiB".to_string())?;
+        self.writer
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.writer.write_all(&self.buf))
+            .map_err(|e| format!("write group spill {:?}: {e}", self.path))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Finishes the file and reads every overflow value back in write
+    /// order, deleting the file afterwards.
+    pub fn into_values(self) -> Result<Vec<V>, String> {
+        let GroupSpill {
+            writer,
+            path,
+            codec,
+            records,
+            ..
+        } = self;
+        writer
+            .into_inner()
+            .map_err(|e| format!("flush group spill {path:?}: {e}"))?;
+        let run = SpillRun {
+            path: path.clone(),
+            records,
+            bytes: 0,
+        };
+        let mut reader = SpillRunReader::open(&run, codec)?;
+        let mut values = Vec::with_capacity(records as usize);
+        while let Some((_, v, _)) = reader.next_pair()? {
+            values.push(v);
+        }
+        drop(reader);
+        let _ = fs::remove_file(&path);
+        Ok(values)
+    }
+}
+
+/// The driver-facing spill configuration carried by a job builder: the
+/// pair codec plus an optional explicit byte budget (the job config key
+/// `mapred.memory.budget` supplies the budget when this is `None`).
+pub struct SpillSpec<K, V> {
+    /// Pair codec for spill files.
+    pub codec: SpillCodec<K, V>,
+    /// Per-partition in-memory byte budget, if set on the builder.
+    pub budget: Option<usize>,
+}
+
+impl<K, V> Clone for SpillSpec<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            codec: self.codec.clone(),
+            budget: self.budget,
+        }
+    }
+}
+
+/// A reduce partition that overflowed the memory budget during the
+/// shuffle: its pairs live in sorted runs on disk, kept alive by the
+/// shared [`SpillDir`] handle.
+pub struct SpilledPartition<K, V> {
+    /// Sorted runs in map-concatenation order.
+    pub runs: Vec<SpillRun>,
+    /// Codec all runs were written with.
+    pub codec: SpillCodec<K, V>,
+    /// Keeps the backing directory alive until the partition is reduced.
+    pub dir: Arc<SpillDir>,
+}
+
+impl<K, V> SpilledPartition<K, V> {
+    /// Total pairs across all runs.
+    pub fn records(&self) -> u64 {
+        self.runs.iter().map(|r| r.records).sum()
+    }
+}
+
+/// One reduce partition's input: fully in memory, or spilled to runs.
+pub enum PartitionInput<K, V> {
+    /// The partition fit the budget (or no budget was set).
+    Memory(Vec<(K, V)>),
+    /// The partition overflowed and lives on disk.
+    Spilled(SpilledPartition<K, V>),
+}
+
+impl<K, V> PartitionInput<K, V> {
+    /// Number of pairs in the partition.
+    pub fn records(&self) -> u64 {
+        match self {
+            PartitionInput::Memory(pairs) => pairs.len() as u64,
+            PartitionInput::Spilled(sp) => sp.records(),
+        }
+    }
+
+    /// Unwraps the in-memory pairs of a never-spilled partition.
+    ///
+    /// # Panics
+    /// If the partition was spilled (map-only jobs never spill).
+    pub fn into_memory(self) -> Vec<(K, V)> {
+        match self {
+            PartitionInput::Memory(pairs) => pairs,
+            PartitionInput::Spilled(_) => unreachable!("map-only partitions never spill"),
+        }
+    }
+}
+
+/// Streams the merged runs of a spilled partition back as `(key,
+/// values)` groups, spilling any single group whose values outgrow
+/// `group_budget` bytes to its own overflow file. Calls `emit(key,
+/// values, spilled)` once per group, in ascending key order, where
+/// `spilled` reports whether that group overflowed.
+#[allow(clippy::type_complexity)]
+pub fn merge_groups<K: Ord, V>(
+    partition: &SpilledPartition<K, V>,
+    group_budget: usize,
+    mut emit: impl FnMut(K, Vec<V>, bool) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut merge = SpillMerge::open(&partition.runs, &partition.codec)?;
+    let mut current: Option<(K, Vec<V>)> = None;
+    let mut group_bytes = 0usize;
+    let mut overflow: Option<GroupSpill<K, V>> = None;
+    while let Some((k, v, len)) = merge.next_pair()? {
+        if current.as_ref().is_some_and(|(ck, _)| *ck != k) {
+            let (key, mut values) = current.take().unwrap();
+            let spilled = overflow.is_some();
+            if let Some(file) = overflow.take() {
+                values.extend(file.into_values()?);
+            }
+            emit(key, values, spilled)?;
+            group_bytes = 0;
+        }
+        match &mut current {
+            None => {
+                current = Some((k, vec![v]));
+                group_bytes = len;
+            }
+            Some((ck, values)) => {
+                if overflow.is_none() && group_bytes + len > group_budget {
+                    overflow = Some(GroupSpill::create(
+                        partition.dir.next_file("group"),
+                        partition.codec.clone(),
+                    )?);
+                }
+                match &mut overflow {
+                    Some(file) => file.push(ck, &v)?,
+                    None => {
+                        values.push(v);
+                        group_bytes += len;
+                    }
+                }
+            }
+        }
+    }
+    if let Some((key, mut values)) = current.take() {
+        let spilled = overflow.is_some();
+        if let Some(file) = overflow.take() {
+            values.extend(file.into_values()?);
+        }
+        emit(key, values, spilled)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> SpillCodec<String, u64> {
+        SpillCodec::of()
+    }
+
+    fn dir() -> Arc<SpillDir> {
+        Arc::new(SpillDir::create("spill-test").unwrap())
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        42u32.encode(&mut buf);
+        (-7i64).encode(&mut buf);
+        1.5f64.encode(&mut buf);
+        "héllo".to_string().encode(&mut buf);
+        vec![1u8, 2, 3].encode(&mut buf);
+        (9usize, 2.25f32).encode(&mut buf);
+        let mut s = &buf[..];
+        assert_eq!(u32::decode(&mut s), Some(42));
+        assert_eq!(i64::decode(&mut s), Some(-7));
+        assert_eq!(f64::decode(&mut s), Some(1.5));
+        assert_eq!(String::decode(&mut s), Some("héllo".to_string()));
+        assert_eq!(Vec::<u8>::decode(&mut s), Some(vec![1, 2, 3]));
+        assert_eq!(<(usize, f32)>::decode(&mut s), Some((9, 2.25)));
+        assert!(s.is_empty());
+        assert_eq!(u32::decode(&mut s), None, "truncated input must be None");
+    }
+
+    #[test]
+    fn run_round_trips_in_order() {
+        let d = dir();
+        let pairs: Vec<(String, u64)> = (0..100).map(|i| (format!("k{i:03}"), i)).collect();
+        let run = write_run(&codec(), d.next_file("t"), &pairs).unwrap();
+        assert_eq!(run.records, 100);
+        assert!(run.bytes > 0);
+        let mut reader = SpillRunReader::open(&run, codec()).unwrap();
+        let mut got = Vec::new();
+        while let Some((k, v, len)) = reader.next_pair().unwrap() {
+            assert!(len > 4);
+            got.push((k, v));
+        }
+        assert_eq!(got, pairs);
+    }
+
+    #[test]
+    fn merge_matches_stable_sort_of_concatenation() {
+        let d = dir();
+        // Three runs that are consecutive chunks of one concatenation,
+        // with duplicate keys across runs carrying distinct values so a
+        // stability violation is visible.
+        let chunks: Vec<Vec<(String, u64)>> = vec![
+            vec![("b".into(), 0), ("a".into(), 1), ("b".into(), 2)],
+            vec![("a".into(), 3), ("c".into(), 4)],
+            vec![("b".into(), 5), ("a".into(), 6)],
+        ];
+        let mut expected: Vec<(String, u64)> = chunks.concat();
+        expected.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut runs = Vec::new();
+        for mut chunk in chunks {
+            chunk.sort_by(|a, b| a.0.cmp(&b.0));
+            runs.push(write_run(&codec(), d.next_file("m"), &chunk).unwrap());
+        }
+        let mut merge = SpillMerge::open(&runs, &codec()).unwrap();
+        let mut got = Vec::new();
+        while let Some((k, v, _)) = merge.next_pair().unwrap() {
+            got.push((k, v));
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merge_groups_spills_oversized_group_and_preserves_value_order() {
+        let d = dir();
+        let mut pairs: Vec<(String, u64)> = (0..50).map(|i| ("big".to_string(), i)).collect();
+        pairs.push(("tiny".into(), 99));
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let run = write_run(&codec(), d.next_file("g"), &pairs).unwrap();
+        let partition = SpilledPartition {
+            runs: vec![run],
+            codec: codec(),
+            dir: Arc::clone(&d),
+        };
+        let mut groups = Vec::new();
+        // Budget fits ~4 records: the 50-value group must overflow.
+        merge_groups(&partition, 64, |k, vs, spilled| {
+            groups.push((k, vs, spilled));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "big");
+        assert_eq!(groups[0].1, (0..50).collect::<Vec<u64>>());
+        assert!(groups[0].2, "oversized group must report spilled");
+        assert_eq!(groups[1].0, "tiny");
+        assert_eq!(groups[1].1, vec![99]);
+        assert!(!groups[1].2);
+    }
+
+    #[test]
+    fn truncated_run_surfaces_an_error_not_a_panic() {
+        let d = dir();
+        let pairs: Vec<(String, u64)> = (0..10).map(|i| (format!("k{i}"), i)).collect();
+        let run = write_run(&codec(), d.next_file("trunc"), &pairs).unwrap();
+        // Simulate a crash mid-spill: the file is cut short.
+        let data = fs::read(&run.path).unwrap();
+        fs::write(&run.path, &data[..data.len() / 2]).unwrap();
+        let mut reader = SpillRunReader::open(&run, codec()).unwrap();
+        let mut err = None;
+        for _ in 0..10 {
+            match reader.next_pair() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(err.unwrap().contains("read spill run"));
+    }
+
+    #[test]
+    fn spill_dir_cleans_up_on_drop() {
+        let d = SpillDir::create("cleanup").unwrap();
+        let path = d.path().to_path_buf();
+        write_run(&codec(), d.next_file("x"), &[("k".to_string(), 1u64)]).unwrap();
+        assert!(path.exists());
+        drop(d);
+        assert!(!path.exists(), "spill dir must be removed on drop");
+    }
+}

@@ -136,6 +136,17 @@ impl Dataset {
         ds
     }
 
+    /// Appends one trace to its user's trail, creating the trail on first
+    /// sight. Appending a user's traces in time order is O(1) per trace,
+    /// so streaming a user-by-user, time-ordered scan (the DFS layout)
+    /// never re-sorts.
+    pub fn push_trace(&mut self, trace: MobilityTrace) {
+        self.trails
+            .entry(trace.user)
+            .or_insert_with(|| Trail::empty(trace.user))
+            .push(trace);
+    }
+
     /// Inserts or merges a trail.
     pub fn merge_trail(&mut self, trail: Trail) {
         match self.trails.get_mut(&trail.user) {
@@ -277,6 +288,18 @@ mod tests {
             .map(|x| x.timestamp.secs())
             .collect();
         assert_eq!(secs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn push_trace_streams_into_trails() {
+        let mut ds = Dataset::new();
+        for tr in [t(2, 5), t(1, 1), t(2, 3), t(1, 2)] {
+            ds.push_trace(tr);
+        }
+        assert_eq!(
+            ds,
+            Dataset::from_traces(vec![t(2, 5), t(1, 1), t(2, 3), t(1, 2)])
+        );
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Deterministic samplers for the generator's dwell and jitter model.
+//!
+//! The only non-uniform distributions needed are the Gaussian (GPS
+//! jitter) and the Erlang — the Gamma distribution with integer shape
+//! `k`, sampled exactly as the sum of `k` exponentials. Both are built
+//! on the workspace's deterministic `rand` shim, so every sample is a
+//! pure function of the generator state.
+
+use rand::Rng;
+
+/// A standard-normal sample (Box–Muller transform).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] keeps the logarithm finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `N(mean, sd²)` sample.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// An Erlang(`k`, scale `mean / k`) sample: the sum of `k` i.i.d.
+/// exponentials with the given overall `mean`. This is the Gamma
+/// distribution for integer shape — right-skewed like real dwell times,
+/// with relative spread `1/√k` (larger `k` → tighter around the mean).
+///
+/// # Panics
+/// If `k` is zero or `mean` is not positive.
+pub fn erlang<R: Rng + ?Sized>(rng: &mut R, k: u32, mean: f64) -> f64 {
+    assert!(k > 0, "Erlang shape must be positive");
+    assert!(mean > 0.0, "Erlang mean must be positive");
+    let scale = mean / f64::from(k);
+    // Sum of k exponentials via inverse CDF; ln of a product saves
+    // nothing numerically at k ≤ 8, so keep the obvious form.
+    let mut total = 0.0;
+    for _ in 0..k {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        total -= scale * u.ln();
+    }
+    total
+}
+
+/// An Erlang dwell in seconds, clamped to `[lo, hi]` — schedules need
+/// hard bounds so a tail sample cannot push a day past its successor.
+pub fn dwell_secs<R: Rng + ?Sized>(rng: &mut R, k: u32, mean: f64, lo: i64, hi: i64) -> i64 {
+    (erlang(rng, k, mean) as i64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erlang_moments_match_theory() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (k, mean) = (4u32, 100.0);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| erlang(&mut rng, k, mean)).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() < 2.0, "mean {m}");
+        // Var = k·scale² = mean²/k = 2500.
+        assert!((var - 2_500.0).abs() < 250.0, "var {var}");
+    }
+
+    #[test]
+    fn erlang_is_positive_and_right_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| erlang(&mut rng, 2, 50.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(f64::total_cmp);
+            s[n / 2]
+        };
+        assert!(mean > median, "right skew: mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn dwell_respects_clamp() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let d = dwell_secs(&mut rng, 1, 10_000.0, 600, 3_600);
+            assert!((600..=3_600).contains(&d));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| erlang(&mut rng, 3, 42.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| erlang(&mut rng, 3, 42.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn zero_shape_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = erlang(&mut rng, 0, 1.0);
+    }
+}

@@ -58,7 +58,8 @@ pub use monitor::{MetricsSnapshot, Monitor, Reporter};
 pub use summary::{
     PhaseStat, Straggler, SummaryReport, TaskStats, BLACKLISTED_NODES_COUNTER,
     DISTANCE_EVALS_COUNTER, FAILED_OVER_READS_COUNTER, REEXECUTED_MAPS_COUNTER,
-    SHUFFLE_BYTES_COUNTER, SHUFFLE_BYTES_SAVED_COUNTER, SORT_SKIPPED_COUNTER, TASK_RETRIES_COUNTER,
+    SHUFFLE_BYTES_COUNTER, SHUFFLE_BYTES_SAVED_COUNTER, SORT_SKIPPED_COUNTER,
+    SPILLED_BYTES_COUNTER, SPILLED_GROUPS_COUNTER, SPILL_FILES_COUNTER, TASK_RETRIES_COUNTER,
 };
 pub use timeline::{NodeLane, Timeline};
 

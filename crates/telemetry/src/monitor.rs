@@ -43,6 +43,9 @@ pub struct Monitor {
     distance_evals: AtomicU64,
     sorts_skipped: AtomicU64,
     shuffle_bytes_saved: AtomicU64,
+    spilled_bytes: AtomicU64,
+    spill_files: AtomicU64,
+    spilled_groups: AtomicU64,
     driver_iteration: AtomicU64,
     /// The driver's latest convergence delta, stored as `f64` bits.
     driver_delta_bits: AtomicU64,
@@ -136,6 +139,23 @@ impl Monitor {
         self.shuffle_bytes_saved.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// `n` more intermediate bytes were spilled to local disk by a
+    /// memory-bounded shuffle.
+    pub fn add_spilled_bytes(&self, n: u64) {
+        self.spilled_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` more sorted spill runs were written to local disk.
+    pub fn add_spill_files(&self, n: u64) {
+        self.spill_files.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` more reduce groups spilled their value lists past the
+    /// per-group memory budget.
+    pub fn add_spilled_groups(&self, n: u64) {
+        self.spilled_groups.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The iterative driver finished an iteration with this delta.
     pub fn set_driver_progress(&self, iteration: u64, delta: f64) {
         self.driver_iteration.store(iteration, Ordering::Relaxed);
@@ -187,6 +207,9 @@ impl Monitor {
             distance_evals: load(&self.distance_evals),
             sorts_skipped: load(&self.sorts_skipped),
             shuffle_bytes_saved: load(&self.shuffle_bytes_saved),
+            spilled_bytes: load(&self.spilled_bytes),
+            spill_files: load(&self.spill_files),
+            spilled_groups: load(&self.spilled_groups),
             driver_iteration: load(&self.driver_iteration),
             driver_delta: f64::from_bits(load(&self.driver_delta_bits)),
             node_busy_s: self
@@ -238,6 +261,12 @@ pub struct MetricsSnapshot {
     pub sorts_skipped: u64,
     /// Shuffle bytes avoided by compressed payload encodings.
     pub shuffle_bytes_saved: u64,
+    /// Intermediate bytes spilled to disk by memory-bounded shuffles.
+    pub spilled_bytes: u64,
+    /// Sorted spill runs written to disk by memory-bounded map tasks.
+    pub spill_files: u64,
+    /// Reduce groups whose values were spilled past the memory budget.
+    pub spilled_groups: u64,
     /// The driver's current iteration (0 before the first completes).
     pub driver_iteration: u64,
     /// The driver's latest convergence delta (NaN before the first).
@@ -396,6 +425,24 @@ impl MetricsSnapshot {
             "counter",
             "Shuffle bytes avoided by compressed payload encodings.",
             self.shuffle_bytes_saved as f64,
+        );
+        metric(
+            "gepeto_shuffle_spilled_bytes_total",
+            "counter",
+            "Intermediate bytes spilled to disk by memory-bounded shuffles.",
+            self.spilled_bytes as f64,
+        );
+        metric(
+            "gepeto_shuffle_spill_files_total",
+            "counter",
+            "Sorted spill runs written to disk by memory-bounded map tasks.",
+            self.spill_files as f64,
+        );
+        metric(
+            "gepeto_reduce_spilled_groups_total",
+            "counter",
+            "Reduce groups whose value lists spilled past the memory budget.",
+            self.spilled_groups as f64,
         );
         metric(
             "gepeto_jobs_running",
@@ -604,6 +651,9 @@ mod tests {
         m.add_distance_evals(7);
         m.add_sorts_skipped(2);
         m.add_shuffle_bytes_saved(100);
+        m.add_spilled_bytes(8192);
+        m.add_spill_files(3);
+        m.add_spilled_groups(1);
         m.node_busy(0, 2.0);
         m.observe("task.map.us", 10);
         m.observe("task.map.us", 1000);
@@ -618,6 +668,18 @@ mod tests {
         );
         assert!(
             text.contains("gepeto_shuffle_bytes_saved_total 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_shuffle_spilled_bytes_total 8192"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_shuffle_spill_files_total 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_reduce_spilled_groups_total 1"),
             "{text}"
         );
         assert!(

@@ -30,6 +30,15 @@ pub const SORT_SKIPPED_COUNTER: &str = "shuffle.sort_skipped";
 /// payload encodings (e.g. delta-varint neighborhoods), versus the raw
 /// representation.
 pub const SHUFFLE_BYTES_SAVED_COUNTER: &str = "shuffle.bytes_saved";
+/// Counter name the engine uses for intermediate bytes spilled to local
+/// disk when a shuffle partition exceeded the job's memory budget.
+pub const SPILLED_BYTES_COUNTER: &str = "shuffle.spilled_bytes";
+/// Counter name the engine uses for sorted spill runs written to local
+/// disk by memory-bounded map tasks.
+pub const SPILL_FILES_COUNTER: &str = "shuffle.spill_files";
+/// Counter name the engine uses for reduce groups whose value list was
+/// spilled to disk because it exceeded the per-group memory budget.
+pub const SPILLED_GROUPS_COUNTER: &str = "reduce.spilled_groups";
 
 /// Wall time attributed to one phase (summed across repeats, e.g.
 /// k-means iterations each contributing a map phase).
@@ -96,6 +105,12 @@ pub struct SummaryReport {
     pub sort_skipped: u64,
     /// Shuffle bytes avoided by compressed payload encodings.
     pub shuffle_bytes_saved: u64,
+    /// Intermediate bytes spilled to disk by memory-bounded shuffles.
+    pub spilled_bytes: u64,
+    /// Sorted spill runs written to disk by memory-bounded map tasks.
+    pub spill_files: u64,
+    /// Reduce groups whose values were spilled past the memory budget.
+    pub spilled_groups: u64,
     /// Every counter, sorted by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -200,6 +215,9 @@ impl SummaryReport {
             distance_evals: counter(DISTANCE_EVALS_COUNTER).unwrap_or(0),
             sort_skipped: counter(SORT_SKIPPED_COUNTER).unwrap_or(0),
             shuffle_bytes_saved: counter(SHUFFLE_BYTES_SAVED_COUNTER).unwrap_or(0),
+            spilled_bytes: counter(SPILLED_BYTES_COUNTER).unwrap_or(0),
+            spill_files: counter(SPILL_FILES_COUNTER).unwrap_or(0),
+            spilled_groups: counter(SPILLED_GROUPS_COUNTER).unwrap_or(0),
             counters: counters.to_vec(),
         }
     }
@@ -268,6 +286,16 @@ impl SummaryReport {
         }
         if self.sort_skipped > 0 {
             let _ = writeln!(out, "sorts skipped: {}", self.sort_skipped);
+        }
+        if self.spilled_bytes > 0 || self.spill_files > 0 {
+            let _ = writeln!(
+                out,
+                "spill: {} bytes in {} files",
+                self.spilled_bytes, self.spill_files
+            );
+        }
+        if self.spilled_groups > 0 {
+            let _ = writeln!(out, "spilled reduce groups: {}", self.spilled_groups);
         }
         if self.distance_evals > 0 {
             let _ = writeln!(out, "distance evals: {}", self.distance_evals);
@@ -391,6 +419,26 @@ mod tests {
         assert!(!empty.contains("distance evals"));
         assert!(!empty.contains("sorts skipped"));
         assert!(!empty.contains("shuffle bytes saved"));
+    }
+
+    #[test]
+    fn spill_counters_surface_in_report() {
+        let counters = vec![
+            (SPILLED_BYTES_COUNTER.to_owned(), 65_536),
+            (SPILL_FILES_COUNTER.to_owned(), 3),
+            (SPILLED_GROUPS_COUNTER.to_owned(), 2),
+        ];
+        let report = SummaryReport::from_events(&[], &counters);
+        assert_eq!(report.spilled_bytes, 65_536);
+        assert_eq!(report.spill_files, 3);
+        assert_eq!(report.spilled_groups, 2);
+        let text = report.render();
+        assert!(text.contains("spill: 65536 bytes in 3 files"));
+        assert!(text.contains("spilled reduce groups: 2"));
+
+        // Jobs that never spilled stay silent.
+        let empty = SummaryReport::from_events(&[], &[]).render();
+        assert!(!empty.contains("spill"));
     }
 
     #[test]

@@ -18,15 +18,16 @@ echo "== chaos smoke: fault-injection suite =="
 cargo test -q --test chaos
 
 echo "== bench smoke: regression harness =="
-# Tiny-scale run of all three workloads; the emitted JSON must validate
+# Tiny-scale run of all four workloads; the emitted JSON must validate
 # against the bench schema and self-compare with zero regressions.
 GEPETO_SCALE=0.002 ./target/release/gepeto-bench run \
     --users 4 --k 3 --max-iter 2 --out-dir target/bench-smoke
 ./target/release/gepeto-bench validate \
     target/bench-smoke/BENCH_sampling.json \
     target/bench-smoke/BENCH_kmeans.json \
-    target/bench-smoke/BENCH_djcluster.json
-for w in sampling kmeans djcluster; do
+    target/bench-smoke/BENCH_djcluster.json \
+    target/bench-smoke/BENCH_synth.json
+for w in sampling kmeans djcluster synth; do
     ./target/release/gepeto-bench compare \
         "target/bench-smoke/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json"
 done
@@ -37,11 +38,20 @@ echo "== bench perf-gate: compare against committed baselines =="
 # output regression — this is what gates the columnar/shuffle fast
 # paths. Host-dependent metrics (wall_ms, task p95s) are ignored so
 # machine speed is not a regression.
-for w in sampling kmeans djcluster; do
+for w in sampling kmeans djcluster synth; do
     ./target/release/gepeto-bench compare \
         "crates/bench/baselines/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json" \
         --threshold 30 --ignore wall_ms,task
 done
+
+echo "== spill smoke: out-of-core shuffle under a starvation budget =="
+# A synthetic workload forced through the spill/merge path; the
+# exposition must prove the engine actually went out of core.
+./target/release/gepeto synth --users 500 --chunk-mb 1 --memory-budget 1k \
+    --prom-out target/bench-smoke/synth.prom --summary
+./target/release/gepeto-bench validate-prom target/bench-smoke/synth.prom
+grep -q '^gepeto_shuffle_spill_files_total [1-9]' target/bench-smoke/synth.prom
+grep -q '^gepeto_shuffle_spilled_bytes_total [1-9]' target/bench-smoke/synth.prom
 
 echo "== live monitoring smoke: watch + exposition + flamegraph =="
 # A chaos k-means under the heartbeat reporter must leave a well-formed
