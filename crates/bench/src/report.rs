@@ -442,6 +442,15 @@ pub fn compare_ignoring(
         }
     }
     for (name, new_v) in &new.counters {
+        // Durability bookkeeping (retry/repair/replay tallies) tracks
+        // fault-injection luck and resume history, not workload cost —
+        // drift there is expected and must not spam baseline diffs.
+        if DURABILITY_COUNTER_PREFIXES
+            .iter()
+            .any(|p| name.starts_with(p))
+        {
+            continue;
+        }
         let old_v = old
             .counters
             .iter()
@@ -456,6 +465,10 @@ pub fn compare_ignoring(
     }
     cmp
 }
+
+/// Counter families exempt from baseline-drift notes: storage-fault
+/// repairs and journal replays vary run to run by design.
+const DURABILITY_COUNTER_PREFIXES: &[&str] = &["io.", "journal.", "spill.runs_quarantined"];
 
 #[cfg(test)]
 mod tests {
@@ -552,6 +565,21 @@ mod tests {
         assert_eq!(cmp.notes.len(), 3);
         assert!(cmp.notes.iter().any(|n| n.contains("map_tasks")));
         assert!(cmp.notes.iter().any(|n| n.contains("absent")));
+    }
+
+    #[test]
+    fn durability_counter_drift_is_exempt_from_notes() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.counters.push(("io.retries".to_string(), 14));
+        b.counters.push(("io.torn_writes_detected".to_string(), 3));
+        b.counters.push(("journal.replayed_tasks".to_string(), 7));
+        b.counters.push(("spill.runs_quarantined".to_string(), 2));
+        let cmp = compare(&a, &b, 5.0);
+        assert!(cmp.notes.is_empty(), "{:?}", cmp.notes);
+        // A non-durability counter appearing still makes a note.
+        b.counters.push(("mapred.task.retries".to_string(), 1));
+        assert_eq!(compare(&a, &b, 5.0).notes.len(), 1);
     }
 
     #[test]

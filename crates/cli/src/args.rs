@@ -59,6 +59,24 @@ impl Args {
                 .map_err(|_| format!("flag --{key}: cannot parse '{raw}'")),
         }
     }
+
+    /// Re-serializes the flags as `--key value` argv tokens (key-sorted,
+    /// so the encoding is canonical) — what a run directory's MANIFEST
+    /// records for `gepeto resume`.
+    pub fn to_argv(&self) -> Vec<String> {
+        self.flags
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.clone()])
+            .collect()
+    }
+
+    /// Overlays `other`'s flags onto this set (theirs win) — how
+    /// `gepeto resume <dir> --flag value` overrides the manifest flags.
+    pub fn overlay(&mut self, other: &Args) {
+        for (k, v) in &other.flags {
+            self.flags.insert(k.clone(), v.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +127,22 @@ mod tests {
     fn rejects_malformed_typed_value() {
         let a = Args::parse(&argv("--k abc")).unwrap();
         assert!(a.get_or("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn to_argv_round_trips_through_parse() {
+        let a = Args::parse(&argv("--users 10 --summary --scale=0.5")).unwrap();
+        let b = Args::parse(&a.to_argv()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlay_overrides_and_extends() {
+        let mut base = Args::parse(&argv("--users 10 --k 3")).unwrap();
+        let over = Args::parse(&argv("--k 5 --summary")).unwrap();
+        base.overlay(&over);
+        assert_eq!(base.get("users"), Some("10"));
+        assert_eq!(base.get("k"), Some("5"));
+        assert!(base.get_flag("summary"));
     }
 }

@@ -4,10 +4,12 @@ use crate::args::Args;
 use gepeto::prelude::*;
 use gepeto::sanitize::Sanitizer;
 use gepeto_geo::DistanceMetric;
-use gepeto_mapred::{ChaosPlan, RetryPolicy};
+use gepeto_mapred::journal::JournalEntry;
+use gepeto_mapred::{commit, ChaosPlan, IoFaultPlan, JobError, RetryPolicy, RunJournal};
 use gepeto_model::plt;
 use gepeto_telemetry::{Recorder, Reporter};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Top-level usage text.
@@ -47,6 +49,9 @@ COMMANDS:
                   --users N (15) --scale S (0.02) --train-fraction F (0.6)
     viz         Render the dataset as SVG + GeoJSON (+ ASCII density)
                   --out DIR (required) --width PX (900)
+    resume      Resume a killed durable run: gepeto resume RUN_DIR [--flag v]...
+                  Re-dispatches the MANIFEST argv; committed reduce
+                  partitions and checkpoints replay instead of re-running.
     help        This text
 
 Shared dataset flags: --users, --scale, --seed.
@@ -69,7 +74,26 @@ node N at virtual second T; --degrade N@T@FACTOR[,...] slows node N by
 FACTOR from virtual second T. --driver-retries N (0) with
 --retry-backoff SECS (5) makes the kmeans/djcluster drivers checkpoint
 and re-submit jobs that die, instead of propagating the error.
+IO fault injection: --io-faults eio=P,torn=P,bitrot=P,enospc=SIZE,
+slow=SECS_PER_MIB,streak=N,seed=X injects deterministic storage faults
+under every spill and commit; retries/quarantines surface in --summary
+and the Prometheus exposition (gepeto_io_*, gepeto_spill_runs_*).
+Durability (sample, kmeans, synth): --run-dir DIR journals the run into
+DIR (write-ahead journal.log, committed reduce partitions, MANIFEST,
+OUTPUT artifact); 'gepeto resume DIR' finishes a killed run
+bit-identically, replaying committed work instead of re-executing it.
+Exit codes: 0 success, 1 usage/environment error, 3 job failed after
+exhausting retries (artifacts still flushed), 4 driver panic.
 ";
+
+/// Error prefix `main` maps to the job-failure exit code: the command
+/// ran, but the MapReduce job itself died (chaos exhausted its retries,
+/// unrecoverable storage loss) — distinct from usage errors and panics.
+pub const JOB_FAILED_PREFIX: &str = "job failed: ";
+
+fn job_failed(e: JobError) -> String {
+    format!("{JOB_FAILED_PREFIX}{e}")
+}
 
 fn dataset_from(args: &Args, default_users: usize, default_scale: f64) -> Result<Dataset, String> {
     let users = args.get_or("users", default_users)?;
@@ -127,7 +151,132 @@ fn chaos_from(args: &Args) -> Result<ChaosPlan, String> {
             );
         }
     }
+    if let Some(spec) = args.get("io-faults") {
+        plan = plan.io_faults(io_faults_from(spec)?);
+    }
     Ok(plan)
+}
+
+/// Parses `--io-faults eio=P,torn=P,bitrot=P,enospc=SIZE,slow=S,streak=N,
+/// seed=X` into an [`IoFaultPlan`] (all keys optional).
+fn io_faults_from(spec: &str) -> Result<IoFaultPlan, String> {
+    let mut pairs = Vec::new();
+    let mut seed = 1u64;
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = item
+            .split_once('=')
+            .ok_or_else(|| format!("--io-faults '{item}': expected KEY=VALUE"))?;
+        if key == "seed" {
+            seed = value
+                .parse()
+                .map_err(|_| format!("--io-faults seed: cannot parse '{value}'"))?;
+        } else {
+            pairs.push((key, value));
+        }
+    }
+    let mut plan = IoFaultPlan::new(seed);
+    for (key, value) in pairs {
+        let prob = |v: &str| {
+            v.parse::<f64>()
+                .map_err(|_| format!("--io-faults {key}: cannot parse '{v}'"))
+        };
+        plan = match key {
+            "eio" => plan.eio(prob(value)?),
+            "torn" => plan.torn(prob(value)?),
+            "bitrot" => plan.bitrot(prob(value)?),
+            "slow" => plan.slow(prob(value)?),
+            "streak" => plan.eio_streak(
+                value
+                    .parse()
+                    .map_err(|_| format!("--io-faults streak: cannot parse '{value}'"))?,
+            ),
+            "enospc" => plan.disk_capacity(parse_bytes(value).ok_or_else(|| {
+                format!("--io-faults enospc: cannot parse '{value}' (want bytes or 64k/16m/2g)")
+            })? as u64),
+            other => return Err(format!("--io-faults: unknown key '{other}'")),
+        };
+    }
+    Ok(plan)
+}
+
+/// Attaches the `--run-dir` write-ahead journal when asked for: records
+/// the launch in the MANIFEST (first writer wins, so a resume keeps the
+/// original argv) and journals a `RunStart`.
+fn run_journal_from(args: &Args, command: &str) -> Result<Option<Arc<RunJournal>>, String> {
+    let Some(dir) = args.get("run-dir") else {
+        return Ok(None);
+    };
+    let journal = RunJournal::attach(std::path::Path::new(dir))?;
+    let mut argv = vec![command.to_string()];
+    argv.extend(args.to_argv());
+    journal.write_manifest(&argv)?;
+    journal.append(&JournalEntry::RunStart {
+        command: command.to_string(),
+    })?;
+    Ok(Some(Arc::new(journal)))
+}
+
+/// Commits `text` as the run's `OUTPUT` artifact through the atomic
+/// commit protocol, journals it, and seals the run: after the
+/// `RunComplete` entry a resume is a no-op, and the per-run spill root
+/// is swept.
+fn commit_output(journal: &RunJournal, chaos: &ChaosPlan, text: &str) -> Result<(), String> {
+    let path = journal.dir().join("OUTPUT");
+    if path.exists() {
+        commit::quarantine(&path, chaos);
+    }
+    let receipt = commit::commit_bytes_verified(&path, text.as_bytes(), "run-output", chaos)
+        .map_err(|e| e.to_string())?;
+    journal.append(&JournalEntry::ArtifactCommit {
+        name: "OUTPUT".to_string(),
+        path: path.display().to_string(),
+        checksum: receipt.checksum,
+    })?;
+    journal.append(&JournalEntry::RunComplete)?;
+    journal.sweep_spill();
+    println!("run journal: OUTPUT committed to {}", path.display());
+    Ok(())
+}
+
+/// Bit-exact digest text of a sampled dataset: trace count plus an
+/// FNV-1a over every field (floats via their IEEE-754 bit patterns) in
+/// output order — two runs produced identical output iff these bytes
+/// are identical.
+fn dataset_output_text(command: &str, ds: &Dataset) -> String {
+    use std::hash::Hasher;
+    let mut h = gepeto_mapred::hash::FnvHasher::default();
+    for t in ds.iter_traces() {
+        h.write_u32(t.user);
+        h.write_i64(t.timestamp.0);
+        h.write_u64(t.point.lat.to_bits());
+        h.write_u64(t.point.lon.to_bits());
+        h.write_u32(t.altitude.to_bits());
+    }
+    format!(
+        "command: {command}\ntraces: {}\nusers: {}\nfnv64: {:016x}\n",
+        ds.num_traces(),
+        ds.num_users(),
+        h.finish()
+    )
+}
+
+/// Bit-exact digest text of a k-means result: every centroid's full bit
+/// pattern, so resumed and undisturbed runs can be diffed byte-for-byte.
+fn kmeans_output_text(result: &kmeans::KMeansResult) -> String {
+    let mut s = format!(
+        "command: kmeans\niterations: {}\nconverged: {}\n",
+        result.iterations, result.converged
+    );
+    for (i, c) in result.centroids.iter().enumerate() {
+        s.push_str(&format!(
+            "centroid {i}: {:016x}:{:016x} ({:.6}, {:.6})\n",
+            c.lat.to_bits(),
+            c.lon.to_bits(),
+            c.lat,
+            c.lon
+        ));
+    }
+    s
 }
 
 /// Parses `--memory-budget SIZE` into bytes. Accepts plain bytes or a
@@ -231,12 +380,18 @@ fn reporter_from(args: &Args, rec: &Recorder) -> Result<Option<Reporter>, String
 fn observed(args: &Args, body: impl FnOnce(&Recorder) -> Result<(), String>) -> Result<(), String> {
     let rec = recorder_from(args);
     let reporter = reporter_from(args, &rec)?;
-    let result = body(&rec);
+    // A panicking driver must still leave its artifacts behind, exactly
+    // like an aborting one — flush, then let `main` map the resumed
+    // panic to its own exit code.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&rec)));
     if let Some(reporter) = reporter {
         reporter.stop();
     }
     let artifacts = finish_metrics(args, &rec);
-    result.and(artifacts)
+    match result {
+        Ok(outcome) => outcome.and(artifacts),
+        Err(panic) => std::panic::resume_unwind(panic),
+    }
 }
 
 /// Emits the run's observability outputs: the JSONL event stream plus a
@@ -304,6 +459,75 @@ fn print_job(label: &str, stats: &gepeto_mapred::JobStats) {
             stats.sim.failed_attempt_s,
         );
     }
+    if stats.io_retries
+        + stats.torn_writes_detected
+        + stats.runs_quarantined
+        + stats.journal_replayed_tasks
+        > 0
+    {
+        println!(
+            "  durability: {} io retries | {} torn writes detected | {} runs quarantined \
+             | {} reduce tasks replayed from artifacts",
+            stats.io_retries,
+            stats.torn_writes_detected,
+            stats.runs_quarantined,
+            stats.journal_replayed_tasks,
+        );
+    }
+}
+
+/// Dispatches a parsed command — shared by `main` and [`resume`].
+pub fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
+    match cmd {
+        "generate" => generate(args),
+        "sample" => sample(args),
+        "kmeans" => kmeans(args),
+        "synth" => synth(args),
+        "djcluster" => djcluster(args),
+        "attack" => attack(args),
+        "sanitize" => sanitize(args),
+        "predict" => predict(args),
+        "semantics" => semantics(args),
+        "viz" => viz(args),
+        "report" => report(args),
+        other => Err(format!("unknown command '{other}'; try 'gepeto help'")),
+    }
+}
+
+/// `gepeto resume <run-dir> [--flag value ...]`: re-dispatches the argv
+/// recorded in the run directory's MANIFEST (extra flags override it).
+/// Stale spill runs are swept first; committed reduce partitions and
+/// driver checkpoints then replay instead of re-executing, so the
+/// resumed run completes bit-identically to an undisturbed one. A run
+/// whose journal already holds `RunComplete` is a no-op.
+pub fn resume(run_dir: &str, overrides: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(run_dir);
+    let manifest = RunJournal::read_manifest(&dir)?;
+    let (cmd, rest) = manifest
+        .split_first()
+        .ok_or_else(|| format!("resume: empty MANIFEST in {run_dir}"))?;
+    let journal = RunJournal::attach(&dir)?;
+    if journal.is_complete() {
+        println!(
+            "resume: run already complete; OUTPUT at {}",
+            dir.join("OUTPUT").display()
+        );
+        return Ok(());
+    }
+    journal.sweep_spill();
+    let committed = journal
+        .entries()
+        .iter()
+        .filter(|e| matches!(e, JournalEntry::ReduceCommit { .. }))
+        .count();
+    drop(journal);
+    let mut args = Args::parse(rest)?;
+    args.overlay(&Args::parse(overrides)?);
+    eprintln!(
+        "resume: re-dispatching '{cmd}' from {run_dir} \
+         ({committed} committed reduce partition(s) on file)"
+    );
+    dispatch(cmd, &args)
 }
 
 /// `gepeto generate`
@@ -348,13 +572,18 @@ pub fn sample(args: &Args) -> Result<(), String> {
     let technique = sampling::Technique::parse(t).ok_or(format!("unknown technique '{t}'"))?;
     let cfg = sampling::SamplingConfig::new(args.get_or("window", 60i64)?, technique);
     let budget = memory_budget_from(args)?;
+    let journal = run_journal_from(args, "sample")?;
     observed(args, |rec| {
-        let (sampled, stats) = if budget.is_some() {
+        let (sampled, stats) = if let Some(j) = &journal {
+            sampling::mapreduce_sample_by_user_durable(
+                &cluster, &dfs, "input", &cfg, budget, j, rec,
+            )
+        } else if budget.is_some() {
             sampling::mapreduce_sample_by_user(&cluster, &dfs, "input", &cfg, budget, rec)
         } else {
             sampling::mapreduce_sample_with(&cluster, &dfs, "input", &cfg, rec)
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(job_failed)?;
         println!(
             "sampling window {} s: {} -> {} traces ({:.2} %)",
             cfg.window_secs,
@@ -364,6 +593,9 @@ pub fn sample(args: &Args) -> Result<(), String> {
         );
         print_job("job", &stats);
         print_spill(&stats);
+        if let Some(j) = &journal {
+            commit_output(j, &cluster.chaos, &dataset_output_text("sample", &sampled))?;
+        }
         Ok(())
     })
 }
@@ -415,15 +647,21 @@ pub fn synth(args: &Args) -> Result<(), String> {
     );
     let budget = memory_budget_from(args)?;
     let workload = args.get("workload").unwrap_or("sampling").to_string();
+    let journal = run_journal_from(args, "synth")?;
     observed(args, |rec| match workload.as_str() {
         "sampling" => {
             let scfg = sampling::SamplingConfig::new(
                 args.get_or("window", 60i64)?,
                 sampling::Technique::ClosestToUpperLimit,
             );
-            let (sampled, stats) =
+            let (sampled, stats) = if let Some(j) = &journal {
+                sampling::mapreduce_sample_by_user_durable(
+                    &cluster, &dfs, "synth", &scfg, budget, j, rec,
+                )
+            } else {
                 sampling::mapreduce_sample_by_user(&cluster, &dfs, "synth", &scfg, budget, rec)
-                    .map_err(|e| e.to_string())?;
+            }
+            .map_err(job_failed)?;
             println!(
                 "sampling window {} s: kept {} traces across {} users",
                 scfg.window_secs,
@@ -432,6 +670,9 @@ pub fn synth(args: &Args) -> Result<(), String> {
             );
             print_job("job", &stats);
             print_spill(&stats);
+            if let Some(j) = &journal {
+                commit_output(j, &cluster.chaos, &dataset_output_text("synth", &sampled))?;
+            }
             Ok(())
         }
         "kmeans" => {
@@ -443,8 +684,12 @@ pub fn synth(args: &Args) -> Result<(), String> {
                 memory_budget: budget,
                 ..kmeans::KMeansConfig::paper(DistanceMetric::SquaredEuclidean)
             };
-            let result = kmeans::mapreduce_kmeans_with(&cluster, &dfs, "synth", &kcfg, rec)
-                .map_err(|e| e.to_string())?;
+            let result = if let Some(j) = &journal {
+                kmeans::mapreduce_kmeans_durable(&cluster, &dfs, "synth", &kcfg, j, rec)
+            } else {
+                kmeans::mapreduce_kmeans_with(&cluster, &dfs, "synth", &kcfg, rec)
+            }
+            .map_err(job_failed)?;
             println!(
                 "k-means: k={} converged={} after {} iterations",
                 kcfg.k, result.converged, result.iterations
@@ -452,6 +697,9 @@ pub fn synth(args: &Args) -> Result<(), String> {
             if let Some(last) = result.per_iteration.last() {
                 print_job("last iteration", &last.job);
                 print_spill(&last.job);
+            }
+            if let Some(j) = &journal {
+                commit_output(j, &cluster.chaos, &kmeans_output_text(&result))?;
             }
             Ok(())
         }
@@ -476,14 +724,17 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         memory_budget: memory_budget_from(args)?,
     };
     let policy = retry_policy_from(args)?;
+    let journal = run_journal_from(args, "kmeans")?;
     observed(args, |rec| {
-        let result = if policy.max_job_retries > 0 {
+        let result = if let Some(j) = &journal {
+            kmeans::mapreduce_kmeans_durable(&cluster, &dfs, "input", &cfg, j, rec)
+        } else if policy.max_job_retries > 0 {
             let mut dfs = dfs;
             kmeans::mapreduce_kmeans_checkpointed(&cluster, &mut dfs, "input", &cfg, &policy, rec)
         } else {
             kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &cfg, rec)
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(job_failed)?;
         println!(
             "k-means: k={} distance={} converged={} after {} iterations",
             cfg.k,
@@ -511,6 +762,9 @@ pub fn kmeans(args: &Args) -> Result<(), String> {
         for (i, c) in result.centroids.iter().enumerate() {
             println!("  centroid {i}: ({:.6}, {:.6})", c.lat, c.lon);
         }
+        if let Some(j) = &journal {
+            commit_output(j, &cluster.chaos, &kmeans_output_text(&result))?;
+        }
         Ok(())
     })
 }
@@ -524,7 +778,7 @@ pub fn djcluster(args: &Args) -> Result<(), String> {
     let window = args.get_or("window", 60i64)?;
     let scfg = sampling::SamplingConfig::new(window, sampling::Technique::ClosestToUpperLimit);
     sampling::mapreduce_sample_to_dfs(&cluster, &mut dfs, "input", "sampled", &scfg)
-        .map_err(|e| e.to_string())?;
+        .map_err(job_failed)?;
     let cfg = djcluster::DjConfig {
         radius_m: args.get_or("radius", 60.0f64)?,
         min_pts: args.get_or("minpts", 4usize)?,
@@ -547,7 +801,7 @@ pub fn djcluster(args: &Args) -> Result<(), String> {
                     &policy,
                     rec,
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(job_failed)?;
             if job_retries > 0 {
                 println!(
                     "driver: {job_retries} whole-job re-submissions recovered from checkpoints"
@@ -563,7 +817,7 @@ pub fn djcluster(args: &Args) -> Result<(), String> {
                 rtree_cfg.as_ref(),
                 rec,
             )
-            .map_err(|e| e.to_string())?
+            .map_err(job_failed)?
         };
         println!(
             "preprocessing: {} -> {} (speed filter) -> {} (dedup)",
@@ -985,6 +1239,40 @@ mod tests {
         assert!(err.contains("NODE@SECONDS"));
         let err = kmeans(&args("--users 2 --scale 0.002 --degrade 0@1")).unwrap_err();
         assert!(err.contains("NODE@SECONDS@FACTOR"));
+    }
+
+    #[test]
+    fn io_fault_flags_parse_and_run() {
+        // A storage-fault soup under a starvation budget must still
+        // succeed — repairs are the engine's job, not the caller's.
+        assert!(sample(&args(
+            "--users 2 --scale 0.002 --memory-budget 1 \
+             --io-faults eio=0.5,torn=0.5,bitrot=0.3,seed=9 --summary"
+        ))
+        .is_ok());
+        assert!(kmeans(&args(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --memory-budget 1 \
+             --io-faults torn=1.0,slow=0.5,streak=1"
+        ))
+        .is_ok());
+        let err = sample(&args("--users 2 --scale 0.002 --io-faults eio=oops")).unwrap_err();
+        assert!(err.contains("eio"), "{err}");
+        let err = sample(&args("--users 2 --scale 0.002 --io-faults frob=1")).unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn job_failures_carry_the_exit_code_prefix() {
+        // All nodes dead at t=0: retries exhaust and the error string is
+        // classified as a job failure (exit 3), not a usage error.
+        let err = kmeans(&args(
+            "--users 2 --scale 0.002 --k 2 --max-iter 2 --crash 0@0,1@0,2@0,3@0",
+        ))
+        .unwrap_err();
+        assert!(err.starts_with(JOB_FAILED_PREFIX), "{err}");
+        // Usage errors stay unprefixed.
+        let err = kmeans(&args("--users abc")).unwrap_err();
+        assert!(!err.starts_with(JOB_FAILED_PREFIX), "{err}");
     }
 
     #[test]

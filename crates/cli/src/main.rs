@@ -4,19 +4,37 @@
 //! GeoLife-calibrated dataset, run the paper's MapReduced algorithms on
 //! a simulated cluster, run inference attacks, sanitize, and report the
 //! privacy/utility trade-off. Run `gepeto help` for usage.
+//!
+//! Exit codes: `0` success, `1` usage or environment error, `3` the
+//! MapReduce job itself failed after exhausting its retries (chaos won;
+//! observability artifacts are still flushed), `4` the driver panicked.
 
 mod args;
 mod commands;
 
 use std::process::ExitCode;
 
+/// Exit code for a job that died after exhausting retries.
+const EXIT_JOB_FAILED: u8 = 3;
+/// Exit code for a driver panic.
+const EXIT_PANIC: u8 = 4;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&argv))) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
             eprintln!("gepeto: {e}");
-            ExitCode::FAILURE
+            if e.starts_with(commands::JOB_FAILED_PREFIX) {
+                ExitCode::from(EXIT_JOB_FAILED)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(_) => {
+            // The default panic hook already printed the payload.
+            eprintln!("gepeto: driver panicked");
+            ExitCode::from(EXIT_PANIC)
         }
     }
 }
@@ -26,23 +44,19 @@ fn run(argv: &[String]) -> Result<(), String> {
         print!("{}", commands::USAGE);
         return Ok(());
     };
-    let args = args::Args::parse(rest)?;
     match cmd.as_str() {
-        "generate" => commands::generate(&args),
-        "sample" => commands::sample(&args),
-        "kmeans" => commands::kmeans(&args),
-        "synth" => commands::synth(&args),
-        "djcluster" => commands::djcluster(&args),
-        "attack" => commands::attack(&args),
-        "sanitize" => commands::sanitize(&args),
-        "predict" => commands::predict(&args),
-        "semantics" => commands::semantics(&args),
-        "viz" => commands::viz(&args),
-        "report" => commands::report(&args),
+        // `resume` takes the run directory as a positional, unlike every
+        // flag-only command: the directory IS the run's identity.
+        "resume" => {
+            let Some((dir, overrides)) = rest.split_first() else {
+                return Err("usage: gepeto resume <run-dir> [--flag value]...".into());
+            };
+            commands::resume(dir, overrides)
+        }
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'; try 'gepeto help'")),
+        _ => commands::dispatch(cmd, &args::Args::parse(rest)?),
     }
 }

@@ -34,7 +34,7 @@ use gepeto_geo::{CentroidsSoa, ClusterSum, DistanceMetric, PointsSoa};
 use gepeto_mapred::counters::builtin;
 use gepeto_mapred::{
     run_with_recovery, Cluster, Counters, Dfs, DistributedCache, Emitter, JobConfig, JobError,
-    JobStats, MapReduceJob, Mapper, Reducer, RetryPolicy, TaskContext,
+    JobStats, JournalEntry, MapReduceJob, Mapper, Reducer, RetryPolicy, RunJournal, TaskContext,
 };
 use gepeto_model::{GeoPoint, MobilityTrace};
 use gepeto_telemetry::Recorder;
@@ -533,6 +533,122 @@ pub fn mapreduce_kmeans_with(
     })
 }
 
+/// Journal label under which the durable driver checkpoints each
+/// finished iteration's centroids.
+pub const KMEANS_CHECKPOINT_LABEL: &str = "kmeans";
+
+/// Crash-safe k-means under a write-ahead [`RunJournal`]: every
+/// iteration runs as a *uniquely named* job (`kmeans-i{n:03}`) whose
+/// reduce partitions are committed into the run directory, and each
+/// finished iteration's centroids are checkpointed into the journal
+/// (bit-exact, via the IEEE-754 bit patterns). A resumed run restores
+/// the last checkpoint, skips the finished iterations entirely, and the
+/// in-flight iteration replays whatever reduce partitions it had
+/// already committed — so a SIGKILL anywhere lands on the same final
+/// centroids as an undisturbed run.
+///
+/// Unique per-iteration job names are load-bearing: reduce artifacts
+/// are keyed by job name, so a driver that reused one name across
+/// iterations would replay a *stale* iteration's output on resume.
+///
+/// `per_iteration` holds only the iterations executed by *this*
+/// process; checkpoint-restored iterations contribute no stats.
+pub fn mapreduce_kmeans_durable(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &KMeansConfig,
+    journal: &Arc<RunJournal>,
+    telemetry: &Recorder,
+) -> Result<KMeansResult, JobError> {
+    let run_span = telemetry.span("kmeans", &[("input", input), ("k", &cfg.k.to_string())]);
+    let restored = journal
+        .last_checkpoint(KMEANS_CHECKPOINT_LABEL)
+        .and_then(|p| decode_kmeans_checkpoint(&p));
+    let (mut iterations, mut converged, mut centroids) = match restored {
+        Some(state) => state,
+        None => (0, false, sample_points(dfs, input, cfg.k, cfg.seed)?),
+    };
+    if iterations > 0 {
+        telemetry.point("kmeans.resumed", iterations as f64, &[("input", input)]);
+    }
+    let mut per_iteration = Vec::new();
+    while !converged && iterations < cfg.max_iterations {
+        let iter_span = telemetry.span(
+            "kmeans.iteration",
+            &[("iter", &(iterations + 1).to_string())],
+        );
+        let (next, job) = mapreduce_iteration_inner(
+            &format!("kmeans-i{:03}", iterations + 1),
+            cluster,
+            dfs,
+            input,
+            &centroids,
+            cfg,
+            Some(journal),
+            telemetry,
+        )?;
+        iterations += 1;
+        let shift = max_shift(&centroids, &next, cfg.distance);
+        telemetry.point("kmeans.shift", shift, &[("iter", &iterations.to_string())]);
+        if let Some(m) = telemetry.monitor() {
+            m.set_driver_progress(iterations as u64, shift);
+        }
+        centroids = next;
+        converged = shift <= cfg.convergence_delta;
+        journal
+            .append(&JournalEntry::Checkpoint {
+                label: KMEANS_CHECKPOINT_LABEL.to_string(),
+                payload: encode_kmeans_checkpoint(iterations, converged, &centroids),
+            })
+            .map_err(JobError::Io)?;
+        iter_span.end();
+        per_iteration.push(IterationStats {
+            iteration: iterations,
+            max_shift: shift,
+            job,
+        });
+    }
+    run_span.end();
+    Ok(KMeansResult {
+        centroids,
+        iterations,
+        converged,
+        per_iteration,
+        job_retries: 0,
+    })
+}
+
+/// Encodes `(iteration, converged, centroids)` as the checkpoint
+/// payload: centroid floats travel as hex bit patterns, so the decoded
+/// state is the same bits the driver checkpointed.
+fn encode_kmeans_checkpoint(iteration: usize, converged: bool, centroids: &[GeoPoint]) -> String {
+    let mut s = format!("{iteration} {}", u8::from(converged));
+    for c in centroids {
+        s.push_str(&format!(
+            " {:016x}:{:016x}",
+            c.lat.to_bits(),
+            c.lon.to_bits()
+        ));
+    }
+    s
+}
+
+fn decode_kmeans_checkpoint(payload: &str) -> Option<(usize, bool, Vec<GeoPoint>)> {
+    let mut parts = payload.split(' ');
+    let iteration = parts.next()?.parse().ok()?;
+    let converged = parts.next()? == "1";
+    let mut centroids = Vec::new();
+    for pair in parts {
+        let (lat, lon) = pair.split_once(':')?;
+        centroids.push(GeoPoint::new(
+            f64::from_bits(u64::from_str_radix(lat, 16).ok()?),
+            f64::from_bits(u64::from_str_radix(lon, 16).ok()?),
+        ));
+    }
+    Some((iteration, converged, centroids))
+}
+
 /// Last-good-iteration state of a checkpointed k-means run. The driver
 /// keeps this *outside* the job, so a job death costs one iteration
 /// attempt, never the progress already made.
@@ -666,6 +782,24 @@ fn mapreduce_iteration_named(
     cfg: &KMeansConfig,
     telemetry: &Recorder,
 ) -> Result<(Vec<GeoPoint>, JobStats), JobError> {
+    mapreduce_iteration_inner(
+        job_name, cluster, dfs, input, centroids, cfg, None, telemetry,
+    )
+}
+
+/// The iteration job, optionally committing its reduce partitions into a
+/// run journal (the durable driver's path).
+#[allow(clippy::too_many_arguments)]
+fn mapreduce_iteration_inner(
+    job_name: &str,
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    centroids: &[GeoPoint],
+    cfg: &KMeansConfig,
+    journal: Option<&Arc<RunJournal>>,
+    telemetry: &Recorder,
+) -> Result<(Vec<GeoPoint>, JobStats), JobError> {
     let cache = DistributedCache::new().with(CENTROIDS_CACHE_KEY, centroids.to_vec());
     let config = JobConfig::new()
         .set("k", cfg.k)
@@ -685,6 +819,10 @@ fn mapreduce_iteration_named(
     let job = match cfg.memory_budget {
         Some(bytes) => job.memory_budget_with(bytes, crate::spill_codecs::point_sum_codec()),
         None => job.spill_codec(crate::spill_codecs::point_sum_codec()),
+    };
+    let job = match journal {
+        Some(j) => job.durable_with(j.clone(), crate::spill_codecs::centroid_codec()),
+        None => job,
     };
     let result = if cfg.use_combiner {
         job.with_combiner(KMeansCombiner).run()?

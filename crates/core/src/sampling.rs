@@ -32,10 +32,12 @@
 use crate::dfs_io::read_dataset;
 use gepeto_mapred::{
     Cluster, Dfs, Emitter, JobError, JobStats, MapOnlyJob, MapReduceJob, Mapper, Reducer,
+    RunJournal,
 };
 use gepeto_model::{Dataset, MobilityTrace, Trail, UserId};
 use gepeto_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How the representative trace of a window is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -289,6 +291,42 @@ pub fn mapreduce_sample_by_user(
     memory_budget: Option<usize>,
     telemetry: &Recorder,
 ) -> Result<(Dataset, JobStats), JobError> {
+    sample_by_user_inner(cluster, dfs, input, cfg, memory_budget, None, telemetry)
+}
+
+/// [`mapreduce_sample_by_user`] under a write-ahead [`RunJournal`]: every
+/// reduce partition's output is committed into the run directory, so a
+/// killed run resumed against the same journal replays the committed
+/// partitions from disk instead of re-shuffling them — bit-identically.
+pub fn mapreduce_sample_by_user_durable(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &SamplingConfig,
+    memory_budget: Option<usize>,
+    journal: &Arc<RunJournal>,
+    telemetry: &Recorder,
+) -> Result<(Dataset, JobStats), JobError> {
+    sample_by_user_inner(
+        cluster,
+        dfs,
+        input,
+        cfg,
+        memory_budget,
+        Some(journal),
+        telemetry,
+    )
+}
+
+fn sample_by_user_inner(
+    cluster: &Cluster,
+    dfs: &Dfs<MobilityTrace>,
+    input: &str,
+    cfg: &SamplingConfig,
+    memory_budget: Option<usize>,
+    journal: Option<&Arc<RunJournal>>,
+    telemetry: &Recorder,
+) -> Result<(Dataset, JobStats), JobError> {
     let span = telemetry.span(
         "sampling-by-user",
         &[("input", input), ("window", &cfg.window_secs.to_string())],
@@ -306,8 +344,12 @@ pub fn mapreduce_sample_by_user(
     .pair_bytes(|_, t| t.approx_plt_bytes())
     .telemetry(telemetry.clone());
     let job = match memory_budget {
-        Some(bytes) => job.memory_budget_with(bytes, codec),
-        None => job.spill_codec(codec),
+        Some(bytes) => job.memory_budget_with(bytes, codec.clone()),
+        None => job.spill_codec(codec.clone()),
+    };
+    let job = match journal {
+        Some(j) => job.durable_with(j.clone(), codec),
+        None => job,
     };
     let result = job.run()?;
     span.end();

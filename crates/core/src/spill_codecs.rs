@@ -71,6 +71,25 @@ pub fn point_sum_codec() -> SpillCodec<u32, PointSum> {
     )
 }
 
+/// Codec for `(u32, GeoPoint)` — the k-means reduce output (cluster id
+/// to updated centroid), used when iteration jobs commit their reduce
+/// partitions into a run journal.
+pub fn centroid_codec() -> SpillCodec<u32, GeoPoint> {
+    SpillCodec::new(
+        |k: &u32, v: &GeoPoint, out: &mut Vec<u8>| {
+            k.encode(out);
+            v.lat.encode(out);
+            v.lon.encode(out);
+        },
+        |input: &mut &[u8]| {
+            let k = u32::decode(input)?;
+            let lat = f64::decode(input)?;
+            let lon = f64::decode(input)?;
+            Some((k, GeoPoint::new(lat, lon)))
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,8 +21,10 @@
 //! lands mid-pipeline in exactly the same place every time.
 
 use crate::dfs::BlockId;
+use crate::hash::unit_hash;
 use crate::topology::NodeId;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One scripted failure.
@@ -54,6 +56,186 @@ pub enum ChaosEvent {
     },
 }
 
+/// One injected storage fault, as decided by an [`IoFaultPlan`] for a
+/// particular (site, attempt) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoFault {
+    /// The write (or read) fails with a transient EIO; retrying the same
+    /// site at a later attempt eventually succeeds.
+    TransientEio,
+    /// The disk is out of capacity for this payload (ENOSPC). Durable
+    /// until bytes are released or the payload shrinks.
+    DiskFull,
+    /// The write is acknowledged but only the first `keep_bytes` of the
+    /// full stream (payload + footer) actually reach the platter.
+    TornWrite {
+        /// Bytes of the full commit stream that survive.
+        keep_bytes: usize,
+    },
+    /// The write lands intact, then one byte at `offset` within the
+    /// payload flips at rest (silent media corruption).
+    BitRot {
+        /// Payload offset of the flipped byte.
+        offset: usize,
+    },
+}
+
+/// A deterministic storage-fault schedule injected beneath the spill and
+/// DFS write/read paths. Every decision is a pure function of
+/// `(seed, kind, site, attempt)` through [`unit_hash`], so a run with the
+/// same plan replays its faults bit-identically.
+///
+/// Faults are *guaranteed transient by construction*: torn writes and
+/// bit-rot fire only on attempt 0 of a site (a verified rewrite always
+/// heals), and transient EIOs stop firing once `attempt` reaches
+/// `max_eio_streak`. ENOSPC is the exception — it models real capacity:
+/// a write fails while `bytes_in_use + payload > disk_capacity`, and
+/// succeeds once space is released or the caller shrinks its footprint
+/// (e.g. by raising the spill budget so fewer bytes hit disk).
+#[derive(Debug, Clone)]
+pub struct IoFaultPlan {
+    seed: u64,
+    eio_prob: f64,
+    max_eio_streak: u32,
+    torn_prob: f64,
+    bitrot_prob: f64,
+    disk_capacity: Option<u64>,
+    /// Extra virtual seconds charged per MiB written (slow disk).
+    slow_s_per_mib: f64,
+    bytes_in_use: Arc<AtomicU64>,
+}
+
+impl IoFaultPlan {
+    /// A plan with every probability at zero; faults are opted into via
+    /// the builder methods.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            eio_prob: 0.0,
+            max_eio_streak: 2,
+            torn_prob: 0.0,
+            bitrot_prob: 0.0,
+            disk_capacity: None,
+            slow_s_per_mib: 0.0,
+            bytes_in_use: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Probability that a given (site, attempt) write or read fails with
+    /// a transient EIO (builder style; clamped to [0, 1]).
+    pub fn eio(mut self, prob: f64) -> Self {
+        self.eio_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Attempts past this index never draw an EIO, bounding every retry
+    /// loop (builder style; min 1).
+    pub fn eio_streak(mut self, max: u32) -> Self {
+        self.max_eio_streak = max.max(1);
+        self
+    }
+
+    /// Probability that a site's first write is torn (builder style).
+    pub fn torn(mut self, prob: f64) -> Self {
+        self.torn_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a site's first write bit-rots at rest
+    /// (builder style).
+    pub fn bitrot(mut self, prob: f64) -> Self {
+        self.bitrot_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Caps the virtual disk at `bytes`; committed writes charge it and
+    /// deletions release it (builder style).
+    pub fn disk_capacity(mut self, bytes: u64) -> Self {
+        self.disk_capacity = Some(bytes);
+        self
+    }
+
+    /// Charges `secs_per_mib` virtual seconds per MiB written — a slow,
+    /// failing disk (builder style).
+    pub fn slow(mut self, secs_per_mib: f64) -> Self {
+        self.slow_s_per_mib = secs_per_mib.max(0.0);
+        self
+    }
+
+    fn roll(&self, kind: &str, site: &str, attempt: u32) -> f64 {
+        unit_hash(&(self.seed, kind, site, attempt))
+    }
+
+    /// The fault (if any) injected into a commit of `payload_len` bytes
+    /// at `site`, on retry number `attempt`. Precedence: disk-full, then
+    /// torn write, then bit-rot (both first-attempt-only, so `torn(1.0)`
+    /// deterministically tears every site's first write), then transient
+    /// EIO.
+    pub fn write_fault(&self, site: &str, attempt: u32, payload_len: usize) -> Option<IoFault> {
+        if let Some(cap) = self.disk_capacity {
+            let used = self.bytes_in_use.load(Ordering::Relaxed);
+            if used.saturating_add(payload_len as u64) > cap {
+                return Some(IoFault::DiskFull);
+            }
+        }
+        if attempt == 0 && payload_len > 0 {
+            if self.roll("torn", site, 0) < self.torn_prob {
+                // Keep a hash-derived prefix of the full stream; the
+                // footer is 24 bytes so anything short of full length
+                // is structurally detectable.
+                let keep = (self.roll("torn-len", site, 0) * payload_len as f64) as usize;
+                return Some(IoFault::TornWrite { keep_bytes: keep });
+            }
+            if self.roll("rot", site, 0) < self.bitrot_prob {
+                let offset = (self.roll("rot-off", site, 0) * payload_len as f64) as usize;
+                return Some(IoFault::BitRot {
+                    offset: offset.min(payload_len - 1),
+                });
+            }
+        }
+        if attempt < self.max_eio_streak && self.roll("w-eio", site, attempt) < self.eio_prob {
+            return Some(IoFault::TransientEio);
+        }
+        None
+    }
+
+    /// The fault (if any) injected into a read at `site`, attempt
+    /// `attempt`. Reads only see transient EIOs — at-rest damage is
+    /// modeled on the write side.
+    pub fn read_fault(&self, site: &str, attempt: u32) -> Option<IoFault> {
+        if attempt < self.max_eio_streak && self.roll("r-eio", site, attempt) < self.eio_prob {
+            return Some(IoFault::TransientEio);
+        }
+        None
+    }
+
+    /// Records `bytes` as committed to the virtual disk.
+    pub fn charge(&self, bytes: u64) {
+        self.bytes_in_use.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Releases `bytes` of virtual disk (file deleted or spill dir
+    /// dropped).
+    pub fn release(&self, bytes: u64) {
+        let _ = self
+            .bytes_in_use
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+    }
+
+    /// Bytes currently charged against the virtual disk.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.bytes_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Virtual seconds a `bytes`-sized write costs on the (possibly
+    /// slow) disk.
+    pub fn slow_penalty_s(&self, bytes: u64) -> f64 {
+        self.slow_s_per_mib * bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
 /// A scripted, reproducible failure schedule plus the cluster's virtual
 /// clock. Cloning shares the clock (all handles see the same timeline),
 /// exactly like [`gepeto_telemetry::Recorder`] shares its event sink.
@@ -65,6 +247,7 @@ pub struct ChaosPlan {
     /// live node is never blacklisted.
     blacklist_after: u32,
     clock: Arc<Mutex<f64>>,
+    io: Option<IoFaultPlan>,
 }
 
 impl Default for ChaosPlan {
@@ -80,7 +263,27 @@ impl ChaosPlan {
             events: Vec::new(),
             blacklist_after: 3,
             clock: Arc::new(Mutex::new(0.0)),
+            io: None,
         }
+    }
+
+    /// Attaches a storage fault plan injected beneath the spill and DFS
+    /// IO paths (builder style).
+    pub fn io_faults(mut self, plan: IoFaultPlan) -> Self {
+        self.io = Some(plan);
+        self
+    }
+
+    /// The attached storage fault plan, if any.
+    pub fn io_plan(&self) -> Option<&IoFaultPlan> {
+        self.io.as_ref()
+    }
+
+    /// Whether storage faults are being injected (fast path check; the
+    /// verifying readers upgrade to deep checksum verification when
+    /// this is true).
+    pub fn io_active(&self) -> bool {
+        self.io.is_some()
     }
 
     /// Adds a node crash at virtual time `at_s` (builder style).
@@ -244,6 +447,52 @@ mod tests {
         assert_eq!(q.now(), 60.0);
         q.advance(-5.0); // negative advances ignored
         assert_eq!(p.now(), 60.0);
+    }
+
+    #[test]
+    fn io_faults_are_deterministic_and_transient() {
+        let p = IoFaultPlan::new(7).eio(0.5).torn(0.5).bitrot(0.5);
+        // Same (site, attempt) always draws the same fault.
+        for site in ["run-0", "run-1", "chunk-3"] {
+            assert_eq!(p.write_fault(site, 0, 1000), p.write_fault(site, 0, 1000));
+        }
+        // Past the EIO streak and attempt 0, nothing fires.
+        for site in ["a", "b", "c", "d", "e"] {
+            assert_eq!(p.write_fault(site, 2, 1000), None);
+            assert_eq!(p.read_fault(site, 2), None);
+        }
+        // Torn keeps strictly fewer bytes than the payload.
+        let mut saw_torn = false;
+        for i in 0..64 {
+            let site = format!("s{i}");
+            if let Some(IoFault::TornWrite { keep_bytes }) = p.write_fault(&site, 0, 1000) {
+                assert!(keep_bytes < 1000);
+                saw_torn = true;
+            }
+        }
+        assert!(saw_torn, "expected at least one torn write at p=0.5");
+    }
+
+    #[test]
+    fn disk_capacity_charges_and_releases() {
+        let p = IoFaultPlan::new(0).disk_capacity(1000);
+        assert_eq!(p.write_fault("x", 0, 800), None);
+        p.charge(800);
+        assert_eq!(p.write_fault("y", 0, 300), Some(IoFault::DiskFull));
+        p.release(600);
+        assert_eq!(p.bytes_in_use(), 200);
+        assert_eq!(p.write_fault("y", 1, 300), None);
+    }
+
+    #[test]
+    fn io_plan_rides_the_chaos_plan() {
+        let c = ChaosPlan::none();
+        assert!(!c.io_active());
+        let c = c.io_faults(IoFaultPlan::new(1).slow(2.0));
+        assert!(c.io_active());
+        assert!(!c.is_active(), "io faults do not imply node chaos");
+        let penalty = c.io_plan().unwrap().slow_penalty_s(1024 * 1024);
+        assert!((penalty - 2.0).abs() < 1e-9);
     }
 
     #[test]

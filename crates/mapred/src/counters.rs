@@ -72,6 +72,17 @@ pub mod builtin {
     /// Reduce groups whose value lists overflowed the memory budget and
     /// were staged on disk until their reduce call.
     pub const SPILLED_GROUPS: &str = gepeto_telemetry::SPILLED_GROUPS_COUNTER;
+    /// Storage operations retried after a transient injected IO fault
+    /// (EIO on write/read, or a rebuilt spill seal).
+    pub const IO_RETRIES: &str = gepeto_telemetry::IO_RETRIES_COUNTER;
+    /// Torn (partial) writes caught by commit-footer verification.
+    pub const TORN_WRITES: &str = gepeto_telemetry::TORN_WRITES_COUNTER;
+    /// Corrupt spill runs moved aside to `.quarantined` files instead of
+    /// being fed to a merge.
+    pub const RUNS_QUARANTINED: &str = gepeto_telemetry::RUNS_QUARANTINED_COUNTER;
+    /// Reduce tasks whose output was loaded from a committed artifact on
+    /// resume instead of re-executing.
+    pub const JOURNAL_REPLAYED: &str = gepeto_telemetry::JOURNAL_REPLAYED_COUNTER;
 }
 
 /// A concurrent set of named counters. Cloning shares the underlying

@@ -433,6 +433,20 @@ impl<T: Clone> Dfs<T> {
                 skipped += 1;
                 continue;
             }
+            // Injected transient read EIOs: the client retries the same
+            // healthy replica with exponential virtual-time backoff
+            // until the scripted streak passes (`max_eio_streak` bounds
+            // it, so a healthy replica never fails permanently).
+            if let Some(io) = chaos.io_plan() {
+                let site = format!("dfs-read-{id}-{n}");
+                let mut attempt = 0u32;
+                while io.read_fault(&site, attempt).is_some() {
+                    self.telemetry
+                        .count(gepeto_telemetry::IO_RETRIES_COUNTER, 1);
+                    chaos.advance(crate::commit::EIO_BACKOFF_S * f64::from(1u32 << attempt.min(6)));
+                    attempt += 1;
+                }
+            }
             self.telemetry.count("dfs.block.reads", 1);
             self.telemetry.observe("dfs.read.bytes", block.bytes as u64);
             if skipped > 0 {

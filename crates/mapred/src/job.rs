@@ -15,19 +15,23 @@
 
 use crate::api::{Combiner, Emitter, Mapper, MrKey, MrValue, Reducer, TaskContext};
 use crate::cache::DistributedCache;
+use crate::chaos::ChaosPlan;
+use crate::commit::{self, CommitError};
 use crate::config::JobConfig;
 use crate::counters::{builtin, phase, Counters};
 use crate::dfs::{Dfs, DfsError};
 use crate::hash::{default_partition, unit_hash, FnvBuildHasher};
+use crate::journal::{JournalEntry, RunJournal};
 use crate::sim::{simulate_chaos, MapTaskSim, ReduceTaskSim, SimError, SimReport};
 use crate::spill::{
-    write_run, PartitionInput, SpillCodec, SpillDir, SpillEncode, SpillRun, SpillSpec,
-    SpilledPartition,
+    load_artifact, quarantine_run, sanitize, seal_run, seal_run_at, verify_run, PartitionInput,
+    SealStats, SpillCodec, SpillDir, SpillEncode, SpillRun, SpillSpec, SpilledPartition,
 };
 use crate::topology::Cluster;
 use gepeto_telemetry::{Recorder, Span};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -88,11 +92,27 @@ pub enum JobError {
     ClusterDead,
     /// A spill file could not be written, read back, or decoded.
     Spill(String),
+    /// Storage IO failed persistently (transient EIO retries exhausted,
+    /// or a committed file stayed damaged through every rewrite) — the
+    /// storage-aware retry policy re-executes the producing tasks.
+    Io(String),
+    /// The disk ran out of space (ENOSPC) — retryable with a larger
+    /// memory budget, which shrinks the spill footprint.
+    DiskFull(String),
 }
 
 impl From<DfsError> for JobError {
     fn from(e: DfsError) -> Self {
         JobError::Dfs(e)
+    }
+}
+
+impl From<CommitError> for JobError {
+    fn from(e: CommitError) -> Self {
+        match e {
+            CommitError::DiskFull(m) => JobError::DiskFull(m),
+            other => JobError::Io(other.to_string()),
+        }
     }
 }
 
@@ -116,6 +136,8 @@ impl std::fmt::Display for JobError {
             } => write!(f, "{phase} task {task} failed after {attempts} attempts"),
             JobError::ClusterDead => write!(f, "no live worker node left to run tasks"),
             JobError::Spill(e) => write!(f, "shuffle spill failed: {e}"),
+            JobError::Io(e) => write!(f, "storage io failed: {e}"),
+            JobError::DiskFull(e) => write!(f, "disk full: {e}"),
         }
     }
 }
@@ -146,6 +168,15 @@ pub struct JobStats {
     pub failed_over_reads: u64,
     /// Nodes the jobtracker blacklisted after repeated task failures.
     pub blacklisted_nodes: u64,
+    /// Injected transient IO errors absorbed by commit retry loops.
+    pub io_retries: u64,
+    /// Torn writes caught by seal-time/read-time verification.
+    pub torn_writes_detected: u64,
+    /// Spill runs quarantined (torn or corrupt) and rewritten.
+    pub runs_quarantined: u64,
+    /// Reduce partitions loaded from committed journal artifacts
+    /// instead of being recomputed on resume.
+    pub journal_replayed_tasks: u64,
     /// Final counter values.
     pub counters: BTreeMap<String, u64>,
 }
@@ -184,6 +215,7 @@ type Partitioner<K> = Arc<dyn Fn(&K, usize) -> usize + Send + Sync>;
 pub struct MapReduceJob<'a, V1, M, R, C = NoCombiner>
 where
     M: Mapper<V1>,
+    R: Reducer<M::KOut, M::VOut>,
 {
     name: String,
     cluster: &'a Cluster,
@@ -199,6 +231,14 @@ where
     pair_bytes: Option<PairBytes<M::KOut, M::VOut>>,
     partitioner: Option<Partitioner<M::KOut>>,
     spill: Option<SpillSpec<M::KOut, M::VOut>>,
+    journal: Option<DurableSpec<R::KOut, R::VOut>>,
+}
+
+/// Journal-backed durability for a job's reduce outputs: where to log
+/// commits, and how to encode the output pairs into artifact files.
+struct DurableSpec<K, V> {
+    journal: Arc<RunJournal>,
+    codec: SpillCodec<K, V>,
 }
 
 impl<'a, V1, M, R> MapReduceJob<'a, V1, M, R, NoCombiner>
@@ -232,6 +272,7 @@ where
             pair_bytes: None,
             partitioner: None,
             spill: None,
+            journal: None,
         }
     }
 }
@@ -263,6 +304,7 @@ where
             pair_bytes: self.pair_bytes,
             partitioner: self.partitioner,
             spill: self.spill,
+            journal: self.journal,
         }
     }
 
@@ -343,6 +385,38 @@ where
         self
     }
 
+    /// Makes the job durable against the given run journal: every
+    /// reduce partition's output is committed to the run directory's
+    /// `partitions/` through the atomic commit protocol and journaled,
+    /// spill runs are journaled as they seal, and on resume a partition
+    /// whose committed artifact still verifies is loaded from disk
+    /// (bumping [`builtin::JOURNAL_REPLAYED`]) instead of recomputed.
+    ///
+    /// Job names must be unique within a run directory — an iterative
+    /// driver reusing one name across iterations would replay the wrong
+    /// iteration's artifact.
+    ///
+    /// Requires the reduce output pair to carry a derived codec; use
+    /// [`Self::durable_with`] for domain types without one.
+    pub fn durable(self, journal: Arc<RunJournal>) -> Self
+    where
+        R::KOut: SpillEncode,
+        R::VOut: SpillEncode,
+    {
+        self.durable_with(journal, SpillCodec::of())
+    }
+
+    /// Like [`Self::durable`], with an explicit codec for the reduce
+    /// output pairs.
+    pub fn durable_with(
+        mut self,
+        journal: Arc<RunJournal>,
+        codec: SpillCodec<R::KOut, R::VOut>,
+    ) -> Self {
+        self.journal = Some(DurableSpec { journal, codec });
+        self
+    }
+
     /// Overrides the partitioner (default: deterministic hash modulo the
     /// reducer count — Hadoop's `HashPartitioner`). `f(key, num_reducers)`
     /// must return a value `< num_reducers`.
@@ -396,6 +470,7 @@ where
             self.pair_bytes.as_ref(),
             self.partitioner.clone(),
             active_spill.as_ref(),
+            self.journal.as_ref().map(|d| d.journal.as_ref()),
         )?;
 
         // ---- shuffle: regroup per reduce partition, sort, group ----
@@ -416,12 +491,55 @@ where
         let reducer_clones: Vec<R> = (0..partition_bytes.len())
             .map(|_| self.reducer.clone())
             .collect();
+        let chaos = &self.cluster.chaos;
+        let durable = self.journal.as_ref();
+        let committed = durable
+            .map(|d| d.journal.committed_reduces(&self.name))
+            .unwrap_or_default();
         type ReduceResults<K, V> = Vec<Result<ReduceTaskOutput<K, V>, JobError>>;
         let reduce_results: ReduceResults<R::KOut, R::VOut> = partitions
             .into_par_iter()
             .zip(reducer_clones)
             .enumerate()
             .map(|(task_id, (payload, mut reducer))| {
+                // Resume fast path: a reduce partition whose committed
+                // artifact still passes a verifying read is loaded from
+                // disk instead of re-executed — no failure injection,
+                // no reducer run, bit-identical output by construction.
+                if let (Some(d), Some(art)) = (durable, committed.get(&task_id)) {
+                    let t0 = Instant::now();
+                    match load_artifact(&d.codec, &art.path, art.records as u64, art.checksum) {
+                        Ok(output) => {
+                            counters.inc(builtin::JOURNAL_REPLAYED, 1);
+                            counters.inc(builtin::REDUCE_OUTPUT_RECORDS, output.len() as u64);
+                            if let Some(m) = &monitor {
+                                m.add_journal_replayed(1);
+                                m.reduce_task_done();
+                            }
+                            self.telemetry.point(
+                                "task.reduce.replayed",
+                                task_id as f64,
+                                &[("job", &self.name)],
+                            );
+                            return Ok(ReduceTaskOutput {
+                                output,
+                                host_secs: t0.elapsed().as_secs_f64(),
+                                input_records: payload.records(),
+                                failed_attempts: Vec::new(),
+                            });
+                        }
+                        Err(_) => {
+                            // The artifact rotted at rest since commit:
+                            // quarantine it and fall through to a full
+                            // recompute, which recommits below.
+                            commit::quarantine(&art.path, chaos);
+                            counters.inc(builtin::RUNS_QUARANTINED, 1);
+                            if let Some(m) = &monitor {
+                                m.add_runs_quarantined(1);
+                            }
+                        }
+                    }
+                }
                 let fail = &self.cluster.failures;
                 let mut attempt = 1u32;
                 let mut failed_attempts = Vec::new();
@@ -506,6 +624,25 @@ where
                         }
                     }
                     PartitionInput::Spilled(sp) => {
+                        // Verifying read: every sealed run must still be
+                        // structurally intact before the merge trusts
+                        // its record count (seal time already
+                        // deep-verified the payload). A damaged run is
+                        // quarantined and the task fails with an IO
+                        // error, which the storage-aware retry loop
+                        // answers by re-executing the producing maps.
+                        for run in &sp.runs {
+                            if let Err(e) = verify_run(run, false) {
+                                quarantine_run(run, &sp.dir, chaos);
+                                counters.inc(builtin::RUNS_QUARANTINED, 1);
+                                if let Some(m) = &monitor {
+                                    m.add_runs_quarantined(1);
+                                }
+                                return Err(JobError::Io(format!(
+                                    "spill run failed verification: {e}"
+                                )));
+                            }
+                        }
                         // External k-way merge over the sorted runs:
                         // equal keys break toward the earlier run, which
                         // reproduces the stable sort of the in-memory
@@ -542,6 +679,26 @@ where
                 }
                 let output = out.into_pairs();
                 counters.inc(builtin::REDUCE_OUTPUT_RECORDS, output.len() as u64);
+                if let Some(d) = durable {
+                    // Commit this partition's output as a run-directory
+                    // artifact and journal it; a resumed run replays
+                    // from here instead of re-reducing.
+                    let art_path = d
+                        .journal
+                        .partitions_dir()
+                        .join(format!("{}-p{task_id}.part", sanitize(&self.name)));
+                    let (run, seal) = seal_run_at(&d.codec, &art_path, &output, chaos)?;
+                    note_seal_stats(&seal, &counters, &monitor);
+                    d.journal
+                        .append(&JournalEntry::ReduceCommit {
+                            job: self.name.clone(),
+                            partition: task_id,
+                            path: art_path.display().to_string(),
+                            records: output.len(),
+                            checksum: run.checksum,
+                        })
+                        .map_err(JobError::Io)?;
+                }
                 Ok(ReduceTaskOutput {
                     output,
                     host_secs,
@@ -686,6 +843,7 @@ where
             self.pair_bytes.as_ref(),
             None,
             None,
+            None,
         )?;
         let output = partitions
             .into_iter()
@@ -779,6 +937,10 @@ fn finish_stats(
         reexecuted_maps: mirror(builtin::REEXECUTED_MAPS),
         failed_over_reads: mirror(builtin::FAILED_OVER_READS),
         blacklisted_nodes: mirror(builtin::BLACKLISTED_NODES),
+        io_retries: mirror(builtin::IO_RETRIES),
+        torn_writes_detected: mirror(builtin::TORN_WRITES),
+        runs_quarantined: mirror(builtin::RUNS_QUARANTINED),
+        journal_replayed_tasks: mirror(builtin::JOURNAL_REPLAYED),
         sim,
         counters: counters_snapshot,
     }
@@ -824,6 +986,7 @@ fn run_map_phase<V1, M, C>(
     pair_bytes: Option<&PairBytes<M::KOut, M::VOut>>,
     partitioner: Option<Partitioner<M::KOut>>,
     spill: Option<&ActiveSpill<M::KOut, M::VOut>>,
+    journal: Option<&RunJournal>,
 ) -> Result<MapPhaseOutput<M::KOut, M::VOut>, JobError>
 where
     V1: MrValue,
@@ -1029,8 +1192,18 @@ where
                 mem_bytes[p] += r.bucket_bytes[p];
                 bufs[p].extend(bucket);
                 if mem_bytes[p] > sp.budget as u64 && !bufs[p].is_empty() {
-                    let dir = lazy_spill_dir(&mut spill_dir, job_name)?;
-                    runs[p].push(spill_buffer(&mut bufs[p], sp, &dir, counters, &monitor)?);
+                    let dir =
+                        lazy_spill_dir(&mut spill_dir, job_name, config, &cluster.chaos, journal)?;
+                    runs[p].push(spill_buffer(
+                        &mut bufs[p],
+                        sp,
+                        &dir,
+                        &cluster.chaos,
+                        journal,
+                        job_name,
+                        counters,
+                        &monitor,
+                    )?);
                     mem_bytes[p] = 0;
                 }
             }
@@ -1043,8 +1216,18 @@ where
                 // Once any run exists the whole partition merges from
                 // disk, so the in-memory tail becomes the final run.
                 if !buf.is_empty() {
-                    let dir = lazy_spill_dir(&mut spill_dir, job_name)?;
-                    partition_runs.push(spill_buffer(&mut buf, sp, &dir, counters, &monitor)?);
+                    let dir =
+                        lazy_spill_dir(&mut spill_dir, job_name, config, &cluster.chaos, journal)?;
+                    partition_runs.push(spill_buffer(
+                        &mut buf,
+                        sp,
+                        &dir,
+                        &cluster.chaos,
+                        journal,
+                        job_name,
+                        counters,
+                        &monitor,
+                    )?);
                 }
                 partitions.push(PartitionInput::Spilled(SpilledPartition {
                     runs: partition_runs,
@@ -1076,30 +1259,81 @@ where
     })
 }
 
-/// Creates the job's spill directory on first use.
+/// Creates the job's spill directory on first use. The root prefers the
+/// run directory's `spill/` (durable runs), then the `mapred.spill.dir`
+/// config key, then the OS temp dir; `mapred.run.id` namespaces the
+/// directory name so concurrent runs sharing a root never collide.
 fn lazy_spill_dir(
     slot: &mut Option<Arc<SpillDir>>,
     job_name: &str,
+    config: &JobConfig,
+    chaos: &ChaosPlan,
+    journal: Option<&RunJournal>,
 ) -> Result<Arc<SpillDir>, JobError> {
     if slot.is_none() {
+        let root = journal
+            .map(|j| j.spill_root())
+            .or_else(|| config.get("mapred.spill.dir").map(PathBuf::from))
+            .unwrap_or_else(std::env::temp_dir);
+        let run_id = config.get("mapred.run.id");
         *slot = Some(Arc::new(
-            SpillDir::create(job_name).map_err(JobError::Spill)?,
+            SpillDir::create_in(&root, job_name, run_id, chaos.io_plan().cloned())
+                .map_err(JobError::Spill)?,
         ));
     }
     Ok(Arc::clone(slot.as_ref().unwrap()))
 }
 
-/// Stably sorts one partition buffer, writes it out as a spill run, and
-/// accounts the spill in counters and the live monitor.
+/// Folds one seal's storage-fault tallies into the job counters and the
+/// live monitor.
+fn note_seal_stats(
+    seal: &SealStats,
+    counters: &Counters,
+    monitor: &Option<Arc<gepeto_telemetry::Monitor>>,
+) {
+    if seal.io_retries > 0 {
+        counters.inc(builtin::IO_RETRIES, seal.io_retries);
+    }
+    if seal.torn_detected > 0 {
+        counters.inc(builtin::TORN_WRITES, seal.torn_detected);
+    }
+    if seal.quarantined > 0 {
+        counters.inc(builtin::RUNS_QUARANTINED, seal.quarantined);
+    }
+    if let Some(m) = monitor {
+        m.add_io_retries(seal.io_retries);
+        m.add_torn_writes(seal.torn_detected);
+        m.add_runs_quarantined(seal.quarantined);
+    }
+}
+
+/// Stably sorts one partition buffer, seals it as a verified spill run
+/// (absorbing injected storage faults), journals the seal on durable
+/// runs, and accounts the spill in counters and the live monitor.
+#[allow(clippy::too_many_arguments)]
 fn spill_buffer<K: MrKey, V: MrValue>(
     buf: &mut Vec<(K, V)>,
     spill: &ActiveSpill<K, V>,
     dir: &SpillDir,
+    chaos: &ChaosPlan,
+    journal: Option<&RunJournal>,
+    job_name: &str,
     counters: &Counters,
     monitor: &Option<Arc<gepeto_telemetry::Monitor>>,
 ) -> Result<SpillRun, JobError> {
     buf.sort_by(|a, b| a.0.cmp(&b.0));
-    let run = write_run(&spill.codec, dir.next_file("run"), buf).map_err(JobError::Spill)?;
+    let (run, seal) = seal_run(&spill.codec, dir, "run", buf, chaos)?;
+    note_seal_stats(&seal, counters, monitor);
+    if let Some(j) = journal {
+        j.append(&JournalEntry::SpillSealed {
+            job: job_name.to_string(),
+            path: run.path.display().to_string(),
+            records: run.records as usize,
+            bytes: run.bytes as usize,
+            checksum: run.checksum,
+        })
+        .map_err(JobError::Io)?;
+    }
     buf.clear();
     buf.shrink_to_fit();
     counters.inc(builtin::SPILLED_BYTES, run.bytes);
@@ -1340,6 +1574,114 @@ mod tests {
             .unwrap();
         assert!(!result.stats.counters.contains_key(builtin::SPILL_FILES));
         assert_eq!(word_counts(&result)["a"], 4);
+    }
+
+    #[test]
+    fn spilled_shuffle_survives_injected_storage_faults() {
+        use crate::chaos::IoFaultPlan;
+        let clean_cluster = Cluster::local(3, 2);
+        let clean_dfs = word_dfs(&clean_cluster);
+        let expected = MapReduceJob::new(
+            "wc",
+            &clean_cluster,
+            &clean_dfs,
+            "words",
+            tokenizer(),
+            SumReducer,
+        )
+        .reducers(2)
+        .run()
+        .unwrap()
+        .output;
+
+        let cluster = Cluster::local(3, 2).with_chaos(
+            ChaosPlan::none().io_faults(IoFaultPlan::new(41).eio(0.4).torn(0.6).bitrot(0.3)),
+        );
+        let dfs = word_dfs(&cluster);
+        let faulty = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .memory_budget(1)
+            .run()
+            .unwrap();
+        assert_eq!(
+            faulty.output, expected,
+            "sealed spills must be bit-identical under fault injection"
+        );
+        assert!(
+            faulty.stats.io_retries + faulty.stats.torn_writes_detected > 0,
+            "fault plan must have fired at least once: {:?}",
+            faulty.stats.counters
+        );
+        assert_eq!(
+            faulty.stats.runs_quarantined,
+            faulty
+                .stats
+                .counters
+                .get(builtin::RUNS_QUARANTINED)
+                .copied()
+                .unwrap_or(0),
+        );
+    }
+
+    #[test]
+    fn durable_job_replays_committed_reduces_bit_identically() {
+        let run_dir =
+            std::env::temp_dir().join(format!("gepeto-durable-job-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&run_dir);
+        let journal = Arc::new(RunJournal::attach(&run_dir).unwrap());
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let first = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .durable(Arc::clone(&journal))
+            .run()
+            .unwrap();
+        assert_eq!(first.stats.journal_replayed_tasks, 0);
+        assert_eq!(journal.committed_reduces("wc").len(), 2);
+
+        // A second run against the same journal (what `resume` does
+        // after a kill) loads both partitions from their artifacts.
+        let second = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .durable(Arc::clone(&journal))
+            .run()
+            .unwrap();
+        assert_eq!(second.output, first.output);
+        assert_eq!(second.stats.journal_replayed_tasks, 2);
+        let _ = std::fs::remove_dir_all(&run_dir);
+    }
+
+    #[test]
+    fn durable_job_recomputes_a_rotted_artifact() {
+        let run_dir = std::env::temp_dir().join(format!(
+            "gepeto-rotted-artifact-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&run_dir);
+        let journal = Arc::new(RunJournal::attach(&run_dir).unwrap());
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let run = |j: &Arc<RunJournal>| {
+            MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+                .reducers(2)
+                .durable(Arc::clone(j))
+                .run()
+                .unwrap()
+        };
+        let first = run(&journal);
+        // Rot one committed artifact at rest: flip a payload byte.
+        let art = journal.committed_reduces("wc")[&0].path.clone();
+        let mut data = std::fs::read(&art).unwrap();
+        data[0] ^= 0x40;
+        std::fs::write(&art, &data).unwrap();
+        let second = run(&journal);
+        assert_eq!(second.output, first.output);
+        assert_eq!(
+            second.stats.journal_replayed_tasks, 1,
+            "only the intact partition replays"
+        );
+        assert!(second.stats.runs_quarantined >= 1);
+        let _ = std::fs::remove_dir_all(&run_dir);
     }
 
     /// Same arithmetic as [`SumReducer`], but declares it does not need

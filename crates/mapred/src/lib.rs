@@ -67,11 +67,13 @@
 pub mod api;
 pub mod cache;
 pub mod chaos;
+pub mod commit;
 pub mod config;
 pub mod counters;
 pub mod dfs;
 pub mod hash;
 pub mod job;
+pub mod journal;
 pub mod pipeline;
 pub mod recover;
 pub mod sim;
@@ -80,7 +82,8 @@ pub mod topology;
 
 pub use api::{Combiner, Emitter, FnMapper, Mapper, Reducer, TaskContext};
 pub use cache::DistributedCache;
-pub use chaos::{ChaosEvent, ChaosPlan};
+pub use chaos::{ChaosEvent, ChaosPlan, IoFault, IoFaultPlan};
+pub use commit::{CommitError, CommitReceipt};
 pub use config::JobConfig;
 pub use counters::Counters;
 pub use dfs::{BlockId, ChunkStream, Dfs, DfsError, RecordStream, RereplicationReport};
@@ -88,8 +91,9 @@ pub use job::{
     group_sorted, group_unsorted, FailurePlan, JobError, JobResult, JobStats, MapOnlyJob,
     MapReduceJob,
 };
+pub use journal::{JournalEntry, ReduceArtifact, RunJournal};
 pub use pipeline::PipelineReport;
-pub use recover::{run_with_recovery, RetryPolicy};
+pub use recover::{run_with_recovery, run_with_recovery_io, RetryPolicy, StorageAdvice};
 pub use sim::{Locality, SimParams, SimReport};
 pub use spill::{SpillCodec, SpillEncode};
 pub use topology::{Cluster, NodeId, Topology};

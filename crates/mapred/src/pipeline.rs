@@ -138,6 +138,10 @@ mod tests {
             reexecuted_maps: 2,
             failed_over_reads: 1,
             blacklisted_nodes: 0,
+            io_retries: 0,
+            torn_writes_detected: 0,
+            runs_quarantined: 0,
+            journal_replayed_tasks: 0,
             counters: BTreeMap::new(),
         }
     }

@@ -20,6 +20,8 @@
 //! [`crate::MapReduceJob::memory_budget_with`] without `mapred` needing
 //! to know their layout.
 
+use crate::chaos::{ChaosPlan, IoFaultPlan};
+use crate::commit::{self, CommitError};
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -187,6 +189,15 @@ impl<K: SpillEncode, V: SpillEncode> SpillCodec<K, V> {
 
 static NEXT_SPILL_DIR: AtomicU64 = AtomicU64::new(0);
 
+/// Maps an arbitrary tag (job or run name) onto a short filesystem-safe
+/// slug.
+pub(crate) fn sanitize(tag: &str) -> String {
+    tag.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .take(32)
+        .collect()
+}
+
 /// A per-job temporary directory holding spill runs, removed (with its
 /// contents) when the last handle drops — usually at the end of
 /// `run()`, or earlier if the job aborts, so failed attempts never leak
@@ -195,25 +206,49 @@ static NEXT_SPILL_DIR: AtomicU64 = AtomicU64::new(0);
 pub struct SpillDir {
     path: PathBuf,
     next_file: AtomicU64,
+    /// Payload bytes committed here and still charged against the
+    /// virtual disk; released on drop.
+    charged: AtomicU64,
+    io: Option<IoFaultPlan>,
 }
 
 impl SpillDir {
     /// Creates a fresh unique directory under the OS temp dir.
     pub fn create(job: &str) -> Result<Self, String> {
-        let tag: String = job
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-            .take(32)
-            .collect();
-        let path = std::env::temp_dir().join(format!(
-            "gepeto-spill-{tag}-{}-{}",
-            std::process::id(),
-            NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed),
-        ));
+        Self::create_in(&std::env::temp_dir(), job, None, None)
+    }
+
+    /// Creates a fresh spill directory under `root`, namespaced by an
+    /// optional per-run id (so concurrent runs sharing one tmpdir, or a
+    /// run directory's `spill/` root, never collide) and tied to the
+    /// virtual disk of `io` when storage faults are active.
+    pub fn create_in(
+        root: &Path,
+        job: &str,
+        run_id: Option<&str>,
+        io: Option<IoFaultPlan>,
+    ) -> Result<Self, String> {
+        let tag = sanitize(job);
+        let run = run_id.map(sanitize).filter(|r| !r.is_empty());
+        let name = match run {
+            Some(run) => format!(
+                "gepeto-spill-{run}-{tag}-{}-{}",
+                std::process::id(),
+                NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed),
+            ),
+            None => format!(
+                "gepeto-spill-{tag}-{}-{}",
+                std::process::id(),
+                NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed),
+            ),
+        };
+        let path = root.join(name);
         fs::create_dir_all(&path).map_err(|e| format!("create spill dir {path:?}: {e}"))?;
         Ok(Self {
             path,
             next_file: AtomicU64::new(0),
+            charged: AtomicU64::new(0),
+            io,
         })
     }
 
@@ -227,54 +262,248 @@ impl SpillDir {
         let n = self.next_file.fetch_add(1, Ordering::Relaxed);
         self.path.join(format!("{prefix}-{n}.spill"))
     }
+
+    fn note_commit(&self, payload_bytes: u64) {
+        self.charged.fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    fn note_release(&self, payload_bytes: u64) {
+        let _ = self
+            .charged
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(payload_bytes))
+            });
+    }
 }
 
 impl Drop for SpillDir {
     fn drop(&mut self) {
+        if let Some(io) = &self.io {
+            io.release(self.charged.load(Ordering::Relaxed));
+        }
         let _ = fs::remove_dir_all(&self.path);
     }
 }
 
 /// One sorted run on disk: a sequence of `u32`-length-prefixed encoded
-/// `(K, V)` records in ascending key order.
+/// `(K, V)` records in ascending key order, committed atomically with a
+/// checksum footer (see [`crate::commit`]).
 #[derive(Debug, Clone)]
 pub struct SpillRun {
     /// File holding the run (inside its job's [`SpillDir`]).
     pub path: PathBuf,
     /// Number of pairs in the run.
     pub records: u64,
-    /// Encoded size of the run in bytes (record payloads + prefixes).
+    /// Encoded size of the run in bytes (record payloads + prefixes;
+    /// excludes the commit footer).
     pub bytes: u64,
+    /// FNV-1a checksum of the record payload, as committed.
+    pub checksum: u64,
 }
 
-/// Writes an already-sorted pair slice as one spill run.
+/// Encodes an already-sorted pair slice into one length-prefixed record
+/// stream.
+fn encode_run<K, V>(codec: &SpillCodec<K, V>, pairs: &[(K, V)]) -> Result<Vec<u8>, String> {
+    let mut payload = Vec::with_capacity(pairs.len() * 16);
+    let mut buf = Vec::with_capacity(256);
+    for (k, v) in pairs {
+        buf.clear();
+        codec.encode(k, v, &mut buf);
+        let len = u32::try_from(buf.len()).map_err(|_| "spill record over 4 GiB".to_string())?;
+        payload.extend_from_slice(&len.to_le_bytes());
+        payload.extend_from_slice(&buf);
+    }
+    Ok(payload)
+}
+
+/// Writes an already-sorted pair slice as one spill run through the
+/// atomic commit protocol, without fault injection.
 pub fn write_run<K, V>(
     codec: &SpillCodec<K, V>,
     path: PathBuf,
     pairs: &[(K, V)],
 ) -> Result<SpillRun, String> {
-    let file = File::create(&path).map_err(|e| format!("create spill run {path:?}: {e}"))?;
-    let mut writer = BufWriter::new(file);
-    let mut buf = Vec::with_capacity(256);
-    let mut bytes = 0u64;
-    for (k, v) in pairs {
-        buf.clear();
-        codec.encode(k, v, &mut buf);
-        let len = u32::try_from(buf.len()).map_err(|_| "spill record over 4 GiB".to_string())?;
-        writer
-            .write_all(&len.to_le_bytes())
-            .and_then(|()| writer.write_all(&buf))
-            .map_err(|e| format!("write spill run {path:?}: {e}"))?;
-        bytes += 4 + buf.len() as u64;
+    write_run_committed(codec, path, pairs, 0, &ChaosPlan::none())
+        .map(|(run, _)| run)
+        .map_err(|e| e.to_string())
+}
+
+/// Writes an already-sorted pair slice as one committed spill run,
+/// injecting any storage faults the chaos plan scripts for this path at
+/// retry number `attempt`.
+///
+/// # Errors
+/// [`CommitError::DiskFull`] / [`CommitError::Io`] from the commit;
+/// injected torn writes and bit-rot do *not* error here — they are
+/// materialized into the file for [`verify_run`] to catch.
+#[allow(clippy::type_complexity)]
+pub fn write_run_committed<K, V>(
+    codec: &SpillCodec<K, V>,
+    path: PathBuf,
+    pairs: &[(K, V)],
+    attempt: u32,
+    chaos: &ChaosPlan,
+) -> Result<(SpillRun, commit::CommitReceipt), CommitError> {
+    let payload = encode_run(codec, pairs).map_err(CommitError::Io)?;
+    let site = path.display().to_string();
+    let receipt = commit::commit_bytes(&path, &payload, &site, attempt, chaos)?;
+    Ok((
+        SpillRun {
+            path,
+            records: pairs.len() as u64,
+            bytes: receipt.payload_bytes,
+            checksum: receipt.checksum,
+        },
+        receipt,
+    ))
+}
+
+/// Verifies a committed spill run: structural always (footer intact,
+/// length and checksum match what was sealed), plus a deep payload
+/// re-hash when `deep` is set (bit-rot defense while storage faults are
+/// active).
+///
+/// # Errors
+/// [`CommitError::Torn`] / [`CommitError::Corrupt`] / [`CommitError::Io`].
+pub fn verify_run(run: &SpillRun, deep: bool) -> Result<(), CommitError> {
+    let receipt = commit::verify_structure(&run.path)?;
+    if receipt.payload_bytes != run.bytes || receipt.checksum != run.checksum {
+        return Err(CommitError::Corrupt(format!(
+            "{}: footer ({} B, {:016x}) disagrees with sealed run ({} B, {:016x})",
+            run.path.display(),
+            receipt.payload_bytes,
+            receipt.checksum,
+            run.bytes,
+            run.checksum,
+        )));
     }
-    writer
-        .flush()
-        .map_err(|e| format!("flush spill run {path:?}: {e}"))?;
-    Ok(SpillRun {
-        path,
-        records: pairs.len() as u64,
-        bytes,
-    })
+    if deep {
+        commit::verify_deep(&run.path)?;
+    }
+    Ok(())
+}
+
+/// Moves a failed-verification run aside as `<path>.quarantined` and
+/// releases its virtual-disk charge.
+pub fn quarantine_run(run: &SpillRun, dir: &SpillDir, chaos: &ChaosPlan) -> Option<PathBuf> {
+    dir.note_release(run.bytes);
+    commit::quarantine(&run.path, chaos)
+}
+
+/// Tallies from sealing one verified spill run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealStats {
+    /// Injected transient EIOs absorbed by the commit retry loop.
+    pub io_retries: u64,
+    /// Torn writes caught by seal-time verification.
+    pub torn_detected: u64,
+    /// Runs quarantined (torn or corrupt) and rewritten.
+    pub quarantined: u64,
+}
+
+/// Rewrites a torn/corrupt run absorbs per seal before giving up.
+const MAX_SEAL_REBUILDS: u32 = 4;
+
+/// Writes, verifies, and (if damaged) quarantines-and-rewrites one
+/// spill run until it sits intact on disk — the buffer is still in
+/// memory, so a bad write costs a rewrite, never the job. Deep
+/// verification is enabled whenever storage faults are active.
+///
+/// # Errors
+/// [`CommitError::DiskFull`] / [`CommitError::Io`] when the disk is out
+/// of space, real IO fails, or rebuilds exceed [`MAX_SEAL_REBUILDS`].
+pub fn seal_run<K, V>(
+    codec: &SpillCodec<K, V>,
+    dir: &SpillDir,
+    prefix: &str,
+    pairs: &[(K, V)],
+    chaos: &ChaosPlan,
+) -> Result<(SpillRun, SealStats), CommitError> {
+    let (run, stats) = seal_at(codec, dir.next_file(prefix), pairs, chaos)?;
+    dir.note_commit(run.bytes);
+    Ok((run, stats))
+}
+
+/// Like [`seal_run`], at an explicit path outside any [`SpillDir`] —
+/// used for durable reduce-partition artifacts in a run directory. Any
+/// stale or damaged file already at the path (e.g. a partial write from
+/// a crashed run) is quarantined first, which also releases its
+/// virtual-disk charge so overwrites never leak accounting.
+pub fn seal_run_at<K, V>(
+    codec: &SpillCodec<K, V>,
+    path: &Path,
+    pairs: &[(K, V)],
+    chaos: &ChaosPlan,
+) -> Result<(SpillRun, SealStats), CommitError> {
+    if path.exists() {
+        commit::quarantine(path, chaos);
+    }
+    seal_at(codec, path.to_path_buf(), pairs, chaos)
+}
+
+fn seal_at<K, V>(
+    codec: &SpillCodec<K, V>,
+    path: PathBuf,
+    pairs: &[(K, V)],
+    chaos: &ChaosPlan,
+) -> Result<(SpillRun, SealStats), CommitError> {
+    let deep = chaos.io_active();
+    let mut stats = SealStats::default();
+    for attempt in 0..=MAX_SEAL_REBUILDS {
+        let (run, receipt) = write_run_committed(codec, path.clone(), pairs, attempt, chaos)?;
+        stats.io_retries += receipt.io_retries;
+        match verify_run(&run, deep) {
+            Ok(()) => return Ok((run, stats)),
+            Err(CommitError::Torn(_)) => {
+                stats.torn_detected += 1;
+                stats.quarantined += 1;
+                commit::quarantine(&run.path, chaos);
+            }
+            Err(CommitError::Corrupt(_)) => {
+                stats.quarantined += 1;
+                commit::quarantine(&run.path, chaos);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(CommitError::Io(format!(
+        "{}: run still damaged after {MAX_SEAL_REBUILDS} rewrites",
+        path.display()
+    )))
+}
+
+/// Reloads a committed artifact written by [`seal_run_at`], verifying
+/// structure, the expected checksum, and (always — this is a verifying
+/// read standing in for a full recompute) the deep payload hash before
+/// decoding. Pairs come back in their sealed order.
+pub fn load_artifact<K, V>(
+    codec: &SpillCodec<K, V>,
+    path: &Path,
+    records: u64,
+    checksum: u64,
+) -> Result<Vec<(K, V)>, CommitError> {
+    let receipt = commit::verify_structure(path)?;
+    if receipt.checksum != checksum {
+        return Err(CommitError::Corrupt(format!(
+            "{}: footer checksum {:016x} disagrees with journal {:016x}",
+            path.display(),
+            receipt.checksum,
+            checksum,
+        )));
+    }
+    commit::verify_deep(path)?;
+    let run = SpillRun {
+        path: path.to_path_buf(),
+        records,
+        bytes: receipt.payload_bytes,
+        checksum,
+    };
+    let mut reader = SpillRunReader::open(&run, codec.clone()).map_err(CommitError::Io)?;
+    let mut out = Vec::with_capacity(records as usize);
+    while let Some((k, v, _)) = reader.next_pair().map_err(CommitError::Io)? {
+        out.push((k, v));
+    }
+    Ok(out)
 }
 
 /// Streaming reader over one spill run, yielding pairs in file order
@@ -431,6 +660,7 @@ impl<K, V> GroupSpill<K, V> {
             path: path.clone(),
             records,
             bytes: 0,
+            checksum: 0,
         };
         let mut reader = SpillRunReader::open(&run, codec)?;
         let mut values = Vec::with_capacity(records as usize);
@@ -691,6 +921,84 @@ mod tests {
             }
         }
         assert!(err.unwrap().contains("read spill run"));
+    }
+
+    #[test]
+    fn sealed_run_survives_torn_writes_and_bitrot() {
+        use crate::chaos::ChaosPlan;
+        let chaos = ChaosPlan::none().io_faults(
+            crate::chaos::IoFaultPlan::new(13)
+                .eio(0.3)
+                .torn(1.0)
+                .bitrot(0.5),
+        );
+        let d = SpillDir::create_in(
+            &std::env::temp_dir(),
+            "seal-test",
+            Some("run7"),
+            chaos.io_plan().cloned(),
+        )
+        .unwrap();
+        assert!(d.path().to_string_lossy().contains("run7"));
+        let pairs: Vec<(String, u64)> = (0..200).map(|i| (format!("k{i:03}"), i)).collect();
+        let (run, stats) = seal_run(&codec(), &d, "run", &pairs, &chaos).unwrap();
+        assert!(
+            stats.torn_detected >= 1,
+            "torn=1.0 must tear the first write"
+        );
+        assert!(stats.quarantined >= 1);
+        verify_run(&run, true).unwrap();
+        let mut reader = SpillRunReader::open(&run, codec()).unwrap();
+        let mut got = Vec::new();
+        while let Some((k, v, _)) = reader.next_pair().unwrap() {
+            got.push((k, v));
+        }
+        assert_eq!(got, pairs, "sealed run is bit-identical to the buffer");
+    }
+
+    #[test]
+    fn verify_run_flags_post_seal_damage() {
+        use crate::chaos::ChaosPlan;
+        let d = dir();
+        let pairs: Vec<(String, u64)> = (0..20).map(|i| (format!("k{i}"), i)).collect();
+        let chaos = ChaosPlan::none();
+        let (run, _) = seal_run(&codec(), &d, "v", &pairs, &chaos).unwrap();
+        verify_run(&run, true).unwrap();
+        // Flip one payload byte at rest: structure passes, deep fails.
+        let mut data = fs::read(&run.path).unwrap();
+        data[10] ^= 0x01;
+        fs::write(&run.path, &data).unwrap();
+        verify_run(&run, false).unwrap();
+        assert!(matches!(
+            verify_run(&run, true),
+            Err(CommitError::Corrupt(_))
+        ));
+        let q = quarantine_run(&run, &d, &chaos).unwrap();
+        assert!(q.to_string_lossy().ends_with(".quarantined"));
+        assert!(!run.path.exists());
+    }
+
+    #[test]
+    fn artifact_seals_at_explicit_path_and_reloads() {
+        use crate::chaos::ChaosPlan;
+        let d = dir();
+        let path = d.path().join("wc-p0.part");
+        let chaos = ChaosPlan::none();
+        let pairs: Vec<(String, u64)> = (0..30).map(|i| (format!("k{i:02}"), i * 3)).collect();
+        let (run, _) = seal_run_at(&codec(), &path, &pairs, &chaos).unwrap();
+        let got = load_artifact(&codec(), &path, run.records, run.checksum).unwrap();
+        assert_eq!(got, pairs);
+        // Overwriting replaces the old artifact cleanly.
+        let newer: Vec<(String, u64)> = vec![("z".into(), 1)];
+        let (run2, _) = seal_run_at(&codec(), &path, &newer, &chaos).unwrap();
+        assert_ne!(run2.checksum, run.checksum);
+        let got2 = load_artifact(&codec(), &path, run2.records, run2.checksum).unwrap();
+        assert_eq!(got2, newer);
+        // A stale checksum (journal from a different seal) is rejected.
+        assert!(matches!(
+            load_artifact(&codec(), &path, run.records, run.checksum),
+            Err(CommitError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -57,9 +57,11 @@ pub use json::{event_to_json, write_jsonl};
 pub use monitor::{MetricsSnapshot, Monitor, Reporter};
 pub use summary::{
     PhaseStat, Straggler, SummaryReport, TaskStats, BLACKLISTED_NODES_COUNTER,
-    DISTANCE_EVALS_COUNTER, FAILED_OVER_READS_COUNTER, REEXECUTED_MAPS_COUNTER,
+    DISTANCE_EVALS_COUNTER, FAILED_OVER_READS_COUNTER, IO_RETRIES_COUNTER,
+    JOURNAL_REPLAYED_COUNTER, REEXECUTED_MAPS_COUNTER, RUNS_QUARANTINED_COUNTER,
     SHUFFLE_BYTES_COUNTER, SHUFFLE_BYTES_SAVED_COUNTER, SORT_SKIPPED_COUNTER,
     SPILLED_BYTES_COUNTER, SPILLED_GROUPS_COUNTER, SPILL_FILES_COUNTER, TASK_RETRIES_COUNTER,
+    TORN_WRITES_COUNTER,
 };
 pub use timeline::{NodeLane, Timeline};
 

@@ -46,6 +46,10 @@ pub struct Monitor {
     spilled_bytes: AtomicU64,
     spill_files: AtomicU64,
     spilled_groups: AtomicU64,
+    io_retries: AtomicU64,
+    torn_writes_detected: AtomicU64,
+    runs_quarantined: AtomicU64,
+    journal_replayed_tasks: AtomicU64,
     driver_iteration: AtomicU64,
     /// The driver's latest convergence delta, stored as `f64` bits.
     driver_delta_bits: AtomicU64,
@@ -156,6 +160,28 @@ impl Monitor {
         self.spilled_groups.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// `n` more IO operations were retried after a transient storage
+    /// fault.
+    pub fn add_io_retries(&self, n: u64) {
+        self.io_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` more torn (partial) writes were caught by commit verification.
+    pub fn add_torn_writes(&self, n: u64) {
+        self.torn_writes_detected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` more corrupt spill runs were quarantined.
+    pub fn add_runs_quarantined(&self, n: u64) {
+        self.runs_quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` more reduce tasks were replayed from committed artifacts
+    /// instead of re-executing.
+    pub fn add_journal_replayed(&self, n: u64) {
+        self.journal_replayed_tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The iterative driver finished an iteration with this delta.
     pub fn set_driver_progress(&self, iteration: u64, delta: f64) {
         self.driver_iteration.store(iteration, Ordering::Relaxed);
@@ -210,6 +236,10 @@ impl Monitor {
             spilled_bytes: load(&self.spilled_bytes),
             spill_files: load(&self.spill_files),
             spilled_groups: load(&self.spilled_groups),
+            io_retries: load(&self.io_retries),
+            torn_writes_detected: load(&self.torn_writes_detected),
+            runs_quarantined: load(&self.runs_quarantined),
+            journal_replayed_tasks: load(&self.journal_replayed_tasks),
             driver_iteration: load(&self.driver_iteration),
             driver_delta: f64::from_bits(load(&self.driver_delta_bits)),
             node_busy_s: self
@@ -267,6 +297,14 @@ pub struct MetricsSnapshot {
     pub spill_files: u64,
     /// Reduce groups whose values were spilled past the memory budget.
     pub spilled_groups: u64,
+    /// IO operations retried after transient storage faults.
+    pub io_retries: u64,
+    /// Torn (partial) writes caught by commit verification.
+    pub torn_writes_detected: u64,
+    /// Corrupt spill runs quarantined.
+    pub runs_quarantined: u64,
+    /// Reduce tasks replayed from committed artifacts on resume.
+    pub journal_replayed_tasks: u64,
     /// The driver's current iteration (0 before the first completes).
     pub driver_iteration: u64,
     /// The driver's latest convergence delta (NaN before the first).
@@ -443,6 +481,30 @@ impl MetricsSnapshot {
             "counter",
             "Reduce groups whose value lists spilled past the memory budget.",
             self.spilled_groups as f64,
+        );
+        metric(
+            "gepeto_io_retries_total",
+            "counter",
+            "IO operations retried after transient storage faults.",
+            self.io_retries as f64,
+        );
+        metric(
+            "gepeto_io_torn_writes_detected_total",
+            "counter",
+            "Torn (partial) writes caught by commit verification.",
+            self.torn_writes_detected as f64,
+        );
+        metric(
+            "gepeto_spill_runs_quarantined_total",
+            "counter",
+            "Corrupt spill runs quarantined by verifying reads.",
+            self.runs_quarantined as f64,
+        );
+        metric(
+            "gepeto_journal_replayed_tasks_total",
+            "counter",
+            "Reduce tasks replayed from committed artifacts on resume.",
+            self.journal_replayed_tasks as f64,
         );
         metric(
             "gepeto_jobs_running",
@@ -654,6 +716,10 @@ mod tests {
         m.add_spilled_bytes(8192);
         m.add_spill_files(3);
         m.add_spilled_groups(1);
+        m.add_io_retries(5);
+        m.add_torn_writes(2);
+        m.add_runs_quarantined(1);
+        m.add_journal_replayed(4);
         m.node_busy(0, 2.0);
         m.observe("task.map.us", 10);
         m.observe("task.map.us", 1000);
@@ -680,6 +746,19 @@ mod tests {
         );
         assert!(
             text.contains("gepeto_reduce_spilled_groups_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("gepeto_io_retries_total 5"), "{text}");
+        assert!(
+            text.contains("gepeto_io_torn_writes_detected_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_spill_runs_quarantined_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_journal_replayed_tasks_total 4"),
             "{text}"
         );
         assert!(

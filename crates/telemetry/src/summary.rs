@@ -39,6 +39,18 @@ pub const SPILL_FILES_COUNTER: &str = "shuffle.spill_files";
 /// Counter name the engine uses for reduce groups whose value list was
 /// spilled to disk because it exceeded the per-group memory budget.
 pub const SPILLED_GROUPS_COUNTER: &str = "reduce.spilled_groups";
+/// Counter name the engine uses for transient storage IO errors absorbed
+/// by commit retry loops (injected EIOs and simulated slow-disk stalls).
+pub const IO_RETRIES_COUNTER: &str = "io.retries";
+/// Counter name the engine uses for torn (partial) writes caught by
+/// commit-footer verification.
+pub const TORN_WRITES_COUNTER: &str = "io.torn_writes_detected";
+/// Counter name the engine uses for spill runs quarantined after failing
+/// verification (torn or corrupt) and rewritten from memory.
+pub const RUNS_QUARANTINED_COUNTER: &str = "spill.runs_quarantined";
+/// Counter name the engine uses for reduce tasks replayed from committed
+/// journal artifacts on `gepeto resume` instead of being recomputed.
+pub const JOURNAL_REPLAYED_COUNTER: &str = "journal.replayed_tasks";
 
 /// Wall time attributed to one phase (summed across repeats, e.g.
 /// k-means iterations each contributing a map phase).
@@ -111,6 +123,14 @@ pub struct SummaryReport {
     pub spill_files: u64,
     /// Reduce groups whose values were spilled past the memory budget.
     pub spilled_groups: u64,
+    /// Transient storage IO errors absorbed by commit retry loops.
+    pub io_retries: u64,
+    /// Torn writes caught by commit-footer verification.
+    pub torn_writes_detected: u64,
+    /// Spill runs quarantined after failing verification.
+    pub runs_quarantined: u64,
+    /// Reduce tasks replayed from committed journal artifacts on resume.
+    pub journal_replayed_tasks: u64,
     /// Every counter, sorted by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -218,6 +238,10 @@ impl SummaryReport {
             spilled_bytes: counter(SPILLED_BYTES_COUNTER).unwrap_or(0),
             spill_files: counter(SPILL_FILES_COUNTER).unwrap_or(0),
             spilled_groups: counter(SPILLED_GROUPS_COUNTER).unwrap_or(0),
+            io_retries: counter(IO_RETRIES_COUNTER).unwrap_or(0),
+            torn_writes_detected: counter(TORN_WRITES_COUNTER).unwrap_or(0),
+            runs_quarantined: counter(RUNS_QUARANTINED_COUNTER).unwrap_or(0),
+            journal_replayed_tasks: counter(JOURNAL_REPLAYED_COUNTER).unwrap_or(0),
             counters: counters.to_vec(),
         }
     }
@@ -296,6 +320,20 @@ impl SummaryReport {
         }
         if self.spilled_groups > 0 {
             let _ = writeln!(out, "spilled reduce groups: {}", self.spilled_groups);
+        }
+        if self.io_retries > 0 || self.torn_writes_detected > 0 || self.runs_quarantined > 0 {
+            let _ = writeln!(
+                out,
+                "storage: {} io retries, {} torn writes detected, {} runs quarantined",
+                self.io_retries, self.torn_writes_detected, self.runs_quarantined
+            );
+        }
+        if self.journal_replayed_tasks > 0 {
+            let _ = writeln!(
+                out,
+                "journal: {} reduce tasks replayed from committed artifacts",
+                self.journal_replayed_tasks
+            );
         }
         if self.distance_evals > 0 {
             let _ = writeln!(out, "distance evals: {}", self.distance_evals);
@@ -439,6 +477,29 @@ mod tests {
         // Jobs that never spilled stay silent.
         let empty = SummaryReport::from_events(&[], &[]).render();
         assert!(!empty.contains("spill"));
+    }
+
+    #[test]
+    fn storage_counters_surface_in_report() {
+        let counters = vec![
+            (IO_RETRIES_COUNTER.to_owned(), 7),
+            (TORN_WRITES_COUNTER.to_owned(), 2),
+            (RUNS_QUARANTINED_COUNTER.to_owned(), 3),
+            (JOURNAL_REPLAYED_COUNTER.to_owned(), 5),
+        ];
+        let report = SummaryReport::from_events(&[], &counters);
+        assert_eq!(report.io_retries, 7);
+        assert_eq!(report.torn_writes_detected, 2);
+        assert_eq!(report.runs_quarantined, 3);
+        assert_eq!(report.journal_replayed_tasks, 5);
+        let text = report.render();
+        assert!(text.contains("storage: 7 io retries, 2 torn writes detected, 3 runs quarantined"));
+        assert!(text.contains("journal: 5 reduce tasks replayed"));
+
+        // Fault-free runs stay silent.
+        let empty = SummaryReport::from_events(&[], &[]).render();
+        assert!(!empty.contains("storage:"));
+        assert!(!empty.contains("journal:"));
     }
 
     #[test]

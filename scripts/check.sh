@@ -53,6 +53,48 @@ echo "== spill smoke: out-of-core shuffle under a starvation budget =="
 grep -q '^gepeto_shuffle_spill_files_total [1-9]' target/bench-smoke/synth.prom
 grep -q '^gepeto_shuffle_spilled_bytes_total [1-9]' target/bench-smoke/synth.prom
 
+echo "== io-chaos smoke: storage faults repaired, counters exported =="
+# A spilling run under a storage-fault soup must still succeed, and the
+# repairs must show up in the Prometheus durability families.
+./target/release/gepeto synth --users 200 --chunk-mb 1 --memory-budget 1 \
+    --io-faults eio=0.3,torn=0.4,bitrot=0.2,seed=11 \
+    --prom-out target/bench-smoke/iochaos.prom --summary
+./target/release/gepeto-bench validate-prom target/bench-smoke/iochaos.prom
+grep -q '^gepeto_io_retries_total [0-9]' target/bench-smoke/iochaos.prom
+grep -q '^gepeto_io_torn_writes_detected_total [0-9]' target/bench-smoke/iochaos.prom
+grep -q '^gepeto_spill_runs_quarantined_total [0-9]' target/bench-smoke/iochaos.prom
+
+echo "== resume smoke: SIGKILL a durable run mid-flight, resume, diff =="
+# Two identical durable k-means runs; one is killed mid-shuffle and
+# resumed from its journal. Both OUTPUT artifacts must be byte-equal,
+# and the resumed run's exposition must carry the journal families.
+RESUME_A=target/bench-smoke/run-clean
+RESUME_B=target/bench-smoke/run-killed
+rm -rf "$RESUME_A" "$RESUME_B"
+KM_FLAGS=(--users 40 --scale 0.01 --k 5 --max-iter 40 --delta 0 --memory-budget 1)
+./target/release/gepeto kmeans "${KM_FLAGS[@]}" --run-dir "$RESUME_A"
+./target/release/gepeto kmeans "${KM_FLAGS[@]}" --run-dir "$RESUME_B" &
+VICTIM=$!
+# Kill once the journal shows committed progress (two sealed iterations).
+for _ in $(seq 1 3000); do
+    CHECKPOINTS=$(grep -c ' checkpoint ' "$RESUME_B/journal.log" 2>/dev/null || true)
+    if [ "${CHECKPOINTS:-0}" -ge 2 ]; then
+        break
+    fi
+    sleep 0.01
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+test ! -f "$RESUME_B/OUTPUT" # the kill landed before completion
+./target/release/gepeto resume "$RESUME_B" \
+    --prom-out target/bench-smoke/resume.prom
+cmp "$RESUME_A/OUTPUT" "$RESUME_B/OUTPUT"
+./target/release/gepeto resume "$RESUME_B" | grep -q 'already complete'
+./target/release/gepeto-bench validate-prom target/bench-smoke/resume.prom
+# Whether the in-flight iteration had committed partitions at kill time
+# is a race, so assert the family is exported, not a specific count.
+grep -q '^gepeto_journal_replayed_tasks_total [0-9]' target/bench-smoke/resume.prom
+
 echo "== live monitoring smoke: watch + exposition + flamegraph =="
 # A chaos k-means under the heartbeat reporter must leave a well-formed
 # Prometheus exposition and folded flamegraph stacks behind.

@@ -8,7 +8,7 @@
 use gepeto::prelude::*;
 use gepeto::sampling::{self, SamplingConfig, Technique};
 use gepeto_mapred::counters::builtin;
-use gepeto_mapred::{ChaosPlan, SimParams};
+use gepeto_mapred::{run_with_recovery_io, ChaosPlan, IoFaultPlan, RetryPolicy, SimParams};
 use gepeto_synth::SynthConfig;
 use gepeto_telemetry::Recorder;
 use proptest::prelude::*;
@@ -52,6 +52,23 @@ fn regroup(
     budget: Option<usize>,
 ) -> (Dataset, gepeto_mapred::JobStats) {
     let cluster = Cluster::local(4, 2);
+    let dfs = synth_dfs(&cluster, users, seed, 16 * 1024);
+    let cfg = SamplingConfig::new(window, Technique::ClosestToUpperLimit);
+    sampling::mapreduce_sample_by_user(&cluster, &dfs, "synth", &cfg, budget, &Recorder::disabled())
+        .unwrap()
+}
+
+/// The by-user regrouping shuffle with a storage-fault plan injected
+/// beneath the spill writer.
+fn regroup_chaos(
+    users: u64,
+    seed: u64,
+    window: i64,
+    budget: Option<usize>,
+    chaos: ChaosPlan,
+) -> (Dataset, gepeto_mapred::JobStats) {
+    let mut cluster = Cluster::local(4, 2).with_chaos(chaos);
+    cluster.sim = SimParams::unit_time();
     let dfs = synth_dfs(&cluster, users, seed, 16 * 1024);
     let cfg = SamplingConfig::new(window, Technique::ClosestToUpperLimit);
     sampling::mapreduce_sample_by_user(&cluster, &dfs, "synth", &cfg, budget, &Recorder::disabled())
@@ -151,6 +168,71 @@ fn crash_mid_spill_recovers_bit_identically() {
     );
 }
 
+/// Storage chaos: transient EIOs, torn writes, and bit-rot all firing
+/// under a starvation budget. The commit/verify/quarantine machinery
+/// must absorb every fault — the counters prove faults actually fired,
+/// and the merged output is still bit-identical to the calm spill run.
+#[test]
+fn spill_under_io_faults_is_bit_identical_and_counts_repairs() {
+    let (calm, _) = regroup(40, 7, 60, Some(1));
+    let plan = IoFaultPlan::new(13).eio(0.3).torn(0.4).bitrot(0.25);
+    let (faulted, stats) = regroup_chaos(40, 7, 60, Some(1), ChaosPlan::none().io_faults(plan));
+
+    let repairs = counter(&stats, builtin::IO_RETRIES)
+        + counter(&stats, builtin::TORN_WRITES)
+        + counter(&stats, builtin::RUNS_QUARANTINED);
+    assert!(
+        repairs > 0,
+        "fault plan was a no-op; raise the probabilities"
+    );
+    assert_eq!(
+        bits(&calm),
+        bits(&faulted),
+        "storage faults changed output bits"
+    );
+}
+
+/// ENOSPC degradation: a virtual disk too small for the starved run's
+/// spill footprint fails the job with `DiskFull`; the storage-aware
+/// recovery loop re-runs it with a grown memory budget that no longer
+/// needs the disk, and the output matches the unconstrained run's bits.
+#[test]
+fn enospc_recovers_by_growing_the_memory_budget() {
+    let (unconstrained, _) = regroup(20, 5, 60, None);
+
+    let chaos = ChaosPlan::none().io_faults(IoFaultPlan::new(1).disk_capacity(512));
+    let mut cluster = Cluster::local(4, 2).with_chaos(chaos);
+    cluster.sim = SimParams::unit_time();
+    let mut dfs = synth_dfs(&cluster, 20, 5, 16 * 1024);
+    let cfg = SamplingConfig::new(60, Technique::ClosestToUpperLimit);
+    let policy = RetryPolicy::none()
+        .io_retries(3)
+        .enospc_factor((64 * 1024 * 1024) as f64);
+    let ((sampled, _), resubmissions) = run_with_recovery_io(
+        "sampling-by-user",
+        &cluster,
+        &mut dfs,
+        &policy,
+        &Recorder::disabled(),
+        |_, dfs, advice| {
+            // 1 byte forces every partition out of core; after one
+            // ENOSPC the advised budget is large enough to spill nothing.
+            let budget = advice.scaled_budget(&policy, Some(1));
+            sampling::mapreduce_sample_by_user(
+                &cluster,
+                dfs,
+                "synth",
+                &cfg,
+                budget,
+                &Recorder::disabled(),
+            )
+        },
+    )
+    .unwrap();
+    assert!(resubmissions >= 1, "the 512-byte disk never filled up");
+    assert_eq!(bits(&unconstrained), bits(&sampled));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -167,5 +249,22 @@ proptest! {
         let (in_mem, _) = regroup(users, seed, window, None);
         let (spilled, _) = regroup(users, seed, window, Some(budget));
         prop_assert_eq!(bits(&in_mem), bits(&spilled));
+    }
+
+    /// Bit-identity also holds under arbitrary storage-fault plans:
+    /// whatever mix of transient EIOs, torn writes, and bit-rot a seed
+    /// produces, repaired spill runs merge to the same bytes.
+    #[test]
+    fn spill_equivalence_survives_arbitrary_io_faults(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        eio in 0.0f64..0.5,
+        torn in 0.0f64..0.6,
+        bitrot in 0.0f64..0.4,
+    ) {
+        let (calm, _) = regroup(8, seed, 60, Some(1));
+        let plan = IoFaultPlan::new(fault_seed).eio(eio).torn(torn).bitrot(bitrot);
+        let (faulted, _) = regroup_chaos(8, seed, 60, Some(1), ChaosPlan::none().io_faults(plan));
+        prop_assert_eq!(bits(&calm), bits(&faulted));
     }
 }
