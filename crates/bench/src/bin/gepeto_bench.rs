@@ -17,8 +17,11 @@
 //! (see DESIGN.md §6); `wall_ms` is the real host time and is the only
 //! machine-dependent metric — compare it across runs of the same box.
 
+use gepeto_bench::json::Json;
 use gepeto_bench::report::{compare_ignoring, BenchReport};
 use gepeto_bench::workloads::{run_workload, BenchConfig};
+use gepeto_telemetry::diff::{diff, profile_from_events, RunProfile};
+use gepeto_telemetry::Event;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -29,8 +32,10 @@ fn main() -> ExitCode {
     let result = match argv.first().map(String::as_str) {
         Some("run") => cmd_run(&argv[1..]),
         Some("compare") => cmd_compare(&argv[1..]),
+        Some("diff") => cmd_diff(&argv[1..]),
         Some("validate") => cmd_validate(&argv[1..]),
         Some("validate-prom") => cmd_validate_prom(&argv[1..]),
+        Some("validate-trace") => cmd_validate_trace(&argv[1..]),
         Some("--help") | Some("help") | None => {
             eprintln!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -51,16 +56,26 @@ const USAGE: &str = "usage:
                    [--users N] [--k N] [--max-iter N] [--out-dir DIR]
   gepeto-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
                        [--ignore METRIC[,METRIC...]]
+  gepeto-bench diff BASE CAND [--metrics BASE.jsonl,CAND.jsonl]
+                    [--json-out FILE.json]
   gepeto-bench validate FILE.json...
   gepeto-bench validate-prom FILE.prom...
+  gepeto-bench validate-trace FILE.json...
 
 run writes BENCH_<workload>.json per workload (scale from GEPETO_SCALE);
-compare exits 1 when any cost metric grew more than PCT percent (default 5);
+compare exits 1 when any cost metric grew more than PCT percent (default 5)
+and prints a perf-diff diagnosis of the regression;
 --ignore skips cost metrics by name or dotted prefix (e.g. wall_ms,task —
 use it against committed baselines, where host speed is not a regression);
+diff attributes the slowdown between two runs — each positional is either a
+bench report or a `--metrics-out` events JSONL (auto-detected), --metrics
+enriches both sides with event streams, --json-out also writes the report
+as machine-readable JSON;
 validate exits 1 when a file does not parse as the bench schema;
 validate-prom exits 1 when a file is not a well-formed Prometheus text
-exposition (as written by `gepeto ... --prom-out`).";
+exposition (as written by `gepeto ... --prom-out`);
+validate-trace exits 1 when a file is not a structurally sound Chrome
+trace-event export (as written by `gepeto ... --trace-out`).";
 
 /// Parsed `--key value` flags, in order of appearance.
 type Flags = Vec<(String, String)>;
@@ -185,8 +200,100 @@ fn cmd_compare(argv: &[String]) -> Result<ExitCode, String> {
         Ok(ExitCode::SUCCESS)
     } else {
         println!("{} metric(s) regressed", cmp.regressions.len());
+        // A failing gate ships its own diagnosis: attribute the delta.
+        print!(
+            "{}",
+            diff(
+                &baseline.profile(baseline_path),
+                &candidate.profile(candidate_path)
+            )
+            .render()
+        );
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// Parses a `--metrics-out` events JSONL stream.
+fn events_from_jsonl(text: &str, path: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", idx + 1))?;
+        let event = gepeto_telemetry::archive::event_from_json(&v)
+            .ok_or_else(|| format!("{path}:{}: not a telemetry event", idx + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Loads one side of a diff: a bench report or an events JSONL stream,
+/// auto-detected by trying the (whole-document) bench schema first.
+fn load_profile(path: &str) -> Result<RunProfile, String> {
+    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    if let Ok(report) = BenchReport::from_json(&text) {
+        return Ok(report.profile(path));
+    }
+    let events = events_from_jsonl(&text, path)?;
+    if events.is_empty() {
+        return Err(format!(
+            "{path}: neither a bench report nor a metrics JSONL stream"
+        ));
+    }
+    Ok(profile_from_events(path, &events))
+}
+
+/// Fills gaps in `profile` from an event-stream profile: headline times
+/// when missing, plus phases/counters/task cohorts it does not already
+/// carry. Existing (bench-report) figures always win on collision.
+fn enrich_profile(profile: &mut RunProfile, extra: RunProfile) {
+    if profile.wall_ms == 0 {
+        profile.wall_ms = extra.wall_ms;
+    }
+    if profile.makespan_s == 0.0 {
+        profile.makespan_s = extra.makespan_s;
+    }
+    for (name, v) in extra.phases {
+        if !profile.phases.iter().any(|(n, _)| *n == name) {
+            profile.phases.push((name, v));
+        }
+    }
+    for (name, v) in extra.counters {
+        if !profile.counters.iter().any(|(n, _)| *n == name) {
+            profile.counters.push((name, v));
+        }
+    }
+    profile.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    for t in extra.tasks {
+        if !profile.tasks.iter().any(|x| x.kind == t.kind) {
+            profile.tasks.push(t);
+        }
+    }
+}
+
+fn cmd_diff(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, flags) = split_args(argv)?;
+    let [base_path, cand_path] = positionals.as_slice() else {
+        return Err("diff needs exactly two files: BASE CAND".to_string());
+    };
+    let mut base = load_profile(base_path)?;
+    let mut cand = load_profile(cand_path)?;
+    if let Some(spec) = flag(&flags, "metrics") {
+        let paths: Vec<&str> = spec.split(',').filter(|s| !s.is_empty()).collect();
+        let [base_metrics, cand_metrics] = paths.as_slice() else {
+            return Err("--metrics needs two comma-separated files: BASE.jsonl,CAND.jsonl".into());
+        };
+        enrich_profile(&mut base, load_profile(base_metrics)?);
+        enrich_profile(&mut cand, load_profile(cand_metrics)?);
+    }
+    let report = diff(&base, &cand);
+    print!("{}", report.render());
+    if let Some(out) = flag(&flags, "json-out") {
+        std::fs::write(Path::new(out), report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_validate(argv: &[String]) -> Result<ExitCode, String> {
@@ -200,6 +307,39 @@ fn cmd_validate(argv: &[String]) -> Result<ExitCode, String> {
             Ok(report) => println!("{path}: ok ({}, schema {})", report.workload, report.schema),
             Err(e) => {
                 eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_validate_trace(argv: &[String]) -> Result<ExitCode, String> {
+    let (positionals, _flags) = split_args(argv)?;
+    if positionals.is_empty() {
+        return Err("validate-trace needs at least one file".to_string());
+    }
+    let mut failures = 0usize;
+    for path in &positionals {
+        let text = match std::fs::read_to_string(Path::new(path)) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match gepeto_bench::trace::validate(&text) {
+            Ok(report) => println!(
+                "{path}: ok ({} events, {} processes, {} lanes)",
+                report.events, report.processes, report.lanes
+            ),
+            Err(e) => {
+                eprintln!("{path}: {e}");
                 failures += 1;
             }
         }

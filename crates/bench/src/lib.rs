@@ -11,6 +11,7 @@
 
 pub mod prom;
 pub mod report;
+pub mod trace;
 pub mod workloads;
 
 /// The workspace-shared JSON toolkit (value type, parser, pretty

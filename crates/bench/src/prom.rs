@@ -296,6 +296,13 @@ fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, Stri
                         ));
                     }
                 },
+                c if (c as u32) < 0x20 => {
+                    return Err(format!(
+                        "line {lineno}: label '{key}' value contains an unescaped control \
+                         character (U+{:04X}) — exporters must escape with \\n or \\\\",
+                        c as u32
+                    ));
+                }
                 c => value.push(c),
             }
         }
@@ -404,6 +411,15 @@ gepeto_task_map_us_count 12
         assert!(err.contains("bad sample value"), "{err}");
         let err = validate("# TYPE g gauge\n9metric 1\n").unwrap_err();
         assert!(err.contains("expected a metric name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_raw_control_characters_in_label_values() {
+        let err = validate("# TYPE g gauge\ng{cmd=\"a\tb\"} 1\n").unwrap_err();
+        assert!(err.contains("unescaped control character"), "{err}");
+        // The escaped form of the same payload is fine.
+        let ok = validate("# TYPE g gauge\ng{cmd=\"a\\nb\"} 1\n").unwrap();
+        assert_eq!(ok.samples, 1);
     }
 
     #[test]

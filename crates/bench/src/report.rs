@@ -197,6 +197,33 @@ impl BenchReport {
         w.finish()
     }
 
+    /// Flattens this report into the diff engine's [`RunProfile`] so
+    /// `gepeto-bench diff` (and the compare gate's failure diagnosis)
+    /// can attribute deltas between two bench artifacts.
+    pub fn profile(&self, label: &str) -> gepeto_telemetry::RunProfile {
+        gepeto_telemetry::RunProfile {
+            label: label.to_string(),
+            wall_ms: self.wall_ms,
+            makespan_s: self.makespan_s,
+            phases: vec![
+                ("map".to_string(), self.map_phase_s),
+                ("reduce".to_string(), self.reduce_phase_s),
+            ],
+            counters: self.counters.clone(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| gepeto_telemetry::TaskCohort {
+                    kind: t.kind.clone(),
+                    count: t.count,
+                    p50_us: t.p50_us,
+                    p95_us: t.p95_us,
+                    max_us: t.max_us,
+                })
+                .collect(),
+        }
+    }
+
     /// Parses and validates a bench file; errors name the missing or
     /// ill-typed field.
     pub fn from_json(text: &str) -> Result<Self, String> {
@@ -594,6 +621,18 @@ mod tests {
         assert_eq!(cmp.regressions[0].metric, "makespan_s");
         // Without the ignore list all three are regressions.
         assert_eq!(compare(&a, &b, 5.0).regressions.len(), 3);
+    }
+
+    #[test]
+    fn profile_flattens_report_and_self_diff_is_clean() {
+        let a = sample_report();
+        let p = a.profile("base");
+        assert_eq!(p.wall_ms, a.wall_ms);
+        assert_eq!(p.makespan_s, a.makespan_s);
+        assert_eq!(p.phases[0], ("map".to_string(), a.map_phase_s));
+        let d = gepeto_telemetry::diff::diff(&p, &a.profile("cand"));
+        assert!(d.causes.is_empty());
+        assert!(d.render().contains("no significant delta"));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Structural validation for Chrome trace-event (Perfetto) JSON files.
+//!
+//! The `--trace-out` flag of the `gepeto` CLI exports a run's span tree
+//! and virtual-cluster timeline in the Chrome `trace_event` format.
+//! This module checks such a file without a browser: every event must
+//! carry a known phase, duration events must be well-formed, and
+//! `B`/`E` pairs must nest with stack discipline per `(pid, tid)` lane.
+//! `gepeto-bench validate-trace` and `scripts/check.sh` use it as a
+//! smoke gate so a malformed export fails CI instead of silently
+//! rendering as garbage in ui.perfetto.dev.
+
+use crate::json::Json;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of a successfully validated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Total trace events (metadata included).
+    pub events: usize,
+    /// Distinct process ids.
+    pub processes: usize,
+    /// Distinct `(pid, tid)` lanes carrying non-metadata events.
+    pub lanes: usize,
+    /// Thread names declared by `M`/`thread_name` metadata, sorted.
+    pub thread_names: Vec<String>,
+}
+
+/// Validates a Chrome trace-event JSON document.
+///
+/// Accepts either the object form (`{"traceEvents": [...]}`) or a bare
+/// event array. Returns a [`TraceReport`] when the document is
+/// well-formed, or a human-readable description of the first problem:
+///
+/// - every event is an object with a known `ph` and a string `name`;
+/// - non-metadata events carry numeric `ts`, `pid` and `tid`;
+/// - `X` events carry a non-negative `dur`;
+/// - `B`/`E` events balance with stack discipline per `(pid, tid)`,
+///   and each `E` matches the name of the `B` it closes;
+/// - `C` events carry an `args` object with the counter series;
+/// - `M` events are `process_name`/`thread_name` records with a `pid`.
+pub fn validate(text: &str) -> Result<TraceReport, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match doc.get("traceEvents") {
+        Some(arr) => arr
+            .as_arr()
+            .ok_or_else(|| "'traceEvents' is not an array".to_string())?,
+        None => doc.as_arr().ok_or_else(|| {
+            "top level is neither an object with 'traceEvents' nor an array".to_string()
+        })?,
+    };
+
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
+    let mut lanes: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut thread_names: BTreeSet<String> = BTreeSet::new();
+    // Open B spans per (pid, tid), as a name stack.
+    let mut open: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let at = |msg: String| format!("event {i}: {msg}");
+        if e.as_obj().is_none() {
+            return Err(at("not an object".into()));
+        }
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing 'ph'".into()))?;
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at(format!("ph={ph} event has no string 'name'")))?;
+        if ph == "M" {
+            let pid = e
+                .get("pid")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| at("metadata event has no 'pid'".into()))?;
+            pids.insert(pid);
+            if !matches!(name, "process_name" | "thread_name") {
+                return Err(at(format!("unknown metadata record '{name}'")));
+            }
+            let label = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .ok_or_else(|| at(format!("{name} metadata has no args.name string")))?;
+            if name == "thread_name" {
+                thread_names.insert(label.to_string());
+            }
+            continue;
+        }
+        if !matches!(ph, "X" | "B" | "E" | "i" | "I" | "C") {
+            return Err(at(format!("unknown phase '{ph}'")));
+        }
+        let num = |key: &str| {
+            e.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| at(format!("ph={ph} '{name}' has no numeric '{key}'")))
+        };
+        num("ts")?;
+        let pid = num("pid")? as u64;
+        let tid = num("tid")? as u64;
+        pids.insert(pid);
+        lanes.insert((pid, tid));
+        match ph {
+            "X" => {
+                let dur = num("dur")?;
+                if dur < 0.0 {
+                    return Err(at(format!("X '{name}' has negative dur {dur}")));
+                }
+            }
+            "B" => open.entry((pid, tid)).or_default().push(name.to_string()),
+            "E" => {
+                let stack = open.entry((pid, tid)).or_default();
+                let opened = stack.pop().ok_or_else(|| {
+                    at(format!("E '{name}' on pid {pid} tid {tid} closes nothing"))
+                })?;
+                if opened != name {
+                    return Err(at(format!(
+                        "E '{name}' closes B '{opened}' on pid {pid} tid {tid} — \
+                         span stack discipline violated"
+                    )));
+                }
+            }
+            "C" if e.get("args").and_then(Json::as_obj).is_none() => {
+                return Err(at(format!("C '{name}' has no args object")));
+            }
+            _ => {}
+        }
+    }
+
+    for ((pid, tid), stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "B '{name}' on pid {pid} tid {tid} is never closed ({} open span{})",
+                stack.len(),
+                if stack.len() == 1 { "" } else { "s" }
+            ));
+        }
+    }
+
+    Ok(TraceReport {
+        events: events.len(),
+        processes: pids.len(),
+        lanes: lanes.len(),
+        thread_names: thread_names.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"traceEvents":[
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"host"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"attempt 0"}},
+{"name":"job","ph":"B","ts":0,"pid":1,"tid":1},
+{"name":"phase.map","ph":"B","ts":10,"pid":1,"tid":1},
+{"name":"phase.map","ph":"E","ts":400,"pid":1,"tid":1},
+{"name":"job","ph":"E","ts":500,"pid":1,"tid":1},
+{"name":"map","ph":"X","ts":5,"dur":90,"pid":2,"tid":3,"args":{"task":"0"}},
+{"name":"chaos.crash","ph":"i","ts":60,"pid":2,"tid":3,"s":"t"},
+{"name":"io.retries","ph":"C","ts":500,"pid":1,"tid":1,"args":{"io.retries":3}}
+],"displayTimeUnit":"ms"}
+"#;
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let r = validate(GOOD).unwrap();
+        assert_eq!(r.events, 9);
+        assert_eq!(r.processes, 2);
+        assert!(r.lanes >= 2);
+        assert_eq!(r.thread_names, vec!["attempt 0"]);
+    }
+
+    #[test]
+    fn accepts_a_bare_event_array() {
+        let r = validate(r#"[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]"#).unwrap();
+        assert_eq!(r.events, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_misnested_spans() {
+        let err = validate(r#"[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]"#).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+        let err = validate(
+            r#"[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},
+                {"name":"b","ph":"E","ts":1,"pid":1,"tid":1}]"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("stack discipline"), "{err}");
+        let err = validate(r#"[{"name":"a","ph":"E","ts":0,"pid":1,"tid":1}]"#).unwrap_err();
+        assert!(err.contains("closes nothing"), "{err}");
+        // Same names on different lanes do not interfere.
+        validate(
+            r#"[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},
+                {"name":"a","ph":"B","ts":0,"pid":1,"tid":2},
+                {"name":"a","ph":"E","ts":1,"pid":1,"tid":2},
+                {"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        let err = validate("not json").unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+        let err = validate(r#"{"traceEvents":{}}"#).unwrap_err();
+        assert!(err.contains("not an array"), "{err}");
+        let err = validate(r#"[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]"#).unwrap_err();
+        assert!(err.contains("unknown phase"), "{err}");
+        let err = validate(r#"[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]"#).unwrap_err();
+        assert!(err.contains("no numeric 'dur'"), "{err}");
+        let err =
+            validate(r#"[{"name":"x","ph":"X","ts":0,"dur":-5,"pid":1,"tid":1}]"#).unwrap_err();
+        assert!(err.contains("negative dur"), "{err}");
+        let err = validate(r#"[{"ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]"#).unwrap_err();
+        assert!(err.contains("no string 'name'"), "{err}");
+        let err = validate(r#"[{"name":"c","ph":"C","ts":0,"pid":1,"tid":1}]"#).unwrap_err();
+        assert!(err.contains("no args object"), "{err}");
+    }
+
+    #[test]
+    fn validates_the_live_exporter_output() {
+        // End-to-end: the telemetry exporter's own output must pass.
+        let recorder = gepeto_telemetry::Recorder::enabled();
+        {
+            let job = recorder.span("job", &[]);
+            let _phase = job.child("phase.map", &[]);
+        }
+        let text = gepeto_telemetry::write_chrome_trace(&recorder.events());
+        let r = validate(&text).unwrap();
+        assert!(r.events >= 4, "{r:?}");
+        assert!(r.thread_names.iter().any(|t| t.contains("attempt 0")));
+    }
+}

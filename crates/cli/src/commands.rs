@@ -60,7 +60,10 @@ the telemetry event stream (phase spans, per-task durations with locality
 tags, counters) as JSON Lines and prints a run summary table; --summary
 prints the summary table to stderr; --explain prints the critical-path
 report (host span chain + virtual-cluster makespan attribution) and the
-per-node ASCII Gantt timeline to stderr.
+per-node ASCII Gantt timeline to stderr; --trace-out PATH.json exports
+the host span tree and the virtual-cluster schedule (sched.*, chaos.*,
+IO-fault and spill events) as a Chrome trace-event file — open it in
+ui.perfetto.dev, or gate it with 'gepeto-bench validate-trace'.
 Live monitoring (sample, kmeans, djcluster): --watch[=SECS] prints a
 jobtracker-style heartbeat line (task progress, shuffle bytes, recovery
 counters, per-node busy time) to stderr every SECS seconds (default 2);
@@ -82,6 +85,11 @@ Durability (sample, kmeans, synth): --run-dir DIR journals the run into
 DIR (write-ahead journal.log, committed reduce partitions, MANIFEST,
 OUTPUT artifact); 'gepeto resume DIR' finishes a killed run
 bit-identically, replaying committed work instead of re-executing it.
+With any observability flag, every attempt also streams its telemetry
+to DIR/telemetry/attempt-NNN.jsonl; the post-hoc artifacts
+(--metrics-out, --folded-out, --trace-out) are then stitched across all
+attempts of the run — pre-kill work, replayed partitions and re-executed
+tasks show up as distinct attempt lanes of one causal timeline.
 Exit codes: 0 success, 1 usage/environment error, 3 job failed after
 exhausting retries (artifacts still flushed), 4 driver panic.
 ";
@@ -321,19 +329,68 @@ fn dfs_with(args: &Args, cluster: &Cluster, ds: &Dataset) -> Result<Dfs<Mobility
 /// Builds the run's [`Recorder`]: a monitored recorder (event stream +
 /// live progress registry) when a live flag (`--watch`, `--prom-out`)
 /// is given, a plain recording one for the post-hoc flags
-/// (`--metrics-out`, `--summary`, `--explain`, `--folded-out`), and a
-/// no-op handle otherwise.
+/// (`--metrics-out`, `--summary`, `--explain`, `--folded-out`,
+/// `--trace-out`) and for journaled runs (`--run-dir` archives every
+/// attempt's telemetry for resume stitching), and a no-op handle
+/// otherwise.
 fn recorder_from(args: &Args) -> Recorder {
     if args.get("watch").is_some() || args.get("prom-out").is_some() {
         Recorder::monitored()
     } else if args.get("metrics-out").is_some()
         || args.get("folded-out").is_some()
+        || args.get("trace-out").is_some()
+        || args.get("run-dir").is_some()
         || args.get_flag("summary")
         || args.get_flag("explain")
     {
         Recorder::enabled()
     } else {
         Recorder::disabled()
+    }
+}
+
+/// Starts the per-attempt telemetry segment flusher under
+/// `<run-dir>/telemetry/` and journals its provenance, so a later
+/// resume can stitch every attempt into one causal trace. Archive
+/// failures degrade to a warning — observability must never kill a
+/// durable run.
+fn start_archive(args: &Args, rec: &Recorder) -> Option<gepeto_telemetry::ArchiveWriter> {
+    use gepeto_telemetry::archive;
+    let dir = PathBuf::from(args.get("run-dir")?);
+    if !rec.is_enabled() {
+        return None;
+    }
+    let (attempt, path) = match archive::next_segment_path(&dir) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "telemetry archive: {}: {e} (continuing without)",
+                dir.display()
+            );
+            return None;
+        }
+    };
+    if let Ok(run_id) = archive::ensure_run_id(&dir) {
+        if let Some(monitor) = rec.monitor() {
+            let argv: Vec<String> = std::env::args().skip(1).collect();
+            monitor.set_run_info(&run_id, &argv.join(" "));
+        }
+    }
+    if let Ok(journal) = RunJournal::attach(&dir) {
+        let _ = journal.append(&JournalEntry::TelemetrySegment {
+            attempt,
+            path: path.display().to_string(),
+        });
+    }
+    match gepeto_telemetry::ArchiveWriter::start(rec.clone(), path, Duration::from_millis(200)) {
+        Ok(writer) => Some(writer),
+        Err(e) => {
+            eprintln!(
+                "telemetry archive: {}: {e} (continuing without)",
+                dir.display()
+            );
+            None
+        }
     }
 }
 
@@ -379,6 +436,7 @@ fn reporter_from(args: &Args, rec: &Recorder) -> Result<Option<Reporter>, String
 /// run still leaves its event stream and flamegraph behind.
 fn observed(args: &Args, body: impl FnOnce(&Recorder) -> Result<(), String>) -> Result<(), String> {
     let rec = recorder_from(args);
+    let archive = start_archive(args, &rec);
     let reporter = reporter_from(args, &rec)?;
     // A panicking driver must still leave its artifacts behind, exactly
     // like an aborting one — flush, then let `main` map the resumed
@@ -386,6 +444,11 @@ fn observed(args: &Args, body: impl FnOnce(&Recorder) -> Result<(), String>) -> 
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&rec)));
     if let Some(reporter) = reporter {
         reporter.stop();
+    }
+    // Seal this attempt's segment before the post-hoc artifacts read the
+    // archive back — they stitch across every sealed attempt.
+    if let Some(archive) = archive {
+        archive.stop();
     }
     let artifacts = finish_metrics(args, &rec);
     match result {
@@ -397,12 +460,35 @@ fn observed(args: &Args, body: impl FnOnce(&Recorder) -> Result<(), String>) -> 
 /// Emits the run's observability outputs: the JSONL event stream plus a
 /// summary table for `--metrics-out`, the summary table on stderr for
 /// `--summary`, the critical-path + timeline reports on stderr for
-/// `--explain`, and collapsed flamegraph stacks for `--folded-out`.
+/// `--explain`, collapsed flamegraph stacks for `--folded-out`, and a
+/// Chrome trace-event export for `--trace-out`.
+///
+/// Under `--run-dir` the event-stream artifacts (`--metrics-out`,
+/// `--folded-out`, `--trace-out`) are built from the *stitched* archive
+/// — every attempt of the run, rebased into one causal timeline — while
+/// `--summary`/`--explain` keep describing the attempt that just ran.
 fn finish_metrics(args: &Args, rec: &Recorder) -> Result<(), String> {
+    // The stream feeding the file artifacts: the stitched cross-attempt
+    // archive when one exists, else this process's live events with the
+    // final counter totals appended (segments already carry theirs).
+    let segments = args
+        .get("run-dir")
+        .map(|dir| gepeto_telemetry::load_segments(std::path::Path::new(dir)))
+        .unwrap_or_default();
+    let attempts = segments.len();
+    let events = if segments.is_empty() {
+        let mut events = rec.events();
+        let max_ts = events.iter().map(|e| e.ts_us).max().unwrap_or(0);
+        events.extend(gepeto_telemetry::counter_events(&rec.counters(), max_ts));
+        events
+    } else {
+        gepeto_telemetry::stitch(&segments)
+    };
     if let Some(path) = args.get("folded-out") {
-        std::fs::write(path, rec.host_folded()).map_err(|e| format!("--folded-out {path}: {e}"))?;
+        std::fs::write(path, gepeto_telemetry::host_folded(&events))
+            .map_err(|e| format!("--folded-out {path}: {e}"))?;
         let mut written = format!("flamegraph: host stacks -> {path}");
-        if let Some(virtual_stacks) = rec.virtual_folded() {
+        if let Some(virtual_stacks) = gepeto_telemetry::virtual_folded(&events) {
             let vpath = format!("{path}.virtual");
             std::fs::write(&vpath, virtual_stacks)
                 .map_err(|e| format!("--folded-out {vpath}: {e}"))?;
@@ -410,13 +496,26 @@ fn finish_metrics(args: &Args, rec: &Recorder) -> Result<(), String> {
         }
         eprintln!("{written}");
     }
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, gepeto_telemetry::write_chrome_trace(&events))
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+        eprintln!(
+            "trace: {} events{} -> {path} (open in ui.perfetto.dev)",
+            events.len(),
+            if attempts > 1 {
+                format!(", stitched across {attempts} attempts")
+            } else {
+                String::new()
+            }
+        );
+    }
     if let Some(path) = args.get("metrics-out") {
         let file = std::fs::File::create(path).map_err(|e| format!("--metrics-out {path}: {e}"))?;
         let mut writer = std::io::BufWriter::new(file);
-        rec.write_jsonl(&mut writer)
+        gepeto_telemetry::write_jsonl(&mut writer, &events)
             .map_err(|e| format!("--metrics-out {path}: {e}"))?;
         println!("\n{}", rec.summary().render());
-        println!("telemetry: {} events written to {path}", rec.events().len());
+        println!("telemetry: {} events written to {path}", events.len());
     }
     if args.get_flag("summary") {
         eprintln!("{}", rec.summary().render());

@@ -74,6 +74,9 @@ pub struct CommitReceipt {
     pub checksum: u64,
     /// Injected transient EIOs absorbed before the write stuck.
     pub io_retries: u64,
+    /// Virtual milliseconds this commit stalled on storage: EIO retry
+    /// backoff plus the configured slow-disk write penalty.
+    pub stall_ms: u64,
 }
 
 /// FNV-1a over raw bytes (byte-stream flavor of [`crate::fnv_hash`]).
@@ -121,6 +124,7 @@ pub fn commit_bytes(
     let checksum = fnv_bytes(payload);
     let io = chaos.io_plan();
     let mut io_retries = 0u64;
+    let mut stall_ms = 0u64;
     let mut try_no = attempt;
     let fault = loop {
         match io.and_then(|p| p.write_fault(site, try_no, payload.len())) {
@@ -132,7 +136,9 @@ pub fn commit_bytes(
                         path.display()
                     )));
                 }
-                chaos.advance(EIO_BACKOFF_S * f64::from(1u32 << (io_retries - 1).min(6) as u32));
+                let backoff_s = EIO_BACKOFF_S * f64::from(1u32 << (io_retries - 1).min(6) as u32);
+                chaos.advance(backoff_s);
+                stall_ms += (backoff_s * 1e3).round() as u64;
                 try_no += 1;
             }
             Some(IoFault::DiskFull) => {
@@ -170,12 +176,15 @@ pub fn commit_bytes(
         // later quarantine — which releases `file_len - FOOTER_BYTES` —
         // returns exactly this charge.
         p.charge(stream.len().saturating_sub(FOOTER_BYTES as usize) as u64);
-        chaos.advance(p.slow_penalty_s(stream.len() as u64));
+        let penalty_s = p.slow_penalty_s(stream.len() as u64);
+        chaos.advance(penalty_s);
+        stall_ms += (penalty_s * 1e3).round() as u64;
     }
     Ok(CommitReceipt {
         payload_bytes: payload.len() as u64,
         checksum,
         io_retries,
+        stall_ms,
     })
 }
 
@@ -198,13 +207,16 @@ pub fn commit_bytes_verified(
     chaos: &ChaosPlan,
 ) -> Result<CommitReceipt, CommitError> {
     let mut io_retries = 0u64;
+    let mut stall_ms = 0u64;
     for attempt in 0..MAX_IO_ATTEMPTS {
         let receipt = commit_bytes(path, payload, site, attempt, chaos)?;
         io_retries += receipt.io_retries;
+        stall_ms += receipt.stall_ms;
         match verify_deep(path) {
             Ok(_) => {
                 return Ok(CommitReceipt {
                     io_retries,
+                    stall_ms,
                     ..receipt
                 })
             }
@@ -258,6 +270,7 @@ pub fn verify_structure(path: &Path) -> Result<CommitReceipt, CommitError> {
         payload_bytes: payload_len,
         checksum,
         io_retries: 0,
+        stall_ms: 0,
     })
 }
 
@@ -453,7 +466,28 @@ mod tests {
         let r = commit_bytes(&path, &[2u8; 64], "f", 0, &chaos).unwrap();
         assert_eq!(r.io_retries, 3, "one EIO per attempt below the streak cap");
         assert!(chaos.now() > 0.0, "backoff charged to the virtual clock");
+        assert_eq!(r.stall_ms, 3_500, "0.5 + 1 + 2 s of exponential backoff");
         verify_deep(&path).unwrap();
+    }
+
+    #[test]
+    fn slow_disk_penalty_lands_in_the_receipt() {
+        let d = dir();
+        // 2 virtual seconds per MiB; a 1 MiB payload (+footer) stalls
+        // just over 2000 ms, and the receipt must carry it.
+        let chaos = ChaosPlan::none().io_faults(IoFaultPlan::new(0).slow(2.0));
+        let path = d.path().join("s.run");
+        let r = commit_bytes(&path, &vec![0u8; 1 << 20], "s", 0, &chaos).unwrap();
+        assert!(
+            r.stall_ms >= 2_000,
+            "slow-disk stall missing from receipt: {} ms",
+            r.stall_ms
+        );
+        assert!(chaos.now() >= 2.0, "penalty charged to the virtual clock");
+        // A fault-free commit stalls for nothing.
+        let calm = ChaosPlan::none();
+        let r2 = commit_bytes(&d.path().join("t.run"), b"x", "t", 0, &calm).unwrap();
+        assert_eq!(r2.stall_ms, 0);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub mod builtin {
     /// Reduce tasks whose output was loaded from a committed artifact on
     /// resume instead of re-executing.
     pub const JOURNAL_REPLAYED: &str = gepeto_telemetry::JOURNAL_REPLAYED_COUNTER;
+    /// Virtual milliseconds stalled on storage: EIO retry backoff plus
+    /// simulated slow-disk write penalties, accumulated per commit.
+    pub const IO_STALL_MS: &str = gepeto_telemetry::IO_STALL_MS_COUNTER;
 }
 
 /// A concurrent set of named counters. Cloning shares the underlying

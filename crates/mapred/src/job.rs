@@ -1300,10 +1300,14 @@ fn note_seal_stats(
     if seal.quarantined > 0 {
         counters.inc(builtin::RUNS_QUARANTINED, seal.quarantined);
     }
+    if seal.stall_ms > 0 {
+        counters.inc(builtin::IO_STALL_MS, seal.stall_ms);
+    }
     if let Some(m) = monitor {
         m.add_io_retries(seal.io_retries);
         m.add_torn_writes(seal.torn_detected);
         m.add_runs_quarantined(seal.quarantined);
+        m.add_io_stall_ms(seal.stall_ms);
     }
 }
 

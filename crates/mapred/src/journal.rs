@@ -95,6 +95,16 @@ pub enum JournalEntry {
         /// Commit-footer checksum.
         checksum: u64,
     },
+    /// A telemetry segment for one attempt of this run was opened —
+    /// provenance for the stitched cross-attempt trace. Not durable:
+    /// the stitcher scans `<run-dir>/telemetry/` directly and this line
+    /// only records which attempt wrote which file.
+    TelemetrySegment {
+        /// Attempt ordinal (0 = first launch, 1 = first resume, ...).
+        attempt: usize,
+        /// Segment path, relative to or inside the run directory.
+        path: String,
+    },
     /// The run finished; nothing is left to resume.
     RunComplete,
 }
@@ -108,6 +118,7 @@ impl JournalEntry {
             JournalEntry::ReduceCommit { .. } => "reduce",
             JournalEntry::Checkpoint { .. } => "checkpoint",
             JournalEntry::ArtifactCommit { .. } => "artifact",
+            JournalEntry::TelemetrySegment { .. } => "telemetry",
             JournalEntry::RunComplete => "complete",
         }
     }
@@ -175,6 +186,10 @@ impl JournalEntry {
                 parts.push(escape(path));
                 parts.push(format!("{checksum:016x}"));
             }
+            JournalEntry::TelemetrySegment { attempt, path } => {
+                parts.push(attempt.to_string());
+                parts.push(escape(path));
+            }
             JournalEntry::RunComplete => {}
         }
         parts.join(" ")
@@ -223,6 +238,10 @@ impl JournalEntry {
                 name: unescape(it.next()?),
                 path: unescape(it.next()?),
                 checksum: u64::from_str_radix(it.next()?, 16).ok()?,
+            },
+            "telemetry" => JournalEntry::TelemetrySegment {
+                attempt: it.next()?.parse().ok()?,
+                path: unescape(it.next()?),
             },
             "complete" => JournalEntry::RunComplete,
             _ => return None,
@@ -504,6 +523,10 @@ mod tests {
                 name: "OUTPUT".into(),
                 path: "OUTPUT".into(),
                 checksum: 1,
+            },
+            JournalEntry::TelemetrySegment {
+                attempt: 1,
+                path: "telemetry/attempt-001.jsonl".into(),
             },
             JournalEntry::RunComplete,
         ];

@@ -399,6 +399,9 @@ pub struct SealStats {
     pub torn_detected: u64,
     /// Runs quarantined (torn or corrupt) and rewritten.
     pub quarantined: u64,
+    /// Virtual milliseconds stalled on storage (EIO backoff and
+    /// slow-disk penalties) across every write attempt.
+    pub stall_ms: u64,
 }
 
 /// Rewrites a torn/corrupt run absorbs per seal before giving up.
@@ -452,6 +455,7 @@ fn seal_at<K, V>(
     for attempt in 0..=MAX_SEAL_REBUILDS {
         let (run, receipt) = write_run_committed(codec, path.clone(), pairs, attempt, chaos)?;
         stats.io_retries += receipt.io_retries;
+        stats.stall_ms += receipt.stall_ms;
         match verify_run(&run, deep) {
             Ok(()) => return Ok((run, stats)),
             Err(CommitError::Torn(_)) => {

@@ -1,0 +1,467 @@
+//! Durable per-attempt telemetry segments and the resume stitcher.
+//!
+//! A crash-safe run (`--run-dir`) loses its in-memory telemetry with
+//! every SIGKILL — the resumed attempt's recorder starts from an empty
+//! stream and the pre-kill work becomes invisible. This module closes
+//! that gap: each attempt streams its events to a checksummed segment
+//! file (`<run-dir>/telemetry/attempt-NNN.jsonl`, one
+//! `<event-json> <fnv64-hex>` line per event, torn tails tolerated),
+//! and [`stitch`] folds every attempt's segment back into one causal
+//! stream — timestamps rebased end-to-end, span ids disambiguated per
+//! attempt, every event tagged `run_attempt=N` — that the summary,
+//! flamegraph, Gantt and Chrome-trace exporters consume unchanged.
+//!
+//! The [`ArchiveWriter`] is a background flusher in the mold of
+//! [`crate::Reporter`]: it tails [`crate::Recorder::events_from`] at a
+//! fixed cadence, so even a SIGKILLed attempt leaves everything but its
+//! last interval on disk. On a clean stop it also materializes the
+//! recorder's aggregate counters as `count` events — counters live
+//! outside the event stream, and without this they would not survive
+//! into the archive.
+
+use crate::event::{Event, EventKind};
+use crate::json::{event_to_json, Json};
+use crate::Recorder;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// FNV-1a over a byte string (local copy: this crate sits below the
+/// engine and cannot borrow its hasher).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Interns an event name loaded from disk. [`Event::name`] is a
+/// `&'static str` (recorders only ever use literals), so replayed names
+/// are leaked once into a global registry — bounded by the number of
+/// distinct event names in the instrumentation, not by stream length.
+fn intern(name: &str) -> &'static str {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut registry = REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new())).lock();
+    if let Some(&s) = registry.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    registry.insert(name.to_owned(), leaked);
+    leaked
+}
+
+/// Reconstructs an [`Event`] from its JSONL object form (the inverse of
+/// [`crate::json::event_to_json`]). `None` on any structural mismatch.
+pub fn event_from_json(json: &Json) -> Option<Event> {
+    let ts_us = json.get("ts_us").and_then(Json::as_u64)?;
+    let kind = match json.get("kind").and_then(Json::as_str)? {
+        "span_start" => EventKind::SpanStart,
+        "span_end" => EventKind::SpanEnd,
+        "point" => EventKind::Point,
+        "count" => EventKind::Count,
+        _ => return None,
+    };
+    let name = intern(json.get("name").and_then(Json::as_str)?);
+    let labels = match json.get("labels").and_then(Json::as_obj) {
+        Some(pairs) => pairs
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_str()?.to_owned())))
+            .collect(),
+        None => Vec::new(),
+    };
+    Some(Event {
+        ts_us,
+        kind,
+        name,
+        span_id: json.get("span").and_then(Json::as_u64).unwrap_or(0),
+        parent_id: json.get("parent").and_then(Json::as_u64).unwrap_or(0),
+        dur_us: json.get("dur_us").and_then(Json::as_u64),
+        value: json.get("value").and_then(Json::as_f64),
+        labels,
+    })
+}
+
+/// Materializes aggregate counter totals as `count` events at `ts_us`.
+/// Counters never enter the live event stream (hot-path rule), so
+/// archived segments and exported JSONL streams append these at the
+/// end — without them a replayed stream would have no counters at all.
+pub fn counter_events(counters: &[(String, u64)], ts_us: u64) -> Vec<Event> {
+    counters
+        .iter()
+        .map(|(name, value)| Event {
+            ts_us,
+            kind: EventKind::Count,
+            name: intern(name),
+            span_id: 0,
+            parent_id: 0,
+            dur_us: None,
+            value: Some(*value as f64),
+            labels: Vec::new(),
+        })
+        .collect()
+}
+
+/// One checksummed segment line: the event JSON plus its own hash, so a
+/// torn tail (the flusher died mid-line) is detected, not replayed.
+fn segment_line(event: &Event) -> String {
+    let json = event_to_json(event);
+    format!("{json} {:016x}\n", fnv64(json.as_bytes()))
+}
+
+fn parse_segment_line(line: &str) -> Option<Event> {
+    let (json_text, checksum) = line.rsplit_once(' ')?;
+    if u64::from_str_radix(checksum, 16).ok()? != fnv64(json_text.as_bytes()) {
+        return None;
+    }
+    event_from_json(&Json::parse(json_text).ok()?)
+}
+
+/// The telemetry directory of a run dir.
+pub fn telemetry_dir(run_dir: &Path) -> PathBuf {
+    run_dir.join("telemetry")
+}
+
+/// Allocates the next attempt's segment path under `run_dir` (attempt
+/// number = segments already on disk), creating the directory.
+pub fn next_segment_path(run_dir: &Path) -> io::Result<(usize, PathBuf)> {
+    let dir = telemetry_dir(run_dir);
+    std::fs::create_dir_all(&dir)?;
+    let attempt = list_segments(&dir)?.len();
+    Ok((attempt, dir.join(format!("attempt-{attempt:03}.jsonl"))))
+}
+
+/// Reads the run's shared id, minting one on first call
+/// (first-writer-wins, like the engine's MANIFEST protocol).
+pub fn ensure_run_id(run_dir: &Path) -> io::Result<String> {
+    let dir = telemetry_dir(run_dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("RUN_ID");
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        let id = existing.trim();
+        if !id.is_empty() {
+            return Ok(id.to_owned());
+        }
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let id = format!(
+        "run-{:016x}",
+        fnv64(format!("{}:{nanos}", run_dir.display()).as_bytes())
+    );
+    std::fs::write(&path, format!("{id}\n"))?;
+    Ok(id)
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("attempt-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// One attempt's replayed telemetry.
+#[derive(Debug, Clone)]
+pub struct AttemptSegment {
+    /// 0-based attempt number (position in the segment directory).
+    pub attempt: usize,
+    /// The attempt's events, in capture order. Lines after a torn or
+    /// corrupt line are dropped (the flusher appends strictly in order,
+    /// so everything before the tear is trustworthy).
+    pub events: Vec<Event>,
+}
+
+/// Loads every attempt segment under `run_dir`, in attempt order.
+/// Missing directory = no segments (an undurable or pre-archive run).
+pub fn load_segments(run_dir: &Path) -> Vec<AttemptSegment> {
+    let dir = telemetry_dir(run_dir);
+    let Ok(paths) = list_segments(&dir) else {
+        return Vec::new();
+    };
+    paths
+        .iter()
+        .enumerate()
+        .map(|(attempt, path)| {
+            let text = std::fs::read_to_string(path).unwrap_or_default();
+            let mut events = Vec::new();
+            for line in text.lines() {
+                match parse_segment_line(line) {
+                    Some(e) => events.push(e),
+                    None => break,
+                }
+            }
+            AttemptSegment { attempt, events }
+        })
+        .collect()
+}
+
+/// Span ids are disambiguated per attempt by this stride (ids are a
+/// process-local `AtomicU64` starting at 1, so attempts collide).
+const SPAN_ID_STRIDE: u64 = 1 << 32;
+
+/// Microsecond gap inserted between stitched attempts so the kill →
+/// resume boundary is visible as a gap, not an overlap.
+const ATTEMPT_GAP_US: u64 = 1_000;
+
+/// Folds per-attempt segments into one causal stream: each attempt's
+/// timestamps are rebased to start where the previous attempt ended,
+/// its span ids are shifted into a per-attempt namespace, and every
+/// event gains a `run_attempt=N` label (feeding the per-attempt lanes
+/// of [`crate::trace_event::write_chrome_trace`]). The key is
+/// deliberately NOT `attempt`: the engine already labels task spans
+/// with their per-task execution attempt, and the two must not shadow
+/// each other.
+pub fn stitch(segments: &[AttemptSegment]) -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut base_us = 0u64;
+    for seg in segments {
+        let id_base = (seg.attempt as u64 + 1) * SPAN_ID_STRIDE;
+        let mut max_ts = base_us;
+        let attempt_label = seg.attempt.to_string();
+        for e in &seg.events {
+            let mut e = e.clone();
+            e.ts_us += base_us;
+            if e.span_id != 0 {
+                e.span_id += id_base;
+            }
+            if e.parent_id != 0 {
+                e.parent_id += id_base;
+            }
+            e.labels
+                .push(("run_attempt".to_owned(), attempt_label.clone()));
+            max_ts = max_ts.max(e.ts_us);
+            out.push(e);
+        }
+        base_us = max_ts + ATTEMPT_GAP_US;
+    }
+    out
+}
+
+/// Background segment flusher: tails the recorder's event stream to an
+/// append-only checksummed JSONL file at a fixed cadence, so a killed
+/// attempt still leaves (almost) everything on disk. [`ArchiveWriter::stop`]
+/// performs the final flush, appends the aggregate counters as `count`
+/// events, and joins the thread — call it before reading the segment.
+#[derive(Debug)]
+pub struct ArchiveWriter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ArchiveWriter {
+    /// Spawns the flusher appending to `path` every `every`.
+    ///
+    /// # Errors
+    /// Propagates the initial open/create failure; later write errors
+    /// are best-effort (a full disk must not kill the observed run).
+    pub fn start(recorder: Recorder, path: PathBuf, every: Duration) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut out = BufWriter::new(file);
+            let mut offset = 0usize;
+            let mut max_ts = 0u64;
+            let flush = |offset: &mut usize, max_ts: &mut u64, out: &mut BufWriter<File>| {
+                let tail = recorder.events_from(*offset);
+                *offset += tail.len();
+                for e in &tail {
+                    *max_ts = (*max_ts).max(e.ts_us);
+                    let _ = out.write_all(segment_line(e).as_bytes());
+                }
+                let _ = out.flush();
+            };
+            while !stop_flag.load(Ordering::Relaxed) {
+                let mut slept = Duration::ZERO;
+                while slept < every && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = (every - slept).min(Duration::from_millis(25));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                flush(&mut offset, &mut max_ts, &mut out);
+            }
+            flush(&mut offset, &mut max_ts, &mut out);
+            // The segment materializes the final counter totals here for
+            // the diff engine and any replayed summary to read back.
+            for e in counter_events(&recorder.counters(), max_ts) {
+                let _ = out.write_all(segment_line(&e).as_bytes());
+            }
+            let _ = out.flush();
+            if let Ok(f) = out.into_inner() {
+                let _ = f.sync_data();
+            }
+        });
+        Ok(Self {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Signals the flusher, waits for the final flush, and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ArchiveWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gepeto-archive-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn events_round_trip_through_a_segment() {
+        let dir = scratch("roundtrip");
+        let rec = Recorder::enabled();
+        {
+            let phase = rec.span("phase.map", &[("job", "j")]);
+            let _task = phase.child("task.map", &[("task", "0")]);
+        }
+        rec.point("task.retry", 1.0, &[("phase", "map")]);
+        rec.count("io.retries", 7);
+        let (attempt, path) = next_segment_path(&dir).unwrap();
+        assert_eq!(attempt, 0);
+        let writer = ArchiveWriter::start(rec.clone(), path, Duration::from_secs(3600)).unwrap();
+        writer.stop();
+
+        let segments = load_segments(&dir);
+        assert_eq!(segments.len(), 1);
+        let events = &segments[0].events;
+        // 4 span events + 1 point + 1 synthesized counter.
+        assert_eq!(events.len(), 6);
+        let original = rec.events();
+        for (a, b) in original.iter().zip(events.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.ts_us, b.ts_us);
+            assert_eq!(a.span_id, b.span_id);
+            assert_eq!(a.parent_id, b.parent_id);
+            assert_eq!(a.dur_us, b.dur_us);
+            assert_eq!(a.labels, b.labels);
+        }
+        let count = events.last().unwrap();
+        assert_eq!(count.kind, EventKind::Count);
+        assert_eq!(count.name, "io.retries");
+        assert_eq!(count.value, Some(7.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_replayed() {
+        let dir = scratch("torn");
+        let rec = Recorder::enabled();
+        rec.point("a", 1.0, &[]);
+        rec.point("b", 2.0, &[]);
+        let (_, path) = next_segment_path(&dir).unwrap();
+        let writer = ArchiveWriter::start(rec, path.clone(), Duration::from_secs(3600)).unwrap();
+        writer.stop();
+        // Tear the last line mid-checksum and append garbage after it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - 5];
+        std::fs::write(&path, format!("{torn}\n{{\"ts_us\":9}} beef\n")).unwrap();
+        let segments = load_segments(&dir);
+        assert_eq!(segments[0].events.len(), 1, "only the intact prefix");
+        assert_eq!(segments[0].events[0].name, "a");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stitch_rebases_time_disambiguates_spans_and_tags_attempts() {
+        let mk = |attempt: usize, names: &[&'static str]| AttemptSegment {
+            attempt,
+            events: names
+                .iter()
+                .enumerate()
+                .flat_map(|(i, name)| {
+                    let id = i as u64 + 1;
+                    [
+                        Event {
+                            ts_us: i as u64 * 10,
+                            kind: EventKind::SpanStart,
+                            name,
+                            span_id: id,
+                            parent_id: 0,
+                            dur_us: None,
+                            value: None,
+                            labels: Vec::new(),
+                        },
+                        Event {
+                            ts_us: i as u64 * 10 + 5,
+                            kind: EventKind::SpanEnd,
+                            name,
+                            span_id: id,
+                            parent_id: 0,
+                            dur_us: Some(5),
+                            value: None,
+                            labels: Vec::new(),
+                        },
+                    ]
+                })
+                .collect(),
+        };
+        let stitched = stitch(&[mk(0, &["job"]), mk(1, &["job"])]);
+        assert_eq!(stitched.len(), 4);
+        // Same original span id, different stitched namespaces.
+        assert_ne!(stitched[0].span_id, stitched[2].span_id);
+        // Attempt 1 starts after attempt 0 ends.
+        assert!(stitched[2].ts_us > stitched[1].ts_us);
+        assert_eq!(stitched[0].label("run_attempt"), Some("0"));
+        assert_eq!(stitched[2].label("run_attempt"), Some("1"));
+        // The stitched stream is still one well-formed span forest.
+        let cp = crate::CriticalPath::from_events(&stitched);
+        assert_eq!(cp.steps.len(), 1);
+    }
+
+    #[test]
+    fn run_id_is_minted_once_and_attempts_accumulate() {
+        let dir = scratch("runid");
+        let a = ensure_run_id(&dir).unwrap();
+        let b = ensure_run_id(&dir).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("run-"), "{a}");
+        let (first, p1) = next_segment_path(&dir).unwrap();
+        std::fs::write(&p1, "").unwrap();
+        let (second, p2) = next_segment_path(&dir).unwrap();
+        assert_eq!((first, second), (0, 1));
+        assert_ne!(p1, p2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -41,6 +41,8 @@
 //! ```
 
 mod analysis;
+pub mod archive;
+pub mod diff;
 mod event;
 mod flamegraph;
 mod histogram;
@@ -48,8 +50,11 @@ pub mod json;
 mod monitor;
 mod summary;
 mod timeline;
+pub mod trace_event;
 
 pub use analysis::{CriticalPath, CriticalPathStep, PhaseCritical, TaskRef, VirtualCriticalPath};
+pub use archive::{counter_events, load_segments, stitch, ArchiveWriter, AttemptSegment};
+pub use diff::{profile_from_events, Cause, PerfDiff, RunProfile, TaskCohort};
 pub use event::{Event, EventKind};
 pub use flamegraph::{host_folded, virtual_folded};
 pub use histogram::Histogram;
@@ -57,13 +62,14 @@ pub use json::{event_to_json, write_jsonl};
 pub use monitor::{MetricsSnapshot, Monitor, Reporter};
 pub use summary::{
     PhaseStat, Straggler, SummaryReport, TaskStats, BLACKLISTED_NODES_COUNTER,
-    DISTANCE_EVALS_COUNTER, FAILED_OVER_READS_COUNTER, IO_RETRIES_COUNTER,
+    DISTANCE_EVALS_COUNTER, FAILED_OVER_READS_COUNTER, IO_RETRIES_COUNTER, IO_STALL_MS_COUNTER,
     JOURNAL_REPLAYED_COUNTER, REEXECUTED_MAPS_COUNTER, RUNS_QUARANTINED_COUNTER,
     SHUFFLE_BYTES_COUNTER, SHUFFLE_BYTES_SAVED_COUNTER, SORT_SKIPPED_COUNTER,
     SPILLED_BYTES_COUNTER, SPILLED_GROUPS_COUNTER, SPILL_FILES_COUNTER, TASK_RETRIES_COUNTER,
     TORN_WRITES_COUNTER,
 };
 pub use timeline::{NodeLane, Timeline};
+pub use trace_event::write_chrome_trace;
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -264,6 +270,19 @@ impl Recorder {
         match &self.inner {
             None => Vec::new(),
             Some(inner) => inner.events.lock().clone(),
+        }
+    }
+
+    /// Snapshot of the events captured at index `offset` onward —
+    /// the incremental read used by the [`ArchiveWriter`] flusher, so
+    /// each flush copies only the tail it has not persisted yet.
+    pub fn events_from(&self, offset: usize) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let events = inner.events.lock();
+                events.get(offset..).unwrap_or_default().to_vec()
+            }
         }
     }
 

@@ -49,6 +49,7 @@ pub struct Monitor {
     io_retries: AtomicU64,
     torn_writes_detected: AtomicU64,
     runs_quarantined: AtomicU64,
+    io_stall_ms: AtomicU64,
     journal_replayed_tasks: AtomicU64,
     driver_iteration: AtomicU64,
     /// The driver's latest convergence delta, stored as `f64` bits.
@@ -56,6 +57,9 @@ pub struct Monitor {
     /// Virtual busy microseconds per node, indexed by node id.
     node_busy_us: Mutex<Vec<u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    /// Run identity (`run_id`, command line) surfaced as the
+    /// `gepeto_run_info` Prometheus family, set once by the driver.
+    run_info: Mutex<Option<(String, String)>>,
 }
 
 impl Monitor {
@@ -176,6 +180,17 @@ impl Monitor {
         self.runs_quarantined.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// `n` more virtual milliseconds were stalled on storage (EIO
+    /// backoff, simulated slow-disk penalties).
+    pub fn add_io_stall_ms(&self, n: u64) {
+        self.io_stall_ms.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records the run's identity for the `gepeto_run_info` family.
+    pub fn set_run_info(&self, run_id: &str, command: &str) {
+        *self.run_info.lock() = Some((run_id.to_owned(), command.to_owned()));
+    }
+
     /// `n` more reduce tasks were replayed from committed artifacts
     /// instead of re-executing.
     pub fn add_journal_replayed(&self, n: u64) {
@@ -239,6 +254,7 @@ impl Monitor {
             io_retries: load(&self.io_retries),
             torn_writes_detected: load(&self.torn_writes_detected),
             runs_quarantined: load(&self.runs_quarantined),
+            io_stall_ms: load(&self.io_stall_ms),
             journal_replayed_tasks: load(&self.journal_replayed_tasks),
             driver_iteration: load(&self.driver_iteration),
             driver_delta: f64::from_bits(load(&self.driver_delta_bits)),
@@ -254,6 +270,7 @@ impl Monitor {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
+            run_info: self.run_info.lock().clone(),
         }
     }
 }
@@ -303,6 +320,8 @@ pub struct MetricsSnapshot {
     pub torn_writes_detected: u64,
     /// Corrupt spill runs quarantined.
     pub runs_quarantined: u64,
+    /// Virtual milliseconds stalled on storage faults and slow disks.
+    pub io_stall_ms: u64,
     /// Reduce tasks replayed from committed artifacts on resume.
     pub journal_replayed_tasks: u64,
     /// The driver's current iteration (0 before the first completes).
@@ -313,6 +332,8 @@ pub struct MetricsSnapshot {
     pub node_busy_s: Vec<f64>,
     /// Live histograms, sorted by name.
     pub histograms: Vec<(String, Histogram)>,
+    /// Run identity (`run_id`, command), when the driver set one.
+    pub run_info: Option<(String, String)>,
 }
 
 /// Formats a byte count with a binary-ish human unit.
@@ -349,6 +370,27 @@ impl MetricsSnapshot {
             self.blacklisted_nodes,
             self.crash_killed_attempts,
         );
+        if self.spilled_bytes > 0 || self.spill_files > 0 {
+            let _ = write!(
+                line,
+                " | spill {} in {} runs",
+                fmt_bytes(self.spilled_bytes),
+                self.spill_files
+            );
+        }
+        if self.io_retries > 0 || self.torn_writes_detected > 0 || self.runs_quarantined > 0 {
+            let _ = write!(
+                line,
+                " | io retries {} torn {} quarantined {}",
+                self.io_retries, self.torn_writes_detected, self.runs_quarantined
+            );
+        }
+        if self.io_stall_ms > 0 {
+            let _ = write!(line, " stall {:.1}s", self.io_stall_ms as f64 / 1e3);
+        }
+        if self.journal_replayed_tasks > 0 {
+            let _ = write!(line, " | replayed {}", self.journal_replayed_tasks);
+        }
         if self.driver_iteration > 0 {
             let _ = write!(line, " | iter {}", self.driver_iteration);
             if self.driver_delta.is_finite() {
@@ -501,6 +543,12 @@ impl MetricsSnapshot {
             self.runs_quarantined as f64,
         );
         metric(
+            "gepeto_io_stall_ms_total",
+            "counter",
+            "Virtual milliseconds stalled on storage faults and slow disks.",
+            self.io_stall_ms as f64,
+        );
+        metric(
             "gepeto_journal_replayed_tasks_total",
             "counter",
             "Reduce tasks replayed from committed artifacts on resume.",
@@ -524,6 +572,19 @@ impl MetricsSnapshot {
                 "gauge",
                 "Latest driver convergence delta.",
                 self.driver_delta,
+            );
+        }
+        if let Some((run_id, command)) = &self.run_info {
+            let _ = writeln!(
+                out,
+                "# HELP gepeto_run_info Identity of the run behind this exposition."
+            );
+            let _ = writeln!(out, "# TYPE gepeto_run_info gauge");
+            let _ = writeln!(
+                out,
+                "gepeto_run_info{{run_id=\"{}\",command=\"{}\"}} 1",
+                escape_label_value(run_id),
+                escape_label_value(command)
             );
         }
         if !self.node_busy_s.is_empty() {
@@ -555,6 +616,22 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Escapes a Prometheus label *value* per the text-exposition rules:
+/// backslash, double-quote and newline must be backslash-escaped (and we
+/// fold carriage returns into `\n` so no raw control byte survives).
+pub(crate) fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' | '\r' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Maps a dotted internal metric name onto the Prometheus charset.
@@ -702,6 +779,45 @@ mod tests {
         let line = m.snapshot().status_line();
         assert!(line.contains("maps 2/4 50%"), "{line}");
         assert!(line.contains("iter 2 delta 0.50000"), "{line}");
+    }
+
+    #[test]
+    fn status_line_surfaces_spill_io_and_replay_counters_when_nonzero() {
+        let m = Monitor::new();
+        let quiet = m.snapshot().status_line();
+        assert!(!quiet.contains("spill"), "{quiet}");
+        assert!(!quiet.contains("io retries"), "{quiet}");
+        assert!(!quiet.contains("replayed"), "{quiet}");
+        m.add_spilled_bytes(65_536);
+        m.add_spill_files(3);
+        m.add_io_retries(5);
+        m.add_torn_writes(1);
+        m.add_runs_quarantined(2);
+        m.add_io_stall_ms(2_500);
+        m.add_journal_replayed(4);
+        let line = m.snapshot().status_line();
+        assert!(line.contains("spill 65.5 KB in 3 runs"), "{line}");
+        assert!(line.contains("io retries 5 torn 1 quarantined 2"), "{line}");
+        assert!(line.contains("stall 2.5s"), "{line}");
+        assert!(line.contains("replayed 4"), "{line}");
+    }
+
+    #[test]
+    fn run_info_labels_are_escaped() {
+        let m = Monitor::new();
+        m.add_io_stall_ms(7);
+        m.set_run_info("r\"1\"\n", "kmeans --run-dir C:\\tmp");
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("gepeto_io_stall_ms_total 7"), "{text}");
+        assert!(
+            text.contains("gepeto_run_info{run_id=\"r\\\"1\\\"\\n\",command=\"kmeans --run-dir C:\\\\tmp\"} 1"),
+            "{text}"
+        );
+        // No raw newline inside a sample line.
+        for line in text.lines() {
+            assert!(!line.contains('\r'));
+        }
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub const RUNS_QUARANTINED_COUNTER: &str = "spill.runs_quarantined";
 /// Counter name the engine uses for reduce tasks replayed from committed
 /// journal artifacts on `gepeto resume` instead of being recomputed.
 pub const JOURNAL_REPLAYED_COUNTER: &str = "journal.replayed_tasks";
+/// Counter name the engine uses for virtual milliseconds stalled on
+/// storage: EIO retry backoff plus simulated slow-disk write penalties,
+/// accumulated across every spill-seal and artifact commit.
+pub const IO_STALL_MS_COUNTER: &str = "io.stall_ms";
 
 /// Wall time attributed to one phase (summed across repeats, e.g.
 /// k-means iterations each contributing a map phase).
@@ -129,6 +133,8 @@ pub struct SummaryReport {
     pub torn_writes_detected: u64,
     /// Spill runs quarantined after failing verification.
     pub runs_quarantined: u64,
+    /// Virtual milliseconds stalled on storage (EIO backoff, slow disk).
+    pub io_stall_ms: u64,
     /// Reduce tasks replayed from committed journal artifacts on resume.
     pub journal_replayed_tasks: u64,
     /// Every counter, sorted by name.
@@ -241,6 +247,7 @@ impl SummaryReport {
             io_retries: counter(IO_RETRIES_COUNTER).unwrap_or(0),
             torn_writes_detected: counter(TORN_WRITES_COUNTER).unwrap_or(0),
             runs_quarantined: counter(RUNS_QUARANTINED_COUNTER).unwrap_or(0),
+            io_stall_ms: counter(IO_STALL_MS_COUNTER).unwrap_or(0),
             journal_replayed_tasks: counter(JOURNAL_REPLAYED_COUNTER).unwrap_or(0),
             counters: counters.to_vec(),
         }
@@ -326,6 +333,13 @@ impl SummaryReport {
                 out,
                 "storage: {} io retries, {} torn writes detected, {} runs quarantined",
                 self.io_retries, self.torn_writes_detected, self.runs_quarantined
+            );
+        }
+        if self.io_stall_ms > 0 {
+            let _ = writeln!(
+                out,
+                "storage stall: {} of virtual time",
+                fmt_us(self.io_stall_ms.saturating_mul(1_000))
             );
         }
         if self.journal_replayed_tasks > 0 {
@@ -486,19 +500,23 @@ mod tests {
             (TORN_WRITES_COUNTER.to_owned(), 2),
             (RUNS_QUARANTINED_COUNTER.to_owned(), 3),
             (JOURNAL_REPLAYED_COUNTER.to_owned(), 5),
+            (IO_STALL_MS_COUNTER.to_owned(), 4_500),
         ];
         let report = SummaryReport::from_events(&[], &counters);
         assert_eq!(report.io_retries, 7);
         assert_eq!(report.torn_writes_detected, 2);
         assert_eq!(report.runs_quarantined, 3);
         assert_eq!(report.journal_replayed_tasks, 5);
+        assert_eq!(report.io_stall_ms, 4_500);
         let text = report.render();
         assert!(text.contains("storage: 7 io retries, 2 torn writes detected, 3 runs quarantined"));
         assert!(text.contains("journal: 5 reduce tasks replayed"));
+        assert!(text.contains("storage stall: 4.500 s"));
 
         // Fault-free runs stay silent.
         let empty = SummaryReport::from_events(&[], &[]).render();
         assert!(!empty.contains("storage:"));
+        assert!(!empty.contains("storage stall"));
         assert!(!empty.contains("journal:"));
     }
 

@@ -1,0 +1,566 @@
+//! Chrome trace-event (Perfetto) export of a captured run.
+//!
+//! Serializes the host span tree and the virtual scheduler's timeline
+//! into the JSON Object Format the Chrome tracing ecosystem consumes
+//! (`chrome://tracing`, `ui.perfetto.dev`): a `traceEvents` array of
+//! `B`/`E` duration pairs, complete `X` events, instant `i` markers,
+//! `C` counter samples and `M` metadata records.
+//!
+//! Two synthetic processes keep the host and virtual views apart:
+//!
+//! - **pid 1 — `host`**: real wall time. Each resume attempt gets a
+//!   block of thread lanes (`attempt N` for the driver/job/phase spans,
+//!   `attempt N task K` for per-task spans), so a stitched trace shows
+//!   pre-kill work and the resumed attempt side by side.
+//! - **pid 2 — `virtual-cluster`**: the simulator's job-local schedule.
+//!   Every `sched.*` point becomes an `X` slice on its node's lane
+//!   (`node N`), re-executions are renamed `map.reexec`, and `chaos.*`
+//!   points land as instant markers.
+//!
+//! The export is a pure fold over an [`Event`] slice, so it works on a
+//! live recorder snapshot and on a stitched
+//! [`crate::archive`] stream alike.
+
+use crate::analysis::{build_spans, parse_label_f64, parse_label_usize, SpanNode};
+use crate::event::{Event, EventKind};
+use crate::json::{push_f64, push_str_lit};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Synthetic pid of the host (wall-clock) span process.
+const HOST_PID: u64 = 1;
+/// Synthetic pid of the virtual-cluster (simulated schedule) process.
+const VIRT_PID: u64 = 2;
+/// Thread-id block reserved per resume attempt on the host pid.
+const LANE_STRIDE: u64 = 1000;
+
+/// One serialized trace-event object under construction.
+struct Obj(String);
+
+impl Obj {
+    fn new() -> Self {
+        Obj(String::from("{"))
+    }
+    fn sep(&mut self) {
+        if self.0.len() > 1 {
+            self.0.push(',');
+        }
+    }
+    fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        push_str_lit(&mut self.0, key);
+        self.0.push(':');
+        push_str_lit(&mut self.0, value);
+        self
+    }
+    fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        push_str_lit(&mut self.0, key);
+        self.0.push(':');
+        self.0.push_str(&value.to_string());
+        self
+    }
+    /// Inserts a pre-serialized JSON value (e.g. a nested `args` object).
+    fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        push_str_lit(&mut self.0, key);
+        self.0.push(':');
+        self.0.push_str(value);
+        self
+    }
+    fn finish(mut self) -> String {
+        self.0.push('}');
+        self.0
+    }
+}
+
+/// Serializes string-valued labels as a JSON object.
+fn args_obj(labels: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(&mut out, k);
+        out.push(':');
+        push_str_lit(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+fn label_of<'a>(labels: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// The resume attempt a span belongs to (0 for unstitched streams).
+/// Reads the stitcher's `run_attempt` tag — NOT the engine's per-task
+/// `attempt` label, which counts task re-executions, not resumes.
+fn span_attempt(s: &SpanNode) -> u64 {
+    label_of(&s.labels, "run_attempt")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn event_attempt(e: &Event) -> u64 {
+    e.label("run_attempt")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Emits one span subtree as `B`/`E` pairs on `tid`, clamped to
+/// `[lo, hi]` so children (and overlap-racing siblings) never violate
+/// the per-thread stack discipline the format requires. Returns the
+/// clamped end so the caller can advance its sibling cursor.
+#[allow(clippy::too_many_arguments)]
+fn emit_span(
+    spans: &[SpanNode],
+    children: &BTreeMap<u64, Vec<usize>>,
+    lane: &[u64],
+    i: usize,
+    lo: u64,
+    hi: u64,
+    tid: u64,
+    out: &mut Vec<String>,
+) -> u64 {
+    let s = &spans[i];
+    let start = s.start_us().clamp(lo, hi);
+    let end = s.end_us.clamp(start, hi);
+    let mut b = Obj::new();
+    b.str("name", s.name)
+        .str("ph", "B")
+        .u64("ts", start)
+        .u64("pid", HOST_PID)
+        .u64("tid", tid);
+    if !s.labels.is_empty() {
+        b.raw("args", &args_obj(&s.labels));
+    }
+    out.push(b.finish());
+    let mut kids: Vec<usize> = children
+        .get(&s.span_id)
+        .map(|c| c.iter().copied().filter(|&j| lane[j] == lane[i]).collect())
+        .unwrap_or_default();
+    kids.sort_by_key(|&j| spans[j].start_us());
+    let mut cursor = start;
+    for j in kids {
+        let child_lo = cursor.max(spans[j].start_us()).min(end);
+        cursor = emit_span(spans, children, lane, j, child_lo, end, tid, out);
+    }
+    let mut e = Obj::new();
+    e.str("name", s.name)
+        .str("ph", "E")
+        .u64("ts", end)
+        .u64("pid", HOST_PID)
+        .u64("tid", tid);
+    out.push(e.finish());
+    end
+}
+
+/// Exports a captured event stream as a Chrome trace-event JSON
+/// document (`{"traceEvents":[...],"displayTimeUnit":"ms"}`), loadable
+/// in `ui.perfetto.dev` or `chrome://tracing`.
+pub fn write_chrome_trace(events: &[Event]) -> String {
+    let spans = build_spans(events);
+    let ids: BTreeMap<u64, usize> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.span_id, i))
+        .collect();
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent_id != 0 && ids.contains_key(&s.parent_id) {
+            children.entry(s.parent_id).or_default().push(i);
+        }
+    }
+
+    // Lane assignment. Spans arrive in start order, so a parent's lane
+    // is always decided before its children inherit it: `task.*` spans
+    // open a per-task lane inside their attempt's block, everything
+    // else (driver, job, phase spans) shares the attempt's control lane.
+    let mut lane = vec![0u64; spans.len()];
+    for i in 0..spans.len() {
+        let s = &spans[i];
+        let base = span_attempt(s) * LANE_STRIDE;
+        let inherited = ids.get(&s.parent_id).map(|&j| lane[j]);
+        let task_lane = if s.name.starts_with("task.") {
+            label_of(&s.labels, "task")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|t| base + 2 + t)
+        } else {
+            None
+        };
+        lane[i] = task_lane.or(inherited).unwrap_or(base + 1);
+    }
+
+    // A lane-root is a span whose parent lives on another lane (or is
+    // absent); each root's subtree is emitted as one stack-disciplined
+    // B/E sequence.
+    let mut lane_roots: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let is_root = match ids.get(&s.parent_id) {
+            Some(&j) => lane[j] != lane[i],
+            None => true,
+        };
+        if is_root {
+            lane_roots.entry(lane[i]).or_default().push(i);
+        }
+    }
+
+    let mut out: Vec<String> = Vec::new();
+    let mut host_tids: BTreeSet<u64> = BTreeSet::new();
+    for (&tid, roots) in &mut lane_roots {
+        host_tids.insert(tid);
+        roots.sort_by_key(|&i| spans[i].start_us());
+        let mut cursor = 0u64;
+        for &i in roots.iter() {
+            let lo = cursor.max(spans[i].start_us());
+            cursor = emit_span(&spans, &children, &lane, i, lo, u64::MAX, tid, &mut out);
+        }
+    }
+
+    // Counters, instant points, and the virtual-cluster schedule.
+    let mut virt_tids: BTreeSet<u64> = BTreeSet::new();
+    let mut open_jobs: Vec<(u64, u64, String)> = Vec::new(); // span_id, host ts, job name
+    for e in events {
+        match e.kind {
+            EventKind::SpanStart if e.name == "job" => {
+                open_jobs.push((e.span_id, e.ts_us, e.label("job").unwrap_or("?").to_owned()));
+            }
+            EventKind::SpanEnd if e.name == "job" => {
+                open_jobs.retain(|&(id, _, _)| id != e.span_id);
+            }
+            EventKind::Count => {
+                let mut c = Obj::new();
+                c.str("name", e.name)
+                    .str("ph", "C")
+                    .u64("ts", e.ts_us)
+                    .u64("pid", HOST_PID)
+                    .u64("tid", event_attempt(e) * LANE_STRIDE + 1);
+                host_tids.insert(event_attempt(e) * LANE_STRIDE + 1);
+                let mut args = String::from("{");
+                push_str_lit(&mut args, e.name);
+                args.push(':');
+                push_f64(&mut args, e.value.unwrap_or(0.0));
+                args.push('}');
+                c.raw("args", &args);
+                out.push(c.finish());
+            }
+            EventKind::Point if e.name.starts_with("sched.") || e.name.starts_with("chaos.") => {
+                let job_ts = open_jobs.last().map(|&(_, ts, _)| ts).unwrap_or(0);
+                let job_name = open_jobs
+                    .last()
+                    .map(|(_, _, n)| n.as_str())
+                    .unwrap_or("run");
+                if e.name.starts_with("sched.") {
+                    let (Some(start_s), Some(dur_s), Some(node)) = (
+                        parse_label_f64(e, "start"),
+                        e.value,
+                        parse_label_usize(e, "node"),
+                    ) else {
+                        continue;
+                    };
+                    let mut name = e.name.strip_prefix("sched.").unwrap_or(e.name).to_owned();
+                    if name == "map" && e.label("reexec").is_some() {
+                        name = "map.reexec".to_owned();
+                    }
+                    let tid = node as u64 + 1;
+                    virt_tids.insert(tid);
+                    let mut x = Obj::new();
+                    x.str("name", &name)
+                        .str("ph", "X")
+                        .u64("ts", job_ts + (start_s * 1e6).round().max(0.0) as u64)
+                        .u64("dur", (dur_s * 1e6).round().max(0.0) as u64)
+                        .u64("pid", VIRT_PID)
+                        .u64("tid", tid);
+                    let mut labels: Vec<(String, String)> = Vec::new();
+                    if let Some(task) = e.label("task") {
+                        labels.push(("task".to_owned(), task.to_owned()));
+                    }
+                    labels.push(("job".to_owned(), job_name.to_owned()));
+                    x.raw("args", &args_obj(&labels));
+                    out.push(x.finish());
+                } else {
+                    let node = parse_label_usize(e, "node").unwrap_or(0);
+                    let at_s = e.value.unwrap_or(0.0).max(0.0);
+                    let tid = node as u64 + 1;
+                    virt_tids.insert(tid);
+                    let mut i = Obj::new();
+                    i.str("name", e.name)
+                        .str("ph", "i")
+                        .u64("ts", job_ts + (at_s * 1e6).round() as u64)
+                        .u64("pid", VIRT_PID)
+                        .u64("tid", tid)
+                        .str("s", "t");
+                    out.push(i.finish());
+                }
+            }
+            EventKind::Point => {
+                let tid = event_attempt(e) * LANE_STRIDE + 1;
+                host_tids.insert(tid);
+                let mut i = Obj::new();
+                i.str("name", e.name)
+                    .str("ph", "i")
+                    .u64("ts", e.ts_us)
+                    .u64("pid", HOST_PID)
+                    .u64("tid", tid)
+                    .str("s", "t");
+                if !e.labels.is_empty() {
+                    i.raw("args", &args_obj(&e.labels));
+                }
+                out.push(i.finish());
+            }
+            _ => {}
+        }
+    }
+
+    // Metadata names, emitted first so viewers label lanes immediately.
+    let mut meta: Vec<String> = Vec::new();
+    let process_name = |pid: u64, name: &str| {
+        let mut m = Obj::new();
+        m.str("name", "process_name").str("ph", "M").u64("pid", pid);
+        let mut args = String::from("{");
+        push_str_lit(&mut args, "name");
+        args.push(':');
+        push_str_lit(&mut args, name);
+        args.push('}');
+        m.raw("args", &args);
+        m.finish()
+    };
+    let thread_name = |pid: u64, tid: u64, name: &str| {
+        let mut m = Obj::new();
+        m.str("name", "thread_name")
+            .str("ph", "M")
+            .u64("pid", pid)
+            .u64("tid", tid);
+        let mut args = String::from("{");
+        push_str_lit(&mut args, "name");
+        args.push(':');
+        push_str_lit(&mut args, name);
+        args.push('}');
+        m.raw("args", &args);
+        m.finish()
+    };
+    meta.push(process_name(HOST_PID, "host"));
+    for &tid in &host_tids {
+        let attempt = tid / LANE_STRIDE;
+        let name = if tid % LANE_STRIDE == 1 {
+            format!("attempt {attempt}")
+        } else {
+            format!("attempt {attempt} task {}", tid % LANE_STRIDE - 2)
+        };
+        meta.push(thread_name(HOST_PID, tid, &name));
+    }
+    if !virt_tids.is_empty() {
+        meta.push(process_name(VIRT_PID, "virtual-cluster"));
+        for &tid in &virt_tids {
+            meta.push(thread_name(VIRT_PID, tid, &format!("node {}", tid - 1)));
+        }
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[");
+    for (i, ev) in meta.iter().chain(out.iter()).enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push('\n');
+        doc.push_str(ev);
+    }
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect()
+    }
+
+    fn start(name: &'static str, id: u64, parent: u64, ts: u64, labels: &[(&str, &str)]) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::SpanStart,
+            name,
+            span_id: id,
+            parent_id: parent,
+            dur_us: None,
+            value: None,
+            labels: owned(labels),
+        }
+    }
+
+    fn end(name: &'static str, id: u64, parent: u64, ts: u64, dur: u64) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::SpanEnd,
+            name,
+            span_id: id,
+            parent_id: parent,
+            dur_us: Some(dur),
+            value: None,
+            labels: Vec::new(),
+        }
+    }
+
+    fn point(name: &'static str, value: f64, labels: &[(&str, &str)]) -> Event {
+        Event {
+            ts_us: 5,
+            kind: EventKind::Point,
+            name,
+            span_id: 0,
+            parent_id: 0,
+            dur_us: None,
+            value: Some(value),
+            labels: owned(labels),
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            start("job", 1, 0, 0, &[("job", "wc")]),
+            start("phase.map", 2, 1, 0, &[("tasks", "2")]),
+            start("task.map", 3, 2, 1, &[("task", "0")]),
+            end("task.map", 3, 2, 40, 39),
+            start("task.map", 4, 2, 2, &[("task", "1")]),
+            end("task.map", 4, 2, 60, 58),
+            end("phase.map", 2, 1, 60, 60),
+            point(
+                "sched.map",
+                2.0,
+                &[("task", "0"), ("node", "0"), ("start", "0.000000")],
+            ),
+            point(
+                "sched.map",
+                3.0,
+                &[
+                    ("task", "1"),
+                    ("node", "1"),
+                    ("start", "2.000000"),
+                    ("reexec", "1"),
+                ],
+            ),
+            point("chaos.crash", 1.5, &[("node", "1")]),
+            point("task.retry", 1.0, &[("phase", "map"), ("task", "1")]),
+            end("job", 1, 0, 100, 100),
+        ]
+    }
+
+    fn events_of(doc: &str) -> Vec<Json> {
+        let parsed = Json::parse(doc).expect("trace parses as JSON");
+        parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array")
+            .to_vec()
+    }
+
+    #[test]
+    fn exports_balanced_begin_end_pairs_per_lane() {
+        let doc = write_chrome_trace(&sample_events());
+        let events = events_of(&doc);
+        let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+        for e in &events {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            let pid = e.get("pid").and_then(Json::as_u64).unwrap_or(0);
+            let tid = e.get("tid").and_then(Json::as_u64).unwrap_or(0);
+            let name = e.get("name").and_then(Json::as_str).unwrap().to_owned();
+            match ph {
+                "B" => stacks.entry((pid, tid)).or_default().push(name),
+                "E" => {
+                    let top = stacks.entry((pid, tid)).or_default().pop();
+                    assert_eq!(top.as_deref(), Some(name.as_str()), "mismatched E");
+                }
+                _ => {}
+            }
+        }
+        for ((pid, tid), stack) in stacks {
+            assert!(stack.is_empty(), "unclosed B events on {pid}:{tid}");
+        }
+    }
+
+    #[test]
+    fn task_spans_get_their_own_lanes_and_sched_points_become_slices() {
+        let doc = write_chrome_trace(&sample_events());
+        let events = events_of(&doc);
+        let tid_of = |name: &str, ph: &str| -> Vec<u64> {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("name").and_then(Json::as_str) == Some(name)
+                        && e.get("ph").and_then(Json::as_str) == Some(ph)
+                })
+                .map(|e| e.get("tid").and_then(Json::as_u64).unwrap())
+                .collect()
+        };
+        // The two map tasks sit on distinct lanes, apart from the
+        // control lane carrying job/phase spans.
+        let task_tids = tid_of("task.map", "B");
+        assert_eq!(task_tids.len(), 2);
+        assert_ne!(task_tids[0], task_tids[1]);
+        let control = tid_of("job", "B");
+        assert_eq!(control, vec![1]);
+        assert!(!task_tids.contains(&1));
+        // The virtual schedule: one clean map slice, one re-execution.
+        assert_eq!(tid_of("map", "X"), vec![1]);
+        assert_eq!(tid_of("map.reexec", "X"), vec![2]);
+        // Chaos instant and the retry marker survive.
+        assert_eq!(tid_of("chaos.crash", "i").len(), 1);
+        assert_eq!(tid_of("task.retry", "i"), vec![1]);
+        // Metadata names both processes.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(names.contains(&"host"), "{names:?}");
+        assert!(names.contains(&"virtual-cluster"), "{names:?}");
+        assert!(names.contains(&"node 1"), "{names:?}");
+        assert!(names.contains(&"attempt 0 task 0"), "{names:?}");
+    }
+
+    #[test]
+    fn stitched_attempt_labels_split_host_lanes() {
+        let mut events = sample_events();
+        for e in &mut events {
+            e.labels.push(("run_attempt".to_owned(), "1".to_owned()));
+        }
+        let doc = write_chrome_trace(&events);
+        let parsed = events_of(&doc);
+        let job_tid = parsed
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("job")
+                    && e.get("ph").and_then(Json::as_str) == Some("B")
+            })
+            .and_then(|e| e.get("tid"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(job_tid, LANE_STRIDE + 1, "attempt 1 uses its own block");
+    }
+
+    #[test]
+    fn empty_stream_is_still_a_valid_document() {
+        let doc = write_chrome_trace(&[]);
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed
+                .get("traceEvents")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1),
+            "only the host process_name record"
+        );
+    }
+}

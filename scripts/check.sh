@@ -32,6 +32,13 @@ for w in sampling kmeans djcluster synth; do
         "target/bench-smoke/BENCH_$w.json" "target/bench-smoke/BENCH_$w.json"
 done
 
+echo "== perf-diff smoke: a run diffed against itself is clean =="
+# The root-cause engine must not invent causes out of identical runs;
+# on a real regression the compare gate appends its ranked report.
+./target/release/gepeto-bench diff \
+    target/bench-smoke/BENCH_kmeans.json target/bench-smoke/BENCH_kmeans.json \
+    | grep -q 'no significant delta'
+
 echo "== bench perf-gate: compare against committed baselines =="
 # Virtual-cluster metrics (shuffle_bytes, counters, makespan) are
 # deterministic, so any drift beyond the threshold is a real perf or
@@ -73,7 +80,8 @@ RESUME_B=target/bench-smoke/run-killed
 rm -rf "$RESUME_A" "$RESUME_B"
 KM_FLAGS=(--users 40 --scale 0.01 --k 5 --max-iter 40 --delta 0 --memory-budget 1)
 ./target/release/gepeto kmeans "${KM_FLAGS[@]}" --run-dir "$RESUME_A"
-./target/release/gepeto kmeans "${KM_FLAGS[@]}" --run-dir "$RESUME_B" &
+./target/release/gepeto kmeans "${KM_FLAGS[@]}" --run-dir "$RESUME_B" \
+    --trace-out "$RESUME_B/trace.json" &
 VICTIM=$!
 # Kill once the journal shows committed progress (two sealed iterations).
 for _ in $(seq 1 3000); do
@@ -94,15 +102,23 @@ cmp "$RESUME_A/OUTPUT" "$RESUME_B/OUTPUT"
 # Whether the in-flight iteration had committed partitions at kill time
 # is a race, so assert the family is exported, not a specific count.
 grep -q '^gepeto_journal_replayed_tasks_total [0-9]' target/bench-smoke/resume.prom
+# The resumed run re-exports ONE stitched Perfetto trace: structurally
+# valid, with the resumed attempt on its own lane next to the pre-kill
+# attempt's work.
+./target/release/gepeto-bench validate-trace "$RESUME_B/trace.json"
+grep -q 'attempt 1' "$RESUME_B/trace.json"
 
-echo "== live monitoring smoke: watch + exposition + flamegraph =="
+echo "== live monitoring smoke: watch + exposition + flamegraph + trace =="
 # A chaos k-means under the heartbeat reporter must leave a well-formed
-# Prometheus exposition and folded flamegraph stacks behind.
+# Prometheus exposition, folded flamegraph stacks, and a structurally
+# valid Chrome/Perfetto trace behind.
 ./target/release/gepeto kmeans --users 2 --scale 0.002 --k 2 --max-iter 2 \
     --crash 1@40 --watch=0.2 \
     --prom-out target/bench-smoke/kmeans.prom \
-    --folded-out target/bench-smoke/kmeans.folded
+    --folded-out target/bench-smoke/kmeans.folded \
+    --trace-out target/bench-smoke/kmeans.trace.json
 ./target/release/gepeto-bench validate-prom target/bench-smoke/kmeans.prom
+./target/release/gepeto-bench validate-trace target/bench-smoke/kmeans.trace.json
 test -s target/bench-smoke/kmeans.folded
 test -s target/bench-smoke/kmeans.folded.virtual
 
