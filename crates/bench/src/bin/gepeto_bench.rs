@@ -155,12 +155,13 @@ fn cmd_run(argv: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&path, report.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
         println!(
             "{workload:>10}: {} jobs, {} map + {} reduce tasks, \
-             virtual makespan {:.1}s, host {}ms -> {}",
+             virtual makespan {:.1}s, host {}ms, heap peak {:.1} MB -> {}",
             report.jobs,
             report.map_tasks,
             report.reduce_tasks,
             report.makespan_s,
             report.wall_ms,
+            report.mem.peak_bytes as f64 / 1e6,
             path.display()
         );
     }

@@ -1,16 +1,19 @@
 //! Machine-readable bench reports (`BENCH_<workload>.json`) and the
 //! regression comparison between two of them.
 //!
-//! The schema is versioned (`gepeto-bench/1`); [`BenchReport::from_json`]
+//! The schema is versioned (`gepeto-bench/2`); [`BenchReport::from_json`]
 //! doubles as the validator — a file that parses back is a valid bench
 //! artifact, and `gepeto-bench validate` exposes exactly that check.
 
 use crate::json::{Json, Writer};
 use gepeto_mapred::JobStats;
-use gepeto_telemetry::Recorder;
+use gepeto_telemetry::{MemDelta, Recorder};
 
 /// Current schema identifier, bumped on breaking field changes.
-pub const SCHEMA: &str = "gepeto-bench/1";
+/// Version 2 added the `mem` block (tracking-allocator peaks and the
+/// engine's budget-vs-actual accounting) so memory regressions gate the
+/// same way time regressions do.
+pub const SCHEMA: &str = "gepeto-bench/2";
 
 /// One phase of the virtual critical path (see
 /// [`gepeto_telemetry::VirtualCriticalPath`]), flattened for JSON.
@@ -47,6 +50,26 @@ pub struct TaskQuantiles {
     pub max_us: u64,
 }
 
+/// Memory footprint of one workload run: what the tracking allocator
+/// observed over the whole workload, plus the engine's own
+/// budget-vs-actual shuffle accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemBlock {
+    /// Tracking-allocator peak live bytes over the workload window.
+    pub peak_bytes: u64,
+    /// Total heap bytes allocated over the window (turnover, not live).
+    pub allocated_bytes: u64,
+    /// Heap allocation calls over the window.
+    pub allocs: u64,
+    /// Highest buffered intermediate size the engine's accounting saw
+    /// (max across jobs — the value compared against the spill budget).
+    pub accounted_peak: u64,
+    /// Configured per-task memory budget (0 = unbudgeted workload).
+    pub budget_bytes: u64,
+    /// How far the accounted peak overshot the budget (0 when inside).
+    pub peak_over_budget_bytes: u64,
+}
+
 /// Everything `gepeto-bench run` measures for one workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -78,6 +101,9 @@ pub struct BenchReport {
     pub retries: u64,
     /// Map tasks re-executed after output loss.
     pub reexecuted_maps: u64,
+    /// Memory footprint: allocator peaks plus budget-vs-actual shuffle
+    /// accounting.
+    pub mem: MemBlock,
     /// Per-phase critical path of the dominant job, when telemetry
     /// captured scheduler points.
     pub critical_path: Vec<PhaseBreakdown>,
@@ -88,7 +114,8 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Folds job statistics and the run's telemetry into a report.
+    /// Folds job statistics, the run's telemetry and the workload-wide
+    /// ledger window (`mem`) into a report.
     pub fn from_run(
         workload: &str,
         scale: f64,
@@ -96,8 +123,25 @@ impl BenchReport {
         wall_ms: u64,
         jobs: &[&JobStats],
         telemetry: &Recorder,
+        mem: MemDelta,
     ) -> Self {
         let summary = telemetry.summary();
+        let counter = |name: &str| {
+            summary
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let mem = MemBlock {
+            peak_bytes: mem.peak_bytes,
+            allocated_bytes: mem.allocated,
+            allocs: mem.allocs,
+            accounted_peak: counter(gepeto_telemetry::MEM_ACCOUNTED_PEAK_COUNTER),
+            budget_bytes: counter(gepeto_telemetry::MEM_BUDGET_BYTES_COUNTER),
+            peak_over_budget_bytes: counter(gepeto_telemetry::MEM_PEAK_OVER_BUDGET_COUNTER),
+        };
         let critical_path = telemetry
             .virtual_critical_path()
             .map(|vcp| {
@@ -130,6 +174,7 @@ impl BenchReport {
             shuffle_bytes: jobs.iter().map(|s| s.sim.shuffle_bytes).sum(),
             retries: jobs.iter().map(|s| s.retries).sum(),
             reexecuted_maps: jobs.iter().map(|s| s.reexecuted_maps).sum(),
+            mem,
             critical_path,
             tasks: summary
                 .tasks
@@ -164,6 +209,14 @@ impl BenchReport {
         w.u64_field("shuffle_bytes", self.shuffle_bytes);
         w.u64_field("retries", self.retries);
         w.u64_field("reexecuted_maps", self.reexecuted_maps);
+        w.open_obj_field("mem");
+        w.u64_field("peak_bytes", self.mem.peak_bytes);
+        w.u64_field("allocated_bytes", self.mem.allocated_bytes);
+        w.u64_field("allocs", self.mem.allocs);
+        w.u64_field("accounted_peak", self.mem.accounted_peak);
+        w.u64_field("budget_bytes", self.mem.budget_bytes);
+        w.u64_field("peak_over_budget_bytes", self.mem.peak_over_budget_bytes);
+        w.close_obj();
         w.open_arr_field("critical_path");
         for p in &self.critical_path {
             w.open_obj();
@@ -288,6 +341,15 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let mem_obj = v.get("mem").ok_or("missing object field 'mem'")?;
+        let mem = MemBlock {
+            peak_bytes: u64_of(mem_obj, "peak_bytes")?,
+            allocated_bytes: u64_of(mem_obj, "allocated_bytes")?,
+            allocs: u64_of(mem_obj, "allocs")?,
+            accounted_peak: u64_of(mem_obj, "accounted_peak")?,
+            budget_bytes: u64_of(mem_obj, "budget_bytes")?,
+            peak_over_budget_bytes: u64_of(mem_obj, "peak_over_budget_bytes")?,
+        };
         let counters = v
             .get("counters")
             .and_then(Json::as_obj)
@@ -315,6 +377,7 @@ impl BenchReport {
             shuffle_bytes: u64_of(&v, "shuffle_bytes")?,
             retries: u64_of(&v, "retries")?,
             reexecuted_maps: u64_of(&v, "reexecuted_maps")?,
+            mem,
             critical_path,
             tasks,
             counters,
@@ -448,6 +511,36 @@ pub fn compare_ignoring(
         old.shuffle_bytes as f64,
         new.shuffle_bytes as f64,
     );
+    // Memory is a cost metric like time: a candidate whose heap peak or
+    // accounted shuffle peak grew past the threshold fails the gate. An
+    // overshoot appearing where the baseline had none is an infinite
+    // regression — the run started spilling.
+    cost(
+        "mem.peak_bytes",
+        old.mem.peak_bytes as f64,
+        new.mem.peak_bytes as f64,
+    );
+    cost(
+        "mem.allocated_bytes",
+        old.mem.allocated_bytes as f64,
+        new.mem.allocated_bytes as f64,
+    );
+    cost(
+        "mem.accounted_peak",
+        old.mem.accounted_peak as f64,
+        new.mem.accounted_peak as f64,
+    );
+    cost(
+        "mem.peak_over_budget_bytes",
+        old.mem.peak_over_budget_bytes as f64,
+        new.mem.peak_over_budget_bytes as f64,
+    );
+    if old.mem.budget_bytes != new.mem.budget_bytes {
+        cmp.notes.push(format!(
+            "mem budget: {} -> {}",
+            old.mem.budget_bytes, new.mem.budget_bytes
+        ));
+    }
     for t_new in &new.tasks {
         if let Some(t_old) = old.tasks.iter().find(|t| t.kind == t_new.kind) {
             cost(
@@ -494,8 +587,16 @@ pub fn compare_ignoring(
 }
 
 /// Counter families exempt from baseline-drift notes: storage-fault
-/// repairs and journal replays vary run to run by design.
-const DURABILITY_COUNTER_PREFIXES: &[&str] = &["io.", "journal.", "spill.runs_quarantined"];
+/// repairs and journal replays vary run to run by design, and the
+/// memory counters already gate through the dedicated `mem` block (a
+/// second note per moved byte would just be noise).
+const DURABILITY_COUNTER_PREFIXES: &[&str] = &[
+    "io.",
+    "journal.",
+    "spill.runs_quarantined",
+    "mem.",
+    "spill.estimate_error_bytes",
+];
 
 #[cfg(test)]
 mod tests {
@@ -517,6 +618,14 @@ mod tests {
             shuffle_bytes: 1_000_000,
             retries: 0,
             reexecuted_maps: 0,
+            mem: MemBlock {
+                peak_bytes: 40_000_000,
+                allocated_bytes: 250_000_000,
+                allocs: 1_200_000,
+                accounted_peak: 30_000_000,
+                budget_bytes: 64_000_000,
+                peak_over_budget_bytes: 0,
+            },
             critical_path: vec![PhaseBreakdown {
                 phase: "map".to_string(),
                 wall_s: 60.0,
@@ -592,6 +701,54 @@ mod tests {
         assert_eq!(cmp.notes.len(), 3);
         assert!(cmp.notes.iter().any(|n| n.contains("map_tasks")));
         assert!(cmp.notes.iter().any(|n| n.contains("absent")));
+    }
+
+    #[test]
+    fn memory_regressions_trip_the_gate() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.mem.peak_bytes = (a.mem.peak_bytes as f64 * 1.30) as u64; // +30%
+        let cmp = compare(&a, &b, 5.0);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].metric, "mem.peak_bytes");
+
+        // An overshoot appearing from a zero baseline is infinite: the
+        // candidate started spilling.
+        let mut c = a.clone();
+        c.mem.peak_over_budget_bytes = 27_000_000;
+        let cmp = compare(&a, &c, 5.0);
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|d| d.metric == "mem.peak_over_budget_bytes" && d.delta_pct.is_infinite()));
+
+        // A shrinking heap is credited, and a budget change is a note,
+        // not a regression.
+        let mut d = a.clone();
+        d.mem.allocated_bytes /= 2;
+        d.mem.budget_bytes = 128_000_000;
+        let cmp = compare(&a, &d, 5.0);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp
+            .improvements
+            .iter()
+            .any(|m| m.metric == "mem.allocated_bytes"));
+        assert!(cmp.notes.iter().any(|n| n.contains("mem budget")));
+    }
+
+    #[test]
+    fn memory_counters_are_exempt_from_notes_like_durability() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.counters.push(("mem.accounted_peak".to_string(), 123));
+        b.counters.push(("mem.peak_bytes".to_string(), 456));
+        b.counters
+            .push(("spill.estimate_error_bytes".to_string(), 789));
+        let cmp = compare(&a, &b, 5.0);
+        assert!(cmp.notes.is_empty(), "{:?}", cmp.notes);
+        // Other spill counters still note drift.
+        b.counters.push(("spill.files".to_string(), 3));
+        assert_eq!(compare(&a, &b, 5.0).notes.len(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::{convergence_delta_for, dataset, parapluie};
 use gepeto::prelude::*;
 use gepeto_geo::DistanceMetric;
 use gepeto_mapred::JobStats;
-use gepeto_telemetry::Recorder;
+use gepeto_telemetry::{LedgerScope, Recorder};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -75,11 +75,13 @@ pub fn run_sampling(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let (_ds, cluster, dfs) = cfg.setup();
     let scfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToUpperLimit);
     let telemetry = Recorder::enabled();
+    let ledger = LedgerScope::open();
     let started = Instant::now();
     let (_sampled, stats) =
         sampling::mapreduce_sample_with(&cluster, &dfs, "input", &scfg, &telemetry)
             .map_err(|e| e.to_string())?;
     let wall_ms = started.elapsed().as_millis() as u64;
+    let mem = ledger.close();
     Ok(BenchReport::from_run(
         "sampling",
         cfg.scale,
@@ -87,6 +89,7 @@ pub fn run_sampling(cfg: &BenchConfig) -> Result<BenchReport, String> {
         wall_ms,
         &[&stats],
         &telemetry,
+        mem,
     ))
 }
 
@@ -101,13 +104,15 @@ pub fn run_kmeans(cfg: &BenchConfig) -> Result<BenchReport, String> {
         ..kmeans::KMeansConfig::paper(metric)
     };
     let telemetry = Recorder::enabled();
+    let ledger = LedgerScope::open();
     let started = Instant::now();
     let result = kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &kcfg, &telemetry)
         .map_err(|e| e.to_string())?;
     let wall_ms = started.elapsed().as_millis() as u64;
+    let mem = ledger.close();
     let jobs: Vec<&JobStats> = result.per_iteration.iter().map(|it| &it.job).collect();
     Ok(BenchReport::from_run(
-        "kmeans", cfg.scale, cfg.users, wall_ms, &jobs, &telemetry,
+        "kmeans", cfg.scale, cfg.users, wall_ms, &jobs, &telemetry, mem,
     ))
 }
 
@@ -123,6 +128,7 @@ pub fn run_synth(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let cluster = parapluie();
     let mut dfs = gepeto::dfs_io::trace_dfs(&cluster, cfg.chunk_bytes());
     let telemetry = Recorder::enabled();
+    let ledger = LedgerScope::open();
     let started = Instant::now();
     synth.to_dfs(&mut dfs, "input").map_err(|e| e.to_string())?;
     // ~1/64 of the whole shuffle per partition: a handful of sorted
@@ -140,6 +146,7 @@ pub fn run_synth(cfg: &BenchConfig) -> Result<BenchReport, String> {
     )
     .map_err(|e| e.to_string())?;
     let wall_ms = started.elapsed().as_millis() as u64;
+    let mem = ledger.close();
     Ok(BenchReport::from_run(
         "synth",
         cfg.scale,
@@ -147,6 +154,7 @@ pub fn run_synth(cfg: &BenchConfig) -> Result<BenchReport, String> {
         wall_ms,
         &[&stats],
         &telemetry,
+        mem,
     ))
 }
 
@@ -159,6 +167,7 @@ pub fn run_djcluster(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let dj = djcluster::DjConfig::default();
     let rtree_cfg = gepeto::rtree_build::RTreeBuildConfig::default();
     let telemetry = Recorder::enabled();
+    let ledger = LedgerScope::open();
     let started = Instant::now();
     let sample_stats =
         sampling::mapreduce_sample_to_dfs(&cluster, &mut dfs, "input", "sampled", &scfg)
@@ -173,6 +182,7 @@ pub fn run_djcluster(cfg: &BenchConfig) -> Result<BenchReport, String> {
     )
     .map_err(|e| e.to_string())?;
     let wall_ms = started.elapsed().as_millis() as u64;
+    let mem = ledger.close();
     let mut jobs: Vec<&JobStats> = vec![&sample_stats];
     jobs.extend(pre.jobs.stages());
     jobs.push(&stats.cluster_job);
@@ -183,6 +193,7 @@ pub fn run_djcluster(cfg: &BenchConfig) -> Result<BenchReport, String> {
         wall_ms,
         &jobs,
         &telemetry,
+        mem,
     ))
 }
 
@@ -251,6 +262,14 @@ mod tests {
             "the synth tier must exercise the out-of-core shuffle, got {:?}",
             report.counters
         );
+
+        // The budgeted synth tier fills the whole mem block: allocator
+        // peaks from the ledger, budget accounting from the engine.
+        assert!(report.mem.peak_bytes > 0);
+        assert!(report.mem.allocated_bytes > 0);
+        assert!(report.mem.allocs > 0);
+        assert!(report.mem.budget_bytes > 0);
+        assert!(report.mem.accounted_peak > 0);
 
         let back = BenchReport::from_json(&report.to_json()).unwrap();
         let cmp = compare(&report, &back, 1.0);

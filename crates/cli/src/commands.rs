@@ -70,7 +70,8 @@ counters, per-node busy time) to stderr every SECS seconds (default 2);
 --prom-out PATH rewrites PATH as a Prometheus text exposition on the
 same cadence (and once at exit); --folded-out PATH writes collapsed
 flamegraph stacks (host self-time; plus PATH.virtual with the simulated
-cluster's per-task makespan attribution) for inferno/flamegraph.pl.
+cluster's per-task makespan attribution and PATH.alloc with exclusive
+heap-allocation bytes per span) for inferno/flamegraph.pl.
 Artifacts are written even when the run aborts mid-flight.
 Fault injection (sample, kmeans, djcluster): --crash N@T[,N@T...] kills
 node N at virtual second T; --degrade N@T@FACTOR[,...] slows node N by
@@ -493,6 +494,12 @@ fn finish_metrics(args: &Args, rec: &Recorder) -> Result<(), String> {
             std::fs::write(&vpath, virtual_stacks)
                 .map_err(|e| format!("--folded-out {vpath}: {e}"))?;
             written.push_str(&format!(", virtual stacks -> {vpath}"));
+        }
+        if let Some(alloc_stacks) = gepeto_telemetry::alloc_folded(&events) {
+            let apath = format!("{path}.alloc");
+            std::fs::write(&apath, alloc_stacks)
+                .map_err(|e| format!("--folded-out {apath}: {e}"))?;
+            written.push_str(&format!(", alloc stacks -> {apath}"));
         }
         eprintln!("{written}");
     }
@@ -1434,8 +1441,17 @@ mod tests {
         assert!(host.contains("kmeans"), "{host}");
         let virt = std::fs::read_to_string(&vpath).unwrap();
         assert!(virt.contains(";map;"), "{virt}");
+        // The ledger attributes heap bytes to every span, so the alloc
+        // fold exists and its frames carry numeric exclusive weights.
+        let apath = std::env::temp_dir().join("gepeto-cli-folded-test.folded.alloc");
+        let alloc = std::fs::read_to_string(&apath).unwrap();
+        assert!(alloc.lines().count() > 0);
+        assert!(alloc.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(_, w)| w.parse::<u64>().is_ok())));
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(vpath);
+        let _ = std::fs::remove_file(apath);
     }
 
     #[test]

@@ -86,7 +86,36 @@ pub mod builtin {
     /// Virtual milliseconds stalled on storage: EIO retry backoff plus
     /// simulated slow-disk write penalties, accumulated per commit.
     pub const IO_STALL_MS: &str = gepeto_telemetry::IO_STALL_MS_COUNTER;
+    /// The configured per-task memory budget in bytes (0 = unbudgeted).
+    pub const MEM_BUDGET_BYTES: &str = gepeto_telemetry::MEM_BUDGET_BYTES_COUNTER;
+    /// Highest buffered intermediate size the engine's own accounting
+    /// observed — the value the spill machinery compares against the
+    /// budget (max across tasks and iterations, not a sum).
+    pub const MEM_ACCOUNTED_PEAK: &str = gepeto_telemetry::MEM_ACCOUNTED_PEAK_COUNTER;
+    /// How far [`MEM_ACCOUNTED_PEAK`] overshot [`MEM_BUDGET_BYTES`]
+    /// (0 when the run stayed inside its budget or had none).
+    pub const MEM_PEAK_OVER_BUDGET: &str = gepeto_telemetry::MEM_PEAK_OVER_BUDGET_COUNTER;
+    /// Tracking-allocator peak live bytes observed over the job's span
+    /// (max, not a sum).
+    pub const MEM_PEAK_BYTES: &str = gepeto_telemetry::MEM_PEAK_BYTES_COUNTER;
+    /// Tracking-allocator bytes allocated over the job's span.
+    pub const MEM_ALLOCATED_BYTES: &str = gepeto_telemetry::MEM_ALLOCATED_BYTES_COUNTER;
+    /// Tracking-allocator allocation calls over the job's span.
+    pub const MEM_ALLOCS: &str = gepeto_telemetry::MEM_ALLOCS_COUNTER;
+    /// Absolute error between the estimated buffered size that triggered
+    /// each spill and the bytes the sealed run actually wrote.
+    pub const SPILL_ESTIMATE_ERROR: &str = gepeto_telemetry::SPILL_ESTIMATE_ERROR_COUNTER;
 }
+
+/// Counters that carry a high-water mark rather than a running total:
+/// folding them across tasks, iterations or jobs must take the max, not
+/// the sum.
+pub const MAX_MERGED_COUNTERS: &[&str] = &[
+    builtin::MEM_BUDGET_BYTES,
+    builtin::MEM_ACCOUNTED_PEAK,
+    builtin::MEM_PEAK_OVER_BUDGET,
+    builtin::MEM_PEAK_BYTES,
+];
 
 /// A concurrent set of named counters. Cloning shares the underlying
 /// storage (it is an `Arc` internally), matching how every task of a job
@@ -108,6 +137,14 @@ impl Counters {
         *map.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Raises counter `name` to `value` if it is currently lower — the
+    /// fold for [`MAX_MERGED_COUNTERS`]-style high-water marks.
+    pub fn set_max(&self, name: &str, value: u64) {
+        let mut map = self.inner.lock();
+        let entry = map.entry(name.to_string()).or_insert(0);
+        *entry = (*entry).max(value);
+    }
+
     /// Current value of `name` (0 when never incremented).
     pub fn get(&self, name: &str) -> u64 {
         self.inner.lock().get(name).copied().unwrap_or(0)
@@ -118,12 +155,20 @@ impl Counters {
         self.inner.lock().clone()
     }
 
-    /// Merges another counter set into this one by addition.
+    /// Merges another counter set into this one: high-water marks
+    /// ([`MAX_MERGED_COUNTERS`]) fold by max, everything else by
+    /// addition.
     pub fn merge(&self, other: &Counters) {
         let other_snapshot = other.snapshot();
         let mut map = self.inner.lock();
         for (k, v) in other_snapshot {
-            *map.entry(k).or_insert(0) += v;
+            let max_merged = MAX_MERGED_COUNTERS.contains(&k.as_str());
+            let entry = map.entry(k).or_insert(0);
+            if max_merged {
+                *entry = (*entry).max(v);
+            } else {
+                *entry += v;
+            }
         }
     }
 }
@@ -179,5 +224,22 @@ mod tests {
         assert_eq!(snap["x"], 1);
         assert_eq!(snap["y"], 5);
         assert_eq!(snap["z"], 4);
+    }
+
+    #[test]
+    fn high_water_counters_fold_by_max() {
+        let a = Counters::new();
+        a.set_max(builtin::MEM_ACCOUNTED_PEAK, 100);
+        a.set_max(builtin::MEM_ACCOUNTED_PEAK, 40);
+        assert_eq!(a.get(builtin::MEM_ACCOUNTED_PEAK), 100);
+        a.set_max(builtin::MEM_ACCOUNTED_PEAK, 250);
+        assert_eq!(a.get(builtin::MEM_ACCOUNTED_PEAK), 250);
+        // merge keeps the larger watermark instead of summing.
+        let b = Counters::new();
+        b.set_max(builtin::MEM_ACCOUNTED_PEAK, 120);
+        b.inc("x", 7);
+        a.merge(&b);
+        assert_eq!(a.get(builtin::MEM_ACCOUNTED_PEAK), 250);
+        assert_eq!(a.get("x"), 7);
     }
 }

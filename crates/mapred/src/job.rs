@@ -28,7 +28,7 @@ use crate::spill::{
     SealStats, SpillCodec, SpillDir, SpillEncode, SpillRun, SpillSpec, SpilledPartition,
 };
 use crate::topology::Cluster;
-use gepeto_telemetry::{Recorder, Span};
+use gepeto_telemetry::{LedgerScope, Recorder, Span};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -432,6 +432,7 @@ where
     pub fn run(self) -> Result<JobResult<R::KOut, R::VOut>, JobError> {
         let started = Instant::now();
         let counters = Counters::new();
+        let job_ledger = LedgerScope::open();
         let monitor = self.telemetry.monitor();
         if let Some(m) = &monitor {
             m.job_started();
@@ -733,6 +734,7 @@ where
         )?;
         self.cluster.chaos.advance(sim.makespan_s);
         job_span.end();
+        note_job_mem(job_ledger, &counters);
         let stats = finish_stats(
             self.name,
             map_sim.len(),
@@ -817,6 +819,7 @@ where
     pub fn run(self) -> Result<JobResult<M::KOut, M::VOut>, JobError> {
         let started = Instant::now();
         let counters = Counters::new();
+        let job_ledger = LedgerScope::open();
         if let Some(m) = self.telemetry.monitor() {
             m.job_started();
         }
@@ -860,6 +863,7 @@ where
         )?;
         self.cluster.chaos.advance(sim.makespan_s);
         job_span.end();
+        note_job_mem(job_ledger, &counters);
         let stats = finish_stats(
             self.name,
             sim_tasks.len(),
@@ -885,6 +889,17 @@ fn failed_attempt_fraction(
     seed: u64,
 ) -> f64 {
     0.2 + 0.75 * unit_hash(&(job, phase_name, task, attempt, seed, "runtime"))
+}
+
+/// Closes the job-level memory ledger into the job counters: the
+/// allocator peak folds as a high-water mark, turnover adds.
+fn note_job_mem(ledger: LedgerScope, counters: &Counters) {
+    let mem = ledger.close();
+    counters.set_max(builtin::MEM_PEAK_BYTES, mem.peak_bytes);
+    if mem.allocated > 0 {
+        counters.inc(builtin::MEM_ALLOCATED_BYTES, mem.allocated);
+        counters.inc(builtin::MEM_ALLOCS, mem.allocs);
+    }
 }
 
 /// Folds the sim report's recovery tallies into the job counters,
@@ -915,7 +930,17 @@ fn finish_stats(
     let counters_snapshot = counters.snapshot();
     if telemetry.is_enabled() {
         for (k, &v) in &counters_snapshot {
-            telemetry.count(k, v);
+            if crate::counters::MAX_MERGED_COUNTERS.contains(&k.as_str()) {
+                // High-water marks: raise the recorder's aggregate to
+                // this job's watermark instead of summing watermarks
+                // across jobs and iterations.
+                let cur = telemetry.counter(k);
+                if v > cur {
+                    telemetry.count(k, v - cur);
+                }
+            } else {
+                telemetry.count(k, v);
+            }
         }
     }
     let mirror = |name: &str| counters_snapshot.get(name).copied().unwrap_or(0);
@@ -1164,6 +1189,9 @@ where
     }
     let mut partition_bytes = vec![0u64; num_partitions];
     let mut sim_tasks = Vec::with_capacity(block_ids.len());
+    // Highest buffered intermediate size the copy step's own accounting
+    // saw — the value the spill trigger compares against the budget.
+    let mut acct_peak = 0u64;
     let partitions: Vec<PartitionInput<M::KOut, M::VOut>> = if num_reducers == 0 {
         let mut partitions = Vec::with_capacity(num_partitions);
         for (task_id, r) in ok_results.into_iter().enumerate() {
@@ -1173,6 +1201,7 @@ where
                 r.buckets.into_iter().next().unwrap(),
             ));
         }
+        acct_peak = partition_bytes.iter().copied().max().unwrap_or(0);
         partitions
     } else if let Some(sp) = spill {
         // Memory-bounded copy step: partitions grow only until the
@@ -1190,6 +1219,7 @@ where
             for (p, bucket) in r.buckets.into_iter().enumerate() {
                 partition_bytes[p] += r.bucket_bytes[p];
                 mem_bytes[p] += r.bucket_bytes[p];
+                acct_peak = acct_peak.max(mem_bytes[p]);
                 bufs[p].extend(bucket);
                 if mem_bytes[p] > sp.budget as u64 && !bufs[p].is_empty() {
                     let dir =
@@ -1203,13 +1233,16 @@ where
                         job_name,
                         counters,
                         &monitor,
+                        mem_bytes[p],
                     )?);
                     mem_bytes[p] = 0;
                 }
             }
         }
         let mut partitions = Vec::with_capacity(num_partitions);
-        for (mut buf, mut partition_runs) in bufs.into_iter().zip(runs) {
+        for ((mut buf, mut partition_runs), tail_estimate) in
+            bufs.into_iter().zip(runs).zip(mem_bytes)
+        {
             if partition_runs.is_empty() {
                 partitions.push(PartitionInput::Memory(buf));
             } else {
@@ -1227,6 +1260,7 @@ where
                         job_name,
                         counters,
                         &monitor,
+                        tail_estimate,
                     )?);
                 }
                 partitions.push(PartitionInput::Spilled(SpilledPartition {
@@ -1250,8 +1284,23 @@ where
                 partition_bytes[p] += r.bucket_bytes[p];
             }
         }
+        acct_peak = partition_bytes.iter().copied().max().unwrap_or(0);
         partitions.into_iter().map(PartitionInput::Memory).collect()
     };
+    // Budget-vs-actual accounting: what the spill trigger compared
+    // against the budget, and how far past it the buffers got. The
+    // budgeted path can overshoot by up to one map task's bucket — the
+    // granularity at which the trigger runs.
+    if let Some(sp) = spill {
+        counters.set_max(builtin::MEM_BUDGET_BYTES, sp.budget as u64);
+        let over = acct_peak.saturating_sub(sp.budget as u64);
+        if over > 0 {
+            counters.set_max(builtin::MEM_PEAK_OVER_BUDGET, over);
+        }
+    }
+    if acct_peak > 0 {
+        counters.set_max(builtin::MEM_ACCOUNTED_PEAK, acct_peak);
+    }
     Ok(MapPhaseOutput {
         partitions,
         sim_tasks,
@@ -1314,6 +1363,11 @@ fn note_seal_stats(
 /// Stably sorts one partition buffer, seals it as a verified spill run
 /// (absorbing injected storage faults), journals the seal on durable
 /// runs, and accounts the spill in counters and the live monitor.
+///
+/// `estimated_bytes` is the buffered size the spill trigger believed it
+/// was flushing; its gap to the run's real encoded size accumulates in
+/// [`builtin::SPILL_ESTIMATE_ERROR`] so chronically wrong estimators
+/// are visible.
 #[allow(clippy::too_many_arguments)]
 fn spill_buffer<K: MrKey, V: MrValue>(
     buf: &mut Vec<(K, V)>,
@@ -1324,10 +1378,15 @@ fn spill_buffer<K: MrKey, V: MrValue>(
     job_name: &str,
     counters: &Counters,
     monitor: &Option<Arc<gepeto_telemetry::Monitor>>,
+    estimated_bytes: u64,
 ) -> Result<SpillRun, JobError> {
     buf.sort_by(|a, b| a.0.cmp(&b.0));
     let (run, seal) = seal_run(&spill.codec, dir, "run", buf, chaos)?;
     note_seal_stats(&seal, counters, monitor);
+    counters.inc(
+        builtin::SPILL_ESTIMATE_ERROR,
+        estimated_bytes.abs_diff(run.bytes),
+    );
     if let Some(j) = journal {
         j.append(&JournalEntry::SpillSealed {
             job: job_name.to_string(),
@@ -1578,6 +1637,43 @@ mod tests {
             .unwrap();
         assert!(!result.stats.counters.contains_key(builtin::SPILL_FILES));
         assert_eq!(word_counts(&result)["a"], 4);
+    }
+
+    #[test]
+    fn budgeted_runs_account_their_shuffle_peak_against_the_budget() {
+        let cluster = Cluster::local(3, 2);
+        let dfs = word_dfs(&cluster);
+        let budget = 64;
+        let result = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .memory_budget(budget)
+            .run()
+            .unwrap();
+        let c = &result.stats.counters;
+        assert_eq!(c[builtin::MEM_BUDGET_BYTES], budget as u64);
+        let peak = c[builtin::MEM_ACCOUNTED_PEAK];
+        assert!(peak > 0);
+        // With a 64-byte budget the shuffle spills, and the overshoot is
+        // exactly how far the accounted peak passed the budget.
+        let over = c[builtin::MEM_PEAK_OVER_BUDGET];
+        assert_eq!(over, peak - budget as u64);
+        // Every sealed run records its estimate error (possibly zero).
+        assert!(c.contains_key(builtin::SPILL_ESTIMATE_ERROR));
+        // The tracking allocator always observes real heap traffic.
+        assert!(c[builtin::MEM_PEAK_BYTES] > 0);
+        assert!(c[builtin::MEM_ALLOCATED_BYTES] > 0);
+        assert!(c[builtin::MEM_ALLOCS] > 0);
+
+        // Unbudgeted runs still report an accounted peak, but no budget
+        // and no overshoot.
+        let free = MapReduceJob::new("wc", &cluster, &dfs, "words", tokenizer(), SumReducer)
+            .reducers(2)
+            .run()
+            .unwrap();
+        let fc = &free.stats.counters;
+        assert!(!fc.contains_key(builtin::MEM_BUDGET_BYTES));
+        assert!(!fc.contains_key(builtin::MEM_PEAK_OVER_BUDGET));
+        assert!(fc[builtin::MEM_ACCOUNTED_PEAK] > 0);
     }
 
     #[test]

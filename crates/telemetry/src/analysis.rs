@@ -19,6 +19,7 @@
 //! live [`crate::Recorder`] snapshots and on replayed streams alike.
 
 use crate::event::{Event, EventKind};
+use crate::monitor::fmt_bytes;
 use crate::summary::fmt_us;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -68,6 +69,9 @@ pub(crate) fn build_spans(events: &[Event]) -> Vec<SpanNode> {
                     let start_us = e.ts_us.saturating_sub(e.dur_us.unwrap_or(0));
                     spans[i].end_us = e.ts_us;
                     spans[i].dur_us = e.dur_us.unwrap_or_else(|| e.ts_us - start_us);
+                    // End events carry attribution only known at close
+                    // (the span's memory ledger); fold it into the node.
+                    spans[i].labels.extend(e.labels.iter().cloned());
                 }
             }
             _ => {}
@@ -85,7 +89,8 @@ pub struct CriticalPathStep {
     pub span_id: u64,
     /// Depth below the chain's root (root = 0).
     pub depth: usize,
-    /// Identity labels captured on the span's start event.
+    /// Identity labels from the span's start event, plus close-time
+    /// attribution from its end event (the `mem.*` ledger).
     pub labels: Vec<(String, String)>,
     /// The span's wall time, microseconds.
     pub dur_us: u64,
@@ -194,7 +199,14 @@ impl CriticalPath {
         }
         let _ = writeln!(out, "total {}", fmt_us(self.total_us));
         for s in &self.steps {
-            let tags: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            // Memory attribution renders as a humanized suffix, not as
+            // raw byte-count tags.
+            let tags: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| !k.starts_with("mem."))
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
             let pct = if self.total_us > 0 {
                 100.0 * s.self_us as f64 / self.total_us as f64
             } else {
@@ -215,6 +227,22 @@ impl CriticalPath {
                 if p50 > 0 {
                     let _ = write!(line, "  x{:.1} cohort median", s.dur_us as f64 / p50 as f64);
                 }
+            }
+            let mem = |key: &str| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+            };
+            let (peak_delta, allocated) = (mem("mem.peak_delta"), mem("mem.allocated"));
+            if peak_delta > 0 || allocated > 0 {
+                let _ = write!(
+                    line,
+                    "  mem +{} peak, {} allocated",
+                    fmt_bytes(peak_delta),
+                    fmt_bytes(allocated)
+                );
             }
             let _ = writeln!(out, "{line}");
         }
@@ -643,6 +671,31 @@ mod tests {
         // Cohort median over the two reduce tasks: sorted [20, 39] -> 39.
         assert_eq!(cp.steps[2].cohort_p50_us, Some(39));
         assert!(cp.render().contains("task.reduce"));
+    }
+
+    #[test]
+    fn span_end_labels_merge_and_mem_renders_as_a_suffix() {
+        let mut close = end("job", 1, 0, 100, 100);
+        close.labels = owned(&[
+            ("mem.peak_delta", "25000000"),
+            ("mem.allocated", "75000000"),
+            ("mem.allocs", "42"),
+        ]);
+        let events = vec![start("job", 1, 0, 0, &[("job", "wc")]), close];
+        let cp = CriticalPath::from_events(&events);
+        assert_eq!(cp.steps.len(), 1);
+        assert!(cp.steps[0]
+            .labels
+            .iter()
+            .any(|(k, v)| k == "mem.allocs" && v == "42"));
+        let text = cp.render();
+        assert!(text.contains("job=wc"), "{text}");
+        // mem.* labels stay out of the tag list and render humanized.
+        assert!(!text.contains("mem.peak_delta="), "{text}");
+        assert!(
+            text.contains("mem +25.0 MB peak, 75.0 MB allocated"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -365,8 +365,9 @@ mod tests {
         let segments = load_segments(&dir);
         assert_eq!(segments.len(), 1);
         let events = &segments[0].events;
-        // 4 span events + 1 point + 1 synthesized counter.
-        assert_eq!(events.len(), 6);
+        // 4 span events + the phase-end live-heap sample + 1 point + 1
+        // synthesized counter.
+        assert_eq!(events.len(), 7);
         let original = rec.events();
         for (a, b) in original.iter().zip(events.iter()) {
             assert_eq!(a.name, b.name);

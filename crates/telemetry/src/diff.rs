@@ -17,7 +17,8 @@
 use crate::analysis::{CriticalPath, VirtualCriticalPath};
 use crate::event::Event;
 use crate::json::Writer;
-use crate::summary::{SummaryReport, IO_STALL_MS_COUNTER};
+use crate::monitor::fmt_bytes;
+use crate::summary::{SummaryReport, IO_STALL_MS_COUNTER, MEM_PEAK_OVER_BUDGET_COUNTER};
 use std::fmt::Write as _;
 
 /// Task-duration quantiles for one task kind, as carried by a profile.
@@ -86,6 +87,10 @@ pub fn profile_from_events(label: &str, events: &[Event]) -> RunProfile {
         if e.kind == crate::event::EventKind::Count {
             let v = e.value.unwrap_or(0.0).max(0.0) as u64;
             match counters.iter_mut().find(|(n, _)| n == e.name) {
+                // The live-heap gauge is sampled at every phase
+                // boundary; its profile value is the peak sample, not
+                // the sum of samples.
+                Some((_, total)) if e.name == "mem.live_bytes" => *total = (*total).max(v),
                 Some((_, total)) => *total += v,
                 None => counters.push((e.name.to_owned(), v)),
             }
@@ -124,7 +129,8 @@ pub fn profile_from_events(label: &str, events: &[Event]) -> RunProfile {
 /// One ranked explanation for the delta between two runs.
 #[derive(Debug, Clone)]
 pub struct Cause {
-    /// Attribution class: `phase`, `stall`, `tasks`, or `counter`.
+    /// Attribution class: `phase`, `stall`, `tasks`, `memory`, or
+    /// `counter`.
     pub kind: &'static str,
     /// What moved (phase name, counter name, task kind).
     pub name: String,
@@ -299,6 +305,41 @@ pub fn diff(base: &RunProfile, cand: &RunProfile) -> PerfDiff {
                         if delta_s > 0.0 { "grew" } else { "shrank" },
                         delta_s.abs()
                     ),
+                });
+            }
+        } else if name == MEM_PEAK_OVER_BUDGET_COUNTER {
+            // Crossing the memory budget is the canonical "why did it
+            // start spilling" explanation — call it out by name instead
+            // of burying it in the generic counter list.
+            let rel = if b > 0 {
+                delta.abs() / b as f64
+            } else {
+                f64::INFINITY
+            };
+            if rel >= COUNTER_SIGNIFICANCE {
+                causes.push(Cause {
+                    kind: "memory",
+                    name: name.to_owned(),
+                    base: b as f64,
+                    cand: c as f64,
+                    delta,
+                    unit: "",
+                    share: 0.0,
+                    note: if b == 0 && c > 0 {
+                        format!(
+                            "got slower because it started spilling — the accounted shuffle \
+                             peak crossed the memory budget by {} (spill writes and merge \
+                             reads follow the overshoot)",
+                            fmt_bytes(c)
+                        )
+                    } else {
+                        format!(
+                            "accounted peak over budget {} from {} to {}",
+                            if delta > 0.0 { "grew" } else { "shrank" },
+                            fmt_bytes(b),
+                            fmt_bytes(c)
+                        )
+                    },
                 });
             }
         } else {
@@ -510,6 +551,56 @@ mod tests {
         assert!(kinds.contains(&"counter"), "{kinds:?}");
         let counter_pos = kinds.iter().position(|&k| k == "counter").unwrap();
         assert!(counter_pos > 0);
+    }
+
+    #[test]
+    fn crossing_the_memory_budget_reads_as_started_spilling() {
+        let base = profile("fits");
+        let mut cand = profile("spills");
+        cand.counters
+            .push((MEM_PEAK_OVER_BUDGET_COUNTER.to_owned(), 27_000_000));
+        cand.counters.sort();
+        let d = diff(&base, &cand);
+        let mem = d
+            .causes
+            .iter()
+            .find(|c| c.kind == "memory")
+            .expect("memory cause");
+        assert_eq!(mem.name, MEM_PEAK_OVER_BUDGET_COUNTER);
+        assert!(mem.note.contains("started spilling"), "{}", mem.note);
+        assert!(mem.note.contains("27.0 MB"), "{}", mem.note);
+        // A further overshoot reads as growth, not a fresh crossing.
+        let mut worse = cand.clone();
+        for (n, v) in worse.counters.iter_mut() {
+            if n == MEM_PEAK_OVER_BUDGET_COUNTER {
+                *v = 54_000_000;
+            }
+        }
+        let d2 = diff(&cand, &worse);
+        let grew = d2.causes.iter().find(|c| c.kind == "memory").unwrap();
+        assert!(
+            grew.note.contains("grew from 27.0 MB to 54.0 MB"),
+            "{}",
+            grew.note
+        );
+    }
+
+    #[test]
+    fn live_heap_samples_profile_as_a_peak_not_a_sum() {
+        use crate::event::{Event, EventKind};
+        let sample = |v: f64| Event {
+            ts_us: 0,
+            kind: EventKind::Count,
+            name: "mem.live_bytes",
+            span_id: 0,
+            parent_id: 0,
+            dur_us: None,
+            value: Some(v),
+            labels: Vec::new(),
+        };
+        let events = vec![sample(40.0), sample(91.0), sample(12.0)];
+        let p = profile_from_events("x", &events);
+        assert_eq!(p.counters, vec![("mem.live_bytes".to_owned(), 91)]);
     }
 
     #[test]

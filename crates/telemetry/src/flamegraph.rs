@@ -128,6 +128,71 @@ pub fn host_folded(events: &[Event]) -> String {
     out
 }
 
+/// Folds the span tree into *allocation* stacks: each span's frame
+/// chain weighted by the bytes its own code allocated (the span's
+/// `mem.allocated` ledger minus its direct children's), so frame widths
+/// show where the heap turnover happened instead of where the time
+/// went. `None` when no span carries ledger labels (recorder disabled
+/// or a pre-ledger stream).
+pub fn alloc_folded(events: &[Event]) -> Option<String> {
+    let spans = build_spans(events);
+    let allocated: Vec<Option<u64>> = spans
+        .iter()
+        .map(|s| {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == "mem.allocated")
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+        })
+        .collect();
+    if allocated.iter().all(Option::is_none) {
+        return None;
+    }
+    let ids: BTreeMap<u64, usize> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.span_id, i))
+        .collect();
+    // Bytes already attributed to each span's direct children; the
+    // ledger nests, so a parent's exclusive share is its own total
+    // minus theirs.
+    let mut child_alloc = vec![0u64; spans.len()];
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent_id == 0 {
+            continue;
+        }
+        if let (Some(&p), Some(a)) = (ids.get(&s.parent_id), allocated[i]) {
+            child_alloc[p] += a;
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let Some(own) = allocated[i] else { continue };
+        let exclusive = own.saturating_sub(child_alloc[i]);
+        if exclusive == 0 {
+            continue;
+        }
+        let mut chain = vec![frame(s)];
+        let mut cur = s;
+        while cur.parent_id != 0 {
+            match ids.get(&cur.parent_id) {
+                Some(&p) => {
+                    cur = &spans[p];
+                    chain.push(frame(cur));
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        *folded.entry(chain.join(";")).or_insert(0) += exclusive;
+    }
+    let mut out = String::with_capacity(folded.len() * 48);
+    for (path, bytes) in folded {
+        let _ = writeln!(out, "{path} {bytes}");
+    }
+    Some(out)
+}
+
 /// Folds the dominant job's virtual schedule into stacks weighted by
 /// each attempt's virtual duration (integer microseconds): makespan
 /// attribution of scheduled work, recovery attempts included. `None`
@@ -274,6 +339,41 @@ mod tests {
         let text = host_folded(&events);
         let cp = CriticalPath::from_events(&events);
         assert_eq!(folded_total(&text), cp.total_us);
+    }
+
+    fn end_with_alloc(
+        name: &'static str,
+        id: u64,
+        parent: u64,
+        ts: u64,
+        dur: u64,
+        allocated: u64,
+    ) -> Event {
+        let mut e = end(name, id, parent, ts, dur);
+        e.labels = owned(&[("mem.allocated", &allocated.to_string())]);
+        e
+    }
+
+    #[test]
+    fn alloc_fold_attributes_exclusive_bytes_per_frame() {
+        let events = vec![
+            start("job", 1, 0, 0, &[("job", "wc")]),
+            start("phase.map", 2, 1, 0, &[]),
+            start("task.map", 3, 2, 10, &[("task", "0")]),
+            end_with_alloc("task.map", 3, 2, 50, 40, 25),
+            end_with_alloc("phase.map", 2, 1, 60, 60, 60),
+            end_with_alloc("job", 1, 0, 100, 100, 100),
+        ];
+        let text = alloc_folded(&events).unwrap();
+        // Exclusive shares: job 100-60, phase 60-25, task 25.
+        assert!(text.contains("job(wc) 40"), "{text}");
+        assert!(text.contains("job(wc);phase.map 35"), "{text}");
+        assert!(text.contains("job(wc);phase.map;task.map(0) 25"), "{text}");
+        // Exclusive bytes sum back to the root's ledger total.
+        assert_eq!(folded_total(&text), 100);
+        // Streams without ledger labels have no alloc fold.
+        let plain = vec![start("job", 1, 0, 0, &[]), end("job", 1, 0, 10, 10)];
+        assert!(alloc_folded(&plain).is_none());
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! wall time, task-time p50/p95/max, straggler list, retries, shuffle
 //! bytes) with a plain-text [`SummaryReport::render`].
 //!
+//! A process-wide [`TrackingAllocator`] (installed as the global
+//! allocator by this crate) counts live/peak/total-allocated bytes, and
+//! every span carries a [`LedgerScope`] window over those counters: its
+//! `span_end` event is tagged with `mem.peak_delta` / `mem.allocated` /
+//! `mem.allocs` labels, and phase spans additionally sample the live
+//! heap into the event stream (a `count` event feeding the Chrome-trace
+//! `C` counter track).
+//!
 //! ```
 //! use gepeto_telemetry::Recorder;
 //!
@@ -37,9 +45,11 @@
 //! rec.count("records", 10);
 //! let mut out = Vec::new();
 //! rec.write_jsonl(&mut out).unwrap();
-//! assert_eq!(out.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(), 4);
+//! // Four span events plus the phase-end live-heap sample.
+//! assert_eq!(out.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(), 5);
 //! ```
 
+pub mod alloc;
 mod analysis;
 pub mod archive;
 pub mod diff;
@@ -52,21 +62,24 @@ mod summary;
 mod timeline;
 pub mod trace_event;
 
+pub use alloc::{mem_stats, LedgerScope, MemDelta, MemStats, TrackingAllocator};
 pub use analysis::{CriticalPath, CriticalPathStep, PhaseCritical, TaskRef, VirtualCriticalPath};
 pub use archive::{counter_events, load_segments, stitch, ArchiveWriter, AttemptSegment};
 pub use diff::{profile_from_events, Cause, PerfDiff, RunProfile, TaskCohort};
 pub use event::{Event, EventKind};
-pub use flamegraph::{host_folded, virtual_folded};
+pub use flamegraph::{alloc_folded, host_folded, virtual_folded};
 pub use histogram::Histogram;
 pub use json::{event_to_json, write_jsonl};
 pub use monitor::{MetricsSnapshot, Monitor, Reporter};
 pub use summary::{
     PhaseStat, Straggler, SummaryReport, TaskStats, BLACKLISTED_NODES_COUNTER,
     DISTANCE_EVALS_COUNTER, FAILED_OVER_READS_COUNTER, IO_RETRIES_COUNTER, IO_STALL_MS_COUNTER,
-    JOURNAL_REPLAYED_COUNTER, REEXECUTED_MAPS_COUNTER, RUNS_QUARANTINED_COUNTER,
+    JOURNAL_REPLAYED_COUNTER, MEM_ACCOUNTED_PEAK_COUNTER, MEM_ALLOCATED_BYTES_COUNTER,
+    MEM_ALLOCS_COUNTER, MEM_BUDGET_BYTES_COUNTER, MEM_PEAK_BYTES_COUNTER,
+    MEM_PEAK_OVER_BUDGET_COUNTER, REEXECUTED_MAPS_COUNTER, RUNS_QUARANTINED_COUNTER,
     SHUFFLE_BYTES_COUNTER, SHUFFLE_BYTES_SAVED_COUNTER, SORT_SKIPPED_COUNTER,
-    SPILLED_BYTES_COUNTER, SPILLED_GROUPS_COUNTER, SPILL_FILES_COUNTER, TASK_RETRIES_COUNTER,
-    TORN_WRITES_COUNTER,
+    SPILLED_BYTES_COUNTER, SPILLED_GROUPS_COUNTER, SPILL_ESTIMATE_ERROR_COUNTER,
+    SPILL_FILES_COUNTER, TASK_RETRIES_COUNTER, TORN_WRITES_COUNTER,
 };
 pub use timeline::{NodeLane, Timeline};
 pub use trace_event::write_chrome_trace;
@@ -207,6 +220,7 @@ impl Recorder {
             }
         };
         Span {
+            ledger: self.inner.as_ref().map(|_| LedgerScope::open()),
             rec: self.clone(),
             id,
             parent_id,
@@ -368,6 +382,10 @@ pub struct Span {
     /// Whether this span sits on the recorder's context stack (created
     /// via [`Recorder::span`]) and must be popped off on drop.
     in_context: bool,
+    /// Allocator window attributing heap activity to this span
+    /// (enabled recorders only); closed on drop, its delta rides the
+    /// `span_end` event as `mem.*` labels.
+    ledger: Option<LedgerScope>,
 }
 
 impl Span {
@@ -391,6 +409,36 @@ impl Drop for Span {
             if self.in_context {
                 inner.context.lock().retain(|&id| id != self.id);
             }
+            // Close the allocator window first so the span's own labels
+            // (and the summary's phase accounting) see its heap delta.
+            let mut labels: Vec<(String, String)> = Vec::new();
+            if let Some(ledger) = self.ledger.take() {
+                let mem = ledger.close();
+                labels.push(("mem.peak_delta".to_owned(), mem.peak_delta.to_string()));
+                labels.push(("mem.allocated".to_owned(), mem.allocated.to_string()));
+                labels.push(("mem.allocs".to_owned(), mem.allocs.to_string()));
+                if let Some(phase) = self.name.strip_prefix("phase.") {
+                    // Sample the live heap into the stream (rendered as a
+                    // `C` counter track by the Chrome-trace exporter) and
+                    // feed the per-phase peak into the live monitor.
+                    Recorder::push(
+                        inner,
+                        Event {
+                            ts_us: Recorder::now_us(inner),
+                            kind: EventKind::Count,
+                            name: "mem.live_bytes",
+                            span_id: 0,
+                            parent_id: 0,
+                            dur_us: None,
+                            value: Some(alloc::mem_stats().live_bytes as f64),
+                            labels: Vec::new(),
+                        },
+                    );
+                    if let Some(monitor) = &inner.monitor {
+                        monitor.note_phase_peak(phase, mem.peak_bytes);
+                    }
+                }
+            }
             let dur_us = self.started.elapsed().as_micros() as u64;
             Recorder::push(
                 inner,
@@ -402,7 +450,7 @@ impl Drop for Span {
                     parent_id: self.parent_id,
                     dur_us: Some(dur_us),
                     value: None,
-                    labels: Vec::new(),
+                    labels,
                 },
             );
         }
@@ -441,16 +489,25 @@ mod tests {
             }
         }
         let events = rec.events();
-        assert_eq!(events.len(), 4);
+        assert_eq!(events.len(), 5);
         assert_eq!(events[0].kind, EventKind::SpanStart);
         assert_eq!(events[0].name, "phase.map");
         assert_eq!(events[1].name, "task.map");
         assert_eq!(events[1].parent_id, events[0].span_id);
-        // Inner closes before outer.
+        // Inner closes before outer; the phase end is preceded by its
+        // live-heap sample.
         assert_eq!(events[2].name, "task.map");
-        assert_eq!(events[3].name, "phase.map");
+        assert_eq!(events[3].name, "mem.live_bytes");
+        assert_eq!(events[3].kind, EventKind::Count);
+        assert_eq!(events[4].name, "phase.map");
+        // Every span end carries its allocator attribution.
+        for end in [&events[2], &events[4]] {
+            assert!(end.label("mem.allocated").is_some(), "{end:?}");
+            assert!(end.label("mem.peak_delta").is_some(), "{end:?}");
+            assert!(end.label("mem.allocs").is_some(), "{end:?}");
+        }
         let inner_dur = events[2].dur_us.unwrap();
-        let outer_dur = events[3].dur_us.unwrap();
+        let outer_dur = events[4].dur_us.unwrap();
         assert!(inner_dur <= outer_dur, "{inner_dur} > {outer_dur}");
         assert!(outer_dur >= 4_000, "outer span too short: {outer_dur}");
         // Timestamps never go backwards.

@@ -56,6 +56,9 @@ pub struct Monitor {
     driver_delta_bits: AtomicU64,
     /// Virtual busy microseconds per node, indexed by node id.
     node_busy_us: Mutex<Vec<u64>>,
+    /// Allocator peak observed inside each `phase.*` span, max-merged
+    /// across repeats (k-means iterations), fed by span close.
+    phase_peak_bytes: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     /// Run identity (`run_id`, command line) surfaced as the
     /// `gepeto_run_info` Prometheus family, set once by the driver.
@@ -216,6 +219,14 @@ impl Monitor {
         busy[node] += (secs * 1e6) as u64;
     }
 
+    /// A `phase.<phase>` span closed having observed this allocator
+    /// peak; the per-phase high-water mark keeps the max across repeats.
+    pub fn note_phase_peak(&self, phase: &str, peak_bytes: u64) {
+        let mut peaks = self.phase_peak_bytes.lock();
+        let entry = peaks.entry(phase.to_owned()).or_insert(0);
+        *entry = (*entry).max(peak_bytes);
+    }
+
     /// Records a sample into the named live histogram.
     pub fn observe(&self, name: &str, value: u64) {
         let mut histograms = self.histograms.lock();
@@ -230,8 +241,11 @@ impl Monitor {
     }
 
     /// A point-in-time copy of every gauge, counter and histogram.
+    /// Heap gauges are read straight off the process-wide
+    /// [`crate::alloc::TrackingAllocator`] counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mem = crate::alloc::mem_stats();
         MetricsSnapshot {
             jobs_started: load(&self.jobs_started),
             jobs_finished: load(&self.jobs_finished),
@@ -258,6 +272,16 @@ impl Monitor {
             journal_replayed_tasks: load(&self.journal_replayed_tasks),
             driver_iteration: load(&self.driver_iteration),
             driver_delta: f64::from_bits(load(&self.driver_delta_bits)),
+            mem_live_bytes: mem.live_bytes,
+            mem_peak_bytes: mem.peak_bytes,
+            mem_allocated_bytes: mem.total_allocated,
+            mem_allocs: mem.allocs,
+            phase_peak_bytes: self
+                .phase_peak_bytes
+                .lock()
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
             node_busy_s: self
                 .node_busy_us
                 .lock()
@@ -328,6 +352,16 @@ pub struct MetricsSnapshot {
     pub driver_iteration: u64,
     /// The driver's latest convergence delta (NaN before the first).
     pub driver_delta: f64,
+    /// Bytes currently live on the heap (tracking allocator).
+    pub mem_live_bytes: u64,
+    /// All-time peak live heap bytes (tracking allocator).
+    pub mem_peak_bytes: u64,
+    /// Cumulative bytes allocated by the process.
+    pub mem_allocated_bytes: u64,
+    /// Cumulative allocation calls made by the process.
+    pub mem_allocs: u64,
+    /// Allocator peak observed inside each phase, max across repeats.
+    pub phase_peak_bytes: Vec<(String, u64)>,
     /// Virtual busy seconds per node, indexed by node id.
     pub node_busy_s: Vec<f64>,
     /// Live histograms, sorted by name.
@@ -337,7 +371,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Formats a byte count with a binary-ish human unit.
-fn fmt_bytes(n: u64) -> String {
+pub(crate) fn fmt_bytes(n: u64) -> String {
     match n {
         0..=9_999 => format!("{n} B"),
         10_000..=9_999_999 => format!("{:.1} KB", n as f64 / 1e3),
@@ -390,6 +424,14 @@ impl MetricsSnapshot {
         }
         if self.journal_replayed_tasks > 0 {
             let _ = write!(line, " | replayed {}", self.journal_replayed_tasks);
+        }
+        if self.mem_live_bytes > 0 || self.mem_peak_bytes > 0 {
+            let _ = write!(
+                line,
+                " | mem {} peak {}",
+                fmt_bytes(self.mem_live_bytes),
+                fmt_bytes(self.mem_peak_bytes)
+            );
         }
         if self.driver_iteration > 0 {
             let _ = write!(line, " | iter {}", self.driver_iteration);
@@ -573,6 +615,44 @@ impl MetricsSnapshot {
                 "Latest driver convergence delta.",
                 self.driver_delta,
             );
+        }
+        metric(
+            "gepeto_mem_live_bytes",
+            "gauge",
+            "Bytes currently live on the heap (tracking allocator).",
+            self.mem_live_bytes as f64,
+        );
+        metric(
+            "gepeto_mem_peak_bytes",
+            "gauge",
+            "All-time peak live heap bytes (tracking allocator).",
+            self.mem_peak_bytes as f64,
+        );
+        metric(
+            "gepeto_mem_allocated_bytes_total",
+            "counter",
+            "Cumulative bytes allocated by the process.",
+            self.mem_allocated_bytes as f64,
+        );
+        metric(
+            "gepeto_mem_allocs_total",
+            "counter",
+            "Cumulative allocation calls made by the process.",
+            self.mem_allocs as f64,
+        );
+        if !self.phase_peak_bytes.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP gepeto_mem_phase_peak_bytes Allocator peak observed inside each phase (max across repeats)."
+            );
+            let _ = writeln!(out, "# TYPE gepeto_mem_phase_peak_bytes gauge");
+            for (phase, peak) in &self.phase_peak_bytes {
+                let _ = writeln!(
+                    out,
+                    "gepeto_mem_phase_peak_bytes{{phase=\"{}\"}} {peak}",
+                    escape_label_value(phase)
+                );
+            }
         }
         if let Some((run_id, command)) = &self.run_info {
             let _ = writeln!(
@@ -906,6 +986,44 @@ mod tests {
                 last = count;
             }
         }
+    }
+
+    #[test]
+    fn mem_gauges_flow_from_the_allocator_into_the_exposition() {
+        let m = Monitor::new();
+        m.note_phase_peak("map", 100);
+        m.note_phase_peak("map", 50);
+        m.note_phase_peak("reduce", 7);
+        let s = m.snapshot();
+        // The tracking allocator is process-wide, so a live test process
+        // always has a nonzero heap.
+        assert!(s.mem_live_bytes > 0);
+        assert!(s.mem_peak_bytes >= s.mem_live_bytes);
+        assert!(s.mem_allocated_bytes > 0);
+        assert!(s.mem_allocs > 0);
+        assert_eq!(
+            s.phase_peak_bytes,
+            vec![("map".to_owned(), 100), ("reduce".to_owned(), 7)]
+        );
+        let line = s.status_line();
+        assert!(line.contains(" | mem "), "{line}");
+        assert!(line.contains(" peak "), "{line}");
+        let text = s.to_prometheus();
+        assert!(
+            text.contains("# TYPE gepeto_mem_live_bytes gauge"),
+            "{text}"
+        );
+        assert!(text.contains("gepeto_mem_peak_bytes "), "{text}");
+        assert!(text.contains("gepeto_mem_allocated_bytes_total "), "{text}");
+        assert!(text.contains("gepeto_mem_allocs_total "), "{text}");
+        assert!(
+            text.contains("gepeto_mem_phase_peak_bytes{phase=\"map\"} 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gepeto_mem_phase_peak_bytes{phase=\"reduce\"} 7"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::event::{Event, EventKind};
 use crate::histogram::Histogram;
+use crate::monitor::fmt_bytes;
 use std::fmt::Write as _;
 
 /// Counter name the engine uses for shuffled bytes (surfaced as its own
@@ -55,6 +56,29 @@ pub const JOURNAL_REPLAYED_COUNTER: &str = "journal.replayed_tasks";
 /// storage: EIO retry backoff plus simulated slow-disk write penalties,
 /// accumulated across every spill-seal and artifact commit.
 pub const IO_STALL_MS_COUNTER: &str = "io.stall_ms";
+/// Counter name the engine uses for the configured per-partition spill
+/// budget, in bytes (the `--memory-budget` value threaded into the job).
+pub const MEM_BUDGET_BYTES_COUNTER: &str = "mem.budget_bytes";
+/// Counter name the engine uses for the high-water mark of its
+/// budget-accounted buffers (per-partition shuffle buffers), in bytes —
+/// the "actual peak" half of the budget-vs-actual line.
+pub const MEM_ACCOUNTED_PEAK_COUNTER: &str = "mem.accounted_peak";
+/// Counter name the engine uses for how far the accounted peak crossed
+/// the configured budget (0 when the run stayed within it).
+pub const MEM_PEAK_OVER_BUDGET_COUNTER: &str = "mem.peak_over_budget_bytes";
+/// Counter name the engine uses for the allocator-measured peak live
+/// heap observed over the run's driver window, in bytes.
+pub const MEM_PEAK_BYTES_COUNTER: &str = "mem.peak_bytes";
+/// Counter name the engine uses for cumulative bytes allocated over the
+/// run's driver window.
+pub const MEM_ALLOCATED_BYTES_COUNTER: &str = "mem.allocated_bytes";
+/// Counter name the engine uses for cumulative allocation calls over
+/// the run's driver window.
+pub const MEM_ALLOCS_COUNTER: &str = "mem.allocs";
+/// Counter name the engine uses for the absolute error between the
+/// estimated buffered size that triggers a spill and the encoded bytes
+/// the spill run actually wrote.
+pub const SPILL_ESTIMATE_ERROR_COUNTER: &str = "spill.estimate_error_bytes";
 
 /// Wall time attributed to one phase (summed across repeats, e.g.
 /// k-means iterations each contributing a map phase).
@@ -137,6 +161,20 @@ pub struct SummaryReport {
     pub io_stall_ms: u64,
     /// Reduce tasks replayed from committed journal artifacts on resume.
     pub journal_replayed_tasks: u64,
+    /// Configured per-partition spill budget, bytes (0 = unbudgeted).
+    pub mem_budget_bytes: u64,
+    /// High-water mark of the engine's budget-accounted buffers, bytes.
+    pub mem_accounted_peak: u64,
+    /// Bytes the accounted peak crossed the budget by (0 when within).
+    pub mem_peak_over_budget: u64,
+    /// Allocator-measured peak live heap over the run, bytes.
+    pub mem_peak_bytes: u64,
+    /// Cumulative bytes allocated over the run.
+    pub mem_allocated_bytes: u64,
+    /// Cumulative allocation calls over the run.
+    pub mem_allocs: u64,
+    /// |estimated spill size − actual encoded spill bytes|, summed.
+    pub spill_estimate_error_bytes: u64,
     /// Every counter, sorted by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -249,6 +287,13 @@ impl SummaryReport {
             runs_quarantined: counter(RUNS_QUARANTINED_COUNTER).unwrap_or(0),
             io_stall_ms: counter(IO_STALL_MS_COUNTER).unwrap_or(0),
             journal_replayed_tasks: counter(JOURNAL_REPLAYED_COUNTER).unwrap_or(0),
+            mem_budget_bytes: counter(MEM_BUDGET_BYTES_COUNTER).unwrap_or(0),
+            mem_accounted_peak: counter(MEM_ACCOUNTED_PEAK_COUNTER).unwrap_or(0),
+            mem_peak_over_budget: counter(MEM_PEAK_OVER_BUDGET_COUNTER).unwrap_or(0),
+            mem_peak_bytes: counter(MEM_PEAK_BYTES_COUNTER).unwrap_or(0),
+            mem_allocated_bytes: counter(MEM_ALLOCATED_BYTES_COUNTER).unwrap_or(0),
+            mem_allocs: counter(MEM_ALLOCS_COUNTER).unwrap_or(0),
+            spill_estimate_error_bytes: counter(SPILL_ESTIMATE_ERROR_COUNTER).unwrap_or(0),
             counters: counters.to_vec(),
         }
     }
@@ -325,8 +370,44 @@ impl SummaryReport {
                 self.spilled_bytes, self.spill_files
             );
         }
+        if self.spill_estimate_error_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "spill estimate error: {} bytes (|estimated - written| across runs)",
+                self.spill_estimate_error_bytes
+            );
+        }
         if self.spilled_groups > 0 {
             let _ = writeln!(out, "spilled reduce groups: {}", self.spilled_groups);
+        }
+        if self.mem_budget_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "memory: budget {}, actual peak {} ({:.2}x){}",
+                fmt_bytes(self.mem_budget_bytes),
+                fmt_bytes(self.mem_accounted_peak),
+                self.mem_accounted_peak as f64 / self.mem_budget_bytes as f64,
+                if self.mem_peak_over_budget > 0 {
+                    format!(" — {} over budget", fmt_bytes(self.mem_peak_over_budget))
+                } else {
+                    String::new()
+                }
+            );
+        } else if self.mem_accounted_peak > 0 {
+            let _ = writeln!(
+                out,
+                "memory: unbudgeted, accounted peak {}",
+                fmt_bytes(self.mem_accounted_peak)
+            );
+        }
+        if self.mem_peak_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "heap: peak {}, allocated {} in {} calls",
+                fmt_bytes(self.mem_peak_bytes),
+                fmt_bytes(self.mem_allocated_bytes),
+                self.mem_allocs
+            );
         }
         if self.io_retries > 0 || self.torn_writes_detected > 0 || self.runs_quarantined > 0 {
             let _ = writeln!(
@@ -518,6 +599,52 @@ mod tests {
         assert!(!empty.contains("storage:"));
         assert!(!empty.contains("storage stall"));
         assert!(!empty.contains("journal:"));
+    }
+
+    #[test]
+    fn memory_counters_surface_budget_vs_actual() {
+        let counters = vec![
+            (MEM_BUDGET_BYTES_COUNTER.to_owned(), 64_000_000),
+            (MEM_ACCOUNTED_PEAK_COUNTER.to_owned(), 91_000_000),
+            (MEM_PEAK_OVER_BUDGET_COUNTER.to_owned(), 27_000_000),
+            (MEM_PEAK_BYTES_COUNTER.to_owned(), 120_000_000),
+            (MEM_ALLOCATED_BYTES_COUNTER.to_owned(), 500_000_000),
+            (MEM_ALLOCS_COUNTER.to_owned(), 1_234),
+            (SPILL_ESTIMATE_ERROR_COUNTER.to_owned(), 4_096),
+        ];
+        let report = SummaryReport::from_events(&[], &counters);
+        assert_eq!(report.mem_budget_bytes, 64_000_000);
+        assert_eq!(report.mem_accounted_peak, 91_000_000);
+        assert_eq!(report.mem_peak_over_budget, 27_000_000);
+        assert_eq!(report.mem_peak_bytes, 120_000_000);
+        assert_eq!(report.spill_estimate_error_bytes, 4_096);
+        let text = report.render();
+        assert!(
+            text.contains("memory: budget 64.0 MB, actual peak 91.0 MB (1.42x)"),
+            "{text}"
+        );
+        assert!(text.contains("27.0 MB over budget"), "{text}");
+        assert!(
+            text.contains("heap: peak 120.0 MB, allocated 500.0 MB in 1234 calls"),
+            "{text}"
+        );
+        assert!(text.contains("spill estimate error: 4096 bytes"), "{text}");
+
+        // Runs without memory accounting stay silent.
+        let empty = SummaryReport::from_events(&[], &[]).render();
+        assert!(!empty.contains("memory:"), "{empty}");
+        assert!(!empty.contains("heap:"), "{empty}");
+        assert!(!empty.contains("spill estimate error"), "{empty}");
+    }
+
+    #[test]
+    fn unbudgeted_runs_report_the_accounted_peak_alone() {
+        let counters = vec![(MEM_ACCOUNTED_PEAK_COUNTER.to_owned(), 50_000_000)];
+        let text = SummaryReport::from_events(&[], &counters).render();
+        assert!(
+            text.contains("memory: unbudgeted, accounted peak 50.0 MB"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 
 use crate::analysis::segment_makespan;
 use crate::analysis::{dominant_segment, fmt_s, parse_label_f64, parse_label_usize, JobSegment};
-use crate::event::Event;
+use crate::event::{Event, EventKind};
+use crate::monitor::fmt_bytes;
 use std::fmt::Write as _;
 
 /// One node's lane in the Gantt chart.
@@ -41,6 +42,10 @@ pub struct Timeline {
     pub makespan_s: f64,
     /// One lane per node, in node order.
     pub lanes: Vec<NodeLane>,
+    /// Highest `mem.live_bytes` sample in the stream (the tracking
+    /// allocator's live heap at phase boundaries); 0 when the stream
+    /// predates the memory ledger.
+    pub peak_live_bytes: u64,
 }
 
 /// Default chart width, columns.
@@ -60,7 +65,13 @@ impl Timeline {
         if makespan_s <= 0.0 {
             return None;
         }
-        Some(Self::build(&seg, makespan_s, width.max(10)))
+        let mut timeline = Self::build(&seg, makespan_s, width.max(10));
+        timeline.peak_live_bytes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Count && e.name == "mem.live_bytes")
+            .filter_map(|e| e.value)
+            .fold(0.0, f64::max) as u64;
+        Some(timeline)
     }
 
     fn build(seg: &JobSegment, makespan_s: f64, width: usize) -> Self {
@@ -172,6 +183,7 @@ impl Timeline {
             job: seg.name.clone(),
             makespan_s,
             lanes,
+            peak_live_bytes: 0,
         }
     }
 
@@ -208,6 +220,13 @@ impl Timeline {
             out,
             "legend: M map  m re-executed map  R reduce  x failed/killed  . idle  ~ degraded  - down  ! crash"
         );
+        if self.peak_live_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "heap: peak live {} at phase boundaries",
+                fmt_bytes(self.peak_live_bytes)
+            );
+        }
         out
     }
 }
@@ -278,6 +297,33 @@ mod tests {
         let text = t.render();
         assert!(text.contains("legend:"), "{text}");
         assert!(text.contains("crashed @ 5.000 s"), "{text}");
+    }
+
+    #[test]
+    fn heap_footer_reports_the_peak_live_sample() {
+        let mut events = vec![
+            sched("sched.map", 0, 0, 0.0, 5.0, &[]),
+            sched("sched.reduce", 0, 0, 5.0, 5.0, &[]),
+        ];
+        // No mem samples: no footer.
+        let quiet = Timeline::with_width(&events, 10).unwrap();
+        assert_eq!(quiet.peak_live_bytes, 0);
+        assert!(!quiet.render().contains("heap:"));
+        for live in [40_000_000.0, 91_000_000.0, 12_000_000.0] {
+            events.push(Event {
+                ts_us: 0,
+                kind: EventKind::Count,
+                name: "mem.live_bytes",
+                span_id: 0,
+                parent_id: 0,
+                dur_us: None,
+                value: Some(live),
+                labels: Vec::new(),
+            });
+        }
+        let t = Timeline::with_width(&events, 10).unwrap();
+        assert_eq!(t.peak_live_bytes, 91_000_000);
+        assert!(t.render().contains("heap: peak live 91.0 MB"));
     }
 
     #[test]

@@ -60,6 +60,32 @@ echo "== spill smoke: out-of-core shuffle under a starvation budget =="
 grep -q '^gepeto_shuffle_spill_files_total [1-9]' target/bench-smoke/synth.prom
 grep -q '^gepeto_shuffle_spilled_bytes_total [1-9]' target/bench-smoke/synth.prom
 
+echo "== mem-gate: memory observability + regression gating =="
+# The v2 bench artifacts must carry the mem block end to end.
+grep -q '"mem"' target/bench-smoke/BENCH_synth.json
+grep -q '"accounted_peak"' target/bench-smoke/BENCH_synth.json
+# The tracking allocator's gauges flow into the Prometheus exposition
+# of the budgeted spill run above.
+grep -q '^gepeto_mem_peak_bytes [1-9]' target/bench-smoke/synth.prom
+grep -q '^gepeto_mem_live_bytes [0-9]' target/bench-smoke/synth.prom
+grep -q '^gepeto_mem_allocated_bytes_total [1-9]' target/bench-smoke/synth.prom
+# The summary prints budget-vs-actual accounting and the spill
+# estimator's cumulative error.
+./target/release/gepeto synth --users 200 --chunk-mb 1 --memory-budget 4k \
+    --summary 2> target/bench-smoke/memgate.summary
+grep -q 'memory: budget' target/bench-smoke/memgate.summary
+grep -q 'heap: peak' target/bench-smoke/memgate.summary
+# An injected memory regression (10x heap peak) must fail the compare
+# gate even though every time metric is identical.
+sed 's/"peak_bytes": \([0-9][0-9]*\)/"peak_bytes": \19/' \
+    target/bench-smoke/BENCH_synth.json > target/bench-smoke/BENCH_synth_bloat.json
+if ./target/release/gepeto-bench compare \
+    target/bench-smoke/BENCH_synth.json target/bench-smoke/BENCH_synth_bloat.json \
+    --threshold 30 > /dev/null; then
+    echo "mem-gate: inflated heap peak was not flagged" >&2
+    exit 1
+fi
+
 echo "== io-chaos smoke: storage faults repaired, counters exported =="
 # A spilling run under a storage-fault soup must still succeed, and the
 # repairs must show up in the Prometheus durability families.
@@ -121,5 +147,6 @@ echo "== live monitoring smoke: watch + exposition + flamegraph + trace =="
 ./target/release/gepeto-bench validate-trace target/bench-smoke/kmeans.trace.json
 test -s target/bench-smoke/kmeans.folded
 test -s target/bench-smoke/kmeans.folded.virtual
+test -s target/bench-smoke/kmeans.folded.alloc
 
 echo "All checks passed."

@@ -90,6 +90,72 @@ fn progress_counters_never_run_ahead_of_their_totals() {
 }
 
 #[test]
+fn memory_budget_accounting_bounds_the_shuffle_peak() {
+    let ds = dataset();
+    let cluster = unit_cluster(ChaosPlan::none());
+    let mut dfs = gepeto::dfs_io::trace_dfs(&cluster, 8 * 1024);
+    gepeto::dfs_io::put_dataset(&mut dfs, "d", &ds).unwrap();
+    let scfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToUpperLimit);
+    let run = |budget: Option<usize>, rec: &Recorder| {
+        sampling::mapreduce_sample_by_user(&cluster, &dfs, "d", &scfg, budget, rec).unwrap()
+    };
+
+    // Unbudgeted, the whole by-user shuffle buffers in memory and the
+    // accounted peak is the largest partition.
+    let free_rec = Recorder::enabled();
+    let (free_out, free_stats) = run(None, &free_rec);
+    let free_peak = free_stats.counters[gepeto_telemetry::MEM_ACCOUNTED_PEAK_COUNTER];
+    assert!(free_peak > 0);
+    assert!(!free_stats
+        .counters
+        .contains_key(gepeto_telemetry::MEM_BUDGET_BYTES_COUNTER));
+
+    // A budget well below that peak engages spilling, which keeps the
+    // buffered watermark strictly under the unbudgeted one — the
+    // unbudgeted run exceeds this budget by construction.
+    let budget = (free_peak / 4).max(64) as usize;
+    let rec = Recorder::enabled();
+    let (out, stats) = run(Some(budget), &rec);
+    let peak = stats.counters[gepeto_telemetry::MEM_ACCOUNTED_PEAK_COUNTER];
+    assert_eq!(
+        stats.counters[gepeto_telemetry::MEM_BUDGET_BYTES_COUNTER],
+        budget as u64
+    );
+    assert!(
+        peak < free_peak,
+        "budgeted {peak} vs unbudgeted {free_peak}"
+    );
+    assert!(free_peak > budget as u64);
+    // Overshoot (if any — trigger granularity is one map bucket) is
+    // recorded as exactly peak - budget.
+    let over = stats
+        .counters
+        .get(gepeto_telemetry::MEM_PEAK_OVER_BUDGET_COUNTER)
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(over, peak.saturating_sub(budget as u64));
+
+    // Spilling changes memory, never results: outputs are identical.
+    assert_eq!(free_out, out);
+
+    // Both summaries carry the memory lines the flag surfaces.
+    let budgeted_summary = rec.summary().render();
+    assert!(
+        budgeted_summary.contains("memory: budget"),
+        "{budgeted_summary}"
+    );
+    assert!(
+        budgeted_summary.contains("heap: peak"),
+        "{budgeted_summary}"
+    );
+    let free_summary = free_rec.summary().render();
+    assert!(
+        free_summary.contains("memory: unbudgeted, accounted peak"),
+        "{free_summary}"
+    );
+}
+
+#[test]
 fn folded_stacks_account_for_the_critical_path_wall_time() {
     let rec = Recorder::monitored();
     run_kmeans(ChaosPlan::none().crash_node(0, 1.5), &rec);
