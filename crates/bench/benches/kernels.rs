@@ -56,6 +56,8 @@ fn bench_assignment(c: &mut Criterion) {
                 black_box(sums)
             })
         });
+        // The dispatching entry point: 4-wide lanes for planar metrics,
+        // scalar for Haversine.
         group.bench_function(format!("soa-fused/{}", metric.name()), |b| {
             b.iter(|| {
                 let mut sums = vec![ClusterSum::default(); cents.len()];
@@ -63,7 +65,38 @@ fn bench_assignment(c: &mut Criterion) {
                 black_box((evals, sums))
             })
         });
+        // The bit-exactness reference the lanes are property-tested
+        // against — the lanes-vs-scalar delta is this row vs soa-fused.
+        group.bench_function(format!("soa-scalar-reference/{}", metric.name()), |b| {
+            b.iter(|| {
+                let mut sums = vec![ClusterSum::default(); cents.len()];
+                let evals = soa.assign_sum_scalar(&cols.lat, &cols.lon, &mut sums);
+                black_box((evals, sums))
+            })
+        });
     }
+    group.finish();
+}
+
+fn bench_pooled_assignment(c: &mut Criterion) {
+    // Chunked point assignment on the work-stealing pool vs the same
+    // scan on one thread — the `assign_points` path of every k-means
+    // iteration. Speedup here is the host-parallelism headline.
+    let pts = points(200_000);
+    let cents = centroids(8);
+    let soa = CentroidsSoa::new(&cents, DistanceMetric::SquaredEuclidean);
+
+    let mut group = c.benchmark_group("kmeans-assign-points-200k-k8");
+    group.sample_size(20);
+    group.bench_function("sequential-scan", |b| {
+        b.iter(|| {
+            let assign: Vec<u32> = pts.iter().map(|&p| soa.nearest(p)).collect();
+            black_box(assign)
+        })
+    });
+    group.bench_function("pooled-chunks", |b| {
+        b.iter(|| black_box(gepeto_geo::assign_points_pooled(&pts, &soa)))
+    });
     group.finish();
 }
 
@@ -128,6 +161,7 @@ fn bench_neighborhood_codec(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_assignment,
+    bench_pooled_assignment,
     bench_grouping,
     bench_neighborhood_codec
 );

@@ -53,7 +53,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   gepeto-bench run [--workload all|sampling|kmeans|djcluster|synth]
-                   [--users N] [--k N] [--max-iter N] [--out-dir DIR]
+                   [--users N] [--k N] [--max-iter N] [--threads N]
+                   [--out-dir DIR]
   gepeto-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
                        [--ignore METRIC[,METRIC...]]
   gepeto-bench diff BASE CAND [--metrics BASE.jsonl,CAND.jsonl]
@@ -63,6 +64,8 @@ const USAGE: &str = "usage:
   gepeto-bench validate-trace FILE.json...
 
 run writes BENCH_<workload>.json per workload (scale from GEPETO_SCALE);
+--threads sizes the work-stealing pool the workloads execute on (default:
+all cores; the report's host block records threads/busy/steal/idle);
 compare exits 1 when any cost metric grew more than PCT percent (default 5)
 and prints a perf-diff diagnosis of the regression;
 --ignore skips cost metrics by name or dotted prefix (e.g. wall_ms,task —
@@ -131,6 +134,10 @@ fn cmd_run(argv: &[String]) -> Result<ExitCode, String> {
     cfg.users = flag_or(&flags, "users", cfg.users)?;
     cfg.k = flag_or(&flags, "k", cfg.k)?;
     cfg.max_iterations = flag_or(&flags, "max-iter", cfg.max_iterations)?;
+    let threads: usize = flag_or(&flags, "threads", 0)?;
+    if threads > 0 && !gepeto_pool::set_threads(threads) {
+        eprintln!("--threads {threads}: pool already sized; flag ignored");
+    }
     let out_dir = PathBuf::from(flag(&flags, "out-dir").unwrap_or("."));
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
 

@@ -70,6 +70,29 @@ pub struct MemBlock {
     pub peak_over_budget_bytes: u64,
 }
 
+/// Host-parallelism telemetry for one workload run: what the
+/// `gepeto-pool` work-stealing pool did while the workload executed.
+/// Written by every report this build produces; parsed leniently (a
+/// file without the block reads back as all-zero) so pre-pool bench
+/// artifacts stay valid under the same schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostBlock {
+    /// Pool executors (workers + the submitting thread); 0 when the
+    /// workload never touched the pool.
+    pub threads: u64,
+    /// Pool tasks executed during the workload window.
+    pub tasks: u64,
+    /// Steal-half operations during the window.
+    pub steals: u64,
+    /// Wall seconds executors spent running pool tasks (summed across
+    /// executors — can exceed the workload wall time).
+    pub busy_s: f64,
+    /// Executor-seconds spent NOT running pool tasks:
+    /// `threads x wall - busy`, floored at zero. Large values against a
+    /// similar baseline mean the run got slower because workers idled.
+    pub idle_s: f64,
+}
+
 /// Everything `gepeto-bench run` measures for one workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -104,6 +127,8 @@ pub struct BenchReport {
     /// Memory footprint: allocator peaks plus budget-vs-actual shuffle
     /// accounting.
     pub mem: MemBlock,
+    /// Work-stealing pool activity over the workload window.
+    pub host: HostBlock,
     /// Per-phase critical path of the dominant job, when telemetry
     /// captured scheduler points.
     pub critical_path: Vec<PhaseBreakdown>,
@@ -116,6 +141,7 @@ pub struct BenchReport {
 impl BenchReport {
     /// Folds job statistics, the run's telemetry and the workload-wide
     /// ledger window (`mem`) into a report.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_run(
         workload: &str,
         scale: f64,
@@ -124,6 +150,7 @@ impl BenchReport {
         jobs: &[&JobStats],
         telemetry: &Recorder,
         mem: MemDelta,
+        host: HostBlock,
     ) -> Self {
         let summary = telemetry.summary();
         let counter = |name: &str| {
@@ -175,6 +202,7 @@ impl BenchReport {
             retries: jobs.iter().map(|s| s.retries).sum(),
             reexecuted_maps: jobs.iter().map(|s| s.reexecuted_maps).sum(),
             mem,
+            host,
             critical_path,
             tasks: summary
                 .tasks
@@ -217,6 +245,13 @@ impl BenchReport {
         w.u64_field("budget_bytes", self.mem.budget_bytes);
         w.u64_field("peak_over_budget_bytes", self.mem.peak_over_budget_bytes);
         w.close_obj();
+        w.open_obj_field("host");
+        w.u64_field("threads", self.host.threads);
+        w.u64_field("tasks", self.host.tasks);
+        w.u64_field("steals", self.host.steals);
+        w.f64_field("busy_s", self.host.busy_s);
+        w.f64_field("idle_s", self.host.idle_s);
+        w.close_obj();
         w.open_arr_field("critical_path");
         for p in &self.critical_path {
             w.open_obj();
@@ -254,6 +289,17 @@ impl BenchReport {
     /// `gepeto-bench diff` (and the compare gate's failure diagnosis)
     /// can attribute deltas between two bench artifacts.
     pub fn profile(&self, label: &str) -> gepeto_telemetry::RunProfile {
+        // Host-pool activity rides along as synthetic counters so the
+        // diff engine can attribute a slowdown to idling executors
+        // (`host.idle_ms` is special-cased there as a timed cause).
+        let mut counters = self.counters.clone();
+        if self.host.threads > 0 {
+            counters.push(("host.busy_ms".to_string(), (self.host.busy_s * 1e3) as u64));
+            counters.push(("host.idle_ms".to_string(), (self.host.idle_s * 1e3) as u64));
+            counters.push(("host.steals".to_string(), self.host.steals));
+            counters.push(("host.threads".to_string(), self.host.threads));
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
         gepeto_telemetry::RunProfile {
             label: label.to_string(),
             wall_ms: self.wall_ms,
@@ -262,7 +308,7 @@ impl BenchReport {
                 ("map".to_string(), self.map_phase_s),
                 ("reduce".to_string(), self.reduce_phase_s),
             ],
-            counters: self.counters.clone(),
+            counters,
             tasks: self
                 .tasks
                 .iter()
@@ -350,6 +396,18 @@ impl BenchReport {
             budget_bytes: u64_of(mem_obj, "budget_bytes")?,
             peak_over_budget_bytes: u64_of(mem_obj, "peak_over_budget_bytes")?,
         };
+        // Lenient by design: reports written before the pool existed
+        // have no host block and read back as all-zero.
+        let host = match v.get("host") {
+            None => HostBlock::default(),
+            Some(h) => HostBlock {
+                threads: u64_of(h, "threads")?,
+                tasks: u64_of(h, "tasks")?,
+                steals: u64_of(h, "steals")?,
+                busy_s: f64_of(h, "busy_s")?,
+                idle_s: f64_of(h, "idle_s")?,
+            },
+        };
         let counters = v
             .get("counters")
             .and_then(Json::as_obj)
@@ -378,6 +436,7 @@ impl BenchReport {
             retries: u64_of(&v, "retries")?,
             reexecuted_maps: u64_of(&v, "reexecuted_maps")?,
             mem,
+            host,
             critical_path,
             tasks,
             counters,
@@ -541,6 +600,14 @@ pub fn compare_ignoring(
             old.mem.budget_bytes, new.mem.budget_bytes
         ));
     }
+    // Host parallelism is a run configuration, not a cost: a different
+    // thread count explains wall-time movement rather than gating it.
+    if old.host.threads != new.host.threads {
+        cmp.notes.push(format!(
+            "host threads: {} -> {}",
+            old.host.threads, new.host.threads
+        ));
+    }
     for t_new in &new.tasks {
         if let Some(t_old) = old.tasks.iter().find(|t| t.kind == t_new.kind) {
             cost(
@@ -626,6 +693,13 @@ mod tests {
                 budget_bytes: 64_000_000,
                 peak_over_budget_bytes: 0,
             },
+            host: HostBlock {
+                threads: 4,
+                tasks: 640,
+                steals: 12,
+                busy_s: 3.5,
+                idle_s: 1.5,
+            },
             critical_path: vec![PhaseBreakdown {
                 phase: "map".to_string(),
                 wall_s: 60.0,
@@ -652,6 +726,28 @@ mod tests {
         let text = report.to_json();
         let back = BenchReport::from_json(&text).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_a_host_block_parse_as_all_zero() {
+        // Pre-pool artifacts have no "host" object; they stay valid
+        // under the same schema and read back with a zeroed block.
+        let report = sample_report();
+        let text = report.to_json();
+        let start = text.find("\"host\": {").unwrap();
+        let end = start + text[start..].find('}').unwrap() + 2; // "},"
+        let stripped = format!("{}{}", &text[..start], &text[end..]);
+        let back = BenchReport::from_json(&stripped).unwrap();
+        assert_eq!(back.host, HostBlock::default());
+        assert_eq!(back.wall_ms, report.wall_ms);
+        // And a thread-count change is a note, never a regression.
+        let cmp = compare(&back, &report, 5.0);
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        assert!(
+            cmp.notes.iter().any(|n| n.contains("host threads: 0 -> 4")),
+            "{:?}",
+            cmp.notes
+        );
     }
 
     #[test]

@@ -5,14 +5,33 @@
 //! workload with an enabled telemetry [`Recorder`], and folds the job
 //! statistics plus the captured trace into a [`BenchReport`].
 
-use crate::report::BenchReport;
+use crate::report::{BenchReport, HostBlock};
 use crate::{convergence_delta_for, dataset, parapluie};
 use gepeto::prelude::*;
 use gepeto_geo::DistanceMetric;
 use gepeto_mapred::JobStats;
+use gepeto_pool::PoolStats;
 use gepeto_telemetry::{LedgerScope, Recorder};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Folds the pool-counter movement across the workload window into the
+/// report's [`HostBlock`]. Counters are process-cumulative, so the
+/// block is the delta between the snapshot taken before the workload
+/// started and the one taken after it finished.
+fn host_block(before: &PoolStats, wall_ms: u64) -> HostBlock {
+    let after = gepeto_pool::global_stats();
+    let threads = after.threads as u64;
+    let busy_s = after.busy_ns().saturating_sub(before.busy_ns()) as f64 / 1e9;
+    let idle_s = (threads as f64 * wall_ms as f64 / 1e3 - busy_s).max(0.0);
+    HostBlock {
+        threads,
+        tasks: after.tasks.saturating_sub(before.tasks),
+        steals: after.steals.saturating_sub(before.steals),
+        busy_s,
+        idle_s,
+    }
+}
 
 /// Knobs of one bench invocation; env-independent so tests can pin the
 /// shape without mutating `GEPETO_SCALE`.
@@ -76,6 +95,7 @@ pub fn run_sampling(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let scfg = sampling::SamplingConfig::new(60, sampling::Technique::ClosestToUpperLimit);
     let telemetry = Recorder::enabled();
     let ledger = LedgerScope::open();
+    let pool_before = gepeto_pool::global_stats();
     let started = Instant::now();
     let (_sampled, stats) =
         sampling::mapreduce_sample_with(&cluster, &dfs, "input", &scfg, &telemetry)
@@ -90,6 +110,7 @@ pub fn run_sampling(cfg: &BenchConfig) -> Result<BenchReport, String> {
         &[&stats],
         &telemetry,
         mem,
+        host_block(&pool_before, wall_ms),
     ))
 }
 
@@ -105,6 +126,7 @@ pub fn run_kmeans(cfg: &BenchConfig) -> Result<BenchReport, String> {
     };
     let telemetry = Recorder::enabled();
     let ledger = LedgerScope::open();
+    let pool_before = gepeto_pool::global_stats();
     let started = Instant::now();
     let result = kmeans::mapreduce_kmeans_with(&cluster, &dfs, "input", &kcfg, &telemetry)
         .map_err(|e| e.to_string())?;
@@ -112,7 +134,14 @@ pub fn run_kmeans(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let mem = ledger.close();
     let jobs: Vec<&JobStats> = result.per_iteration.iter().map(|it| &it.job).collect();
     Ok(BenchReport::from_run(
-        "kmeans", cfg.scale, cfg.users, wall_ms, &jobs, &telemetry, mem,
+        "kmeans",
+        cfg.scale,
+        cfg.users,
+        wall_ms,
+        &jobs,
+        &telemetry,
+        mem,
+        host_block(&pool_before, wall_ms),
     ))
 }
 
@@ -129,6 +158,7 @@ pub fn run_synth(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let mut dfs = gepeto::dfs_io::trace_dfs(&cluster, cfg.chunk_bytes());
     let telemetry = Recorder::enabled();
     let ledger = LedgerScope::open();
+    let pool_before = gepeto_pool::global_stats();
     let started = Instant::now();
     synth.to_dfs(&mut dfs, "input").map_err(|e| e.to_string())?;
     // ~1/64 of the whole shuffle per partition: a handful of sorted
@@ -155,6 +185,7 @@ pub fn run_synth(cfg: &BenchConfig) -> Result<BenchReport, String> {
         &[&stats],
         &telemetry,
         mem,
+        host_block(&pool_before, wall_ms),
     ))
 }
 
@@ -168,6 +199,7 @@ pub fn run_djcluster(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let rtree_cfg = gepeto::rtree_build::RTreeBuildConfig::default();
     let telemetry = Recorder::enabled();
     let ledger = LedgerScope::open();
+    let pool_before = gepeto_pool::global_stats();
     let started = Instant::now();
     let sample_stats =
         sampling::mapreduce_sample_to_dfs(&cluster, &mut dfs, "input", "sampled", &scfg)
@@ -194,6 +226,7 @@ pub fn run_djcluster(cfg: &BenchConfig) -> Result<BenchReport, String> {
         &jobs,
         &telemetry,
         mem,
+        host_block(&pool_before, wall_ms),
     ))
 }
 
@@ -232,6 +265,19 @@ mod tests {
         let cmp = compare(&report, &back, 1.0);
         assert!(cmp.regressions.is_empty());
         assert!(cmp.notes.is_empty());
+    }
+
+    #[test]
+    fn reports_carry_pool_activity_in_the_host_block() {
+        let report = run_sampling(&tiny()).unwrap();
+        assert!(report.host.threads >= 1, "{:?}", report.host);
+        assert!(report.host.tasks > 0, "{:?}", report.host);
+        // busy + idle partition the executors' wall time, so both are
+        // finite and non-negative by construction.
+        assert!(report.host.busy_s >= 0.0 && report.host.idle_s >= 0.0);
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.host.threads, report.host.threads);
+        assert_eq!(back.host.tasks, report.host.tasks);
     }
 
     #[test]

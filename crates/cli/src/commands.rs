@@ -55,6 +55,11 @@ COMMANDS:
     help        This text
 
 Shared dataset flags: --users, --scale, --seed.
+Host parallelism: --threads N sizes the work-stealing pool every command
+runs its map/reduce tasks, k-means kernels and spill merges on (default:
+all cores). --threads 1 runs everything inline and produces byte-identical
+output to any other thread count; pool activity is exported as
+gepeto_pool_* in the Prometheus exposition.
 Observability (sample, kmeans, djcluster): --metrics-out PATH.jsonl dumps
 the telemetry event stream (phase spans, per-task durations with locality
 tags, counters) as JSON Lines and prints a run summary table; --summary
@@ -584,6 +589,10 @@ fn print_job(label: &str, stats: &gepeto_mapred::JobStats) {
 
 /// Dispatches a parsed command — shared by `main` and [`resume`].
 pub fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
+    let threads = args.get_or("threads", 0usize)?;
+    if threads > 0 && !gepeto_pool::set_threads(threads) {
+        eprintln!("--threads {threads}: pool already sized; flag ignored");
+    }
     match cmd {
         "generate" => generate(args),
         "sample" => sample(args),

@@ -9,7 +9,6 @@ use crate::attacks::poi::{extract_pois, infer_home, infer_work};
 use crate::djcluster::DjConfig;
 use gepeto_geo::haversine_m;
 use gepeto_model::{Dataset, GeoPoint, UserId};
-use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// The home/work fingerprint of one pseudonym.
@@ -37,9 +36,9 @@ pub struct LinkResult {
 /// are skipped.
 pub fn fingerprints(dataset: &Dataset, cfg: &DjConfig) -> BTreeMap<UserId, Fingerprint> {
     let trails: Vec<_> = dataset.trails().collect();
-    trails
-        .par_iter()
-        .filter_map(|trail| {
+    gepeto_pool::global()
+        .map_indexed(trails.len(), |i| {
+            let trail = &trails[i];
             let pois = extract_pois(trail, cfg);
             let home = infer_home(&pois)?;
             let work = infer_work(&pois, home).unwrap_or(home);
@@ -51,8 +50,8 @@ pub fn fingerprints(dataset: &Dataset, cfg: &DjConfig) -> BTreeMap<UserId, Finge
                 },
             ))
         })
-        .collect::<Vec<_>>()
         .into_iter()
+        .flatten()
         .collect()
 }
 

@@ -5,7 +5,6 @@
 
 use crate::djcluster::{sequential_djcluster, sequential_preprocess, DjConfig};
 use gepeto_model::{Dataset, GeoPoint, Trail, UserId};
-use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// A point of interest inferred for one individual.
@@ -43,10 +42,10 @@ pub fn extract_pois(trail: &Trail, cfg: &DjConfig) -> Vec<Poi> {
 /// POIs of every user in the dataset, computed in parallel.
 pub fn extract_pois_dataset(dataset: &Dataset, cfg: &DjConfig) -> BTreeMap<UserId, Vec<Poi>> {
     let trails: Vec<&Trail> = dataset.trails().collect();
-    trails
-        .par_iter()
-        .map(|t| (t.user, extract_pois(t, cfg)))
-        .collect::<Vec<_>>()
+    gepeto_pool::global()
+        .map_indexed(trails.len(), |i| {
+            (trails[i].user, extract_pois(trails[i], cfg))
+        })
         .into_iter()
         .collect()
 }

@@ -30,7 +30,7 @@
 //! assert_eq!(result.centroids.len(), 2);
 //! ```
 
-use gepeto_geo::{CentroidsSoa, ClusterSum, DistanceMetric, PointsSoa};
+use gepeto_geo::{assign_points_pooled, CentroidsSoa, ClusterSum, DistanceMetric, PointsSoa};
 use gepeto_mapred::counters::builtin;
 use gepeto_mapred::{
     run_with_recovery, Cluster, Counters, Dfs, DistributedCache, Emitter, JobConfig, JobError,
@@ -40,7 +40,6 @@ use gepeto_model::{GeoPoint, MobilityTrace};
 use gepeto_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Cache key under which the current centroids are shipped to mappers
@@ -169,14 +168,16 @@ pub fn nearest_centroid(p: GeoPoint, centroids: &[GeoPoint], metric: DistanceMet
 ///
 /// Runs on the columnar [`CentroidsSoa`] kernel — the centroid-side
 /// trigonometry is hoisted out of the per-point loop, while the argmin is
-/// bit-identical to [`nearest_centroid`].
+/// bit-identical to [`nearest_centroid`]. Chunks fan out over the global
+/// work-stealing pool; labels come back in input order regardless of the
+/// thread count.
 pub fn assign_points(
     points: &[GeoPoint],
     centroids: &[GeoPoint],
     metric: DistanceMetric,
 ) -> Vec<u32> {
     let soa = CentroidsSoa::new(centroids, metric);
-    points.par_iter().map(|&p| soa.nearest(p)).collect()
+    assign_points_pooled(points, &soa)
 }
 
 /// Single-node random initialization: k distinct traces from the input
@@ -228,23 +229,26 @@ pub fn sequential_iteration(
 ) -> Vec<GeoPoint> {
     let k = centroids.len();
     let soa = CentroidsSoa::new(centroids, metric);
-    let sums = points
-        .par_chunks(SEQ_CHUNK)
-        .map(|chunk| {
-            let mut local = vec![ClusterSum::default(); k];
-            soa.assign_sum_points(chunk, &mut local);
-            local
-        })
-        .reduce(
-            || vec![ClusterSum::default(); k],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    x.merge(y);
-                }
-                a
-            },
-        );
-    sums_to_centroids(&sums, centroids)
+    let chunks: Vec<&[GeoPoint]> = points.chunks(SEQ_CHUNK).collect();
+    let partials = gepeto_pool::global().map_indexed(chunks.len(), |c| {
+        let mut local = vec![ClusterSum::default(); k];
+        soa.assign_sum_points(chunks[c], &mut local);
+        local
+    });
+    sums_to_centroids(&merge_chunk_sums(partials, k), centroids)
+}
+
+/// Folds per-chunk partial sums **in chunk order** — the fixed
+/// accumulation order that keeps centroids bit-identical at any thread
+/// count (and to the pre-pool sequential reduction).
+fn merge_chunk_sums(partials: Vec<Vec<ClusterSum>>, k: usize) -> Vec<ClusterSum> {
+    let mut total = vec![ClusterSum::default(); k];
+    for partial in &partials {
+        for (t, p) in total.iter_mut().zip(partial) {
+            t.merge(p);
+        }
+    }
+    total
 }
 
 /// [`sequential_iteration`] over pre-split coordinate columns — what
@@ -258,25 +262,14 @@ fn columnar_iteration(
 ) -> Vec<GeoPoint> {
     let k = centroids.len();
     let soa = CentroidsSoa::new(centroids, metric);
-    let sums = cols
-        .lat
-        .par_chunks(SEQ_CHUNK)
-        .zip(cols.lon.par_chunks(SEQ_CHUNK))
-        .map(|(lat, lon)| {
-            let mut local = vec![ClusterSum::default(); k];
-            soa.assign_sum(lat, lon, &mut local);
-            local
-        })
-        .reduce(
-            || vec![ClusterSum::default(); k],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    x.merge(y);
-                }
-                a
-            },
-        );
-    sums_to_centroids(&sums, centroids)
+    let lat_chunks: Vec<&[f64]> = cols.lat.chunks(SEQ_CHUNK).collect();
+    let lon_chunks: Vec<&[f64]> = cols.lon.chunks(SEQ_CHUNK).collect();
+    let partials = gepeto_pool::global().map_indexed(lat_chunks.len(), |c| {
+        let mut local = vec![ClusterSum::default(); k];
+        soa.assign_sum(lat_chunks[c], lon_chunks[c], &mut local);
+        local
+    });
+    sums_to_centroids(&merge_chunk_sums(partials, k), centroids)
 }
 
 /// The full sequential baseline.
@@ -314,15 +307,22 @@ pub fn within_cluster_cost(
     if points.is_empty() {
         return 0.0;
     }
-    let total: f64 = points
-        .par_iter()
-        .map(|&p| {
-            centroids
-                .iter()
-                .map(|&c| metric.between(p, c))
-                .fold(f64::INFINITY, f64::min)
-        })
-        .sum();
+    // Chunks run on the pool; the final sum folds every per-point
+    // distance in input order (not per-chunk partials), reproducing the
+    // sequential accumulation bit for bit at any thread count.
+    let chunks: Vec<&[GeoPoint]> = points.chunks(SEQ_CHUNK).collect();
+    let per_chunk: Vec<Vec<f64>> = gepeto_pool::global().map_indexed(chunks.len(), |i| {
+        chunks[i]
+            .iter()
+            .map(|&p| {
+                centroids
+                    .iter()
+                    .map(|&c| metric.between(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    });
+    let total: f64 = per_chunk.iter().flatten().sum();
     total / points.len() as f64
 }
 

@@ -28,9 +28,36 @@
 //! the scalar reference, and the partial sums add points in slice order —
 //! so centroids, assignments and sums match the scalar path bit for bit.
 //! Property tests in this module and in `gepeto` assert this.
+//!
+//! ## Explicit SIMD lanes
+//!
+//! The planar metrics (Euclidean, squared Euclidean, Manhattan) run on
+//! explicit [`LANES`]-wide f64 blocks — plain `[f64; 4]` arrays the
+//! compiler lowers to vector registers:
+//!
+//! - [`CentroidsSoa::assign_sum`] vectorizes over **points**: four
+//!   independent points race through the centroid scan side by side.
+//!   Each lane evaluates the same expression in the same operand order
+//!   as the scalar loop and keeps its own strict-`<` argmin state, and
+//!   the per-cluster sums are folded lane 0→3 (= point order), so the
+//!   result is `to_bits`-identical to the scalar kernel by construction.
+//! - [`CentroidsSoa::nearest`] vectorizes over **centroids**: four
+//!   distances per block, then an in-order lane scan that preserves the
+//!   strict-`<` first-minimum-wins tie-break exactly.
+//!
+//! Haversine stays on the scalar path: its per-pair `sin`/`cos`/`asin`
+//! calls cannot be laned without changing the libm call sequence, and
+//! the bit-exactness contract outranks the speedup. The pre-lane scalar
+//! kernels remain as [`CentroidsSoa::assign_sum_scalar`] /
+//! [`CentroidsSoa::nearest_scalar`] — the reference the property tests
+//! (and the `kernels` bench) compare against.
 
 use crate::distance::{DistanceMetric, EARTH_RADIUS_M};
 use gepeto_model::GeoPoint;
+
+/// Lane width of the vectorized planar kernels: four f64s, one 256-bit
+/// vector register on AVX2-class hosts (two 128-bit ops elsewhere).
+pub const LANES: usize = 4;
 
 /// Running coordinate sum for one cluster — the fused combiner state.
 ///
@@ -161,8 +188,28 @@ impl CentroidsSoa {
 
     /// Index of the nearest centroid under strict-`<` first-minimum-wins
     /// semantics — bit-identical to the scalar argmin over
-    /// `metric.between(p, c)`.
+    /// `metric.between(p, c)`. Planar metrics run [`LANES`] centroids per
+    /// block; Haversine stays scalar (see the module docs).
     pub fn nearest(&self, p: GeoPoint) -> u32 {
+        debug_assert!(!self.is_empty());
+        match self.metric {
+            DistanceMetric::Haversine => self.nearest_scalar(p),
+            DistanceMetric::Euclidean => self.nearest_lanes(p.lat, p.lon, |dlat, dlon| {
+                (dlat * dlat + dlon * dlon).sqrt()
+            }),
+            DistanceMetric::SquaredEuclidean => {
+                self.nearest_lanes(p.lat, p.lon, |dlat, dlon| dlat * dlat + dlon * dlon)
+            }
+            DistanceMetric::Manhattan => {
+                self.nearest_lanes(p.lat, p.lon, |dlat, dlon| dlat.abs() + dlon.abs())
+            }
+        }
+    }
+
+    /// The scalar argmin — the reference the lane kernel must reproduce
+    /// bit for bit (property-tested below and used directly for
+    /// Haversine).
+    pub fn nearest_scalar(&self, p: GeoPoint) -> u32 {
         debug_assert!(!self.is_empty());
         match self.metric {
             DistanceMetric::Haversine => {
@@ -195,6 +242,44 @@ impl CentroidsSoa {
         }
     }
 
+    /// Planar argmin over [`LANES`]-wide centroid blocks. Each block
+    /// evaluates four distances with the exact scalar expressions, then
+    /// scans the lanes **in index order** with the same strict-`<`
+    /// comparison — so the first minimum wins exactly as in the scalar
+    /// loop, ties and all. The tail runs the scalar loop.
+    #[inline]
+    fn nearest_lanes<D>(&self, plat: f64, plon: f64, dist: D) -> u32
+    where
+        D: Fn(f64, f64) -> f64 + Copy,
+    {
+        let k = self.len();
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        let mut i = 0;
+        while i + LANES <= k {
+            let mut d = [0.0f64; LANES];
+            for (j, dj) in d.iter_mut().enumerate() {
+                *dj = dist(plat - self.lat[i + j], plon - self.lon[i + j]);
+            }
+            for (j, &dj) in d.iter().enumerate() {
+                if dj < best_d {
+                    best_d = dj;
+                    best = (i + j) as u32;
+                }
+            }
+            i += LANES;
+        }
+        while i < k {
+            let d = dist(plat - self.lat[i], plon - self.lon[i]);
+            if d < best_d {
+                best_d = d;
+                best = i as u32;
+            }
+            i += 1;
+        }
+        best
+    }
+
     /// The fused assign + partial-sum kernel over columnar points.
     ///
     /// For each point, finds the nearest centroid and accumulates the
@@ -204,31 +289,38 @@ impl CentroidsSoa {
     /// reproduce the scalar reduction bit for bit.
     ///
     /// Returns the number of distance evaluations performed
-    /// (`points × centroids`).
+    /// (`points × centroids`). Planar metrics run [`LANES`] points per
+    /// block (see the module docs); Haversine runs the scalar reference.
     pub fn assign_sum(&self, lat: &[f64], lon: &[f64], sums: &mut [ClusterSum]) -> u64 {
         assert_eq!(lat.len(), lon.len());
         assert_eq!(sums.len(), self.len());
         match self.metric {
             DistanceMetric::Haversine => {
-                for (&plat, &plon) in lat.iter().zip(lon) {
-                    let lat1 = plat.to_radians();
-                    let lon1 = plon.to_radians();
-                    let cos1 = lat1.cos();
-                    let mut best = 0usize;
-                    let mut best_d = f64::INFINITY;
-                    for i in 0..self.len() {
-                        let d = self.haversine_to(lat1, lon1, cos1, i);
-                        if d < best_d {
-                            best_d = d;
-                            best = i;
-                        }
-                    }
-                    let s = &mut sums[best];
-                    s.lat_sum += plat;
-                    s.lon_sum += plon;
-                    s.count += 1;
-                }
+                self.assign_sum_haversine(lat, lon, sums);
             }
+            DistanceMetric::Euclidean => {
+                self.assign_sum_lanes(lat, lon, sums, |dlat, dlon| {
+                    (dlat * dlat + dlon * dlon).sqrt()
+                });
+            }
+            DistanceMetric::SquaredEuclidean => {
+                self.assign_sum_lanes(lat, lon, sums, |dlat, dlon| dlat * dlat + dlon * dlon);
+            }
+            DistanceMetric::Manhattan => {
+                self.assign_sum_lanes(lat, lon, sums, |dlat, dlon| dlat.abs() + dlon.abs());
+            }
+        }
+        lat.len() as u64 * self.len() as u64
+    }
+
+    /// The pre-lane scalar kernel, kept verbatim as the bit-exactness
+    /// reference for [`assign_sum`](Self::assign_sum) (property-tested
+    /// below, raced against the lane kernel in the `kernels` bench).
+    pub fn assign_sum_scalar(&self, lat: &[f64], lon: &[f64], sums: &mut [ClusterSum]) -> u64 {
+        assert_eq!(lat.len(), lon.len());
+        assert_eq!(sums.len(), self.len());
+        match self.metric {
+            DistanceMetric::Haversine => self.assign_sum_haversine(lat, lon, sums),
             _ => {
                 for (&plat, &plon) in lat.iter().zip(lon) {
                     let mut best = 0usize;
@@ -250,8 +342,88 @@ impl CentroidsSoa {
         lat.len() as u64 * self.len() as u64
     }
 
+    /// The Haversine assign+sum loop — scalar by contract (laning would
+    /// reorder the libm `sin`/`cos`/`asin` sequence).
+    fn assign_sum_haversine(&self, lat: &[f64], lon: &[f64], sums: &mut [ClusterSum]) {
+        for (&plat, &plon) in lat.iter().zip(lon) {
+            let lat1 = plat.to_radians();
+            let lon1 = plon.to_radians();
+            let cos1 = lat1.cos();
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for i in 0..self.len() {
+                let d = self.haversine_to(lat1, lon1, cos1, i);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            let s = &mut sums[best];
+            s.lat_sum += plat;
+            s.lon_sum += plon;
+            s.count += 1;
+        }
+    }
+
+    /// The laned planar assign+sum core: [`LANES`] points per block, one
+    /// strict-`<` argmin state per lane, sums folded lane 0→3 (= point
+    /// order) after the centroid scan, scalar tail for `n % LANES`
+    /// points. Bit-identical to the scalar kernel by construction — each
+    /// lane runs the same expressions on the same operands in the same
+    /// order; only *independent* points run side by side.
+    #[inline]
+    fn assign_sum_lanes<D>(&self, lat: &[f64], lon: &[f64], sums: &mut [ClusterSum], dist: D)
+    where
+        D: Fn(f64, f64) -> f64 + Copy,
+    {
+        let k = self.len();
+        let lat_blocks = lat.chunks_exact(LANES);
+        let lon_blocks = lon.chunks_exact(LANES);
+        let lat_tail = lat_blocks.remainder();
+        let lon_tail = lon_blocks.remainder();
+        for (lat_block, lon_block) in lat_blocks.zip(lon_blocks) {
+            let plat: &[f64; LANES] = lat_block.try_into().expect("exact chunk");
+            let plon: &[f64; LANES] = lon_block.try_into().expect("exact chunk");
+            let mut best = [0usize; LANES];
+            let mut best_d = [f64::INFINITY; LANES];
+            for i in 0..k {
+                let clat = self.lat[i];
+                let clon = self.lon[i];
+                for j in 0..LANES {
+                    let d = dist(plat[j] - clat, plon[j] - clon);
+                    if d < best_d[j] {
+                        best_d[j] = d;
+                        best[j] = i;
+                    }
+                }
+            }
+            for j in 0..LANES {
+                let s = &mut sums[best[j]];
+                s.lat_sum += plat[j];
+                s.lon_sum += plon[j];
+                s.count += 1;
+            }
+        }
+        for (&plat, &plon) in lat_tail.iter().zip(lon_tail) {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for i in 0..k {
+                let d = dist(plat - self.lat[i], plon - self.lon[i]);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            let s = &mut sums[best];
+            s.lat_sum += plat;
+            s.lon_sum += plon;
+            s.count += 1;
+        }
+    }
+
     /// [`assign_sum`](Self::assign_sum) over an array-of-structs slice —
-    /// same kernel, reading `GeoPoint`s directly.
+    /// same lane/scalar split, reading `GeoPoint`s directly (the lat/lon
+    /// columns of each block are gathered into lane arrays on the fly).
     pub fn assign_sum_points(&self, points: &[GeoPoint], sums: &mut [ClusterSum]) -> u64 {
         assert_eq!(sums.len(), self.len());
         match self.metric {
@@ -275,25 +447,68 @@ impl CentroidsSoa {
                     s.count += 1;
                 }
             }
-            _ => {
-                for p in points {
-                    let mut best = 0usize;
-                    let mut best_d = f64::INFINITY;
-                    for i in 0..self.len() {
-                        let d = self.planar(p.lat, p.lon, i);
-                        if d < best_d {
-                            best_d = d;
-                            best = i;
-                        }
-                    }
-                    let s = &mut sums[best];
-                    s.lat_sum += p.lat;
-                    s.lon_sum += p.lon;
-                    s.count += 1;
-                }
+            DistanceMetric::Euclidean => {
+                self.assign_sum_points_lanes(points, sums, |dlat, dlon| {
+                    (dlat * dlat + dlon * dlon).sqrt()
+                });
+            }
+            DistanceMetric::SquaredEuclidean => {
+                self.assign_sum_points_lanes(points, sums, |dlat, dlon| dlat * dlat + dlon * dlon);
+            }
+            DistanceMetric::Manhattan => {
+                self.assign_sum_points_lanes(points, sums, |dlat, dlon| dlat.abs() + dlon.abs());
             }
         }
         points.len() as u64 * self.len() as u64
+    }
+
+    /// AoS front-end of [`assign_sum_lanes`](Self::assign_sum_lanes).
+    #[inline]
+    fn assign_sum_points_lanes<D>(&self, points: &[GeoPoint], sums: &mut [ClusterSum], dist: D)
+    where
+        D: Fn(f64, f64) -> f64 + Copy,
+    {
+        let k = self.len();
+        let blocks = points.chunks_exact(LANES);
+        let tail = blocks.remainder();
+        for block in blocks {
+            let plat: [f64; LANES] = std::array::from_fn(|j| block[j].lat);
+            let plon: [f64; LANES] = std::array::from_fn(|j| block[j].lon);
+            let mut best = [0usize; LANES];
+            let mut best_d = [f64::INFINITY; LANES];
+            for i in 0..k {
+                let clat = self.lat[i];
+                let clon = self.lon[i];
+                for j in 0..LANES {
+                    let d = dist(plat[j] - clat, plon[j] - clon);
+                    if d < best_d[j] {
+                        best_d[j] = d;
+                        best[j] = i;
+                    }
+                }
+            }
+            for j in 0..LANES {
+                let s = &mut sums[best[j]];
+                s.lat_sum += plat[j];
+                s.lon_sum += plon[j];
+                s.count += 1;
+            }
+        }
+        for p in tail {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for i in 0..k {
+                let d = dist(p.lat - self.lat[i], p.lon - self.lon[i]);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            let s = &mut sums[best];
+            s.lat_sum += p.lat;
+            s.lon_sum += p.lon;
+            s.count += 1;
+        }
     }
 
     /// Planar metrics — the exact expressions of `DistanceMetric::between`
@@ -320,6 +535,25 @@ impl CentroidsSoa {
         let h = (dlat / 2.0).sin().powi(2) + cos1 * self.cos_lat[i] * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
     }
+}
+
+/// Chunk size of the pooled labeling pass — matches the k-means
+/// `SEQ_CHUNK`, so the work granularity is identical across kernels.
+const POOL_CHUNK: usize = 16_384;
+
+/// Labels every point with its nearest centroid, fanning fixed-size
+/// chunks out over the global work-stealing pool.
+///
+/// Each chunk's labels land in their own slot and the slots are
+/// concatenated in chunk order, so the output is identical to the
+/// sequential `points.iter().map(|&p| soa.nearest(p))` scan at any
+/// thread count.
+pub fn assign_points_pooled(points: &[GeoPoint], soa: &CentroidsSoa) -> Vec<u32> {
+    let chunks: Vec<&[GeoPoint]> = points.chunks(POOL_CHUNK).collect();
+    let labeled: Vec<Vec<u32>> = gepeto_pool::global().map_indexed(chunks.len(), |c| {
+        chunks[c].iter().map(|&p| soa.nearest(p)).collect()
+    });
+    labeled.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -490,5 +724,123 @@ mod tests {
         assert!(sums.iter().all(|s| s.count == 0));
         let p = centroids[1];
         assert_eq!(soa.nearest(p), 1);
+    }
+
+    #[test]
+    fn exact_tie_centroids_prefer_the_lower_index_in_lanes() {
+        // Four centroids exactly equidistant from the probe (and a
+        // duplicate pair), at k values that place the tie inside one
+        // lane block, across the block boundary, and in the scalar tail.
+        let probe = GeoPoint::new(40.0, 116.0);
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::SquaredEuclidean,
+            DistanceMetric::Manhattan,
+        ] {
+            for k in 4..=9 {
+                let ring = [
+                    GeoPoint::new(40.5, 116.0),
+                    GeoPoint::new(39.5, 116.0),
+                    GeoPoint::new(40.0, 116.5),
+                    GeoPoint::new(40.0, 115.5),
+                ];
+                let centroids: Vec<GeoPoint> = (0..k).map(|i| ring[i % ring.len()]).collect();
+                let soa = CentroidsSoa::new(&centroids, metric);
+                assert_eq!(soa.nearest(probe), 0, "{metric:?} k={k}");
+                assert_eq!(
+                    soa.nearest(probe),
+                    soa.nearest_scalar(probe),
+                    "{metric:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_assignment_matches_the_sequential_scan() {
+        let points = cloud(40_000, 31);
+        let centroids = cloud(7, 37);
+        for metric in ALL_METRICS {
+            let soa = CentroidsSoa::new(&centroids, metric);
+            let sequential: Vec<u32> = points.iter().map(|&p| soa.nearest(p)).collect();
+            assert_eq!(
+                assign_points_pooled(&points, &soa),
+                sequential,
+                "{metric:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod lane_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic point cloud, same generator as the unit tests.
+    fn cloud(n: usize, seed: u64) -> Vec<GeoPoint> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| GeoPoint::new(39.0 + 2.0 * next(), 115.0 + 3.0 * next()))
+            .collect()
+    }
+
+    const LANE_METRICS: [DistanceMetric; 3] = [
+        DistanceMetric::Euclidean,
+        DistanceMetric::SquaredEuclidean,
+        DistanceMetric::Manhattan,
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The lane kernels match the scalar references bit for bit for
+        /// arbitrary clouds, every lane-remainder length (`n % LANES`
+        /// and `k % LANES` both sweep 0..LANES), and adversarial
+        /// near-tie centroid sets (`dup` duplicates centroid 0 at the
+        /// highest index, forcing exact distance ties the strict-<
+        /// first-win scan must resolve toward the lower index).
+        #[test]
+        fn laned_kernels_are_bit_identical_to_scalar(
+            seed in any::<u64>(),
+            blocks in 0usize..24,
+            rem in 0usize..LANES,
+            k in 1usize..18,
+            dup in 0usize..2,
+        ) {
+            let n = blocks * LANES + rem;
+            let points = cloud(n, seed);
+            let mut centroids = cloud(k, seed ^ 0x5bd1_e995);
+            if dup == 1 && k >= 2 {
+                centroids[k - 1] = centroids[0];
+            }
+            for metric in LANE_METRICS {
+                let soa = CentroidsSoa::new(&centroids, metric);
+                for p in &points {
+                    prop_assert_eq!(soa.nearest(*p), soa.nearest_scalar(*p));
+                }
+                let cols = PointsSoa::from_points(&points);
+                let mut laned = vec![ClusterSum::default(); k];
+                let mut scalar = vec![ClusterSum::default(); k];
+                soa.assign_sum(&cols.lat, &cols.lon, &mut laned);
+                soa.assign_sum_scalar(&cols.lat, &cols.lon, &mut scalar);
+                for (l, s) in laned.iter().zip(&scalar) {
+                    prop_assert_eq!(l.count, s.count);
+                    prop_assert_eq!(l.lat_sum.to_bits(), s.lat_sum.to_bits());
+                    prop_assert_eq!(l.lon_sum.to_bits(), s.lon_sum.to_bits());
+                }
+                // The AoS front-end gathers lanes on the fly but must
+                // land on the same bits.
+                let mut aos = vec![ClusterSum::default(); k];
+                soa.assign_sum_points(&points, &mut aos);
+                prop_assert_eq!(aos, laned);
+            }
+        }
     }
 }

@@ -4,9 +4,9 @@
 //! A [`MapReduceJob`] mirrors the paper's `Driver` class (§IV): it names
 //! the input file, the mapper, the reducer, an optional combiner, and the
 //! runtime configuration, then `run()`s the whole thing. Tasks execute in
-//! parallel on host threads (rayon); every task's wall time is measured
-//! and fed to [`crate::sim::simulate`] so the result carries both the real
-//! elapsed time and the virtual-cluster makespan.
+//! parallel on the `gepeto-pool` work-stealing thread pool; every task's
+//! wall time is measured and fed to [`crate::sim::simulate`] so the result
+//! carries both the real elapsed time and the virtual-cluster makespan.
 //!
 //! Failure handling follows Hadoop: a task attempt may be killed (here:
 //! deterministically injected via [`FailurePlan`]), and the jobtracker
@@ -29,7 +29,6 @@ use crate::spill::{
 };
 use crate::topology::Cluster;
 use gepeto_telemetry::{LedgerScope, Recorder, Span};
-use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -498,11 +497,16 @@ where
             .map(|d| d.journal.committed_reduces(&self.name))
             .unwrap_or_default();
         type ReduceResults<K, V> = Vec<Result<ReduceTaskOutput<K, V>, JobError>>;
-        let reduce_results: ReduceResults<R::KOut, R::VOut> = partitions
-            .into_par_iter()
+        // Each task owns one partition, so spilled partitions run their
+        // external merges concurrently (earlier-run-wins order is a
+        // per-partition property and is untouched by the scheduling).
+        let reduce_inputs: Vec<_> = partitions
+            .into_iter()
             .zip(reducer_clones)
             .enumerate()
-            .map(|(task_id, (payload, mut reducer))| {
+            .collect();
+        let reduce_results: ReduceResults<R::KOut, R::VOut> =
+            gepeto_pool::global().map_vec(reduce_inputs, |(task_id, (payload, mut reducer))| {
                 // Resume fast path: a reduce partition whose committed
                 // artifact still passes a verifying read is loaded from
                 // disk instead of re-executed — no failure injection,
@@ -706,8 +710,7 @@ where
                     input_records,
                     failed_attempts,
                 })
-            })
-            .collect();
+            });
 
         reduce_span.end();
         let mut output = Vec::new();
@@ -1037,11 +1040,14 @@ where
         .collect();
     let map_span = job_span.child("phase.map", &[("tasks", &block_ids.len().to_string())]);
     type MapResults<K, V> = Vec<Result<MapTaskResult<K, V>, JobError>>;
-    let results: MapResults<M::KOut, M::VOut> = block_ids
-        .par_iter()
+    let map_inputs: Vec<_> = block_ids
+        .iter()
+        .copied()
         .zip(mapper_clones)
         .enumerate()
-        .map(|(task_id, (&block_id, (mut m, combiner)))| {
+        .collect();
+    let results: MapResults<M::KOut, M::VOut> =
+        gepeto_pool::global().map_vec(map_inputs, |(task_id, (block_id, (mut m, combiner)))| {
             let fail = &cluster.failures;
             let mut attempt = 1u32;
             let mut failed_attempts = Vec::new();
@@ -1171,8 +1177,7 @@ where
                     failed_attempts,
                 },
             })
-        })
-        .collect();
+        });
 
     map_span.end();
     let num_partitions = if num_reducers == 0 {

@@ -1,0 +1,602 @@
+//! A small, real work-stealing thread pool for host-side execution.
+//!
+//! The offline rayon shim (`crates/shims/rayon`) splits work eagerly into
+//! one chunk per thread and joins — no stealing, no load balancing, and a
+//! fresh `std::thread::spawn` per chunk per call. This crate is the real
+//! substrate the hot paths run on:
+//!
+//! - **persistent workers** — `threads - 1` worker threads plus the
+//!   submitting thread itself (so `--threads N` means N executors, and
+//!   `--threads 1` runs inline on the caller with zero pool overhead);
+//! - **global injector** — batches are pushed FIFO into a shared queue;
+//!   idle workers move up to half of it into their own deque at a time;
+//! - **per-worker deques** — owners pop LIFO (cache-warm), thieves steal
+//!   half from the FIFO end (oldest first, classic steal-half);
+//! - **scoped batches** — [`Pool::run`] borrows the task closure for the
+//!   duration of the call; the caller participates in draining tasks and
+//!   does not return until every task has executed, so the closure may
+//!   capture non-`'static` references;
+//! - **panic propagation** — the first worker panic is captured and
+//!   re-raised on the submitting thread via `resume_unwind`, like rayon.
+//!
+//! # Determinism contract
+//!
+//! The pool schedules *when* a task runs, never *what it observes*:
+//! [`Pool::map_indexed`] writes each result into a preallocated slot by
+//! index, so results always come back in input order regardless of which
+//! worker ran what. Combined with the fixed-size chunk folds used by the
+//! callers (k-means' 16 384-point chunks, per-partition reduce tasks),
+//! every output is byte-identical at any thread count, and `--threads 1`
+//! reproduces the pre-pool sequential outputs exactly.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps before rescanning the queues. The
+/// timed wait doubles as the backstop for the (benign) race where work
+/// lands in a victim's deque between a thief's scan and its sleep.
+const IDLE_WAIT: Duration = Duration::from_millis(1);
+
+/// How long a submitting thread waits for batch completion before
+/// rescanning for tasks it could help with (nested batches create new
+/// work after the caller last looked).
+const CALLER_WAIT: Duration = Duration::from_micros(200);
+
+// ---------------------------------------------------------------------------
+// Batches and tasks
+// ---------------------------------------------------------------------------
+
+/// One in-flight `run` call: the (lifetime-erased) task body plus the
+/// completion latch. Safety: `Pool::run` blocks until `remaining == 0`,
+/// so the erased borrow outlives every dereference.
+struct Batch {
+    f: &'static (dyn Fn(usize) + Sync),
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// One unit of work: run index `index` of `batch`.
+struct Task {
+    batch: Arc<Batch>,
+    index: usize,
+}
+
+/// Where to charge a task's execution time.
+enum Executor {
+    Worker(usize),
+    Caller,
+}
+
+// ---------------------------------------------------------------------------
+// Shared pool state
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    /// Global FIFO all batches are submitted to.
+    injector: Mutex<VecDeque<Task>>,
+    /// Signalled when the injector gains work or the pool shuts down.
+    idle_cv: Condvar,
+    /// Per-worker deques: owner pops LIFO from the back, thieves drain
+    /// FIFO from the front.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    shutdown: AtomicBool,
+    stats: StatsCells,
+}
+
+struct StatsCells {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    batches: AtomicU64,
+    worker_busy_ns: Vec<AtomicU64>,
+    caller_busy_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of the pool's cumulative counters, read by
+/// the telemetry `Monitor` and exported as the `gepeto_pool_*`
+/// Prometheus families.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    /// Total parallelism: spawned workers + the submitting thread.
+    pub threads: usize,
+    /// Tasks executed (across workers and submitting threads).
+    pub tasks: u64,
+    /// Steal-half operations against another worker's deque.
+    pub steals: u64,
+    /// `run` batches submitted.
+    pub batches: u64,
+    /// Busy nanoseconds per spawned worker (length `threads - 1`).
+    pub worker_busy_ns: Vec<u64>,
+    /// Busy nanoseconds accrued by submitting threads while helping.
+    pub caller_busy_ns: u64,
+}
+
+impl PoolStats {
+    /// Total busy nanoseconds across every executor.
+    pub fn busy_ns(&self) -> u64 {
+        self.worker_busy_ns.iter().sum::<u64>() + self.caller_busy_ns
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A work-stealing pool of `threads - 1` persistent workers; the
+/// submitting thread is the final executor. See the crate docs for the
+/// scheduling and determinism contract.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// A pool with `threads` total executors (clamped to at least 1).
+    /// `threads == 1` spawns nothing; every `run` executes inline.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            idle_cv: Condvar::new(),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shutdown: AtomicBool::new(false),
+            stats: StatsCells {
+                tasks: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                worker_busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+                caller_busy_ns: AtomicU64::new(0),
+            },
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gepeto-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            threads,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Total parallelism (spawned workers + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(n - 1)`, each exactly once, across the
+    /// pool; returns once all have finished. With one thread (or one
+    /// task) execution is inline on the caller in index order. A panic
+    /// in any task resurfaces here after the batch drains.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        if self.threads == 1 || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            self.shared
+                .stats
+                .tasks
+                .fetch_add(n as u64, Ordering::Relaxed);
+            return;
+        }
+        // Erase the borrow's lifetime: sound because this call does not
+        // return until `remaining` hits zero, i.e. after the last use.
+        let f: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let batch = Arc::new(Batch {
+            f,
+            remaining: AtomicUsize::new(n),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut injector = self.shared.injector.lock().unwrap();
+            for index in 0..n {
+                injector.push_back(Task {
+                    batch: Arc::clone(&batch),
+                    index,
+                });
+            }
+        }
+        self.shared.idle_cv.notify_all();
+        // The caller is an executor too: drain tasks (any batch — nested
+        // calls inject sub-batches this thread may as well help with)
+        // until this batch completes.
+        while batch.remaining.load(Ordering::Acquire) > 0 {
+            match find_task(&self.shared, None) {
+                Some(task) => execute(&self.shared, task, Executor::Caller),
+                None => {
+                    let guard = batch.done.lock().unwrap();
+                    if !*guard {
+                        drop(batch.done_cv.wait_timeout(guard, CALLER_WAIT).unwrap());
+                    }
+                }
+            }
+        }
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f` over `0..n` and collects the results **in index order**
+    /// (each result is written into its preallocated slot, so execution
+    /// order never shows). On panic the already-produced results leak
+    /// rather than drop; the panic itself propagates.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        /// Shares the slot array across workers; each index is written
+        /// exactly once by the task that owns it. (Accessed only through
+        /// the method so closures capture the `Sync` wrapper, not the
+        /// raw cell slice.)
+        struct Slots<'a, R>(&'a [UnsafeCell<MaybeUninit<R>>]);
+        unsafe impl<R: Send> Sync for Slots<'_, R> {}
+        impl<R> Slots<'_, R> {
+            fn write(&self, i: usize, value: R) {
+                unsafe { (*self.0[i].get()).write(value) };
+            }
+        }
+
+        let slots: Vec<UnsafeCell<MaybeUninit<R>>> = (0..n)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        let shared = Slots(&slots);
+        self.run(n, &|i| shared.write(i, f(i)));
+        // `run` returned without panicking, so all n slots are written.
+        slots
+            .into_iter()
+            .map(|cell| unsafe { cell.into_inner().assume_init() })
+            .collect()
+    }
+
+    /// Maps `f` over an owned `Vec`, returning results in input order.
+    /// Each item is moved out of its slot by the one task that owns its
+    /// index (on panic, untaken items leak rather than drop).
+    pub fn map_vec<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        struct Cells<'a, T>(&'a [UnsafeCell<Option<T>>]);
+        unsafe impl<T: Send> Sync for Cells<'_, T> {}
+        impl<T> Cells<'_, T> {
+            fn take(&self, i: usize) -> Option<T> {
+                unsafe { (*self.0[i].get()).take() }
+            }
+        }
+
+        let n = items.len();
+        let cells: Vec<UnsafeCell<Option<T>>> = items
+            .into_iter()
+            .map(|t| UnsafeCell::new(Some(t)))
+            .collect();
+        let shared = Cells(&cells);
+        self.map_indexed(n, |i| {
+            let item = shared.take(i).expect("index taken once");
+            f(item)
+        })
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        let cells = &self.shared.stats;
+        PoolStats {
+            threads: self.threads,
+            tasks: cells.tasks.load(Ordering::Relaxed),
+            steals: cells.steals.load(Ordering::Relaxed),
+            batches: cells.batches.load(Ordering::Relaxed),
+            worker_busy_ns: cells
+                .worker_busy_ns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            caller_busy_ns: cells.caller_busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.idle_cv.notify_all();
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, w: usize) {
+    loop {
+        if let Some(task) = find_task(shared, Some(w)) {
+            execute(shared, task, Executor::Worker(w));
+            continue;
+        }
+        let injector = shared.injector.lock().unwrap();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if injector.is_empty() {
+            // Timed: stealable work may appear in a sibling deque
+            // without an injector notification.
+            drop(shared.idle_cv.wait_timeout(injector, IDLE_WAIT).unwrap());
+        }
+    }
+}
+
+/// Finds the next task for executor `me` (`None` = a submitting thread,
+/// which takes one task at a time and never keeps a deque):
+/// own deque LIFO → injector (move up to half into own deque) →
+/// steal-half from a sibling, scanning from `me + 1`.
+fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
+    if let Some(w) = me {
+        if let Some(task) = shared.locals[w].lock().unwrap().pop_back() {
+            return Some(task);
+        }
+    }
+    {
+        let mut injector = shared.injector.lock().unwrap();
+        if let Some(first) = injector.pop_front() {
+            let extra = match me {
+                Some(_) => (injector.len() + 1).div_ceil(2) - 1,
+                None => 0,
+            };
+            let grabbed: Vec<Task> = injector.drain(..extra).collect();
+            let more = !injector.is_empty();
+            drop(injector);
+            if more {
+                shared.idle_cv.notify_all();
+            }
+            if let Some(w) = me {
+                if !grabbed.is_empty() {
+                    shared.locals[w].lock().unwrap().extend(grabbed);
+                }
+            }
+            return Some(first);
+        }
+    }
+    let workers = shared.locals.len();
+    let start = me.map_or(0, |w| w + 1);
+    for offset in 0..workers {
+        let victim = (start + offset) % workers;
+        if Some(victim) == me {
+            continue;
+        }
+        let mut deque = shared.locals[victim].lock().unwrap();
+        let Some(first) = deque.pop_front() else {
+            continue;
+        };
+        let extra = match me {
+            Some(_) => (deque.len() + 1).div_ceil(2) - 1,
+            None => 0,
+        };
+        let grabbed: Vec<Task> = deque.drain(..extra).collect();
+        drop(deque);
+        shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = me {
+            if !grabbed.is_empty() {
+                shared.locals[w].lock().unwrap().extend(grabbed);
+            }
+        }
+        return Some(first);
+    }
+    None
+}
+
+fn execute(shared: &Shared, task: Task, executor: Executor) {
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| (task.batch.f)(task.index)));
+    let busy_ns = started.elapsed().as_nanos() as u64;
+    match executor {
+        Executor::Worker(w) => {
+            shared.stats.worker_busy_ns[w].fetch_add(busy_ns, Ordering::Relaxed);
+        }
+        Executor::Caller => {
+            shared
+                .stats
+                .caller_busy_ns
+                .fetch_add(busy_ns, Ordering::Relaxed);
+        }
+    }
+    shared.stats.tasks.fetch_add(1, Ordering::Relaxed);
+    if let Err(payload) = outcome {
+        let mut slot = task.batch.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    if task.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut done = task.batch.done.lock().unwrap();
+        *done = true;
+        task.batch.done_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process-wide pool
+// ---------------------------------------------------------------------------
+
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// Configures the global pool's thread count. Must run before the first
+/// [`global`] call (the CLI does this while parsing `--threads`); once
+/// the pool exists the setting is inert. Returns whether it took effect.
+pub fn set_threads(threads: usize) -> bool {
+    CONFIGURED_THREADS.store(threads.max(1), Ordering::SeqCst);
+    GLOBAL.get().is_none()
+}
+
+/// The process-wide pool, created on first use with the configured
+/// thread count (default: `available_parallelism`).
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let threads = match CONFIGURED_THREADS.load(Ordering::SeqCst) {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            configured => configured,
+        };
+        Pool::new(threads)
+    })
+}
+
+/// Stats of the global pool — all zeros (and `threads == 0`) if nothing
+/// has created it yet. Never forces pool creation: telemetry snapshots
+/// must stay read-only.
+pub fn global_stats() -> PoolStats {
+    GLOBAL.get().map(Pool::stats).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn map_indexed_returns_results_in_input_order() {
+        let pool = Pool::new(4);
+        let out = pool.map_indexed(1000, |i| i * i);
+        assert_eq!(out, (0..1000).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_vec_moves_each_item_exactly_once() {
+        let pool = Pool::new(3);
+        let items: Vec<String> = (0..257).map(|i| format!("item-{i}")).collect();
+        let out = pool.map_vec(items, |s| s.len());
+        let expected: Vec<usize> = (0..257).map(|i| format!("item-{i}").len()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = Pool::new(4);
+        let n = 4096;
+        let counters: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        pool.run(n, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_in_index_order() {
+        let pool = Pool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.run(64, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..64).collect::<Vec<_>>());
+        assert!(pool.stats().worker_busy_ns.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 17")]
+    fn worker_panic_propagates_to_the_caller() {
+        let pool = Pool::new(4);
+        pool.run(64, &|i| {
+            if i == 17 {
+                panic!("boom at 17");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let pool = Pool::new(4);
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(32, &|i| {
+                if i % 2 == 0 {
+                    panic!("even index");
+                }
+            });
+        }));
+        assert!(poisoned.is_err());
+        let out = pool.map_indexed(128, |i| i + 1);
+        assert_eq!(out[127], 128);
+    }
+
+    #[test]
+    fn nested_run_from_a_worker_does_not_deadlock() {
+        let pool = Arc::new(Pool::new(4));
+        let inner_total = AtomicU32::new(0);
+        let p = Arc::clone(&pool);
+        pool.run(8, &|_| {
+            p.run(16, &|_| {
+                inner_total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_total.load(Ordering::Relaxed), 8 * 16);
+    }
+
+    #[test]
+    fn stats_count_tasks_and_batches() {
+        let pool = Pool::new(2);
+        pool.map_indexed(100, |i| i);
+        pool.map_indexed(50, |i| i);
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.tasks, 150);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.worker_busy_ns.len(), 1);
+    }
+
+    #[test]
+    fn uneven_load_triggers_steal_half() {
+        // Slow tasks: the first worker gulps half the injector into its
+        // deque and sits on a task, so executors that come up empty must
+        // steal from it before the batch can finish promptly.
+        let pool = Pool::new(4);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while pool.stats().steals == 0 && Instant::now() < deadline {
+            pool.run(16, &|_| std::thread::sleep(Duration::from_millis(2)));
+        }
+        let stats = pool.stats();
+        assert!(
+            stats.steals > 0,
+            "expected steal-half traffic under uneven load, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn global_pool_respects_configured_threads() {
+        // Runs in-process alongside other tests: only assert invariants
+        // that hold whether or not the global pool already exists.
+        let stats = global_stats();
+        assert!(stats.threads == 0 || stats.threads >= 1);
+        let pool = global();
+        assert!(pool.threads() >= 1);
+        assert_eq!(global_stats().threads, pool.threads());
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = Pool::new(4);
+        pool.run(0, &|_| panic!("must not run"));
+        let out: Vec<u8> = pool.map_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

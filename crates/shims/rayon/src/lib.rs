@@ -10,12 +10,19 @@
 //! changes nothing observable. Worker panics are re-raised on the
 //! calling thread with their original payload (`resume_unwind`), so
 //! `#[should_panic(expected = ...)]` tests behave as with rayon.
+//!
+//! The workspace's hot paths (mapred task execution, k-means kernels,
+//! spill merges) no longer go through this shim — they run on the
+//! `gepeto-pool` work-stealing pool. The shim remains for cold callers
+//! (dataset generation, examples); see `crates/shims/README.md`.
 
 use std::panic::resume_unwind;
 
-/// Splits `items` into per-thread chunks, applies `f` in parallel, and
-/// reassembles results in input order.
-fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+/// Splits `items` into per-thread chunks of at least `min_len` elements
+/// each (rayon's `with_min_len` floor — spawning a thread for a handful
+/// of cheap items costs more than the work), applies `f` in parallel,
+/// and reassembles results in input order.
+fn parallel_map<T, U, F>(items: Vec<T>, min_len: usize, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
@@ -24,10 +31,11 @@ where
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if threads <= 1 || items.len() <= 1 {
+    let min_len = min_len.max(1);
+    if threads <= 1 || items.len() <= min_len {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
+    let chunk_len = items.len().div_ceil(threads).max(min_len);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
     let mut it = items.into_iter();
     loop {
@@ -36,6 +44,12 @@ where
             break;
         }
         chunks.push(chunk);
+    }
+    if chunks.len() <= 1 {
+        return chunks
+            .into_iter()
+            .flat_map(|chunk| chunk.into_iter().map(&f).collect::<Vec<U>>())
+            .collect();
     }
     let f = &f;
     std::thread::scope(|scope| {
@@ -58,6 +72,14 @@ where
 /// takes a closure; everything downstream folds the materialised `Vec`.
 pub struct ParIter<T> {
     items: Vec<T>,
+    /// Minimum items per parallel chunk ([`ParIter::with_min_len`]).
+    min_len: usize,
+}
+
+impl<T> ParIter<T> {
+    fn from_items(items: Vec<T>) -> Self {
+        ParIter { items, min_len: 1 }
+    }
 }
 
 impl<T: Send> ParIter<T> {
@@ -68,7 +90,8 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> U + Sync + Send,
     {
         ParIter {
-            items: parallel_map(self.items, f),
+            items: parallel_map(self.items, self.min_len, f),
+            min_len: self.min_len,
         }
     }
 
@@ -79,7 +102,11 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> Option<U> + Sync + Send,
     {
         ParIter {
-            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+            items: parallel_map(self.items, self.min_len, f)
+                .into_iter()
+                .flatten()
+                .collect(),
+            min_len: self.min_len,
         }
     }
 
@@ -94,6 +121,7 @@ impl<T: Send> ParIter<T> {
                 .into_iter()
                 .zip(other.into_par_iter().items)
                 .collect(),
+            min_len: self.min_len,
         }
     }
 
@@ -101,6 +129,7 @@ impl<T: Send> ParIter<T> {
     pub fn enumerate(self) -> ParIter<(usize, T)> {
         ParIter {
             items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
         }
     }
 
@@ -139,7 +168,7 @@ impl<T: Send> ParIter<T> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let chunk_len = self.items.len().div_ceil(threads).max(1);
+        let chunk_len = self.items.len().div_ceil(threads).max(self.min_len).max(1);
         let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
         let mut it = self.items.into_iter();
         loop {
@@ -150,15 +179,22 @@ impl<T: Send> ParIter<T> {
             chunks.push(chunk);
         }
         ParIter {
-            items: parallel_map(chunks, |chunk| chunk.into_iter().fold(identity(), &fold_op)),
+            items: parallel_map(chunks, 1, |chunk| {
+                chunk.into_iter().fold(identity(), &fold_op)
+            }),
+            min_len: 1,
         }
     }
 
-    /// Rayon's `with_min_len` splitting hint. This shim's eager
-    /// per-thread chunking already bounds split counts, so the hint is
-    /// accepted for source compatibility and otherwise ignored.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+    /// Rayon's `with_min_len` splitting hint: no parallel chunk will
+    /// hold fewer than `min` items, and inputs of at most `min` items
+    /// run inline on the calling thread — tiny workloads stop paying a
+    /// thread-spawn per handful of elements.
+    pub fn with_min_len(self, min: usize) -> Self {
+        ParIter {
+            items: self.items,
+            min_len: min.max(1),
+        }
     }
 
     /// Number of items.
@@ -178,7 +214,7 @@ pub trait IntoParallelIterator {
 impl<T> IntoParallelIterator for Vec<T> {
     type Item = T;
     fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+        ParIter::from_items(self)
     }
 }
 
@@ -194,7 +230,7 @@ macro_rules! range_into_par_iter {
         impl IntoParallelIterator for std::ops::Range<$t> {
             type Item = $t;
             fn into_par_iter(self) -> ParIter<$t> {
-                ParIter { items: self.collect() }
+                ParIter::from_items(self.collect())
             }
         }
     )*};
@@ -213,16 +249,12 @@ pub trait ParallelSlice<T> {
 
 impl<T> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> ParIter<&T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
+        ParIter::from_items(self.iter().collect())
     }
 
     fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
         assert!(chunk_size > 0, "chunk_size must be non-zero");
-        ParIter {
-            items: self.chunks(chunk_size).collect(),
-        }
+        ParIter::from_items(self.chunks(chunk_size).collect())
     }
 }
 
@@ -287,6 +319,36 @@ mod tests {
             .fold(|| 0u64, |acc, &x| acc + x)
             .reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn min_len_floors_chunk_sizes_without_changing_results() {
+        // 100 items with a floor of 64: at most two chunks, same output.
+        let v: Vec<u64> = (0u64..100)
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|x| x * 3)
+            .collect();
+        assert_eq!(v, (0u64..100).map(|x| x * 3).collect::<Vec<_>>());
+        // A floor larger than the input runs inline — still correct.
+        let v: Vec<u64> = (0u64..10)
+            .into_par_iter()
+            .with_min_len(1_000_000)
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(v, (1u64..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_len_survives_adapters() {
+        // enumerate/zip keep the hint; the map after them still floors.
+        let v: Vec<usize> = (0usize..50)
+            .into_par_iter()
+            .with_min_len(25)
+            .enumerate()
+            .map(|(i, x)| i + x)
+            .collect();
+        assert_eq!(v, (0usize..50).map(|x| 2 * x).collect::<Vec<_>>());
     }
 
     #[test]

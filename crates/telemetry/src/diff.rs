@@ -193,6 +193,11 @@ const TIME_SIGNIFICANCE: f64 = 0.01;
 /// A raw counter swing is significant past this relative change.
 const COUNTER_SIGNIFICANCE: f64 = 0.10;
 
+/// Executor-milliseconds the host thread pool spent NOT running tasks
+/// (bench reports inject this from their `host` block). Milliseconds of
+/// real time, so it attributes as a timed cause.
+pub const HOST_IDLE_MS_COUNTER: &str = "host.idle_ms";
+
 /// Attributes the performance delta between `base` and `cand`.
 pub fn diff(base: &RunProfile, cand: &RunProfile) -> PerfDiff {
     // The baseline's dominant time scale: virtual makespan when a
@@ -305,6 +310,33 @@ pub fn diff(base: &RunProfile, cand: &RunProfile) -> PerfDiff {
                         if delta_s > 0.0 { "grew" } else { "shrank" },
                         delta_s.abs()
                     ),
+                });
+            }
+        } else if name == HOST_IDLE_MS_COUNTER {
+            let delta_s = delta / 1e3;
+            if delta_s.abs() >= significant_s {
+                causes.push(Cause {
+                    kind: "idle",
+                    name: name.to_owned(),
+                    base: b as f64 / 1e3,
+                    cand: c as f64 / 1e3,
+                    delta: delta_s,
+                    unit: "s",
+                    share: delta_s.abs() / reference_s,
+                    note: if delta_s > 0.0 {
+                        format!(
+                            "got slower because workers idled — pool executors spent \
+                             {:.3} s more doing nothing (serial sections, lock contention \
+                             or too few runnable tasks for the thread count)",
+                            delta_s
+                        )
+                    } else {
+                        format!(
+                            "pool executors idled {:.3} s less — the run kept its \
+                             workers fed",
+                            delta_s.abs()
+                        )
+                    },
                 });
             }
         } else if name == MEM_PEAK_OVER_BUDGET_COUNTER {
@@ -583,6 +615,33 @@ mod tests {
             "{}",
             grew.note
         );
+    }
+
+    #[test]
+    fn idling_pool_workers_read_as_got_slower_because_workers_idled() {
+        let base = profile("busy");
+        let mut cand = profile("starved");
+        cand.counters
+            .push((HOST_IDLE_MS_COUNTER.to_owned(), 40_000));
+        cand.counters.sort();
+        let d = diff(&base, &cand);
+        let idle = d
+            .causes
+            .iter()
+            .find(|c| c.kind == "idle")
+            .expect("idle cause");
+        assert_eq!(idle.name, HOST_IDLE_MS_COUNTER);
+        assert_eq!(idle.unit, "s");
+        assert!((idle.delta - 40.0).abs() < 1e-9);
+        assert!(
+            idle.note.contains("got slower because workers idled"),
+            "{}",
+            idle.note
+        );
+        // The reverse direction credits the fix.
+        let d2 = diff(&cand, &base);
+        let fed = d2.causes.iter().find(|c| c.kind == "idle").unwrap();
+        assert!(fed.note.contains("kept its workers fed"), "{}", fed.note);
     }
 
     #[test]

@@ -242,10 +242,13 @@ impl Monitor {
 
     /// A point-in-time copy of every gauge, counter and histogram.
     /// Heap gauges are read straight off the process-wide
-    /// [`crate::alloc::TrackingAllocator`] counters.
+    /// [`crate::alloc::TrackingAllocator`] counters; pool gauges off the
+    /// global `gepeto-pool` counters (all zero until something creates
+    /// the pool — the snapshot never forces its creation).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mem = crate::alloc::mem_stats();
+        let pool = gepeto_pool::global_stats();
         MetricsSnapshot {
             jobs_started: load(&self.jobs_started),
             jobs_finished: load(&self.jobs_finished),
@@ -276,6 +279,16 @@ impl Monitor {
             mem_peak_bytes: mem.peak_bytes,
             mem_allocated_bytes: mem.total_allocated,
             mem_allocs: mem.allocs,
+            pool_threads: pool.threads as u64,
+            pool_tasks: pool.tasks,
+            pool_steals: pool.steals,
+            pool_batches: pool.batches,
+            pool_worker_busy_s: pool
+                .worker_busy_ns
+                .iter()
+                .map(|&ns| ns as f64 / 1e9)
+                .collect(),
+            pool_caller_busy_s: pool.caller_busy_ns as f64 / 1e9,
             phase_peak_bytes: self
                 .phase_peak_bytes
                 .lock()
@@ -360,6 +373,18 @@ pub struct MetricsSnapshot {
     pub mem_allocated_bytes: u64,
     /// Cumulative allocation calls made by the process.
     pub mem_allocs: u64,
+    /// Work-stealing pool parallelism (0 until the pool exists).
+    pub pool_threads: u64,
+    /// Tasks executed on the work-stealing pool.
+    pub pool_tasks: u64,
+    /// Steal-half operations between pool workers.
+    pub pool_steals: u64,
+    /// Batches submitted to the pool.
+    pub pool_batches: u64,
+    /// Busy seconds per spawned pool worker.
+    pub pool_worker_busy_s: Vec<f64>,
+    /// Busy seconds submitting threads spent executing pool tasks.
+    pub pool_caller_busy_s: f64,
     /// Allocator peak observed inside each phase, max across repeats.
     pub phase_peak_bytes: Vec<(String, u64)>,
     /// Virtual busy seconds per node, indexed by node id.
@@ -640,6 +665,48 @@ impl MetricsSnapshot {
             "Cumulative allocation calls made by the process.",
             self.mem_allocs as f64,
         );
+        metric(
+            "gepeto_pool_threads",
+            "gauge",
+            "Work-stealing pool parallelism (0 until the pool exists).",
+            self.pool_threads as f64,
+        );
+        metric(
+            "gepeto_pool_tasks_total",
+            "counter",
+            "Tasks executed on the work-stealing pool.",
+            self.pool_tasks as f64,
+        );
+        metric(
+            "gepeto_pool_steals_total",
+            "counter",
+            "Steal-half operations between pool workers.",
+            self.pool_steals as f64,
+        );
+        metric(
+            "gepeto_pool_batches_total",
+            "counter",
+            "Batches submitted to the work-stealing pool.",
+            self.pool_batches as f64,
+        );
+        if !self.pool_worker_busy_s.is_empty() || self.pool_caller_busy_s > 0.0 {
+            let _ = writeln!(
+                out,
+                "# HELP gepeto_pool_worker_busy_seconds Wall seconds each pool executor spent running tasks."
+            );
+            let _ = writeln!(out, "# TYPE gepeto_pool_worker_busy_seconds gauge");
+            for (worker, s) in self.pool_worker_busy_s.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "gepeto_pool_worker_busy_seconds{{worker=\"{worker}\"}} {s}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "gepeto_pool_worker_busy_seconds{{worker=\"caller\"}} {}",
+                self.pool_caller_busy_s
+            );
+        }
         if !self.phase_peak_bytes.is_empty() {
             let _ = writeln!(
                 out,

@@ -51,6 +51,30 @@ for w in sampling kmeans djcluster synth; do
         --threshold 30 --ignore wall_ms,task
 done
 
+echo "== pool smoke: thread-count invariance + pool telemetry =="
+# The same durable run at --threads 1 (the fully inline sequential
+# reference) and --threads 2 (work-stealing pool) must commit
+# byte-identical OUTPUT artifacts, and the pooled run's exposition must
+# carry the gepeto_pool_* families.
+rm -rf target/bench-smoke/pool-t1 target/bench-smoke/pool-t2
+POOL_FLAGS=(kmeans --users 6 --scale 0.004 --k 3 --max-iter 4)
+./target/release/gepeto "${POOL_FLAGS[@]}" --threads 1 \
+    --run-dir target/bench-smoke/pool-t1
+./target/release/gepeto "${POOL_FLAGS[@]}" --threads 2 \
+    --run-dir target/bench-smoke/pool-t2 \
+    --prom-out target/bench-smoke/pool.prom
+cmp target/bench-smoke/pool-t1/OUTPUT target/bench-smoke/pool-t2/OUTPUT
+./target/release/gepeto-bench validate-prom target/bench-smoke/pool.prom
+grep -q '^gepeto_pool_threads 2' target/bench-smoke/pool.prom
+grep -q '^gepeto_pool_tasks_total [1-9]' target/bench-smoke/pool.prom
+grep -q '^gepeto_pool_steals_total [0-9]' target/bench-smoke/pool.prom
+
+echo "== kernel bench smoke: every micro-bench body runs once =="
+# Smoke mode (no --bench flag): each benchmark body executes exactly
+# once, so the SoA/pool/grouping/codec kernels stay compile-and-run
+# clean without burning bench minutes.
+cargo test -q -p gepeto-bench --benches
+
 echo "== spill smoke: out-of-core shuffle under a starvation budget =="
 # A synthetic workload forced through the spill/merge path; the
 # exposition must prove the engine actually went out of core.

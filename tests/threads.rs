@@ -1,0 +1,183 @@
+//! Thread-count invariance contract, exercised against the real
+//! `gepeto` binary: `--threads 1` (fully inline, the sequential
+//! reference) and `--threads N` (work-stealing pool) must produce
+//! byte-identical committed `OUTPUT` artifacts for every workload —
+//! including runs forced onto the out-of-core spill path by a 1-byte
+//! memory budget and runs recovering from an injected node crash.
+//! Parallelism here is an execution detail; results are pinned to the
+//! sequential semantics bit for bit.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+const GEPETO: &str = env!("CARGO_BIN_EXE_gepeto");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gepeto-threads-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(argv: &[&str]) -> Output {
+    Command::new(GEPETO)
+        .args(argv)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn gepeto")
+}
+
+/// Reads a run's committed `OUTPUT` payload, verifying the checksum
+/// footer on the way.
+fn output_payload(run_dir: &Path) -> Vec<u8> {
+    gepeto_mapred::commit::read_committed(&run_dir.join("OUTPUT"))
+        .unwrap_or_else(|e| panic!("{}: OUTPUT failed verification: {e}", run_dir.display()))
+}
+
+/// Runs `argv ++ [--run-dir DIR --threads N]` once per thread count and
+/// returns each run's committed OUTPUT bytes.
+fn outputs_at_thread_counts(tag: &str, argv: &[&str], counts: &[&str]) -> Vec<Vec<u8>> {
+    counts
+        .iter()
+        .map(|threads| {
+            let dir = scratch(&format!("{tag}-t{threads}"));
+            let dir_s = dir.display().to_string();
+            let mut full: Vec<&str> = argv.to_vec();
+            full.extend_from_slice(&["--run-dir", &dir_s, "--threads", threads]);
+            let out = run(&full);
+            assert!(
+                out.status.success(),
+                "{tag} --threads {threads} failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let payload = output_payload(&dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            payload
+        })
+        .collect()
+}
+
+#[test]
+fn sample_output_is_byte_identical_across_thread_counts() {
+    let outs = outputs_at_thread_counts(
+        "sample",
+        &[
+            "sample", "--users", "6", "--scale", "0.004", "--window", "60",
+        ],
+        &["1", "4"],
+    );
+    assert_eq!(
+        outs[0], outs[1],
+        "sample OUTPUT diverged across thread counts"
+    );
+}
+
+#[test]
+fn kmeans_output_is_byte_identical_across_thread_counts() {
+    // Centroid bit patterns are in the OUTPUT digest: any reassociation
+    // of the parallel sums would flip low-order mantissa bits and fail.
+    let outs = outputs_at_thread_counts(
+        "kmeans",
+        &[
+            "kmeans",
+            "--users",
+            "8",
+            "--scale",
+            "0.006",
+            "--k",
+            "4",
+            "--max-iter",
+            "6",
+        ],
+        &["1", "4"],
+    );
+    assert_eq!(
+        outs[0], outs[1],
+        "kmeans OUTPUT diverged across thread counts"
+    );
+}
+
+#[test]
+fn spilling_synth_run_is_thread_count_invariant() {
+    // A 1-byte budget forces every partition through the external
+    // spill/merge path; parallel per-partition merges must preserve the
+    // earlier-run-wins order byte for byte.
+    let outs = outputs_at_thread_counts(
+        "synth-spill",
+        &[
+            "synth",
+            "--users",
+            "300",
+            "--chunk-mb",
+            "1",
+            "--memory-budget",
+            "1",
+        ],
+        &["1", "4"],
+    );
+    assert_eq!(
+        outs[0], outs[1],
+        "spilled synth OUTPUT diverged across thread counts"
+    );
+}
+
+#[test]
+fn crash_recovery_is_thread_count_invariant() {
+    // An injected node crash re-executes map work on surviving nodes;
+    // the recovered result must still match the sequential reference.
+    let outs = outputs_at_thread_counts(
+        "kmeans-crash",
+        &[
+            "kmeans",
+            "--users",
+            "8",
+            "--scale",
+            "0.006",
+            "--k",
+            "3",
+            "--max-iter",
+            "4",
+            "--crash",
+            "1@40",
+        ],
+        &["1", "4"],
+    );
+    assert_eq!(
+        outs[0], outs[1],
+        "crash-recovered OUTPUT diverged across thread counts"
+    );
+}
+
+#[test]
+fn djcluster_results_are_thread_count_invariant() {
+    // djcluster has no durable OUTPUT artifact; pin the deterministic
+    // result lines of stdout (cluster/noise counts, preprocessing
+    // funnel) instead — timings vary, results must not.
+    let result_lines = |threads: &str| -> Vec<String> {
+        let out = run(&[
+            "djcluster",
+            "--users",
+            "6",
+            "--scale",
+            "0.004",
+            "--mr-rtree",
+            "false",
+            "--threads",
+            threads,
+        ]);
+        assert!(
+            out.status.success(),
+            "djcluster --threads {threads} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("DJ-Cluster:") || l.starts_with("preprocessing:"))
+            .map(str::to_string)
+            .collect()
+    };
+    let one = result_lines("1");
+    let four = result_lines("4");
+    assert!(!one.is_empty(), "expected result lines in stdout");
+    assert_eq!(one, four, "djcluster results diverged across thread counts");
+}
